@@ -1,0 +1,100 @@
+"""Section III-A.1: parallel block Jacobi vs rank count.
+
+The paper's global schedule trades KBA pipeline idle time for a convergence
+rate that degrades with the number of Jacobi blocks (MPI ranks).  This
+benchmark runs the same problem on growing rank grids with the simulated MPI
+substrate, times the multi-rank solves, prints the measured convergence
+histories and the halo-exchange traffic, and checks the expected behaviours:
+
+* all rank grids converge to the same solution;
+* the iteration error after a fixed number of inners grows with the rank
+  count; and
+* the KBA pipeline model predicts the idle time the block Jacobi schedule
+  avoids.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_scaling_series, format_table
+from repro.config import ProblemSpec
+from repro.core.solver import TransportSolver
+from repro.parallel.block_jacobi import BlockJacobiDriver
+from repro.parallel.kba import KBAPipelineModel
+
+SPEC = ProblemSpec(
+    nx=8, ny=4, nz=2, order=1, angles_per_octant=1, num_groups=2,
+    max_twist=0.001, num_inners=8, num_outers=1,
+)
+RANK_GRIDS = ((1, 1), (2, 1), (2, 2), (4, 2))
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        (px, py): BlockJacobiDriver(SPEC.with_(npex=px, npey=py)).solve()
+        for px, py in RANK_GRIDS
+    }
+
+
+@pytest.mark.parametrize("npex,npey", RANK_GRIDS)
+def test_benchmark_block_jacobi_solve(benchmark, npex, npey):
+    driver = BlockJacobiDriver(SPEC.with_(npex=npex, npey=npey))
+    result = benchmark.pedantic(driver.solve, rounds=1, iterations=1)
+    assert result.num_ranks == npex * npey
+
+
+def test_print_convergence_histories(results):
+    iterations = list(range(1, SPEC.num_inners + 1))
+    series = {
+        f"{px}x{py} ranks": results[(px, py)].inner_errors for px, py in RANK_GRIDS
+    }
+    print()
+    print(
+        format_scaling_series(
+            iterations, series,
+            title="Block-Jacobi convergence: max relative flux change per inner iteration",
+            unit="",
+        )
+    )
+    traffic = [
+        (f"{px}x{py}", results[(px, py)].messages, results[(px, py)].total_inners)
+        for px, py in RANK_GRIDS
+    ]
+    print(format_table(("rank grid", "halo messages", "inners"), traffic,
+                       title="Halo-exchange traffic"))
+
+
+def test_all_rank_grids_agree_with_single_rank(results):
+    reference = TransportSolver(SPEC.with_(num_inners=40, inner_tolerance=1e-10)).solve()
+    for (px, py), result in results.items():
+        # After only 8 lagged inners the answers differ slightly, but all are
+        # within a few tenths of a per cent of the converged reference.
+        rel = np.abs(result.scalar_flux - reference.scalar_flux) / np.maximum(
+            reference.scalar_flux, 1e-12
+        )
+        assert rel.max() < 0.05, f"{px}x{py} deviates too far"
+
+
+def test_convergence_degrades_with_rank_count(results):
+    final_errors = [results[g].inner_errors[-1] for g in RANK_GRIDS]
+    assert final_errors[-1] > final_errors[0]
+
+
+def test_halo_traffic_grows_with_rank_count(results):
+    messages = [results[g].messages for g in RANK_GRIDS]
+    assert messages[0] == 0
+    assert all(b >= a for a, b in zip(messages, messages[1:]))
+
+
+def test_kba_pipeline_idle_time_model():
+    rows = []
+    for px, py in RANK_GRIDS:
+        model = KBAPipelineModel(npex=px, npey=py, num_planes=SPEC.nz * 4)
+        rows.append((f"{px}x{py}", round(model.parallel_efficiency(), 3),
+                     round(model.idle_fraction(), 3)))
+    print()
+    print(format_table(("rank grid", "KBA efficiency", "KBA idle fraction"), rows,
+                       title="KBA pipeline model (the idle time block Jacobi avoids)"))
+    assert rows[0][1] == 1.0
+    assert rows[-1][2] > rows[0][2]

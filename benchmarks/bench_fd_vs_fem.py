@@ -1,0 +1,59 @@
+"""Section II-C trade-offs: finite difference (SNAP) vs finite element (UnSNAP).
+
+Not a numbered table in the paper, but Section II-C makes three quantitative
+claims that this benchmark reproduces and times:
+
+* the FEM does far more work per cell/angle/group than the single
+  multiply-add diamond-difference relations;
+* the FEM angular flux costs ``(p+1)^3`` times the FD storage (8x for linear
+  elements); and
+* both methods solve the same physics -- their cell-averaged fluxes agree.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.analysis.tables import fd_vs_fem_comparison
+from repro.baseline.snap_fd import SnapDiamondDifferenceSolver
+from repro.config import ProblemSpec
+from repro.core.solver import TransportSolver
+
+N = 5
+GROUPS = 2
+ANGLES = 2
+
+
+def test_benchmark_fd_sweep(benchmark):
+    solver = SnapDiamondDifferenceSolver(
+        N, N, N, num_groups=GROUPS, angles_per_octant=ANGLES, num_inners=2
+    )
+    result = benchmark.pedantic(solver.solve, rounds=1, iterations=1)
+    assert result.scalar_flux.shape == (N, N, N, GROUPS)
+
+
+def test_benchmark_fem_sweep(benchmark):
+    spec = ProblemSpec(
+        nx=N, ny=N, nz=N, order=1, angles_per_octant=ANGLES, num_groups=GROUPS,
+        max_twist=0.0, num_inners=2, num_outers=1,
+    )
+    solver = TransportSolver(spec)
+    result = benchmark.pedantic(solver.solve, rounds=1, iterations=1)
+    assert result.scalar_flux.shape == (N**3, GROUPS, 8)
+
+
+def test_print_fd_vs_fem_tradeoffs():
+    report = fd_vs_fem_comparison(n=N, num_groups=GROUPS, angles_per_octant=ANGLES, num_inners=25)
+    rows = [(k, v) for k, v in report.items()]
+    print()
+    print(format_table(("quantity", "value"), rows, title="Section II-C trade-offs (reproduced)"))
+    assert report["fem_memory_ratio"] == 8.0
+    assert report["fem_to_fd_work_ratio"] > 10.0
+    assert report["mean_relative_flux_difference"] < 0.05
+
+
+@pytest.mark.parametrize("order", [1, 2, 3])
+def test_memory_ratio_grows_with_order(order):
+    spec = ProblemSpec(nx=2, ny=2, nz=2, order=order, angles_per_octant=1, num_groups=1)
+    assert spec.nodes_per_element == (order + 1) ** 3
+    assert spec.angular_flux_bytes() == 8 * spec.num_cells * spec.num_angles * (order + 1) ** 3

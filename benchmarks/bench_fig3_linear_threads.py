@@ -1,0 +1,66 @@
+"""Figure 3: thread scaling of the parallel sweep, linear elements.
+
+The figure's measurement (assemble/solve time vs OpenMP threads on a 56-core
+Skylake node for six loop-ordering/layout/threading schemes) cannot be
+repeated faithfully from CPython, so the series are produced by the node
+performance model with the paper's exact problem (16^3 cells, 36 angles per
+octant, 64 groups, twist 0.001, 5 inners) and machine (2x Xeon 8176).  The
+benchmark times the model evaluation and prints the reproduced series, and
+asserts the findings of Section IV-A.1:
+
+* the ``angle/element/group`` data layout beats ``angle/group/element`` for
+  linear elements,
+* collapsing the element and group loops gives the fastest scheme on all 56
+  cores, and
+* every scheme scales (time decreases) from 1 to 56 threads.
+"""
+
+import pytest
+
+from repro.analysis.figures import PAPER_THREAD_COUNTS, figure3_series
+from repro.analysis.reporting import format_scaling_series
+from repro.config import ProblemSpec
+from repro.perfmodel.schemes import paper_schemes
+from repro.perfmodel.simulator import SweepPerformanceModel
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return figure3_series()
+
+
+def test_benchmark_model_evaluation(benchmark):
+    spec = ProblemSpec.paper_figure3_4(order=1)
+    model = SweepPerformanceModel(spec)
+    scheme = paper_schemes()[1]
+    point = benchmark(model.sweep_time, scheme, 56)
+    assert point.seconds > 0
+
+
+def test_print_figure3_series(fig3):
+    print()
+    print(
+        format_scaling_series(
+            fig3.thread_counts,
+            fig3.series,
+            title="Figure 3 (reproduced, model): assemble/solve time vs threads, linear elements",
+        )
+    )
+    print(f"fastest scheme at 56 threads: {fig3.fastest_at(56)}")
+
+
+def test_figure3_shape_element_major_layout_wins(fig3):
+    elem_major = [v[-1] for k, v in fig3.series.items() if "angle/*group*" not in k and "angle/group" not in k]
+    group_major = [v[-1] for k, v in fig3.series.items() if "angle/*group*" in k or "angle/group" in k]
+    assert min(elem_major) < min(group_major)
+
+
+def test_figure3_shape_collapse_fastest_at_full_node(fig3):
+    fastest = fig3.fastest_at(56)
+    assert "*element*" in fastest and "*group*" in fastest
+
+
+def test_figure3_shape_all_schemes_scale(fig3):
+    assert fig3.thread_counts == list(PAPER_THREAD_COUNTS)
+    for label, values in fig3.series.items():
+        assert values[0] > values[-1], f"{label} does not scale"

@@ -1,0 +1,78 @@
+"""Figure 4: thread scaling of the parallel sweep, cubic elements.
+
+Same methodology as the Figure 3 benchmark (node performance model with the
+paper's 16^3 / 36 angles / 64 groups problem, order 3), checking the cubic
+findings of Section IV-A.2:
+
+* the collapsed ``angle/element/group`` scheme remains the fastest at 56
+  threads,
+* the extra work of cubic elements raises the absolute time by orders of
+  magnitude relative to linear elements, and
+* the ``angle/group/element`` layout is much less penalised than it is for
+  linear elements (the 32 kB vs 64 B stride argument).
+"""
+
+import pytest
+
+from repro.analysis.figures import figure3_series, figure4_series
+from repro.analysis.reporting import format_scaling_series
+from repro.config import ProblemSpec
+from repro.perfmodel.schemes import paper_schemes
+from repro.perfmodel.simulator import SweepPerformanceModel
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return figure4_series()
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return figure3_series()
+
+
+def test_benchmark_model_evaluation_cubic(benchmark):
+    spec = ProblemSpec.paper_figure3_4(order=3)
+    model = SweepPerformanceModel(spec)
+    scheme = paper_schemes()[1]
+    point = benchmark(model.sweep_time, scheme, 56)
+    assert point.seconds > 0
+
+
+def test_print_figure4_series(fig4):
+    print()
+    print(
+        format_scaling_series(
+            fig4.thread_counts,
+            fig4.series,
+            title="Figure 4 (reproduced, model): assemble/solve time vs threads, cubic elements",
+        )
+    )
+    print(f"fastest scheme at 56 threads: {fig4.fastest_at(56)}")
+
+
+def test_figure4_shape_collapse_fastest(fig4):
+    fastest = fig4.fastest_at(56)
+    assert "*element*" in fastest and "*group*" in fastest
+
+
+def test_figure4_shape_cubic_orders_of_magnitude_slower(fig3, fig4):
+    best_linear = min(v[-1] for v in fig3.series.values())
+    best_cubic = min(v[-1] for v in fig4.series.values())
+    assert best_cubic / best_linear > 20.0
+
+
+def test_figure4_shape_group_major_layout_competitive_for_cubic(fig3, fig4):
+    def layout_gap(series):
+        elem = min(v[-1] for k, v in series.items() if not k.startswith("angle/*group*") and not k.startswith("angle/group"))
+        group = min(v[-1] for k, v in series.items() if k.startswith("angle/*group*") or k.startswith("angle/group"))
+        return group / elem
+
+    # The relative penalty of the angle/group/element layout shrinks (or at
+    # worst stays equal) when going from linear to cubic elements.
+    assert layout_gap(fig4.series) <= layout_gap(fig3.series) + 1e-9
+
+
+def test_figure4_shape_all_schemes_scale(fig4):
+    for label, values in fig4.series.items():
+        assert values[0] > values[-1], f"{label} does not scale"

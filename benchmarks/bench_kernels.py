@@ -1,0 +1,80 @@
+"""Kernel-level ablation benchmarks.
+
+These benchmarks isolate the two kernels Table II is built from -- the local
+assembly and the local dense solve -- plus the sweep-schedule construction
+and the roofline characterisation, so the cost model used by the Figure 3/4
+reproduction can be sanity-checked against measured Python kernels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.angular.quadrature import snap_dummy_quadrature
+from repro.core.assembly import ElementMatrices
+from repro.fem.element import HexElementFactors
+from repro.fem.reference import ReferenceElement
+from repro.mesh.builder import StructuredGridSpec, build_snap_mesh
+from repro.perfmodel.roofline import arithmetic_intensity
+from repro.perfmodel.workload import SweepWorkload
+from repro.solvers.registry import get_solver
+from repro.sweepsched.graph import classify_faces
+from repro.sweepsched.schedule import build_sweep_schedule
+
+ORDERS = (1, 2, 3)
+
+
+def _local_systems(order, num_groups, seed=0):
+    """Assemble a realistic batch of local systems for one element."""
+    rng = np.random.default_rng(seed)
+    mesh = build_snap_mesh(StructuredGridSpec(2, 2, 2), max_twist=0.001)
+    ref = ReferenceElement(order)
+    factors = HexElementFactors.build(mesh.cell_vertices(), ref)
+    matrices = ElementMatrices.build(factors, ref)
+    direction = np.array([0.5, 0.6, 0.62449979984])
+    cls = classify_faces(factors, direction)
+    sigma_t = 1.0 + 0.01 * np.arange(num_groups)
+    source = rng.uniform(0.5, 1.5, size=(num_groups, ref.num_nodes))
+    a, b = matrices.assemble_systems(0, direction, cls.orientation[0], sigma_t, source, {})
+    return matrices, cls, direction, sigma_t, source, a, b
+
+
+@pytest.mark.parametrize("order", ORDERS)
+def test_assembly_kernel(benchmark, order):
+    """Time the per-element, per-angle assembly of all group systems."""
+    matrices, cls, direction, sigma_t, source, _a, _b = _local_systems(order, num_groups=8)
+    result = benchmark(
+        matrices.assemble_systems, 0, direction, cls.orientation[0], sigma_t, source, {}
+    )
+    assert result[0].shape == (8, matrices.num_nodes, matrices.num_nodes)
+
+
+@pytest.mark.parametrize("order", ORDERS)
+@pytest.mark.parametrize("solver", ("ge", "lapack"))
+def test_solve_kernel(benchmark, order, solver):
+    """Time the batched local solve for each solver and order (Table II kernels)."""
+    _m, _c, _d, _s, _src, a, b = _local_systems(order, num_groups=8)
+    local = get_solver(solver)
+    x = benchmark(local.solve_batched, a, b)
+    assert np.allclose(np.einsum("gij,gj->gi", a, x), b, atol=1e-8)
+
+
+@pytest.mark.parametrize("order", ORDERS)
+def test_print_arithmetic_intensity(order):
+    """Print the modelled arithmetic intensity per order (paper: ~0.25 for linear)."""
+    workload = SweepWorkload(order=order, num_groups=64)
+    ai = arithmetic_intensity(workload)
+    print(f"\norder {order}: modelled arithmetic intensity = {ai:.2f} FLOP/byte "
+          f"({workload.total_flops():.0f} FLOPs, {workload.total_bytes():.0f} bytes per item)")
+    assert ai > 0
+
+
+def test_schedule_construction(benchmark):
+    """Time the per-angle schedule construction for a 8^3 mesh, 4 angles/octant."""
+    mesh = build_snap_mesh(StructuredGridSpec(8, 8, 8), max_twist=0.001)
+    ref = ReferenceElement(1)
+    factors = HexElementFactors.build(mesh.cell_vertices(), ref)
+    quad = snap_dummy_quadrature(4)
+    schedule = benchmark.pedantic(build_sweep_schedule, args=(mesh, factors, quad),
+                                  rounds=1, iterations=1)
+    assert schedule.num_angles == 32
+    assert schedule.num_unique_schedules() <= 8

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Block-Jacobi global schedule: convergence vs the number of (simulated) ranks.
+
+Section III-A.1 of the paper chooses a parallel block Jacobi schedule for
+processor-to-processor coupling: every rank sweeps its own KBA-column
+subdomain concurrently with lagged halo data, at the cost of a convergence
+rate that degrades as the number of Jacobi blocks grows.  This example runs
+the same problem on a sequence of rank grids with the in-process simulated
+MPI substrate and prints the measured convergence histories, the halo-exchange
+traffic and the KBA pipeline idle time the schedule avoids.
+
+Run with:  python examples/block_jacobi_scaling.py
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_scaling_series, format_table
+from repro.config import ProblemSpec
+from repro.parallel.block_jacobi import BlockJacobiDriver
+from repro.parallel.kba import KBAPipelineModel
+
+
+def main() -> None:
+    spec = ProblemSpec(
+        nx=8, ny=8, nz=4,
+        order=1,
+        angles_per_octant=1,
+        num_groups=2,
+        max_twist=0.001,
+        num_inners=10,
+        num_outers=1,
+    )
+    rank_grids = [(1, 1), (2, 1), (2, 2), (4, 2), (4, 4)]
+
+    histories = {}
+    traffic_rows = []
+    reference = None
+    for npex, npey in rank_grids:
+        driver = BlockJacobiDriver(spec.with_(npex=npex, npey=npey))
+        result = driver.solve()
+        label = f"{npex}x{npey} ranks"
+        histories[label] = result.inner_errors
+        traffic_rows.append(
+            (label, result.messages, result.bytes_exchanged, round(result.wall_seconds, 2))
+        )
+        if reference is None:
+            reference = result.scalar_flux
+        else:
+            rel = np.abs(result.scalar_flux - reference) / np.maximum(reference, 1e-12)
+            print(f"{label}: max deviation from the 1-rank iterate after "
+                  f"{spec.num_inners} inners = {rel.max():.2e}")
+
+    print()
+    print(format_scaling_series(
+        list(range(1, spec.num_inners + 1)),
+        histories,
+        title="Max relative scalar-flux change per inner iteration (block Jacobi)",
+        unit="",
+    ))
+
+    print()
+    print(format_table(
+        ("rank grid", "halo messages", "bytes exchanged", "wall seconds"),
+        traffic_rows,
+        title="Halo-exchange traffic per solve",
+    ))
+
+    print()
+    rows = []
+    for npex, npey in rank_grids:
+        model = KBAPipelineModel(npex=npex, npey=npey, num_planes=spec.nz * 4)
+        rows.append((f"{npex}x{npey}", round(model.parallel_efficiency(), 3),
+                     round(model.relative_sweep_time(), 2)))
+    print(format_table(
+        ("rank grid", "KBA busy fraction", "KBA sweep time vs ideal"),
+        rows,
+        title="KBA pipeline model: the idle time the block-Jacobi schedule avoids",
+    ))
+    print(
+        "\nThe block-Jacobi schedule keeps every rank busy from the first sweep\n"
+        "(no pipeline fill), but needs more iterations as the rank count grows --\n"
+        "exactly the trade-off the paper discusses."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""FD (SNAP) vs FEM (UnSNAP): the Section II-C trade-off, measured.
+
+Solves the same multigroup fixed-source problem with the structured
+diamond-difference baseline and with the DG finite element sweep (on the
+untwisted mesh so the two grids coincide), and reports the flux agreement,
+the work and memory ratios, and how the twist perturbs the FEM solution.
+
+Run with:  python examples/fd_vs_fem_accuracy.py
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.baseline.snap_fd import SnapDiamondDifferenceSolver
+from repro.config import ProblemSpec
+from repro.core.solver import TransportSolver
+from repro.perfmodel.workload import SweepWorkload
+
+
+def main() -> None:
+    n, groups, angles = 6, 3, 2
+    spec = ProblemSpec(
+        nx=n, ny=n, nz=n,
+        order=1,
+        angles_per_octant=angles,
+        num_groups=groups,
+        max_twist=0.0,
+        num_inners=30,
+        num_outers=5,
+        inner_tolerance=1e-8,
+        outer_tolerance=1e-8,
+    )
+
+    print(f"Problem: {n}^3 cells, {angles} angles/octant, {groups} groups, SNAP option-1 data\n")
+
+    print("Solving with the diamond-difference finite-difference baseline (SNAP)...")
+    fd = SnapDiamondDifferenceSolver(
+        n, n, n, num_groups=groups, angles_per_octant=angles,
+        num_inners=30, num_outers=5, inner_tolerance=1e-8,
+    ).solve()
+
+    print("Solving with the DG finite element sweep (UnSNAP, untwisted mesh)...")
+    fem = TransportSolver(spec).solve()
+
+    fd_cells = fd.scalar_flux.transpose(2, 1, 0, 3).reshape(-1, groups)
+    rel = np.abs(fem.cell_average_flux - fd_cells) / np.maximum(fd_cells, 1e-12)
+
+    work = SweepWorkload(order=1, num_groups=groups)
+    rows = [
+        ("mean |FEM - FD| / FD", f"{rel.mean():.4f}"),
+        ("max  |FEM - FD| / FD", f"{rel.max():.4f}"),
+        ("FD mean cell flux", f"{fd_cells.mean():.5f}"),
+        ("FEM mean cell flux", f"{fem.cell_average_flux.mean():.5f}"),
+        ("FEM angular-flux memory / FD", f"{spec.nodes_per_element}x"),
+        ("FEM FLOPs per cell-angle-group", f"{work.total_flops():.0f}"),
+        ("FD FLOPs per cell-angle-group", "~16 (diamond relations + centre update)"),
+        ("FEM balance residual", f"{fem.balance.relative_residual():.2e}"),
+    ]
+    print()
+    print(format_table(("quantity", "value"), rows,
+                       title="FD vs FEM on the same structured problem (Section II-C)"))
+
+    print("\nNow twisting the mesh by 0.001 rad (the unstructured configuration)...")
+    twisted = TransportSolver(spec.with_(max_twist=0.001)).solve()
+    delta = np.abs(twisted.cell_average_flux - fem.cell_average_flux) / np.maximum(
+        fem.cell_average_flux, 1e-12
+    )
+    print(f"  max flux change caused by the twist: {delta.max():.2e} "
+          "(tiny, as expected for a 0.001 rad distortion)")
+    print(
+        "\nThe FEM reproduces the FD solution to within a few per cent while paying\n"
+        "the 8x memory and ~100x per-item work overheads the paper quantifies --\n"
+        "in exchange it runs unchanged on genuinely unstructured (twisted) meshes\n"
+        "and offers higher-order accuracy per cell."
+    )
+
+
+if __name__ == "__main__":
+    main()

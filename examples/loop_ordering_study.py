@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""The Figure 3 / Figure 4 concurrency-scheme study.
+
+Uses the node performance model (parameterised with the paper's dual-socket
+Skylake 8176 node) to predict the assemble/solve time of the paper's exact
+thread-scaling experiment -- 16^3 elements, 36 angles per octant, 64 energy
+groups, twist 0.001 rad, 5 inners -- for all six loop-ordering / data-layout /
+threading schemes, for linear and cubic elements, and prints the two series
+together with the headline findings of Section IV-A.
+
+Run with:  python examples/loop_ordering_study.py
+"""
+
+from repro.analysis.figures import PAPER_THREAD_COUNTS, figure3_series, figure4_series
+from repro.analysis.reporting import format_scaling_series
+from repro.config import ProblemSpec
+from repro.perfmodel.machine import skylake_8176_node
+from repro.perfmodel.roofline import arithmetic_intensity, is_memory_bound
+from repro.perfmodel.schemes import angle_threading_scheme
+from repro.perfmodel.simulator import SweepPerformanceModel
+from repro.perfmodel.workload import SweepWorkload
+
+
+def main() -> None:
+    node = skylake_8176_node()
+    print(f"Machine model: {node.name}")
+    print(f"  {node.num_cores} cores, {node.stream_bandwidth_gbs:.0f} GB/s STREAM, "
+          f"{node.sustained_gflops(node.num_cores):.0f} sustained GFLOP/s\n")
+
+    for order, series_fn, figure in ((1, figure3_series, "Figure 3"), (3, figure4_series, "Figure 4")):
+        workload = SweepWorkload(order=order, num_groups=64)
+        bound = "memory" if is_memory_bound(node, workload) else "compute"
+        print(f"{figure}: order {order} elements "
+              f"(arithmetic intensity {arithmetic_intensity(workload):.2f} FLOP/byte, {bound} bound)")
+        series = series_fn()
+        print(format_scaling_series(series.thread_counts, series.series))
+        print(f"  fastest scheme at 56 threads: {series.fastest_at(56)}")
+        for label in series.series:
+            print(f"  speedup 1 -> 56 threads, {label}: {series.speedup(label):.1f}x")
+        print()
+
+    # The scheme the paper rejects: threading angles within the octant needs an
+    # atomic scalar-flux reduction and does not scale (Section IV-A.3).
+    model = SweepPerformanceModel(ProblemSpec.paper_figure3_4(order=1))
+    atomic = angle_threading_scheme()
+    times = [model.sweep_time(atomic, t).seconds for t in PAPER_THREAD_COUNTS]
+    print("Angle-threaded scheme (atomic scalar-flux update), modelled:")
+    print("  threads:", list(PAPER_THREAD_COUNTS))
+    print("  seconds:", [round(t, 1) for t in times])
+    print("  -> runtime increases with thread count, matching the paper's observation.")
+
+
+if __name__ == "__main__":
+    main()

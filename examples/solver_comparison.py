@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Table II study: hand-written Gaussian elimination vs LAPACK ``dgesv``.
+
+Runs the scaled-down Table II problem for element orders 1-3 with both local
+solvers, prints the reproduced table (assemble/solve time and % of time in
+the solve) and the paper's observations that survive the Python substitution.
+
+Run with:  python examples/solver_comparison.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.analysis.tables import table2_solver_comparison
+from repro.config import ProblemSpec
+
+
+def main() -> None:
+    base = ProblemSpec(
+        nx=5, ny=5, nz=5,
+        angles_per_octant=2,
+        num_groups=4,
+        max_twist=0.001,
+        num_inners=2,
+        num_outers=1,
+    )
+    print("Running the scaled-down Table II sweep over element orders and solvers")
+    print(f"  problem: {base.nx}^3 cells, {base.angles_per_octant} angles/octant, "
+          f"{base.num_groups} groups, {base.num_inners} inners")
+    print("  (the paper uses 32^3 cells, 10 angles/octant, 16 groups, 5 inners)\n")
+
+    rows = table2_solver_comparison(orders=(1, 2, 3), base_spec=base)
+    print(format_table(
+        ("order", "solver", "assemble/solve (s)", "% in solve", "systems solved"),
+        [r.as_tuple() for r in rows],
+        title="Table II (reproduced, scaled down)",
+    ))
+
+    by_key = {(r.order, r.solver): r for r in rows}
+    print("\nObservations:")
+    for order in (1, 2, 3):
+        ge, la = by_key[(order, "ge")], by_key[(order, "lapack")]
+        print(f"  order {order}: GE {ge.assemble_solve_seconds:.2f}s "
+              f"({100 * ge.solve_fraction:.0f}% in solve)  |  "
+              f"LAPACK {la.assemble_solve_seconds:.2f}s "
+              f"({100 * la.solve_fraction:.0f}% in solve)")
+    print(
+        "\nAs in the paper, higher orders are far more expensive and the solve's\n"
+        "share of the runtime grows with element order.  Unlike the paper, the\n"
+        "hand-written GE never beats LAPACK here: in C++ the GE wins for small\n"
+        "matrices by avoiding library call overhead, while in CPython the\n"
+        "interpreter overhead sits on the GE side instead (see EXPERIMENTS.md)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The build environment used for this reproduction has no network access and no
+``wheel`` package, so PEP 517/660 editable installs (which build a wheel)
+cannot run.  Keeping a classic ``setup.py`` alongside ``pyproject.toml`` lets
+``pip install -e . --no-build-isolation`` fall back to the legacy
+``setup.py develop`` path, which only needs setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""repro -- a Python reproduction of the UnSNAP mini-app.
+
+UnSNAP (Deakin et al., WRAp @ IEEE CLUSTER 2018) extends the SNAP discrete
+ordinates transport proxy to unstructured hexahedral meshes discretised with
+the discontinuous Galerkin finite element method, and studies sweep
+scheduling and local dense-solver performance on fat multi-core nodes.
+
+Public API highlights
+---------------------
+* :class:`repro.config.ProblemSpec` -- problem definition (grid, twist,
+  element order, angles, groups, iterations, solver).
+* :class:`repro.core.TransportSolver` -- single-rank DGFEM sweep solver.
+* :class:`repro.parallel.BlockJacobiDriver` -- multi-rank parallel block
+  Jacobi solve over a KBA-style 2-D decomposition.
+* :class:`repro.baseline.SnapDiamondDifferenceSolver` -- the structured
+  finite-difference SNAP baseline for the FD-vs-FEM trade-off study.
+* :mod:`repro.perfmodel` -- the node performance model that regenerates the
+  thread-scaling figures (Figures 3 and 4).
+* :mod:`repro.analysis` -- generators for every table and figure of the
+  paper's evaluation.
+"""
+
+from .config import BoundaryCondition, ProblemSpec
+from .core.solver import TransportResult, TransportSolver
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ProblemSpec",
+    "BoundaryCondition",
+    "TransportSolver",
+    "TransportResult",
+    "__version__",
+]

@@ -1,0 +1,44 @@
+"""Generators for every table and figure of the paper's evaluation.
+
+* :func:`table1_matrix_sizes` -- Table I (local matrix size and FP64
+  footprint per element order).
+* :func:`table2_solver_comparison` -- Table II (assemble/solve time and
+  solve fraction for the GE and LAPACK local solvers, per element order).
+* :func:`figure3_series` / :func:`figure4_series` -- the thread-scaling
+  series of Figures 3 and 4 from the node performance model.
+* :func:`block_jacobi_convergence_series` -- the Section III-A discussion of
+  convergence degradation with the number of Jacobi blocks, measured.
+* :mod:`repro.analysis.reporting` -- plain-text table rendering used by the
+  CLI, the examples and the benchmark harness.
+"""
+
+from .tables import (
+    Table1Row,
+    Table2Row,
+    table1_matrix_sizes,
+    table2_solver_comparison,
+    fd_vs_fem_comparison,
+)
+from .figures import (
+    ScalingSeries,
+    figure3_series,
+    figure4_series,
+    thread_scaling_series,
+    block_jacobi_convergence_series,
+)
+from .reporting import format_table, format_scaling_series
+
+__all__ = [
+    "Table1Row",
+    "Table2Row",
+    "table1_matrix_sizes",
+    "table2_solver_comparison",
+    "fd_vs_fem_comparison",
+    "ScalingSeries",
+    "figure3_series",
+    "figure4_series",
+    "thread_scaling_series",
+    "block_jacobi_convergence_series",
+    "format_table",
+    "format_scaling_series",
+]

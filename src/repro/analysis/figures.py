@@ -1,0 +1,130 @@
+"""Figure generators: the thread-scaling series of Figures 3 and 4 and the
+block-Jacobi convergence study of Section III-A.
+
+The thread-scaling series come from the node performance model
+(:mod:`repro.perfmodel`); the block-Jacobi convergence series is *measured*
+by running the multi-rank driver with increasing rank counts on the same
+problem and recording the iteration error histories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import ProblemSpec
+from ..parallel.block_jacobi import BlockJacobiDriver
+from ..perfmodel.machine import MachineModel, skylake_8176_node
+from ..perfmodel.schemes import ThreadingScheme, paper_schemes
+from ..perfmodel.simulator import SweepPerformanceModel
+
+__all__ = [
+    "ScalingSeries",
+    "thread_scaling_series",
+    "figure3_series",
+    "figure4_series",
+    "block_jacobi_convergence_series",
+    "PAPER_THREAD_COUNTS",
+]
+
+#: The thread counts of the paper's x-axis (1 to 56 physical cores).
+PAPER_THREAD_COUNTS = (1, 2, 4, 8, 14, 28, 56)
+
+
+@dataclass
+class ScalingSeries:
+    """Thread-scaling data for one figure.
+
+    Attributes
+    ----------
+    thread_counts:
+        The x-axis values.
+    series:
+        Mapping from scheme label to the list of predicted assemble/solve
+        times (seconds), one per thread count.
+    order:
+        The element order of the figure (1 for Figure 3, 3 for Figure 4).
+    """
+
+    thread_counts: list[int]
+    series: dict[str, list[float]] = field(default_factory=dict)
+    order: int = 1
+
+    def fastest_at(self, threads: int) -> str:
+        """Label of the fastest scheme at a given thread count."""
+        idx = self.thread_counts.index(threads)
+        return min(self.series, key=lambda label: self.series[label][idx])
+
+    def speedup(self, label: str) -> float:
+        """Speedup of a scheme from 1 thread to the maximum thread count."""
+        values = self.series[label]
+        return values[0] / values[-1]
+
+
+def thread_scaling_series(
+    spec: ProblemSpec,
+    schemes: list[ThreadingScheme] | None = None,
+    thread_counts: tuple[int, ...] = PAPER_THREAD_COUNTS,
+    machine: MachineModel | None = None,
+) -> ScalingSeries:
+    """Model-predicted thread-scaling series for an arbitrary problem."""
+    schemes = paper_schemes() if schemes is None else schemes
+    machine = skylake_8176_node() if machine is None else machine
+    model = SweepPerformanceModel(spec, machine=machine)
+    result = ScalingSeries(thread_counts=list(thread_counts), order=spec.order)
+    for scheme in schemes:
+        result.series[scheme.label] = [
+            model.sweep_time(scheme, t).seconds for t in thread_counts
+        ]
+    return result
+
+
+def figure3_series(
+    thread_counts: tuple[int, ...] = PAPER_THREAD_COUNTS,
+    machine: MachineModel | None = None,
+) -> ScalingSeries:
+    """Figure 3: thread scaling of the parallel sweep for **linear** elements."""
+    return thread_scaling_series(
+        ProblemSpec.paper_figure3_4(order=1), thread_counts=thread_counts, machine=machine
+    )
+
+
+def figure4_series(
+    thread_counts: tuple[int, ...] = PAPER_THREAD_COUNTS,
+    machine: MachineModel | None = None,
+) -> ScalingSeries:
+    """Figure 4: thread scaling of the parallel sweep for **cubic** elements."""
+    return thread_scaling_series(
+        ProblemSpec.paper_figure3_4(order=3), thread_counts=thread_counts, machine=machine
+    )
+
+
+def block_jacobi_convergence_series(
+    rank_grids: tuple[tuple[int, int], ...] = ((1, 1), (2, 1), (2, 2), (4, 2)),
+    base_spec: ProblemSpec | None = None,
+) -> dict[str, list[float]]:
+    """Measured block-Jacobi convergence histories vs the number of ranks.
+
+    Section III-A.1 notes that the block-Jacobi global schedule converges more
+    slowly as the number of Jacobi blocks (MPI ranks) grows.  This generator
+    runs the same problem on a sequence of rank grids and returns the inner
+    iteration error history of each, so the degradation can be inspected
+    directly.
+    """
+    if base_spec is None:
+        base_spec = ProblemSpec(
+            nx=8, ny=8, nz=8,
+            order=1,
+            angles_per_octant=1,
+            num_groups=2,
+            max_twist=0.001,
+            num_inners=12,
+            num_outers=1,
+        )
+    histories: dict[str, list[float]] = {}
+    for npex, npey in rank_grids:
+        spec = base_spec.with_(npex=npex, npey=npey)
+        result = BlockJacobiDriver(spec).solve()
+        histories[f"{npex}x{npey} ranks"] = list(result.inner_errors)
+    return histories

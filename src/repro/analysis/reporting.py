@@ -1,0 +1,60 @@
+"""Plain-text rendering of tables and scaling series.
+
+The mini-app is a command-line tool, so every table/figure reproduction is
+rendered as aligned text (the same rows/series the paper reports) rather than
+as an image; the benchmark harness and the examples print these.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_scaling_series"]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str | None = None) -> str:
+    """Render rows as an aligned, pipe-separated text table."""
+    str_rows = [[_format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header length")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_scaling_series(
+    thread_counts: Sequence[int],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+    unit: str = "s",
+) -> str:
+    """Render thread-scaling curves (one row per scheme, one column per count)."""
+    headers = ["scheme"] + [f"{t} thr" for t in thread_counts]
+    rows = []
+    for label, values in series.items():
+        if len(values) != len(thread_counts):
+            raise ValueError(f"series {label!r} length does not match thread counts")
+        rows.append([label] + [f"{v:.2f}{unit}" for v in values])
+    return format_table(headers, rows, title=title)

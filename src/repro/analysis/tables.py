@@ -1,0 +1,174 @@
+"""Table generators: Table I, Table II and the FD-vs-FEM trade-off table.
+
+Table II in the paper runs a 32^3 mesh with 10 angles per octant and 16
+groups; :func:`table2_solver_comparison` accepts a scaled-down problem (the
+default is 8^3 with 2 angles per octant and 4 groups) so the comparison
+completes in seconds under CPython while sweeping the same element orders and
+the same two local solvers.  EXPERIMENTS.md records the scaling and the
+paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baseline.snap_fd import SnapDiamondDifferenceSolver
+from ..config import ProblemSpec
+from ..core.solver import TransportSolver
+from ..fem.lagrange import matrix_footprint_bytes, nodes_per_element
+
+__all__ = [
+    "Table1Row",
+    "Table2Row",
+    "table1_matrix_sizes",
+    "table2_solver_comparison",
+    "fd_vs_fem_comparison",
+]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table I."""
+
+    order: int
+    matrix_size: int
+    footprint_kb: float
+
+    def as_tuple(self) -> tuple:
+        return (self.order, f"{self.matrix_size} x {self.matrix_size}", round(self.footprint_kb, 1))
+
+
+def table1_matrix_sizes(orders: tuple[int, ...] = (1, 2, 3, 4, 5)) -> list[Table1Row]:
+    """Table I: size of the local matrix for different finite element orders."""
+    rows = []
+    for order in orders:
+        n = nodes_per_element(order)
+        rows.append(
+            Table1Row(
+                order=order,
+                matrix_size=n,
+                footprint_kb=matrix_footprint_bytes(order) / 1024.0,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of Table II: one element order, one local solver."""
+
+    order: int
+    solver: str
+    assemble_solve_seconds: float
+    solve_fraction: float
+    systems_solved: int
+
+    def as_tuple(self) -> tuple:
+        return (
+            self.order,
+            self.solver,
+            round(self.assemble_solve_seconds, 3),
+            f"{100.0 * self.solve_fraction:.0f}%",
+            self.systems_solved,
+        )
+
+
+def table2_solver_comparison(
+    orders: tuple[int, ...] = (1, 2, 3, 4),
+    solvers: tuple[str, ...] = ("ge", "lapack"),
+    base_spec: ProblemSpec | None = None,
+) -> list[Table2Row]:
+    """Table II: assemble/solve time and solve fraction per order and solver.
+
+    Parameters
+    ----------
+    orders:
+        Element orders to sweep (the paper uses 1-4).
+    solvers:
+        Local solvers to compare (the paper compares hand-written GE against
+        MKL ``dgesv``).
+    base_spec:
+        The problem run for every (order, solver) pair; defaults to a
+        scaled-down version of the paper's Table II configuration.
+    """
+    if base_spec is None:
+        base_spec = ProblemSpec(
+            nx=6, ny=6, nz=6,
+            angles_per_octant=2,
+            num_groups=4,
+            max_twist=0.001,
+            num_inners=2,
+            num_outers=1,
+        )
+    rows: list[Table2Row] = []
+    for order in orders:
+        for solver in solvers:
+            spec = base_spec.with_(order=order, solver=solver)
+            result = TransportSolver(spec).solve()
+            rows.append(
+                Table2Row(
+                    order=order,
+                    solver=solver,
+                    assemble_solve_seconds=result.timings.total_seconds,
+                    solve_fraction=result.timings.solve_fraction,
+                    systems_solved=result.timings.systems_solved,
+                )
+            )
+    return rows
+
+
+def fd_vs_fem_comparison(
+    n: int = 6,
+    num_groups: int = 2,
+    angles_per_octant: int = 2,
+    num_inners: int = 20,
+    order: int = 1,
+) -> dict:
+    """Quantify the Section II-C trade-offs between FD (SNAP) and FEM (UnSNAP).
+
+    Runs the diamond-difference baseline and the DGFEM solver on the same
+    (untwisted) structured problem and reports the flux agreement, the
+    angular-flux memory-footprint ratio and the per-cell work ratio.
+    """
+    spec = ProblemSpec(
+        nx=n, ny=n, nz=n,
+        order=order,
+        angles_per_octant=angles_per_octant,
+        num_groups=num_groups,
+        max_twist=0.0,
+        num_inners=num_inners,
+        num_outers=1,
+        inner_tolerance=1e-8,
+    )
+    fem = TransportSolver(spec).solve()
+    fd = SnapDiamondDifferenceSolver(
+        nx=n, ny=n, nz=n,
+        num_groups=num_groups,
+        angles_per_octant=angles_per_octant,
+        num_inners=num_inners,
+        inner_tolerance=1e-8,
+    ).solve()
+
+    fem_cells = fem.cell_average_flux  # (E, G) in x-fastest cell ordering
+    # The FD solver indexes cells [i, j, k]; the mesh cell id is i + nx*(j + ny*k)
+    # (x fastest), so flatten with the z index slowest.
+    fd_cells = fd.scalar_flux.transpose(2, 1, 0, 3).reshape(-1, num_groups)
+    rel_diff = np.abs(fem_cells - fd_cells) / np.maximum(np.abs(fd_cells), 1e-12)
+
+    nodes = nodes_per_element(order)
+    from ..perfmodel.workload import SweepWorkload
+
+    work = SweepWorkload(order=order, num_groups=num_groups)
+    fd_flops_per_cell = 3.0 * 2.0 + 10.0  # three diamond relations + the centre update
+    return {
+        "mean_relative_flux_difference": float(rel_diff.mean()),
+        "max_relative_flux_difference": float(rel_diff.max()),
+        "fem_memory_ratio": float(nodes),
+        "fem_flops_per_item": work.total_flops(),
+        "fd_flops_per_item": fd_flops_per_cell,
+        "fem_to_fd_work_ratio": work.total_flops() / fd_flops_per_cell,
+        "fem_mean_flux": float(fem_cells.mean()),
+        "fd_mean_flux": float(fd_cells.mean()),
+    }

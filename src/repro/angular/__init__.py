@@ -1,0 +1,26 @@
+"""Discrete-ordinates angular discretisation.
+
+Provides the SN quadrature sets (directions, weights, octant bookkeeping)
+used by the sweep.  SNAP/UnSNAP use artificial, auto-generated quadrature
+data; :func:`snap_dummy_quadrature` reproduces that style while
+:func:`product_quadrature` provides a conventional Gauss-Legendre (polar) x
+Chebyshev (azimuthal) product set for accuracy studies.
+"""
+
+from .quadrature import (
+    AngularQuadrature,
+    OCTANT_SIGNS,
+    product_quadrature,
+    snap_dummy_quadrature,
+)
+from .octants import octant_of_direction, incoming_faces_for_direction, outgoing_faces_for_direction
+
+__all__ = [
+    "AngularQuadrature",
+    "OCTANT_SIGNS",
+    "product_quadrature",
+    "snap_dummy_quadrature",
+    "octant_of_direction",
+    "incoming_faces_for_direction",
+    "outgoing_faces_for_direction",
+]

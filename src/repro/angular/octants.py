@@ -1,0 +1,62 @@
+"""Octant bookkeeping and axis-aligned upwind face helpers.
+
+For an axis-aligned (untwisted) hexahedral cell the incoming and outgoing
+faces of a direction depend only on the signs of its direction cosines; for a
+twisted mesh the sweep-schedule construction instead uses the actual face
+normals (see :mod:`repro.sweepsched.graph`).  The helpers here serve the
+finite-difference baseline, the structured KBA driver and a fast path for
+untwisted meshes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "octant_of_direction",
+    "incoming_faces_for_direction",
+    "outgoing_faces_for_direction",
+]
+
+
+def octant_of_direction(direction: np.ndarray) -> int:
+    """Octant index (0..7) of a direction vector.
+
+    The bit pattern of the result flips the sign of the corresponding axis
+    (bit 0 -> x negative, bit 1 -> y negative, bit 2 -> z negative), matching
+    :data:`repro.angular.quadrature.OCTANT_SIGNS`.
+    """
+    d = np.asarray(direction, dtype=float)
+    if d.shape != (3,):
+        raise ValueError("direction must be a 3-vector")
+    if np.any(d == 0.0):
+        raise ValueError("direction cosines must be non-zero to define an octant")
+    return int((d[0] < 0) + 2 * (d[1] < 0) + 4 * (d[2] < 0))
+
+
+def incoming_faces_for_direction(direction: np.ndarray) -> list[int]:
+    """Faces of an axis-aligned cell through which particles enter.
+
+    Face numbering: 0:-x, 1:+x, 2:-y, 3:+y, 4:-z, 5:+z.  A positive x
+    direction cosine means particles enter through the -x face (0), etc.
+    """
+    d = np.asarray(direction, dtype=float)
+    faces = []
+    for axis in range(3):
+        if d[axis] > 0:
+            faces.append(2 * axis)
+        elif d[axis] < 0:
+            faces.append(2 * axis + 1)
+    return faces
+
+
+def outgoing_faces_for_direction(direction: np.ndarray) -> list[int]:
+    """Faces of an axis-aligned cell through which particles leave."""
+    d = np.asarray(direction, dtype=float)
+    faces = []
+    for axis in range(3):
+        if d[axis] > 0:
+            faces.append(2 * axis + 1)
+        elif d[axis] < 0:
+            faces.append(2 * axis)
+    return faces

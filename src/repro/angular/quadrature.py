@@ -1,0 +1,193 @@
+"""SN angular quadrature sets.
+
+The discrete-ordinates method replaces the angular integral of the transport
+equation by a weighted sum over a finite set of directions ("ordinates").
+UnSNAP inherits SNAP's convention of an arbitrary, input-controlled number of
+angles per octant with artificial (auto-generated) quadrature data, and
+sweeps octants in turn while angles within an octant may be processed
+concurrently.
+
+Two generators are provided:
+
+* :func:`product_quadrature` -- Gauss-Legendre in the polar cosine and
+  equally-spaced (Chebyshev) azimuthal angles, a standard product set.
+* :func:`snap_dummy_quadrature` -- the SNAP-style artificial set: a requested
+  number of angles per octant with equal weights, laid out on the product
+  grid.  This matches the paper's "36 angles per octant" / "10 angles per
+  octant" configurations, which need not correspond to a classical
+  level-symmetric order.
+
+Weights are normalised so that the sum over all ``8 x per_octant`` ordinates
+is 1; the scalar flux is then simply ``sum_a w_a psi_a`` (SNAP convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "OCTANT_SIGNS",
+    "AngularQuadrature",
+    "product_quadrature",
+    "snap_dummy_quadrature",
+]
+
+#: Direction-cosine signs of each of the 8 octants.  Octant 0 is the
+#: all-positive octant; the bit pattern of the octant index flips the sign of
+#: the corresponding axis (bit 0 -> x, bit 1 -> y, bit 2 -> z).
+OCTANT_SIGNS = np.array(
+    [
+        [+1, +1, +1],
+        [-1, +1, +1],
+        [+1, -1, +1],
+        [-1, -1, +1],
+        [+1, +1, -1],
+        [-1, +1, -1],
+        [+1, -1, -1],
+        [-1, -1, -1],
+    ],
+    dtype=float,
+)
+
+
+@dataclass(frozen=True)
+class AngularQuadrature:
+    """A discrete-ordinates quadrature set.
+
+    Attributes
+    ----------
+    directions:
+        ``(M, 3)`` unit direction vectors (mu, eta, xi).
+    weights:
+        ``(M,)`` quadrature weights summing to 1 over the full sphere.
+    octants:
+        ``(M,)`` octant index (0..7) of each ordinate.
+    per_octant:
+        Number of ordinates in each octant (identical for all octants).
+    """
+
+    directions: np.ndarray
+    weights: np.ndarray
+    octants: np.ndarray
+    per_octant: int
+
+    def __post_init__(self) -> None:
+        d = np.asarray(self.directions, dtype=float)
+        w = np.asarray(self.weights, dtype=float)
+        o = np.asarray(self.octants, dtype=np.int64)
+        if d.ndim != 2 or d.shape[1] != 3:
+            raise ValueError("directions must have shape (M, 3)")
+        if w.shape != (d.shape[0],) or o.shape != (d.shape[0],):
+            raise ValueError("weights and octants must match the number of directions")
+        object.__setattr__(self, "directions", d)
+        object.__setattr__(self, "weights", w)
+        object.__setattr__(self, "octants", o)
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def num_angles(self) -> int:
+        """Total number of ordinates over all 8 octants."""
+        return self.directions.shape[0]
+
+    @property
+    def num_octants(self) -> int:
+        return 8
+
+    # ------------------------------------------------------------ navigation
+    def angles_in_octant(self, octant: int) -> np.ndarray:
+        """Indices of the ordinates belonging to the given octant."""
+        if not 0 <= octant < 8:
+            raise ValueError(f"octant must be in 0..7, got {octant}")
+        return np.nonzero(self.octants == octant)[0]
+
+    def octant_order(self) -> list[np.ndarray]:
+        """The per-octant angle lists in sweep order (octants swept in turn)."""
+        return [self.angles_in_octant(o) for o in range(8)]
+
+    # ------------------------------------------------------------- integrals
+    def integrate(self, angular_values: np.ndarray, axis: int = 0) -> np.ndarray:
+        """Angular integral (scalar-flux style weighted sum) along ``axis``."""
+        values = np.asarray(angular_values, dtype=float)
+        return np.tensordot(self.weights, values, axes=(0, axis))
+
+    def mean_direction(self) -> np.ndarray:
+        """Weighted mean direction; zero for any symmetric set."""
+        return self.weights @ self.directions
+
+
+def _octant_directions(mu: np.ndarray, phi: np.ndarray) -> np.ndarray:
+    """Directions in the all-positive octant from polar cosines and azimuths."""
+    sin_theta = np.sqrt(np.maximum(0.0, 1.0 - mu**2))
+    return np.stack(
+        [sin_theta * np.cos(phi), sin_theta * np.sin(phi), mu],
+        axis=-1,
+    )
+
+
+def _replicate_octants(base_dirs: np.ndarray, base_weights: np.ndarray) -> AngularQuadrature:
+    per_octant = base_dirs.shape[0]
+    directions = np.concatenate([base_dirs * OCTANT_SIGNS[o] for o in range(8)], axis=0)
+    weights = np.tile(base_weights, 8)
+    octants = np.repeat(np.arange(8, dtype=np.int64), per_octant)
+    weights = weights / weights.sum()
+    return AngularQuadrature(
+        directions=directions, weights=weights, octants=octants, per_octant=per_octant
+    )
+
+
+def product_quadrature(n_polar: int, n_azimuthal: int) -> AngularQuadrature:
+    """Gauss-Legendre x Chebyshev product quadrature.
+
+    Parameters
+    ----------
+    n_polar:
+        Number of Gauss-Legendre polar cosines per octant (in ``(0, 1)``).
+    n_azimuthal:
+        Number of equally spaced azimuthal angles per octant (in
+        ``(0, pi/2)``).
+    """
+    if n_polar < 1 or n_azimuthal < 1:
+        raise ValueError("need at least one polar and one azimuthal angle per octant")
+    # Gauss-Legendre on (0, 1) for the polar cosine.
+    x, w = np.polynomial.legendre.leggauss(n_polar)
+    mu = 0.5 * (x + 1.0)
+    wmu = 0.5 * w
+    # Mid-point azimuths in (0, pi/2) with equal weights.
+    phi = (np.arange(n_azimuthal) + 0.5) * (np.pi / 2.0) / n_azimuthal
+    wphi = np.full(n_azimuthal, 1.0 / n_azimuthal)
+
+    mu_grid, phi_grid = np.meshgrid(mu, phi, indexing="ij")
+    w_grid = np.outer(wmu, wphi)
+    dirs = _octant_directions(mu_grid.reshape(-1), phi_grid.reshape(-1))
+    return _replicate_octants(dirs, w_grid.reshape(-1))
+
+
+def _factor_pair(n: int) -> tuple[int, int]:
+    """Most-square factorisation ``a * b = n`` with ``a >= b``."""
+    b = int(np.floor(np.sqrt(n)))
+    while b > 1 and n % b != 0:
+        b -= 1
+    return n // b, b
+
+
+def snap_dummy_quadrature(per_octant: int) -> AngularQuadrature:
+    """SNAP-style artificial quadrature with ``per_octant`` equal-weight angles.
+
+    SNAP auto-generates its problem data from input parameters rather than
+    reading a physical quadrature file; this constructor mirrors that by
+    distributing the requested number of ordinates over the product grid of
+    the most-square factorisation of ``per_octant`` and assigning every
+    ordinate the same weight.
+    """
+    if per_octant < 1:
+        raise ValueError("per_octant must be >= 1")
+    n_polar, n_azimuthal = _factor_pair(per_octant)
+    # Mid-point polar cosines (SNAP's evenly spaced dummy mu values).
+    mu = (np.arange(n_polar) + 0.5) / n_polar
+    phi = (np.arange(n_azimuthal) + 0.5) * (np.pi / 2.0) / n_azimuthal
+    mu_grid, phi_grid = np.meshgrid(mu, phi, indexing="ij")
+    dirs = _octant_directions(mu_grid.reshape(-1), phi_grid.reshape(-1))
+    weights = np.full(per_octant, 1.0)
+    return _replicate_octants(dirs, weights)

@@ -1,0 +1,12 @@
+"""Baselines: the structured finite-difference SNAP algorithm.
+
+Section II of the paper contrasts the discontinuous Galerkin finite element
+method with SNAP's diamond-difference finite-difference discretisation on the
+structured grid (work per cell, memory footprint, accuracy order).  This
+sub-package implements that baseline so the trade-off discussion of
+Section II-C can be reproduced quantitatively.
+"""
+
+from .snap_fd import SnapDiamondDifferenceSolver, DiamondDifferenceResult
+
+__all__ = ["SnapDiamondDifferenceSolver", "DiamondDifferenceResult"]

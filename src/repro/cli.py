@@ -1,0 +1,205 @@
+"""Command-line driver (the ``unsnap`` entry point).
+
+Sub-commands
+------------
+``run``
+    Solve a problem defined by an input deck or by command-line overrides
+    (single rank or block-Jacobi multi-rank) and print a solve summary.
+``table1``
+    Print Table I (local matrix size and footprint per element order).
+``table2``
+    Run the scaled-down Table II solver comparison and print it.
+``fig3`` / ``fig4``
+    Print the model-predicted thread-scaling series of Figures 3 and 4.
+``balance``
+    Solve and print the particle-balance diagnostics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.figures import PAPER_THREAD_COUNTS, figure3_series, figure4_series
+from .analysis.reporting import format_scaling_series, format_table
+from .analysis.tables import table1_matrix_sizes, table2_solver_comparison
+from .config import ProblemSpec
+from .core.solver import TransportSolver
+from .input_deck import parse_input_deck
+from .parallel.block_jacobi import BlockJacobiDriver
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="unsnap",
+        description="UnSNAP reproduction: DG discrete ordinates transport on "
+        "unstructured hexahedral meshes",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="solve a transport problem")
+    run.add_argument("--deck", type=str, default=None, help="path to a SNAP-style input deck")
+    run.add_argument("--nx", type=int, default=6)
+    run.add_argument("--ny", type=int, default=6)
+    run.add_argument("--nz", type=int, default=6)
+    run.add_argument("--order", type=int, default=1)
+    run.add_argument("--nang", type=int, default=2, help="angles per octant")
+    run.add_argument("--groups", type=int, default=4)
+    run.add_argument("--twist", type=float, default=0.001)
+    run.add_argument("--inners", type=int, default=5)
+    run.add_argument("--outers", type=int, default=1)
+    run.add_argument("--solver", type=str, default="ge", choices=("ge", "lapack"))
+    run.add_argument("--npex", type=int, default=1)
+    run.add_argument("--npey", type=int, default=1)
+
+    sub.add_parser("table1", help="print Table I (matrix sizes per order)")
+
+    table2 = sub.add_parser("table2", help="run the Table II solver comparison (scaled down)")
+    table2.add_argument("--max-order", type=int, default=3)
+
+    fig3 = sub.add_parser("fig3", help="print the Figure 3 thread-scaling series (linear)")
+    fig4 = sub.add_parser("fig4", help="print the Figure 4 thread-scaling series (cubic)")
+    for p in (fig3, fig4):
+        p.add_argument("--threads", type=int, nargs="+", default=list(PAPER_THREAD_COUNTS))
+
+    balance = sub.add_parser("balance", help="solve and print particle-balance diagnostics")
+    balance.add_argument("--n", type=int, default=4)
+    balance.add_argument("--groups", type=int, default=2)
+    return parser
+
+
+def _spec_from_args(args: argparse.Namespace) -> ProblemSpec:
+    if args.deck:
+        return parse_input_deck(args.deck)
+    return ProblemSpec(
+        nx=args.nx, ny=args.ny, nz=args.nz,
+        order=args.order,
+        angles_per_octant=args.nang,
+        num_groups=args.groups,
+        max_twist=args.twist,
+        num_inners=args.inners,
+        num_outers=args.outers,
+        solver=args.solver,
+        npex=args.npex,
+        npey=args.npey,
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    if spec.npex * spec.npey > 1:
+        result = BlockJacobiDriver(spec).solve()
+        rows = [
+            ("ranks", spec.npex * spec.npey),
+            ("cells", result.scalar_flux.shape[0]),
+            ("inner iterations", result.total_inners),
+            ("assemble seconds", round(result.timings.assembly_seconds, 4)),
+            ("solve seconds", round(result.timings.solve_seconds, 4)),
+            ("solve fraction", round(result.timings.solve_fraction, 3)),
+            ("balance residual", f"{result.balance.relative_residual():.3e}"),
+            ("halo messages", result.messages),
+            ("mean scalar flux", f"{result.scalar_flux.mean():.6f}"),
+        ]
+    else:
+        res = TransportSolver(spec).solve()
+        summary = res.summary()
+        rows = [
+            ("cells", summary["cells"]),
+            ("groups", summary["groups"]),
+            ("nodes per element", summary["nodes_per_element"]),
+            ("inner iterations", summary["total_inners"]),
+            ("assemble seconds", round(summary["assembly_seconds"], 4)),
+            ("solve seconds", round(summary["solve_seconds"], 4)),
+            ("solve fraction", round(summary["solve_fraction"], 3)),
+            ("balance residual", f"{summary['balance_residual']:.3e}"),
+            ("mean scalar flux", f"{summary['mean_flux']:.6f}"),
+        ]
+    print(format_table(("quantity", "value"), rows, title="UnSNAP solve summary"))
+    return 0
+
+
+def _cmd_table1(_args: argparse.Namespace) -> int:
+    rows = [r.as_tuple() for r in table1_matrix_sizes()]
+    print(
+        format_table(
+            ("order", "matrix size", "FP64 footprint (kB)"),
+            rows,
+            title="Table I: size of local matrix for different finite element orders",
+        )
+    )
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    orders = tuple(range(1, args.max_order + 1))
+    rows = [r.as_tuple() for r in table2_solver_comparison(orders=orders)]
+    print(
+        format_table(
+            ("order", "solver", "assemble/solve (s)", "% in solve", "systems"),
+            rows,
+            title="Table II (scaled down): assemble/solve time per order and solver",
+        )
+    )
+    return 0
+
+
+def _cmd_fig(args: argparse.Namespace, order: int) -> int:
+    series = figure3_series(tuple(args.threads)) if order == 1 else figure4_series(tuple(args.threads))
+    title = (
+        "Figure 3: thread scaling of the parallel sweep (linear elements, model)"
+        if order == 1
+        else "Figure 4: thread scaling of the parallel sweep (cubic elements, model)"
+    )
+    print(format_scaling_series(series.thread_counts, series.series, title=title))
+    print(f"fastest scheme at {series.thread_counts[-1]} threads: {series.fastest_at(series.thread_counts[-1])}")
+    return 0
+
+
+def _cmd_balance(args: argparse.Namespace) -> int:
+    spec = ProblemSpec(
+        nx=args.n, ny=args.n, nz=args.n,
+        order=1,
+        angles_per_octant=2,
+        num_groups=args.groups,
+        num_inners=50, num_outers=20,
+        inner_tolerance=1e-8, outer_tolerance=1e-8,
+    )
+    result = TransportSolver(spec).solve()
+    b = result.balance
+    rows = [
+        (g, f"{b.emission[g]:.5f}", f"{b.absorption[g]:.5f}", f"{b.leakage[g]:.5f}", f"{b.residual[g]:+.2e}")
+        for g in range(len(b.emission))
+    ]
+    print(
+        format_table(
+            ("group", "emission", "absorption", "leakage", "residual"),
+            rows,
+            title="Particle balance (converged solve)",
+        )
+    )
+    print(f"total relative residual: {b.relative_residual():.3e}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``unsnap`` console script."""
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "table1":
+        return _cmd_table1(args)
+    if args.command == "table2":
+        return _cmd_table2(args)
+    if args.command == "fig3":
+        return _cmd_fig(args, order=1)
+    if args.command == "fig4":
+        return _cmd_fig(args, order=3)
+    if args.command == "balance":
+        return _cmd_balance(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

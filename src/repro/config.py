@@ -1,0 +1,190 @@
+"""Problem specification and runtime options.
+
+A :class:`ProblemSpec` captures everything UnSNAP reads from its input deck:
+the SNAP structured grid the unstructured mesh is derived from, the mesh
+twist, the finite element order, the angular and energy resolution, the
+artificial material/source options, the iteration limits and the local solver
+choice.  The paper's two experiment configurations are provided as ready-made
+constructors (:func:`ProblemSpec.paper_figure3_4` and
+:func:`ProblemSpec.paper_table2`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["ProblemSpec", "BoundaryCondition"]
+
+
+@dataclass(frozen=True)
+class BoundaryCondition:
+    """Boundary condition applied on all domain boundary faces.
+
+    Attributes
+    ----------
+    kind:
+        ``"vacuum"`` (no incoming flux, SNAP's default) or ``"incident"``
+        (a prescribed isotropic incoming angular flux).
+    incident_flux:
+        The incoming angular flux value used when ``kind == "incident"``.
+    """
+
+    kind: str = "vacuum"
+    incident_flux: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("vacuum", "incident"):
+            raise ValueError(f"unknown boundary condition kind {self.kind!r}")
+        if self.kind == "vacuum" and self.incident_flux != 0.0:
+            raise ValueError("vacuum boundaries cannot carry an incident flux")
+
+    def incoming_value(self) -> float:
+        """The angular-flux value entering through a boundary inflow face."""
+        return self.incident_flux if self.kind == "incident" else 0.0
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """Full specification of an UnSNAP problem.
+
+    Attributes
+    ----------
+    nx, ny, nz:
+        SNAP structured grid the unstructured mesh is derived from.
+    lx, ly, lz:
+        Physical domain extents.
+    max_twist, twist_axis:
+        Mesh twist (radians) and twist axis, per the paper's new input option.
+    order:
+        Lagrange finite element order (1 = linear, 3 = cubic, ...).
+    angles_per_octant:
+        Number of discrete ordinates per octant (SNAP-style artificial set).
+    num_groups:
+        Number of energy groups.
+    scattering_ratio:
+        Fraction of the total cross section that is scattering (must be < 1).
+    source_strength:
+        Uniform volumetric fixed source strength ("source option 1" uses 1).
+    num_inners, num_outers:
+        Inner (within-group) and outer (group-coupling Jacobi) iteration
+        counts; the paper runs a fixed 5 inners x 1 outer for timing.
+    inner_tolerance, outer_tolerance:
+        Convergence tolerances on the scalar-flux relative change; iteration
+        stops early when reached (set to 0 to force the fixed iteration count
+        as in the paper's timing runs).
+    solver:
+        Local solver name (``"ge"`` or ``"lapack"``).
+    boundary:
+        Boundary condition on the domain boundary.
+    npex, npey:
+        KBA-style 2-D processor grid for the (simulated) MPI decomposition.
+    """
+
+    nx: int = 8
+    ny: int = 8
+    nz: int = 8
+    lx: float = 1.0
+    ly: float = 1.0
+    lz: float = 1.0
+    max_twist: float = 0.001
+    twist_axis: str = "z"
+    order: int = 1
+    angles_per_octant: int = 4
+    num_groups: int = 4
+    scattering_ratio: float = 0.5
+    source_strength: float = 1.0
+    num_inners: int = 5
+    num_outers: int = 1
+    inner_tolerance: float = 0.0
+    outer_tolerance: float = 0.0
+    solver: str = "ge"
+    boundary: BoundaryCondition = field(default_factory=BoundaryCondition)
+    npex: int = 1
+    npey: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.nx, self.ny, self.nz) < 1:
+            raise ValueError("grid must have at least one cell per axis")
+        if self.order < 1:
+            raise ValueError("element order must be >= 1")
+        if self.angles_per_octant < 1:
+            raise ValueError("need at least one angle per octant")
+        if self.num_groups < 1:
+            raise ValueError("need at least one energy group")
+        if not 0.0 <= self.scattering_ratio < 1.0:
+            raise ValueError("scattering_ratio must be in [0, 1)")
+        if self.num_inners < 1 or self.num_outers < 1:
+            raise ValueError("iteration counts must be >= 1")
+        if self.npex < 1 or self.npey < 1:
+            raise ValueError("processor grid dimensions must be >= 1")
+        if self.npex > self.nx or self.npey > self.ny:
+            raise ValueError("processor grid cannot exceed the cell grid")
+
+    # ------------------------------------------------------------- derived sizes
+    @property
+    def num_cells(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    @property
+    def num_angles(self) -> int:
+        """Total ordinates over all 8 octants."""
+        return 8 * self.angles_per_octant
+
+    @property
+    def nodes_per_element(self) -> int:
+        return (self.order + 1) ** 3
+
+    @property
+    def num_unknowns(self) -> int:
+        """Total angular-flux unknowns: cells x angles x groups x nodes."""
+        return self.num_cells * self.num_angles * self.num_groups * self.nodes_per_element
+
+    def angular_flux_bytes(self, dtype_bytes: int = 8) -> int:
+        """Memory footprint of the full angular flux (the dominant array)."""
+        return self.num_unknowns * dtype_bytes
+
+    def with_(self, **changes) -> "ProblemSpec":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------ paper configs
+    @classmethod
+    def paper_figure3_4(cls, order: int = 1) -> "ProblemSpec":
+        """The thread-scaling study configuration (Figures 3 and 4).
+
+        16^3 elements, 36 angles per octant with isotropic scattering, 64
+        energy groups with source and material option 1, linear (Fig. 3) or
+        cubic (Fig. 4) elements, mesh twisting up to 0.001 rad, 5 inners and
+        1 outer.
+        """
+        return cls(
+            nx=16,
+            ny=16,
+            nz=16,
+            order=order,
+            angles_per_octant=36,
+            num_groups=64,
+            max_twist=0.001,
+            num_inners=5,
+            num_outers=1,
+        )
+
+    @classmethod
+    def paper_table2(cls, order: int = 1, solver: str = "ge") -> "ProblemSpec":
+        """The solver-comparison configuration (Table II).
+
+        32^3 elements, 10 angles per octant, 16 energy groups, source and
+        material option 1, twist up to 0.001 rad, 5 inners and 1 outer.
+        """
+        return cls(
+            nx=32,
+            ny=32,
+            nz=32,
+            order=order,
+            angles_per_octant=10,
+            num_groups=16,
+            max_twist=0.001,
+            num_inners=5,
+            num_outers=1,
+            solver=solver,
+        )

@@ -1,0 +1,213 @@
+"""The UnSNAP single-rank transport solver facade.
+
+:class:`TransportSolver` wires together every substrate -- mesh construction
+with twist, reference element and per-element factors, angular quadrature,
+SNAP-style materials and source, the per-angle sweep schedules and the local
+dense solver -- from a single :class:`~repro.config.ProblemSpec`, and exposes
+``solve()`` which runs the inner/outer iteration and returns a
+:class:`TransportResult` bundling the scalar flux, the iteration history, the
+assemble/solve timing split (Table II) and the particle-balance diagnostics.
+
+Multi-rank (block Jacobi) execution is provided by
+:class:`repro.parallel.block_jacobi.BlockJacobiDriver`, which reuses the same
+building blocks per subdomain.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..angular.quadrature import AngularQuadrature, snap_dummy_quadrature
+from ..config import ProblemSpec
+from ..fem.element import HexElementFactors
+from ..fem.reference import ReferenceElement
+from ..materials.cross_sections import MaterialLibrary
+from ..materials.library import snap_option1_library
+from ..materials.source_terms import FixedSource, uniform_source
+from ..mesh.builder import StructuredGridSpec, build_snap_mesh
+from ..mesh.hexmesh import UnstructuredHexMesh
+from ..sweepsched.schedule import SweepSchedule, build_sweep_schedule
+from .assembly import AssemblyTimings, ElementMatrices
+from .balance import BalanceReport, particle_balance
+from .flux import node_integration_weights
+from .iteration import IterationController, IterationHistory
+from .sweep import SweepExecutor
+
+__all__ = ["TransportSolver", "TransportResult"]
+
+
+@dataclass
+class TransportResult:
+    """Everything a solve produces.
+
+    Attributes
+    ----------
+    scalar_flux:
+        ``(E, G, N)`` nodal scalar flux of the final iterate.
+    cell_average_flux:
+        ``(E, G)`` volume-averaged scalar flux per cell.
+    leakage:
+        ``(G,)`` net boundary leakage of the final sweep.
+    history:
+        Inner/outer iteration record.
+    timings:
+        Assemble/solve wall-clock split accumulated over all sweeps.
+    balance:
+        Particle-balance diagnostics of the final iterate.
+    setup_seconds, solve_seconds:
+        Wall-clock time spent building the problem and running the iteration.
+    spec:
+        The problem specification that was solved.
+    """
+
+    scalar_flux: np.ndarray
+    cell_average_flux: np.ndarray
+    leakage: np.ndarray
+    history: IterationHistory
+    timings: AssemblyTimings
+    balance: BalanceReport
+    setup_seconds: float
+    solve_seconds: float
+    spec: ProblemSpec | None = None
+
+    def summary(self) -> dict:
+        """Compact dictionary used by reports and the CLI."""
+        return {
+            "cells": self.scalar_flux.shape[0],
+            "groups": self.scalar_flux.shape[1],
+            "nodes_per_element": self.scalar_flux.shape[2],
+            "total_inners": self.history.total_inners,
+            "outers": self.history.num_outers,
+            "assembly_seconds": self.timings.assembly_seconds,
+            "solve_seconds": self.timings.solve_seconds,
+            "solve_fraction": self.timings.solve_fraction,
+            "balance_residual": self.balance.relative_residual(),
+            "mean_flux": float(self.scalar_flux.mean()),
+            "setup_seconds": self.setup_seconds,
+            "wall_seconds": self.solve_seconds,
+        }
+
+
+class TransportSolver:
+    """Build and solve an UnSNAP problem on a single rank.
+
+    Parameters
+    ----------
+    spec:
+        The problem specification.
+    materials, fixed_source, quadrature, mesh:
+        Optional overrides of the SNAP-style defaults; anything not supplied
+        is generated from ``spec`` (material/source "option 1", SNAP dummy
+        quadrature, twisted structured-derived mesh).
+    num_threads:
+        Worker threads for independent bucket elements (functional only).
+    store_angular_flux:
+        Keep the full angular flux of the final sweep.
+    """
+
+    def __init__(
+        self,
+        spec: ProblemSpec,
+        materials: MaterialLibrary | None = None,
+        fixed_source: FixedSource | None = None,
+        quadrature: AngularQuadrature | None = None,
+        mesh: UnstructuredHexMesh | None = None,
+        num_threads: int = 1,
+        store_angular_flux: bool = False,
+    ):
+        t0 = time.perf_counter()
+        self.spec = spec
+
+        self.mesh = mesh if mesh is not None else build_snap_mesh(
+            StructuredGridSpec(spec.nx, spec.ny, spec.nz, spec.lx, spec.ly, spec.lz),
+            max_twist=spec.max_twist,
+            twist_axis=spec.twist_axis,
+        )
+        self.ref = ReferenceElement(spec.order)
+        self.factors = HexElementFactors.build(self.mesh.cell_vertices(), self.ref)
+        self.matrices = ElementMatrices.build(self.factors, self.ref)
+
+        self.quadrature = (
+            quadrature if quadrature is not None else snap_dummy_quadrature(spec.angles_per_octant)
+        )
+        self.materials = (
+            materials if materials is not None else snap_option1_library(
+                spec.num_groups, spec.scattering_ratio
+            )
+        ).for_cells(self.mesh.num_cells)
+        self.fixed_source = (
+            fixed_source
+            if fixed_source is not None
+            else uniform_source(self.mesh.num_cells, self.materials.num_groups, spec.source_strength)
+        )
+
+        self.schedule: SweepSchedule = build_sweep_schedule(
+            self.mesh, self.factors, self.quadrature
+        )
+        self.executor = SweepExecutor(
+            mesh=self.mesh,
+            factors=self.factors,
+            ref=self.ref,
+            matrices=self.matrices,
+            schedule=self.schedule,
+            quadrature=self.quadrature,
+            materials=self.materials,
+            boundary=spec.boundary,
+            solver=spec.solver,
+            num_threads=num_threads,
+            store_angular_flux=store_angular_flux,
+        )
+        self.node_weights = node_integration_weights(self.factors, self.ref)
+        self.setup_seconds = time.perf_counter() - t0
+
+    # -------------------------------------------------------------------- solve
+    def solve(self, initial_flux: np.ndarray | None = None) -> TransportResult:
+        """Run the inner/outer iteration and return the full result bundle."""
+        controller = IterationController(
+            executor=self.executor,
+            materials=self.materials,
+            fixed_source=self.fixed_source,
+            num_inners=self.spec.num_inners,
+            num_outers=self.spec.num_outers,
+            inner_tolerance=self.spec.inner_tolerance,
+            outer_tolerance=self.spec.outer_tolerance,
+        )
+        t0 = time.perf_counter()
+        scalar, last_sweep, history, timings = controller.run(initial_flux=initial_flux)
+        solve_seconds = time.perf_counter() - t0
+
+        balance = particle_balance(
+            scalar_flux=scalar,
+            node_weights=self.node_weights,
+            materials=self.materials,
+            fixed=self.fixed_source,
+            leakage=last_sweep.leakage,
+            volumes=self.factors.volumes,
+        )
+        cell_average = np.einsum("egn,en->eg", scalar, self.node_weights) / self.factors.volumes[:, None]
+        return TransportResult(
+            scalar_flux=scalar,
+            cell_average_flux=cell_average,
+            leakage=last_sweep.leakage,
+            history=history,
+            timings=timings,
+            balance=balance,
+            setup_seconds=self.setup_seconds,
+            solve_seconds=solve_seconds,
+            spec=self.spec,
+        )
+
+    # --------------------------------------------------------------- inspection
+    def memory_report(self) -> dict:
+        """Memory footprint of the major arrays (Section II-C discussion)."""
+        angular_bytes = self.spec.angular_flux_bytes()
+        return {
+            "angular_flux_bytes": angular_bytes,
+            "element_factor_bytes": self.factors.memory_footprint_bytes(),
+            "element_matrix_bytes": self.matrices.memory_footprint_bytes(),
+            "fd_equivalent_angular_flux_bytes": angular_bytes // self.spec.nodes_per_element,
+            "fem_to_fd_ratio": float(self.spec.nodes_per_element),
+        }

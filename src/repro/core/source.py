@@ -1,0 +1,88 @@
+"""Source construction: fixed source plus scattering source.
+
+The solution of the transport equation proceeds by "simple iterations on the
+scattering source", with Jacobi iterations on the group-to-group coupling
+(Section II of the paper).  SNAP's structure, retained by UnSNAP, splits the
+right-hand side per group ``g`` into
+
+* the **outer source** -- the fixed source plus scattering *from other
+  groups*, built once per outer iteration from the previous outer iterate of
+  the scalar flux (Jacobi in energy), and
+* the **inner (within-group) source** -- in-group scattering built from the
+  previous inner iterate.
+
+With the quadrature weights normalised to sum to one, the isotropic angular
+source density equals the isotropic emission density, so no ``1/4pi`` factor
+appears.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..materials.cross_sections import MaterialLibrary
+from ..materials.source_terms import FixedSource
+
+__all__ = ["scattering_source", "build_outer_source", "build_total_source"]
+
+
+def scattering_source(
+    scalar_flux: np.ndarray, sigma_s: np.ndarray, within_group_only: bool = False,
+    exclude_within_group: bool = False,
+) -> np.ndarray:
+    """Isotropic scattering source density at the element nodes.
+
+    Parameters
+    ----------
+    scalar_flux:
+        ``(E, G, N)`` nodal scalar flux.
+    sigma_s:
+        ``(E, G, G)`` scattering matrices (``[e, g_from, g_to]``).
+    within_group_only:
+        Keep only the diagonal (in-group) part of the scattering matrix.
+    exclude_within_group:
+        Zero the diagonal (used for the outer/cross-group source).
+
+    Returns
+    -------
+    ``(E, G, N)`` source density, indexed by the *destination* group.
+    """
+    if within_group_only and exclude_within_group:
+        raise ValueError("within_group_only and exclude_within_group are mutually exclusive")
+    sig = sigma_s
+    if within_group_only or exclude_within_group:
+        eye = np.eye(sigma_s.shape[1], dtype=bool)
+        if within_group_only:
+            sig = np.where(eye[None, :, :], sigma_s, 0.0)
+        else:
+            sig = np.where(eye[None, :, :], 0.0, sigma_s)
+    # source[e, g_to, n] = sum_{g_from} sigma_s[e, g_from, g_to] * phi[e, g_from, n]
+    return np.einsum("efg,efn->egn", sig, scalar_flux, optimize=True)
+
+
+def build_outer_source(
+    fixed: FixedSource,
+    materials: MaterialLibrary,
+    scalar_flux: np.ndarray,
+    num_nodes: int,
+) -> np.ndarray:
+    """Outer-iteration source: fixed source + cross-group scattering.
+
+    The fixed source density is uniform within each cell, so it broadcasts to
+    every node; the cross-group scattering uses the previous outer iterate of
+    the nodal scalar flux (Jacobi on the group coupling).
+    """
+    sigma_s = materials.sigma_s_per_cell()
+    cross_group = scattering_source(scalar_flux, sigma_s, exclude_within_group=True)
+    return fixed.density[:, :, None] * np.ones((1, 1, num_nodes)) + cross_group
+
+
+def build_total_source(
+    outer_source: np.ndarray,
+    materials: MaterialLibrary,
+    scalar_flux: np.ndarray,
+) -> np.ndarray:
+    """Total source for one inner iteration: outer source + in-group scattering."""
+    sigma_s = materials.sigma_s_per_cell()
+    within = scattering_source(scalar_flux, sigma_s, within_group_only=True)
+    return outer_source + within

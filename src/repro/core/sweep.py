@@ -1,0 +1,317 @@
+"""The transport sweep executor (the pseudocode of Figure 2).
+
+For each angular direction the sweep follows the direction's bucket schedule;
+within a bucket every element is independent and, per element, the systems of
+all energy groups are assembled and solved together (a batch of ``G`` small
+dense systems sharing the same streaming matrix but different ``sigma_t,g``).
+The assemble and solve phases are timed separately to reproduce the split of
+Table II.
+
+Boundary handling:
+
+* domain-boundary inflow faces use the problem's boundary condition (vacuum
+  or a prescribed isotropic incident flux);
+* rank-boundary inflow faces (present when the mesh is a subdomain of a
+  block-Jacobi decomposition) use *lagged* upwind traces supplied through
+  :class:`BoundaryValues`, which is exactly the parallel block Jacobi scheme
+  of Section III-A.1.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..angular.quadrature import AngularQuadrature
+from ..config import BoundaryCondition
+from ..fem.element import HexElementFactors
+from ..fem.reference import ReferenceElement
+from ..materials.cross_sections import MaterialLibrary
+from ..mesh.hexmesh import BOUNDARY, UnstructuredHexMesh
+from ..solvers.registry import LocalSolver, get_solver
+from ..sweepsched.schedule import SweepSchedule
+from .assembly import AssemblyTimings, ElementMatrices
+from .flux import AngularFluxBank
+
+__all__ = ["BoundaryValues", "SweepResult", "SweepExecutor"]
+
+
+@dataclass
+class BoundaryValues:
+    """Lagged upwind traces for faces whose neighbour lives on another rank.
+
+    ``values[(cell, face, angle)]`` holds the ``(G, N)`` nodal angular flux of
+    the remote upwind neighbour from the previous block-Jacobi iteration.
+    Faces not present fall back to the domain boundary condition, which also
+    covers the very first iteration (zero initial guess).
+    """
+
+    values: dict[tuple[int, int, int], np.ndarray] = field(default_factory=dict)
+
+    def get(self, cell: int, face: int, angle: int) -> np.ndarray | None:
+        return self.values.get((cell, face, angle))
+
+    def put(self, cell: int, face: int, angle: int, trace: np.ndarray) -> None:
+        self.values[(cell, face, angle)] = np.asarray(trace, dtype=float)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one full sweep over all octants, angles and groups.
+
+    Attributes
+    ----------
+    scalar_flux:
+        ``(E, G, N)`` nodal scalar flux accumulated with the quadrature
+        weights.
+    leakage:
+        ``(G,)`` net outflow through the domain boundary.
+    timings:
+        Assemble/solve wall-clock split.
+    outgoing_halo:
+        Nodal angular-flux traces of this rank's cells on rank-boundary
+        faces, keyed ``(cell, face, angle)`` -- the data exchanged by the
+        block-Jacobi halo swap.
+    angular_flux:
+        Optional full angular-flux bank (only when requested).
+    """
+
+    scalar_flux: np.ndarray
+    leakage: np.ndarray
+    timings: AssemblyTimings
+    outgoing_halo: dict[tuple[int, int, int], np.ndarray] = field(default_factory=dict)
+    angular_flux: AngularFluxBank | None = None
+
+
+class SweepExecutor:
+    """Performs transport sweeps over a (sub)mesh.
+
+    Parameters
+    ----------
+    mesh, factors, ref:
+        The mesh, its per-element geometric factors and the shared
+        reference-element tabulation.
+    matrices:
+        Precomputed direction-independent local matrices.
+    schedule:
+        Per-angle sweep schedules.
+    quadrature:
+        The angular quadrature set.
+    materials:
+        Material library with a per-cell assignment covering the mesh.
+    boundary:
+        Domain boundary condition.
+    solver:
+        Local solver instance or registry name (``"ge"`` / ``"lapack"``).
+    halo_faces:
+        Optional ``(n_halo, >=2)`` array whose first two columns are
+        ``(cell, face)`` pairs owned by other ranks; outgoing traces on these
+        faces are collected into :attr:`SweepResult.outgoing_halo`.
+    num_threads:
+        Number of worker threads used to process independent elements of a
+        bucket concurrently (functional parallelism; the performance study of
+        the paper is reproduced by :mod:`repro.perfmodel`).
+    store_angular_flux:
+        Keep the full ``(E, A, G, N)`` angular flux in the sweep result.
+    """
+
+    def __init__(
+        self,
+        mesh: UnstructuredHexMesh,
+        factors: HexElementFactors,
+        ref: ReferenceElement,
+        matrices: ElementMatrices,
+        schedule: SweepSchedule,
+        quadrature: AngularQuadrature,
+        materials: MaterialLibrary,
+        boundary: BoundaryCondition | None = None,
+        solver: LocalSolver | str = "ge",
+        halo_faces: np.ndarray | None = None,
+        num_threads: int = 1,
+        store_angular_flux: bool = False,
+    ):
+        self.mesh = mesh
+        self.factors = factors
+        self.ref = ref
+        self.matrices = matrices
+        self.schedule = schedule
+        self.quadrature = quadrature
+        self.materials = materials.for_cells(mesh.num_cells)
+        self.boundary = boundary if boundary is not None else BoundaryCondition()
+        self.solver = get_solver(solver) if isinstance(solver, str) else solver
+        self.num_threads = max(1, int(num_threads))
+        self.store_angular_flux = bool(store_angular_flux)
+
+        self.sigma_t = self.materials.sigma_t_per_cell()  # (E, G)
+        self.num_groups = self.materials.num_groups
+        self.num_nodes = matrices.num_nodes
+
+        self._halo_set: set[tuple[int, int]] = set()
+        if halo_faces is not None and len(halo_faces):
+            halo_faces = np.asarray(halo_faces, dtype=np.int64)
+            self._halo_set = {(int(c), int(f)) for c, f in halo_faces[:, :2]}
+
+    # ------------------------------------------------------------------ sweep
+    def sweep(
+        self,
+        total_source: np.ndarray,
+        boundary_values: BoundaryValues | None = None,
+    ) -> SweepResult:
+        """Perform one full sweep of all octants, angles and groups.
+
+        Parameters
+        ----------
+        total_source:
+            ``(E, G, N)`` isotropic source density at the element nodes
+            (fixed + scattering).
+        boundary_values:
+            Lagged upwind traces for rank-boundary faces (block Jacobi).
+        """
+        mesh = self.mesh
+        num_elements = mesh.num_cells
+        num_groups = self.num_groups
+        num_nodes = self.num_nodes
+        expected = (num_elements, num_groups, num_nodes)
+        total_source = np.asarray(total_source, dtype=float)
+        if total_source.shape != expected:
+            raise ValueError(f"total_source must have shape {expected}, got {total_source.shape}")
+
+        scalar = np.zeros(expected, dtype=float)
+        leakage = np.zeros(num_groups, dtype=float)
+        timings = AssemblyTimings()
+        outgoing_halo: dict[tuple[int, int, int], np.ndarray] = {}
+        bank = (
+            AngularFluxBank.zeros(num_elements, self.quadrature.num_angles, num_groups, num_nodes)
+            if self.store_angular_flux
+            else None
+        )
+
+        incident = self.boundary.incoming_value()
+
+        for octant_angles in self.quadrature.octant_order():
+            for angle in octant_angles.tolist():
+                psi_angle = self._sweep_one_angle(
+                    angle, total_source, boundary_values, incident, timings
+                )
+                weight = self.quadrature.weights[angle]
+                scalar += weight * psi_angle
+                leakage += weight * self._boundary_leakage(angle, psi_angle, incident)
+                self._collect_halo(angle, psi_angle, outgoing_halo)
+                if bank is not None:
+                    bank.psi[:, angle] = psi_angle
+
+        return SweepResult(
+            scalar_flux=scalar,
+            leakage=leakage,
+            timings=timings,
+            outgoing_halo=outgoing_halo,
+            angular_flux=bank,
+        )
+
+    # ----------------------------------------------------------- single angle
+    def _sweep_one_angle(
+        self,
+        angle: int,
+        total_source: np.ndarray,
+        boundary_values: BoundaryValues | None,
+        incident: float,
+        timings: AssemblyTimings,
+    ) -> np.ndarray:
+        mesh = self.mesh
+        direction = self.quadrature.directions[angle]
+        asched = self.schedule.for_angle(angle)
+        orientation = asched.classification.orientation
+        psi_angle = np.zeros((mesh.num_cells, self.num_groups, self.num_nodes), dtype=float)
+
+        def process_element(element: int) -> None:
+            t0 = time.perf_counter()
+            upwind: dict[int, np.ndarray] = {}
+            boundary_inflow_faces: list[int] = []
+            for face in np.nonzero(orientation[element] == -1)[0].tolist():
+                neighbor = mesh.face_neighbors[element, face]
+                if neighbor != BOUNDARY:
+                    upwind[face] = psi_angle[neighbor]
+                    continue
+                lagged = (
+                    boundary_values.get(element, face, angle)
+                    if boundary_values is not None
+                    else None
+                )
+                if lagged is not None:
+                    upwind[face] = lagged
+                elif incident != 0.0:
+                    boundary_inflow_faces.append(face)
+            a, b = self.matrices.assemble_systems(
+                element,
+                direction,
+                orientation[element],
+                self.sigma_t[element],
+                total_source[element],
+                upwind,
+            )
+            for face in boundary_inflow_faces:
+                coupling = np.einsum(
+                    "d,dij->ij", direction, self.matrices.face_own[element, face]
+                )
+                b -= incident * coupling.sum(axis=1)[None, :]
+            t1 = time.perf_counter()
+            psi_angle[element] = self.solver.solve_batched(a, b)
+            t2 = time.perf_counter()
+            timings.assembly_seconds += t1 - t0
+            timings.solve_seconds += t2 - t1
+            timings.systems_solved += self.num_groups
+
+        if self.num_threads == 1:
+            for bucket in asched.buckets:
+                for element in bucket.tolist():
+                    process_element(element)
+        else:
+            with ThreadPoolExecutor(max_workers=self.num_threads) as pool:
+                for bucket in asched.buckets:
+                    # Elements within a bucket are mutually independent; the
+                    # bucket boundary is a synchronisation point.
+                    list(pool.map(process_element, bucket.tolist()))
+        return psi_angle
+
+    # ------------------------------------------------------------ diagnostics
+    def _boundary_leakage(self, angle: int, psi_angle: np.ndarray, incident: float) -> np.ndarray:
+        """Net outflow minus inflow through the domain boundary, per group."""
+        direction = self.quadrature.directions[angle]
+        orientation = self.schedule.for_angle(angle).classification.orientation
+        leak = np.zeros(self.num_groups, dtype=float)
+        for element, face in self.mesh.boundary_faces():
+            if (int(element), int(face)) in self._halo_set:
+                # Rank-interface faces are not part of the domain boundary;
+                # their flow is handled by the halo exchange.
+                continue
+            orient = orientation[element, face]
+            if orient == 1:
+                leak += self.matrices.outgoing_partial_current(
+                    int(element), int(face), direction, psi_angle[element]
+                )
+            elif orient == -1 and incident != 0.0:
+                coupling = np.einsum(
+                    "d,dij->ij", direction, self.matrices.face_own[int(element), int(face)]
+                )
+                # Incident flux is constant over the face: psi = incident.
+                leak += incident * coupling.sum()
+        return leak
+
+    def _collect_halo(
+        self,
+        angle: int,
+        psi_angle: np.ndarray,
+        outgoing_halo: dict[tuple[int, int, int], np.ndarray],
+    ) -> None:
+        if not self._halo_set:
+            return
+        orientation = self.schedule.for_angle(angle).classification.orientation
+        for cell, face in self._halo_set:
+            if orientation[cell, face] == 1:
+                outgoing_halo[(cell, face, angle)] = psi_angle[cell].copy()

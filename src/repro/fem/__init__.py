@@ -1,0 +1,34 @@
+"""Finite element substrate: Lagrange bases, quadrature, reference element and
+per-element geometric factors for discontinuous Galerkin transport on
+hexahedral elements.
+
+The sub-package provides everything the assembly kernel in
+:mod:`repro.core.assembly` needs:
+
+* :mod:`repro.fem.quadrature` -- Gauss-Legendre rules in 1, 2 and 3 dimensions.
+* :mod:`repro.fem.lagrange` -- arbitrary-order tensor-product Lagrange bases on
+  the reference hexahedron ``[-1, 1]^3``.
+* :mod:`repro.fem.reference` -- tabulated basis and gradient values at volume
+  and face quadrature points (shared across all elements).
+* :mod:`repro.fem.element` -- the trilinear geometric mapping, Jacobians, face
+  normals and per-element precomputed integration factors.
+"""
+
+from .quadrature import GaussLegendre1D, QuadratureRule, face_quadrature, volume_quadrature
+from .lagrange import LagrangeBasis1D, LagrangeHexBasis, nodes_per_element, matrix_footprint_bytes
+from .reference import ReferenceElement
+from .element import ElementGeometry, HexElementFactors
+
+__all__ = [
+    "GaussLegendre1D",
+    "QuadratureRule",
+    "face_quadrature",
+    "volume_quadrature",
+    "LagrangeBasis1D",
+    "LagrangeHexBasis",
+    "nodes_per_element",
+    "matrix_footprint_bytes",
+    "ReferenceElement",
+    "ElementGeometry",
+    "HexElementFactors",
+]

@@ -1,0 +1,252 @@
+"""Geometric mapping and per-element integration factors for hexahedra.
+
+Each cell of the unstructured mesh is a (possibly twisted) hexahedron defined
+by its 8 corner vertices.  The geometric mapping from the reference cube
+``[-1, 1]^3`` is trilinear (sub-parametric for orders > 1), which is exactly
+how UnSNAP forms its mesh: the structured SNAP grid is stored in unstructured
+form and each cell is then twisted slightly along one axis so that it is "no
+longer a perfect cube".
+
+Two interfaces are provided:
+
+* :class:`ElementGeometry` -- a single element, convenient for tests and for
+  evaluating the mapping at arbitrary reference points.
+* :class:`HexElementFactors` -- vectorised precomputation of everything the
+  assembly kernel needs (physical basis gradients, volume weights, face
+  normals and surface weights) for *all* elements of a mesh at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .lagrange import FACE_NORMAL_AXIS, FACE_NORMAL_SIGN, LagrangeHexBasis
+from .reference import ReferenceElement
+
+__all__ = ["ElementGeometry", "HexElementFactors", "corner_reference_coords"]
+
+#: Reference coordinates of the 8 hexahedron corners in lexicographic order
+#: (x fastest): corner v = i + 2j + 4k sits at (+-1, +-1, +-1).
+_CORNER_COORDS = np.array(
+    [
+        [-1.0, -1.0, -1.0],
+        [+1.0, -1.0, -1.0],
+        [-1.0, +1.0, -1.0],
+        [+1.0, +1.0, -1.0],
+        [-1.0, -1.0, +1.0],
+        [+1.0, -1.0, +1.0],
+        [-1.0, +1.0, +1.0],
+        [+1.0, +1.0, +1.0],
+    ]
+)
+
+
+def corner_reference_coords() -> np.ndarray:
+    """Reference coordinates of the 8 corners (copy; callers may mutate)."""
+    return _CORNER_COORDS.copy()
+
+
+def _trilinear_shape(points: np.ndarray) -> np.ndarray:
+    """Trilinear shape functions of the 8 corners at reference points.
+
+    Returns an array of shape ``(nq, 8)``.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    x, y, z = points[:, 0:1], points[:, 1:2], points[:, 2:3]
+    cx, cy, cz = _CORNER_COORDS[:, 0], _CORNER_COORDS[:, 1], _CORNER_COORDS[:, 2]
+    return 0.125 * (1.0 + x * cx) * (1.0 + y * cy) * (1.0 + z * cz)
+
+
+def _trilinear_shape_grad(points: np.ndarray) -> np.ndarray:
+    """Reference gradients of the trilinear shape functions, shape ``(nq, 8, 3)``."""
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    x, y, z = points[:, 0:1], points[:, 1:2], points[:, 2:3]
+    cx, cy, cz = _CORNER_COORDS[:, 0], _CORNER_COORDS[:, 1], _CORNER_COORDS[:, 2]
+    g = np.empty((points.shape[0], 8, 3), dtype=float)
+    g[:, :, 0] = 0.125 * cx * (1.0 + y * cy) * (1.0 + z * cz)
+    g[:, :, 1] = 0.125 * (1.0 + x * cx) * cy * (1.0 + z * cz)
+    g[:, :, 2] = 0.125 * (1.0 + x * cx) * (1.0 + y * cy) * cz
+    return g
+
+
+class ElementGeometry:
+    """Trilinear geometric mapping of a single hexahedral element.
+
+    Parameters
+    ----------
+    vertices:
+        Physical coordinates of the 8 corners, shape ``(8, 3)``, ordered
+        lexicographically (x fastest) to match :func:`corner_reference_coords`.
+    """
+
+    def __init__(self, vertices: np.ndarray):
+        vertices = np.asarray(vertices, dtype=float)
+        if vertices.shape != (8, 3):
+            raise ValueError(f"vertices must have shape (8, 3), got {vertices.shape}")
+        self.vertices = vertices
+
+    def map_points(self, ref_points: np.ndarray) -> np.ndarray:
+        """Map reference points to physical space, shape ``(nq, 3)``."""
+        return _trilinear_shape(ref_points) @ self.vertices
+
+    def jacobian(self, ref_points: np.ndarray) -> np.ndarray:
+        """Jacobian ``J[q, a, b] = d x_a / d xi_b`` at reference points."""
+        g = _trilinear_shape_grad(ref_points)  # (nq, 8, 3)
+        return np.einsum("qvb,va->qab", g, self.vertices)
+
+    def jacobian_determinant(self, ref_points: np.ndarray) -> np.ndarray:
+        return np.linalg.det(self.jacobian(ref_points))
+
+    def volume(self, ref: ReferenceElement) -> float:
+        """Physical volume by quadrature."""
+        detj = self.jacobian_determinant(ref.volume_rule.points)
+        return float(np.dot(ref.volume_rule.weights, detj))
+
+    def centroid(self) -> np.ndarray:
+        return self.vertices.mean(axis=0)
+
+    def node_positions(self, basis: LagrangeHexBasis) -> np.ndarray:
+        """Physical coordinates of the element's Lagrange nodes, ``(N, 3)``."""
+        return self.map_points(basis.node_coords)
+
+    def face_normal_and_area(self, face: int, ref: ReferenceElement) -> tuple[np.ndarray, np.ndarray]:
+        """Outward unit normals and surface weights at the face quadrature points.
+
+        Returns ``(normals, surface_weights)`` with shapes ``(nqf, 3)`` and
+        ``(nqf,)``; ``surface_weights`` already includes the face quadrature
+        weights so that ``sum(surface_weights)`` is the face area.
+        """
+        pts = ref.face_ref_points[face]
+        jac = self.jacobian(pts)  # (nqf, 3, 3)
+        axis = FACE_NORMAL_AXIS[face]
+        sign = FACE_NORMAL_SIGN[face]
+        other = [a for a in range(3) if a != axis]
+        t_u = jac[:, :, other[0]]
+        t_v = jac[:, :, other[1]]
+        raw = np.cross(t_u, t_v)
+        surf_j = np.linalg.norm(raw, axis=1)
+        # Outward physical direction is approximately sign * (column `axis` of J).
+        outward = sign * jac[:, :, axis]
+        orient = np.sign(np.einsum("qa,qa->q", raw, outward))
+        orient[orient == 0.0] = 1.0
+        normals = raw * (orient / np.maximum(surf_j, 1e-300))[:, None]
+        weights = ref.face_rule.weights * surf_j
+        return normals, weights
+
+
+@dataclass
+class HexElementFactors:
+    """Vectorised per-element integration factors for a whole mesh.
+
+    All arrays are indexed by element in their leading dimension:
+
+    Attributes
+    ----------
+    vol_weights:
+        ``(E, nq)`` -- quadrature weight times Jacobian determinant.
+    grad_phys:
+        ``(E, nq, N, 3)`` -- physical gradients of the basis functions.
+    face_normals:
+        ``(E, 6, nqf, 3)`` -- outward unit normals at face quadrature points.
+    face_weights:
+        ``(E, 6, nqf)`` -- face quadrature weight times surface Jacobian.
+    volumes:
+        ``(E,)`` -- element volumes.
+    node_positions:
+        ``(E, N, 3)`` -- physical positions of the element Lagrange nodes.
+    """
+
+    vol_weights: np.ndarray
+    grad_phys: np.ndarray
+    face_normals: np.ndarray
+    face_weights: np.ndarray
+    volumes: np.ndarray
+    node_positions: np.ndarray
+
+    @classmethod
+    def build(cls, vertices: np.ndarray, ref: ReferenceElement) -> "HexElementFactors":
+        """Compute factors for all elements.
+
+        Parameters
+        ----------
+        vertices:
+            ``(E, 8, 3)`` corner coordinates of every element.
+        ref:
+            Shared reference-element tabulation for the chosen order.
+        """
+        vertices = np.asarray(vertices, dtype=float)
+        if vertices.ndim != 3 or vertices.shape[1:] != (8, 3):
+            raise ValueError(f"vertices must have shape (E, 8, 3), got {vertices.shape}")
+        num_elements = vertices.shape[0]
+        nq = ref.num_volume_points
+        nqf = ref.num_face_points
+        n = ref.num_nodes
+
+        # ----------------------------------------------------------- volume part
+        gshape = _trilinear_shape_grad(ref.volume_rule.points)  # (nq, 8, 3)
+        # J[e, q, a, b] = sum_v gshape[q, v, b] * vertices[e, v, a]
+        jac = np.einsum("qvb,eva->eqab", gshape, vertices)
+        detj = np.linalg.det(jac)
+        if np.any(detj <= 0.0):
+            bad = int(np.sum(detj <= 0.0))
+            raise ValueError(
+                f"{bad} volume quadrature points have non-positive Jacobian "
+                "determinant; the mesh twist is too large or an element is inverted"
+            )
+        inv_jac_t = np.linalg.inv(jac).transpose(0, 1, 3, 2)  # (E, nq, 3, 3) = J^{-T}
+        grad_phys = np.einsum("eqab,qnb->eqna", inv_jac_t, ref.dphi_vol)
+        vol_weights = ref.volume_rule.weights[None, :] * detj
+        volumes = vol_weights.sum(axis=1)
+
+        # ------------------------------------------------------------- face part
+        face_normals = np.empty((num_elements, 6, nqf, 3), dtype=float)
+        face_weights = np.empty((num_elements, 6, nqf), dtype=float)
+        for face in range(6):
+            pts = ref.face_ref_points[face]
+            gface = _trilinear_shape_grad(pts)  # (nqf, 8, 3)
+            jf = np.einsum("qvb,eva->eqab", gface, vertices)
+            axis = FACE_NORMAL_AXIS[face]
+            sign = FACE_NORMAL_SIGN[face]
+            other = [a for a in range(3) if a != axis]
+            t_u = jf[:, :, :, other[0]]
+            t_v = jf[:, :, :, other[1]]
+            raw = np.cross(t_u, t_v)
+            surf_j = np.linalg.norm(raw, axis=-1)
+            outward = sign * jf[:, :, :, axis]
+            orient = np.sign(np.einsum("eqa,eqa->eq", raw, outward))
+            orient[orient == 0.0] = 1.0
+            face_normals[:, face] = raw * (orient / np.maximum(surf_j, 1e-300))[:, :, None]
+            face_weights[:, face] = ref.face_rule.weights[None, :] * surf_j
+
+        # ------------------------------------------------------ node coordinates
+        shape_at_nodes = _trilinear_shape(ref.basis.node_coords)  # (N, 8)
+        node_positions = np.einsum("nv,eva->ena", shape_at_nodes, vertices)
+
+        return cls(
+            vol_weights=vol_weights,
+            grad_phys=grad_phys,
+            face_normals=face_normals,
+            face_weights=face_weights,
+            volumes=volumes,
+            node_positions=node_positions,
+        )
+
+    @property
+    def num_elements(self) -> int:
+        return self.vol_weights.shape[0]
+
+    def memory_footprint_bytes(self) -> int:
+        """Total bytes held by the precomputed factor arrays."""
+        return sum(
+            a.nbytes
+            for a in (
+                self.vol_weights,
+                self.grad_phys,
+                self.face_normals,
+                self.face_weights,
+                self.volumes,
+                self.node_positions,
+            )
+        )

@@ -1,0 +1,254 @@
+"""Arbitrary-order Lagrange bases on the reference hexahedron.
+
+UnSNAP supports arbitrarily high-order Lagrange elements (the paper reports
+orders 1 through 5, Table I).  The trial space on each hexahedral element is
+the tensor product of 1-D Lagrange polynomials on equispaced nodes of the
+reference interval ``[-1, 1]``, giving ``(p + 1)^3`` nodes per element for
+order ``p``.
+
+The node numbering is lexicographic with the x (first) coordinate fastest:
+
+``n = i + (p + 1) * j + (p + 1)**2 * k`` for node ``(xi_i, eta_j, zeta_k)``.
+
+Because the discretisation is *discontinuous* Galerkin, nodes that share a
+physical location on a face between two elements are distinct unknowns; the
+mesh never merges them (Figure 1b in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = [
+    "nodes_per_element",
+    "matrix_footprint_bytes",
+    "LagrangeBasis1D",
+    "LagrangeHexBasis",
+    "FACE_NORMAL_AXIS",
+    "FACE_NORMAL_SIGN",
+]
+
+
+#: For face index ``f`` (0:-x, 1:+x, 2:-y, 3:+y, 4:-z, 5:+z): the reference
+#: axis the face is orthogonal to.
+FACE_NORMAL_AXIS = (0, 0, 1, 1, 2, 2)
+
+#: For face index ``f``: the sign of the outward reference normal along that axis.
+FACE_NORMAL_SIGN = (-1, +1, -1, +1, -1, +1)
+
+
+def nodes_per_element(order: int) -> int:
+    """Number of Lagrange nodes of a hexahedral element of the given order.
+
+    This is the local matrix dimension N of Table I: ``(order + 1)**3``.
+    """
+    if order < 1:
+        raise ValueError(f"element order must be >= 1, got {order}")
+    return (order + 1) ** 3
+
+
+def matrix_footprint_bytes(order: int, dtype_bytes: int = 8) -> int:
+    """Storage footprint of one local ``N x N`` matrix (Table I, FP64 column)."""
+    n = nodes_per_element(order)
+    return n * n * dtype_bytes
+
+
+@dataclass(frozen=True)
+class LagrangeBasis1D:
+    """One-dimensional Lagrange basis on equispaced nodes of ``[-1, 1]``.
+
+    Attributes
+    ----------
+    order:
+        Polynomial order ``p``; there are ``p + 1`` nodes.
+    nodes:
+        Node coordinates, shape ``(p + 1,)``.
+    """
+
+    order: int
+    nodes: np.ndarray
+
+    @classmethod
+    def equispaced(cls, order: int) -> "LagrangeBasis1D":
+        if order < 1:
+            raise ValueError(f"order must be >= 1, got {order}")
+        return cls(order=order, nodes=np.linspace(-1.0, 1.0, order + 1))
+
+    @property
+    def num_nodes(self) -> int:
+        return self.order + 1
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate all basis polynomials at points ``x``.
+
+        Returns an array of shape ``(len(x), p + 1)`` where column ``j`` holds
+        the j-th cardinal polynomial (1 at node j, 0 at the other nodes).
+        """
+        x = np.atleast_1d(np.asarray(x, dtype=float))
+        n = self.num_nodes
+        vals = np.ones((x.shape[0], n), dtype=float)
+        for j in range(n):
+            for m in range(n):
+                if m == j:
+                    continue
+                vals[:, j] *= (x - self.nodes[m]) / (self.nodes[j] - self.nodes[m])
+        return vals
+
+    def derivative(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the first derivatives of all basis polynomials at ``x``.
+
+        Returns an array of shape ``(len(x), p + 1)``.
+        """
+        x = np.atleast_1d(np.asarray(x, dtype=float))
+        n = self.num_nodes
+        out = np.zeros((x.shape[0], n), dtype=float)
+        for j in range(n):
+            denom = np.prod([self.nodes[j] - self.nodes[m] for m in range(n) if m != j])
+            total = np.zeros_like(x)
+            for k in range(n):
+                if k == j:
+                    continue
+                term = np.ones_like(x)
+                for m in range(n):
+                    if m == j or m == k:
+                        continue
+                    term *= x - self.nodes[m]
+                total += term
+            out[:, j] = total / denom
+        return out
+
+
+@lru_cache(maxsize=32)
+def _basis_1d(order: int) -> LagrangeBasis1D:
+    return LagrangeBasis1D.equispaced(order)
+
+
+class LagrangeHexBasis:
+    """Tensor-product Lagrange basis on the reference hexahedron ``[-1, 1]^3``.
+
+    Parameters
+    ----------
+    order:
+        Polynomial order ``p >= 1``.  Order 1 gives the classical trilinear
+        element with 8 vertex nodes; order 3 (cubic) gives 64 nodes, matching
+        the configurations studied in the paper.
+    """
+
+    def __init__(self, order: int):
+        if order < 1:
+            raise ValueError(f"order must be >= 1, got {order}")
+        self.order = int(order)
+        self._b1 = _basis_1d(self.order)
+        n1 = self._b1.num_nodes
+        # Reference coordinates of each tensor-product node, x fastest.
+        i, j, k = np.meshgrid(np.arange(n1), np.arange(n1), np.arange(n1), indexing="ij")
+        flat = lambda a: a.reshape(-1, order="F")  # noqa: E731 - local helper
+        idx = np.stack([flat(i), flat(j), flat(k)], axis=-1)
+        self.node_indices = idx  # (N, 3) integer tensor indices
+        self.node_coords = self._b1.nodes[idx]  # (N, 3) reference coordinates
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def num_nodes(self) -> int:
+        """Total nodes per element, ``(p + 1)**3``."""
+        return nodes_per_element(self.order)
+
+    @property
+    def nodes_per_direction(self) -> int:
+        return self.order + 1
+
+    # ------------------------------------------------------------- evaluation
+    def evaluate(self, points: np.ndarray) -> np.ndarray:
+        """Evaluate all basis functions at reference points.
+
+        Parameters
+        ----------
+        points:
+            Array of shape ``(nq, 3)`` of reference coordinates.
+
+        Returns
+        -------
+        ndarray of shape ``(nq, N)`` with ``N = (p + 1)**3``.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        vx = self._b1.evaluate(points[:, 0])
+        vy = self._b1.evaluate(points[:, 1])
+        vz = self._b1.evaluate(points[:, 2])
+        ii, jj, kk = self.node_indices[:, 0], self.node_indices[:, 1], self.node_indices[:, 2]
+        return vx[:, ii] * vy[:, jj] * vz[:, kk]
+
+    def gradient(self, points: np.ndarray) -> np.ndarray:
+        """Evaluate reference-space gradients of all basis functions.
+
+        Returns
+        -------
+        ndarray of shape ``(nq, N, 3)``.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        vx = self._b1.evaluate(points[:, 0])
+        vy = self._b1.evaluate(points[:, 1])
+        vz = self._b1.evaluate(points[:, 2])
+        dx = self._b1.derivative(points[:, 0])
+        dy = self._b1.derivative(points[:, 1])
+        dz = self._b1.derivative(points[:, 2])
+        ii, jj, kk = self.node_indices[:, 0], self.node_indices[:, 1], self.node_indices[:, 2]
+        g = np.empty((points.shape[0], self.num_nodes, 3), dtype=float)
+        g[:, :, 0] = dx[:, ii] * vy[:, jj] * vz[:, kk]
+        g[:, :, 1] = vx[:, ii] * dy[:, jj] * vz[:, kk]
+        g[:, :, 2] = vx[:, ii] * vy[:, jj] * dz[:, kk]
+        return g
+
+    def interpolate(self, nodal_values: np.ndarray, points: np.ndarray) -> np.ndarray:
+        """Interpolate nodal values at arbitrary reference points.
+
+        ``nodal_values`` may have arbitrary trailing dimensions; the first
+        axis must have length ``N``.
+        """
+        phi = self.evaluate(points)  # (nq, N)
+        return np.tensordot(phi, np.asarray(nodal_values, dtype=float), axes=(1, 0))
+
+    # ------------------------------------------------------------------ faces
+    def face_node_indices(self, face: int) -> np.ndarray:
+        """Indices of the nodes lying on the given reference face.
+
+        Face numbering: 0:-x, 1:+x, 2:-y, 3:+y, 4:-z, 5:+z.  The nodes are
+        returned in lexicographic order of the two in-face coordinates, which
+        is the same ordering for the matching face of a conforming neighbour
+        (the mesh builder preserves axis orientation), so corresponding
+        entries refer to coincident physical points.
+        """
+        if not 0 <= face < 6:
+            raise ValueError(f"face index must be in 0..5, got {face}")
+        axis = FACE_NORMAL_AXIS[face]
+        side = 0 if FACE_NORMAL_SIGN[face] < 0 else self.order
+        mask = self.node_indices[:, axis] == side
+        idx = np.nonzero(mask)[0]
+        # Order by the two remaining axes (first remaining axis fastest).
+        other = [a for a in range(3) if a != axis]
+        key = (
+            self.node_indices[idx, other[1]] * self.nodes_per_direction
+            + self.node_indices[idx, other[0]]
+        )
+        return idx[np.argsort(key, kind="stable")]
+
+    def face_reference_points(self, face: int, face_points: np.ndarray) -> np.ndarray:
+        """Map 2-D face quadrature points into 3-D reference coordinates.
+
+        ``face_points`` has shape ``(nq, 2)`` with coordinates in ``[-1, 1]^2``
+        ordered as the two non-normal axes in increasing axis order.
+        """
+        face_points = np.atleast_2d(np.asarray(face_points, dtype=float))
+        axis = FACE_NORMAL_AXIS[face]
+        coord = -1.0 if FACE_NORMAL_SIGN[face] < 0 else 1.0
+        pts = np.empty((face_points.shape[0], 3), dtype=float)
+        other = [a for a in range(3) if a != axis]
+        pts[:, axis] = coord
+        pts[:, other[0]] = face_points[:, 0]
+        pts[:, other[1]] = face_points[:, 1]
+        return pts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"LagrangeHexBasis(order={self.order}, num_nodes={self.num_nodes})"

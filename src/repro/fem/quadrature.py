@@ -1,0 +1,136 @@
+"""Gauss-Legendre quadrature rules on the reference hexahedron.
+
+UnSNAP integrates the DG weak form of the transport equation over each
+(possibly twisted) hexahedral element.  The integrands are products of
+Lagrange basis functions of order ``p`` with a non-constant Jacobian, so a
+Gauss-Legendre rule with ``p + 2`` points per direction (exact for
+polynomials of degree ``2p + 3``) is used by default and is always at least
+as accurate as required for the mass, gradient and face matrices.
+
+All rules are expressed on the reference interval ``[-1, 1]`` and the
+reference hexahedron ``[-1, 1]^3`` used throughout :mod:`repro.fem`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "GaussLegendre1D",
+    "QuadratureRule",
+    "volume_quadrature",
+    "face_quadrature",
+    "default_num_points",
+]
+
+
+def default_num_points(order: int) -> int:
+    """Number of 1-D Gauss points used by default for elements of ``order``.
+
+    ``order + 2`` points integrate polynomials of degree ``2*order + 3``
+    exactly, which covers the mass matrix (degree ``2*order``) times the
+    trilinear Jacobian determinant with margin.
+    """
+    if order < 1:
+        raise ValueError(f"element order must be >= 1, got {order}")
+    return order + 2
+
+
+@dataclass(frozen=True)
+class GaussLegendre1D:
+    """One-dimensional Gauss-Legendre rule on ``[-1, 1]``.
+
+    Attributes
+    ----------
+    points:
+        Quadrature abscissae, shape ``(n,)``, sorted ascending.
+    weights:
+        Quadrature weights, shape ``(n,)``; they sum to 2 (the measure of
+        ``[-1, 1]``).
+    """
+
+    points: np.ndarray
+    weights: np.ndarray
+
+    @classmethod
+    def with_points(cls, n: int) -> "GaussLegendre1D":
+        """Build the ``n``-point rule (exact for polynomials of degree ``2n-1``)."""
+        if n < 1:
+            raise ValueError(f"need at least one quadrature point, got {n}")
+        x, w = np.polynomial.legendre.leggauss(n)
+        return cls(points=np.asarray(x, dtype=float), weights=np.asarray(w, dtype=float))
+
+    @property
+    def num_points(self) -> int:
+        return self.points.shape[0]
+
+    def integrate(self, f) -> float:
+        """Integrate a callable ``f`` over ``[-1, 1]``."""
+        return float(np.dot(self.weights, f(self.points)))
+
+
+@dataclass(frozen=True)
+class QuadratureRule:
+    """A tensor-product quadrature rule in ``d`` dimensions.
+
+    Attributes
+    ----------
+    points:
+        Array of shape ``(nq, d)`` with the quadrature points.
+    weights:
+        Array of shape ``(nq,)`` with the corresponding weights.
+    """
+
+    points: np.ndarray
+    weights: np.ndarray
+    dim: int = field(default=3)
+
+    def __post_init__(self) -> None:
+        if self.points.ndim != 2 or self.points.shape[1] != self.dim:
+            raise ValueError(
+                f"points must have shape (nq, {self.dim}), got {self.points.shape}"
+            )
+        if self.weights.shape != (self.points.shape[0],):
+            raise ValueError("weights must have shape (nq,) matching points")
+
+    @property
+    def num_points(self) -> int:
+        return self.points.shape[0]
+
+    def integrate(self, values: np.ndarray) -> float:
+        """Integrate function values sampled at the quadrature points."""
+        values = np.asarray(values, dtype=float)
+        if values.shape[0] != self.num_points:
+            raise ValueError("values must be sampled at the quadrature points")
+        return float(np.tensordot(self.weights, values, axes=(0, 0)))
+
+
+def _tensor_product(rule: GaussLegendre1D, dim: int) -> QuadratureRule:
+    """Form the ``dim``-dimensional tensor product of a 1-D rule.
+
+    The fastest-varying coordinate is the first one, matching the node
+    ordering used by :class:`repro.fem.lagrange.LagrangeHexBasis`.
+    """
+    grids = np.meshgrid(*([rule.points] * dim), indexing="ij")
+    # indexing="ij" makes axis 0 the first coordinate; we want the first
+    # coordinate fastest so transpose the flattening order.
+    pts = np.stack([g.reshape(-1, order="F") for g in grids], axis=-1)
+    wgrids = np.meshgrid(*([rule.weights] * dim), indexing="ij")
+    w = np.ones(pts.shape[0], dtype=float)
+    for g in wgrids:
+        w = w * g.reshape(-1, order="F")
+    return QuadratureRule(points=pts, weights=w, dim=dim)
+
+
+def volume_quadrature(order: int, num_points: int | None = None) -> QuadratureRule:
+    """Volume quadrature on the reference hexahedron for elements of ``order``."""
+    n = default_num_points(order) if num_points is None else num_points
+    return _tensor_product(GaussLegendre1D.with_points(n), dim=3)
+
+
+def face_quadrature(order: int, num_points: int | None = None) -> QuadratureRule:
+    """Face quadrature on the reference square for elements of ``order``."""
+    n = default_num_points(order) if num_points is None else num_points
+    return _tensor_product(GaussLegendre1D.with_points(n), dim=2)

@@ -1,0 +1,134 @@
+"""Tabulated reference-element data shared by every element of a mesh.
+
+Assembling the DG transport operator requires, at every volume quadrature
+point, the value and reference gradient of every basis function, and at every
+face quadrature point the trace of the element's own basis and of the
+neighbouring element's basis.  These arrays depend only on the element order
+and the quadrature rule, so they are computed once per solve and reused for
+all elements, angles and groups -- this is the "pre-computed integration of
+basis function pairs" reuse pattern that Section III-C of the paper discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from .lagrange import FACE_NORMAL_AXIS, FACE_NORMAL_SIGN, LagrangeHexBasis
+from .quadrature import QuadratureRule, face_quadrature, volume_quadrature
+
+__all__ = ["ReferenceElement", "opposite_face"]
+
+
+def opposite_face(face: int) -> int:
+    """The face of a conforming neighbour that abuts the given face.
+
+    With the face numbering 0:-x, 1:+x, 2:-y, 3:+y, 4:-z, 5:+z the opposite
+    face is obtained by flipping the lowest bit.
+    """
+    if not 0 <= face < 6:
+        raise ValueError(f"face index must be in 0..5, got {face}")
+    return face ^ 1
+
+
+@dataclass
+class ReferenceElement:
+    """Per-order tabulated basis data on the reference hexahedron.
+
+    Attributes
+    ----------
+    order:
+        Lagrange element order.
+    basis:
+        The :class:`LagrangeHexBasis` instance.
+    volume_rule, face_rule:
+        Quadrature rules used for volume and face integrals.
+    phi_vol:
+        Basis values at volume quadrature points, shape ``(nq, N)``.
+    dphi_vol:
+        Reference gradients at volume quadrature points, shape ``(nq, N, 3)``.
+    phi_face:
+        Basis traces at face quadrature points of each face, shape
+        ``(6, nqf, N)``.
+    phi_face_neighbor:
+        Trace of the *neighbour's* basis at the same physical quadrature
+        points, i.e. the own basis evaluated on the opposite face, shape
+        ``(6, nqf, N)``.  Entry ``[f]`` corresponds to the neighbour across
+        face ``f`` of the current element.
+    face_ref_points:
+        3-D reference coordinates of the face quadrature points on each face,
+        shape ``(6, nqf, 3)``.
+    """
+
+    order: int
+    basis: LagrangeHexBasis = field(init=False)
+    volume_rule: QuadratureRule = field(init=False)
+    face_rule: QuadratureRule = field(init=False)
+    phi_vol: np.ndarray = field(init=False)
+    dphi_vol: np.ndarray = field(init=False)
+    phi_face: np.ndarray = field(init=False)
+    phi_face_neighbor: np.ndarray = field(init=False)
+    face_ref_points: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.basis = LagrangeHexBasis(self.order)
+        self.volume_rule = volume_quadrature(self.order)
+        self.face_rule = face_quadrature(self.order)
+
+        self.phi_vol = self.basis.evaluate(self.volume_rule.points)
+        self.dphi_vol = self.basis.gradient(self.volume_rule.points)
+
+        nqf = self.face_rule.num_points
+        n = self.basis.num_nodes
+        self.phi_face = np.empty((6, nqf, n), dtype=float)
+        self.phi_face_neighbor = np.empty((6, nqf, n), dtype=float)
+        self.face_ref_points = np.empty((6, nqf, 3), dtype=float)
+        for f in range(6):
+            ref_pts = self.basis.face_reference_points(f, self.face_rule.points)
+            self.face_ref_points[f] = ref_pts
+            self.phi_face[f] = self.basis.evaluate(ref_pts)
+            # The neighbour across face f touches us through its opposite
+            # face; because the mesh preserves axis orientation the in-face
+            # coordinates of matching physical points are identical.
+            nbr_pts = self.basis.face_reference_points(opposite_face(f), self.face_rule.points)
+            self.phi_face_neighbor[f] = self.basis.evaluate(nbr_pts)
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def num_nodes(self) -> int:
+        return self.basis.num_nodes
+
+    @property
+    def num_volume_points(self) -> int:
+        return self.volume_rule.num_points
+
+    @property
+    def num_face_points(self) -> int:
+        return self.face_rule.num_points
+
+    # ------------------------------------------------------- reference matrices
+    def reference_mass_matrix(self) -> np.ndarray:
+        """Mass matrix on the un-deformed reference hexahedron (volume 8)."""
+        w = self.volume_rule.weights
+        return np.einsum("q,qi,qj->ij", w, self.phi_vol, self.phi_vol)
+
+    def reference_gradient_matrices(self) -> np.ndarray:
+        """Reference gradient matrices ``G[d, i, j] = int phi_j d(phi_i)/d(xi_d)``."""
+        w = self.volume_rule.weights
+        return np.einsum("q,qid,qj->dij", w, self.dphi_vol, self.phi_vol)
+
+    @staticmethod
+    def face_axis(face: int) -> int:
+        return FACE_NORMAL_AXIS[face]
+
+    @staticmethod
+    def face_sign(face: int) -> int:
+        return FACE_NORMAL_SIGN[face]
+
+
+@lru_cache(maxsize=16)
+def get_reference_element(order: int) -> ReferenceElement:
+    """Cached accessor: reference data is immutable and shared per order."""
+    return ReferenceElement(order)

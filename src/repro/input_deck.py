@@ -1,0 +1,116 @@
+"""SNAP-style input deck parsing.
+
+SNAP reads a Fortran-namelist-flavoured input deck of ``key = value`` pairs;
+UnSNAP adds options for the element order and the mesh twist.  The parser
+below accepts the same flavour (one assignment per line or several separated
+by whitespace, ``!`` or ``#`` comments, a ``/`` terminator) and maps the SNAP
+parameter names onto :class:`repro.config.ProblemSpec` fields.
+
+Recognised keys (SNAP name -> ProblemSpec field)::
+
+    nx, ny, nz          -> nx, ny, nz
+    lx, ly, lz          -> lx, ly, lz
+    nang                -> angles_per_octant
+    ng                  -> num_groups
+    iitm                -> num_inners
+    oitm                -> num_outers
+    epsi                -> inner_tolerance (and outer_tolerance)
+    scatp / c           -> scattering_ratio
+    order               -> order
+    twist               -> max_twist
+    twist_axis          -> twist_axis
+    solver              -> solver
+    npex, npey          -> npex, npey
+    src_opt, mat_opt    -> accepted (only option 1 data is generated)
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .config import ProblemSpec
+
+__all__ = ["parse_input_deck", "loads", "spec_to_deck"]
+
+_INT_KEYS = {
+    "nx": "nx", "ny": "ny", "nz": "nz",
+    "nang": "angles_per_octant",
+    "ng": "num_groups",
+    "iitm": "num_inners",
+    "oitm": "num_outers",
+    "order": "order",
+    "npex": "npex",
+    "npey": "npey",
+}
+_FLOAT_KEYS = {
+    "lx": "lx", "ly": "ly", "lz": "lz",
+    "epsi": "inner_tolerance",
+    "scatp": "scattering_ratio",
+    "c": "scattering_ratio",
+    "twist": "max_twist",
+    "qsrc": "source_strength",
+}
+_STR_KEYS = {
+    "twist_axis": "twist_axis",
+    "solver": "solver",
+}
+_IGNORED_KEYS = {"src_opt", "mat_opt", "timedep", "fixup", "nthreads", "nnested"}
+
+
+def _tokenise(text: str) -> list[tuple[str, str]]:
+    pairs: list[tuple[str, str]] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("!")[0].split("#")[0].strip()
+        if not line or line in ("/", "&invar", "&end"):
+            continue
+        # Allow several "key=value" groups on one line, comma separated.
+        for chunk in line.replace(",", " ").split():
+            if "=" not in chunk:
+                raise ValueError(f"cannot parse input token {chunk!r} (expected key=value)")
+            key, value = chunk.split("=", 1)
+            pairs.append((key.strip().lower(), value.strip()))
+    return pairs
+
+
+def loads(text: str) -> ProblemSpec:
+    """Parse an input deck from a string into a :class:`ProblemSpec`."""
+    values: dict = {}
+    epsi_seen = False
+    for key, raw in _tokenise(text):
+        if key in _IGNORED_KEYS:
+            continue
+        if key in _INT_KEYS:
+            values[_INT_KEYS[key]] = int(float(raw))
+        elif key in _FLOAT_KEYS:
+            values[_FLOAT_KEYS[key]] = float(raw)
+            if key == "epsi":
+                epsi_seen = True
+        elif key in _STR_KEYS:
+            values[_STR_KEYS[key]] = raw.strip("'\"")
+        else:
+            raise KeyError(f"unknown input deck key {key!r}")
+    if epsi_seen:
+        values.setdefault("outer_tolerance", values["inner_tolerance"])
+    return ProblemSpec(**values)
+
+
+def parse_input_deck(path: str | Path) -> ProblemSpec:
+    """Parse an input deck file into a :class:`ProblemSpec`."""
+    return loads(Path(path).read_text())
+
+
+def spec_to_deck(spec: ProblemSpec) -> str:
+    """Serialise a :class:`ProblemSpec` back into deck text (round-trippable)."""
+    lines = [
+        f"nx={spec.nx} ny={spec.ny} nz={spec.nz}",
+        f"lx={spec.lx} ly={spec.ly} lz={spec.lz}",
+        f"nang={spec.angles_per_octant} ng={spec.num_groups}",
+        f"iitm={spec.num_inners} oitm={spec.num_outers}",
+        f"epsi={spec.inner_tolerance}",
+        f"order={spec.order} twist={spec.max_twist} twist_axis={spec.twist_axis}",
+        f"scatp={spec.scattering_ratio} qsrc={spec.source_strength}",
+        f"solver={spec.solver}",
+        f"npex={spec.npex} npey={spec.npey}",
+        "/",
+    ]
+    return "\n".join(lines)

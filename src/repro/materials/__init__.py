@@ -1,0 +1,24 @@
+"""Material and source data substrate.
+
+SNAP (and therefore UnSNAP) uses artificial problem data auto-generated from
+input parameters: a homogeneous material whose multigroup total cross section
+grows slowly with group index, a down-scatter-dominant scattering matrix with
+a fixed scattering ratio, and a uniform volumetric fixed source.  This
+sub-package re-creates that data generation ("Source and Material Option 1"
+in the paper's experiments) plus the general containers the solver consumes.
+"""
+
+from .cross_sections import CrossSections, MaterialLibrary
+from .library import snap_option1_materials, snap_option1_library, pure_absorber
+from .source_terms import FixedSource, snap_option1_source, uniform_source
+
+__all__ = [
+    "CrossSections",
+    "MaterialLibrary",
+    "snap_option1_materials",
+    "snap_option1_library",
+    "pure_absorber",
+    "FixedSource",
+    "snap_option1_source",
+    "uniform_source",
+]

@@ -1,0 +1,150 @@
+"""Multigroup cross-section containers.
+
+The transport equation needs, per material and energy group, the total cross
+section ``sigma_t`` (probability of any interaction) and the group-to-group
+scattering matrix ``sigma_s[g_from, g_to]`` (probability that an interaction
+changes direction and/or energy into group ``g_to``).  Scattering is
+isotropic in UnSNAP's experiments, so only the zeroth scattering moment is
+stored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CrossSections", "MaterialLibrary"]
+
+
+@dataclass(frozen=True)
+class CrossSections:
+    """Multigroup cross sections of a single material.
+
+    Attributes
+    ----------
+    sigma_t:
+        ``(G,)`` total cross section per group.
+    sigma_s:
+        ``(G, G)`` isotropic scattering matrix; ``sigma_s[g_from, g_to]`` is
+        the cross section for scattering *from* group ``g_from`` *to* group
+        ``g_to``.
+    name:
+        Human-readable material name.
+    """
+
+    sigma_t: np.ndarray
+    sigma_s: np.ndarray
+    name: str = "material"
+
+    def __post_init__(self) -> None:
+        st = np.atleast_1d(np.asarray(self.sigma_t, dtype=float))
+        ss = np.asarray(self.sigma_s, dtype=float)
+        if ss.shape != (st.shape[0], st.shape[0]):
+            raise ValueError(
+                f"sigma_s must have shape (G, G) = ({st.shape[0]}, {st.shape[0]}), got {ss.shape}"
+            )
+        if np.any(st <= 0.0):
+            raise ValueError("total cross sections must be positive")
+        if np.any(ss < 0.0):
+            raise ValueError("scattering cross sections must be non-negative")
+        object.__setattr__(self, "sigma_t", st)
+        object.__setattr__(self, "sigma_s", ss)
+
+    @property
+    def num_groups(self) -> int:
+        return self.sigma_t.shape[0]
+
+    @property
+    def sigma_a(self) -> np.ndarray:
+        """Absorption cross section per group (total minus total out-scatter)."""
+        return self.sigma_t - self.sigma_s.sum(axis=1)
+
+    def scattering_ratio(self) -> np.ndarray:
+        """Per-group scattering ratio ``c_g = sum_g' sigma_s[g, g'] / sigma_t[g]``."""
+        return self.sigma_s.sum(axis=1) / self.sigma_t
+
+    def is_subcritical(self) -> bool:
+        """True when every group scatters less than it removes (c < 1).
+
+        Source iteration converges with spectral radius bounded by the
+        maximum scattering ratio, so this is the condition under which the
+        SNAP-style iteration is guaranteed to converge.
+        """
+        return bool(np.all(self.scattering_ratio() < 1.0))
+
+    def infinite_medium_flux(self, source: np.ndarray) -> np.ndarray:
+        """Analytic scalar flux of an infinite homogeneous medium.
+
+        Solves ``(diag(sigma_t) - sigma_s^T) phi = q`` where ``q`` is the
+        isotropic volumetric source per group.  Used by the integration tests
+        as an exact reference solution.
+        """
+        q = np.asarray(source, dtype=float)
+        if q.shape != (self.num_groups,):
+            raise ValueError(f"source must have shape (G,) = ({self.num_groups},)")
+        a = np.diag(self.sigma_t) - self.sigma_s.T
+        return np.linalg.solve(a, q)
+
+
+@dataclass
+class MaterialLibrary:
+    """A set of materials plus the per-cell material assignment.
+
+    Attributes
+    ----------
+    materials:
+        List of :class:`CrossSections`, indexed by material id.
+    cell_material:
+        ``(E,)`` material id of every cell.
+    """
+
+    materials: list[CrossSections]
+    cell_material: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+
+    def __post_init__(self) -> None:
+        if not self.materials:
+            raise ValueError("a material library needs at least one material")
+        groups = {m.num_groups for m in self.materials}
+        if len(groups) != 1:
+            raise ValueError("all materials must have the same number of groups")
+        self.cell_material = np.asarray(self.cell_material, dtype=np.int64)
+        if self.cell_material.size and (
+            self.cell_material.min() < 0 or self.cell_material.max() >= len(self.materials)
+        ):
+            raise ValueError("cell_material contains out-of-range material ids")
+
+    @property
+    def num_groups(self) -> int:
+        return self.materials[0].num_groups
+
+    @property
+    def num_materials(self) -> int:
+        return len(self.materials)
+
+    def for_cells(self, num_cells: int) -> "MaterialLibrary":
+        """Return a copy whose cell assignment covers ``num_cells`` cells.
+
+        If no assignment was given, every cell gets material 0 (the SNAP
+        "material option 1" homogeneous configuration).
+        """
+        if self.cell_material.size == num_cells:
+            return self
+        if self.cell_material.size == 0:
+            assignment = np.zeros(num_cells, dtype=np.int64)
+        else:
+            raise ValueError(
+                f"material assignment covers {self.cell_material.size} cells, "
+                f"but the mesh has {num_cells}"
+            )
+        return MaterialLibrary(materials=self.materials, cell_material=assignment)
+
+    def sigma_t_per_cell(self) -> np.ndarray:
+        """``(E, G)`` total cross section of every cell."""
+        table = np.stack([m.sigma_t for m in self.materials], axis=0)
+        return table[self.cell_material]
+
+    def sigma_s_per_cell(self) -> np.ndarray:
+        """``(E, G, G)`` scattering matrix of every cell."""
+        table = np.stack([m.sigma_s for m in self.materials], axis=0)
+        return table[self.cell_material]

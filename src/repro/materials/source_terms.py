@@ -1,0 +1,65 @@
+"""Fixed (external) source terms.
+
+The transport equation's right-hand side contains a fixed source ``q_ex``
+("a gain in particles that come from outside the physics modelled by the
+equation") plus the scattering source computed by the iteration.  SNAP's
+"source option 1" is a uniform, isotropic, unit-strength volumetric source in
+every group and every cell; that is what the paper's experiments use and what
+:func:`snap_option1_source` generates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FixedSource", "uniform_source", "snap_option1_source"]
+
+
+@dataclass(frozen=True)
+class FixedSource:
+    """An isotropic volumetric fixed source.
+
+    Attributes
+    ----------
+    density:
+        ``(E, G)`` source density per cell and group (particles per unit
+        volume, per unit solid-angle-integrated flux convention: the angular
+        source is ``density * w_a`` when the quadrature weights sum to 1).
+    """
+
+    density: np.ndarray
+
+    def __post_init__(self) -> None:
+        d = np.asarray(self.density, dtype=float)
+        if d.ndim != 2:
+            raise ValueError("density must have shape (E, G)")
+        if np.any(d < 0.0):
+            raise ValueError("source density must be non-negative")
+        object.__setattr__(self, "density", d)
+
+    @property
+    def num_cells(self) -> int:
+        return self.density.shape[0]
+
+    @property
+    def num_groups(self) -> int:
+        return self.density.shape[1]
+
+    def total_emission(self, volumes: np.ndarray) -> np.ndarray:
+        """Total emitted particles per group, ``sum_e q[e, g] * V_e``."""
+        volumes = np.asarray(volumes, dtype=float)
+        return volumes @ self.density
+
+
+def uniform_source(num_cells: int, num_groups: int, strength: float = 1.0) -> FixedSource:
+    """A spatially and spectrally uniform source of the given strength."""
+    if strength < 0.0:
+        raise ValueError("source strength must be non-negative")
+    return FixedSource(density=np.full((num_cells, num_groups), float(strength)))
+
+
+def snap_option1_source(num_cells: int, num_groups: int) -> FixedSource:
+    """SNAP "source option 1": unit source everywhere, in every group."""
+    return uniform_source(num_cells, num_groups, strength=1.0)

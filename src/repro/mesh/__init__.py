@@ -1,0 +1,35 @@
+"""Unstructured hexahedral mesh substrate.
+
+UnSNAP forms its unstructured mesh by first constructing the original SNAP
+structured grid, storing it in an unstructured format (explicit cell-to-cell
+connectivity lists), and then optionally twisting it slightly along one axis
+so that cells are no longer perfect cubes.  This sub-package reproduces that
+pipeline:
+
+* :mod:`repro.mesh.hexmesh` -- the mesh data structure with explicit
+  neighbour lists (the "key differentiator" from a structured grid).
+* :mod:`repro.mesh.builder` -- construction from SNAP-style structured
+  parameters, including the axis twist.
+* :mod:`repro.mesh.connectivity` -- generic face-matching connectivity and
+  validation utilities.
+* :mod:`repro.mesh.partition` -- KBA-style 2-D spatial decomposition of the
+  3-D domain between (simulated) MPI ranks.
+"""
+
+from .hexmesh import UnstructuredHexMesh, BOUNDARY
+from .builder import StructuredGridSpec, build_snap_mesh, twist_vertices
+from .connectivity import build_connectivity_from_faces, validate_connectivity
+from .partition import KBADecomposition, Subdomain, partition_kba
+
+__all__ = [
+    "UnstructuredHexMesh",
+    "BOUNDARY",
+    "StructuredGridSpec",
+    "build_snap_mesh",
+    "twist_vertices",
+    "build_connectivity_from_faces",
+    "validate_connectivity",
+    "KBADecomposition",
+    "Subdomain",
+    "partition_kba",
+]

@@ -1,0 +1,124 @@
+"""Generic connectivity construction and validation for hexahedral meshes.
+
+The builder derives neighbour lists directly from the structured provenance,
+but UnSNAP treats the mesh as genuinely unstructured: every neighbour lookup
+in the solver goes through the explicit table.  This module provides an
+independent way to (re)construct that table purely from shared face vertices,
+which is used both for externally supplied meshes and as a cross-check of the
+builder in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .hexmesh import BOUNDARY, UnstructuredHexMesh
+
+__all__ = [
+    "FACE_CORNER_INDICES",
+    "build_connectivity_from_faces",
+    "validate_connectivity",
+    "face_vertex_ids",
+]
+
+#: Local corner indices (into the 8-corner lexicographic ordering) of each of
+#: the 6 faces.  Face numbering: 0:-x, 1:+x, 2:-y, 3:+y, 4:-z, 5:+z.
+FACE_CORNER_INDICES = np.array(
+    [
+        [0, 2, 4, 6],  # -x
+        [1, 3, 5, 7],  # +x
+        [0, 1, 4, 5],  # -y
+        [2, 3, 6, 7],  # +y
+        [0, 1, 2, 3],  # -z
+        [4, 5, 6, 7],  # +z
+    ],
+    dtype=np.int64,
+)
+
+
+def face_vertex_ids(cells: np.ndarray) -> np.ndarray:
+    """Vertex ids of every face of every cell, shape ``(E, 6, 4)``."""
+    cells = np.asarray(cells, dtype=np.int64)
+    return cells[:, FACE_CORNER_INDICES]
+
+
+def build_connectivity_from_faces(cells: np.ndarray) -> np.ndarray:
+    """Build the ``(E, 6)`` neighbour table from shared face vertex sets.
+
+    Two faces are neighbours when they reference exactly the same four mesh
+    vertices (in any order); this is the conforming-mesh assumption of
+    UnSNAP, where "each face has a single neighbouring element".
+
+    Raises
+    ------
+    ValueError
+        If any face vertex set is shared by more than two cells (a
+        non-manifold mesh).
+    """
+    cells = np.asarray(cells, dtype=np.int64)
+    num_cells = cells.shape[0]
+    faces = face_vertex_ids(cells)  # (E, 6, 4)
+    keys = np.sort(faces.reshape(-1, 4), axis=1)
+
+    neighbors = np.full((num_cells, 6), BOUNDARY, dtype=np.int64)
+    owners: dict[tuple[int, int, int, int], tuple[int, int]] = {}
+    matched: set[tuple[int, int, int, int]] = set()
+    for flat_index, key in enumerate(map(tuple, keys.tolist())):
+        cell, face = divmod(flat_index, 6)
+        if key in matched:
+            raise ValueError(
+                f"face {key} is shared by more than two cells; mesh is non-manifold"
+            )
+        if key in owners:
+            other_cell, other_face = owners.pop(key)
+            neighbors[cell, face] = other_cell
+            neighbors[other_cell, other_face] = cell
+            matched.add(key)
+        else:
+            owners[key] = (cell, face)
+    return neighbors
+
+
+def validate_connectivity(mesh: UnstructuredHexMesh) -> list[str]:
+    """Check structural invariants of a mesh's neighbour table.
+
+    Returns a list of human-readable problem descriptions; an empty list
+    means the connectivity is consistent.  The checks are:
+
+    * neighbour indices are in range;
+    * no cell is its own neighbour;
+    * symmetry -- if B is A's neighbour across some face, then A is B's
+      neighbour across the opposite face;
+    * the neighbour faces reference the same four vertices.
+    """
+    problems: list[str] = []
+    nbrs = mesh.face_neighbors
+    num_cells = mesh.num_cells
+    faces = face_vertex_ids(mesh.cells)
+
+    out_of_range = (nbrs != BOUNDARY) & ((nbrs < 0) | (nbrs >= num_cells))
+    for cell, face in zip(*np.nonzero(out_of_range)):
+        problems.append(f"cell {cell} face {face}: neighbour index {nbrs[cell, face]} out of range")
+
+    for cell, face in zip(*np.nonzero(nbrs != BOUNDARY)):
+        other = nbrs[cell, face]
+        if other < 0 or other >= num_cells:
+            continue  # already reported as out of range above
+        if other == cell:
+            problems.append(f"cell {cell} face {face}: cell is its own neighbour")
+            continue
+        opposite = face ^ 1
+        if nbrs[other, opposite] != cell:
+            problems.append(
+                f"cell {cell} face {face}: neighbour {other} does not point back "
+                f"(its face {opposite} points to {nbrs[other, opposite]})"
+            )
+            continue
+        mine = set(faces[cell, face].tolist())
+        theirs = set(faces[other, opposite].tolist())
+        if mine != theirs:
+            problems.append(
+                f"cell {cell} face {face} and cell {other} face {opposite} "
+                "do not share the same four vertices"
+            )
+    return problems

@@ -1,0 +1,159 @@
+"""The unstructured hexahedral mesh data structure.
+
+The mesh stores cells as lists of 8 vertex indices (lexicographic corner
+ordering, x fastest) together with an explicit face-neighbour table.  Nothing
+in the transport solver ever relies on implicit structured indexing; all
+neighbour resolution goes through :attr:`UnstructuredHexMesh.face_neighbors`,
+which is what makes the sweep genuinely "unstructured" even when the mesh was
+derived from a regular grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["UnstructuredHexMesh", "BOUNDARY"]
+
+#: Sentinel used in the neighbour table for boundary faces.
+BOUNDARY = -1
+
+
+@dataclass
+class UnstructuredHexMesh:
+    """An unstructured mesh of hexahedral cells.
+
+    Attributes
+    ----------
+    vertices:
+        ``(V, 3)`` physical coordinates of the mesh vertices.
+    cells:
+        ``(E, 8)`` vertex indices of each cell, lexicographic corner order
+        (x fastest) matching :func:`repro.fem.element.corner_reference_coords`.
+    face_neighbors:
+        ``(E, 6)`` neighbouring cell index across each face, or
+        :data:`BOUNDARY` for a domain-boundary face.  Face numbering is
+        0:-x, 1:+x, 2:-y, 3:+y, 4:-z, 5:+z in the *reference* orientation of
+        the cell (which the builder keeps aligned with the global axes).
+    structured_index:
+        Optional ``(E, 3)`` (i, j, k) provenance of each cell when the mesh
+        was derived from a structured grid; used only by the KBA partitioner
+        and by the finite-difference baseline for comparisons, never by the
+        unstructured sweep itself.
+    metadata:
+        Free-form provenance information (grid shape, extents, twist).
+    """
+
+    vertices: np.ndarray
+    cells: np.ndarray
+    face_neighbors: np.ndarray
+    structured_index: np.ndarray | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.vertices = np.asarray(self.vertices, dtype=float)
+        self.cells = np.asarray(self.cells, dtype=np.int64)
+        self.face_neighbors = np.asarray(self.face_neighbors, dtype=np.int64)
+        if self.vertices.ndim != 2 or self.vertices.shape[1] != 3:
+            raise ValueError(f"vertices must have shape (V, 3), got {self.vertices.shape}")
+        if self.cells.ndim != 2 or self.cells.shape[1] != 8:
+            raise ValueError(f"cells must have shape (E, 8), got {self.cells.shape}")
+        if self.face_neighbors.shape != (self.cells.shape[0], 6):
+            raise ValueError(
+                f"face_neighbors must have shape (E, 6), got {self.face_neighbors.shape}"
+            )
+        if self.cells.size and (self.cells.min() < 0 or self.cells.max() >= len(self.vertices)):
+            raise ValueError("cell vertex indices out of range")
+        if self.structured_index is not None:
+            self.structured_index = np.asarray(self.structured_index, dtype=np.int64)
+            if self.structured_index.shape != (self.cells.shape[0], 3):
+                raise ValueError("structured_index must have shape (E, 3)")
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def num_cells(self) -> int:
+        return self.cells.shape[0]
+
+    @property
+    def num_vertices(self) -> int:
+        return self.vertices.shape[0]
+
+    # ------------------------------------------------------------- geometry
+    def cell_vertices(self, cells: np.ndarray | None = None) -> np.ndarray:
+        """Corner coordinates of the requested cells, shape ``(E, 8, 3)``."""
+        idx = self.cells if cells is None else self.cells[np.asarray(cells, dtype=np.int64)]
+        return self.vertices[idx]
+
+    def cell_centroids(self) -> np.ndarray:
+        """Average of the 8 corner positions of every cell, ``(E, 3)``."""
+        return self.cell_vertices().mean(axis=1)
+
+    def bounding_box(self) -> tuple[np.ndarray, np.ndarray]:
+        """Axis-aligned bounding box ``(min_corner, max_corner)`` of the mesh."""
+        return self.vertices.min(axis=0), self.vertices.max(axis=0)
+
+    # ---------------------------------------------------------- connectivity
+    def is_boundary_face(self, cell: int, face: int) -> bool:
+        return self.face_neighbors[cell, face] == BOUNDARY
+
+    def boundary_faces(self) -> np.ndarray:
+        """Array of ``(cell, face)`` pairs lying on the domain boundary."""
+        cells, faces = np.nonzero(self.face_neighbors == BOUNDARY)
+        return np.stack([cells, faces], axis=1)
+
+    def interior_faces(self) -> np.ndarray:
+        """Array of ``(cell, face, neighbor)`` triples for interior faces.
+
+        Each interior face appears twice, once from each side, which is the
+        form the DG upwind assembly consumes.
+        """
+        cells, faces = np.nonzero(self.face_neighbors != BOUNDARY)
+        nbrs = self.face_neighbors[cells, faces]
+        return np.stack([cells, faces, nbrs], axis=1)
+
+    def neighbor_counts(self) -> np.ndarray:
+        """Number of interior faces of each cell (between 0 and 6)."""
+        return np.count_nonzero(self.face_neighbors != BOUNDARY, axis=1)
+
+    # ------------------------------------------------------------- utilities
+    def extract_cells(self, cell_ids: np.ndarray) -> "UnstructuredHexMesh":
+        """Build a sub-mesh restricted to ``cell_ids`` (local re-indexing).
+
+        Faces whose neighbour is outside the selection become boundary faces
+        of the sub-mesh; the mapping back to global ids is recorded in the
+        returned mesh's ``metadata['global_cell_ids']``.
+        """
+        cell_ids = np.asarray(cell_ids, dtype=np.int64)
+        global_to_local = -np.ones(self.num_cells, dtype=np.int64)
+        global_to_local[cell_ids] = np.arange(cell_ids.shape[0])
+
+        used_vertices = np.unique(self.cells[cell_ids].reshape(-1))
+        vert_map = -np.ones(self.num_vertices, dtype=np.int64)
+        vert_map[used_vertices] = np.arange(used_vertices.shape[0])
+
+        new_cells = vert_map[self.cells[cell_ids]]
+        new_neighbors = self.face_neighbors[cell_ids].copy()
+        interior = new_neighbors != BOUNDARY
+        mapped = np.where(interior, global_to_local[np.where(interior, new_neighbors, 0)], BOUNDARY)
+        new_neighbors = np.where(interior, mapped, BOUNDARY)
+
+        structured = None
+        if self.structured_index is not None:
+            structured = self.structured_index[cell_ids]
+
+        metadata = dict(self.metadata)
+        metadata["global_cell_ids"] = cell_ids.copy()
+        return UnstructuredHexMesh(
+            vertices=self.vertices[used_vertices],
+            cells=new_cells,
+            face_neighbors=new_neighbors,
+            structured_index=structured,
+            metadata=metadata,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"UnstructuredHexMesh(num_cells={self.num_cells}, "
+            f"num_vertices={self.num_vertices})"
+        )

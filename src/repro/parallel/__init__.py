@@ -1,0 +1,34 @@
+"""Parallel substrate: simulated MPI, halo exchange and the block-Jacobi driver.
+
+The paper distributes the spatial mesh between MPI processors with SNAP's
+KBA-style 2-D decomposition and couples the subdomains with a *parallel block
+Jacobi* schedule: every rank sweeps its own subdomain concurrently using
+lagged incoming angular flux at rank boundaries, and a halo exchange after
+every (inner) iteration shares the outgoing data.
+
+Real MPI is not available in this reproduction environment, so the substrate
+is an in-process simulation:
+
+* :mod:`repro.parallel.comm` -- a deterministic, mpi4py-flavoured simulated
+  communicator (ranks, tagged point-to-point messages, reductions).
+* :mod:`repro.parallel.halo` -- packing/unpacking of outgoing face traces
+  into per-neighbour messages and back into :class:`BoundaryValues`.
+* :mod:`repro.parallel.block_jacobi` -- the multi-rank driver that reproduces
+  the convergence/behaviour of the paper's global schedule.
+* :mod:`repro.parallel.kba` -- an analytic pipeline model of the classical
+  KBA schedule used for the idle-time comparison discussed in Section III.
+"""
+
+from .comm import SimCommWorld, SimComm
+from .halo import HaloExchanger
+from .block_jacobi import BlockJacobiDriver, BlockJacobiResult
+from .kba import KBAPipelineModel
+
+__all__ = [
+    "SimCommWorld",
+    "SimComm",
+    "HaloExchanger",
+    "BlockJacobiDriver",
+    "BlockJacobiResult",
+    "KBAPipelineModel",
+]

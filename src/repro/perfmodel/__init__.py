@@ -1,0 +1,52 @@
+"""Node performance model for the sweep concurrency study.
+
+The paper's Figures 3 and 4 measure the assemble/solve time of the sweep on a
+dual-socket Skylake node for six combinations of loop ordering, data layout
+and OpenMP threading.  Those measurements cannot be faithfully repeated from
+CPython (GIL, interpreter overhead, NumPy's own threading), so this package
+provides an explicit analytic model of the node and of the sweep workload:
+
+* :mod:`repro.perfmodel.machine` -- the machine description (cores, frequency,
+  SIMD width, cache sizes, memory bandwidth) with the Skylake 8176 node of
+  the paper as the default.
+* :mod:`repro.perfmodel.workload` -- FLOP and byte counts of the
+  assemble/solve kernel per element, angle and group, as a function of the
+  element order.
+* :mod:`repro.perfmodel.layouts` -- the two data layouts of the paper
+  (element-major vs group-major angular-flux extents) and their stride
+  analysis.
+* :mod:`repro.perfmodel.schemes` -- the six loop-ordering/threading schemes of
+  the figures' legend.
+* :mod:`repro.perfmodel.simulator` -- the thread-scaling simulator combining
+  work, bucket-limited parallelism, load imbalance, access efficiency and
+  bandwidth saturation into a predicted assemble/solve time.
+* :mod:`repro.perfmodel.roofline` -- arithmetic-intensity / roofline
+  estimates (the paper quotes 0.25 FLOP/byte for the linear-element kernel).
+
+Every quantity is derived from the problem specification and the machine
+description; nothing is fitted to the paper's curves, so the model
+reproduces *shapes* (which scheme wins, where scaling saturates) rather than
+absolute seconds.
+"""
+
+from .machine import MachineModel, skylake_8176_node
+from .workload import SweepWorkload
+from .layouts import DataLayout, LAYOUT_ELEMENT_MAJOR, LAYOUT_GROUP_MAJOR
+from .schemes import ThreadingScheme, paper_schemes
+from .simulator import SweepPerformanceModel, ScalingPoint
+from .roofline import arithmetic_intensity, roofline_gflops
+
+__all__ = [
+    "MachineModel",
+    "skylake_8176_node",
+    "SweepWorkload",
+    "DataLayout",
+    "LAYOUT_ELEMENT_MAJOR",
+    "LAYOUT_GROUP_MAJOR",
+    "ThreadingScheme",
+    "paper_schemes",
+    "SweepPerformanceModel",
+    "ScalingPoint",
+    "arithmetic_intensity",
+    "roofline_gflops",
+]

@@ -1,0 +1,116 @@
+"""Machine descriptions for the node performance model.
+
+The paper's results were recorded on a single node of the Cray XC40 "Swan":
+a dual-socket Intel Xeon Platinum 8176 (Skylake) with 28 cores per socket at
+2.1 GHz and 192 GB of DDR4-2666.  :func:`skylake_8176_node` encodes that
+node; other machines can be described with :class:`MachineModel` directly to
+explore how the concurrency schemes behave elsewhere (one of UnSNAP's stated
+purposes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineModel", "skylake_8176_node"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """A simple throughput/bandwidth description of one compute node.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier.
+    num_cores:
+        Physical cores of the node (the paper threads up to this count,
+        without hyper-threading).
+    frequency_ghz:
+        Sustained clock under vector load.
+    simd_doubles:
+        FP64 lanes per SIMD instruction (8 for AVX-512).
+    fma_per_cycle:
+        Fused multiply-add instructions issued per cycle per core.
+    l1_kb, l2_kb, llc_mb:
+        Cache capacities (L1 and L2 per core, LLC per socket).
+    stream_bandwidth_gbs:
+        Aggregate sustainable memory bandwidth of the node (STREAM triad).
+    per_core_bandwidth_gbs:
+        Bandwidth a single core can extract on its own (concurrency-limited).
+    vector_efficiency:
+        Fraction of peak vector throughput the assemble/solve kernel attains
+        (covers non-FMA operations, remainders of short node loops, and the
+        divides in the elimination).
+    """
+
+    name: str
+    num_cores: int
+    frequency_ghz: float
+    simd_doubles: int
+    fma_per_cycle: int
+    l1_kb: float
+    l2_kb: float
+    llc_mb: float
+    stream_bandwidth_gbs: float
+    per_core_bandwidth_gbs: float
+    vector_efficiency: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 1:
+            raise ValueError("num_cores must be >= 1")
+        if min(self.frequency_ghz, self.stream_bandwidth_gbs, self.per_core_bandwidth_gbs) <= 0:
+            raise ValueError("rates must be positive")
+        if not 0.0 < self.vector_efficiency <= 1.0:
+            raise ValueError("vector_efficiency must be in (0, 1]")
+
+    # ----------------------------------------------------------------- rates
+    def peak_core_gflops(self) -> float:
+        """Peak FP64 GFLOP/s of one core (2 FLOPs per FMA)."""
+        return self.frequency_ghz * self.simd_doubles * self.fma_per_cycle * 2.0
+
+    def sustained_core_gflops(self) -> float:
+        """Sustained GFLOP/s of one core for the sweep kernel."""
+        return self.peak_core_gflops() * self.vector_efficiency
+
+    def sustained_gflops(self, threads: int) -> float:
+        """Sustained GFLOP/s of ``threads`` cores."""
+        threads = self._clamp_threads(threads)
+        return self.sustained_core_gflops() * threads
+
+    def bandwidth_gbs(self, threads: int) -> float:
+        """Aggregate memory bandwidth available to ``threads`` cores.
+
+        Bandwidth grows with the number of requesting cores until the node's
+        STREAM limit saturates -- the usual shape on Skylake-class nodes.
+        """
+        threads = self._clamp_threads(threads)
+        return min(self.stream_bandwidth_gbs, self.per_core_bandwidth_gbs * threads)
+
+    def l1_bytes(self) -> float:
+        return self.l1_kb * 1024.0
+
+    def l2_bytes(self) -> float:
+        return self.l2_kb * 1024.0
+
+    def _clamp_threads(self, threads: int) -> int:
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        return min(int(threads), self.num_cores)
+
+
+def skylake_8176_node() -> MachineModel:
+    """The dual-socket Xeon Platinum 8176 node used by the paper ("Swan")."""
+    return MachineModel(
+        name="2x Intel Xeon Platinum 8176 (Skylake), 2.1 GHz, DDR4-2666",
+        num_cores=56,
+        frequency_ghz=2.1,
+        simd_doubles=8,
+        fma_per_cycle=2,
+        l1_kb=32.0,
+        l2_kb=1024.0,
+        llc_mb=38.5,
+        stream_bandwidth_gbs=205.0,
+        per_core_bandwidth_gbs=12.0,
+        vector_efficiency=0.25,
+    )

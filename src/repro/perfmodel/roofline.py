@@ -1,0 +1,47 @@
+"""Roofline estimates for the assemble/solve kernel.
+
+The paper characterises the linear-element kernel as strongly memory bound
+(arithmetic intensity around 0.25 FLOP/byte under the Roofline model) and
+notes that higher orders raise the FLOP count faster than the traffic, moving
+the kernel towards the compute bound -- which is why the GE-vs-LAPACK
+comparison flips with order (Table II) and why the thread-scaling curves of
+Figure 4 keep improving at high thread counts.
+"""
+
+from __future__ import annotations
+
+from .machine import MachineModel
+from .workload import SweepWorkload
+
+__all__ = ["arithmetic_intensity", "roofline_gflops", "machine_balance", "is_memory_bound"]
+
+
+def arithmetic_intensity(workload: SweepWorkload, l2_bytes: float = 1 << 20) -> float:
+    """FLOPs per byte of DRAM traffic of one element-angle-group item."""
+    total_bytes = workload.total_bytes(l2_bytes)
+    if total_bytes <= 0:
+        raise ValueError("workload byte count must be positive")
+    return workload.total_flops() / total_bytes
+
+
+def machine_balance(machine: MachineModel, threads: int | None = None) -> float:
+    """FLOPs per byte the machine can sustain (the roofline ridge point)."""
+    threads = machine.num_cores if threads is None else threads
+    return machine.sustained_gflops(threads) / machine.bandwidth_gbs(threads)
+
+
+def roofline_gflops(
+    machine: MachineModel, workload: SweepWorkload, threads: int | None = None
+) -> float:
+    """Attainable GFLOP/s of the kernel under the classic roofline."""
+    threads = machine.num_cores if threads is None else threads
+    ai = arithmetic_intensity(workload, machine.l2_bytes())
+    return min(machine.sustained_gflops(threads), ai * machine.bandwidth_gbs(threads))
+
+
+def is_memory_bound(
+    machine: MachineModel, workload: SweepWorkload, threads: int | None = None
+) -> bool:
+    """True when the kernel sits left of the roofline ridge point."""
+    threads = machine.num_cores if threads is None else threads
+    return arithmetic_intensity(workload, machine.l2_bytes()) < machine_balance(machine, threads)

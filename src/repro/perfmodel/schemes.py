@@ -1,0 +1,143 @@
+"""The six loop-ordering / threading schemes of Figures 3 and 4.
+
+Each scheme fixes
+
+* the **loop order / data layout** (``angle/element/group`` or
+  ``angle/group/element`` -- the storage arrays always match the loop
+  ordering, as in the paper), and
+* **which loops are parallelised with OpenMP** (shown in bold in the paper's
+  legend): the elements-in-bucket loop, the energy-group loop, or both
+  collapsed with ``collapse(2)``.
+
+Threading over angles within the octant is not part of the figures because
+the atomic scalar-flux update made it slower than serial (Section IV-A.3); a
+scheme constant is still provided so the ablation benchmark can quantify that
+penalty with the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from .layouts import LAYOUT_ELEMENT_MAJOR, LAYOUT_GROUP_MAJOR, DataLayout
+
+__all__ = ["ThreadingScheme", "paper_schemes", "angle_threading_scheme"]
+
+
+@dataclass(frozen=True)
+class ThreadingScheme:
+    """One concurrency scheme for processing the local sweep schedule.
+
+    Attributes
+    ----------
+    layout:
+        The data layout / loop order.
+    thread_elements:
+        The elements-in-bucket loop is OpenMP parallel.
+    thread_groups:
+        The energy-group loop is OpenMP parallel.
+    collapsed:
+        Both loops are collapsed into one parallel iteration space
+        (requires both ``thread_elements`` and ``thread_groups``).
+    thread_angles:
+        Angles within an octant are threaded (needs an atomic scalar-flux
+        reduction; only used by the ablation model).
+    """
+
+    layout: DataLayout
+    thread_elements: bool = False
+    thread_groups: bool = False
+    collapsed: bool = False
+    thread_angles: bool = False
+
+    def __post_init__(self) -> None:
+        if self.collapsed and not (self.thread_elements and self.thread_groups):
+            raise ValueError("a collapsed scheme must thread both elements and groups")
+        if not (self.thread_elements or self.thread_groups or self.thread_angles):
+            raise ValueError("at least one loop must be threaded")
+
+    # ---------------------------------------------------------------- labels
+    @property
+    def label(self) -> str:
+        """Legend label in the paper's style, bold loops marked with ``*``."""
+        parts = []
+        parts.append("*angle*" if self.thread_angles else "angle")
+        if self.layout is LAYOUT_ELEMENT_MAJOR or self.layout.group_fastest:
+            middle = ("element", self.thread_elements)
+            inner = ("group", self.thread_groups)
+        else:
+            middle = ("group", self.thread_groups)
+            inner = ("element", self.thread_elements)
+        for name, threaded in (middle, inner):
+            parts.append(f"*{name}*" if threaded else name)
+        return "/".join(parts)
+
+    @property
+    def group_loop_inner(self) -> bool:
+        """True when the group loop is the innermost of the two (layout order)."""
+        return self.layout.group_fastest
+
+    # ------------------------------------------------------------ scheduling
+    def wall_iterations(self, bucket_size: int, num_groups: int, threads: int) -> float:
+        """Element-group items on the critical path of one bucket.
+
+        This encodes the OpenMP semantics of the three threading choices:
+        threading one loop leaves the other serial inside each thread, while
+        ``collapse(2)`` exposes the product iteration space (the paper's fix
+        for small buckets).
+        """
+        if bucket_size < 0 or num_groups < 1 or threads < 1:
+            raise ValueError("bucket_size, num_groups and threads must be positive")
+        if bucket_size == 0:
+            return 0.0
+        if self.collapsed:
+            return ceil(bucket_size * num_groups / threads)
+        if self.thread_elements and not self.thread_groups:
+            return ceil(bucket_size / threads) * num_groups
+        if self.thread_groups and not self.thread_elements:
+            return bucket_size * ceil(num_groups / threads)
+        if self.thread_elements and self.thread_groups:
+            # Nested parallelism without collapse behaves like threading the
+            # outer of the two loops (the inner team is serialised).
+            if self.group_loop_inner:
+                return ceil(bucket_size / threads) * num_groups
+            return bucket_size * ceil(num_groups / threads)
+        # Angle-only threading: the whole bucket is serial per angle.
+        return float(bucket_size * num_groups)
+
+    def concurrent_streams(self, bucket_size: int, num_groups: int, threads: int) -> int:
+        """Threads actually busy in a bucket (limits aggregate bandwidth)."""
+        if self.collapsed:
+            width = bucket_size * num_groups
+        elif self.thread_elements:
+            width = bucket_size
+        elif self.thread_groups:
+            width = num_groups
+        else:
+            width = 1
+        return max(1, min(threads, width))
+
+
+def paper_schemes() -> list[ThreadingScheme]:
+    """The six schemes plotted in Figures 3 and 4 (legend order)."""
+    return [
+        # angle/element/group layout: thread elements; thread both (collapse);
+        # thread groups.
+        ThreadingScheme(layout=LAYOUT_ELEMENT_MAJOR, thread_elements=True),
+        ThreadingScheme(
+            layout=LAYOUT_ELEMENT_MAJOR, thread_elements=True, thread_groups=True, collapsed=True
+        ),
+        ThreadingScheme(layout=LAYOUT_ELEMENT_MAJOR, thread_groups=True),
+        # angle/group/element layout: same three threading choices.
+        ThreadingScheme(layout=LAYOUT_GROUP_MAJOR, thread_elements=True),
+        ThreadingScheme(
+            layout=LAYOUT_GROUP_MAJOR, thread_elements=True, thread_groups=True, collapsed=True
+        ),
+        ThreadingScheme(layout=LAYOUT_GROUP_MAJOR, thread_groups=True),
+    ]
+
+
+def angle_threading_scheme() -> ThreadingScheme:
+    """The angle-threaded scheme (atomic scalar-flux update) for the ablation."""
+    return ThreadingScheme(layout=LAYOUT_ELEMENT_MAJOR, thread_angles=True)

@@ -1,0 +1,157 @@
+"""Thread-scaling simulator for the assemble/solve portion of the sweep.
+
+For a problem specification, a machine description and a threading scheme the
+simulator predicts the wall-clock time of the assemble/solve routine as a
+function of the thread count by walking the *actual* bucket schedule of the
+mesh (the same tlevel buckets the real sweep uses) and charging each bucket
+
+* a **compute time** -- critical-path work items (which encode the OpenMP
+  semantics of the scheme, including the ``collapse(2)`` benefit for small
+  buckets and the load imbalance of large thread counts) divided by the
+  sustained per-core throughput, and
+* a **memory time** -- the bucket's DRAM traffic divided by the bandwidth the
+  active threads can draw, derated by the access-efficiency factor of the
+  chosen data layout (the 64 B vs 4 kB vs 32 kB stride effect of the paper).
+
+The bucket time is the maximum of the two (a bulk-synchronous roofline), and
+bucket times are summed over angles, octants and inner iterations.  Nothing
+is fitted to the paper's measurements; the model exists to reproduce the
+*shape* of Figures 3 and 4 from first principles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..angular.quadrature import snap_dummy_quadrature
+from ..config import ProblemSpec
+from ..fem.element import HexElementFactors
+from ..fem.reference import ReferenceElement
+from ..mesh.builder import StructuredGridSpec, build_snap_mesh
+from ..sweepsched.schedule import build_sweep_schedule
+from .machine import MachineModel, skylake_8176_node
+from .schemes import ThreadingScheme
+from .workload import SweepWorkload
+
+__all__ = ["ScalingPoint", "SweepPerformanceModel"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point of a thread-scaling curve."""
+
+    threads: int
+    seconds: float
+    compute_seconds: float
+    memory_seconds: float
+
+    @property
+    def bound(self) -> str:
+        """Which resource limits this point ("compute" or "memory")."""
+        return "compute" if self.compute_seconds >= self.memory_seconds else "memory"
+
+
+@dataclass
+class SweepPerformanceModel:
+    """Predicts assemble/solve time of the sweep for a problem and machine.
+
+    Parameters
+    ----------
+    spec:
+        The problem specification (grid, order, angles, groups, inners).
+    machine:
+        Node description; defaults to the paper's Skylake 8176 node.
+    bucket_sizes:
+        Optional explicit wavefront sizes (one entry per bucket of one
+        representative angle).  When omitted they are computed from the real
+        sweep schedule of the specified mesh, which is exact but requires
+        building the mesh; the schedule depends only on the mesh and twist,
+        not on the element order, so the order-1 geometry is used.
+    """
+
+    spec: ProblemSpec
+    machine: MachineModel = field(default_factory=skylake_8176_node)
+    bucket_sizes: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.bucket_sizes is None:
+            self.bucket_sizes = self._schedule_bucket_sizes()
+        self.bucket_sizes = np.asarray(self.bucket_sizes, dtype=np.int64)
+        if self.bucket_sizes.sum() != self.spec.num_cells:
+            raise ValueError(
+                "bucket sizes must partition the mesh cells "
+                f"({self.bucket_sizes.sum()} != {self.spec.num_cells})"
+            )
+        self.workload = SweepWorkload(order=self.spec.order, num_groups=self.spec.num_groups)
+
+    # ----------------------------------------------------------- schedule data
+    def _schedule_bucket_sizes(self) -> np.ndarray:
+        """Bucket sizes of one representative angle of the real schedule."""
+        spec = self.spec
+        mesh = build_snap_mesh(
+            StructuredGridSpec(spec.nx, spec.ny, spec.nz, spec.lx, spec.ly, spec.lz),
+            max_twist=spec.max_twist,
+            twist_axis=spec.twist_axis,
+        )
+        ref = ReferenceElement(1)
+        factors = HexElementFactors.build(mesh.cell_vertices(), ref)
+        quadrature = snap_dummy_quadrature(1)
+        schedule = build_sweep_schedule(mesh, factors, quadrature)
+        return schedule.for_angle(0).bucket_sizes()
+
+    # --------------------------------------------------------------- modelling
+    def bucket_time(self, scheme: ThreadingScheme, bucket_size: int, threads: int) -> tuple[float, float]:
+        """(compute, memory) seconds of one bucket for one angle."""
+        groups = self.spec.num_groups
+        wall_items = scheme.wall_iterations(bucket_size, groups, threads)
+        flops_per_item = self.workload.total_flops()
+        compute = wall_items * flops_per_item / (self.machine.sustained_core_gflops() * 1e9)
+
+        streams = scheme.concurrent_streams(bucket_size, groups, threads)
+        bandwidth = self.machine.bandwidth_gbs(streams) * 1e9
+        efficiency = scheme.layout.access_efficiency(
+            self.spec.order, groups, scheme.group_loop_inner
+        )
+        total_bytes = bucket_size * groups * self.workload.total_bytes(self.machine.l2_bytes())
+        memory = total_bytes / (bandwidth * efficiency)
+        return compute, memory
+
+    def sweep_time(self, scheme: ThreadingScheme, threads: int) -> ScalingPoint:
+        """Predicted assemble/solve time of the whole run (all inners)."""
+        threads = min(int(threads), self.machine.num_cores)
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        compute_total = 0.0
+        memory_total = 0.0
+        elapsed_total = 0.0
+        angle_multiplier = 8 * self.spec.angles_per_octant
+        if scheme.thread_angles:
+            # Angles of an octant processed concurrently, but the atomic
+            # scalar-flux update serialises the accumulation: model it as no
+            # speedup plus a contention penalty growing with the thread count.
+            contention = 1.0 + 0.15 * (threads - 1)
+        else:
+            contention = 1.0
+        for bucket_size in self.bucket_sizes.tolist():
+            compute, memory = self.bucket_time(scheme, int(bucket_size), threads)
+            compute_total += compute
+            memory_total += memory
+            elapsed_total += max(compute, memory)
+        scale = angle_multiplier * self.spec.num_inners * self.spec.num_outers * contention
+        return ScalingPoint(
+            threads=threads,
+            seconds=elapsed_total * scale,
+            compute_seconds=compute_total * scale,
+            memory_seconds=memory_total * scale,
+        )
+
+    def scaling_curve(self, scheme: ThreadingScheme, thread_counts: list[int]) -> list[ScalingPoint]:
+        """Thread-scaling curve for one scheme."""
+        return [self.sweep_time(scheme, t) for t in thread_counts]
+
+    def best_scheme(self, schemes: list[ThreadingScheme], threads: int) -> ThreadingScheme:
+        """The scheme with the lowest predicted time at the given thread count."""
+        times = [self.sweep_time(s, threads).seconds for s in schemes]
+        return schemes[int(np.argmin(times))]

@@ -1,0 +1,132 @@
+"""FLOP and byte counts of the assemble/solve kernel.
+
+The runtime of UnSNAP "is dominated by the assembly and solve of the local
+linear system for each angle/element/group" (Section III-C).  The workload
+model counts, per element-angle-group work item:
+
+* **assembly FLOPs** -- combining the three gradient-matrix components with
+  the direction cosines, adding ``sigma_t M``, accumulating the outflow-face
+  matrices and forming the right-hand side; all of these are ``O(N^2)``
+  operations on the ``N x N`` local matrix.
+* **solve FLOPs** -- ``(2/3) N^3`` for the dense factorisation/solve, the
+  figure quoted by the paper for LAPACK's ``dgesv``.
+* **assembly bytes** -- the reads of the 13 coefficient arrays (pre-computed
+  basis-pair integrals, cross sections, quadrature cosines, upwind angular
+  flux) plus the write of the new nodal angular flux; this is what drags the
+  arithmetic intensity down to the ~0.25 FLOP/byte the paper reports for
+  linear elements.
+* **solve bytes** -- the constructed matrix is small and stays in cache, so
+  only matrices that exceed the L2 capacity add DRAM traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..fem.lagrange import nodes_per_element
+
+__all__ = ["SweepWorkload"]
+
+#: Number of distinct coefficient arrays the assembly reads (Section III-C).
+NUM_COEFFICIENT_ARRAYS = 13
+
+
+@dataclass(frozen=True)
+class SweepWorkload:
+    """Work per element-angle-group item for a given element order.
+
+    Parameters
+    ----------
+    order:
+        Lagrange element order.
+    num_groups:
+        Energy groups (needed to amortise per-element reads over the group
+        loop when the group loop is innermost).
+    """
+
+    order: int
+    num_groups: int
+
+    def __post_init__(self) -> None:
+        if self.order < 1:
+            raise ValueError("order must be >= 1")
+        if self.num_groups < 1:
+            raise ValueError("num_groups must be >= 1")
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def nodes(self) -> int:
+        """Local matrix dimension N = (p + 1)^3."""
+        return nodes_per_element(self.order)
+
+    @property
+    def face_nodes(self) -> int:
+        """Nodes on one face, (p + 1)^2."""
+        return (self.order + 1) ** 2
+
+    def matrix_bytes(self) -> int:
+        """FP64 footprint of one local matrix (Table I)."""
+        return self.nodes * self.nodes * 8
+
+    # ------------------------------------------------------------------ FLOPs
+    def assembly_flops(self) -> float:
+        """FLOPs to assemble A and b for one element-angle-group item."""
+        n = self.nodes
+        nf = self.face_nodes
+        streaming = 2.0 * 3.0 * n * n        # Omega . G (3 scaled additions)
+        collision = 2.0 * n * n              # + sigma_t * M
+        faces = 2.0 * 3.0 * 3.0 * nf * nf    # ~3 outflow faces, 3 components
+        rhs = 2.0 * n * n + 2.0 * 3.0 * n * nf  # M S and upwind couplings
+        return streaming + collision + faces + rhs
+
+    def solve_flops(self) -> float:
+        """FLOPs of the dense solve, 0.67 N^3 (paper, Section II-C)."""
+        return (2.0 / 3.0) * float(self.nodes) ** 3
+
+    def total_flops(self) -> float:
+        return self.assembly_flops() + self.solve_flops()
+
+    # ------------------------------------------------------------------ bytes
+    def psi_bytes(self) -> float:
+        """Angular-flux traffic: write own nodal values, read ~3 upwind traces."""
+        return 8.0 * self.nodes * (1.0 + 3.0)
+
+    def coefficient_bytes(self) -> float:
+        """Reads of the pre-computed basis-pair integral arrays and small data.
+
+        The mass matrix, the three gradient components and the face coupling
+        matrices are unique per element but shared across the angle and group
+        loops; with the group loop innermost they are read from memory once
+        per element-angle and amortised over the groups.
+        """
+        n = self.nodes
+        nf = self.face_nodes
+        per_element_angle = 8.0 * (n * n + 3 * n * n + 6 * 3 * nf * nf)
+        small_arrays = 8.0 * NUM_COEFFICIENT_ARRAYS  # cosines, sigma_t, weights, ...
+        return per_element_angle / self.num_groups + small_arrays + 8.0 * n  # + source
+
+    def assembly_bytes(self) -> float:
+        return self.psi_bytes() + self.coefficient_bytes()
+
+    def solve_bytes(self, l2_bytes: float = 1024.0 * 1024.0) -> float:
+        """DRAM traffic of the solve: zero while the matrix is cache resident.
+
+        Matrices larger than the L2 capacity (order >= 5 on Skylake) spill and
+        are streamed once more.
+        """
+        matrix = float(self.matrix_bytes())
+        return 0.0 if matrix <= l2_bytes else matrix
+
+    def total_bytes(self, l2_bytes: float = 1024.0 * 1024.0) -> float:
+        return self.assembly_bytes() + self.solve_bytes(l2_bytes)
+
+    # -------------------------------------------------------------- aggregate
+    def item_count(self, num_elements: int, num_angles: int) -> int:
+        """Total element-angle-group work items of one sweep."""
+        return num_elements * num_angles * self.num_groups
+
+    def sweep_flops(self, num_elements: int, num_angles: int) -> float:
+        return self.item_count(num_elements, num_angles) * self.total_flops()
+
+    def sweep_bytes(self, num_elements: int, num_angles: int, l2_bytes: float = 1 << 20) -> float:
+        return self.item_count(num_elements, num_angles) * self.total_bytes(l2_bytes)

@@ -1,0 +1,25 @@
+"""Local dense linear solvers for the per-element DG systems.
+
+The heart of the UnSNAP sweep is the assembly and solution of one small dense
+system ``A psi = b`` per element, angle and group.  The paper compares a
+hand-written vectorised Gaussian-elimination routine against LAPACK's
+``dgesv`` (from the Intel MKL) and finds that the hand-written solver wins
+for small matrices (orders <= 3, N <= 64) while the library wins for larger
+ones (Table II).  This sub-package provides both paths plus batched variants
+that solve the systems of all energy groups of an element at once.
+"""
+
+from .gaussian import gaussian_elimination_solve, batched_gaussian_solve
+from .lapack import lapack_solve, batched_lapack_solve, lu_factor_solve
+from .registry import LocalSolver, get_solver, available_solvers
+
+__all__ = [
+    "gaussian_elimination_solve",
+    "batched_gaussian_solve",
+    "lapack_solve",
+    "batched_lapack_solve",
+    "lu_factor_solve",
+    "LocalSolver",
+    "get_solver",
+    "available_solvers",
+]

@@ -1,0 +1,84 @@
+"""Registry of local solvers selectable by name.
+
+The input deck (and the benchmark harness) selects the local solver by name,
+matching UnSNAP's build/run-time choice between the hand-written Gaussian
+elimination and the MKL ``dgesv`` path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .gaussian import batched_gaussian_solve, gaussian_elimination_solve
+from .lapack import batched_lapack_solve, lapack_solve
+
+__all__ = ["LocalSolver", "get_solver", "available_solvers"]
+
+
+@dataclass(frozen=True)
+class LocalSolver:
+    """A named local solver with single-system and batched entry points.
+
+    Attributes
+    ----------
+    name:
+        Registry key, e.g. ``"ge"`` or ``"lapack"``.
+    description:
+        Human-readable description used in reports.
+    solve:
+        Callable ``(matrix (N, N), rhs (N,)) -> (N,)``.
+    solve_batched:
+        Callable ``(matrices (B, N, N), rhs (B, N)) -> (B, N)``.
+    """
+
+    name: str
+    description: str
+    solve: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    solve_batched: Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+_REGISTRY: dict[str, LocalSolver] = {
+    "ge": LocalSolver(
+        name="ge",
+        description="hand-written Gaussian elimination with partial pivoting "
+        "(vectorised over the batch, the paper's GE path)",
+        solve=gaussian_elimination_solve,
+        solve_batched=batched_gaussian_solve,
+    ),
+    "lapack": LocalSolver(
+        name="lapack",
+        description="LAPACK dgesv via NumPy/SciPy (the paper's MKL path)",
+        solve=lapack_solve,
+        solve_batched=batched_lapack_solve,
+    ),
+}
+
+#: Aliases accepted by :func:`get_solver`.
+_ALIASES = {
+    "gaussian": "ge",
+    "gauss": "ge",
+    "handwritten": "ge",
+    "mkl": "lapack",
+    "dgesv": "lapack",
+    "numpy": "lapack",
+}
+
+
+def available_solvers() -> list[str]:
+    """Names of all registered solvers."""
+    return sorted(_REGISTRY)
+
+
+def get_solver(name: str) -> LocalSolver:
+    """Look up a solver by name or alias (case-insensitive)."""
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown solver {name!r}; available: {available_solvers()}"
+        ) from None

@@ -1,0 +1,43 @@
+"""Sweep scheduling for unstructured discrete-ordinates transport.
+
+Solving the transport equation requires a sweep of the spatial domain for
+each angular direction.  Cells cannot all be solved concurrently because of
+the upwind dependency between a cell and its inflow-face neighbours, so a
+schedule determines the order in which cells are solved.  On an unstructured
+mesh the order may be unique per direction; the schedule forms a directed
+(acyclic) graph distributed between processors.
+
+This sub-package implements the *local* (on-process) schedule of the paper:
+
+* :mod:`repro.sweepsched.graph` -- per-angle face classification and upwind
+  dependency graph construction from the actual (possibly twisted) face
+  normals.
+* :mod:`repro.sweepsched.tlevel` -- the tlevel/bucket construction (Pautz's
+  tlevel, computed with the dependency-counter algorithm described in
+  Section III-A.2 of the paper).
+* :mod:`repro.sweepsched.schedule` -- the :class:`SweepSchedule` container
+  bundling all angles, with structural sharing when several angles have the
+  same dependency structure (always the case within an octant on an
+  untwisted mesh).
+* :mod:`repro.sweepsched.cycles` -- cycle detection and reporting (the paper
+  assumes no cycles occur and leaves breaking them to future work; we detect
+  them and fail loudly with diagnostics).
+"""
+
+from .graph import FaceClassification, classify_faces, build_dependency_graph
+from .tlevel import compute_tlevels, buckets_from_tlevels
+from .schedule import AngleSchedule, SweepSchedule, build_sweep_schedule
+from .cycles import CycleError, find_dependency_cycles
+
+__all__ = [
+    "FaceClassification",
+    "classify_faces",
+    "build_dependency_graph",
+    "compute_tlevels",
+    "buckets_from_tlevels",
+    "AngleSchedule",
+    "SweepSchedule",
+    "build_sweep_schedule",
+    "CycleError",
+    "find_dependency_cycles",
+]

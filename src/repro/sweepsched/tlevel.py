@@ -1,0 +1,82 @@
+"""tlevel computation and bucket construction.
+
+The local schedule of the paper "calculates the tlevel of each element for
+each angle (see Pautz for a definition), and places cells with the same
+tlevel in a bucket.  The buckets represent the cells on each
+hyperplane/wavefront as the sweep progresses across the mesh."
+
+The construction is exactly the dependency-counter algorithm described in
+Section III-A.2: elements whose incoming faces are all satisfied by boundary
+conditions form the first bucket; solving them increments a counter on each
+downstream neighbour, and a neighbour whose counter reaches its number of
+interior inflow faces joins the next bucket; and so on until every element is
+scheduled.  This is Kahn's topological sort processed in layers, and the
+layer index of an element is its tlevel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mesh.hexmesh import UnstructuredHexMesh
+from .cycles import CycleError, find_dependency_cycles
+from .graph import FaceClassification, build_dependency_graph
+
+__all__ = ["compute_tlevels", "buckets_from_tlevels"]
+
+
+def compute_tlevels(
+    mesh: UnstructuredHexMesh, classification: FaceClassification
+) -> np.ndarray:
+    """Compute the tlevel (wavefront index) of every element for one direction.
+
+    Raises
+    ------
+    CycleError
+        If the upwind dependency graph contains a cycle (possible on heavily
+        distorted meshes).  The paper's first version of UnSNAP assumes no
+        cycles occur; we detect them and report the cells involved.
+    """
+    in_degree, downstream = build_dependency_graph(mesh, classification)
+    num_elements = mesh.num_cells
+    tlevel = -np.ones(num_elements, dtype=np.int64)
+
+    remaining = in_degree.copy()
+    current = np.nonzero(remaining == 0)[0].tolist()
+    level = 0
+    scheduled = 0
+    while current:
+        next_bucket: list[int] = []
+        for cell in current:
+            tlevel[cell] = level
+            scheduled += 1
+            for nbr in downstream[cell]:
+                remaining[nbr] -= 1
+                if remaining[nbr] == 0:
+                    next_bucket.append(nbr)
+        current = next_bucket
+        level += 1
+
+    if scheduled != num_elements:
+        unscheduled = np.nonzero(tlevel < 0)[0]
+        cycles = find_dependency_cycles(mesh, classification, restrict_to=unscheduled)
+        raise CycleError(unscheduled_cells=unscheduled, cycles=cycles)
+    return tlevel
+
+
+def buckets_from_tlevels(tlevels: np.ndarray) -> list[np.ndarray]:
+    """Group element ids by tlevel into ordered buckets.
+
+    The returned list is ordered by increasing tlevel; the cells within each
+    bucket are mutually independent and may be solved concurrently, but the
+    buckets must be processed in order.
+    """
+    tlevels = np.asarray(tlevels, dtype=np.int64)
+    if tlevels.size == 0:
+        return []
+    if tlevels.min() < 0:
+        raise ValueError("tlevels contain unscheduled (-1) entries")
+    order = np.argsort(tlevels, kind="stable")
+    sorted_levels = tlevels[order]
+    boundaries = np.nonzero(np.diff(sorted_levels))[0] + 1
+    return [np.asarray(b) for b in np.split(order, boundaries)]

@@ -1,0 +1,131 @@
+"""Unit tests for the SN angular quadrature sets."""
+
+import numpy as np
+import pytest
+
+from repro.angular.octants import (
+    incoming_faces_for_direction,
+    octant_of_direction,
+    outgoing_faces_for_direction,
+)
+from repro.angular.quadrature import (
+    OCTANT_SIGNS,
+    AngularQuadrature,
+    product_quadrature,
+    snap_dummy_quadrature,
+)
+
+
+class TestSnapDummyQuadrature:
+    @pytest.mark.parametrize("per_octant", [1, 2, 4, 10, 36])
+    def test_counts_and_weights(self, per_octant):
+        quad = snap_dummy_quadrature(per_octant)
+        assert quad.num_angles == 8 * per_octant
+        assert quad.per_octant == per_octant
+        assert quad.weights.sum() == pytest.approx(1.0)
+        # SNAP's dummy set uses equal weights.
+        assert np.allclose(quad.weights, quad.weights[0])
+
+    def test_directions_are_unit_vectors(self):
+        quad = snap_dummy_quadrature(10)
+        assert np.allclose(np.linalg.norm(quad.directions, axis=1), 1.0)
+
+    def test_octant_assignment_consistent_with_signs(self):
+        quad = snap_dummy_quadrature(4)
+        for a in range(quad.num_angles):
+            signs = OCTANT_SIGNS[quad.octants[a]]
+            assert np.all(np.sign(quad.directions[a]) == signs)
+
+    def test_symmetric_set_has_zero_mean_direction(self):
+        quad = snap_dummy_quadrature(6)
+        assert np.allclose(quad.mean_direction(), 0.0, atol=1e-14)
+
+    def test_angles_in_octant(self):
+        quad = snap_dummy_quadrature(3)
+        for octant in range(8):
+            idx = quad.angles_in_octant(octant)
+            assert idx.shape == (3,)
+            assert np.all(quad.octants[idx] == octant)
+        with pytest.raises(ValueError):
+            quad.angles_in_octant(8)
+
+    def test_octant_order_covers_all_angles(self):
+        quad = snap_dummy_quadrature(5)
+        all_angles = np.concatenate(quad.octant_order())
+        assert np.array_equal(np.sort(all_angles), np.arange(quad.num_angles))
+
+    def test_invalid_per_octant(self):
+        with pytest.raises(ValueError):
+            snap_dummy_quadrature(0)
+
+
+class TestProductQuadrature:
+    def test_weights_normalised(self):
+        quad = product_quadrature(2, 3)
+        assert quad.per_octant == 6
+        assert quad.weights.sum() == pytest.approx(1.0)
+
+    def test_integrates_constant(self):
+        quad = product_quadrature(3, 3)
+        values = np.ones(quad.num_angles)
+        assert quad.integrate(values) == pytest.approx(1.0)
+
+    def test_integrates_mu_squared(self):
+        # Over the unit sphere with normalised weights, <mu^2> = 1/3.
+        quad = product_quadrature(4, 4)
+        mu2 = quad.directions[:, 2] ** 2
+        assert quad.integrate(mu2) == pytest.approx(1.0 / 3.0, abs=1e-10)
+
+    def test_odd_moments_vanish(self):
+        quad = product_quadrature(3, 2)
+        for axis in range(3):
+            assert quad.integrate(quad.directions[:, axis]) == pytest.approx(0.0, abs=1e-14)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            product_quadrature(0, 1)
+
+
+class TestAngularQuadratureValidation:
+    def test_shape_checks(self):
+        with pytest.raises(ValueError):
+            AngularQuadrature(
+                directions=np.zeros((4, 2)),
+                weights=np.ones(4),
+                octants=np.zeros(4, dtype=int),
+                per_octant=1,
+            )
+        with pytest.raises(ValueError):
+            AngularQuadrature(
+                directions=np.zeros((4, 3)),
+                weights=np.ones(3),
+                octants=np.zeros(4, dtype=int),
+                per_octant=1,
+            )
+
+
+class TestOctantHelpers:
+    def test_octant_of_direction(self):
+        assert octant_of_direction(np.array([0.5, 0.5, 0.5])) == 0
+        assert octant_of_direction(np.array([-0.5, 0.5, 0.5])) == 1
+        assert octant_of_direction(np.array([0.5, -0.5, 0.5])) == 2
+        assert octant_of_direction(np.array([-0.5, -0.5, -0.5])) == 7
+
+    def test_octant_rejects_zero_cosine(self):
+        with pytest.raises(ValueError):
+            octant_of_direction(np.array([0.0, 1.0, 1.0]))
+
+    def test_incoming_outgoing_faces(self):
+        d = np.array([0.3, -0.4, 0.5])
+        assert incoming_faces_for_direction(d) == [0, 3, 4]
+        assert outgoing_faces_for_direction(d) == [1, 2, 5]
+
+    def test_faces_partition_when_all_cosines_nonzero(self):
+        d = np.array([0.1, 0.2, -0.9])
+        faces = set(incoming_faces_for_direction(d)) | set(outgoing_faces_for_direction(d))
+        assert faces == {0, 1, 2, 3, 4, 5}
+
+    def test_quadrature_octants_match_helper(self):
+        quad = snap_dummy_quadrature(4)
+        for a in range(quad.num_angles):
+            assert octant_of_direction(quad.directions[a]) == quad.octants[a]

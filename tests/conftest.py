@@ -1,0 +1,83 @@
+"""Shared fixtures for the UnSNAP reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.angular.quadrature import snap_dummy_quadrature
+from repro.config import ProblemSpec
+from repro.core.assembly import ElementMatrices
+from repro.fem.element import HexElementFactors
+from repro.fem.reference import ReferenceElement
+from repro.materials.library import snap_option1_library
+from repro.materials.source_terms import uniform_source
+from repro.mesh.builder import StructuredGridSpec, build_snap_mesh
+from repro.sweepsched.schedule import build_sweep_schedule
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(20180598)
+
+
+@pytest.fixture(scope="session")
+def small_spec():
+    """A tiny but fully featured problem (twisted mesh, multigroup)."""
+    return ProblemSpec(
+        nx=3, ny=3, nz=3,
+        order=1,
+        angles_per_octant=2,
+        num_groups=3,
+        max_twist=0.001,
+        num_inners=3,
+        num_outers=1,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_mesh(small_spec):
+    return build_snap_mesh(
+        StructuredGridSpec(small_spec.nx, small_spec.ny, small_spec.nz),
+        max_twist=small_spec.max_twist,
+    )
+
+
+@pytest.fixture(scope="session")
+def ref_order1():
+    return ReferenceElement(1)
+
+
+@pytest.fixture(scope="session")
+def ref_order2():
+    return ReferenceElement(2)
+
+
+@pytest.fixture(scope="session")
+def small_factors(small_mesh, ref_order1):
+    return HexElementFactors.build(small_mesh.cell_vertices(), ref_order1)
+
+
+@pytest.fixture(scope="session")
+def small_matrices(small_factors, ref_order1):
+    return ElementMatrices.build(small_factors, ref_order1)
+
+
+@pytest.fixture(scope="session")
+def small_quadrature(small_spec):
+    return snap_dummy_quadrature(small_spec.angles_per_octant)
+
+
+@pytest.fixture(scope="session")
+def small_schedule(small_mesh, small_factors, small_quadrature):
+    return build_sweep_schedule(small_mesh, small_factors, small_quadrature)
+
+
+@pytest.fixture(scope="session")
+def small_materials(small_spec, small_mesh):
+    return snap_option1_library(small_spec.num_groups).for_cells(small_mesh.num_cells)
+
+
+@pytest.fixture(scope="session")
+def small_source(small_spec, small_mesh):
+    return uniform_source(small_mesh.num_cells, small_spec.num_groups)

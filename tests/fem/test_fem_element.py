@@ -1,0 +1,120 @@
+"""Unit tests for the trilinear element geometry and precomputed factors."""
+
+import numpy as np
+import pytest
+
+from repro.fem.element import ElementGeometry, HexElementFactors, corner_reference_coords
+from repro.fem.lagrange import LagrangeHexBasis
+from repro.fem.reference import ReferenceElement
+from repro.mesh.builder import StructuredGridSpec, build_snap_mesh
+
+
+def unit_cube_vertices(dx=1.0, dy=1.0, dz=1.0, origin=(0.0, 0.0, 0.0)):
+    ref = corner_reference_coords()
+    verts = (ref + 1.0) / 2.0 * np.array([dx, dy, dz]) + np.array(origin)
+    return verts
+
+
+class TestElementGeometry:
+    def test_reference_coords_ordering(self):
+        ref = corner_reference_coords()
+        assert ref.shape == (8, 3)
+        # x fastest: corners 0 and 1 differ only in x.
+        assert ref[1, 0] == -ref[0, 0] and np.allclose(ref[1, 1:], ref[0, 1:])
+
+    def test_identity_like_mapping(self):
+        geo = ElementGeometry(corner_reference_coords())
+        pts = np.array([[0.0, 0.0, 0.0], [0.5, -0.25, 1.0]])
+        assert np.allclose(geo.map_points(pts), pts)
+        jac = geo.jacobian(pts)
+        assert np.allclose(jac, np.eye(3)[None, :, :])
+
+    def test_volume_of_scaled_box(self):
+        ref = ReferenceElement(1)
+        geo = ElementGeometry(unit_cube_vertices(dx=2.0, dy=0.5, dz=3.0))
+        assert geo.volume(ref) == pytest.approx(3.0)
+
+    def test_centroid(self):
+        geo = ElementGeometry(unit_cube_vertices())
+        assert np.allclose(geo.centroid(), [0.5, 0.5, 0.5])
+
+    def test_node_positions_linear(self):
+        geo = ElementGeometry(unit_cube_vertices())
+        basis = LagrangeHexBasis(1)
+        pos = geo.node_positions(basis)
+        assert pos.shape == (8, 3)
+        assert np.allclose(sorted(pos[:, 0].tolist()), [0, 0, 0, 0, 1, 1, 1, 1])
+
+    def test_face_normals_unit_cube(self):
+        ref = ReferenceElement(1)
+        geo = ElementGeometry(unit_cube_vertices())
+        expected = {
+            0: [-1, 0, 0], 1: [1, 0, 0],
+            2: [0, -1, 0], 3: [0, 1, 0],
+            4: [0, 0, -1], 5: [0, 0, 1],
+        }
+        for face, normal in expected.items():
+            normals, weights = geo.face_normal_and_area(face, ref)
+            assert np.allclose(normals, np.array(normal)[None, :], atol=1e-12)
+            assert weights.sum() == pytest.approx(1.0)  # unit face area
+
+    def test_bad_vertex_shape(self):
+        with pytest.raises(ValueError):
+            ElementGeometry(np.zeros((7, 3)))
+
+
+class TestHexElementFactors:
+    def test_batch_matches_single_element(self):
+        ref = ReferenceElement(2)
+        verts = unit_cube_vertices(dx=1.3, dy=0.7, dz=0.9)
+        factors = HexElementFactors.build(verts[None, :, :], ref)
+        geo = ElementGeometry(verts)
+        assert factors.volumes[0] == pytest.approx(geo.volume(ref))
+        normals, weights = geo.face_normal_and_area(3, ref)
+        assert np.allclose(factors.face_normals[0, 3], normals)
+        assert np.allclose(factors.face_weights[0, 3], weights)
+
+    def test_whole_mesh_volume_conserved_under_twist(self):
+        spec = StructuredGridSpec(4, 4, 4, 2.0, 2.0, 2.0)
+        ref = ReferenceElement(1)
+        # Each cross-section is rigidly rotated; the trilinear cells only
+        # approximate the sheared geometry, so the total volume is preserved
+        # exactly without twist and to a few parts in 1e4 for small twists.
+        tolerances = {0.0: 1e-12, 0.001: 1e-4, 0.01: 1e-2}
+        for twist, rel in tolerances.items():
+            mesh = build_snap_mesh(spec, max_twist=twist)
+            factors = HexElementFactors.build(mesh.cell_vertices(), ref)
+            assert factors.volumes.sum() == pytest.approx(8.0, rel=rel)
+            assert np.all(factors.volumes > 0)
+
+    def test_inverted_element_rejected(self):
+        ref = ReferenceElement(1)
+        verts = unit_cube_vertices()
+        inverted = verts.copy()
+        inverted[:, 0] *= -1.0  # mirror -> negative Jacobian
+        with pytest.raises(ValueError, match="Jacobian"):
+            HexElementFactors.build(inverted[None, :, :], ref)
+
+    def test_physical_gradients_of_linear_function(self):
+        # grad of f(x) = a.x reconstructed from nodal values must equal a.
+        ref = ReferenceElement(1)
+        verts = unit_cube_vertices(dx=1.5, dy=0.8, dz=1.1)
+        factors = HexElementFactors.build(verts[None, :, :], ref)
+        a = np.array([0.3, -1.2, 2.0])
+        geo = ElementGeometry(verts)
+        nodal = geo.node_positions(ref.basis) @ a
+        grad = np.einsum("qnd,n->qd", factors.grad_phys[0], nodal)
+        assert np.allclose(grad, a[None, :], atol=1e-12)
+
+    def test_memory_footprint_positive(self, small_factors):
+        assert small_factors.memory_footprint_bytes() > 0
+        assert small_factors.num_elements == 27
+
+    def test_normals_are_unit(self, small_factors):
+        norms = np.linalg.norm(small_factors.face_normals, axis=-1)
+        assert np.allclose(norms, 1.0, atol=1e-12)
+
+    def test_bad_shape(self):
+        ref = ReferenceElement(1)
+        with pytest.raises(ValueError):
+            HexElementFactors.build(np.zeros((3, 7, 3)), ref)

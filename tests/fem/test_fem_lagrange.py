@@ -1,0 +1,128 @@
+"""Unit tests for the arbitrary-order Lagrange bases (Table I and Fig. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.fem.lagrange import (
+    LagrangeBasis1D,
+    LagrangeHexBasis,
+    matrix_footprint_bytes,
+    nodes_per_element,
+)
+
+
+class TestTable1Quantities:
+    def test_nodes_per_element_matches_table1(self):
+        # Table I: orders 1..5 -> matrix sizes 8, 27, 64, 125, 216.
+        assert [nodes_per_element(p) for p in range(1, 6)] == [8, 27, 64, 125, 216]
+
+    def test_footprints_match_table1(self):
+        expected_kb = {1: 0.5, 2: 5.7, 3: 32.0, 4: 122.1, 5: 364.5}
+        for order, kb in expected_kb.items():
+            assert matrix_footprint_bytes(order) / 1024.0 == pytest.approx(kb, abs=0.05)
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            nodes_per_element(0)
+
+
+class TestLagrange1D:
+    @pytest.mark.parametrize("order", [1, 2, 3, 4])
+    def test_cardinal_property(self, order):
+        basis = LagrangeBasis1D.equispaced(order)
+        values = basis.evaluate(basis.nodes)
+        assert np.allclose(values, np.eye(order + 1), atol=1e-12)
+
+    @pytest.mark.parametrize("order", [1, 2, 3, 4])
+    def test_partition_of_unity(self, order):
+        basis = LagrangeBasis1D.equispaced(order)
+        x = np.linspace(-1, 1, 17)
+        assert np.allclose(basis.evaluate(x).sum(axis=1), 1.0, atol=1e-12)
+
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    def test_derivative_sums_to_zero(self, order):
+        basis = LagrangeBasis1D.equispaced(order)
+        x = np.linspace(-1, 1, 9)
+        assert np.allclose(basis.derivative(x).sum(axis=1), 0.0, atol=1e-10)
+
+    def test_derivative_matches_finite_difference(self):
+        basis = LagrangeBasis1D.equispaced(3)
+        x = np.array([-0.3, 0.1, 0.7])
+        h = 1e-6
+        numeric = (basis.evaluate(x + h) - basis.evaluate(x - h)) / (2 * h)
+        assert np.allclose(basis.derivative(x), numeric, atol=1e-6)
+
+
+class TestLagrangeHex:
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    def test_cardinal_at_nodes(self, order):
+        basis = LagrangeHexBasis(order)
+        values = basis.evaluate(basis.node_coords)
+        assert np.allclose(values, np.eye(basis.num_nodes), atol=1e-11)
+
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    def test_partition_of_unity(self, order, rng):
+        basis = LagrangeHexBasis(order)
+        pts = rng.uniform(-1, 1, size=(20, 3))
+        assert np.allclose(basis.evaluate(pts).sum(axis=1), 1.0, atol=1e-11)
+
+    def test_gradient_partition_of_unity(self, rng):
+        basis = LagrangeHexBasis(2)
+        pts = rng.uniform(-1, 1, size=(10, 3))
+        assert np.allclose(basis.gradient(pts).sum(axis=1), 0.0, atol=1e-10)
+
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    def test_interpolation_reproduces_polynomials(self, order, rng):
+        # A Lagrange basis of order p reproduces any polynomial of degree <= p
+        # in each coordinate exactly.
+        basis = LagrangeHexBasis(order)
+        coeff = rng.normal(size=(order + 1,))
+
+        def f(p):
+            return sum(c * p[:, 0] ** k for k, c in enumerate(coeff)) + p[:, 1] ** order - p[:, 2]
+
+        nodal = f(basis.node_coords)
+        pts = rng.uniform(-1, 1, size=(15, 3))
+        assert np.allclose(basis.interpolate(nodal, pts), f(pts), atol=1e-10)
+
+    def test_face_node_indices_lie_on_face(self):
+        basis = LagrangeHexBasis(3)
+        for face in range(6):
+            idx = basis.face_node_indices(face)
+            assert idx.shape == (16,)  # (p+1)^2
+            axis = face // 2
+            coord = -1.0 if face % 2 == 0 else 1.0
+            assert np.allclose(basis.node_coords[idx, axis], coord)
+
+    def test_face_node_indices_match_between_neighbours(self):
+        # Node k of face +x and node k of face -x must share (y, z): this is
+        # what makes conforming neighbour traces line up.
+        basis = LagrangeHexBasis(2)
+        plus = basis.face_node_indices(1)
+        minus = basis.face_node_indices(0)
+        assert np.allclose(basis.node_coords[plus][:, 1:], basis.node_coords[minus][:, 1:])
+
+    def test_face_reference_points(self):
+        basis = LagrangeHexBasis(1)
+        pts2d = np.array([[0.25, -0.5]])
+        pts = basis.face_reference_points(3, pts2d)  # +y face
+        assert pts.shape == (1, 3)
+        assert pts[0, 1] == 1.0
+        assert pts[0, 0] == 0.25 and pts[0, 2] == -0.5
+
+    def test_discontinuous_duplicated_nodes(self):
+        # Figure 1b: nodes on a shared face exist once per adjacent element
+        # (they are *not* merged); the basis therefore always has (p+1)^3
+        # nodes per element regardless of neighbours.
+        for order in (1, 2):
+            basis = LagrangeHexBasis(order)
+            assert basis.num_nodes == (order + 1) ** 3
+            face_nodes = basis.face_node_indices(1)
+            assert len(set(face_nodes.tolist())) == (order + 1) ** 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            LagrangeHexBasis(0)
+        basis = LagrangeHexBasis(1)
+        with pytest.raises(ValueError):
+            basis.face_node_indices(6)

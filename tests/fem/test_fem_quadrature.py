@@ -1,0 +1,87 @@
+"""Unit tests for the Gauss-Legendre quadrature rules."""
+
+import numpy as np
+import pytest
+
+from repro.fem.quadrature import (
+    GaussLegendre1D,
+    QuadratureRule,
+    default_num_points,
+    face_quadrature,
+    volume_quadrature,
+)
+
+
+class TestGaussLegendre1D:
+    def test_weights_sum_to_interval_length(self):
+        for n in range(1, 8):
+            rule = GaussLegendre1D.with_points(n)
+            assert rule.weights.sum() == pytest.approx(2.0)
+
+    def test_points_inside_interval_and_sorted(self):
+        rule = GaussLegendre1D.with_points(6)
+        assert np.all(rule.points > -1.0) and np.all(rule.points < 1.0)
+        assert np.all(np.diff(rule.points) > 0)
+
+    def test_polynomial_exactness(self):
+        # An n-point rule integrates monomials up to degree 2n - 1 exactly.
+        for n in range(1, 6):
+            rule = GaussLegendre1D.with_points(n)
+            for degree in range(2 * n):
+                exact = 0.0 if degree % 2 else 2.0 / (degree + 1)
+                assert rule.integrate(lambda x, d=degree: x**d) == pytest.approx(exact, abs=1e-12)
+
+    def test_degree_2n_not_exact(self):
+        rule = GaussLegendre1D.with_points(2)
+        exact = 2.0 / 5.0
+        assert rule.integrate(lambda x: x**4) != pytest.approx(exact, abs=1e-6)
+
+    def test_invalid_point_count(self):
+        with pytest.raises(ValueError):
+            GaussLegendre1D.with_points(0)
+
+
+class TestTensorRules:
+    def test_volume_rule_weight_sum(self):
+        rule = volume_quadrature(order=2)
+        assert rule.weights.sum() == pytest.approx(8.0)  # volume of [-1,1]^3
+        assert rule.points.shape == (rule.num_points, 3)
+
+    def test_face_rule_weight_sum(self):
+        rule = face_quadrature(order=3)
+        assert rule.weights.sum() == pytest.approx(4.0)  # area of [-1,1]^2
+
+    def test_default_point_count(self):
+        assert default_num_points(1) == 3
+        assert default_num_points(4) == 6
+        with pytest.raises(ValueError):
+            default_num_points(0)
+
+    def test_volume_rule_integrates_separable_polynomial(self):
+        rule = volume_quadrature(order=2)
+        x, y, z = rule.points[:, 0], rule.points[:, 1], rule.points[:, 2]
+        values = (x**2) * (y**2) * (z**2)
+        exact = (2.0 / 3.0) ** 3
+        assert rule.integrate(values) == pytest.approx(exact, abs=1e-12)
+
+    def test_integrate_rejects_wrong_length(self):
+        rule = face_quadrature(order=1)
+        with pytest.raises(ValueError):
+            rule.integrate(np.ones(rule.num_points + 1))
+
+    def test_explicit_point_count_override(self):
+        rule = volume_quadrature(order=1, num_points=5)
+        assert rule.num_points == 125
+
+    def test_quadrature_rule_shape_validation(self):
+        with pytest.raises(ValueError):
+            QuadratureRule(points=np.zeros((4, 2)), weights=np.ones(4), dim=3)
+        with pytest.raises(ValueError):
+            QuadratureRule(points=np.zeros((4, 3)), weights=np.ones(5), dim=3)
+
+    def test_first_coordinate_fastest(self):
+        # Node/point ordering convention: x varies fastest in the flattening.
+        rule = volume_quadrature(order=1, num_points=2)
+        assert rule.points[0, 0] != rule.points[1, 0]
+        assert rule.points[0, 1] == rule.points[1, 1]
+        assert rule.points[0, 2] == rule.points[1, 2]

@@ -1,0 +1,76 @@
+"""Unit tests for the tabulated reference element."""
+
+import numpy as np
+import pytest
+
+from repro.fem.reference import ReferenceElement, get_reference_element, opposite_face
+
+
+class TestOppositeFace:
+    def test_pairs(self):
+        assert [opposite_face(f) for f in range(6)] == [1, 0, 3, 2, 5, 4]
+
+    def test_involution(self):
+        for f in range(6):
+            assert opposite_face(opposite_face(f)) == f
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            opposite_face(6)
+
+
+class TestReferenceElement:
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    def test_shapes(self, order):
+        ref = ReferenceElement(order)
+        n = (order + 1) ** 3
+        assert ref.phi_vol.shape == (ref.num_volume_points, n)
+        assert ref.dphi_vol.shape == (ref.num_volume_points, n, 3)
+        assert ref.phi_face.shape == (6, ref.num_face_points, n)
+        assert ref.phi_face_neighbor.shape == (6, ref.num_face_points, n)
+
+    def test_reference_mass_matrix_properties(self, ref_order2):
+        mass = ref_order2.reference_mass_matrix()
+        # Symmetric positive definite with total mass equal to the volume 8.
+        assert np.allclose(mass, mass.T, atol=1e-12)
+        assert np.all(np.linalg.eigvalsh(mass) > 0)
+        assert mass.sum() == pytest.approx(8.0)
+
+    def test_reference_gradient_integration_by_parts(self, ref_order2):
+        # sum_j G[d]_ij = int d(phi_i)/d(xi_d) dV, and summing over i too gives
+        # the integral of the derivative of the partition of unity = 0... but
+        # integrating a single basis derivative equals its boundary flux; the
+        # cheap exact identity is G[d] + G[d]^T = boundary mass term, which for
+        # the full sum over i, j collapses to 0 because sum_i phi_i = 1:
+        grads = ref_order2.reference_gradient_matrices()
+        for d in range(3):
+            assert grads[d].sum() == pytest.approx(0.0, abs=1e-10)
+
+    def test_face_trace_partition_of_unity(self, ref_order1):
+        for f in range(6):
+            assert np.allclose(ref_order1.phi_face[f].sum(axis=1), 1.0, atol=1e-12)
+            assert np.allclose(ref_order1.phi_face_neighbor[f].sum(axis=1), 1.0, atol=1e-12)
+
+    def test_face_trace_vanishes_off_face(self, ref_order2):
+        # Basis functions of nodes not on a face have zero trace on that face.
+        basis = ref_order2.basis
+        for f in range(6):
+            on_face = set(basis.face_node_indices(f).tolist())
+            off_face = [i for i in range(basis.num_nodes) if i not in on_face]
+            assert np.allclose(ref_order2.phi_face[f][:, off_face], 0.0, atol=1e-12)
+
+    def test_neighbor_trace_uses_opposite_face(self, ref_order1):
+        # The neighbour's trace across face f equals our own trace on the
+        # opposite face (conforming, orientation-preserving mesh).
+        for f in range(6):
+            assert np.allclose(
+                ref_order1.phi_face_neighbor[f], ref_order1.phi_face[opposite_face(f)]
+            )
+
+    def test_face_ref_points_on_face(self, ref_order1):
+        for f in range(6):
+            axis, sign = ReferenceElement.face_axis(f), ReferenceElement.face_sign(f)
+            assert np.allclose(ref_order1.face_ref_points[f][:, axis], float(sign))
+
+    def test_cached_accessor(self):
+        assert get_reference_element(2) is get_reference_element(2)

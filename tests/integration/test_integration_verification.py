@@ -1,0 +1,138 @@
+"""Integration tests: analytic limits, FD-vs-FEM agreement, end-to-end balance
+and single-rank vs multi-rank consistency."""
+
+import numpy as np
+import pytest
+
+from repro.angular.quadrature import product_quadrature
+from repro.baseline.snap_fd import SnapDiamondDifferenceSolver
+from repro.config import BoundaryCondition, ProblemSpec
+from repro.core.solver import TransportSolver
+from repro.materials.cross_sections import MaterialLibrary
+from repro.materials.library import pure_absorber, snap_option1_materials
+from repro.parallel.block_jacobi import BlockJacobiDriver
+
+
+class TestAnalyticLimits:
+    def test_infinite_medium_multigroup_flux(self):
+        """A large, optically thick scattering medium approaches the analytic
+        infinite-medium group fluxes (diag(sigma_t) - sigma_s^T) phi = q in its
+        centre."""
+        num_groups = 3
+        xs = snap_option1_materials(num_groups, scattering_ratio=0.5)
+        # Scale the cross sections up to make the 1x1x1 domain ~60 mean free
+        # paths thick so the centre does not see the vacuum boundary.
+        scaled = MaterialLibrary(
+            materials=[
+                xs.__class__(sigma_t=xs.sigma_t * 60.0, sigma_s=xs.sigma_s * 60.0, name="scaled")
+            ]
+        )
+        spec = ProblemSpec(
+            nx=5, ny=5, nz=5, order=1, angles_per_octant=2, num_groups=num_groups,
+            max_twist=0.0, num_inners=60, num_outers=40,
+            inner_tolerance=1e-10, outer_tolerance=1e-10,
+        )
+        solver = TransportSolver(spec, materials=scaled)
+        result = solver.solve()
+        expected = scaled.materials[0].infinite_medium_flux(np.ones(num_groups))
+        centre_cell = 62  # (2,2,2) of the 5^3 grid
+        centre = result.cell_average_flux[centre_cell]
+        assert np.allclose(centre, expected, rtol=2e-2)
+
+    def test_pure_absorber_exponential_attenuation(self):
+        """A mono-directional problem cannot be represented exactly by the
+        product quadrature, but the scalar flux of an incident isotropic flux
+        on a purely absorbing slab must decay monotonically and faster than
+        the slowest ordinate's optical path."""
+        sigma = 3.0
+        spec = ProblemSpec(
+            nx=10, ny=3, nz=3, lx=2.0, order=1, angles_per_octant=4, num_groups=1,
+            max_twist=0.0, num_inners=1, num_outers=1,
+            source_strength=0.0,
+            boundary=BoundaryCondition(kind="incident", incident_flux=1.0),
+        )
+        materials = MaterialLibrary(materials=[pure_absorber(1, sigma_t=sigma)])
+        solver = TransportSolver(spec, materials=materials, quadrature=product_quadrature(2, 2))
+        result = solver.solve()
+        # Cell id = i + nx*(j + ny*k): reshape Fortran-style to index [i, j, k]
+        # and follow the centre column along x.
+        flux = result.cell_average_flux[:, 0].reshape(10, 3, 3, order="F")
+        line = flux[:5, 1, 1]
+        assert np.all(np.diff(line) < 0.0)
+        # Decay between successive interior cells is at least a factor ~e^(sigma*dx*mu_min)
+        ratio = line[3] / line[2]
+        assert ratio < 1.0
+
+    def test_balance_closes_for_converged_multigroup_problem(self):
+        spec = ProblemSpec(
+            nx=4, ny=4, nz=4, order=1, angles_per_octant=2, num_groups=4,
+            max_twist=0.001, num_inners=60, num_outers=40,
+            inner_tolerance=1e-10, outer_tolerance=1e-10,
+        )
+        result = TransportSolver(spec).solve()
+        balance = result.balance
+        assert balance.relative_residual() < 1e-7
+        # Per-group balance including scattering transfer also closes.
+        assert np.max(np.abs(balance.residual)) / balance.emission.sum() < 1e-7
+        # Down-scatter only: group 0 receives nothing, later groups gain.
+        assert balance.scattering_in[0] == pytest.approx(0.0, abs=1e-12)
+        assert balance.scattering_in[1:].sum() > 0
+
+
+class TestFdVsFemAgreement:
+    def test_cell_average_fluxes_agree_on_structured_problem(self):
+        n, groups, nang = 5, 2, 2
+        spec = ProblemSpec(
+            nx=n, ny=n, nz=n, order=1, angles_per_octant=nang, num_groups=groups,
+            max_twist=0.0, num_inners=40, num_outers=1, inner_tolerance=1e-9,
+        )
+        fem = TransportSolver(spec).solve()
+        fd = SnapDiamondDifferenceSolver(
+            n, n, n, num_groups=groups, angles_per_octant=nang,
+            num_inners=40, inner_tolerance=1e-9,
+        ).solve()
+        fd_cells = fd.scalar_flux.transpose(2, 1, 0, 3).reshape(-1, groups)
+        rel = np.abs(fem.cell_average_flux - fd_cells) / np.maximum(fd_cells, 1e-12)
+        # Two different discretisations of the same transport problem: the
+        # cell-averaged fluxes agree to within a few per cent everywhere.
+        assert rel.mean() < 0.03
+        assert rel.max() < 0.10
+
+    def test_higher_order_elements_are_also_conservative(self):
+        # The arbitrarily-high-order elements of UnSNAP must satisfy the same
+        # particle balance as the linear ones, and their solution must stay
+        # close to the converged linear-element solution of the same problem.
+        base = ProblemSpec(nx=3, ny=3, nz=3, order=1, angles_per_octant=2,
+                           num_groups=1, max_twist=0.001, num_inners=40,
+                           num_outers=1, inner_tolerance=1e-9)
+        linear = TransportSolver(base).solve()
+        quadratic = TransportSolver(base.with_(order=2)).solve()
+        assert quadratic.balance.relative_residual() < 1e-6
+        rel = np.abs(quadratic.cell_average_flux - linear.cell_average_flux) / np.maximum(
+            linear.cell_average_flux, 1e-12
+        )
+        assert rel.max() < 0.1
+
+
+class TestParallelConsistency:
+    def test_block_jacobi_converges_to_single_rank_solution(self):
+        spec = ProblemSpec(
+            nx=6, ny=4, nz=2, order=1, angles_per_octant=1, num_groups=2,
+            max_twist=0.001, num_inners=30, num_outers=1, inner_tolerance=1e-10,
+        )
+        single = TransportSolver(spec).solve()
+        for npex, npey in ((2, 1), (3, 2)):
+            multi = BlockJacobiDriver(spec.with_(npex=npex, npey=npey)).solve()
+            rel = np.abs(multi.scalar_flux - single.scalar_flux) / np.maximum(
+                single.scalar_flux, 1e-12
+            )
+            assert rel.max() < 1e-6, f"rank grid {npex}x{npey} disagrees"
+
+    def test_more_ranks_need_more_iterations_for_same_tolerance(self):
+        spec = ProblemSpec(
+            nx=8, ny=4, nz=2, order=1, angles_per_octant=1, num_groups=1,
+            max_twist=0.0, num_inners=60, num_outers=1, inner_tolerance=1e-8,
+        )
+        single = BlockJacobiDriver(spec).solve()
+        multi = BlockJacobiDriver(spec.with_(npex=4, npey=2)).solve()
+        assert multi.total_inners > single.total_inners

@@ -1,0 +1,132 @@
+"""Unit tests for cross sections, the SNAP option-1 data and the sources."""
+
+import numpy as np
+import pytest
+
+from repro.materials.cross_sections import CrossSections, MaterialLibrary
+from repro.materials.library import pure_absorber, snap_option1_library, snap_option1_materials
+from repro.materials.source_terms import FixedSource, snap_option1_source, uniform_source
+
+
+class TestCrossSections:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CrossSections(sigma_t=np.array([1.0, 2.0]), sigma_s=np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            CrossSections(sigma_t=np.array([0.0]), sigma_s=np.zeros((1, 1)))
+        with pytest.raises(ValueError):
+            CrossSections(sigma_t=np.array([1.0]), sigma_s=np.array([[-0.1]]))
+
+    def test_absorption_and_ratio(self):
+        xs = CrossSections(
+            sigma_t=np.array([1.0, 2.0]),
+            sigma_s=np.array([[0.3, 0.1], [0.0, 0.5]]),
+        )
+        assert np.allclose(xs.sigma_a, [0.6, 1.5])
+        assert np.allclose(xs.scattering_ratio(), [0.4, 0.25])
+        assert xs.is_subcritical()
+
+    def test_infinite_medium_flux_single_group(self):
+        xs = CrossSections(sigma_t=np.array([2.0]), sigma_s=np.array([[0.5]]))
+        # phi = q / (sigma_t - sigma_s) = 1 / 1.5
+        assert xs.infinite_medium_flux(np.array([1.0]))[0] == pytest.approx(1.0 / 1.5)
+
+    def test_infinite_medium_flux_multigroup_conservation(self):
+        xs = snap_option1_materials(6, scattering_ratio=0.5)
+        q = np.ones(6)
+        phi = xs.infinite_medium_flux(q)
+        # Group-summed balance: total absorption equals total source.
+        assert float(xs.sigma_a @ phi) == pytest.approx(q.sum())
+
+
+class TestSnapOption1:
+    def test_sigma_t_progression(self):
+        xs = snap_option1_materials(4)
+        assert np.allclose(xs.sigma_t, [1.0, 1.01, 1.02, 1.03])
+
+    def test_scattering_ratio_exact(self):
+        for c in (0.1, 0.5, 0.9):
+            xs = snap_option1_materials(8, scattering_ratio=c)
+            assert np.allclose(xs.scattering_ratio(), c)
+            assert xs.is_subcritical()
+
+    def test_downscatter_only(self):
+        xs = snap_option1_materials(6)
+        assert np.allclose(np.tril(xs.sigma_s, k=-1), 0.0)
+
+    def test_single_group(self):
+        xs = snap_option1_materials(1, scattering_ratio=0.3)
+        assert xs.sigma_s.shape == (1, 1)
+        assert xs.sigma_s[0, 0] == pytest.approx(0.3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            snap_option1_materials(0)
+        with pytest.raises(ValueError):
+            snap_option1_materials(4, scattering_ratio=1.0)
+
+    def test_pure_absorber(self):
+        xs = pure_absorber(3, sigma_t=2.5)
+        assert np.allclose(xs.sigma_t, 2.5)
+        assert np.allclose(xs.sigma_s, 0.0)
+        assert np.allclose(xs.scattering_ratio(), 0.0)
+
+
+class TestMaterialLibrary:
+    def test_homogeneous_assignment(self):
+        lib = snap_option1_library(4).for_cells(10)
+        assert lib.cell_material.shape == (10,)
+        assert np.all(lib.cell_material == 0)
+        assert lib.sigma_t_per_cell().shape == (10, 4)
+        assert lib.sigma_s_per_cell().shape == (10, 4, 4)
+
+    def test_mismatched_group_counts_rejected(self):
+        with pytest.raises(ValueError):
+            MaterialLibrary(materials=[snap_option1_materials(2), snap_option1_materials(3)])
+
+    def test_existing_assignment_preserved(self):
+        lib = MaterialLibrary(
+            materials=[snap_option1_materials(2), pure_absorber(2)],
+            cell_material=np.array([0, 1, 1]),
+        )
+        same = lib.for_cells(3)
+        assert same is lib
+        with pytest.raises(ValueError):
+            lib.for_cells(5)
+
+    def test_per_cell_tables_respect_assignment(self):
+        lib = MaterialLibrary(
+            materials=[snap_option1_materials(2), pure_absorber(2, sigma_t=5.0)],
+            cell_material=np.array([0, 1]),
+        )
+        sig_t = lib.sigma_t_per_cell()
+        assert sig_t[1, 0] == pytest.approx(5.0)
+        assert sig_t[0, 0] == pytest.approx(1.0)
+
+    def test_empty_library_rejected(self):
+        with pytest.raises(ValueError):
+            MaterialLibrary(materials=[])
+
+
+class TestFixedSource:
+    def test_uniform_source(self):
+        src = uniform_source(5, 3, strength=2.0)
+        assert src.density.shape == (5, 3)
+        assert np.all(src.density == 2.0)
+
+    def test_snap_option1_source_is_unit(self):
+        src = snap_option1_source(4, 2)
+        assert np.all(src.density == 1.0)
+
+    def test_total_emission(self):
+        src = uniform_source(3, 2, strength=1.5)
+        volumes = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(src.total_emission(volumes), 1.5 * 6.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedSource(density=np.zeros(4))
+        with pytest.raises(ValueError):
+            FixedSource(density=-np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            uniform_source(2, 2, strength=-1.0)

@@ -1,0 +1,119 @@
+"""Unit tests for the SNAP-derived unstructured mesh builder and the twist."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.builder import StructuredGridSpec, build_snap_mesh, twist_vertices
+from repro.mesh.connectivity import build_connectivity_from_faces, validate_connectivity
+from repro.mesh.hexmesh import BOUNDARY
+
+
+class TestStructuredGridSpec:
+    def test_counts(self):
+        spec = StructuredGridSpec(4, 3, 2)
+        assert spec.num_cells == 24
+        assert spec.num_vertices == 5 * 4 * 3
+        assert spec.cell_sizes == (0.25, 1.0 / 3.0, 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StructuredGridSpec(0, 1, 1)
+        with pytest.raises(ValueError):
+            StructuredGridSpec(1, 1, 1, lx=-1.0)
+
+
+class TestBuildSnapMesh:
+    def test_counts_and_metadata(self):
+        spec = StructuredGridSpec(3, 4, 5, 1.0, 2.0, 3.0)
+        mesh = build_snap_mesh(spec)
+        assert mesh.num_cells == 60
+        assert mesh.num_vertices == 4 * 5 * 6
+        assert mesh.metadata["grid_shape"] == (3, 4, 5)
+        assert mesh.metadata["max_twist"] == 0.0
+        assert mesh.structured_index is not None
+
+    def test_boundary_face_count(self):
+        n = 4
+        mesh = build_snap_mesh(StructuredGridSpec(n, n, n))
+        # A cube of n^3 cells has 6 n^2 boundary faces.
+        assert mesh.boundary_faces().shape[0] == 6 * n * n
+
+    def test_connectivity_matches_generic_face_matching(self):
+        mesh = build_snap_mesh(StructuredGridSpec(3, 2, 4))
+        rebuilt = build_connectivity_from_faces(mesh.cells)
+        assert np.array_equal(rebuilt, mesh.face_neighbors)
+
+    def test_connectivity_is_valid(self):
+        mesh = build_snap_mesh(StructuredGridSpec(3, 3, 3), max_twist=0.001)
+        assert validate_connectivity(mesh) == []
+
+    def test_neighbor_relation_on_known_cells(self):
+        mesh = build_snap_mesh(StructuredGridSpec(3, 3, 3))
+        # Cell 0 is at (0,0,0): -x, -y, -z faces are boundary; +x neighbour is 1.
+        assert mesh.face_neighbors[0, 0] == BOUNDARY
+        assert mesh.face_neighbors[0, 2] == BOUNDARY
+        assert mesh.face_neighbors[0, 4] == BOUNDARY
+        assert mesh.face_neighbors[0, 1] == 1
+        assert mesh.face_neighbors[0, 3] == 3
+        assert mesh.face_neighbors[0, 5] == 9
+
+    def test_single_cell_mesh(self):
+        mesh = build_snap_mesh(StructuredGridSpec(1, 1, 1))
+        assert mesh.num_cells == 1
+        assert np.all(mesh.face_neighbors == BOUNDARY)
+
+    def test_domain_extents(self):
+        mesh = build_snap_mesh(StructuredGridSpec(2, 2, 2, 1.5, 2.5, 3.5))
+        lo, hi = mesh.bounding_box()
+        assert np.allclose(lo, 0.0)
+        assert np.allclose(hi, [1.5, 2.5, 3.5])
+
+
+class TestTwist:
+    def test_zero_twist_is_identity(self):
+        spec = StructuredGridSpec(2, 2, 2)
+        mesh = build_snap_mesh(spec)
+        twisted = twist_vertices(mesh.vertices, spec, 0.0)
+        assert np.array_equal(twisted, mesh.vertices)
+
+    def test_twist_preserves_axis_coordinate(self):
+        spec = StructuredGridSpec(3, 3, 3)
+        base = build_snap_mesh(spec).vertices
+        twisted = twist_vertices(base, spec, 0.05, axis="z")
+        assert np.allclose(twisted[:, 2], base[:, 2])
+        assert not np.allclose(twisted[:, 0], base[:, 0])
+
+    def test_twist_is_rigid_per_cross_section(self):
+        spec = StructuredGridSpec(3, 3, 3)
+        base = build_snap_mesh(spec).vertices
+        twisted = twist_vertices(base, spec, 0.05, axis="z")
+        centre = np.array([0.5, 0.5])
+        r_before = np.linalg.norm(base[:, :2] - centre, axis=1)
+        r_after = np.linalg.norm(twisted[:, :2] - centre, axis=1)
+        assert np.allclose(r_before, r_after, atol=1e-12)
+
+    def test_bottom_layer_unmoved(self):
+        spec = StructuredGridSpec(2, 2, 2)
+        base = build_snap_mesh(spec).vertices
+        twisted = twist_vertices(base, spec, 0.1, axis="z")
+        bottom = base[:, 2] == 0.0
+        assert np.allclose(twisted[bottom], base[bottom])
+
+    @pytest.mark.parametrize("axis", ["x", "y", "z"])
+    def test_all_axes_supported(self, axis):
+        spec = StructuredGridSpec(2, 2, 2)
+        mesh = build_snap_mesh(spec, max_twist=0.01, twist_axis=axis)
+        assert mesh.metadata["twist_axis"] == axis
+
+    def test_invalid_axis(self):
+        spec = StructuredGridSpec(2, 2, 2)
+        with pytest.raises(ValueError):
+            twist_vertices(np.zeros((8, 3)), spec, 0.1, axis="w")
+
+    def test_cells_no_longer_perfect_cubes(self):
+        # The stated purpose of the twist: cells stop being perfect cubes.
+        spec = StructuredGridSpec(3, 3, 3)
+        mesh = build_snap_mesh(spec, max_twist=0.05)
+        cell = mesh.cell_vertices()[26]  # a top-layer cell
+        edge1 = cell[1] - cell[0]
+        assert abs(edge1[1]) > 1e-6  # edge is no longer axis aligned

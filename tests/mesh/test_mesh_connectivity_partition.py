@@ -1,0 +1,141 @@
+"""Unit tests for generic connectivity construction and the KBA partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.builder import StructuredGridSpec, build_snap_mesh
+from repro.mesh.connectivity import (
+    FACE_CORNER_INDICES,
+    build_connectivity_from_faces,
+    face_vertex_ids,
+    validate_connectivity,
+)
+from repro.mesh.hexmesh import BOUNDARY
+from repro.mesh.partition import partition_kba, split_counts
+
+
+class TestFaceCorners:
+    def test_each_face_has_four_unique_corners(self):
+        for face in range(6):
+            assert len(set(FACE_CORNER_INDICES[face].tolist())) == 4
+
+    def test_opposite_faces_are_disjoint(self):
+        for face in (0, 2, 4):
+            a = set(FACE_CORNER_INDICES[face].tolist())
+            b = set(FACE_CORNER_INDICES[face + 1].tolist())
+            assert not (a & b)
+
+    def test_face_vertex_ids_shape(self):
+        cells = np.arange(16).reshape(2, 8)
+        assert face_vertex_ids(cells).shape == (2, 6, 4)
+
+
+class TestBuildConnectivity:
+    def test_two_cell_mesh(self):
+        mesh = build_snap_mesh(StructuredGridSpec(2, 1, 1))
+        nbrs = build_connectivity_from_faces(mesh.cells)
+        assert nbrs[0, 1] == 1 and nbrs[1, 0] == 0
+        assert np.count_nonzero(nbrs == BOUNDARY) == 10
+
+    def test_non_manifold_detection(self):
+        # Three cells sharing the same face vertex set.
+        cells = np.array([
+            [0, 1, 2, 3, 4, 5, 6, 7],
+            [0, 1, 2, 3, 8, 9, 10, 11],
+            [0, 1, 2, 3, 12, 13, 14, 15],
+        ])
+        with pytest.raises(ValueError, match="non-manifold"):
+            build_connectivity_from_faces(cells)
+
+    def test_validate_detects_asymmetry(self):
+        mesh = build_snap_mesh(StructuredGridSpec(2, 2, 1))
+        mesh.face_neighbors[0, 1] = 3  # wrong neighbour
+        problems = validate_connectivity(mesh)
+        assert problems and "does not point back" in problems[0]
+
+    def test_validate_detects_self_neighbor(self):
+        mesh = build_snap_mesh(StructuredGridSpec(2, 1, 1))
+        mesh.face_neighbors[0, 1] = 0
+        problems = validate_connectivity(mesh)
+        assert any("own neighbour" in p for p in problems)
+
+    def test_validate_detects_out_of_range(self):
+        mesh = build_snap_mesh(StructuredGridSpec(2, 1, 1))
+        mesh.face_neighbors[0, 1] = 99
+        problems = validate_connectivity(mesh)
+        assert any("out of range" in p for p in problems)
+
+
+class TestSplitCounts:
+    def test_even_split(self):
+        assert split_counts(8, 4).tolist() == [2, 2, 2, 2]
+
+    def test_uneven_split(self):
+        assert split_counts(10, 3).tolist() == [4, 3, 3]
+        assert split_counts(10, 3).sum() == 10
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            split_counts(2, 3)
+        with pytest.raises(ValueError):
+            split_counts(2, 0)
+
+
+class TestPartitionKBA:
+    @pytest.mark.parametrize("npex,npey", [(1, 1), (2, 1), (2, 2), (4, 2)])
+    def test_cells_conserved(self, npex, npey):
+        mesh = build_snap_mesh(StructuredGridSpec(4, 4, 3))
+        decomp = partition_kba(mesh, npex, npey)
+        assert decomp.num_ranks == npex * npey
+        total = sum(s.num_cells for s in decomp.subdomains)
+        assert total == mesh.num_cells
+        all_ids = np.concatenate([s.global_cell_ids for s in decomp.subdomains])
+        assert np.array_equal(np.sort(all_ids), np.arange(mesh.num_cells))
+
+    def test_columns_stay_together(self):
+        # KBA decomposition is 2-D over (x, y): all k-cells of one column share a rank.
+        mesh = build_snap_mesh(StructuredGridSpec(4, 4, 4))
+        decomp = partition_kba(mesh, 2, 2)
+        owner = decomp.cell_owner
+        ijk = mesh.structured_index
+        for i in range(4):
+            for j in range(4):
+                column = owner[(ijk[:, 0] == i) & (ijk[:, 1] == j)]
+                assert len(set(column.tolist())) == 1
+
+    def test_halo_faces_are_symmetric(self):
+        mesh = build_snap_mesh(StructuredGridSpec(4, 4, 2))
+        decomp = partition_kba(mesh, 2, 2)
+        # Every halo face on rank A pointing to rank B has a partner on B
+        # pointing back to A through the opposite face.
+        seen = set()
+        for sub in decomp.subdomains:
+            for local_cell, face, remote_rank, remote_cell in sub.halo_faces.tolist():
+                seen.add((sub.rank, local_cell, face, remote_rank, remote_cell))
+        for rank, local_cell, face, remote_rank, remote_cell in seen:
+            assert (remote_rank, remote_cell, face ^ 1, rank, local_cell) in seen
+
+    def test_single_rank_has_no_halo(self):
+        mesh = build_snap_mesh(StructuredGridSpec(3, 3, 3))
+        decomp = partition_kba(mesh, 1, 1)
+        assert decomp.total_halo_faces() == 0
+        assert decomp.subdomains[0].halo_partners().size == 0
+
+    def test_submesh_connectivity_valid(self):
+        from repro.mesh.connectivity import validate_connectivity
+
+        mesh = build_snap_mesh(StructuredGridSpec(4, 4, 2), max_twist=0.001)
+        decomp = partition_kba(mesh, 2, 2)
+        for sub in decomp.subdomains:
+            assert validate_connectivity(sub.mesh) == []
+
+    def test_requires_structured_provenance(self):
+        mesh = build_snap_mesh(StructuredGridSpec(2, 2, 2))
+        mesh.structured_index = None
+        with pytest.raises(ValueError):
+            partition_kba(mesh, 2, 1)
+
+    def test_too_many_ranks(self):
+        mesh = build_snap_mesh(StructuredGridSpec(2, 2, 2))
+        with pytest.raises(ValueError):
+            partition_kba(mesh, 3, 1)

@@ -1,0 +1,102 @@
+"""Unit tests for the unstructured hexahedral mesh container."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.builder import StructuredGridSpec, build_snap_mesh
+from repro.mesh.connectivity import validate_connectivity
+from repro.mesh.hexmesh import BOUNDARY, UnstructuredHexMesh
+
+
+@pytest.fixture(scope="module")
+def mesh333():
+    return build_snap_mesh(StructuredGridSpec(3, 3, 3))
+
+
+class TestValidation:
+    def test_shape_checks(self):
+        with pytest.raises(ValueError):
+            UnstructuredHexMesh(
+                vertices=np.zeros((4, 2)),
+                cells=np.zeros((1, 8), dtype=int),
+                face_neighbors=np.full((1, 6), BOUNDARY),
+            )
+        with pytest.raises(ValueError):
+            UnstructuredHexMesh(
+                vertices=np.zeros((8, 3)),
+                cells=np.zeros((1, 7), dtype=int),
+                face_neighbors=np.full((1, 6), BOUNDARY),
+            )
+        with pytest.raises(ValueError):
+            UnstructuredHexMesh(
+                vertices=np.zeros((8, 3)),
+                cells=np.zeros((1, 8), dtype=int),
+                face_neighbors=np.full((2, 6), BOUNDARY),
+            )
+
+    def test_vertex_index_range_check(self):
+        cells = np.zeros((1, 8), dtype=int)
+        cells[0, 7] = 99
+        with pytest.raises(ValueError):
+            UnstructuredHexMesh(
+                vertices=np.zeros((8, 3)),
+                cells=cells,
+                face_neighbors=np.full((1, 6), BOUNDARY),
+            )
+
+
+class TestQueries:
+    def test_counts(self, mesh333):
+        assert mesh333.num_cells == 27
+        assert mesh333.num_vertices == 64
+
+    def test_cell_vertices_shape(self, mesh333):
+        assert mesh333.cell_vertices().shape == (27, 8, 3)
+        assert mesh333.cell_vertices(np.array([0, 5])).shape == (2, 8, 3)
+
+    def test_centroids(self, mesh333):
+        centroids = mesh333.cell_centroids()
+        assert centroids.shape == (27, 3)
+        # Centre cell of the 3x3x3 grid sits at the domain centre.
+        assert np.allclose(centroids[13], [0.5, 0.5, 0.5])
+
+    def test_interior_faces_symmetry(self, mesh333):
+        interior = mesh333.interior_faces()
+        # Every interior face appears exactly twice (once per side).
+        assert interior.shape[0] == 2 * (3 * 3 * 2 * 3)
+        pairs = {(c, f): n for c, f, n in interior.tolist()}
+        for (cell, face), neighbor in pairs.items():
+            assert pairs[(neighbor, face ^ 1)] == cell
+
+    def test_neighbor_counts(self, mesh333):
+        counts = mesh333.neighbor_counts()
+        assert counts[13] == 6  # centre cell
+        assert counts[0] == 3  # corner cell
+        assert counts.min() == 3 and counts.max() == 6
+
+    def test_is_boundary_face(self, mesh333):
+        assert mesh333.is_boundary_face(0, 0)
+        assert not mesh333.is_boundary_face(0, 1)
+
+
+class TestExtractCells:
+    def test_extract_preserves_geometry_and_connectivity(self, mesh333):
+        selection = np.array([0, 1, 2, 9, 10, 11])
+        sub = mesh333.extract_cells(selection)
+        assert sub.num_cells == 6
+        assert validate_connectivity(sub) == []
+        assert np.array_equal(sub.metadata["global_cell_ids"], selection)
+        # Cell 0 and 1 are still x-neighbours in the sub-mesh.
+        assert sub.face_neighbors[0, 1] == 1
+        # A face whose neighbour was not selected becomes a boundary face.
+        assert sub.face_neighbors[2, 3] == BOUNDARY
+
+    def test_extract_centroids_match(self, mesh333):
+        selection = np.array([3, 4, 5])
+        sub = mesh333.extract_cells(selection)
+        assert np.allclose(sub.cell_centroids(), mesh333.cell_centroids()[selection])
+
+    def test_extract_single_cell(self, mesh333):
+        sub = mesh333.extract_cells(np.array([13]))
+        assert sub.num_cells == 1
+        assert np.all(sub.face_neighbors == BOUNDARY)

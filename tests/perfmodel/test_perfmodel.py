@@ -1,0 +1,216 @@
+"""Tests for the node performance model (machine, workload, layouts, schemes,
+simulator and roofline)."""
+
+import numpy as np
+import pytest
+
+from repro.config import ProblemSpec
+from repro.perfmodel.layouts import LAYOUT_ELEMENT_MAJOR, LAYOUT_GROUP_MAJOR
+from repro.perfmodel.machine import MachineModel, skylake_8176_node
+from repro.perfmodel.roofline import (
+    arithmetic_intensity,
+    is_memory_bound,
+    machine_balance,
+    roofline_gflops,
+)
+from repro.perfmodel.schemes import ThreadingScheme, angle_threading_scheme, paper_schemes
+from repro.perfmodel.simulator import SweepPerformanceModel
+from repro.perfmodel.workload import SweepWorkload
+
+
+class TestMachineModel:
+    def test_skylake_matches_paper_node(self):
+        node = skylake_8176_node()
+        assert node.num_cores == 56
+        assert node.frequency_ghz == pytest.approx(2.1)
+        assert node.l1_kb == 32.0  # the L1 capacity quoted in Section IV-A.2
+
+    def test_bandwidth_saturates(self):
+        node = skylake_8176_node()
+        assert node.bandwidth_gbs(1) == pytest.approx(node.per_core_bandwidth_gbs)
+        assert node.bandwidth_gbs(56) == pytest.approx(node.stream_bandwidth_gbs)
+        assert node.bandwidth_gbs(28) <= node.stream_bandwidth_gbs
+
+    def test_thread_clamping(self):
+        node = skylake_8176_node()
+        assert node.sustained_gflops(100) == node.sustained_gflops(56)
+        with pytest.raises(ValueError):
+            node.bandwidth_gbs(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineModel(
+                name="bad", num_cores=0, frequency_ghz=1, simd_doubles=8, fma_per_cycle=2,
+                l1_kb=32, l2_kb=1024, llc_mb=38, stream_bandwidth_gbs=100,
+                per_core_bandwidth_gbs=10,
+            )
+
+
+class TestWorkload:
+    def test_solve_flops_cubic_growth(self):
+        linear = SweepWorkload(order=1, num_groups=64)
+        cubic = SweepWorkload(order=3, num_groups=64)
+        assert cubic.solve_flops() / linear.solve_flops() == pytest.approx(8.0**3)
+
+    def test_paper_linear_solve_estimate(self):
+        # "in 3D where N = 8 this is over 300 FLOPS" (Section II-C).
+        w = SweepWorkload(order=1, num_groups=1)
+        assert w.solve_flops() > 300.0
+
+    def test_matrix_bytes_match_table1(self):
+        assert SweepWorkload(order=3, num_groups=1).matrix_bytes() == 32 * 1024
+
+    def test_item_and_sweep_totals(self):
+        w = SweepWorkload(order=1, num_groups=4)
+        assert w.item_count(10, 8) == 320
+        assert w.sweep_flops(10, 8) == pytest.approx(320 * w.total_flops())
+        assert w.sweep_bytes(10, 8) == pytest.approx(320 * w.total_bytes())
+
+    def test_solve_traffic_only_after_l2_spill(self):
+        small = SweepWorkload(order=2, num_groups=1)
+        huge = SweepWorkload(order=5, num_groups=1)
+        assert small.solve_bytes(l2_bytes=1 << 20) == 0.0
+        assert huge.solve_bytes(l2_bytes=100 * 1024) > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SweepWorkload(order=0, num_groups=1)
+
+
+class TestLayouts:
+    def test_strides_match_paper_numbers(self):
+        # Linear elements, 64 groups: 4 kB vs 64 B (Section IV-A.1); cubic: 32 kB.
+        assert LAYOUT_ELEMENT_MAJOR.element_stride_bytes(1, 64) == 4096
+        assert LAYOUT_GROUP_MAJOR.element_stride_bytes(1, 64) == 64
+        assert LAYOUT_ELEMENT_MAJOR.element_stride_bytes(3, 64) == 32 * 1024
+
+    def test_access_efficiency_ordering(self):
+        good = LAYOUT_ELEMENT_MAJOR.access_efficiency(1, 64, group_loop_inner=True)
+        bad = LAYOUT_GROUP_MAJOR.access_efficiency(1, 64, group_loop_inner=False)
+        assert 0 < bad < good <= 1.0
+
+    def test_cubic_group_major_less_penalised_than_linear(self):
+        # 512 B runs (cubic) prefetch much better than 64 B runs (linear).
+        linear = LAYOUT_GROUP_MAJOR.access_efficiency(1, 64, group_loop_inner=False)
+        cubic = LAYOUT_GROUP_MAJOR.access_efficiency(3, 64, group_loop_inner=False)
+        assert cubic > linear
+
+
+class TestSchemes:
+    def test_paper_has_six_schemes(self):
+        schemes = paper_schemes()
+        assert len(schemes) == 6
+        labels = [s.label for s in schemes]
+        assert len(set(labels)) == 6
+        assert sum(s.collapsed for s in schemes) == 2
+
+    def test_wall_iterations_semantics(self):
+        elem_only = ThreadingScheme(layout=LAYOUT_ELEMENT_MAJOR, thread_elements=True)
+        group_only = ThreadingScheme(layout=LAYOUT_ELEMENT_MAJOR, thread_groups=True)
+        collapsed = ThreadingScheme(
+            layout=LAYOUT_ELEMENT_MAJOR, thread_elements=True, thread_groups=True, collapsed=True
+        )
+        # Bucket of 10 elements, 64 groups, 56 threads.
+        assert elem_only.wall_iterations(10, 64, 56) == 64          # ceil(10/56)*64
+        assert group_only.wall_iterations(10, 64, 56) == 20         # 10*ceil(64/56)
+        assert collapsed.wall_iterations(10, 64, 56) == 12          # ceil(640/56)
+        # Collapse exposes the most parallelism for small buckets.
+        assert collapsed.wall_iterations(10, 64, 56) < elem_only.wall_iterations(10, 64, 56)
+
+    def test_empty_bucket(self):
+        scheme = paper_schemes()[0]
+        assert scheme.wall_iterations(0, 64, 8) == 0.0
+
+    def test_concurrent_streams(self):
+        collapsed = paper_schemes()[1]
+        assert collapsed.concurrent_streams(2, 64, 56) == 56
+        elem_only = paper_schemes()[0]
+        assert elem_only.concurrent_streams(2, 64, 56) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThreadingScheme(layout=LAYOUT_ELEMENT_MAJOR)  # nothing threaded
+        with pytest.raises(ValueError):
+            ThreadingScheme(layout=LAYOUT_ELEMENT_MAJOR, thread_elements=True, collapsed=True)
+
+    def test_angle_threading_scheme(self):
+        scheme = angle_threading_scheme()
+        assert scheme.thread_angles
+        assert "*angle*" in scheme.label
+
+
+class TestSimulator:
+    @pytest.fixture(scope="class")
+    def small_model(self):
+        spec = ProblemSpec(nx=8, ny=8, nz=8, order=1, angles_per_octant=4,
+                           num_groups=16, num_inners=5, num_outers=1)
+        return SweepPerformanceModel(spec)
+
+    def test_time_decreases_with_threads(self, small_model):
+        scheme = paper_schemes()[1]
+        t1 = small_model.sweep_time(scheme, 1).seconds
+        t8 = small_model.sweep_time(scheme, 8).seconds
+        t56 = small_model.sweep_time(scheme, 56).seconds
+        assert t1 > t8 > t56
+
+    def test_element_major_layout_wins_for_linear(self, small_model):
+        elem_major = paper_schemes()[1]
+        group_major = paper_schemes()[4]
+        assert (
+            small_model.sweep_time(elem_major, 56).seconds
+            <= small_model.sweep_time(group_major, 56).seconds
+        )
+
+    def test_collapse_is_best_scheme_at_high_thread_count(self, small_model):
+        best = small_model.best_scheme(paper_schemes(), threads=56)
+        assert best.collapsed
+        assert best.layout.group_fastest
+
+    def test_angle_threading_does_not_scale(self, small_model):
+        # Section IV-A.3: threading angles made runtime *increase* with threads.
+        scheme = angle_threading_scheme()
+        t1 = small_model.sweep_time(scheme, 1).seconds
+        t28 = small_model.sweep_time(scheme, 28).seconds
+        assert t28 >= t1
+
+    def test_scaling_curve_helper(self, small_model):
+        curve = small_model.scaling_curve(paper_schemes()[0], [1, 2, 4])
+        assert [p.threads for p in curve] == [1, 2, 4]
+        assert all(p.seconds > 0 for p in curve)
+        assert curve[0].bound in ("compute", "memory")
+
+    def test_explicit_bucket_sizes_validated(self):
+        spec = ProblemSpec(nx=2, ny=2, nz=2, order=1, angles_per_octant=1, num_groups=2)
+        with pytest.raises(ValueError):
+            SweepPerformanceModel(spec, bucket_sizes=np.array([3, 3]))
+        model = SweepPerformanceModel(spec, bucket_sizes=np.array([1, 3, 3, 1]))
+        assert model.sweep_time(paper_schemes()[0], 4).seconds > 0
+
+    def test_cubic_workload_slower_than_linear(self):
+        linear = SweepPerformanceModel(ProblemSpec(nx=4, ny=4, nz=4, order=1,
+                                                   angles_per_octant=2, num_groups=8))
+        cubic = SweepPerformanceModel(ProblemSpec(nx=4, ny=4, nz=4, order=3,
+                                                  angles_per_octant=2, num_groups=8))
+        scheme = paper_schemes()[1]
+        assert cubic.sweep_time(scheme, 56).seconds > 10 * linear.sweep_time(scheme, 56).seconds
+
+
+class TestRoofline:
+    def test_intensity_grows_with_order(self):
+        ai1 = arithmetic_intensity(SweepWorkload(order=1, num_groups=64))
+        ai3 = arithmetic_intensity(SweepWorkload(order=3, num_groups=64))
+        assert ai3 > ai1
+
+    def test_linear_left_of_ridge_cubic_right(self):
+        node = skylake_8176_node()
+        assert is_memory_bound(node, SweepWorkload(order=1, num_groups=64))
+        assert not is_memory_bound(node, SweepWorkload(order=4, num_groups=64))
+
+    def test_roofline_bounded_by_peak(self):
+        node = skylake_8176_node()
+        for order in (1, 2, 3, 4):
+            w = SweepWorkload(order=order, num_groups=16)
+            assert roofline_gflops(node, w) <= node.sustained_gflops(node.num_cores) + 1e-9
+
+    def test_machine_balance_positive(self):
+        assert machine_balance(skylake_8176_node()) > 0

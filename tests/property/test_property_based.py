@@ -1,0 +1,201 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fem.element import ElementGeometry, HexElementFactors, corner_reference_coords
+from repro.fem.lagrange import LagrangeHexBasis
+from repro.fem.reference import ReferenceElement
+from repro.materials.library import snap_option1_materials
+from repro.mesh.builder import StructuredGridSpec, build_snap_mesh
+from repro.mesh.connectivity import build_connectivity_from_faces, validate_connectivity
+from repro.mesh.partition import partition_kba, split_counts
+from repro.solvers.gaussian import batched_gaussian_solve, gaussian_elimination_solve
+from repro.sweepsched.graph import classify_faces
+from repro.sweepsched.schedule import build_sweep_schedule
+from repro.sweepsched.tlevel import buckets_from_tlevels, compute_tlevels
+from repro.angular.quadrature import snap_dummy_quadrature
+
+
+# --------------------------------------------------------------------- solvers
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_gaussian_solver_matches_numpy_on_random_systems(n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n, n)) + 2.0 * n * np.eye(n)
+    b = rng.normal(size=n)
+    x = gaussian_elimination_solve(a, b)
+    assert np.allclose(a @ x, b, atol=1e-8)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=8),
+    batch=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_batched_gaussian_solver_residuals_vanish(n, batch, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(batch, n, n)) + 2.0 * n * np.eye(n)[None]
+    b = rng.normal(size=(batch, n))
+    x = batched_gaussian_solve(a, b)
+    assert np.allclose(np.einsum("bij,bj->bi", a, x), b, atol=1e-8)
+
+
+# ------------------------------------------------------------------- FE basis
+@settings(max_examples=15, deadline=None)
+@given(
+    order=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_lagrange_interpolation_reproduces_trilinear_polynomials(order, seed):
+    rng = np.random.default_rng(seed)
+    basis = LagrangeHexBasis(order)
+    coeffs = rng.normal(size=8)
+    corners = corner_reference_coords()
+
+    def f(points):
+        x, y, z = points[:, 0], points[:, 1], points[:, 2]
+        vals = np.zeros(points.shape[0])
+        for c, (cx, cy, cz) in zip(coeffs, corners):
+            vals += c * (1 + cx * x) * (1 + cy * y) * (1 + cz * z)
+        return vals
+
+    nodal = f(basis.node_coords)
+    points = rng.uniform(-1.0, 1.0, size=(10, 3))
+    assert np.allclose(basis.interpolate(nodal, points), f(points), atol=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    order=st.integers(min_value=1, max_value=2),
+)
+def test_randomly_perturbed_hexahedra_keep_geometric_identities(seed, order):
+    # Any mild perturbation of the unit cube keeps positive Jacobians, unit
+    # normals, and a mass matrix whose entries sum to the element volume.
+    rng = np.random.default_rng(seed)
+    ref = ReferenceElement(order)
+    base = (corner_reference_coords() + 1.0) / 2.0
+    verts = base + rng.uniform(-0.08, 0.08, size=(8, 3))
+    factors = HexElementFactors.build(verts[None], ref)
+    assert factors.volumes[0] > 0
+    assert np.allclose(np.linalg.norm(factors.face_normals[0], axis=-1), 1.0, atol=1e-12)
+    geo = ElementGeometry(verts)
+    assert factors.volumes[0] == pytest.approx(geo.volume(ref), rel=1e-12)
+    mass_total = float(
+        np.einsum("q,qi,qj->", factors.vol_weights[0], ref.phi_vol, ref.phi_vol)
+    )
+    assert mass_total == pytest.approx(factors.volumes[0], rel=1e-10)
+
+
+# ----------------------------------------------------------------------- mesh
+mesh_dims = st.tuples(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+)
+
+
+@settings(max_examples=15, deadline=None)
+@given(dims=mesh_dims, twist=st.floats(min_value=0.0, max_value=0.02))
+def test_mesh_builder_invariants(dims, twist):
+    nx, ny, nz = dims
+    mesh = build_snap_mesh(StructuredGridSpec(nx, ny, nz), max_twist=twist)
+    assert mesh.num_cells == nx * ny * nz
+    assert validate_connectivity(mesh) == []
+    assert np.array_equal(build_connectivity_from_faces(mesh.cells), mesh.face_neighbors)
+    boundary = mesh.boundary_faces().shape[0]
+    assert boundary == 2 * (nx * ny + ny * nz + nx * nz)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    dims=mesh_dims,
+    npex=st.integers(min_value=1, max_value=3),
+    npey=st.integers(min_value=1, max_value=3),
+)
+def test_partition_conserves_cells_and_halos_are_symmetric(dims, npex, npey):
+    nx, ny, nz = dims
+    if npex > nx or npey > ny:
+        return  # infeasible processor grid for this mesh
+    mesh = build_snap_mesh(StructuredGridSpec(nx, ny, nz))
+    decomp = partition_kba(mesh, npex, npey)
+    assert sum(s.num_cells for s in decomp.subdomains) == mesh.num_cells
+    seen = set()
+    for sub in decomp.subdomains:
+        for cell, face, remote_rank, remote_cell in sub.halo_faces.tolist():
+            seen.add((sub.rank, cell, face, remote_rank, remote_cell))
+    for rank, cell, face, remote_rank, remote_cell in seen:
+        assert (remote_rank, remote_cell, face ^ 1, rank, cell) in seen
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(min_value=1, max_value=50), parts=st.integers(min_value=1, max_value=10))
+def test_split_counts_partitions_evenly(n, parts):
+    if parts > n:
+        return
+    counts = split_counts(n, parts)
+    assert counts.sum() == n
+    assert counts.max() - counts.min() <= 1
+
+
+# ------------------------------------------------------------------- schedule
+@settings(max_examples=15, deadline=None)
+@given(
+    dims=mesh_dims,
+    twist=st.floats(min_value=0.0, max_value=0.01),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_random_direction_schedules_are_valid_topological_orders(dims, twist, seed):
+    nx, ny, nz = dims
+    rng = np.random.default_rng(seed)
+    mesh = build_snap_mesh(StructuredGridSpec(nx, ny, nz), max_twist=twist)
+    ref = ReferenceElement(1)
+    factors = HexElementFactors.build(mesh.cell_vertices(), ref)
+    direction = rng.normal(size=3)
+    while np.any(np.abs(direction) < 1e-3):
+        direction = rng.normal(size=3)
+    direction /= np.linalg.norm(direction)
+    cls = classify_faces(factors, direction)
+    tlevels = compute_tlevels(mesh, cls)
+    buckets = buckets_from_tlevels(tlevels)
+    assert np.array_equal(np.sort(np.concatenate(buckets)), np.arange(mesh.num_cells))
+    # Every interior upwind neighbour is scheduled strictly earlier.
+    for cell in range(mesh.num_cells):
+        for face in cls.incoming_faces(cell):
+            nbr = mesh.face_neighbors[cell, face]
+            if nbr >= 0:
+                assert tlevels[nbr] < tlevels[cell]
+
+
+@settings(max_examples=10, deadline=None)
+@given(per_octant=st.integers(min_value=1, max_value=6))
+def test_schedule_sharing_never_exceeds_octant_count(per_octant):
+    mesh = build_snap_mesh(StructuredGridSpec(3, 3, 2), max_twist=0.001)
+    ref = ReferenceElement(1)
+    factors = HexElementFactors.build(mesh.cell_vertices(), ref)
+    quad = snap_dummy_quadrature(per_octant)
+    schedule = build_sweep_schedule(mesh, factors, quad)
+    assert schedule.num_unique_schedules() <= 8 * per_octant
+    assert schedule.num_angles == 8 * per_octant
+
+
+# ---------------------------------------------------------------- cross sections
+@settings(max_examples=25, deadline=None)
+@given(
+    groups=st.integers(min_value=1, max_value=16),
+    ratio=st.floats(min_value=0.0, max_value=0.95),
+)
+def test_snap_materials_preserve_scattering_ratio_and_subcriticality(groups, ratio):
+    xs = snap_option1_materials(groups, scattering_ratio=ratio)
+    assert np.allclose(xs.scattering_ratio(), ratio, atol=1e-12)
+    assert xs.is_subcritical()
+    assert np.all(xs.sigma_a >= 0)
+    phi = xs.infinite_medium_flux(np.ones(groups))
+    assert np.all(phi > 0)
+    assert float(xs.sigma_a @ phi) == pytest.approx(groups, rel=1e-9)

@@ -1,0 +1,143 @@
+"""Unit tests for the local dense solvers (hand-written GE and LAPACK)."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.gaussian import (
+    batched_gaussian_solve,
+    gaussian_elimination_solve,
+    solve_flop_count,
+)
+from repro.solvers.lapack import batched_lapack_solve, lapack_solve, lu_factor_solve
+from repro.solvers.registry import available_solvers, get_solver
+
+
+def random_system(rng, n, batch=None):
+    shape = (n, n) if batch is None else (batch, n, n)
+    a = rng.normal(size=shape)
+    # Diagonal dominance guarantees solvability (and mirrors the transport matrices).
+    eye = np.eye(n)
+    a = a + 2.0 * n * (eye if batch is None else eye[None, :, :])
+    b = rng.normal(size=(n,) if batch is None else (batch, n))
+    return a, b
+
+
+class TestGaussianElimination:
+    @pytest.mark.parametrize("n", [1, 2, 8, 27])
+    def test_matches_numpy(self, rng, n):
+        a, b = random_system(rng, n)
+        x = gaussian_elimination_solve(a, b)
+        assert np.allclose(x, np.linalg.solve(a, b), atol=1e-10)
+
+    def test_multiple_rhs(self, rng):
+        a, _ = random_system(rng, 6)
+        b = rng.normal(size=(6, 4))
+        x = gaussian_elimination_solve(a, b)
+        assert np.allclose(a @ x, b, atol=1e-10)
+
+    def test_pivoting_handles_zero_leading_entry(self):
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        b = np.array([2.0, 3.0])
+        assert np.allclose(gaussian_elimination_solve(a, b), [3.0, 2.0])
+
+    def test_singular_matrix_raises(self):
+        a = np.ones((3, 3))
+        with pytest.raises(np.linalg.LinAlgError):
+            gaussian_elimination_solve(a, np.ones(3))
+
+    def test_inputs_not_modified(self, rng):
+        a, b = random_system(rng, 5)
+        a0, b0 = a.copy(), b.copy()
+        gaussian_elimination_solve(a, b)
+        assert np.array_equal(a, a0) and np.array_equal(b, b0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_elimination_solve(np.zeros((2, 3)), np.zeros(2))
+        with pytest.raises(ValueError):
+            gaussian_elimination_solve(np.eye(3), np.zeros(2))
+
+    def test_flop_count(self):
+        assert solve_flop_count(8) == pytest.approx((2.0 / 3.0) * 512)
+
+
+class TestBatchedGaussian:
+    @pytest.mark.parametrize("n,batch", [(2, 1), (8, 16), (27, 3)])
+    def test_matches_numpy(self, rng, n, batch):
+        a, b = random_system(rng, n, batch)
+        x = batched_gaussian_solve(a, b)
+        assert np.allclose(x, np.linalg.solve(a, b[..., None])[..., 0], atol=1e-9)
+
+    def test_pivoting_per_system(self, rng):
+        # One system needs a pivot swap, the other does not.
+        a = np.stack([np.array([[0.0, 1.0], [1.0, 0.0]]), np.eye(2)])
+        b = np.array([[1.0, 2.0], [3.0, 4.0]])
+        x = batched_gaussian_solve(a, b)
+        assert np.allclose(x[0], [2.0, 1.0])
+        assert np.allclose(x[1], [3.0, 4.0])
+
+    def test_singular_batch_member_raises(self, rng):
+        a, b = random_system(rng, 3, 2)
+        a[1] = 0.0
+        with pytest.raises(np.linalg.LinAlgError):
+            batched_gaussian_solve(a, b)
+
+    def test_shape_validation(self, rng):
+        a, b = random_system(rng, 3, 2)
+        with pytest.raises(ValueError):
+            batched_gaussian_solve(a[0], b)
+        with pytest.raises(ValueError):
+            batched_gaussian_solve(a, b[:, :2])
+
+    def test_inputs_not_modified(self, rng):
+        a, b = random_system(rng, 4, 3)
+        a0, b0 = a.copy(), b.copy()
+        batched_gaussian_solve(a, b)
+        assert np.array_equal(a, a0) and np.array_equal(b, b0)
+
+
+class TestLapackSolvers:
+    def test_single_solve(self, rng):
+        a, b = random_system(rng, 8)
+        assert np.allclose(lapack_solve(a, b), np.linalg.solve(a, b))
+
+    def test_batched_solve(self, rng):
+        a, b = random_system(rng, 8, 5)
+        x = batched_lapack_solve(a, b)
+        assert np.allclose(np.einsum("bij,bj->bi", a, x), b, atol=1e-9)
+
+    def test_batched_shape_validation(self, rng):
+        a, b = random_system(rng, 3, 2)
+        with pytest.raises(ValueError):
+            batched_lapack_solve(a[0], b[0])
+        with pytest.raises(ValueError):
+            batched_lapack_solve(a, b.T)
+
+    def test_lu_factor_solve_single_and_batch(self, rng):
+        a, _ = random_system(rng, 6)
+        b1 = rng.normal(size=6)
+        bn = rng.normal(size=(4, 6))
+        assert np.allclose(lu_factor_solve(a, b1), np.linalg.solve(a, b1), atol=1e-10)
+        xn = lu_factor_solve(a, bn)
+        assert np.allclose(np.einsum("ij,bj->bi", a, xn), bn, atol=1e-9)
+
+
+class TestRegistry:
+    def test_available(self):
+        assert set(available_solvers()) == {"ge", "lapack"}
+
+    def test_aliases(self):
+        assert get_solver("MKL").name == "lapack"
+        assert get_solver("dgesv").name == "lapack"
+        assert get_solver("gaussian").name == "ge"
+        assert get_solver("ge").name == "ge"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_solver("cholesky")
+
+    def test_both_paths_agree(self, rng):
+        a, b = random_system(rng, 8, 6)
+        ge = get_solver("ge").solve_batched(a, b)
+        la = get_solver("lapack").solve_batched(a, b)
+        assert np.allclose(ge, la, atol=1e-9)

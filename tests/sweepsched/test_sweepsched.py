@@ -1,0 +1,179 @@
+"""Unit tests for face classification, tlevels, buckets and cycle detection."""
+
+import numpy as np
+import pytest
+
+from repro.angular.quadrature import snap_dummy_quadrature
+from repro.fem.element import HexElementFactors
+from repro.fem.reference import ReferenceElement
+from repro.mesh.builder import StructuredGridSpec, build_snap_mesh
+from repro.sweepsched.cycles import CycleError, find_dependency_cycles
+from repro.sweepsched.graph import classify_faces, build_dependency_graph
+from repro.sweepsched.schedule import build_sweep_schedule
+from repro.sweepsched.tlevel import buckets_from_tlevels, compute_tlevels
+
+
+@pytest.fixture(scope="module")
+def mesh_and_factors():
+    mesh = build_snap_mesh(StructuredGridSpec(4, 3, 2), max_twist=0.001)
+    ref = ReferenceElement(1)
+    factors = HexElementFactors.build(mesh.cell_vertices(), ref)
+    return mesh, factors
+
+
+class TestClassification:
+    def test_positive_octant_direction(self, mesh_and_factors):
+        mesh, factors = mesh_and_factors
+        direction = np.array([1.0, 1.0, 1.0]) / np.sqrt(3.0)
+        cls = classify_faces(factors, direction)
+        # For a (nearly) axis-aligned mesh, -x/-y/-z faces are inflow and
+        # +x/+y/+z are outflow for an all-positive direction.
+        assert np.all(cls.orientation[:, [0, 2, 4]] == -1)
+        assert np.all(cls.orientation[:, [1, 3, 5]] == +1)
+
+    def test_opposite_direction_flips_orientation(self, mesh_and_factors):
+        _mesh, factors = mesh_and_factors
+        d = np.array([0.3, 0.5, 0.81])
+        d = d / np.linalg.norm(d)
+        a = classify_faces(factors, d)
+        b = classify_faces(factors, -d)
+        assert np.array_equal(a.orientation, -b.orientation)
+        assert np.allclose(a.flow, -b.flow)
+
+    def test_incoming_outgoing_helpers(self, mesh_and_factors):
+        _mesh, factors = mesh_and_factors
+        cls = classify_faces(factors, np.array([1.0, 0.5, 0.25]) / np.linalg.norm([1.0, 0.5, 0.25]))
+        assert set(cls.incoming_faces(0).tolist()) == {0, 2, 4}
+        assert set(cls.outgoing_faces(0).tolist()) == {1, 3, 5}
+
+    def test_signature_shared_within_octant(self, mesh_and_factors):
+        _mesh, factors = mesh_and_factors
+        quad = snap_dummy_quadrature(4)
+        octant0 = quad.angles_in_octant(0)
+        signatures = {classify_faces(factors, quad.directions[a]).signature() for a in octant0}
+        # With the tiny 0.001 rad twist all angles of an octant classify alike.
+        assert len(signatures) == 1
+
+    def test_invalid_direction(self, mesh_and_factors):
+        _mesh, factors = mesh_and_factors
+        with pytest.raises(ValueError):
+            classify_faces(factors, np.array([1.0, 0.0]))
+
+
+class TestDependencyGraph:
+    def test_in_degree_counts_interior_inflow(self, mesh_and_factors):
+        mesh, factors = mesh_and_factors
+        cls = classify_faces(factors, np.array([1.0, 1.0, 1.0]) / np.sqrt(3.0))
+        in_degree, downstream = build_dependency_graph(mesh, cls)
+        # The corner cell at (0,0,0) has no interior inflow faces.
+        assert in_degree[0] == 0
+        # The cell at (1,1,1) has three upwind neighbours.
+        ijk = mesh.structured_index
+        cell = int(np.nonzero((ijk == [1, 1, 1]).all(axis=1))[0][0])
+        assert in_degree[cell] == 3
+        # Edges go from upwind to downwind cells.
+        assert cell in downstream[int(np.nonzero((ijk == [0, 1, 1]).all(axis=1))[0][0])]
+
+
+class TestTlevels:
+    def test_tlevels_are_manhattan_levels_on_structured_mesh(self, mesh_and_factors):
+        mesh, factors = mesh_and_factors
+        cls = classify_faces(factors, np.array([1.0, 1.0, 1.0]) / np.sqrt(3.0))
+        tlevels = compute_tlevels(mesh, cls)
+        ijk = mesh.structured_index
+        assert np.array_equal(tlevels, ijk.sum(axis=1))
+
+    def test_buckets_partition_cells(self, mesh_and_factors):
+        mesh, factors = mesh_and_factors
+        cls = classify_faces(factors, np.array([-0.6, 0.64, 0.48]))
+        tlevels = compute_tlevels(mesh, cls)
+        buckets = buckets_from_tlevels(tlevels)
+        cat = np.concatenate(buckets)
+        assert np.array_equal(np.sort(cat), np.arange(mesh.num_cells))
+        # Buckets are monotone in tlevel.
+        for level, bucket in enumerate(buckets):
+            assert np.all(tlevels[bucket] == level)
+
+    def test_buckets_reject_unscheduled(self):
+        with pytest.raises(ValueError):
+            buckets_from_tlevels(np.array([0, -1, 1]))
+
+    def test_empty_tlevels(self):
+        assert buckets_from_tlevels(np.empty(0, dtype=int)) == []
+
+
+class TestSweepSchedule:
+    def test_schedule_is_topological_order(self, mesh_and_factors):
+        mesh, factors = mesh_and_factors
+        quad = snap_dummy_quadrature(2)
+        schedule = build_sweep_schedule(mesh, factors, quad)
+        for a in range(quad.num_angles):
+            assert schedule.for_angle(a).validate_topological_order(mesh)
+
+    def test_structural_sharing_across_angles(self, mesh_and_factors):
+        mesh, factors = mesh_and_factors
+        quad = snap_dummy_quadrature(4)
+        schedule = build_sweep_schedule(mesh, factors, quad)
+        # 32 angles but (for the tiny twist) only 8 distinct dependency
+        # structures -- one per octant, as on a structured mesh.
+        assert schedule.num_angles == 32
+        assert schedule.num_unique_schedules() == 8
+
+    def test_concurrency_summary(self, mesh_and_factors):
+        mesh, factors = mesh_and_factors
+        quad = snap_dummy_quadrature(1)
+        schedule = build_sweep_schedule(mesh, factors, quad)
+        summary = schedule.concurrency_summary()
+        assert summary["num_angles"] == 8
+        assert summary["max_bucket_size"] >= 1
+        assert summary["total_buckets"] == sum(
+            schedule.for_angle(a).num_buckets for a in range(8)
+        )
+
+    def test_bucket_count_matches_grid_diameter(self):
+        # On an n^3 structured mesh the wavefront count is 3(n-1)+1.
+        n = 4
+        mesh = build_snap_mesh(StructuredGridSpec(n, n, n))
+        ref = ReferenceElement(1)
+        factors = HexElementFactors.build(mesh.cell_vertices(), ref)
+        quad = snap_dummy_quadrature(1)
+        schedule = build_sweep_schedule(mesh, factors, quad)
+        assert schedule.for_angle(0).num_buckets == 3 * (n - 1) + 1
+        assert schedule.for_angle(0).max_parallel_elements() >= n
+
+
+class TestCycles:
+    def _cyclic_classification(self, mesh, factors):
+        """Fabricate a pinwheel 4-cycle among cells (0,0,0), (1,0,0), (1,1,0), (0,1,0).
+
+        On the 4x3x2 mesh those cells have ids 0, 1, 5 and 4.  The
+        orientations are edited consistently (each edited face is outflow on
+        one side and inflow on the other) so the resulting dependency graph
+        is a genuine directed cycle 0 -> 1 -> 5 -> 4 -> 0.
+        """
+        d = np.array([1.0, 1.0, 1.0]) / np.sqrt(3.0)
+        cls = classify_faces(factors, d)
+        orientation = cls.orientation.copy()
+        orientation[4, 1] = -1  # cell 4 now receives from cell 5 (+x face)
+        orientation[5, 0] = +1  # ... and cell 5 sends through its -x face
+        orientation[0, 3] = -1  # cell 0 now receives from cell 4 (+y face)
+        orientation[4, 2] = +1  # ... and cell 4 sends through its -y face
+        return cls.__class__(orientation=orientation, flow=cls.flow)
+
+    def test_cycle_raises(self, mesh_and_factors):
+        mesh, factors = mesh_and_factors
+        bad = self._cyclic_classification(mesh, factors)
+        with pytest.raises(CycleError) as err:
+            compute_tlevels(mesh, bad)
+        assert {0, 1, 4, 5}.issubset(set(err.value.unscheduled_cells.tolist()))
+
+    def test_find_cycles_reports_members(self, mesh_and_factors):
+        mesh, factors = mesh_and_factors
+        bad = self._cyclic_classification(mesh, factors)
+        cycles = find_dependency_cycles(mesh, bad, restrict_to=np.array([0, 1, 4, 5]))
+        assert any(set(c) == {0, 1, 4, 5} for c in cycles)
+
+    def test_acyclic_graph_has_no_cycles(self, mesh_and_factors):
+        mesh, factors = mesh_and_factors
+        cls = classify_faces(factors, np.array([0.6, 0.64, 0.48]))
+        assert find_dependency_cycles(mesh, cls) == []

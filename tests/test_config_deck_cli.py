@@ -1,0 +1,156 @@
+"""Tests for the problem specification, the input-deck parser and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.config import BoundaryCondition, ProblemSpec
+from repro.input_deck import loads, parse_input_deck, spec_to_deck
+
+
+class TestBoundaryCondition:
+    def test_vacuum_default(self):
+        bc = BoundaryCondition()
+        assert bc.incoming_value() == 0.0
+
+    def test_incident(self):
+        bc = BoundaryCondition(kind="incident", incident_flux=2.0)
+        assert bc.incoming_value() == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BoundaryCondition(kind="reflective")
+        with pytest.raises(ValueError):
+            BoundaryCondition(kind="vacuum", incident_flux=1.0)
+
+
+class TestProblemSpec:
+    def test_derived_sizes(self):
+        spec = ProblemSpec(nx=4, ny=3, nz=2, order=2, angles_per_octant=5, num_groups=7)
+        assert spec.num_cells == 24
+        assert spec.num_angles == 40
+        assert spec.nodes_per_element == 27
+        assert spec.num_unknowns == 24 * 40 * 7 * 27
+        assert spec.angular_flux_bytes() == spec.num_unknowns * 8
+
+    def test_with_returns_modified_copy(self):
+        spec = ProblemSpec()
+        other = spec.with_(order=3, solver="lapack")
+        assert other.order == 3 and other.solver == "lapack"
+        assert spec.order == 1
+
+    def test_paper_configurations(self):
+        fig = ProblemSpec.paper_figure3_4(order=3)
+        assert (fig.nx, fig.angles_per_octant, fig.num_groups) == (16, 36, 64)
+        assert fig.num_inners == 5 and fig.num_outers == 1
+        tab = ProblemSpec.paper_table2(order=4, solver="lapack")
+        assert (tab.nx, tab.angles_per_octant, tab.num_groups) == (32, 10, 16)
+        assert tab.solver == "lapack"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProblemSpec(nx=0)
+        with pytest.raises(ValueError):
+            ProblemSpec(order=0)
+        with pytest.raises(ValueError):
+            ProblemSpec(scattering_ratio=1.0)
+        with pytest.raises(ValueError):
+            ProblemSpec(npex=10, nx=4)
+
+
+class TestInputDeck:
+    DECK = """
+    ! SNAP-style deck
+    nx=4 ny=4 nz=2
+    lx=2.0 ly=2.0 lz=1.0
+    nang=6 ng=8
+    iitm=5 oitm=2
+    epsi=1.0e-4
+    order=2 twist=0.001 twist_axis=z
+    scatp=0.4
+    solver=lapack
+    npex=2 npey=1
+    src_opt=1 mat_opt=1
+    /
+    """
+
+    def test_loads(self):
+        spec = loads(self.DECK)
+        assert (spec.nx, spec.ny, spec.nz) == (4, 4, 2)
+        assert spec.lx == 2.0 and spec.lz == 1.0
+        assert spec.angles_per_octant == 6
+        assert spec.num_groups == 8
+        assert spec.num_inners == 5 and spec.num_outers == 2
+        assert spec.inner_tolerance == pytest.approx(1e-4)
+        assert spec.outer_tolerance == pytest.approx(1e-4)
+        assert spec.order == 2 and spec.max_twist == 0.001
+        assert spec.scattering_ratio == 0.4
+        assert spec.solver == "lapack"
+        assert spec.npex == 2
+
+    def test_file_round_trip(self, tmp_path):
+        spec = ProblemSpec(nx=5, ny=4, nz=3, order=2, angles_per_octant=3,
+                           num_groups=6, max_twist=0.002, solver="lapack")
+        deck_file = tmp_path / "input.deck"
+        deck_file.write_text(spec_to_deck(spec))
+        loaded = parse_input_deck(deck_file)
+        assert loaded == spec.with_(outer_tolerance=loaded.outer_tolerance,
+                                    inner_tolerance=loaded.inner_tolerance)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(KeyError):
+            loads("nx=2 bogus=3")
+
+    def test_malformed_token_rejected(self):
+        with pytest.raises(ValueError):
+            loads("nx 2")
+
+    def test_comments_and_terminator_ignored(self):
+        spec = loads("# comment only\nnx=2 ny=2 nz=2 ! trailing\n/\n")
+        assert spec.nx == 2
+
+
+class TestCLI:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "--nx", "3", "--solver", "lapack"])
+        assert args.command == "run" and args.nx == 3
+
+    def test_table1_command(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "216" in out
+
+    def test_run_command_single_rank(self, capsys):
+        code = main(["run", "--nx", "2", "--ny", "2", "--nz", "2",
+                     "--nang", "1", "--groups", "2", "--inners", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean scalar flux" in out
+
+    def test_run_command_multi_rank(self, capsys):
+        code = main(["run", "--nx", "4", "--ny", "2", "--nz", "2", "--nang", "1",
+                     "--groups", "1", "--inners", "2", "--npex", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ranks" in out and "halo messages" in out
+
+    def test_run_from_deck(self, tmp_path, capsys):
+        deck = tmp_path / "d.deck"
+        deck.write_text("nx=2 ny=2 nz=2 nang=1 ng=1 iitm=1 oitm=1\n/")
+        assert main(["run", "--deck", str(deck)]) == 0
+        assert "UnSNAP solve summary" in capsys.readouterr().out
+
+    def test_fig3_command(self, capsys):
+        assert main(["fig3", "--threads", "1", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out and "fastest scheme" in out
+
+    def test_table2_command(self, capsys):
+        assert main(["table2", "--max-order", "1"]) == 0
+        assert "Table II" in capsys.readouterr().out
+
+    def test_balance_command(self, capsys):
+        assert main(["balance", "--n", "2", "--groups", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Particle balance" in out and "total relative residual" in out
