@@ -18,9 +18,8 @@ import pytest
 
 from repro.analysis.reporting import format_scaling_series, format_table
 from repro.config import ProblemSpec
-from repro.core.solver import TransportSolver
-from repro.parallel.block_jacobi import BlockJacobiDriver
 from repro.parallel.kba import KBAPipelineModel
+from repro.runner import run
 
 SPEC = ProblemSpec(
     nx=8, ny=4, nz=2, order=1, angles_per_octant=1, num_groups=2,
@@ -32,22 +31,22 @@ RANK_GRIDS = ((1, 1), (2, 1), (2, 2), (4, 2))
 @pytest.fixture(scope="module")
 def results():
     return {
-        (px, py): BlockJacobiDriver(SPEC.with_(npex=px, npey=py)).solve()
+        (px, py): run(SPEC.with_(npex=px, npey=py))
         for px, py in RANK_GRIDS
     }
 
 
 @pytest.mark.parametrize("npex,npey", RANK_GRIDS)
 def test_benchmark_block_jacobi_solve(benchmark, npex, npey):
-    driver = BlockJacobiDriver(SPEC.with_(npex=npex, npey=npey))
-    result = benchmark.pedantic(driver.solve, rounds=1, iterations=1)
+    spec = SPEC.with_(npex=npex, npey=npey)
+    result = benchmark.pedantic(run, args=(spec,), rounds=1, iterations=1)
     assert result.num_ranks == npex * npey
 
 
 def test_print_convergence_histories(results):
     iterations = list(range(1, SPEC.num_inners + 1))
     series = {
-        f"{px}x{py} ranks": results[(px, py)].inner_errors for px, py in RANK_GRIDS
+        f"{px}x{py} ranks": results[(px, py)].history.inner_errors for px, py in RANK_GRIDS
     }
     print()
     print(
@@ -66,7 +65,7 @@ def test_print_convergence_histories(results):
 
 
 def test_all_rank_grids_agree_with_single_rank(results):
-    reference = TransportSolver(SPEC.with_(num_inners=40, inner_tolerance=1e-10)).solve()
+    reference = run(SPEC.with_(num_inners=40, inner_tolerance=1e-10))
     for (px, py), result in results.items():
         # After only 8 lagged inners the answers differ slightly, but all are
         # within a few tenths of a per cent of the converged reference.
@@ -77,7 +76,7 @@ def test_all_rank_grids_agree_with_single_rank(results):
 
 
 def test_convergence_degrades_with_rank_count(results):
-    final_errors = [results[g].inner_errors[-1] for g in RANK_GRIDS]
+    final_errors = [results[g].history.inner_errors[-1] for g in RANK_GRIDS]
     assert final_errors[-1] > final_errors[0]
 
 

@@ -17,7 +17,7 @@ from repro.analysis.reporting import format_table
 from repro.analysis.tables import fd_vs_fem_comparison
 from repro.baseline.snap_fd import SnapDiamondDifferenceSolver
 from repro.config import ProblemSpec
-from repro.core.solver import TransportSolver
+from repro.runner import run
 
 N = 5
 GROUPS = 2
@@ -37,8 +37,7 @@ def test_benchmark_fem_sweep(benchmark):
         nx=N, ny=N, nz=N, order=1, angles_per_octant=ANGLES, num_groups=GROUPS,
         max_twist=0.0, num_inners=2, num_outers=1,
     )
-    solver = TransportSolver(spec)
-    result = benchmark.pedantic(solver.solve, rounds=1, iterations=1)
+    result = benchmark.pedantic(run, args=(spec,), rounds=1, iterations=1)
     assert result.scalar_flux.shape == (N**3, GROUPS, 8)
 
 

@@ -4,6 +4,11 @@ These benchmarks isolate the two kernels Table II is built from -- the local
 assembly and the local dense solve -- plus the sweep-schedule construction
 and the roofline characterisation, so the cost model used by the Figure 3/4
 reproduction can be sanity-checked against measured Python kernels.
+
+The sweep *engine* is the newest benchmark axis: ``test_sweep_engine`` times
+one full transport sweep per registered engine on the same problem, so the
+per-element ``reference`` loop can be compared directly against the
+per-bucket ``vectorized`` batch path (see ``repro.engines``).
 """
 
 import numpy as np
@@ -11,8 +16,10 @@ import pytest
 
 from repro.angular.quadrature import snap_dummy_quadrature
 from repro.core.assembly import ElementMatrices
+from repro.core.sweep import SweepExecutor
 from repro.fem.element import HexElementFactors
 from repro.fem.reference import ReferenceElement
+from repro.materials.library import snap_option1_library
 from repro.mesh.builder import StructuredGridSpec, build_snap_mesh
 from repro.perfmodel.roofline import arithmetic_intensity
 from repro.perfmodel.workload import SweepWorkload
@@ -21,6 +28,39 @@ from repro.sweepsched.graph import classify_faces
 from repro.sweepsched.schedule import build_sweep_schedule
 
 ORDERS = (1, 2, 3)
+ENGINES = ("reference", "vectorized")
+
+#: The engine-comparison workload: 8^3 twisted cells, 2 angles/octant,
+#: 8 groups -- one full sweep is 8192 element solves (65536 systems).
+ENGINE_BENCH = dict(n=8, angles_per_octant=2, num_groups=8, order=1)
+
+_engine_seconds = {}
+
+
+def _engine_executor(engine, solver="ge"):
+    cfg = ENGINE_BENCH
+    mesh = build_snap_mesh(
+        StructuredGridSpec(cfg["n"], cfg["n"], cfg["n"]), max_twist=0.001
+    )
+    ref = ReferenceElement(cfg["order"])
+    factors = HexElementFactors.build(mesh.cell_vertices(), ref)
+    matrices = ElementMatrices.build(factors, ref)
+    quadrature = snap_dummy_quadrature(cfg["angles_per_octant"])
+    schedule = build_sweep_schedule(mesh, factors, quadrature)
+    materials = snap_option1_library(cfg["num_groups"]).for_cells(mesh.num_cells)
+    executor = SweepExecutor(
+        mesh=mesh,
+        factors=factors,
+        ref=ref,
+        matrices=matrices,
+        schedule=schedule,
+        quadrature=quadrature,
+        materials=materials,
+        solver=solver,
+        engine=engine,
+    )
+    source = np.ones((mesh.num_cells, cfg["num_groups"], ref.num_nodes))
+    return executor, source
 
 
 def _local_systems(order, num_groups, seed=0):
@@ -66,6 +106,33 @@ def test_print_arithmetic_intensity(order):
     print(f"\norder {order}: modelled arithmetic intensity = {ai:.2f} FLOP/byte "
           f"({workload.total_flops():.0f} FLOPs, {workload.total_bytes():.0f} bytes per item)")
     assert ai > 0
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_sweep_engine(benchmark, engine):
+    """Time one full sweep (all octants, angles, groups) per sweep engine."""
+    executor, source = _engine_executor(engine)
+    result = benchmark.pedantic(executor.sweep, args=(source,), rounds=1, iterations=1)
+    _engine_seconds[engine] = result.timings.total_seconds
+    assert result.scalar_flux.shape == (executor.mesh.num_cells, 8, 8)
+    assert result.timings.systems_solved == executor.mesh.num_cells * 16 * 8
+
+
+def test_print_engine_speedup():
+    """Print the engine comparison (vectorized vs reference assemble/solve time)."""
+    for engine in ENGINES:
+        if engine not in _engine_seconds:
+            executor, source = _engine_executor(engine)
+            _engine_seconds[engine] = executor.sweep(source).timings.total_seconds
+    ref, vec = _engine_seconds["reference"], _engine_seconds["vectorized"]
+    print(f"\nsweep engine comparison ({ENGINE_BENCH['n']}^3 cells, "
+          f"{8 * ENGINE_BENCH['angles_per_octant']} angles, "
+          f"{ENGINE_BENCH['num_groups']} groups):")
+    print(f"  reference : {ref:.3f} s")
+    print(f"  vectorized: {vec:.3f} s  ({ref / vec:.1f}x speedup)")
+    # No vec < ref assertion: single-round wall-clock comparisons are noisy
+    # on shared CI boxes; the printed ratio is the signal.
+    assert ref > 0 and vec > 0
 
 
 def test_schedule_construction(benchmark):

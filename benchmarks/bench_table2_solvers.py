@@ -19,7 +19,7 @@ GE side here); EXPERIMENTS.md discusses this in detail.
 import pytest
 
 from repro.analysis.reporting import format_table
-from repro.core.solver import TransportSolver
+from repro.runner import run
 
 ORDERS = (1, 2, 3)
 SOLVERS = ("ge", "lapack")
@@ -30,7 +30,7 @@ _results_cache = {}
 def _run(spec):
     key = (spec.order, spec.solver)
     if key not in _results_cache:
-        _results_cache[key] = TransportSolver(spec).solve()
+        _results_cache[key] = run(spec)
     return _results_cache[key]
 
 
@@ -39,8 +39,7 @@ def _run(spec):
 def test_assemble_solve_time(benchmark, table2_base_spec, order, solver):
     """Benchmark one full solve per (order, solver) cell of Table II."""
     spec = table2_base_spec.with_(order=order, solver=solver)
-    solver_obj = TransportSolver(spec)
-    result = benchmark.pedantic(solver_obj.solve, rounds=1, iterations=1)
+    result = benchmark.pedantic(run, args=(spec,), rounds=1, iterations=1)
     _results_cache[(order, solver)] = result
     assert result.timings.total_seconds > 0
 

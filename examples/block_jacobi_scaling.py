@@ -16,8 +16,8 @@ import numpy as np
 
 from repro.analysis.reporting import format_scaling_series, format_table
 from repro.config import ProblemSpec
-from repro.parallel.block_jacobi import BlockJacobiDriver
 from repro.parallel.kba import KBAPipelineModel
+from repro.runner import run
 
 
 def main() -> None:
@@ -36,12 +36,11 @@ def main() -> None:
     traffic_rows = []
     reference = None
     for npex, npey in rank_grids:
-        driver = BlockJacobiDriver(spec.with_(npex=npex, npey=npey))
-        result = driver.solve()
+        result = run(spec.with_(npex=npex, npey=npey), engine="vectorized")
         label = f"{npex}x{npey} ranks"
-        histories[label] = result.inner_errors
+        histories[label] = result.history.inner_errors
         traffic_rows.append(
-            (label, result.messages, result.bytes_exchanged, round(result.wall_seconds, 2))
+            (label, result.messages, result.bytes_exchanged, round(result.solve_seconds, 2))
         )
         if reference is None:
             reference = result.scalar_flux

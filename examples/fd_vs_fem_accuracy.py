@@ -14,7 +14,7 @@ import numpy as np
 from repro.analysis.reporting import format_table
 from repro.baseline.snap_fd import SnapDiamondDifferenceSolver
 from repro.config import ProblemSpec
-from repro.core.solver import TransportSolver
+from repro.runner import run
 from repro.perfmodel.workload import SweepWorkload
 
 
@@ -41,7 +41,7 @@ def main() -> None:
     ).solve()
 
     print("Solving with the DG finite element sweep (UnSNAP, untwisted mesh)...")
-    fem = TransportSolver(spec).solve()
+    fem = run(spec, engine="vectorized")
 
     fd_cells = fd.scalar_flux.transpose(2, 1, 0, 3).reshape(-1, groups)
     rel = np.abs(fem.cell_average_flux - fd_cells) / np.maximum(fd_cells, 1e-12)
@@ -62,7 +62,7 @@ def main() -> None:
                        title="FD vs FEM on the same structured problem (Section II-C)"))
 
     print("\nNow twisting the mesh by 0.001 rad (the unstructured configuration)...")
-    twisted = TransportSolver(spec.with_(max_twist=0.001)).solve()
+    twisted = run(spec.with_(max_twist=0.001), engine="vectorized")
     delta = np.abs(twisted.cell_average_flux - fem.cell_average_flux) / np.maximum(
         fem.cell_average_flux, 1e-12
     )

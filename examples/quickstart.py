@@ -1,15 +1,18 @@
 #!/usr/bin/env python
-"""Quickstart: solve a small UnSNAP problem and inspect the result.
+"""Quickstart: solve a small UnSNAP problem through the ``repro.run`` facade.
 
 Builds the twisted unstructured mesh from a SNAP structured grid, runs the
 discontinuous Galerkin discrete ordinates sweep with the SNAP "option 1"
-artificial data, and prints the solve summary, the particle balance, and the
-Table I matrix-size overview.
+artificial data through the unified entry point, and prints the solve
+summary, the particle balance, and the Table I matrix-size overview.  The
+same call dispatches to the multi-rank block-Jacobi driver when the spec
+carries a rank grid, and the ``engine=`` keyword swaps the sweep execution
+strategy.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import ProblemSpec, TransportSolver
+import repro
 from repro.analysis.reporting import format_table
 from repro.analysis.tables import table1_matrix_sizes
 
@@ -18,7 +21,7 @@ def main() -> None:
     # A small but representative problem: 6^3 cells derived from the SNAP
     # grid, twisted by 0.001 rad so the mesh is genuinely unstructured,
     # 4 angles per octant, 4 energy groups, linear finite elements.
-    spec = ProblemSpec(
+    spec = repro.ProblemSpec(
         nx=6, ny=6, nz=6,
         order=1,
         angles_per_octant=4,
@@ -31,20 +34,15 @@ def main() -> None:
         solver="ge",
     )
 
-    print("Setting up the transport solver (mesh, schedules, local matrices)...")
-    solver = TransportSolver(spec)
-    print(f"  cells: {solver.mesh.num_cells}, angles: {spec.num_angles}, "
-          f"groups: {spec.num_groups}, nodes/element: {spec.nodes_per_element}")
-    print(f"  unique sweep schedules: {solver.schedule.num_unique_schedules()} "
-          f"(one per octant on this gently twisted mesh)")
-    memory = solver.memory_report()
-    print(f"  angular flux footprint: {memory['angular_flux_bytes'] / 1e6:.1f} MB "
-          f"({memory['fem_to_fd_ratio']:.0f}x the finite-difference footprint)")
+    print(f"Problem: {spec.num_cells} cells, {spec.num_angles} angles, "
+          f"{spec.num_groups} groups, {spec.nodes_per_element} nodes/element")
+    print(f"  angular flux footprint: {spec.angular_flux_bytes() / 1e6:.1f} MB "
+          f"({spec.nodes_per_element}x the finite-difference footprint)")
+    print(f"  registered engines: {', '.join(repro.available_engines())}")
 
-    print("\nSolving...")
-    result = solver.solve()
-    summary = result.summary()
-    rows = [(k, v) for k, v in summary.items()]
+    print("\nSolving with the vectorized sweep engine...")
+    result = repro.run(spec, engine="vectorized")
+    rows = [(k, v) for k, v in result.summary().items()]
     print(format_table(("quantity", "value"), rows, title="Solve summary"))
 
     balance = result.balance
@@ -67,6 +65,16 @@ def main() -> None:
         [r.as_tuple() for r in table1_matrix_sizes()],
         title="Table I: local matrix sizes for the supported element orders",
     ))
+
+    # The same entry point runs the per-element reference engine...
+    reference = repro.run(spec.with_(num_inners=2, num_outers=1))
+    # ...and a block-Jacobi decomposition over a 2x2 rank grid.
+    parallel = repro.run(spec.with_(num_inners=2, num_outers=1, npex=2, npey=2),
+                         engine="vectorized")
+    print(f"\nreference engine, 1 rank  : mean flux {reference.mean_flux:.6f} "
+          f"({reference.solve_seconds:.2f} s)")
+    print(f"vectorized engine, 4 ranks: mean flux {parallel.mean_flux:.6f} "
+          f"({parallel.solve_seconds:.2f} s, {parallel.messages} halo messages)")
 
 
 if __name__ == "__main__":

@@ -7,11 +7,21 @@ scheduling and local dense-solver performance on fat multi-core nodes.
 
 Public API highlights
 ---------------------
+* :func:`repro.run` -- the single execution entry point: solves any
+  :class:`~repro.config.ProblemSpec` (single rank or block-Jacobi
+  multi-rank), with a pluggable sweep engine, and returns a unified
+  :class:`~repro.runner.RunResult`.
 * :class:`repro.config.ProblemSpec` -- problem definition (grid, twist,
-  element order, angles, groups, iterations, solver).
-* :class:`repro.core.TransportSolver` -- single-rank DGFEM sweep solver.
-* :class:`repro.parallel.BlockJacobiDriver` -- multi-rank parallel block
-  Jacobi solve over a KBA-style 2-D decomposition.
+  element order, angles, groups, iterations, solver, engine, rank grid).
+* :mod:`repro.engines` -- the sweep-engine registry
+  (:func:`~repro.engines.register_engine`, ``reference`` and ``vectorized``
+  built-ins).
+* :mod:`repro.solvers` -- the local dense-solver registry
+  (:func:`~repro.solvers.register_solver`, ``ge`` and ``lapack`` built-ins).
+* :class:`repro.core.TransportSolver` -- the underlying single-rank DGFEM
+  sweep solver (prefer :func:`repro.run`).
+* :class:`repro.parallel.BlockJacobiDriver` -- the underlying multi-rank
+  block-Jacobi driver (prefer :func:`repro.run`).
 * :class:`repro.baseline.SnapDiamondDifferenceSolver` -- the structured
   finite-difference SNAP baseline for the FD-vs-FEM trade-off study.
 * :mod:`repro.perfmodel` -- the node performance model that regenerates the
@@ -22,13 +32,24 @@ Public API highlights
 
 from .config import BoundaryCondition, ProblemSpec
 from .core.solver import TransportResult, TransportSolver
+from .engines import available_engines, get_engine, register_engine
+from .runner import RunResult, run
+from .solvers import available_solvers, get_solver, register_solver
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "run",
+    "RunResult",
     "ProblemSpec",
     "BoundaryCondition",
     "TransportSolver",
     "TransportResult",
+    "register_engine",
+    "get_engine",
+    "available_engines",
+    "register_solver",
+    "get_solver",
+    "available_solvers",
     "__version__",
 ]

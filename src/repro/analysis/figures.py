@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..config import ProblemSpec
-from ..parallel.block_jacobi import BlockJacobiDriver
+from ..runner import run
 from ..perfmodel.machine import MachineModel, skylake_8176_node
 from ..perfmodel.schemes import ThreadingScheme, paper_schemes
 from ..perfmodel.simulator import SweepPerformanceModel
@@ -125,6 +125,6 @@ def block_jacobi_convergence_series(
     histories: dict[str, list[float]] = {}
     for npex, npey in rank_grids:
         spec = base_spec.with_(npex=npex, npey=npey)
-        result = BlockJacobiDriver(spec).solve()
-        histories[f"{npex}x{npey} ranks"] = list(result.inner_errors)
+        result = run(spec)
+        histories[f"{npex}x{npey} ranks"] = list(result.history.inner_errors)
     return histories

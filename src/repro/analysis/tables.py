@@ -16,8 +16,8 @@ import numpy as np
 
 from ..baseline.snap_fd import SnapDiamondDifferenceSolver
 from ..config import ProblemSpec
-from ..core.solver import TransportSolver
 from ..fem.lagrange import matrix_footprint_bytes, nodes_per_element
+from ..runner import run
 
 __all__ = [
     "Table1Row",
@@ -106,7 +106,7 @@ def table2_solver_comparison(
     for order in orders:
         for solver in solvers:
             spec = base_spec.with_(order=order, solver=solver)
-            result = TransportSolver(spec).solve()
+            result = run(spec)
             rows.append(
                 Table2Row(
                     order=order,
@@ -142,7 +142,7 @@ def fd_vs_fem_comparison(
         num_outers=1,
         inner_tolerance=1e-8,
     )
-    fem = TransportSolver(spec).solve()
+    fem = run(spec)
     fd = SnapDiamondDifferenceSolver(
         nx=n, ny=n, nz=n,
         num_groups=num_groups,

@@ -4,7 +4,13 @@ Sub-commands
 ------------
 ``run``
     Solve a problem defined by an input deck or by command-line overrides
-    (single rank or block-Jacobi multi-rank) and print a solve summary.
+    (single rank or block-Jacobi multi-rank, any registered sweep engine)
+    through the :func:`repro.run` facade and print a solve summary -- or the
+    full machine-readable ``RunResult`` with ``--json``.
+``engines``
+    List the registered sweep engines.
+``solvers``
+    List the registered local dense solvers.
 ``table1``
     Print Table I (local matrix size and footprint per element order).
 ``table2``
@@ -24,9 +30,10 @@ from .analysis.figures import PAPER_THREAD_COUNTS, figure3_series, figure4_serie
 from .analysis.reporting import format_scaling_series, format_table
 from .analysis.tables import table1_matrix_sizes, table2_solver_comparison
 from .config import ProblemSpec
-from .core.solver import TransportSolver
+from .engines import engine_descriptions, get_engine
 from .input_deck import parse_input_deck
-from .parallel.block_jacobi import BlockJacobiDriver
+from .runner import run
+from .solvers import get_solver, solver_descriptions
 
 __all__ = ["main", "build_parser"]
 
@@ -39,20 +46,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run = sub.add_parser("run", help="solve a transport problem")
-    run.add_argument("--deck", type=str, default=None, help="path to a SNAP-style input deck")
-    run.add_argument("--nx", type=int, default=6)
-    run.add_argument("--ny", type=int, default=6)
-    run.add_argument("--nz", type=int, default=6)
-    run.add_argument("--order", type=int, default=1)
-    run.add_argument("--nang", type=int, default=2, help="angles per octant")
-    run.add_argument("--groups", type=int, default=4)
-    run.add_argument("--twist", type=float, default=0.001)
-    run.add_argument("--inners", type=int, default=5)
-    run.add_argument("--outers", type=int, default=1)
-    run.add_argument("--solver", type=str, default="ge", choices=("ge", "lapack"))
-    run.add_argument("--npex", type=int, default=1)
-    run.add_argument("--npey", type=int, default=1)
+    run_cmd = sub.add_parser("run", help="solve a transport problem")
+    run_cmd.add_argument("--deck", type=str, default=None, help="path to a SNAP-style input deck")
+    # Problem flags default to None so that, with --deck, only flags the user
+    # actually passed override the deck values (see _RUN_FLAG_DEFAULTS).
+    run_cmd.add_argument("--nx", type=int, default=None)
+    run_cmd.add_argument("--ny", type=int, default=None)
+    run_cmd.add_argument("--nz", type=int, default=None)
+    run_cmd.add_argument("--order", type=int, default=None)
+    run_cmd.add_argument("--nang", type=int, default=None, help="angles per octant")
+    run_cmd.add_argument("--groups", type=int, default=None)
+    run_cmd.add_argument("--twist", type=float, default=None)
+    run_cmd.add_argument("--inners", type=int, default=None)
+    run_cmd.add_argument("--outers", type=int, default=None)
+    run_cmd.add_argument(
+        "--solver", type=str, default=None,
+        help="local solver name (see 'unsnap solvers'); default ge",
+    )
+    run_cmd.add_argument(
+        "--engine", type=str, default=None,
+        help="sweep engine name (see 'unsnap engines'); default from the deck "
+        "or 'reference'",
+    )
+    run_cmd.add_argument(
+        "--threads", type=int, default=1,
+        help="worker threads for the reference engine's bucket loop",
+    )
+    run_cmd.add_argument("--npex", type=int, default=None)
+    run_cmd.add_argument("--npey", type=int, default=None)
+    run_cmd.add_argument(
+        "--json", action="store_true",
+        help="print the RunResult.to_dict() summary as JSON instead of a table",
+    )
+
+    sub.add_parser("engines", help="list registered sweep engines")
+    sub.add_parser("solvers", help="list registered local solvers")
 
     sub.add_parser("table1", help="print Table I (matrix sizes per order)")
 
@@ -67,56 +95,100 @@ def build_parser() -> argparse.ArgumentParser:
     balance = sub.add_parser("balance", help="solve and print particle-balance diagnostics")
     balance.add_argument("--n", type=int, default=4)
     balance.add_argument("--groups", type=int, default=2)
+    balance.add_argument("--engine", type=str, default=None)
     return parser
+
+
+#: ``run`` flag -> (ProblemSpec field, default used when no deck is given).
+_RUN_FLAG_DEFAULTS = {
+    "nx": ("nx", 6),
+    "ny": ("ny", 6),
+    "nz": ("nz", 6),
+    "order": ("order", 1),
+    "nang": ("angles_per_octant", 2),
+    "groups": ("num_groups", 4),
+    "twist": ("max_twist", 0.001),
+    "inners": ("num_inners", 5),
+    "outers": ("num_outers", 1),
+    "solver": ("solver", "ge"),
+    "engine": ("engine", "reference"),
+    "npex": ("npex", 1),
+    "npey": ("npey", 1),
+}
 
 
 def _spec_from_args(args: argparse.Namespace) -> ProblemSpec:
     if args.deck:
-        return parse_input_deck(args.deck)
-    return ProblemSpec(
-        nx=args.nx, ny=args.ny, nz=args.nz,
-        order=args.order,
-        angles_per_octant=args.nang,
-        num_groups=args.groups,
-        max_twist=args.twist,
-        num_inners=args.inners,
-        num_outers=args.outers,
-        solver=args.solver,
-        npex=args.npex,
-        npey=args.npey,
-    )
+        # Every explicitly-passed flag overrides the corresponding deck value.
+        overrides = {
+            field: getattr(args, flag)
+            for flag, (field, _default) in _RUN_FLAG_DEFAULTS.items()
+            if getattr(args, flag) is not None
+        }
+        spec = parse_input_deck(args.deck)
+        return spec.with_(**overrides) if overrides else spec
+    values = {
+        field: getattr(args, flag) if getattr(args, flag) is not None else default
+        for flag, (field, default) in _RUN_FLAG_DEFAULTS.items()
+    }
+    return ProblemSpec(**values)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = _spec_from_args(args)
-    if spec.npex * spec.npey > 1:
-        result = BlockJacobiDriver(spec).solve()
-        rows = [
-            ("ranks", spec.npex * spec.npey),
-            ("cells", result.scalar_flux.shape[0]),
-            ("inner iterations", result.total_inners),
-            ("assemble seconds", round(result.timings.assembly_seconds, 4)),
-            ("solve seconds", round(result.timings.solve_seconds, 4)),
-            ("solve fraction", round(result.timings.solve_fraction, 3)),
-            ("balance residual", f"{result.balance.relative_residual():.3e}"),
-            ("halo messages", result.messages),
-            ("mean scalar flux", f"{result.scalar_flux.mean():.6f}"),
-        ]
-    else:
-        res = TransportSolver(spec).solve()
-        summary = res.summary()
-        rows = [
-            ("cells", summary["cells"]),
-            ("groups", summary["groups"]),
-            ("nodes per element", summary["nodes_per_element"]),
-            ("inner iterations", summary["total_inners"]),
-            ("assemble seconds", round(summary["assembly_seconds"], 4)),
-            ("solve seconds", round(summary["solve_seconds"], 4)),
-            ("solve fraction", round(summary["solve_fraction"], 3)),
-            ("balance residual", f"{summary['balance_residual']:.3e}"),
-            ("mean scalar flux", f"{summary['mean_flux']:.6f}"),
-        ]
+    try:
+        # Resolve the names up front: argparse cannot use `choices=` here
+        # because third-party engines/solvers register at runtime.
+        get_engine(spec.engine)
+        get_solver(spec.solver)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    result = run(spec, num_threads=args.threads)
+    if args.json:
+        print(result.to_json())
+        return 0
+    summary = result.summary()
+    rows = [
+        ("engine", summary["engine"]),
+        ("solver", summary["solver"]),
+        ("ranks", summary["ranks"]),
+        ("cells", summary["cells"]),
+        ("groups", summary["groups"]),
+        ("nodes per element", summary["nodes_per_element"]),
+        ("inner iterations", summary["total_inners"]),
+        ("assemble seconds", round(summary["assembly_seconds"], 4)),
+        ("solve seconds", round(summary["solve_seconds"], 4)),
+        ("solve fraction", round(summary["solve_fraction"], 3)),
+        ("setup seconds", round(summary["setup_seconds"], 4)),
+        ("wall seconds", round(summary["wall_seconds"], 4)),
+        ("balance residual", f"{summary['balance_residual']:.3e}"),
+        ("halo messages", summary["halo_messages"]),
+        ("mean scalar flux", f"{summary['mean_flux']:.6f}"),
+    ]
     print(format_table(("quantity", "value"), rows, title="UnSNAP solve summary"))
+    return 0
+
+
+def _cmd_engines(_args: argparse.Namespace) -> int:
+    print(
+        format_table(
+            ("engine", "description"),
+            engine_descriptions(),
+            title="Registered sweep engines",
+        )
+    )
+    return 0
+
+
+def _cmd_solvers(_args: argparse.Namespace) -> int:
+    print(
+        format_table(
+            ("solver", "description"),
+            solver_descriptions(),
+            title="Registered local solvers",
+        )
+    )
     return 0
 
 
@@ -165,8 +237,9 @@ def _cmd_balance(args: argparse.Namespace) -> int:
         num_groups=args.groups,
         num_inners=50, num_outers=20,
         inner_tolerance=1e-8, outer_tolerance=1e-8,
+        engine=args.engine if args.engine is not None else "reference",
     )
-    result = TransportSolver(spec).solve()
+    result = run(spec)
     b = result.balance
     rows = [
         (g, f"{b.emission[g]:.5f}", f"{b.absorption[g]:.5f}", f"{b.leakage[g]:.5f}", f"{b.residual[g]:+.2e}")
@@ -188,6 +261,10 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "engines":
+        return _cmd_engines(args)
+    if args.command == "solvers":
+        return _cmd_solvers(args)
     if args.command == "table1":
         return _cmd_table1(args)
     if args.command == "table2":

@@ -74,6 +74,11 @@ class ProblemSpec:
         as in the paper's timing runs).
     solver:
         Local solver name (``"ge"`` or ``"lapack"``).
+    engine:
+        Sweep engine name (``"reference"`` or ``"vectorized"``, or any name
+        registered through :func:`repro.engines.register_engine`).  Resolved
+        at execution time so engines registered after the spec was built are
+        still usable.
     boundary:
         Boundary condition on the domain boundary.
     npex, npey:
@@ -98,6 +103,7 @@ class ProblemSpec:
     inner_tolerance: float = 0.0
     outer_tolerance: float = 0.0
     solver: str = "ge"
+    engine: str = "reference"
     boundary: BoundaryCondition = field(default_factory=BoundaryCondition)
     npex: int = 1
     npey: int = 1

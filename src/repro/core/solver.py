@@ -32,7 +32,7 @@ from ..mesh.hexmesh import UnstructuredHexMesh
 from ..sweepsched.schedule import SweepSchedule, build_sweep_schedule
 from .assembly import AssemblyTimings, ElementMatrices
 from .balance import BalanceReport, particle_balance
-from .flux import node_integration_weights
+from .flux import AngularFluxBank, node_integration_weights
 from .iteration import IterationController, IterationHistory
 from .sweep import SweepExecutor
 
@@ -61,6 +61,9 @@ class TransportResult:
         Wall-clock time spent building the problem and running the iteration.
     spec:
         The problem specification that was solved.
+    angular_flux:
+        Full ``(E, A, G, N)`` angular flux of the final sweep (only when the
+        solver was built with ``store_angular_flux=True``).
     """
 
     scalar_flux: np.ndarray
@@ -72,9 +75,20 @@ class TransportResult:
     setup_seconds: float
     solve_seconds: float
     spec: ProblemSpec | None = None
+    angular_flux: "AngularFluxBank | None" = None
+
+    @property
+    def wall_seconds(self) -> float:
+        """True wall-clock time: problem setup plus the iteration loop."""
+        return self.setup_seconds + self.solve_seconds
 
     def summary(self) -> dict:
-        """Compact dictionary used by reports and the CLI."""
+        """Compact dictionary used by reports and the CLI.
+
+        ``wall_seconds`` is the true setup + solve wall clock; the iteration
+        loop alone is reported as ``solve_wall_seconds`` (``solve_seconds``
+        remains the in-kernel dense-solve time of the assemble/solve split).
+        """
         return {
             "cells": self.scalar_flux.shape[0],
             "groups": self.scalar_flux.shape[1],
@@ -87,7 +101,8 @@ class TransportResult:
             "balance_residual": self.balance.relative_residual(),
             "mean_flux": float(self.scalar_flux.mean()),
             "setup_seconds": self.setup_seconds,
-            "wall_seconds": self.solve_seconds,
+            "solve_wall_seconds": self.solve_seconds,
+            "wall_seconds": self.setup_seconds + self.solve_seconds,
         }
 
 
@@ -102,6 +117,8 @@ class TransportSolver:
         Optional overrides of the SNAP-style defaults; anything not supplied
         is generated from ``spec`` (material/source "option 1", SNAP dummy
         quadrature, twisted structured-derived mesh).
+    engine:
+        Sweep-engine override (name or instance); defaults to ``spec.engine``.
     num_threads:
         Worker threads for independent bucket elements (functional only).
     store_angular_flux:
@@ -115,6 +132,7 @@ class TransportSolver:
         fixed_source: FixedSource | None = None,
         quadrature: AngularQuadrature | None = None,
         mesh: UnstructuredHexMesh | None = None,
+        engine=None,
         num_threads: int = 1,
         store_angular_flux: bool = False,
     ):
@@ -157,6 +175,7 @@ class TransportSolver:
             materials=self.materials,
             boundary=spec.boundary,
             solver=spec.solver,
+            engine=engine if engine is not None else spec.engine,
             num_threads=num_threads,
             store_angular_flux=store_angular_flux,
         )
@@ -198,6 +217,7 @@ class TransportSolver:
             setup_seconds=self.setup_seconds,
             solve_seconds=solve_seconds,
             spec=self.spec,
+            angular_flux=last_sweep.angular_flux,
         )
 
     # --------------------------------------------------------------- inspection

@@ -1,10 +1,11 @@
-"""The transport sweep executor (the pseudocode of Figure 2).
+"""The transport sweep executor.
 
 For each angular direction the sweep follows the direction's bucket schedule;
-within a bucket every element is independent and, per element, the systems of
-all energy groups are assembled and solved together (a batch of ``G`` small
-dense systems sharing the same streaming matrix but different ``sigma_t,g``).
-The assemble and solve phases are timed separately to reproduce the split of
+how the buckets are executed is delegated to a pluggable *sweep engine*
+(:mod:`repro.engines`): the ``reference`` engine runs the per-element
+assemble/solve loop of the paper's Figure 2 pseudocode, the ``vectorized``
+engine batch-assembles and batch-solves whole buckets.  In both cases the
+assemble and solve phases are timed separately to reproduce the split of
 Table II.
 
 Boundary handling:
@@ -19,14 +20,14 @@ Boundary handling:
 
 from __future__ import annotations
 
-import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..angular.quadrature import AngularQuadrature
 from ..config import BoundaryCondition
+from ..engines.base import SweepEngine
+from ..engines.registry import get_engine
 from ..fem.element import HexElementFactors
 from ..fem.reference import ReferenceElement
 from ..materials.cross_sections import MaterialLibrary
@@ -109,14 +110,18 @@ class SweepExecutor:
         Domain boundary condition.
     solver:
         Local solver instance or registry name (``"ge"`` / ``"lapack"``).
+    engine:
+        Sweep engine instance or registry name (``"reference"`` /
+        ``"vectorized"``; see :mod:`repro.engines`).
     halo_faces:
         Optional ``(n_halo, >=2)`` array whose first two columns are
         ``(cell, face)`` pairs owned by other ranks; outgoing traces on these
         faces are collected into :attr:`SweepResult.outgoing_halo`.
     num_threads:
-        Number of worker threads used to process independent elements of a
-        bucket concurrently (functional parallelism; the performance study of
-        the paper is reproduced by :mod:`repro.perfmodel`).
+        Number of worker threads used by the ``reference`` engine to process
+        independent elements of a bucket concurrently (functional
+        parallelism; the performance study of the paper is reproduced by
+        :mod:`repro.perfmodel`).
     store_angular_flux:
         Keep the full ``(E, A, G, N)`` angular flux in the sweep result.
     """
@@ -132,6 +137,7 @@ class SweepExecutor:
         materials: MaterialLibrary,
         boundary: BoundaryCondition | None = None,
         solver: LocalSolver | str = "ge",
+        engine: SweepEngine | str = "reference",
         halo_faces: np.ndarray | None = None,
         num_threads: int = 1,
         store_angular_flux: bool = False,
@@ -145,6 +151,7 @@ class SweepExecutor:
         self.materials = materials.for_cells(mesh.num_cells)
         self.boundary = boundary if boundary is not None else BoundaryCondition()
         self.solver = get_solver(solver) if isinstance(solver, str) else solver
+        self.engine = get_engine(engine)
         self.num_threads = max(1, int(num_threads))
         self.store_angular_flux = bool(store_angular_flux)
 
@@ -223,61 +230,9 @@ class SweepExecutor:
         incident: float,
         timings: AssemblyTimings,
     ) -> np.ndarray:
-        mesh = self.mesh
-        direction = self.quadrature.directions[angle]
-        asched = self.schedule.for_angle(angle)
-        orientation = asched.classification.orientation
-        psi_angle = np.zeros((mesh.num_cells, self.num_groups, self.num_nodes), dtype=float)
-
-        def process_element(element: int) -> None:
-            t0 = time.perf_counter()
-            upwind: dict[int, np.ndarray] = {}
-            boundary_inflow_faces: list[int] = []
-            for face in np.nonzero(orientation[element] == -1)[0].tolist():
-                neighbor = mesh.face_neighbors[element, face]
-                if neighbor != BOUNDARY:
-                    upwind[face] = psi_angle[neighbor]
-                    continue
-                lagged = (
-                    boundary_values.get(element, face, angle)
-                    if boundary_values is not None
-                    else None
-                )
-                if lagged is not None:
-                    upwind[face] = lagged
-                elif incident != 0.0:
-                    boundary_inflow_faces.append(face)
-            a, b = self.matrices.assemble_systems(
-                element,
-                direction,
-                orientation[element],
-                self.sigma_t[element],
-                total_source[element],
-                upwind,
-            )
-            for face in boundary_inflow_faces:
-                coupling = np.einsum(
-                    "d,dij->ij", direction, self.matrices.face_own[element, face]
-                )
-                b -= incident * coupling.sum(axis=1)[None, :]
-            t1 = time.perf_counter()
-            psi_angle[element] = self.solver.solve_batched(a, b)
-            t2 = time.perf_counter()
-            timings.assembly_seconds += t1 - t0
-            timings.solve_seconds += t2 - t1
-            timings.systems_solved += self.num_groups
-
-        if self.num_threads == 1:
-            for bucket in asched.buckets:
-                for element in bucket.tolist():
-                    process_element(element)
-        else:
-            with ThreadPoolExecutor(max_workers=self.num_threads) as pool:
-                for bucket in asched.buckets:
-                    # Elements within a bucket are mutually independent; the
-                    # bucket boundary is a synchronisation point.
-                    list(pool.map(process_element, bucket.tolist()))
-        return psi_angle
+        return self.engine.sweep_angle(
+            self, angle, total_source, boundary_values, incident, timings
+        )
 
     # ------------------------------------------------------------ diagnostics
     def _boundary_leakage(self, angle: int, psi_angle: np.ndarray, incident: float) -> np.ndarray:

@@ -1,0 +1,41 @@
+"""Pluggable sweep-execution engines.
+
+The engine is the strategy that executes the transport sweep of one angular
+direction; see :mod:`repro.engines.base` for the protocol.  Engines are
+registered by name (``@register_engine``) and selected through
+:class:`~repro.config.ProblemSpec`, the input deck, :func:`repro.run` or the
+``unsnap run --engine`` flag.
+
+Built-in engines
+----------------
+``reference``
+    The per-element assemble/solve loop of the paper's Figure 2 pseudocode
+    (aliases: ``loop``, ``per-element``).
+``vectorized``
+    Batch-assembles and batch-solves all elements of a wavefront bucket at
+    once (aliases: ``vec``, ``batched``).
+"""
+
+from .base import SweepEngine
+from .registry import (
+    available_engines,
+    engine_descriptions,
+    get_engine,
+    register_engine,
+    unregister_engine,
+)
+
+# Importing the engine modules registers the built-in engines.
+from .reference import ReferenceSweepEngine
+from .vectorized import VectorizedSweepEngine
+
+__all__ = [
+    "SweepEngine",
+    "register_engine",
+    "unregister_engine",
+    "get_engine",
+    "available_engines",
+    "engine_descriptions",
+    "ReferenceSweepEngine",
+    "VectorizedSweepEngine",
+]

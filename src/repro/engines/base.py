@@ -1,0 +1,86 @@
+"""The sweep-engine protocol.
+
+A *sweep engine* is the interchangeable strategy that executes the transport
+sweep of one angular direction over a (sub)mesh.  The paper is a study of
+exactly such interchangeable execution strategies -- sweep schedules, local
+solvers, loop orderings -- so the engine is a first-class extension point:
+:class:`~repro.core.sweep.SweepExecutor` owns the problem data (mesh, local
+matrices, schedule, quadrature, materials, solver) and delegates the per-angle
+work to its engine.
+
+Engines are stateless objects registered by name through
+:func:`repro.engines.register_engine`; the executor (and therefore
+:func:`repro.run`, the input deck and the ``unsnap`` CLI) selects one by name.
+Two engines ship with the package:
+
+* ``reference`` -- the per-element loop of the paper's Figure 2 pseudocode,
+  optionally threaded over the independent elements of a wavefront bucket;
+* ``vectorized`` -- batch-assembles and batch-solves *all* elements of a
+  bucket at once through stacked einsum contractions and
+  ``LocalSolver.solve_batched`` over ``(B*G, N, N)`` systems.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle is type-checking only
+    from ..core.assembly import AssemblyTimings
+    from ..core.sweep import BoundaryValues, SweepExecutor
+
+__all__ = ["SweepEngine"]
+
+
+@runtime_checkable
+class SweepEngine(Protocol):
+    """Strategy interface for executing the sweep of one angular direction.
+
+    Implementations must be stateless (one shared instance serves every
+    executor) and must honour the executor's sweep schedule: within an angle,
+    buckets are processed in order and every element only reads upwind
+    neighbours from earlier buckets.
+
+    Attributes
+    ----------
+    name:
+        Registry key, e.g. ``"reference"`` or ``"vectorized"``.
+    description:
+        Human-readable description used by reports and ``unsnap engines``.
+    """
+
+    name: str
+    description: str
+
+    def sweep_angle(
+        self,
+        executor: "SweepExecutor",
+        angle: int,
+        total_source: np.ndarray,
+        boundary_values: "BoundaryValues | None",
+        incident: float,
+        timings: "AssemblyTimings",
+    ) -> np.ndarray:
+        """Sweep one ordinate and return the ``(E, G, N)`` angular flux.
+
+        Parameters
+        ----------
+        executor:
+            The owning :class:`~repro.core.sweep.SweepExecutor`; provides the
+            mesh, precomputed local matrices, per-angle schedule, quadrature,
+            ``sigma_t`` table, local solver and thread count.
+        angle:
+            Ordinate index into the executor's quadrature.
+        total_source:
+            ``(E, G, N)`` nodal isotropic source (fixed + scattering).
+        boundary_values:
+            Lagged upwind traces for rank-boundary faces (block Jacobi), or
+            ``None`` on a single rank.
+        incident:
+            Incoming angular flux on domain-boundary inflow faces.
+        timings:
+            Accumulator for the assemble/solve wall-clock split; engines add
+            their measured times and the number of systems solved.
+        """
+        ...

@@ -1,0 +1,125 @@
+"""Registry of sweep engines selectable by name.
+
+Mirrors :mod:`repro.solvers.registry`: the input deck, :func:`repro.run` and
+the ``unsnap`` CLI select the sweep engine by name, and third-party code can
+plug in new execution strategies with the :func:`register_engine` decorator::
+
+    from repro.engines import register_engine
+
+    @register_engine("my-engine", aliases=("mine",))
+    class MySweepEngine:
+        \"\"\"One-line description shown by ``unsnap engines``.\"\"\"
+
+        def sweep_angle(self, executor, angle, total_source,
+                        boundary_values, incident, timings):
+            ...
+
+    repro.run(spec, engine="my-engine")
+"""
+
+from __future__ import annotations
+
+from .base import SweepEngine
+
+__all__ = [
+    "register_engine",
+    "unregister_engine",
+    "get_engine",
+    "available_engines",
+    "engine_descriptions",
+]
+
+_REGISTRY: dict[str, SweepEngine] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def register_engine(
+    name: str,
+    *,
+    description: str | None = None,
+    aliases: tuple[str, ...] = (),
+    overwrite: bool = False,
+):
+    """Class (or instance) decorator registering a sweep engine under ``name``.
+
+    Parameters
+    ----------
+    name:
+        Registry key (matched case-insensitively by :func:`get_engine`).
+    description:
+        Human-readable description; defaults to the first line of the
+        engine's docstring.
+    aliases:
+        Extra names accepted by :func:`get_engine`.
+    overwrite:
+        Allow replacing an existing registration (otherwise a duplicate name
+        raises ``ValueError``).
+    """
+    key = name.strip().lower()
+
+    def decorate(obj):
+        engine = obj() if isinstance(obj, type) else obj
+        if not callable(getattr(engine, "sweep_angle", None)):
+            raise TypeError(
+                f"engine {name!r} must implement sweep_angle(...); got {type(engine)!r}"
+            )
+        alias_keys = [alias.strip().lower() for alias in aliases]
+        if not overwrite:
+            # Validate every key before mutating anything so a conflict
+            # cannot leave a partial registration behind.
+            for k in (key, *alias_keys):
+                if k in _REGISTRY or k in _ALIASES:
+                    raise ValueError(f"engine name {k!r} is already registered")
+        engine.name = key
+        engine.description = description or next(
+            iter((engine.__doc__ or "").strip().splitlines()), ""
+        )
+        _REGISTRY[key] = engine
+        for alias_key in alias_keys:
+            _ALIASES[alias_key] = key
+        return obj
+
+    return decorate
+
+
+def unregister_engine(name: str) -> None:
+    """Remove an engine (and its aliases) from the registry.
+
+    Primarily a test/plugin-teardown convenience; the built-in engines can be
+    removed too, so use with care.
+    """
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    _REGISTRY.pop(key, None)
+    for alias in [a for a, target in _ALIASES.items() if target == key]:
+        del _ALIASES[alias]
+
+
+def available_engines() -> list[str]:
+    """Names of all registered engines (aliases excluded)."""
+    return sorted(_REGISTRY)
+
+
+def engine_descriptions() -> list[tuple[str, str]]:
+    """``(name, description)`` pairs for reports and ``unsnap engines``."""
+    return [(name, _REGISTRY[name].description) for name in available_engines()]
+
+
+def get_engine(engine: SweepEngine | str) -> SweepEngine:
+    """Resolve an engine instance from a name, alias or instance.
+
+    Passing an object that already implements the protocol returns it
+    unchanged, so call sites can accept ``engine: SweepEngine | str``.
+    """
+    if not isinstance(engine, str):
+        if callable(getattr(engine, "sweep_angle", None)):
+            return engine
+        raise TypeError(f"not a sweep engine: {engine!r}")
+    key = engine.strip().lower()
+    key = _ALIASES.get(key, key)
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown engine {engine!r}; available: {available_engines()}"
+        ) from None

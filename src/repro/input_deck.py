@@ -20,6 +20,7 @@ Recognised keys (SNAP name -> ProblemSpec field)::
     twist               -> max_twist
     twist_axis          -> twist_axis
     solver              -> solver
+    engine              -> engine
     npex, npey          -> npex, npey
     src_opt, mat_opt    -> accepted (only option 1 data is generated)
 """
@@ -53,6 +54,7 @@ _FLOAT_KEYS = {
 _STR_KEYS = {
     "twist_axis": "twist_axis",
     "solver": "solver",
+    "engine": "engine",
 }
 _IGNORED_KEYS = {"src_opt", "mat_opt", "timedep", "fixup", "nthreads", "nnested"}
 
@@ -109,7 +111,7 @@ def spec_to_deck(spec: ProblemSpec) -> str:
         f"epsi={spec.inner_tolerance}",
         f"order={spec.order} twist={spec.max_twist} twist_axis={spec.twist_axis}",
         f"scatp={spec.scattering_ratio} qsrc={spec.source_strength}",
-        f"solver={spec.solver}",
+        f"solver={spec.solver} engine={spec.engine}",
         f"npex={spec.npex} npey={spec.npey}",
         "/",
     ]

@@ -62,6 +62,11 @@ class BlockJacobiResult:
         Halo-exchange traffic statistics of the whole solve.
     wall_seconds:
         Wall-clock time of the iteration loop.
+    outer_errors, inners_per_outer:
+        Per-outer convergence record (mirrors
+        :class:`~repro.core.iteration.IterationHistory`).
+    cell_average_flux:
+        ``(E_global, G)`` volume-averaged scalar flux per cell.
     """
 
     scalar_flux: np.ndarray
@@ -74,6 +79,9 @@ class BlockJacobiResult:
     bytes_exchanged: int
     wall_seconds: float
     per_rank_cells: list[int] = field(default_factory=list)
+    outer_errors: list[float] = field(default_factory=list)
+    inners_per_outer: list[int] = field(default_factory=list)
+    cell_average_flux: np.ndarray | None = None
 
     @property
     def total_inners(self) -> int:
@@ -90,6 +98,10 @@ class BlockJacobiDriver:
     materials, fixed_source, quadrature:
         Optional overrides of the SNAP option-1 defaults (given in *global*
         cell ordering; they are restricted to each subdomain automatically).
+    engine:
+        Sweep-engine override (name or instance); defaults to ``spec.engine``.
+    num_threads:
+        Worker threads per rank for the ``reference`` engine's bucket loop.
     """
 
     def __init__(
@@ -98,6 +110,8 @@ class BlockJacobiDriver:
         materials: MaterialLibrary | None = None,
         fixed_source: FixedSource | None = None,
         quadrature: AngularQuadrature | None = None,
+        engine=None,
+        num_threads: int = 1,
     ):
         self.spec = spec
         self.global_mesh = build_snap_mesh(
@@ -155,6 +169,8 @@ class BlockJacobiDriver:
                 materials=rank_materials,
                 boundary=spec.boundary,
                 solver=spec.solver,
+                engine=engine if engine is not None else spec.engine,
+                num_threads=num_threads,
                 halo_faces=sub.halo_faces,
             )
             self.factors.append(factors)
@@ -181,6 +197,8 @@ class BlockJacobiDriver:
         ]
         boundary_values = [BoundaryValues() for _ in subs]
         inner_errors: list[float] = []
+        outer_errors: list[float] = []
+        inners_per_outer: list[int] = []
         timings = AssemblyTimings()
         last_results = [None] * len(subs)
 
@@ -193,6 +211,7 @@ class BlockJacobiDriver:
                 )
                 for r in range(len(subs))
             ]
+            inners_done = 0
             for _inner in range(spec.num_inners):
                 new_scalar = []
                 # --- concurrent subdomain sweeps (executed sequentially here)
@@ -215,8 +234,16 @@ class BlockJacobiDriver:
                 )
                 inner_errors.append(error)
                 scalar = new_scalar
+                inners_done += 1
                 if spec.inner_tolerance > 0.0 and error <= spec.inner_tolerance:
                     break
+            inners_per_outer.append(inners_done)
+            outer_error = max(
+                max_relative_difference(scalar[r], outer_flux[r]) for r in range(len(subs))
+            )
+            outer_errors.append(outer_error)
+            if spec.outer_tolerance > 0.0 and outer_error <= spec.outer_tolerance:
+                break
         wall_seconds = time.perf_counter() - t0
 
         # ----------------------------------------------------- gather to global
@@ -240,6 +267,9 @@ class BlockJacobiDriver:
             leakage=leakage,
             volumes=global_volumes,
         )
+        cell_average = (
+            np.einsum("egn,en->eg", global_flux, global_weights) / global_volumes[:, None]
+        )
         return BlockJacobiResult(
             scalar_flux=global_flux,
             inner_errors=inner_errors,
@@ -251,4 +281,7 @@ class BlockJacobiDriver:
             bytes_exchanged=self.world.bytes_sent,
             wall_seconds=wall_seconds,
             per_rank_cells=[sub.num_cells for sub in subs],
+            outer_errors=outer_errors,
+            inners_per_outer=inners_per_outer,
+            cell_average_flux=cell_average,
         )

@@ -20,6 +20,22 @@ import numpy as np
 __all__ = ["SimCommWorld", "SimComm"]
 
 
+def _payload_nbytes(payload: Any) -> int:
+    """Array bytes carried by a message payload (arrays, or containers of them).
+
+    Halo-exchange messages are dicts of ``(G, N)`` traces, so the byte
+    accounting must recurse into containers to report meaningful traffic
+    statistics.
+    """
+    if isinstance(payload, np.ndarray):
+        return payload.nbytes
+    if isinstance(payload, dict):
+        return sum(_payload_nbytes(v) for v in payload.values())
+    if isinstance(payload, (list, tuple, set)):
+        return sum(_payload_nbytes(v) for v in payload)
+    return 0
+
+
 @dataclass
 class _Mailbox:
     """Per-destination store of pending messages keyed by (source, tag)."""
@@ -69,8 +85,7 @@ class SimCommWorld:
             raise ValueError(f"destination rank {dest} out of range")
         self._mailboxes[dest].push(source, tag, payload)
         self.message_count += 1
-        if isinstance(payload, np.ndarray):
-            self.bytes_sent += payload.nbytes
+        self.bytes_sent += _payload_nbytes(payload)
 
 
 @dataclass

@@ -1,0 +1,264 @@
+"""The unified execution facade: ``repro.run(spec)``.
+
+Callers used to branch manually between :class:`~repro.core.solver.
+TransportSolver` (single rank) and :class:`~repro.parallel.block_jacobi.
+BlockJacobiDriver` (multi-rank), which return differently-shaped results.
+:func:`run` dispatches on ``spec.npex * spec.npey``, threads the sweep-engine
+and thread-count choices through, and returns one :class:`RunResult` whatever
+the execution path -- scalar flux, iteration history, assemble/solve timing
+split, particle balance, halo-traffic statistics and JSON-ready export.
+
+This is the single entry point used by the ``unsnap`` CLI, the examples and
+the benchmark harness::
+
+    import repro
+
+    result = repro.run(repro.ProblemSpec(nx=6, ny=6, nz=6), engine="vectorized")
+    print(result.summary())
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from .config import ProblemSpec
+from .core.assembly import AssemblyTimings
+from .core.balance import BalanceReport
+from .core.flux import AngularFluxBank
+from .core.iteration import IterationHistory
+from .core.solver import TransportSolver
+from .engines.registry import get_engine
+from .parallel.block_jacobi import BlockJacobiDriver
+
+__all__ = ["run", "RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Unified outcome of a single-rank or block-Jacobi transport solve.
+
+    Attributes
+    ----------
+    scalar_flux:
+        ``(E, G, N)`` nodal scalar flux (global cell ordering).
+    cell_average_flux:
+        ``(E, G)`` volume-averaged scalar flux per cell.
+    leakage:
+        ``(G,)`` net domain-boundary leakage of the final sweep.
+    history:
+        Inner/outer iteration record (for block Jacobi, the globally-reduced
+        convergence history).
+    timings:
+        Assemble/solve wall-clock split accumulated over all sweeps (and, for
+        block Jacobi, over all ranks).
+    balance:
+        Particle-balance diagnostics of the final iterate.
+    setup_seconds, solve_seconds:
+        Wall-clock time spent building the problem and running the iteration
+        loop; :attr:`wall_seconds` is their sum.
+    num_ranks, messages, bytes_exchanged:
+        Execution-path and halo-exchange statistics (1 / 0 / 0 on a single
+        rank).
+    engine, solver:
+        The registry names of the sweep engine and local solver that ran.
+    spec:
+        The problem specification that was solved.
+    angular_flux:
+        Full angular flux of the final sweep (single rank with
+        ``store_angular_flux=True`` only).
+    """
+
+    scalar_flux: np.ndarray
+    cell_average_flux: np.ndarray
+    leakage: np.ndarray
+    history: IterationHistory
+    timings: AssemblyTimings
+    balance: BalanceReport
+    setup_seconds: float
+    solve_seconds: float
+    num_ranks: int
+    messages: int
+    bytes_exchanged: int
+    engine: str
+    solver: str
+    spec: ProblemSpec | None = None
+    angular_flux: AngularFluxBank | None = None
+
+    # ------------------------------------------------------------- derived
+    @property
+    def wall_seconds(self) -> float:
+        """True wall-clock time: problem setup plus the iteration loop."""
+        return self.setup_seconds + self.solve_seconds
+
+    @property
+    def total_inners(self) -> int:
+        return self.history.total_inners
+
+    @property
+    def inner_errors(self) -> list[float]:
+        return self.history.inner_errors
+
+    @property
+    def mean_flux(self) -> float:
+        return float(self.scalar_flux.mean())
+
+    # ------------------------------------------------------------- export
+    def summary(self) -> dict:
+        """Compact dictionary used by reports and the CLI."""
+        return {
+            "engine": self.engine,
+            "solver": self.solver,
+            "ranks": self.num_ranks,
+            "cells": int(self.scalar_flux.shape[0]),
+            "groups": int(self.scalar_flux.shape[1]),
+            "nodes_per_element": int(self.scalar_flux.shape[2]),
+            "total_inners": self.history.total_inners,
+            "outers": self.history.num_outers,
+            "converged": self.history.converged,
+            "assembly_seconds": self.timings.assembly_seconds,
+            "solve_seconds": self.timings.solve_seconds,
+            "solve_fraction": self.timings.solve_fraction,
+            "systems_solved": self.timings.systems_solved,
+            "balance_residual": self.balance.relative_residual(),
+            "mean_flux": self.mean_flux,
+            "setup_seconds": self.setup_seconds,
+            "solve_wall_seconds": self.solve_seconds,
+            "wall_seconds": self.wall_seconds,
+            "halo_messages": self.messages,
+            "halo_bytes": self.bytes_exchanged,
+        }
+
+    def to_dict(self, include_flux: bool = False) -> dict:
+        """JSON-safe dictionary: the summary plus histories and leakage.
+
+        Parameters
+        ----------
+        include_flux:
+            Also embed the (potentially large) nodal and cell-average flux
+            arrays as nested lists.
+        """
+        data = self.summary()
+        data["inner_errors"] = [float(e) for e in self.history.inner_errors]
+        data["outer_errors"] = [float(e) for e in self.history.outer_errors]
+        data["inners_per_outer"] = [int(n) for n in self.history.inners_per_outer]
+        data["leakage"] = [float(x) for x in self.leakage]
+        if include_flux:
+            data["scalar_flux"] = self.scalar_flux.tolist()
+            data["cell_average_flux"] = self.cell_average_flux.tolist()
+        return data
+
+    def to_json(self, indent: int | None = 2, include_flux: bool = False) -> str:
+        """Serialise :meth:`to_dict` to a JSON string."""
+        return json.dumps(self.to_dict(include_flux=include_flux), indent=indent)
+
+
+def run(
+    spec: ProblemSpec,
+    *,
+    engine=None,
+    num_threads: int = 1,
+    store_angular_flux: bool = False,
+    materials=None,
+    fixed_source=None,
+    quadrature=None,
+) -> RunResult:
+    """Solve a transport problem and return a unified :class:`RunResult`.
+
+    Dispatches to the single-rank :class:`~repro.core.solver.TransportSolver`
+    when ``spec.npex * spec.npey == 1`` and to the multi-rank
+    :class:`~repro.parallel.block_jacobi.BlockJacobiDriver` otherwise.
+
+    Parameters
+    ----------
+    spec:
+        The problem specification (including ``npex``/``npey``, the solver
+        and the default engine).
+    engine:
+        Sweep-engine override: a registry name (``"reference"``,
+        ``"vectorized"``, or any :func:`repro.engines.register_engine`-ed
+        name) or an engine instance.  Defaults to ``spec.engine``.
+    num_threads:
+        Worker threads for the ``reference`` engine's bucket loop.
+    store_angular_flux:
+        Keep the full angular flux of the final sweep (single rank only).
+    materials, fixed_source, quadrature:
+        Optional overrides of the SNAP option-1 defaults, in global cell
+        ordering.
+    """
+    engine_obj = get_engine(engine if engine is not None else spec.engine)
+    # Duck-typed instances passed straight through get_engine may not carry a
+    # registry name; fall back to the class name for reporting.
+    engine_name = getattr(engine_obj, "name", type(engine_obj).__name__.lower())
+
+    if spec.npex * spec.npey > 1:
+        if store_angular_flux:
+            raise ValueError("store_angular_flux is not supported for multi-rank runs")
+        t0 = time.perf_counter()
+        driver = BlockJacobiDriver(
+            spec,
+            materials=materials,
+            fixed_source=fixed_source,
+            quadrature=quadrature,
+            engine=engine_obj,
+            num_threads=num_threads,
+        )
+        setup_seconds = time.perf_counter() - t0
+        result = driver.solve()
+        history = IterationHistory(
+            inner_errors=result.inner_errors,
+            outer_errors=result.outer_errors,
+            inners_per_outer=result.inners_per_outer,
+            converged=bool(
+                spec.outer_tolerance > 0.0
+                and result.outer_errors
+                and result.outer_errors[-1] <= spec.outer_tolerance
+            ),
+        )
+        return RunResult(
+            scalar_flux=result.scalar_flux,
+            cell_average_flux=result.cell_average_flux,
+            leakage=result.leakage,
+            history=history,
+            timings=result.timings,
+            balance=result.balance,
+            setup_seconds=setup_seconds,
+            solve_seconds=result.wall_seconds,
+            num_ranks=result.num_ranks,
+            messages=result.messages,
+            bytes_exchanged=result.bytes_exchanged,
+            engine=engine_name,
+            solver=spec.solver,
+            spec=spec,
+        )
+
+    solver = TransportSolver(
+        spec,
+        materials=materials,
+        fixed_source=fixed_source,
+        quadrature=quadrature,
+        engine=engine_obj,
+        num_threads=num_threads,
+        store_angular_flux=store_angular_flux,
+    )
+    result = solver.solve()
+    return RunResult(
+        scalar_flux=result.scalar_flux,
+        cell_average_flux=result.cell_average_flux,
+        leakage=result.leakage,
+        history=result.history,
+        timings=result.timings,
+        balance=result.balance,
+        setup_seconds=result.setup_seconds,
+        solve_seconds=result.solve_seconds,
+        num_ranks=1,
+        messages=0,
+        bytes_exchanged=0,
+        engine=engine_name,
+        solver=spec.solver,
+        spec=spec,
+        angular_flux=result.angular_flux,
+    )

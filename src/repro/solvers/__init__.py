@@ -11,7 +11,14 @@ that solve the systems of all energy groups of an element at once.
 
 from .gaussian import gaussian_elimination_solve, batched_gaussian_solve
 from .lapack import lapack_solve, batched_lapack_solve, lu_factor_solve
-from .registry import LocalSolver, get_solver, available_solvers
+from .registry import (
+    LocalSolver,
+    available_solvers,
+    get_solver,
+    register_solver,
+    solver_descriptions,
+    unregister_solver,
+)
 
 __all__ = [
     "gaussian_elimination_solve",
@@ -20,6 +27,9 @@ __all__ = [
     "batched_lapack_solve",
     "lu_factor_solve",
     "LocalSolver",
+    "register_solver",
+    "unregister_solver",
     "get_solver",
     "available_solvers",
+    "solver_descriptions",
 ]

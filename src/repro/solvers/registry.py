@@ -2,7 +2,15 @@
 
 The input deck (and the benchmark harness) selects the local solver by name,
 matching UnSNAP's build/run-time choice between the hand-written Gaussian
-elimination and the MKL ``dgesv`` path.
+elimination and the MKL ``dgesv`` path.  Third-party solvers can be plugged
+in through :func:`register_solver`, mirroring the sweep-engine registry of
+:mod:`repro.engines`::
+
+    from repro.solvers import LocalSolver, register_solver
+
+    register_solver(LocalSolver(name="mine", description="...",
+                                solve=my_solve, solve_batched=my_batched))
+    repro.run(spec.with_(solver="mine"))
 """
 
 from __future__ import annotations
@@ -15,7 +23,14 @@ import numpy as np
 from .gaussian import batched_gaussian_solve, gaussian_elimination_solve
 from .lapack import batched_lapack_solve, lapack_solve
 
-__all__ = ["LocalSolver", "get_solver", "available_solvers"]
+__all__ = [
+    "LocalSolver",
+    "register_solver",
+    "unregister_solver",
+    "get_solver",
+    "available_solvers",
+    "solver_descriptions",
+]
 
 
 @dataclass(frozen=True)
@@ -67,9 +82,52 @@ _ALIASES = {
 }
 
 
+def register_solver(
+    solver: LocalSolver, *, aliases: tuple[str, ...] = (), overwrite: bool = False
+) -> LocalSolver:
+    """Register a :class:`LocalSolver` under its ``name`` (public extension point).
+
+    Parameters
+    ----------
+    solver:
+        The solver to register; ``solver.name`` (lower-cased) is the registry
+        key used by the input deck, :func:`repro.run` and ``unsnap run``.
+    aliases:
+        Extra names accepted by :func:`get_solver`.
+    overwrite:
+        Allow replacing an existing registration.
+    """
+    key = solver.name.strip().lower()
+    alias_keys = [alias.strip().lower() for alias in aliases]
+    if not overwrite:
+        # Validate every key before mutating anything so a conflict cannot
+        # leave a partial registration behind.
+        for k in (key, *alias_keys):
+            if k in _REGISTRY or k in _ALIASES:
+                raise ValueError(f"solver name {k!r} is already registered")
+    _REGISTRY[key] = solver
+    for alias_key in alias_keys:
+        _ALIASES[alias_key] = key
+    return solver
+
+
+def unregister_solver(name: str) -> None:
+    """Remove a solver (and its aliases) from the registry."""
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    _REGISTRY.pop(key, None)
+    for alias in [a for a, target in _ALIASES.items() if target == key]:
+        del _ALIASES[alias]
+
+
 def available_solvers() -> list[str]:
     """Names of all registered solvers."""
     return sorted(_REGISTRY)
+
+
+def solver_descriptions() -> list[tuple[str, str]]:
+    """``(name, description)`` pairs for reports and ``unsnap solvers``."""
+    return [(name, _REGISTRY[name].description) for name in available_solvers()]
 
 
 def get_solver(name: str) -> LocalSolver:

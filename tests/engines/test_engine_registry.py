@@ -1,0 +1,168 @@
+"""Tests for the sweep-engine registry and the solver-registry extension point."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.engines import (
+    available_engines,
+    engine_descriptions,
+    get_engine,
+    register_engine,
+    unregister_engine,
+)
+from repro.engines.base import SweepEngine
+from repro.solvers import (
+    LocalSolver,
+    available_solvers,
+    register_solver,
+    solver_descriptions,
+    unregister_solver,
+)
+
+SMALL = repro.ProblemSpec(nx=2, ny=2, nz=2, angles_per_octant=1, num_groups=1,
+                          num_inners=1, num_outers=1)
+
+
+class TestEngineRegistry:
+    def test_builtin_engines_registered(self):
+        assert "reference" in available_engines()
+        assert "vectorized" in available_engines()
+
+    def test_aliases_resolve(self):
+        assert get_engine("loop") is get_engine("reference")
+        assert get_engine("vec") is get_engine("vectorized")
+        assert get_engine("BATCHED") is get_engine("vectorized")
+
+    def test_instances_pass_through(self):
+        engine = get_engine("reference")
+        assert get_engine(engine) is engine
+
+    def test_unknown_engine_raises_with_listing(self):
+        with pytest.raises(KeyError, match="vectorized"):
+            get_engine("no-such-engine")
+
+    def test_non_engine_object_rejected(self):
+        with pytest.raises(TypeError):
+            get_engine(object())
+
+    def test_engines_satisfy_protocol(self):
+        for name in available_engines():
+            assert isinstance(get_engine(name), SweepEngine)
+
+    def test_descriptions_are_nonempty(self):
+        for name, description in engine_descriptions():
+            assert name and description
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_engine("reference")(type("X", (), {"sweep_angle": lambda *a: None}))
+
+    def test_registering_non_engine_rejected(self):
+        with pytest.raises(TypeError):
+            register_engine("bogus-thing")(type("X", (), {}))
+
+    def test_alias_conflict_leaves_no_partial_registration(self):
+        with pytest.raises(ValueError, match="vec"):
+            # "vec" is already an alias of the vectorized engine.
+            register_engine("fresh-name", aliases=("vec",))(
+                type("X", (), {"sweep_angle": lambda *a: None})
+            )
+        assert "fresh-name" not in available_engines()
+        with pytest.raises(KeyError):
+            get_engine("fresh-name")
+
+    def test_whitespace_docstring_gets_empty_description(self):
+        @register_engine("blank-doc")
+        class BlankDoc:
+            "\n   "
+
+            def sweep_angle(self, *args):  # pragma: no cover - never called
+                raise NotImplementedError
+
+        try:
+            assert get_engine("blank-doc").description == ""
+        finally:
+            unregister_engine("blank-doc")
+
+
+class TestThirdPartyEngine:
+    """A decorator-registered engine must be dispatchable by name end to end."""
+
+    @pytest.fixture()
+    def tattling_engine(self):
+        calls = []
+
+        @register_engine("tattling", aliases=("tattle",))
+        class TattlingEngine:
+            """Reference engine that records every angle it sweeps."""
+
+            def sweep_angle(self, executor, angle, total_source, boundary_values,
+                            incident, timings):
+                calls.append(angle)
+                return get_engine("reference").sweep_angle(
+                    executor, angle, total_source, boundary_values, incident, timings
+                )
+
+        yield calls
+        unregister_engine("tattling")
+
+    def test_dispatch_through_run(self, tattling_engine):
+        result = repro.run(SMALL, engine="tattling")
+        assert result.engine == "tattling"
+        assert len(tattling_engine) == SMALL.num_angles
+        assert np.all(result.scalar_flux > 0)
+
+    def test_dispatch_through_spec_engine_field(self, tattling_engine):
+        result = repro.run(SMALL.with_(engine="tattling"))
+        assert result.engine == "tattling"
+        assert tattling_engine
+
+    def test_dispatch_through_cli(self, tattling_engine, capsys):
+        from repro.cli import main
+
+        code = main(["run", "--nx", "2", "--ny", "2", "--nz", "2", "--nang", "1",
+                     "--groups", "1", "--inners", "1", "--engine", "tattling"])
+        assert code == 0
+        assert "tattling" in capsys.readouterr().out
+        assert tattling_engine
+
+    def test_unregister_removes_engine(self):
+        @register_engine("ephemeral")
+        class Ephemeral:
+            def sweep_angle(self, *args):  # pragma: no cover - never called
+                raise NotImplementedError
+
+        assert "ephemeral" in available_engines()
+        unregister_engine("ephemeral")
+        assert "ephemeral" not in available_engines()
+        with pytest.raises(KeyError):
+            get_engine("ephemeral")
+
+
+class TestSolverRegistryExtension:
+    def test_register_and_solve_through_run(self):
+        lapack = repro.get_solver("lapack")
+        register_solver(
+            LocalSolver(name="counting", description="lapack with a call counter",
+                        solve=lapack.solve, solve_batched=lapack.solve_batched),
+            aliases=("count",),
+        )
+        try:
+            assert "counting" in available_solvers()
+            assert repro.get_solver("count").name == "counting"
+            result = repro.run(SMALL.with_(solver="counting"))
+            assert result.solver == "counting"
+            assert np.all(result.scalar_flux > 0)
+        finally:
+            unregister_solver("counting")
+        assert "counting" not in available_solvers()
+
+    def test_duplicate_solver_name_rejected(self):
+        ge = repro.get_solver("ge")
+        with pytest.raises(ValueError):
+            register_solver(ge)
+
+    def test_solver_descriptions(self):
+        names = [n for n, _ in solver_descriptions()]
+        assert names == sorted(available_solvers())

@@ -14,6 +14,7 @@ from repro.parallel.block_jacobi import BlockJacobiDriver
 
 
 class TestAnalyticLimits:
+    @pytest.mark.slow
     def test_infinite_medium_multigroup_flux(self):
         """A large, optically thick scattering medium approaches the analytic
         infinite-medium group fluxes (diag(sigma_t) - sigma_s^T) phi = q in its
@@ -63,6 +64,7 @@ class TestAnalyticLimits:
         ratio = line[3] / line[2]
         assert ratio < 1.0
 
+    @pytest.mark.slow
     def test_balance_closes_for_converged_multigroup_problem(self):
         spec = ProblemSpec(
             nx=4, ny=4, nz=4, order=1, angles_per_octant=2, num_groups=4,
@@ -80,6 +82,7 @@ class TestAnalyticLimits:
 
 
 class TestFdVsFemAgreement:
+    @pytest.mark.slow
     def test_cell_average_fluxes_agree_on_structured_problem(self):
         n, groups, nang = 5, 2, 2
         spec = ProblemSpec(
@@ -98,6 +101,7 @@ class TestFdVsFemAgreement:
         assert rel.mean() < 0.03
         assert rel.max() < 0.10
 
+    @pytest.mark.slow
     def test_higher_order_elements_are_also_conservative(self):
         # The arbitrarily-high-order elements of UnSNAP must satisfy the same
         # particle balance as the linear ones, and their solution must stay
@@ -115,6 +119,7 @@ class TestFdVsFemAgreement:
 
 
 class TestParallelConsistency:
+    @pytest.mark.slow
     def test_block_jacobi_converges_to_single_rank_solution(self):
         spec = ProblemSpec(
             nx=6, ny=4, nz=2, order=1, angles_per_octant=1, num_groups=2,
@@ -128,6 +133,7 @@ class TestParallelConsistency:
             )
             assert rel.max() < 1e-6, f"rank grid {npex}x{npey} disagrees"
 
+    @pytest.mark.slow
     def test_more_ranks_need_more_iterations_for_same_tolerance(self):
         spec = ProblemSpec(
             nx=8, ny=4, nz=2, order=1, angles_per_octant=1, num_groups=1,

@@ -1,0 +1,220 @@
+"""Tests for the ``repro.run`` facade, ``RunResult`` and the new CLI surface."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cli import build_parser, main
+from repro.config import ProblemSpec
+from repro.core.solver import TransportSolver
+from repro.input_deck import loads, spec_to_deck
+from repro.runner import RunResult, run
+
+SMALL = ProblemSpec(nx=3, ny=3, nz=3, angles_per_octant=1, num_groups=2,
+                    num_inners=2, num_outers=1)
+
+
+class TestRunFacade:
+    def test_single_rank_returns_run_result(self):
+        result = run(SMALL)
+        assert isinstance(result, RunResult)
+        assert result.num_ranks == 1
+        assert result.messages == 0 and result.bytes_exchanged == 0
+        assert result.engine == "reference" and result.solver == "ge"
+        assert result.scalar_flux.shape == (27, 2, 8)
+        assert result.cell_average_flux.shape == (27, 2)
+        assert result.total_inners == 2
+        assert np.all(result.scalar_flux > 0)
+
+    def test_multi_rank_dispatch(self):
+        result = run(SMALL.with_(npex=3, npey=1))
+        assert result.num_ranks == 3
+        assert result.messages > 0 and result.bytes_exchanged > 0
+        assert result.scalar_flux.shape == (27, 2, 8)
+        assert result.cell_average_flux.shape == (27, 2)
+        assert result.history.total_inners == 2
+        assert result.history.num_outers == 1
+
+    def test_matches_transport_solver(self):
+        facade = run(SMALL)
+        direct = TransportSolver(SMALL).solve()
+        np.testing.assert_allclose(facade.scalar_flux, direct.scalar_flux,
+                                   rtol=1e-12, atol=1e-12)
+
+    def test_engine_argument_overrides_spec(self):
+        result = run(SMALL.with_(engine="reference"), engine="vectorized")
+        assert result.engine == "vectorized"
+
+    def test_spec_engine_field_used_by_default(self):
+        assert run(SMALL.with_(engine="vectorized")).engine == "vectorized"
+        assert run(SMALL).engine == "reference"
+
+    def test_engine_instance_accepted(self):
+        result = run(SMALL, engine=repro.get_engine("vectorized"))
+        assert result.engine == "vectorized"
+
+    def test_duck_typed_engine_instance_accepted(self):
+        # An unregistered instance implementing only sweep_angle must run;
+        # the reported engine name falls back to the class name.
+        class InlineEngine:
+            def sweep_angle(self, *args):
+                return repro.get_engine("reference").sweep_angle(*args)
+
+        result = run(SMALL, engine=InlineEngine())
+        assert result.engine == "inlineengine"
+        np.testing.assert_allclose(result.scalar_flux, run(SMALL).scalar_flux,
+                                   rtol=1e-12, atol=1e-12)
+
+    def test_store_angular_flux_single_rank(self):
+        result = run(SMALL, store_angular_flux=True)
+        assert result.angular_flux is not None
+        assert result.angular_flux.shape == (27, 8, 2, 8)
+        # Collapsing the bank with the quadrature weights gives the scalar flux.
+        quad_weights = np.full(8, 1.0 / 8.0)
+        np.testing.assert_allclose(
+            result.angular_flux.scalar_flux(quad_weights), result.scalar_flux,
+            rtol=1e-12, atol=1e-12,
+        )
+
+    def test_store_angular_flux_rejected_multi_rank(self):
+        with pytest.raises(ValueError, match="multi-rank"):
+            run(SMALL.with_(npex=3), store_angular_flux=True)
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(KeyError):
+            run(SMALL, engine="warp-drive")
+
+    def test_num_threads_matches_serial(self):
+        serial = run(SMALL)
+        threaded = run(SMALL, num_threads=4)
+        np.testing.assert_allclose(threaded.scalar_flux, serial.scalar_flux,
+                                   rtol=1e-12, atol=1e-12)
+
+
+class TestRunResultExport:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run(SMALL)
+
+    @pytest.fixture(scope="class")
+    def parallel_result(self):
+        return run(SMALL.with_(npex=3, npey=1))
+
+    def test_wall_is_setup_plus_solve(self, result):
+        assert result.wall_seconds == pytest.approx(
+            result.setup_seconds + result.solve_seconds
+        )
+        assert result.setup_seconds > 0 and result.solve_seconds > 0
+
+    def test_summary_keys(self, result):
+        summary = result.summary()
+        for key in ("engine", "solver", "ranks", "cells", "groups",
+                    "nodes_per_element", "total_inners", "assembly_seconds",
+                    "solve_seconds", "setup_seconds", "wall_seconds",
+                    "balance_residual", "mean_flux", "halo_messages"):
+            assert key in summary
+        assert summary["wall_seconds"] == pytest.approx(
+            summary["setup_seconds"] + summary["solve_wall_seconds"]
+        )
+
+    def test_to_dict_is_json_safe(self, result, parallel_result):
+        for res in (result, parallel_result):
+            data = json.loads(res.to_json())
+            assert data["cells"] == 27
+            assert len(data["leakage"]) == 2
+            assert len(data["inner_errors"]) == data["total_inners"]
+            assert data["inners_per_outer"] == [2]
+
+    def test_to_dict_include_flux(self, result):
+        data = result.to_dict(include_flux=True)
+        assert np.asarray(data["scalar_flux"]).shape == (27, 2, 8)
+        assert np.asarray(data["cell_average_flux"]).shape == (27, 2)
+
+
+class TestTransportResultSummaryFix:
+    def test_wall_seconds_includes_setup(self):
+        result = TransportSolver(SMALL).solve()
+        summary = result.summary()
+        assert summary["setup_seconds"] > 0
+        assert summary["solve_wall_seconds"] > 0
+        assert summary["wall_seconds"] == pytest.approx(
+            summary["setup_seconds"] + summary["solve_wall_seconds"]
+        )
+        assert result.wall_seconds == pytest.approx(
+            result.setup_seconds + result.solve_seconds
+        )
+        # The assemble/solve split keys still report the in-kernel times.
+        assert summary["solve_seconds"] == result.timings.solve_seconds
+
+
+class TestSpecAndDeckEngine:
+    def test_spec_default_engine(self):
+        assert ProblemSpec().engine == "reference"
+
+    def test_deck_engine_key(self):
+        spec = loads("nx=2 ny=2 nz=2 engine=vectorized\n/")
+        assert spec.engine == "vectorized"
+
+    def test_deck_round_trip_preserves_engine(self):
+        spec = SMALL.with_(engine="vectorized")
+        assert loads(spec_to_deck(spec)).engine == "vectorized"
+
+
+class TestCLIAdditions:
+    ARGS = ["run", "--nx", "2", "--ny", "2", "--nz", "2", "--nang", "1",
+            "--groups", "1", "--inners", "1"]
+
+    def test_engine_flag(self, capsys):
+        assert main(self.ARGS + ["--engine", "vectorized"]) == 0
+        assert "vectorized" in capsys.readouterr().out
+
+    def test_threads_flag_parsed(self):
+        args = build_parser().parse_args(self.ARGS + ["--threads", "4"])
+        assert args.threads == 4
+
+    def test_json_flag(self, capsys):
+        assert main(self.ARGS + ["--engine", "vectorized", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["engine"] == "vectorized"
+        assert data["cells"] == 8
+        assert "wall_seconds" in data and "inner_errors" in data
+
+    def test_json_flag_multi_rank(self, capsys):
+        assert main(self.ARGS + ["--npex", "2", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["ranks"] == 2
+        assert data["halo_messages"] > 0
+
+    def test_engines_subcommand(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        assert "reference" in out and "vectorized" in out
+
+    def test_solvers_subcommand(self, capsys):
+        assert main(["solvers"]) == 0
+        out = capsys.readouterr().out
+        assert "ge" in out and "lapack" in out
+
+    def test_deck_engine_respected_and_overridable(self, tmp_path, capsys):
+        deck = tmp_path / "d.deck"
+        deck.write_text("nx=2 ny=2 nz=2 nang=1 ng=1 iitm=1 oitm=1 engine=vectorized\n/")
+        assert main(["run", "--deck", str(deck)]) == 0
+        assert "vectorized" in capsys.readouterr().out
+        assert main(["run", "--deck", str(deck), "--engine", "reference"]) == 0
+        assert "reference" in capsys.readouterr().out
+
+    def test_deck_flags_override_deck_values(self, tmp_path, capsys):
+        deck = tmp_path / "d.deck"
+        deck.write_text("nx=4 ny=2 nz=2 nang=1 ng=1 iitm=1 oitm=1\n/")
+        assert main(["run", "--deck", str(deck), "--npex", "2", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["ranks"] == 2
+        assert main(["run", "--deck", str(deck), "--groups", "3", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["groups"] == 3
+
+    def test_balance_engine_flag(self, capsys):
+        assert main(["balance", "--n", "2", "--groups", "1",
+                     "--engine", "vectorized"]) == 0
+        assert "Particle balance" in capsys.readouterr().out
