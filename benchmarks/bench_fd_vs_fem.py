@@ -10,7 +10,6 @@ claims that this benchmark reproduces and times:
 * both methods solve the same physics -- their cell-averaged fluxes agree.
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis.reporting import format_table

@@ -50,8 +50,10 @@ def test_print_figure3_series(fig3):
 
 
 def test_figure3_shape_element_major_layout_wins(fig3):
-    elem_major = [v[-1] for k, v in fig3.series.items() if "angle/*group*" not in k and "angle/group" not in k]
-    group_major = [v[-1] for k, v in fig3.series.items() if "angle/*group*" in k or "angle/group" in k]
+    elem_major = [v[-1] for k, v in fig3.series.items()
+                  if "angle/*group*" not in k and "angle/group" not in k]
+    group_major = [v[-1] for k, v in fig3.series.items()
+                   if "angle/*group*" in k or "angle/group" in k]
     assert min(elem_major) < min(group_major)
 
 

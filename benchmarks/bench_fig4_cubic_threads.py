@@ -64,8 +64,10 @@ def test_figure4_shape_cubic_orders_of_magnitude_slower(fig3, fig4):
 
 def test_figure4_shape_group_major_layout_competitive_for_cubic(fig3, fig4):
     def layout_gap(series):
-        elem = min(v[-1] for k, v in series.items() if not k.startswith("angle/*group*") and not k.startswith("angle/group"))
-        group = min(v[-1] for k, v in series.items() if k.startswith("angle/*group*") or k.startswith("angle/group"))
+        elem = min(v[-1] for k, v in series.items()
+                   if not k.startswith("angle/*group*") and not k.startswith("angle/group"))
+        group = min(v[-1] for k, v in series.items()
+                    if k.startswith("angle/*group*") or k.startswith("angle/group"))
         return group / elem
 
     # The relative penalty of the angle/group/element layout shrinks (or at

@@ -53,7 +53,9 @@ def test_print_table2(table2_base_spec):
         for solver in SOLVERS:
             result = _run(table2_base_spec.with_(order=order, solver=solver))
             t = result.timings
-            rows.append((order, solver, round(t.total_seconds, 3), f"{100 * t.solve_fraction:.0f}%"))
+            rows.append(
+                (order, solver, round(t.total_seconds, 3), f"{100 * t.solve_fraction:.0f}%")
+            )
             solve_fraction[(order, solver)] = t.solve_fraction
             total_time[(order, solver)] = t.total_seconds
     print()

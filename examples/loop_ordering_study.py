@@ -27,11 +27,13 @@ def main() -> None:
     print(f"  {node.num_cores} cores, {node.stream_bandwidth_gbs:.0f} GB/s STREAM, "
           f"{node.sustained_gflops(node.num_cores):.0f} sustained GFLOP/s\n")
 
-    for order, series_fn, figure in ((1, figure3_series, "Figure 3"), (3, figure4_series, "Figure 4")):
+    for order, series_fn, figure in (
+        (1, figure3_series, "Figure 3"), (3, figure4_series, "Figure 4")
+    ):
         workload = SweepWorkload(order=order, num_groups=64)
         bound = "memory" if is_memory_bound(node, workload) else "compute"
-        print(f"{figure}: order {order} elements "
-              f"(arithmetic intensity {arithmetic_intensity(workload):.2f} FLOP/byte, {bound} bound)")
+        print(f"{figure}: order {order} elements (arithmetic intensity "
+              f"{arithmetic_intensity(workload):.2f} FLOP/byte, {bound} bound)")
         series = series_fn()
         print(format_scaling_series(series.thread_counts, series.series))
         print(f"  fastest scheme at 56 threads: {series.fastest_at(56)}")

@@ -12,10 +12,11 @@ Public API highlights
   multi-rank), with a pluggable sweep engine, and returns a unified
   :class:`~repro.runner.RunResult`.
 * :class:`repro.config.ProblemSpec` -- problem definition (grid, twist,
-  element order, angles, groups, iterations, solver, engine, rank grid).
+  element order, angles, groups, iterations, solver, engine,
+  octant-parallel flag, rank grid).
 * :mod:`repro.engines` -- the sweep-engine registry
-  (:func:`~repro.engines.register_engine`, ``reference`` and ``vectorized``
-  built-ins).
+  (:func:`~repro.engines.register_engine`; ``reference``, ``vectorized``
+  and ``prefactorized`` built-ins).
 * :mod:`repro.solvers` -- the local dense-solver registry
   (:func:`~repro.solvers.register_solver`, ``ge`` and ``lapack`` built-ins).
 * :class:`repro.core.TransportSolver` -- the underlying single-rank DGFEM
@@ -36,7 +37,7 @@ from .engines import available_engines, get_engine, register_engine
 from .runner import RunResult, run
 from .solvers import available_solvers, get_solver, register_solver
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "run",

@@ -22,7 +22,9 @@ def _format_cell(value) -> str:
     return str(value)
 
 
-def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str | None = None) -> str:
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence], title: str | None = None
+) -> str:
     """Render rows as an aligned, pipe-separated text table."""
     str_rows = [[_format_cell(c) for c in row] for row in rows]
     widths = [len(h) for h in headers]

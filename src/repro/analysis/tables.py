@@ -37,7 +37,9 @@ class Table1Row:
     footprint_kb: float
 
     def as_tuple(self) -> tuple:
-        return (self.order, f"{self.matrix_size} x {self.matrix_size}", round(self.footprint_kb, 1))
+        return (
+            self.order, f"{self.matrix_size} x {self.matrix_size}", round(self.footprint_kb, 1)
+        )
 
 
 def table1_matrix_sizes(orders: tuple[int, ...] = (1, 2, 3, 4, 5)) -> list[Table1Row]:

@@ -13,7 +13,11 @@ from .quadrature import (
     product_quadrature,
     snap_dummy_quadrature,
 )
-from .octants import octant_of_direction, incoming_faces_for_direction, outgoing_faces_for_direction
+from .octants import (
+    incoming_faces_for_direction,
+    octant_of_direction,
+    outgoing_faces_for_direction,
+)
 
 __all__ = [
     "AngularQuadrature",

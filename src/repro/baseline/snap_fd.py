@@ -110,7 +110,9 @@ class SnapDiamondDifferenceSolver:
             raise ValueError("grid must have at least one cell per axis")
         self.nx, self.ny, self.nz = nx, ny, nz
         self.dx, self.dy, self.dz = lx / nx, ly / ny, lz / nz
-        self.xs = cross_sections if cross_sections is not None else snap_option1_materials(num_groups)
+        self.xs = (
+            cross_sections if cross_sections is not None else snap_option1_materials(num_groups)
+        )
         self.quadrature = (
             quadrature if quadrature is not None else snap_dummy_quadrature(angles_per_octant)
         )

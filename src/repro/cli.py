@@ -8,9 +8,9 @@ Sub-commands
     through the :func:`repro.run` facade and print a solve summary -- or the
     full machine-readable ``RunResult`` with ``--json``.
 ``engines``
-    List the registered sweep engines.
+    List the registered sweep engines (with their aliases).
 ``solvers``
-    List the registered local dense solvers.
+    List the registered local dense solvers (with their aliases).
 ``table1``
     Print Table I (local matrix size and footprint per element order).
 ``table2``
@@ -30,10 +30,10 @@ from .analysis.figures import PAPER_THREAD_COUNTS, figure3_series, figure4_serie
 from .analysis.reporting import format_scaling_series, format_table
 from .analysis.tables import table1_matrix_sizes, table2_solver_comparison
 from .config import ProblemSpec
-from .engines import engine_descriptions, get_engine
+from .engines import engine_listing, get_engine
 from .input_deck import parse_input_deck
 from .runner import run
-from .solvers import get_solver, solver_descriptions
+from .solvers import get_solver, solver_listing
 
 __all__ = ["main", "build_parser"]
 
@@ -65,12 +65,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_cmd.add_argument(
         "--engine", type=str, default=None,
-        help="sweep engine name (see 'unsnap engines'); default from the deck "
+        help="sweep engine name or alias: reference | vectorized | "
+        "prefactorized | ... (see 'unsnap engines'); default from the deck "
         "or 'reference'",
     )
     run_cmd.add_argument(
         "--threads", type=int, default=1,
-        help="worker threads for the reference engine's bucket loop",
+        help="worker threads: whole octants with --octant-parallel, "
+        "otherwise the reference engine's bucket loop",
+    )
+    run_cmd.add_argument(
+        "--octant-parallel", action="store_true", default=None,
+        help="sweep the 8 octants concurrently on the --threads pool "
+        "(deterministic reduction order; default from the deck or off)",
     )
     run_cmd.add_argument("--npex", type=int, default=None)
     run_cmd.add_argument("--npey", type=int, default=None)
@@ -112,6 +119,7 @@ _RUN_FLAG_DEFAULTS = {
     "outers": ("num_outers", 1),
     "solver": ("solver", "ge"),
     "engine": ("engine", "reference"),
+    "octant_parallel": ("octant_parallel", False),
     "npex": ("npex", 1),
     "npey": ("npey", 1),
 }
@@ -171,10 +179,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_engines(_args: argparse.Namespace) -> int:
+    rows = [(name, aliases or "-", desc) for name, aliases, desc in engine_listing()]
     print(
         format_table(
-            ("engine", "description"),
-            engine_descriptions(),
+            ("engine", "aliases", "description"),
+            rows,
             title="Registered sweep engines",
         )
     )
@@ -182,10 +191,11 @@ def _cmd_engines(_args: argparse.Namespace) -> int:
 
 
 def _cmd_solvers(_args: argparse.Namespace) -> int:
+    rows = [(name, aliases or "-", desc) for name, aliases, desc in solver_listing()]
     print(
         format_table(
-            ("solver", "description"),
-            solver_descriptions(),
+            ("solver", "aliases", "description"),
+            rows,
             title="Registered local solvers",
         )
     )
@@ -218,14 +228,16 @@ def _cmd_table2(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig(args: argparse.Namespace, order: int) -> int:
-    series = figure3_series(tuple(args.threads)) if order == 1 else figure4_series(tuple(args.threads))
+    threads = tuple(args.threads)
+    series = figure3_series(threads) if order == 1 else figure4_series(threads)
     title = (
         "Figure 3: thread scaling of the parallel sweep (linear elements, model)"
         if order == 1
         else "Figure 4: thread scaling of the parallel sweep (cubic elements, model)"
     )
     print(format_scaling_series(series.thread_counts, series.series, title=title))
-    print(f"fastest scheme at {series.thread_counts[-1]} threads: {series.fastest_at(series.thread_counts[-1])}")
+    most = series.thread_counts[-1]
+    print(f"fastest scheme at {most} threads: {series.fastest_at(most)}")
     return 0
 
 
@@ -242,7 +254,8 @@ def _cmd_balance(args: argparse.Namespace) -> int:
     result = run(spec)
     b = result.balance
     rows = [
-        (g, f"{b.emission[g]:.5f}", f"{b.absorption[g]:.5f}", f"{b.leakage[g]:.5f}", f"{b.residual[g]:+.2e}")
+        (g, f"{b.emission[g]:.5f}", f"{b.absorption[g]:.5f}", f"{b.leakage[g]:.5f}",
+         f"{b.residual[g]:+.2e}")
         for g in range(len(b.emission))
     ]
     print(

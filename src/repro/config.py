@@ -75,10 +75,14 @@ class ProblemSpec:
     solver:
         Local solver name (``"ge"`` or ``"lapack"``).
     engine:
-        Sweep engine name (``"reference"`` or ``"vectorized"``, or any name
-        registered through :func:`repro.engines.register_engine`).  Resolved
-        at execution time so engines registered after the spec was built are
-        still usable.
+        Sweep engine name (``"reference"``, ``"vectorized"`` or
+        ``"prefactorized"``, or any name registered through
+        :func:`repro.engines.register_engine`).  Resolved at execution time
+        so engines registered after the spec was built are still usable.
+    octant_parallel:
+        Sweep the 8 octants concurrently on a thread pool (the octants'
+        wavefront buckets are independent); the pool size is the runtime
+        ``num_threads`` and the reduction order is deterministic.
     boundary:
         Boundary condition on the domain boundary.
     npex, npey:
@@ -104,6 +108,7 @@ class ProblemSpec:
     outer_tolerance: float = 0.0
     solver: str = "ge"
     engine: str = "reference"
+    octant_parallel: bool = False
     boundary: BoundaryCondition = field(default_factory=BoundaryCondition)
     npex: int = 1
     npey: int = 1

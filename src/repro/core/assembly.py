@@ -21,7 +21,7 @@ the precomputed factor arrays held by :class:`ElementMatrices`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -147,7 +147,9 @@ class ElementMatrices:
         )
 
     # -------------------------------------------------------------- assembly
-    def streaming_matrix(self, element: int, direction: np.ndarray, orientation: np.ndarray) -> np.ndarray:
+    def streaming_matrix(
+        self, element: int, direction: np.ndarray, orientation: np.ndarray
+    ) -> np.ndarray:
         """Direction-dependent, group-independent part of ``A`` for one element.
 
         ``-Omega . G + sum_{f outflow} Omega . F_own[f]``; the group term

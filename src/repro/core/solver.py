@@ -16,7 +16,7 @@ building blocks per subdomain.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -120,7 +120,10 @@ class TransportSolver:
     engine:
         Sweep-engine override (name or instance); defaults to ``spec.engine``.
     num_threads:
-        Worker threads for independent bucket elements (functional only).
+        Worker threads (octant-level with ``octant_parallel``, otherwise
+        the reference engine's independent bucket elements).
+    octant_parallel:
+        Octant-parallel sweep override; defaults to ``spec.octant_parallel``.
     store_angular_flux:
         Keep the full angular flux of the final sweep.
     """
@@ -134,6 +137,7 @@ class TransportSolver:
         mesh: UnstructuredHexMesh | None = None,
         engine=None,
         num_threads: int = 1,
+        octant_parallel: bool | None = None,
         store_angular_flux: bool = False,
     ):
         t0 = time.perf_counter()
@@ -159,7 +163,9 @@ class TransportSolver:
         self.fixed_source = (
             fixed_source
             if fixed_source is not None
-            else uniform_source(self.mesh.num_cells, self.materials.num_groups, spec.source_strength)
+            else uniform_source(
+                self.mesh.num_cells, self.materials.num_groups, spec.source_strength
+            )
         )
 
         self.schedule: SweepSchedule = build_sweep_schedule(
@@ -177,10 +183,28 @@ class TransportSolver:
             solver=spec.solver,
             engine=engine if engine is not None else spec.engine,
             num_threads=num_threads,
+            octant_parallel=(
+                spec.octant_parallel if octant_parallel is None else bool(octant_parallel)
+            ),
             store_angular_flux=store_angular_flux,
         )
         self.node_weights = node_integration_weights(self.factors, self.ref)
         self.setup_seconds = time.perf_counter() - t0
+
+    # ---------------------------------------------------- factor-cache hooks
+    def update_materials(self, materials: MaterialLibrary) -> None:
+        """Swap the cross sections mid-run (invalidates cached LU factors).
+
+        The next :meth:`solve` (or any further sweep through the executor)
+        re-factorises against the new materials; see the factor-cache
+        lifecycle notes in :mod:`repro.engines.base`.
+        """
+        self.materials = materials.for_cells(self.mesh.num_cells)
+        self.executor.update_materials(self.materials)
+
+    def invalidate_factor_cache(self) -> None:
+        """Drop the executor's engine-memoised state (LU factors etc.)."""
+        self.executor.invalidate_factor_cache()
 
     # -------------------------------------------------------------------- solve
     def solve(self, initial_flux: np.ndarray | None = None) -> TransportResult:
@@ -206,7 +230,9 @@ class TransportSolver:
             leakage=last_sweep.leakage,
             volumes=self.factors.volumes,
         )
-        cell_average = np.einsum("egn,en->eg", scalar, self.node_weights) / self.factors.volumes[:, None]
+        cell_average = (
+            np.einsum("egn,en->eg", scalar, self.node_weights) / self.factors.volumes[:, None]
+        )
         return TransportResult(
             scalar_flux=scalar,
             cell_average_flux=cell_average,

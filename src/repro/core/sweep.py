@@ -20,6 +20,7 @@ Boundary handling:
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -31,7 +32,7 @@ from ..engines.registry import get_engine
 from ..fem.element import HexElementFactors
 from ..fem.reference import ReferenceElement
 from ..materials.cross_sections import MaterialLibrary
-from ..mesh.hexmesh import BOUNDARY, UnstructuredHexMesh
+from ..mesh.hexmesh import UnstructuredHexMesh
 from ..solvers.registry import LocalSolver, get_solver
 from ..sweepsched.schedule import SweepSchedule
 from .assembly import AssemblyTimings, ElementMatrices
@@ -118,10 +119,17 @@ class SweepExecutor:
         ``(cell, face)`` pairs owned by other ranks; outgoing traces on these
         faces are collected into :attr:`SweepResult.outgoing_halo`.
     num_threads:
-        Number of worker threads used by the ``reference`` engine to process
-        independent elements of a bucket concurrently (functional
-        parallelism; the performance study of the paper is reproduced by
-        :mod:`repro.perfmodel`).
+        Number of worker threads (functional parallelism; the performance
+        study of the paper is reproduced by :mod:`repro.perfmodel`).  With
+        ``octant_parallel`` the threads dispatch whole octants; otherwise
+        the ``reference`` engine uses them to process independent elements
+        of a bucket concurrently.
+    octant_parallel:
+        Sweep the 8 octants concurrently on a thread pool.  The buckets of
+        different octants are independent, so each octant's angles are
+        processed by one worker and the per-octant partial results are
+        reduced in a fixed octant order -- the scalar flux is bit-for-bit
+        identical whatever ``num_threads`` is.
     store_angular_flux:
         Keep the full ``(E, A, G, N)`` angular flux in the sweep result.
     """
@@ -140,6 +148,7 @@ class SweepExecutor:
         engine: SweepEngine | str = "reference",
         halo_faces: np.ndarray | None = None,
         num_threads: int = 1,
+        octant_parallel: bool = False,
         store_angular_flux: bool = False,
     ):
         self.mesh = mesh
@@ -153,16 +162,71 @@ class SweepExecutor:
         self.solver = get_solver(solver) if isinstance(solver, str) else solver
         self.engine = get_engine(engine)
         self.num_threads = max(1, int(num_threads))
+        self.octant_parallel = bool(octant_parallel)
         self.store_angular_flux = bool(store_angular_flux)
 
         self.sigma_t = self.materials.sigma_t_per_cell()  # (E, G)
         self.num_groups = self.materials.num_groups
         self.num_nodes = matrices.num_nodes
 
+        #: Engine-owned memoisation storage (e.g. the ``prefactorized``
+        #: engine's LU factors), keyed by engine-namespaced tuples; see the
+        #: factor-cache lifecycle notes in :mod:`repro.engines.base`.
+        self.factor_cache: dict = {}
+        self._factor_epoch = 0
+        # Lazily-created octant worker pool, reused across sweeps (a solve
+        # runs num_outers * num_inners of them).
+        self._octant_pool: ThreadPoolExecutor | None = None
+
         self._halo_set: set[tuple[int, int]] = set()
         if halo_faces is not None and len(halo_faces):
             halo_faces = np.asarray(halo_faces, dtype=np.int64)
             self._halo_set = {(int(c), int(f)) for c, f in halo_faces[:, :2]}
+
+    # ----------------------------------------------------- factor-cache hooks
+    @property
+    def element_threads(self) -> int:
+        """Threads available for *within-bucket* element parallelism.
+
+        When the executor parallelises over octants the worker threads are
+        spent at the octant level, so engines must not nest their own pools.
+        """
+        return 1 if self.octant_parallel else self.num_threads
+
+    @property
+    def factor_epoch(self) -> int:
+        """Monotone counter bumped by every cache invalidation."""
+        return self._factor_epoch
+
+    def invalidate_factor_cache(self) -> None:
+        """Drop all engine-memoised state (LU factors, cached couplings).
+
+        Called whenever an input the cached data depends on changes -- the
+        cross sections via :meth:`update_materials`, or externally mutated
+        materials/matrices.  Engines exposing an ``invalidate_cache`` hook
+        are notified before the storage is cleared.
+        """
+        self._factor_epoch += 1
+        hook = getattr(self.engine, "invalidate_cache", None)
+        if hook is not None:
+            hook(self)
+        self.factor_cache.clear()
+
+    def update_materials(self, materials: MaterialLibrary) -> None:
+        """Swap the material library mid-run and invalidate cached factors.
+
+        The new library must cover the executor's mesh and keep the group
+        count (the flux shapes are fixed at construction time).
+        """
+        materials = materials.for_cells(self.mesh.num_cells)
+        if materials.num_groups != self.num_groups:
+            raise ValueError(
+                f"new materials have {materials.num_groups} groups, "
+                f"executor was built with {self.num_groups}"
+            )
+        self.materials = materials
+        self.sigma_t = materials.sigma_t_per_cell()
+        self.invalidate_factor_cache()
 
     # ------------------------------------------------------------------ sweep
     def sweep(
@@ -200,18 +264,45 @@ class SweepExecutor:
         )
 
         incident = self.boundary.incoming_value()
+        octants = self.quadrature.octant_order()
 
-        for octant_angles in self.quadrature.octant_order():
-            for angle in octant_angles.tolist():
-                psi_angle = self._sweep_one_angle(
-                    angle, total_source, boundary_values, incident, timings
+        if self.octant_parallel:
+            # The buckets of different octants are independent, so whole
+            # octants are dispatched across a thread pool.  Each worker
+            # accumulates its own partials (in fixed angle order) and the
+            # main thread reduces them in fixed octant order, so the result
+            # is bit-for-bit identical for any number of worker threads.
+            if self._octant_pool is None:
+                self._octant_pool = ThreadPoolExecutor(
+                    max_workers=min(len(octants), self.num_threads) or 1
                 )
-                weight = self.quadrature.weights[angle]
-                scalar += weight * psi_angle
-                leakage += weight * self._boundary_leakage(angle, psi_angle, incident)
-                self._collect_halo(angle, psi_angle, outgoing_halo)
-                if bank is not None:
-                    bank.psi[:, angle] = psi_angle
+            futures = [
+                self._octant_pool.submit(
+                    self._sweep_octant,
+                    octant_angles, total_source, boundary_values, incident, bank,
+                )
+                for octant_angles in octants
+            ]
+            partials = [f.result() for f in futures]
+            for part_scalar, part_leakage, part_halo, part_timings in partials:
+                scalar += part_scalar
+                leakage += part_leakage
+                outgoing_halo.update(part_halo)
+                timings.assembly_seconds += part_timings.assembly_seconds
+                timings.solve_seconds += part_timings.solve_seconds
+                timings.systems_solved += part_timings.systems_solved
+        else:
+            for octant_angles in octants:
+                for angle in octant_angles.tolist():
+                    psi_angle = self._sweep_one_angle(
+                        angle, total_source, boundary_values, incident, timings
+                    )
+                    weight = self.quadrature.weights[angle]
+                    scalar += weight * psi_angle
+                    leakage += weight * self._boundary_leakage(angle, psi_angle, incident)
+                    self._collect_halo(angle, psi_angle, outgoing_halo)
+                    if bank is not None:
+                        bank.psi[:, angle] = psi_angle
 
         return SweepResult(
             scalar_flux=scalar,
@@ -220,6 +311,38 @@ class SweepExecutor:
             outgoing_halo=outgoing_halo,
             angular_flux=bank,
         )
+
+    # ----------------------------------------------------------- one octant
+    def _sweep_octant(
+        self,
+        octant_angles: np.ndarray,
+        total_source: np.ndarray,
+        boundary_values: BoundaryValues | None,
+        incident: float,
+        bank: AngularFluxBank | None,
+    ) -> tuple[np.ndarray, np.ndarray, dict, AssemblyTimings]:
+        """Sweep one octant's angles and return its partial reductions.
+
+        Runs on an octant worker thread: every accumulator is thread-local
+        (angles are processed in quadrature order) and the angular-flux bank
+        slots of different angles are disjoint, so concurrent octants never
+        write the same memory.
+        """
+        timings = AssemblyTimings()
+        scalar = np.zeros((self.mesh.num_cells, self.num_groups, self.num_nodes), dtype=float)
+        leakage = np.zeros(self.num_groups, dtype=float)
+        outgoing_halo: dict[tuple[int, int, int], np.ndarray] = {}
+        for angle in octant_angles.tolist():
+            psi_angle = self._sweep_one_angle(
+                angle, total_source, boundary_values, incident, timings
+            )
+            weight = self.quadrature.weights[angle]
+            scalar += weight * psi_angle
+            leakage += weight * self._boundary_leakage(angle, psi_angle, incident)
+            self._collect_halo(angle, psi_angle, outgoing_halo)
+            if bank is not None:
+                bank.psi[:, angle] = psi_angle
+        return scalar, leakage, outgoing_halo, timings
 
     # ----------------------------------------------------------- single angle
     def _sweep_one_angle(

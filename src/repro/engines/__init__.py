@@ -14,18 +14,26 @@ Built-in engines
 ``vectorized``
     Batch-assembles and batch-solves all elements of a wavefront bucket at
     once (aliases: ``vec``, ``batched``).
+``prefactorized``
+    LU-factorises every bucket batch once per (angle, bucket) and reuses
+    the cached factors across all inner/outer iterations, re-assembling
+    only the right-hand sides (aliases: ``lu``, ``prefactor``,
+    ``factor-cache``; paper Section IV-B.1).
 """
 
 from .base import SweepEngine
 from .registry import (
     available_engines,
+    engine_aliases,
     engine_descriptions,
+    engine_listing,
     get_engine,
     register_engine,
     unregister_engine,
 )
 
 # Importing the engine modules registers the built-in engines.
+from .prefactorized import PrefactorizedSweepEngine
 from .reference import ReferenceSweepEngine
 from .vectorized import VectorizedSweepEngine
 
@@ -35,7 +43,10 @@ __all__ = [
     "unregister_engine",
     "get_engine",
     "available_engines",
+    "engine_aliases",
     "engine_descriptions",
+    "engine_listing",
     "ReferenceSweepEngine",
     "VectorizedSweepEngine",
+    "PrefactorizedSweepEngine",
 ]

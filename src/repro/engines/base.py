@@ -11,13 +11,31 @@ work to its engine.
 Engines are stateless objects registered by name through
 :func:`repro.engines.register_engine`; the executor (and therefore
 :func:`repro.run`, the input deck and the ``unsnap`` CLI) selects one by name.
-Two engines ship with the package:
+Three engines ship with the package:
 
 * ``reference`` -- the per-element loop of the paper's Figure 2 pseudocode,
   optionally threaded over the independent elements of a wavefront bucket;
 * ``vectorized`` -- batch-assembles and batch-solves *all* elements of a
   bucket at once through stacked einsum contractions and
-  ``LocalSolver.solve_batched`` over ``(B*G, N, N)`` systems.
+  ``LocalSolver.solve_batched`` over ``(B*G, N, N)`` systems;
+* ``prefactorized`` -- like ``vectorized`` but LU-factorises every bucket
+  batch once and reuses the factors across all inner/outer iterations
+  (paper Section IV-B.1).
+
+Factor-cache lifecycle
+----------------------
+Because engines are shared stateless instances, any per-problem state an
+engine wants to memoise (LU factors, cached couplings, ...) must live on the
+*executor*, in :attr:`SweepExecutor.factor_cache` -- a plain dict whose keys
+the engine namespaces with its own name.  The executor owns the lifecycle:
+:meth:`SweepExecutor.invalidate_factor_cache` clears the dict whenever the
+cached inputs change (cross-section updates go through
+:meth:`SweepExecutor.update_materials`; mesh changes rebuild the executor),
+and both :class:`~repro.core.solver.TransportSolver` and
+:class:`~repro.parallel.block_jacobi.BlockJacobiDriver` expose matching
+``update_materials`` hooks that thread the invalidation through.  An engine
+may additionally define ``invalidate_cache(executor)`` to be notified before
+the dict is cleared.
 """
 
 from __future__ import annotations

@@ -1,0 +1,168 @@
+"""Shared batched per-bucket assembly used by the vectorized-family engines.
+
+All elements of a wavefront bucket are mutually independent and their upwind
+neighbours live in *earlier* buckets, so the whole bucket can be assembled
+with stacked einsum contractions: the ``(B, G, N, N)`` left-hand sides, the
+``(B, G, N)`` volumetric right-hand sides and the upwind face couplings.
+The ``vectorized`` engine rebuilds everything per sweep; the
+``prefactorized`` engine reuses :func:`assemble_bucket_matrices` once per
+(angle, bucket) to build the systems it LU-factorises and caches, and calls
+:func:`assemble_bucket_rhs` every sweep with the cached interior couplings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mesh.hexmesh import BOUNDARY
+
+__all__ = [
+    "assemble_bucket_matrices",
+    "interior_upwind_couplings",
+    "assemble_bucket_rhs",
+]
+
+
+def assemble_bucket_matrices(executor, direction, orient, bucket) -> np.ndarray:
+    """Assemble the ``(B, G, N, N)`` local systems of one wavefront bucket.
+
+    Parameters
+    ----------
+    executor:
+        The owning :class:`~repro.core.sweep.SweepExecutor`.
+    direction:
+        The ordinate direction ``Omega``.
+    orient:
+        ``(B, 6)`` face orientation of the bucket elements for this
+        direction (+1 outflow, -1 inflow, 0 tangential).
+    bucket:
+        ``(B,)`` element indices of the bucket.
+    """
+    matrices = executor.matrices
+    # Streaming matrix: -Omega.G plus the outflow own-face couplings.
+    a_base = -np.einsum("d,edij->eij", direction, matrices.gradient[bucket], optimize=True)
+    outflow = (orient == 1).astype(float)  # (B, 6)
+    a_base += np.einsum(
+        "ef,d,efdij->eij", outflow, direction, matrices.face_own[bucket], optimize=True
+    )
+    # Per-group systems: A[e, g] = base[e] + sigma_t[e, g] * M[e].
+    mass = matrices.mass[bucket]  # (B, N, N)
+    return (
+        a_base[:, None, :, :]
+        + executor.sigma_t[bucket][:, :, None, None] * mass[:, None, :, :]
+    )
+
+
+def interior_upwind_couplings(
+    executor, direction, orient, bucket
+) -> dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Direction-weighted couplings to *interior* upwind neighbours.
+
+    Returns a mapping ``face -> (idx, neighbors, coupling)`` covering every
+    face with at least one interior inflow element, where ``idx`` indexes
+    into the bucket, ``neighbors`` are the upwind element ids and
+    ``coupling`` is the ``(K, N, N)`` contraction
+    ``Omega . face_neighbor``.  Everything here depends only on the mesh,
+    the schedule and the direction -- it is invariant across sweeps, which
+    is why the ``prefactorized`` engine caches it alongside the LU factors.
+    """
+    mesh = executor.mesh
+    couplings: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+    for face in range(6):
+        inflow = orient[:, face] == -1
+        if not np.any(inflow):
+            continue
+        neighbors = mesh.face_neighbors[bucket, face]
+        interior = inflow & (neighbors != BOUNDARY)
+        if not np.any(interior):
+            continue
+        idx = np.nonzero(interior)[0]
+        coupling = np.einsum(
+            "d,kdij->kij",
+            direction,
+            executor.matrices.face_neighbor[bucket[idx], face],
+            optimize=True,
+        )
+        couplings[face] = (idx, neighbors[idx], coupling)
+    return couplings
+
+
+def assemble_bucket_rhs(
+    executor,
+    angle,
+    direction,
+    orient,
+    bucket,
+    psi_angle,
+    total_source,
+    boundary_values,
+    incident,
+    interior=None,
+) -> np.ndarray:
+    """Assemble the ``(B, G, N)`` right-hand sides of one wavefront bucket.
+
+    Volumetric source first, then per face the interior upwind couplings
+    (``psi`` of earlier buckets is final) and the domain-boundary inflow
+    terms: lagged block-Jacobi traces where present, otherwise the incident
+    boundary flux.  ``interior`` takes a precomputed
+    :func:`interior_upwind_couplings` result (the ``prefactorized`` cache);
+    when ``None`` the couplings are built on the fly.
+    """
+    mesh = executor.mesh
+    matrices = executor.matrices
+    have_lagged = boundary_values is not None and len(boundary_values) > 0
+    if interior is None:
+        interior = interior_upwind_couplings(executor, direction, orient, bucket)
+
+    b = np.einsum("egj,eij->egi", total_source[bucket], matrices.mass[bucket], optimize=True)
+    for face in range(6):
+        entry = interior.get(face)
+        if entry is not None:
+            idx, neighbors, coupling = entry
+            # Upwind neighbours live in earlier buckets: psi is final.
+            traces = psi_angle[neighbors]  # (K, G, N)
+            b[idx] -= np.einsum("kgj,kij->kgi", traces, coupling, optimize=True)
+        if not have_lagged and incident == 0.0:
+            # Vacuum domain boundary with no lagged traces: nothing to add,
+            # skip the per-element boundary scan entirely.
+            continue
+        inflow = orient[:, face] == -1
+        if not np.any(inflow):
+            continue
+        neighbors = mesh.face_neighbors[bucket, face]
+        domain = inflow & (neighbors == BOUNDARY)
+        if not np.any(domain):
+            continue
+        idx = np.nonzero(domain)[0]
+        lagged_local: list[int] = []
+        lagged_traces: list[np.ndarray] = []
+        incident_local: list[int] = []
+        for k in idx.tolist():
+            element = int(bucket[k])
+            lagged = boundary_values.get(element, face, angle) if have_lagged else None
+            if lagged is not None:
+                lagged_local.append(k)
+                lagged_traces.append(lagged)
+            elif incident != 0.0:
+                incident_local.append(k)
+        if lagged_local:
+            sel = np.asarray(lagged_local, dtype=np.int64)
+            coupling = np.einsum(
+                "d,kdij->kij",
+                direction,
+                matrices.face_neighbor[bucket[sel], face],
+                optimize=True,
+            )
+            traces = np.stack(lagged_traces, axis=0)  # (K, G, N)
+            b[sel] -= np.einsum("kgj,kij->kgi", traces, coupling, optimize=True)
+        if incident_local:
+            sel = np.asarray(incident_local, dtype=np.int64)
+            coupling = np.einsum(
+                "d,kdij->kij",
+                direction,
+                matrices.face_own[bucket[sel], face],
+                optimize=True,
+            )
+            # Incident flux is constant over the face: psi = incident.
+            b[sel] -= incident * coupling.sum(axis=2)[:, None, :]
+    return b

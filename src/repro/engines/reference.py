@@ -5,7 +5,7 @@ all energy groups are assembled and solved together (a batch of ``G`` small
 dense systems sharing the same streaming matrix but different ``sigma_t,g``).
 The assemble and solve phases are timed separately, per element, to reproduce
 the split of Table II.  Independent bucket elements may optionally be
-processed by a thread pool (``executor.num_threads``), with the bucket
+processed by a thread pool (``executor.element_threads``), with the bucket
 boundary acting as a synchronisation point.
 """
 
@@ -73,12 +73,14 @@ class ReferenceSweepEngine:
             timings.solve_seconds += t2 - t1
             timings.systems_solved += executor.num_groups
 
-        if executor.num_threads == 1:
+        # element_threads is 1 under octant-parallel execution: the worker
+        # threads are spent at the octant level, never nested.
+        if executor.element_threads == 1:
             for bucket in asched.buckets:
                 for element in bucket.tolist():
                     process_element(element)
         else:
-            with ThreadPoolExecutor(max_workers=executor.num_threads) as pool:
+            with ThreadPoolExecutor(max_workers=executor.element_threads) as pool:
                 for bucket in asched.buckets:
                     # Elements within a bucket are mutually independent; the
                     # bucket boundary is a synchronisation point.

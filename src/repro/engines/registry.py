@@ -1,8 +1,10 @@
 """Registry of sweep engines selectable by name.
 
-Mirrors :mod:`repro.solvers.registry`: the input deck, :func:`repro.run` and
-the ``unsnap`` CLI select the sweep engine by name, and third-party code can
-plug in new execution strategies with the :func:`register_engine` decorator::
+Built on the generic :class:`repro.registry.Registry` (shared with
+:mod:`repro.solvers.registry`): the input deck, :func:`repro.run` and the
+``unsnap`` CLI select the sweep engine by name, and third-party code can
+plug in new execution strategies with the :func:`register_engine`
+decorator::
 
     from repro.engines import register_engine
 
@@ -19,6 +21,7 @@ plug in new execution strategies with the :func:`register_engine` decorator::
 
 from __future__ import annotations
 
+from ..registry import Registry
 from .base import SweepEngine
 
 __all__ = [
@@ -26,11 +29,12 @@ __all__ = [
     "unregister_engine",
     "get_engine",
     "available_engines",
+    "engine_aliases",
     "engine_descriptions",
+    "engine_listing",
 ]
 
-_REGISTRY: dict[str, SweepEngine] = {}
-_ALIASES: dict[str, str] = {}
+_ENGINES: Registry[SweepEngine] = Registry("engine")
 
 
 def register_engine(
@@ -55,7 +59,6 @@ def register_engine(
         Allow replacing an existing registration (otherwise a duplicate name
         raises ``ValueError``).
     """
-    key = name.strip().lower()
 
     def decorate(obj):
         engine = obj() if isinstance(obj, type) else obj
@@ -63,20 +66,11 @@ def register_engine(
             raise TypeError(
                 f"engine {name!r} must implement sweep_angle(...); got {type(engine)!r}"
             )
-        alias_keys = [alias.strip().lower() for alias in aliases]
-        if not overwrite:
-            # Validate every key before mutating anything so a conflict
-            # cannot leave a partial registration behind.
-            for k in (key, *alias_keys):
-                if k in _REGISTRY or k in _ALIASES:
-                    raise ValueError(f"engine name {k!r} is already registered")
-        engine.name = key
+        engine.name = name.strip().lower()
         engine.description = description or next(
             iter((engine.__doc__ or "").strip().splitlines()), ""
         )
-        _REGISTRY[key] = engine
-        for alias_key in alias_keys:
-            _ALIASES[alias_key] = key
+        _ENGINES.add(engine.name, engine, aliases=aliases, overwrite=overwrite)
         return obj
 
     return decorate
@@ -88,21 +82,27 @@ def unregister_engine(name: str) -> None:
     Primarily a test/plugin-teardown convenience; the built-in engines can be
     removed too, so use with care.
     """
-    key = name.strip().lower()
-    key = _ALIASES.get(key, key)
-    _REGISTRY.pop(key, None)
-    for alias in [a for a, target in _ALIASES.items() if target == key]:
-        del _ALIASES[alias]
+    _ENGINES.remove(name)
 
 
 def available_engines() -> list[str]:
     """Names of all registered engines (aliases excluded)."""
-    return sorted(_REGISTRY)
+    return _ENGINES.available()
+
+
+def engine_aliases(name: str) -> list[str]:
+    """Aliases registered for the given engine name."""
+    return _ENGINES.aliases_of(name)
 
 
 def engine_descriptions() -> list[tuple[str, str]]:
     """``(name, description)`` pairs for reports and ``unsnap engines``."""
-    return [(name, _REGISTRY[name].description) for name in available_engines()]
+    return _ENGINES.descriptions()
+
+
+def engine_listing() -> list[tuple[str, str, str]]:
+    """``(name, aliases, description)`` rows for ``unsnap engines``."""
+    return _ENGINES.listing()
 
 
 def get_engine(engine: SweepEngine | str) -> SweepEngine:
@@ -115,11 +115,4 @@ def get_engine(engine: SweepEngine | str) -> SweepEngine:
         if callable(getattr(engine, "sweep_angle", None)):
             return engine
         raise TypeError(f"not a sweep engine: {engine!r}")
-    key = engine.strip().lower()
-    key = _ALIASES.get(key, key)
-    try:
-        return _REGISTRY[key]
-    except KeyError:
-        raise KeyError(
-            f"unknown engine {engine!r}; available: {available_engines()}"
-        ) from None
+    return _ENGINES.resolve(engine)

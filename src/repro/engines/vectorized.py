@@ -3,7 +3,8 @@
 The reference engine pays CPython interpreter overhead for every element of
 every bucket of every angle.  All elements of a wavefront bucket are mutually
 independent and their upwind neighbours live in *earlier* buckets, so the
-entire bucket can be assembled with stacked einsum contractions and solved as
+entire bucket can be assembled with stacked einsum contractions (shared with
+the ``prefactorized`` engine via :mod:`repro.engines.batched`) and solved as
 one ``(B*G, N, N)`` batch through ``LocalSolver.solve_batched`` -- the NumPy
 analogue of the paper's discussion of batched local solves (Section IV-B).
 
@@ -22,7 +23,7 @@ import time
 
 import numpy as np
 
-from ..mesh.hexmesh import BOUNDARY
+from .batched import assemble_bucket_matrices, assemble_bucket_rhs
 from .registry import register_engine
 
 __all__ = ["VectorizedSweepEngine"]
@@ -37,94 +38,19 @@ class VectorizedSweepEngine:
         direction = executor.quadrature.directions[angle]
         asched = executor.schedule.for_angle(angle)
         orientation = asched.classification.orientation  # (E, 6)
-        matrices = executor.matrices
         num_groups = executor.num_groups
         num_nodes = executor.num_nodes
         psi_angle = np.zeros((mesh.num_cells, num_groups, num_nodes), dtype=float)
-
-        have_lagged = boundary_values is not None and len(boundary_values) > 0
 
         for bucket in asched.buckets:
             t0 = time.perf_counter()
             batch = bucket.shape[0]
             orient = orientation[bucket]  # (B, 6)
-
-            # Streaming matrix: -Omega.G plus the outflow own-face couplings.
-            a_base = -np.einsum(
-                "d,edij->eij", direction, matrices.gradient[bucket], optimize=True
+            a = assemble_bucket_matrices(executor, direction, orient, bucket)
+            b = assemble_bucket_rhs(
+                executor, angle, direction, orient, bucket, psi_angle,
+                total_source, boundary_values, incident,
             )
-            outflow = (orient == 1).astype(float)  # (B, 6)
-            a_base += np.einsum(
-                "ef,d,efdij->eij", outflow, direction, matrices.face_own[bucket], optimize=True
-            )
-            # Per-group systems: A[e, g] = base[e] + sigma_t[e, g] * M[e].
-            mass = matrices.mass[bucket]  # (B, N, N)
-            a = (
-                a_base[:, None, :, :]
-                + executor.sigma_t[bucket][:, :, None, None] * mass[:, None, :, :]
-            )
-
-            # Right-hand sides: volumetric source then inflow-face couplings.
-            b = np.einsum("egj,eij->egi", total_source[bucket], mass, optimize=True)
-            for face in range(6):
-                inflow = orient[:, face] == -1
-                if not np.any(inflow):
-                    continue
-                neighbors = mesh.face_neighbors[bucket, face]
-                interior = inflow & (neighbors != BOUNDARY)
-                if np.any(interior):
-                    idx = np.nonzero(interior)[0]
-                    coupling = np.einsum(
-                        "d,kdij->kij",
-                        direction,
-                        matrices.face_neighbor[bucket[idx], face],
-                        optimize=True,
-                    )
-                    # Upwind neighbours live in earlier buckets: psi is final.
-                    traces = psi_angle[neighbors[idx]]  # (K, G, N)
-                    b[idx] -= np.einsum("kgj,kij->kgi", traces, coupling, optimize=True)
-                if not have_lagged and incident == 0.0:
-                    # Vacuum domain boundary with no lagged traces: nothing to
-                    # add, skip the per-element boundary scan entirely.
-                    continue
-                domain = inflow & (neighbors == BOUNDARY)
-                if not np.any(domain):
-                    continue
-                idx = np.nonzero(domain)[0]
-                lagged_local: list[int] = []
-                lagged_traces: list[np.ndarray] = []
-                incident_local: list[int] = []
-                for k in idx.tolist():
-                    element = int(bucket[k])
-                    lagged = (
-                        boundary_values.get(element, face, angle) if have_lagged else None
-                    )
-                    if lagged is not None:
-                        lagged_local.append(k)
-                        lagged_traces.append(lagged)
-                    elif incident != 0.0:
-                        incident_local.append(k)
-                if lagged_local:
-                    sel = np.asarray(lagged_local, dtype=np.int64)
-                    coupling = np.einsum(
-                        "d,kdij->kij",
-                        direction,
-                        matrices.face_neighbor[bucket[sel], face],
-                        optimize=True,
-                    )
-                    traces = np.stack(lagged_traces, axis=0)  # (K, G, N)
-                    b[sel] -= np.einsum("kgj,kij->kgi", traces, coupling, optimize=True)
-                if incident_local:
-                    sel = np.asarray(incident_local, dtype=np.int64)
-                    coupling = np.einsum(
-                        "d,kdij->kij",
-                        direction,
-                        matrices.face_own[bucket[sel], face],
-                        optimize=True,
-                    )
-                    # Incident flux is constant over the face: psi = incident.
-                    b[sel] -= incident * coupling.sum(axis=2)[:, None, :]
-
             t1 = time.perf_counter()
             solution = executor.solver.solve_batched(
                 a.reshape(batch * num_groups, num_nodes, num_nodes),

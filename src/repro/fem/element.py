@@ -111,7 +111,9 @@ class ElementGeometry:
         """Physical coordinates of the element's Lagrange nodes, ``(N, 3)``."""
         return self.map_points(basis.node_coords)
 
-    def face_normal_and_area(self, face: int, ref: ReferenceElement) -> tuple[np.ndarray, np.ndarray]:
+    def face_normal_and_area(
+        self, face: int, ref: ReferenceElement
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Outward unit normals and surface weights at the face quadrature points.
 
         Returns ``(normals, surface_weights)`` with shapes ``(nqf, 3)`` and

@@ -21,6 +21,7 @@ Recognised keys (SNAP name -> ProblemSpec field)::
     twist_axis          -> twist_axis
     solver              -> solver
     engine              -> engine
+    octant_parallel     -> octant_parallel (0/1, also accepts true/false)
     npex, npey          -> npex, npey
     src_opt, mat_opt    -> accepted (only option 1 data is generated)
 """
@@ -56,7 +57,19 @@ _STR_KEYS = {
     "solver": "solver",
     "engine": "engine",
 }
+_BOOL_KEYS = {
+    "octant_parallel": "octant_parallel",
+}
 _IGNORED_KEYS = {"src_opt", "mat_opt", "timedep", "fixup", "nthreads", "nnested"}
+
+
+def _parse_bool(key: str, raw: str) -> bool:
+    token = raw.strip().strip("'\"").lower()
+    if token in ("1", "true", "t", "yes", "on"):
+        return True
+    if token in ("0", "false", "f", "no", "off"):
+        return False
+    raise ValueError(f"cannot parse boolean deck value {key}={raw!r}")
 
 
 def _tokenise(text: str) -> list[tuple[str, str]]:
@@ -89,6 +102,8 @@ def loads(text: str) -> ProblemSpec:
                 epsi_seen = True
         elif key in _STR_KEYS:
             values[_STR_KEYS[key]] = raw.strip("'\"")
+        elif key in _BOOL_KEYS:
+            values[_BOOL_KEYS[key]] = _parse_bool(key, raw)
         else:
             raise KeyError(f"unknown input deck key {key!r}")
     if epsi_seen:
@@ -112,6 +127,7 @@ def spec_to_deck(spec: ProblemSpec) -> str:
         f"order={spec.order} twist={spec.max_twist} twist_axis={spec.twist_axis}",
         f"scatp={spec.scattering_ratio} qsrc={spec.source_strength}",
         f"solver={spec.solver} engine={spec.engine}",
+        f"octant_parallel={int(spec.octant_parallel)}",
         f"npex={spec.npex} npey={spec.npey}",
         "/",
     ]

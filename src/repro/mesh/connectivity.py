@@ -98,7 +98,9 @@ def validate_connectivity(mesh: UnstructuredHexMesh) -> list[str]:
 
     out_of_range = (nbrs != BOUNDARY) & ((nbrs < 0) | (nbrs >= num_cells))
     for cell, face in zip(*np.nonzero(out_of_range)):
-        problems.append(f"cell {cell} face {face}: neighbour index {nbrs[cell, face]} out of range")
+        problems.append(
+            f"cell {cell} face {face}: neighbour index {nbrs[cell, face]} out of range"
+        )
 
     for cell, face in zip(*np.nonzero(nbrs != BOUNDARY)):
         other = nbrs[cell, face]

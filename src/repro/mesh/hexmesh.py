@@ -135,7 +135,9 @@ class UnstructuredHexMesh:
         new_cells = vert_map[self.cells[cell_ids]]
         new_neighbors = self.face_neighbors[cell_ids].copy()
         interior = new_neighbors != BOUNDARY
-        mapped = np.where(interior, global_to_local[np.where(interior, new_neighbors, 0)], BOUNDARY)
+        mapped = np.where(
+            interior, global_to_local[np.where(interior, new_neighbors, 0)], BOUNDARY
+        )
         new_neighbors = np.where(interior, mapped, BOUNDARY)
 
         structured = None

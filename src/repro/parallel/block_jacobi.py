@@ -101,7 +101,10 @@ class BlockJacobiDriver:
     engine:
         Sweep-engine override (name or instance); defaults to ``spec.engine``.
     num_threads:
-        Worker threads per rank for the ``reference`` engine's bucket loop.
+        Worker threads per rank (octant-level with ``octant_parallel``,
+        otherwise the ``reference`` engine's bucket loop).
+    octant_parallel:
+        Octant-parallel sweep override; defaults to ``spec.octant_parallel``.
     """
 
     def __init__(
@@ -112,6 +115,7 @@ class BlockJacobiDriver:
         quadrature: AngularQuadrature | None = None,
         engine=None,
         num_threads: int = 1,
+        octant_parallel: bool | None = None,
     ):
         self.spec = spec
         self.global_mesh = build_snap_mesh(
@@ -171,6 +175,9 @@ class BlockJacobiDriver:
                 solver=spec.solver,
                 engine=engine if engine is not None else spec.engine,
                 num_threads=num_threads,
+                octant_parallel=(
+                    spec.octant_parallel if octant_parallel is None else bool(octant_parallel)
+                ),
                 halo_faces=sub.halo_faces,
             )
             self.factors.append(factors)
@@ -183,6 +190,30 @@ class BlockJacobiDriver:
     @property
     def num_ranks(self) -> int:
         return self.decomposition.num_ranks
+
+    # ---------------------------------------------------- factor-cache hooks
+    def update_materials(self, materials: MaterialLibrary) -> None:
+        """Swap the cross sections mid-run on every rank.
+
+        The global library is restricted to each subdomain and every rank's
+        factor cache is invalidated, so the next sweep re-factorises; see
+        the factor-cache lifecycle notes in :mod:`repro.engines.base`.
+        """
+        global_materials = materials.for_cells(self.global_mesh.num_cells)
+        self.global_materials = global_materials
+        self.rank_materials = []
+        for r, sub in enumerate(self.decomposition.subdomains):
+            rank_materials = MaterialLibrary(
+                materials=global_materials.materials,
+                cell_material=global_materials.cell_material[sub.global_cell_ids],
+            )
+            self.rank_materials.append(rank_materials)
+            self.executors[r].update_materials(rank_materials)
+
+    def invalidate_factor_caches(self) -> None:
+        """Drop every rank executor's engine-memoised state (LU factors etc.)."""
+        for executor in self.executors:
+            executor.invalidate_factor_cache()
 
     # -------------------------------------------------------------------- solve
     def solve(self) -> BlockJacobiResult:

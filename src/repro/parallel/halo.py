@@ -45,7 +45,9 @@ class HaloExchanger:
         # Map (remote_rank) -> list of (local_cell, face, remote_local_cell)
         self._by_partner: dict[int, list[tuple[int, int, int]]] = defaultdict(list)
         for local_cell, face, remote_rank, remote_cell in subdomain.halo_faces.tolist():
-            self._by_partner[int(remote_rank)].append((int(local_cell), int(face), int(remote_cell)))
+            self._by_partner[int(remote_rank)].append(
+                (int(local_cell), int(face), int(remote_cell))
+            )
 
     @property
     def partners(self) -> list[int]:

@@ -102,7 +102,9 @@ class SweepPerformanceModel:
         return schedule.for_angle(0).bucket_sizes()
 
     # --------------------------------------------------------------- modelling
-    def bucket_time(self, scheme: ThreadingScheme, bucket_size: int, threads: int) -> tuple[float, float]:
+    def bucket_time(
+        self, scheme: ThreadingScheme, bucket_size: int, threads: int
+    ) -> tuple[float, float]:
         """(compute, memory) seconds of one bucket for one angle."""
         groups = self.spec.num_groups
         wall_items = scheme.wall_iterations(bucket_size, groups, threads)
@@ -147,7 +149,9 @@ class SweepPerformanceModel:
             memory_seconds=memory_total * scale,
         )
 
-    def scaling_curve(self, scheme: ThreadingScheme, thread_counts: list[int]) -> list[ScalingPoint]:
+    def scaling_curve(
+        self, scheme: ThreadingScheme, thread_counts: list[int]
+    ) -> list[ScalingPoint]:
         """Thread-scaling curve for one scheme."""
         return [self.sweep_time(scheme, t) for t in thread_counts]
 

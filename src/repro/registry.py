@@ -1,0 +1,146 @@
+"""Generic name+alias registry shared by the pluggable subsystems.
+
+The sweep-engine registry (:mod:`repro.engines.registry`) and the
+local-solver registry (:mod:`repro.solvers.registry`) grew the same
+mechanics independently: case-insensitive canonical names, an alias table
+resolving to canonical names, conflict validation that never leaves a
+partial registration behind, and listing helpers for the CLI.  This module
+extracts those mechanics into one :class:`Registry` both subsystems (and
+future ones -- numba/GPU engines, new solver families) build on, so a new
+registry is one instantiation rather than a hundred duplicated lines.
+
+A :class:`Registry` stores arbitrary objects; the thin subsystem modules
+keep their domain-specific validation (protocol checks, decorator sugar)
+and public function names.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterator, TypeVar
+
+__all__ = ["Registry"]
+
+T = TypeVar("T")
+
+
+def _normalise(name: str) -> str:
+    return name.strip().lower()
+
+
+class Registry(Generic[T]):
+    """A case-insensitive name+alias registry of named objects.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable noun used in error messages (``"engine"``,
+        ``"solver"``, ...).
+    describe:
+        Optional callable mapping a registered object to its one-line
+        description; defaults to reading an ``obj.description`` attribute.
+    """
+
+    def __init__(self, kind: str, describe: Callable[[T], str] | None = None):
+        self.kind = kind
+        self._describe = describe if describe is not None else self._default_describe
+        self._items: dict[str, T] = {}
+        self._aliases: dict[str, str] = {}
+
+    @staticmethod
+    def _default_describe(obj: T) -> str:
+        return getattr(obj, "description", "")
+
+    # ------------------------------------------------------------ mutation
+    def add(
+        self,
+        name: str,
+        obj: T,
+        *,
+        aliases: tuple[str, ...] = (),
+        overwrite: bool = False,
+    ) -> T:
+        """Register ``obj`` under ``name`` plus any ``aliases``.
+
+        All keys are validated before anything is stored, so a duplicate
+        name or alias raises ``ValueError`` without leaving a partial
+        registration behind.  With ``overwrite=True`` an existing canonical
+        registration of the *same* name is replaced (its old aliases are
+        dropped first); overwriting through another object's alias is
+        rejected so a plugin cannot silently knock out a different
+        registration.
+        """
+        key = _normalise(name)
+        alias_keys = [_normalise(alias) for alias in aliases]
+        if overwrite:
+            if key in self._aliases:
+                raise ValueError(
+                    f"{self.kind} name {key!r} is an alias of "
+                    f"{self._aliases[key]!r}; unregister that first"
+                )
+            if key in self._items:
+                self.remove(key)
+            # The replaced registration's aliases are gone now, so any
+            # remaining collision belongs to a *different* registration.
+            for k in alias_keys:
+                if k in self._items or k in self._aliases:
+                    raise ValueError(f"{self.kind} name {k!r} is already registered")
+        else:
+            for k in (key, *alias_keys):
+                if k in self._items or k in self._aliases:
+                    raise ValueError(f"{self.kind} name {k!r} is already registered")
+        self._items[key] = obj
+        for alias_key in alias_keys:
+            self._aliases[alias_key] = key
+        return obj
+
+    def remove(self, name: str) -> None:
+        """Remove a registration (and its aliases); unknown names are a no-op."""
+        key = self.canonical(name)
+        self._items.pop(key, None)
+        for alias in [a for a, target in self._aliases.items() if target == key]:
+            del self._aliases[alias]
+
+    # ------------------------------------------------------------- lookup
+    def canonical(self, name: str) -> str:
+        """Resolve a name or alias to its canonical registry key."""
+        key = _normalise(name)
+        return self._aliases.get(key, key)
+
+    def resolve(self, name: str) -> T:
+        """Look up an object by canonical name or alias (case-insensitive)."""
+        try:
+            return self._items[self.canonical(name)]
+        except KeyError:
+            raise KeyError(
+                f"unknown {self.kind} {name!r}; available: {self.available()}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return self.canonical(name) in self._items
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.available())
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    # ------------------------------------------------------------ listing
+    def available(self) -> list[str]:
+        """Sorted canonical names (aliases excluded)."""
+        return sorted(self._items)
+
+    def aliases_of(self, name: str) -> list[str]:
+        """Sorted aliases registered for the given name."""
+        key = self.canonical(name)
+        return sorted(a for a, target in self._aliases.items() if target == key)
+
+    def descriptions(self) -> list[tuple[str, str]]:
+        """``(name, description)`` pairs for every registered object."""
+        return [(name, self._describe(self._items[name])) for name in self.available()]
+
+    def listing(self) -> list[tuple[str, str, str]]:
+        """``(name, comma-joined aliases, description)`` rows for CLI tables."""
+        return [
+            (name, ", ".join(self.aliases_of(name)), self._describe(self._items[name]))
+            for name in self.available()
+        ]

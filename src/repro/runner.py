@@ -161,6 +161,7 @@ def run(
     *,
     engine=None,
     num_threads: int = 1,
+    octant_parallel: bool | None = None,
     store_angular_flux: bool = False,
     materials=None,
     fixed_source=None,
@@ -179,10 +180,15 @@ def run(
         and the default engine).
     engine:
         Sweep-engine override: a registry name (``"reference"``,
-        ``"vectorized"``, or any :func:`repro.engines.register_engine`-ed
-        name) or an engine instance.  Defaults to ``spec.engine``.
+        ``"vectorized"``, ``"prefactorized"``, or any
+        :func:`repro.engines.register_engine`-ed name) or an engine
+        instance.  Defaults to ``spec.engine``.
     num_threads:
-        Worker threads for the ``reference`` engine's bucket loop.
+        Worker threads: whole octants with ``octant_parallel``, otherwise
+        the ``reference`` engine's bucket loop.
+    octant_parallel:
+        Sweep the 8 octants concurrently with a deterministic reduction
+        order; defaults to ``spec.octant_parallel``.
     store_angular_flux:
         Keep the full angular flux of the final sweep (single rank only).
     materials, fixed_source, quadrature:
@@ -205,6 +211,7 @@ def run(
             quadrature=quadrature,
             engine=engine_obj,
             num_threads=num_threads,
+            octant_parallel=octant_parallel,
         )
         setup_seconds = time.perf_counter() - t0
         result = driver.solve()
@@ -242,6 +249,7 @@ def run(
         quadrature=quadrature,
         engine=engine_obj,
         num_threads=num_threads,
+        octant_parallel=octant_parallel,
         store_angular_flux=store_angular_flux,
     )
     result = solver.solve()

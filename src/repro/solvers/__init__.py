@@ -6,17 +6,27 @@ hand-written vectorised Gaussian-elimination routine against LAPACK's
 ``dgesv`` (from the Intel MKL) and finds that the hand-written solver wins
 for small matrices (orders <= 3, N <= 64) while the library wins for larger
 ones (Table II).  This sub-package provides both paths plus batched variants
-that solve the systems of all energy groups of an element at once.
+that solve the systems of all energy groups of an element at once, and
+batched LU factor-once/solve-many routines backing the ``prefactorized``
+sweep engine (paper Section IV-B.1).
 """
 
-from .gaussian import gaussian_elimination_solve, batched_gaussian_solve
-from .lapack import lapack_solve, batched_lapack_solve, lu_factor_solve
+from .gaussian import batched_gaussian_solve, gaussian_elimination_solve
+from .lapack import batched_lapack_solve, lapack_solve, lu_factor_solve
+from .prefactor import (
+    batched_gaussian_lu_factor,
+    batched_gaussian_lu_solve,
+    batched_lapack_lu_factor,
+    batched_lapack_lu_solve,
+)
 from .registry import (
     LocalSolver,
     available_solvers,
     get_solver,
     register_solver,
+    solver_aliases,
     solver_descriptions,
+    solver_listing,
     unregister_solver,
 )
 
@@ -26,10 +36,16 @@ __all__ = [
     "lapack_solve",
     "batched_lapack_solve",
     "lu_factor_solve",
+    "batched_gaussian_lu_factor",
+    "batched_gaussian_lu_solve",
+    "batched_lapack_lu_factor",
+    "batched_lapack_lu_solve",
     "LocalSolver",
     "register_solver",
     "unregister_solver",
     "get_solver",
     "available_solvers",
+    "solver_aliases",
     "solver_descriptions",
+    "solver_listing",
 ]

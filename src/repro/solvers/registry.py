@@ -3,8 +3,8 @@
 The input deck (and the benchmark harness) selects the local solver by name,
 matching UnSNAP's build/run-time choice between the hand-written Gaussian
 elimination and the MKL ``dgesv`` path.  Third-party solvers can be plugged
-in through :func:`register_solver`, mirroring the sweep-engine registry of
-:mod:`repro.engines`::
+in through :func:`register_solver`; the name+alias mechanics are shared with
+the sweep-engine registry via :class:`repro.registry.Registry`::
 
     from repro.solvers import LocalSolver, register_solver
 
@@ -20,8 +20,15 @@ from typing import Callable
 
 import numpy as np
 
+from ..registry import Registry
 from .gaussian import batched_gaussian_solve, gaussian_elimination_solve
 from .lapack import batched_lapack_solve, lapack_solve
+from .prefactor import (
+    batched_gaussian_lu_factor,
+    batched_gaussian_lu_solve,
+    batched_lapack_lu_factor,
+    batched_lapack_lu_solve,
+)
 
 __all__ = [
     "LocalSolver",
@@ -29,7 +36,9 @@ __all__ = [
     "unregister_solver",
     "get_solver",
     "available_solvers",
+    "solver_aliases",
     "solver_descriptions",
+    "solver_listing",
 ]
 
 
@@ -47,39 +56,54 @@ class LocalSolver:
         Callable ``(matrix (N, N), rhs (N,)) -> (N,)``.
     solve_batched:
         Callable ``(matrices (B, N, N), rhs (B, N)) -> (B, N)``.
+    factor_batched, solve_factored:
+        Optional factor-once/solve-many pair used by the ``prefactorized``
+        sweep engine: ``factor_batched(matrices (B, N, N))`` returns an
+        opaque factorisation token and ``solve_factored(token, rhs (B, N))``
+        solves against it in ``O(N^2)`` per system.  Solvers that leave
+        these ``None`` fall back to the hand-written batched LU.
     """
 
     name: str
     description: str
     solve: Callable[[np.ndarray, np.ndarray], np.ndarray]
     solve_batched: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    factor_batched: Callable[[np.ndarray], object] | None = None
+    solve_factored: Callable[[object, np.ndarray], np.ndarray] | None = None
+
+    @property
+    def supports_prefactorisation(self) -> bool:
+        """Whether this solver ships its own factor-once/solve-many pair."""
+        return self.factor_batched is not None and self.solve_factored is not None
 
 
-_REGISTRY: dict[str, LocalSolver] = {
-    "ge": LocalSolver(
+_SOLVERS: Registry[LocalSolver] = Registry("solver")
+
+_SOLVERS.add(
+    "ge",
+    LocalSolver(
         name="ge",
         description="hand-written Gaussian elimination with partial pivoting "
         "(vectorised over the batch, the paper's GE path)",
         solve=gaussian_elimination_solve,
         solve_batched=batched_gaussian_solve,
+        factor_batched=batched_gaussian_lu_factor,
+        solve_factored=batched_gaussian_lu_solve,
     ),
-    "lapack": LocalSolver(
+    aliases=("gaussian", "gauss", "handwritten"),
+)
+_SOLVERS.add(
+    "lapack",
+    LocalSolver(
         name="lapack",
         description="LAPACK dgesv via NumPy/SciPy (the paper's MKL path)",
         solve=lapack_solve,
         solve_batched=batched_lapack_solve,
+        factor_batched=batched_lapack_lu_factor,
+        solve_factored=batched_lapack_lu_solve,
     ),
-}
-
-#: Aliases accepted by :func:`get_solver`.
-_ALIASES = {
-    "gaussian": "ge",
-    "gauss": "ge",
-    "handwritten": "ge",
-    "mkl": "lapack",
-    "dgesv": "lapack",
-    "numpy": "lapack",
-}
+    aliases=("mkl", "dgesv", "numpy"),
+)
 
 
 def register_solver(
@@ -97,46 +121,34 @@ def register_solver(
     overwrite:
         Allow replacing an existing registration.
     """
-    key = solver.name.strip().lower()
-    alias_keys = [alias.strip().lower() for alias in aliases]
-    if not overwrite:
-        # Validate every key before mutating anything so a conflict cannot
-        # leave a partial registration behind.
-        for k in (key, *alias_keys):
-            if k in _REGISTRY or k in _ALIASES:
-                raise ValueError(f"solver name {k!r} is already registered")
-    _REGISTRY[key] = solver
-    for alias_key in alias_keys:
-        _ALIASES[alias_key] = key
-    return solver
+    return _SOLVERS.add(solver.name, solver, aliases=aliases, overwrite=overwrite)
 
 
 def unregister_solver(name: str) -> None:
     """Remove a solver (and its aliases) from the registry."""
-    key = name.strip().lower()
-    key = _ALIASES.get(key, key)
-    _REGISTRY.pop(key, None)
-    for alias in [a for a, target in _ALIASES.items() if target == key]:
-        del _ALIASES[alias]
+    _SOLVERS.remove(name)
 
 
 def available_solvers() -> list[str]:
     """Names of all registered solvers."""
-    return sorted(_REGISTRY)
+    return _SOLVERS.available()
+
+
+def solver_aliases(name: str) -> list[str]:
+    """Aliases registered for the given solver name."""
+    return _SOLVERS.aliases_of(name)
 
 
 def solver_descriptions() -> list[tuple[str, str]]:
     """``(name, description)`` pairs for reports and ``unsnap solvers``."""
-    return [(name, _REGISTRY[name].description) for name in available_solvers()]
+    return _SOLVERS.descriptions()
+
+
+def solver_listing() -> list[tuple[str, str, str]]:
+    """``(name, aliases, description)`` rows for ``unsnap solvers``."""
+    return _SOLVERS.listing()
 
 
 def get_solver(name: str) -> LocalSolver:
     """Look up a solver by name or alias (case-insensitive)."""
-    key = name.strip().lower()
-    key = _ALIASES.get(key, key)
-    try:
-        return _REGISTRY[key]
-    except KeyError:
-        raise KeyError(
-            f"unknown solver {name!r}; available: {available_solvers()}"
-        ) from None
+    return _SOLVERS.resolve(name)

@@ -1,6 +1,5 @@
 """Tests for the table/figure generators and text reporting."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.figures import (
@@ -98,8 +97,11 @@ class TestFigures:
         # Section IV-A.2: the angle/group/element layout is only competitive
         # for cubic elements; for linear it is clearly slower.
         def layout_ratio(series):
-            elem = min(v[-1] for k, v in series.items() if k.startswith("angle/*element*") or k.startswith("angle/element"))
-            group = min(v[-1] for k, v in series.items() if "/element" in k.split("angle/")[1][:20] and k.startswith("angle/*group*") or k.startswith("angle/group"))
+            elem = min(v[-1] for k, v in series.items()
+                       if k.startswith("angle/*element*") or k.startswith("angle/element"))
+            group = min(v[-1] for k, v in series.items()
+                        if "/element" in k.split("angle/")[1][:20]
+                        and k.startswith("angle/*group*") or k.startswith("angle/group"))
             return group / elem
 
         assert layout_ratio(fig3.series) >= layout_ratio(fig4.series) - 1e-9

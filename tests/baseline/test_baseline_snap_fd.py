@@ -9,14 +9,18 @@ from repro.materials.library import pure_absorber, snap_option1_materials
 
 class TestDiamondDifference:
     def test_result_shapes(self):
-        solver = SnapDiamondDifferenceSolver(3, 4, 5, num_groups=2, angles_per_octant=1, num_inners=2)
+        solver = SnapDiamondDifferenceSolver(
+            3, 4, 5, num_groups=2, angles_per_octant=1, num_inners=2
+        )
         result = solver.solve()
         assert result.scalar_flux.shape == (3, 4, 5, 2)
         assert result.leakage.shape == (2,)
         assert len(result.inner_errors) == 2
 
     def test_symmetry_of_symmetric_problem(self):
-        solver = SnapDiamondDifferenceSolver(4, 4, 4, num_groups=1, angles_per_octant=2, num_inners=3)
+        solver = SnapDiamondDifferenceSolver(
+            4, 4, 4, num_groups=1, angles_per_octant=2, num_inners=3
+        )
         flux = solver.solve().scalar_flux[..., 0]
         # The problem is symmetric under reflection through the domain centre.
         assert np.allclose(flux, flux[::-1, :, :], atol=1e-12)

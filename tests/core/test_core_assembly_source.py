@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.assembly import AssemblyTimings, ElementMatrices
+from repro.core.assembly import AssemblyTimings
 from repro.core.balance import particle_balance
 from repro.core.convergence import is_converged, max_relative_difference, relative_change
 from repro.core.flux import FluxMoments, AngularFluxBank, node_integration_weights
@@ -100,7 +100,9 @@ class TestElementMatrices:
         sigma_t = np.ones(1)
         source = np.zeros((1, 8))
         trace = {0: np.full((1, 8), 2.0)}
-        _a0, b0 = small_matrices.assemble_systems(13, omega, cls.orientation[13], sigma_t, source, {})
+        _a0, b0 = small_matrices.assemble_systems(
+            13, omega, cls.orientation[13], sigma_t, source, {}
+        )
         _a1, b1 = small_matrices.assemble_systems(
             13, omega, cls.orientation[13], sigma_t, source, trace
         )

@@ -12,7 +12,7 @@ from repro.core.sweep import BoundaryValues, SweepExecutor
 from repro.fem.element import HexElementFactors
 from repro.fem.reference import ReferenceElement
 from repro.materials.cross_sections import MaterialLibrary
-from repro.materials.library import pure_absorber, snap_option1_library
+from repro.materials.library import pure_absorber
 from repro.materials.source_terms import uniform_source
 from repro.mesh.builder import StructuredGridSpec, build_snap_mesh
 from repro.sweepsched.schedule import build_sweep_schedule
@@ -65,7 +65,9 @@ class TestSweepExecutor:
         assert result.timings.assembly_seconds > 0
         assert result.timings.solve_seconds > 0
 
-    def test_scalar_flux_positive_for_positive_source(self, small_mesh, small_quadrature, small_materials):
+    def test_scalar_flux_positive_for_positive_source(
+        self, small_mesh, small_quadrature, small_materials
+    ):
         executor, _, _ = make_executor(small_mesh, 1, small_quadrature, small_materials)
         source = np.ones((27, 3, 8))
         result = executor.sweep(source)
@@ -153,7 +155,9 @@ class TestIterationController:
     def test_fixed_iteration_counts(self, small_mesh, small_quadrature, small_materials):
         executor, _, _ = make_executor(small_mesh, 1, small_quadrature, small_materials)
         fixed = uniform_source(27, 3)
-        controller = IterationController(executor, small_materials, fixed, num_inners=4, num_outers=2)
+        controller = IterationController(
+            executor, small_materials, fixed, num_inners=4, num_outers=2
+        )
         _flux, _last, history, timings = controller.run()
         assert history.total_inners == 8
         assert history.num_outers == 2

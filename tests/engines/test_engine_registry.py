@@ -6,17 +6,22 @@ import pytest
 import repro
 from repro.engines import (
     available_engines,
+    engine_aliases,
     engine_descriptions,
+    engine_listing,
     get_engine,
     register_engine,
     unregister_engine,
 )
 from repro.engines.base import SweepEngine
+from repro.registry import Registry
 from repro.solvers import (
     LocalSolver,
     available_solvers,
     register_solver,
+    solver_aliases,
     solver_descriptions,
+    solver_listing,
     unregister_solver,
 )
 
@@ -24,15 +29,83 @@ SMALL = repro.ProblemSpec(nx=2, ny=2, nz=2, angles_per_octant=1, num_groups=1,
                           num_inners=1, num_outers=1)
 
 
+class TestGenericRegistry:
+    """The shared name+alias mechanics both subsystems build on."""
+
+    def test_add_resolve_aliases(self):
+        reg = Registry("widget")
+        reg.add("alpha", object(), aliases=("a", "first"))
+        assert reg.available() == ["alpha"]
+        assert reg.aliases_of("alpha") == ["a", "first"]
+        assert reg.resolve("A") is reg.resolve("alpha")
+        assert "first" in reg and "alpha" in reg and "nope" not in reg
+        assert len(reg) == 1 and list(reg) == ["alpha"]
+
+    def test_conflict_leaves_no_partial_state(self):
+        reg = Registry("widget")
+        reg.add("alpha", object(), aliases=("a",))
+        with pytest.raises(ValueError, match="'a'"):
+            reg.add("beta", object(), aliases=("b", "a"))
+        assert "beta" not in reg and "b" not in reg
+
+    def test_overwrite_drops_old_aliases(self):
+        reg = Registry("widget")
+        reg.add("alpha", object(), aliases=("a",))
+        new = object()
+        reg.add("alpha", new, aliases=("aa",), overwrite=True)
+        assert reg.resolve("aa") is new
+        with pytest.raises(KeyError, match="widget"):
+            reg.resolve("a")
+
+    def test_overwrite_through_alias_of_other_item_rejected(self):
+        # Overwriting via another registration's *alias* must not silently
+        # delete that registration.
+        reg = Registry("widget")
+        survivor = object()
+        reg.add("alpha", survivor, aliases=("a",))
+        with pytest.raises(ValueError, match="alias"):
+            reg.add("a", object(), overwrite=True)
+        assert reg.resolve("alpha") is survivor
+        assert reg.resolve("a") is survivor
+
+    def test_overwrite_cannot_steal_foreign_alias(self):
+        reg = Registry("widget")
+        reg.add("alpha", object(), aliases=("a",))
+        reg.add("beta", object())
+        with pytest.raises(ValueError, match="'a'"):
+            reg.add("beta", object(), aliases=("a",), overwrite=True)
+        # beta was removed as part of the overwrite attempt, but alpha's
+        # alias table is untouched.
+        assert reg.resolve("a") is reg.resolve("alpha")
+
+    def test_remove_unknown_is_noop(self):
+        Registry("widget").remove("ghost")
+
+    def test_listing_uses_description_attribute(self):
+        reg = Registry("widget")
+        reg.add("alpha", type("W", (), {"description": "a widget"})(), aliases=("a",))
+        assert reg.descriptions() == [("alpha", "a widget")]
+        assert reg.listing() == [("alpha", "a", "a widget")]
+
+
 class TestEngineRegistry:
     def test_builtin_engines_registered(self):
         assert "reference" in available_engines()
         assert "vectorized" in available_engines()
+        assert "prefactorized" in available_engines()
 
     def test_aliases_resolve(self):
         assert get_engine("loop") is get_engine("reference")
         assert get_engine("vec") is get_engine("vectorized")
         assert get_engine("BATCHED") is get_engine("vectorized")
+        assert get_engine("lu") is get_engine("prefactorized")
+
+    def test_alias_listing(self):
+        assert engine_aliases("vectorized") == ["batched", "vec"]
+        assert engine_aliases("prefactorized") == ["factor-cache", "lu", "prefactor"]
+        rows = {name: aliases for name, aliases, _desc in engine_listing()}
+        assert "vec" in rows["vectorized"]
+        assert "lu" in rows["prefactorized"]
 
     def test_instances_pass_through(self):
         engine = get_engine("reference")
@@ -166,3 +239,13 @@ class TestSolverRegistryExtension:
     def test_solver_descriptions(self):
         names = [n for n, _ in solver_descriptions()]
         assert names == sorted(available_solvers())
+
+    def test_solver_alias_listing(self):
+        assert solver_aliases("ge") == ["gauss", "gaussian", "handwritten"]
+        assert solver_aliases("lapack") == ["dgesv", "mkl", "numpy"]
+        rows = {name: aliases for name, aliases, _desc in solver_listing()}
+        assert "mkl" in rows["lapack"]
+
+    def test_builtin_solvers_support_prefactorisation(self):
+        assert repro.get_solver("ge").supports_prefactorisation
+        assert repro.get_solver("lapack").supports_prefactorisation

@@ -1,0 +1,177 @@
+"""Tests for the prefactorized engine's factor cache and octant parallelism.
+
+Two properties matter beyond plain engine equivalence (covered by
+``test_engine_equivalence``):
+
+* the LU factor cache must be *correct under change* -- reused while the
+  cross sections are fixed, invalidated (and only then) when they change
+  mid-run through the ``update_materials`` lifecycle hooks;
+* octant-parallel execution must be deterministic -- the scalar flux is
+  bit-for-bit identical whatever ``num_threads`` is, because the per-octant
+  partial reductions are combined in a fixed order.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.solver import TransportSolver
+from repro.engines import get_engine
+from repro.materials.cross_sections import MaterialLibrary
+from repro.materials.library import pure_absorber, snap_option1_library
+from repro.parallel.block_jacobi import BlockJacobiDriver
+
+SPEC = repro.ProblemSpec(
+    nx=3, ny=3, nz=3, angles_per_octant=2, num_groups=2,
+    max_twist=0.001, num_inners=3, num_outers=2,
+)
+
+ABSORBER = MaterialLibrary(materials=[pure_absorber(2, sigma_t=2.5)])
+
+
+class TestFactorCacheLifecycle:
+    def test_aliases(self):
+        engine = get_engine("prefactorized")
+        assert get_engine("lu") is engine
+        assert get_engine("prefactor") is engine
+        assert get_engine("factor-cache") is engine
+
+    def test_cache_populated_and_reused(self):
+        solver = TransportSolver(SPEC, engine="prefactorized")
+        executor = solver.executor
+        assert len(executor.factor_cache) == 0
+        first = solver.solve()
+        populated = len(executor.factor_cache)
+        assert populated > 0
+        # A second solve reuses the factors (same entries, same epoch) and
+        # reproduces the fresh-cache result exactly.
+        second = solver.solve()
+        assert len(executor.factor_cache) == populated
+        assert executor.factor_epoch == 0
+        np.testing.assert_array_equal(second.scalar_flux, first.scalar_flux)
+
+    def test_invalidate_bumps_epoch_and_clears(self):
+        solver = TransportSolver(SPEC, engine="prefactorized")
+        solver.solve()
+        assert len(solver.executor.factor_cache) > 0
+        solver.invalidate_factor_cache()
+        assert len(solver.executor.factor_cache) == 0
+        assert solver.executor.factor_epoch == 1
+
+    def test_stale_cache_detected_by_invalidation(self):
+        """The cache really is reused: mutating sigma_t without invalidating
+        keeps the old factors, and invalidating picks the mutation up."""
+        solver = TransportSolver(SPEC, engine="prefactorized")
+        executor = solver.executor
+        stale = solver.solve()
+        # Mutate the cross sections behind the cache's back: sigma_t only
+        # enters through the cached factors, so the mutation is invisible
+        # while the cache lives...
+        executor.sigma_t = executor.sigma_t * 2.0
+        behind_back = solver.solve()
+        np.testing.assert_array_equal(behind_back.scalar_flux, stale.scalar_flux)
+        # ...and takes effect exactly when the cache is invalidated.
+        executor.invalidate_factor_cache()
+        refreshed = solver.solve()
+        assert not np.allclose(refreshed.scalar_flux, stale.scalar_flux, rtol=1e-3)
+
+    def test_update_materials_matches_fresh_solver(self):
+        solver = TransportSolver(SPEC, engine="prefactorized")
+        before = solver.solve()
+        solver.update_materials(ABSORBER)
+        assert len(solver.executor.factor_cache) == 0
+        after = solver.solve()
+        fresh = TransportSolver(SPEC, materials=ABSORBER, engine="prefactorized").solve()
+        np.testing.assert_array_equal(after.scalar_flux, fresh.scalar_flux)
+        reference = TransportSolver(SPEC, materials=ABSORBER, engine="reference").solve()
+        np.testing.assert_allclose(
+            after.scalar_flux, reference.scalar_flux, rtol=1e-10, atol=1e-10
+        )
+        # The update genuinely changed the physics.
+        assert not np.allclose(after.scalar_flux, before.scalar_flux, rtol=1e-3)
+
+    def test_update_materials_rejects_group_mismatch(self):
+        solver = TransportSolver(SPEC, engine="prefactorized")
+        with pytest.raises(ValueError, match="groups"):
+            solver.update_materials(snap_option1_library(5))
+
+    def test_block_jacobi_update_materials(self):
+        spec = SPEC.with_(nx=4, npex=2)
+        driver = BlockJacobiDriver(spec, engine="prefactorized")
+        driver.solve()
+        assert all(len(e.factor_cache) > 0 for e in driver.executors)
+        driver.update_materials(ABSORBER)
+        assert all(len(e.factor_cache) == 0 for e in driver.executors)
+        updated = driver.solve()
+        fresh = BlockJacobiDriver(spec, materials=ABSORBER, engine="prefactorized").solve()
+        np.testing.assert_array_equal(updated.scalar_flux, fresh.scalar_flux)
+
+    def test_block_jacobi_invalidate_all_ranks(self):
+        spec = SPEC.with_(nx=4, npex=2)
+        driver = BlockJacobiDriver(spec, engine="prefactorized")
+        driver.solve()
+        driver.invalidate_factor_caches()
+        assert all(len(e.factor_cache) == 0 for e in driver.executors)
+        assert all(e.factor_epoch == 1 for e in driver.executors)
+
+
+class TestOctantParallelDeterminism:
+    @pytest.mark.parametrize("engine", ("prefactorized", "vectorized", "reference"))
+    def test_bit_for_bit_across_thread_counts(self, engine):
+        results = [
+            repro.run(SPEC, engine=engine, octant_parallel=True, num_threads=threads)
+            for threads in (1, 2, 5, 8)
+        ]
+        for other in results[1:]:
+            np.testing.assert_array_equal(other.scalar_flux, results[0].scalar_flux)
+            np.testing.assert_array_equal(other.leakage, results[0].leakage)
+
+    @pytest.mark.parametrize("engine", ("prefactorized", "vectorized"))
+    def test_octant_parallel_matches_serial(self, engine):
+        serial = repro.run(SPEC, engine=engine)
+        parallel = repro.run(SPEC, engine=engine, octant_parallel=True, num_threads=4)
+        np.testing.assert_allclose(
+            parallel.scalar_flux, serial.scalar_flux, rtol=1e-12, atol=1e-12
+        )
+        np.testing.assert_allclose(parallel.leakage, serial.leakage, rtol=1e-12, atol=1e-12)
+        assert parallel.timings.systems_solved == serial.timings.systems_solved
+
+    def test_spec_flag_drives_octant_parallel(self):
+        flagged = repro.run(SPEC.with_(octant_parallel=True), engine="prefactorized",
+                            num_threads=4)
+        explicit = repro.run(SPEC, engine="prefactorized", octant_parallel=True,
+                             num_threads=4)
+        np.testing.assert_array_equal(flagged.scalar_flux, explicit.scalar_flux)
+
+    def test_octant_parallel_block_jacobi(self):
+        spec = SPEC.with_(nx=4, npex=2, octant_parallel=True)
+        parallel = repro.run(spec, engine="prefactorized", num_threads=4)
+        serial = repro.run(spec.with_(octant_parallel=False), engine="prefactorized")
+        assert parallel.num_ranks == serial.num_ranks == 2
+        np.testing.assert_allclose(
+            parallel.scalar_flux, serial.scalar_flux, rtol=1e-12, atol=1e-12
+        )
+
+    def test_octant_parallel_stores_angular_flux(self):
+        # The bank slots of different angles are written concurrently but are
+        # disjoint: across thread counts the bank is bit-for-bit identical,
+        # and against the serial path it agrees to reduction-order noise.
+        serial = repro.run(SPEC, engine="prefactorized", store_angular_flux=True)
+        one, four = (
+            repro.run(SPEC, engine="prefactorized", octant_parallel=True,
+                      num_threads=threads, store_angular_flux=True)
+            for threads in (1, 4)
+        )
+        assert four.angular_flux is not None
+        np.testing.assert_array_equal(four.angular_flux.psi, one.angular_flux.psi)
+        np.testing.assert_allclose(
+            four.angular_flux.psi, serial.angular_flux.psi, rtol=1e-12, atol=1e-12
+        )
+
+    def test_element_threads_collapse_under_octant_parallel(self):
+        solver = TransportSolver(SPEC, engine="reference", num_threads=4,
+                                 octant_parallel=True)
+        assert solver.executor.num_threads == 4
+        assert solver.executor.element_threads == 1
+        serial = TransportSolver(SPEC, engine="reference", num_threads=4)
+        assert serial.executor.element_threads == 4

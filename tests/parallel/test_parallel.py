@@ -105,7 +105,9 @@ class TestBlockJacobi:
     def test_matches_single_rank_at_convergence(self, base_spec):
         single = TransportSolver(base_spec).solve()
         multi = BlockJacobiDriver(base_spec.with_(npex=2, npey=2)).solve()
-        rel = np.abs(multi.scalar_flux - single.scalar_flux) / np.maximum(single.scalar_flux, 1e-12)
+        rel = np.abs(multi.scalar_flux - single.scalar_flux) / np.maximum(
+            single.scalar_flux, 1e-12
+        )
         assert rel.max() < 1e-6
         assert multi.num_ranks == 4
 

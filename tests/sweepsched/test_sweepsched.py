@@ -42,7 +42,8 @@ class TestClassification:
 
     def test_incoming_outgoing_helpers(self, mesh_and_factors):
         _mesh, factors = mesh_and_factors
-        cls = classify_faces(factors, np.array([1.0, 0.5, 0.25]) / np.linalg.norm([1.0, 0.5, 0.25]))
+        direction = np.array([1.0, 0.5, 0.25])
+        cls = classify_faces(factors, direction / np.linalg.norm(direction))
         assert set(cls.incoming_faces(0).tolist()) == {0, 2, 4}
         assert set(cls.outgoing_faces(0).tolist()) == {1, 3, 5}
 

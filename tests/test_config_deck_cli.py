@@ -1,6 +1,5 @@
 """Tests for the problem specification, the input-deck parser and the CLI."""
 
-import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -97,6 +96,22 @@ class TestInputDeck:
         assert loaded == spec.with_(outer_tolerance=loaded.outer_tolerance,
                                     inner_tolerance=loaded.inner_tolerance)
 
+    def test_octant_parallel_key(self):
+        assert loads("nx=2 octant_parallel=1").octant_parallel is True
+        assert loads("nx=2 octant_parallel=true").octant_parallel is True
+        assert loads("nx=2 octant_parallel=0").octant_parallel is False
+        assert loads("nx=2").octant_parallel is False
+        with pytest.raises(ValueError):
+            loads("octant_parallel=maybe")
+
+    def test_octant_parallel_round_trip(self, tmp_path):
+        spec = ProblemSpec(nx=3, ny=3, nz=3, engine="prefactorized", octant_parallel=True)
+        deck_file = tmp_path / "op.deck"
+        deck_file.write_text(spec_to_deck(spec))
+        loaded = parse_input_deck(deck_file)
+        assert loaded.octant_parallel is True
+        assert loaded.engine == "prefactorized"
+
     def test_unknown_key_rejected(self):
         with pytest.raises(KeyError):
             loads("nx=2 bogus=3")
@@ -140,6 +155,25 @@ class TestCLI:
         deck.write_text("nx=2 ny=2 nz=2 nang=1 ng=1 iitm=1 oitm=1\n/")
         assert main(["run", "--deck", str(deck)]) == 0
         assert "UnSNAP solve summary" in capsys.readouterr().out
+
+    def test_run_command_octant_parallel_prefactorized(self, capsys):
+        code = main(["run", "--nx", "2", "--ny", "2", "--nz", "2", "--nang", "1",
+                     "--groups", "1", "--inners", "2", "--engine", "prefactorized",
+                     "--octant-parallel", "--threads", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "prefactorized" in out and "mean scalar flux" in out
+
+    def test_engines_command_lists_aliases(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        assert "prefactorized" in out and "lu" in out
+        assert "aliases" in out and "vec" in out
+
+    def test_solvers_command_lists_aliases(self, capsys):
+        assert main(["solvers"]) == 0
+        out = capsys.readouterr().out
+        assert "aliases" in out and "mkl" in out and "gaussian" in out
 
     def test_fig3_command(self, capsys):
         assert main(["fig3", "--threads", "1", "4"]) == 0
