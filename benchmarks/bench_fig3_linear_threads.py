@@ -13,15 +13,49 @@ asserts the findings of Section IV-A.1:
 * collapsing the element and group loops gives the fastest scheme on all 56
   cores, and
 * every scheme scales (time decreases) from 1 to 56 threads.
+
+A *measured* companion ensemble runs the same shape of grid for real:
+``measured_thread_scaling_study`` executes a thread-count x engine study
+through ``repro.run_study`` (octant-parallel sweeps) on a scaled-down linear
+problem and the result is consumed as a ``StudyResult`` -- shrink it further
+with the ``UNSNAP_BENCH_*`` environment variables.
 """
+
+import os
 
 import pytest
 
-from repro.analysis.figures import PAPER_THREAD_COUNTS, figure3_series
+from repro.analysis.figures import (
+    PAPER_THREAD_COUNTS,
+    figure3_series,
+    measured_scaling_series,
+    measured_thread_scaling_study,
+)
 from repro.analysis.reporting import format_scaling_series
 from repro.config import ProblemSpec
 from repro.perfmodel.schemes import paper_schemes
 from repro.perfmodel.simulator import SweepPerformanceModel
+
+#: Scaled-down measured thread-scaling workload (Figure 3 is 16^3/36/64).
+MEASURED = dict(
+    n=int(os.environ.get("UNSNAP_BENCH_N", "4")),
+    angles_per_octant=int(os.environ.get("UNSNAP_BENCH_NANG", "2")),
+    num_groups=int(os.environ.get("UNSNAP_BENCH_GROUPS", "2")),
+    thread_counts=(1, 2),
+    engines=("vectorized", "prefactorized"),
+)
+
+
+def measured_base_spec(order: int) -> ProblemSpec:
+    return ProblemSpec(
+        nx=MEASURED["n"], ny=MEASURED["n"], nz=MEASURED["n"],
+        order=order,
+        angles_per_octant=MEASURED["angles_per_octant"],
+        num_groups=MEASURED["num_groups"],
+        max_twist=0.001,
+        num_inners=2,
+        num_outers=1,
+    )
 
 
 @pytest.fixture(scope="module")
@@ -66,3 +100,28 @@ def test_figure3_shape_all_schemes_scale(fig3):
     assert fig3.thread_counts == list(PAPER_THREAD_COUNTS)
     for label, values in fig3.series.items():
         assert values[0] > values[-1], f"{label} does not scale"
+
+
+def test_measured_thread_scaling_study_linear():
+    """Run the measured thread-count x engine ensemble and print its series."""
+    result = measured_thread_scaling_study(
+        measured_base_spec(order=1),
+        thread_counts=MEASURED["thread_counts"],
+        engines=MEASURED["engines"],
+    )
+    assert len(result) == len(MEASURED["thread_counts"]) * len(MEASURED["engines"])
+    series = measured_scaling_series(result)
+    print()
+    print(
+        format_scaling_series(
+            series.thread_counts,
+            series.series,
+            title=f"Figure 3 companion (measured study): octant-parallel solve seconds, "
+            f"{MEASURED['n']}^3 linear elements",
+        )
+    )
+    assert series.thread_counts == sorted(MEASURED["thread_counts"])
+    assert set(series.series) == {f"engine={e}" for e in MEASURED["engines"]}
+    # Same flux at every (engine, thread count) grid point: the ensemble only
+    # moves time.
+    assert len({f"{v:.17e}" for v in result.values("mean_flux")}) == 1

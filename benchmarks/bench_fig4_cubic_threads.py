@@ -10,15 +10,35 @@ findings of Section IV-A.2:
   magnitude relative to linear elements, and
 * the ``angle/group/element`` layout is much less penalised than it is for
   linear elements (the 32 kB vs 64 B stride argument).
+
+Like the Figure 3 benchmark, a measured companion ensemble executes a cubic
+thread-count x engine study through ``repro.run_study`` and consumes the
+``StudyResult`` directly.
 """
+
+import os
 
 import pytest
 
-from repro.analysis.figures import figure3_series, figure4_series
+from repro.analysis.figures import (
+    figure3_series,
+    figure4_series,
+    measured_scaling_series,
+    measured_thread_scaling_study,
+)
 from repro.analysis.reporting import format_scaling_series
 from repro.config import ProblemSpec
 from repro.perfmodel.schemes import paper_schemes
 from repro.perfmodel.simulator import SweepPerformanceModel
+
+#: Cubic measured workload: order 3 is the expensive axis, so the grid is
+#: tiny by default (2^3 cells) and shrinkable further via the env knobs.
+MEASURED_CUBIC = dict(
+    n=int(os.environ.get("UNSNAP_BENCH_CUBIC_N", "2")),
+    angles_per_octant=int(os.environ.get("UNSNAP_BENCH_NANG", "1")),
+    num_groups=int(os.environ.get("UNSNAP_BENCH_GROUPS", "2")),
+    thread_counts=(1, 2),
+)
 
 
 @pytest.fixture(scope="module")
@@ -78,3 +98,36 @@ def test_figure4_shape_group_major_layout_competitive_for_cubic(fig3, fig4):
 def test_figure4_shape_all_schemes_scale(fig4):
     for label, values in fig4.series.items():
         assert values[0] > values[-1], f"{label} does not scale"
+
+
+def test_measured_thread_scaling_study_cubic():
+    """Run the measured cubic ensemble through run_study and print its series."""
+    cfg = MEASURED_CUBIC
+    base = ProblemSpec(
+        nx=cfg["n"], ny=cfg["n"], nz=cfg["n"],
+        order=3,
+        angles_per_octant=cfg["angles_per_octant"],
+        num_groups=cfg["num_groups"],
+        max_twist=0.001,
+        num_inners=2,
+        num_outers=1,
+    )
+    result = measured_thread_scaling_study(
+        base, thread_counts=cfg["thread_counts"], engines=("prefactorized",)
+    )
+    assert len(result) == len(cfg["thread_counts"])
+    series = measured_scaling_series(result)
+    print()
+    print(
+        format_scaling_series(
+            series.thread_counts,
+            series.series,
+            title=f"Figure 4 companion (measured study): octant-parallel solve seconds, "
+            f"{cfg['n']}^3 cubic elements",
+        )
+    )
+    assert series.order == 3
+    assert series.thread_counts == sorted(cfg["thread_counts"])
+    # Octant parallelism is bit-for-bit deterministic, so every thread count
+    # reproduces the same mean flux.
+    assert len({f"{v:.17e}" for v in result.values("mean_flux")}) == 1

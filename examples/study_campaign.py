@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Campaign API tour: a declarative study, sharded execution, resumable store.
+
+Builds the engine x order grid as a ``repro.Study``, executes it three ways
+(serially, sharded across processes -- bit-for-bit identical -- and resumed
+from a warm ``ResultStore`` with zero new runs), and pivots the tidy per-run
+records into a paper-style table.
+
+Run with:  python examples/study_campaign.py
+"""
+
+import tempfile
+import time
+
+import numpy as np
+
+import repro
+from repro.analysis.reporting import format_table
+from repro.campaign import ResultStore
+
+
+def main() -> None:
+    base = repro.ProblemSpec(
+        nx=4, ny=4, nz=4,
+        angles_per_octant=2,
+        num_groups=4,
+        max_twist=0.001,
+        num_inners=2,
+        num_outers=1,
+    )
+    study = repro.Study.grid(
+        base,
+        engine=["vectorized", "prefactorized"],
+        order=[1, 2],
+        name="engine-x-order",
+    )
+    print(f"study {study.name!r}: {len(study)} runs over axes {study.axis_names}")
+
+    t0 = time.perf_counter()
+    serial = repro.run_study(study)  # backend="serial" is the default
+    print(f"serial backend:  {time.perf_counter() - t0:.2f} s")
+
+    t0 = time.perf_counter()
+    sharded = repro.run_study(study, backend="process", jobs=4)
+    print(f"process backend: {time.perf_counter() - t0:.2f} s (bit-for-bit equal)")
+    for a, b in zip(serial, sharded):
+        np.testing.assert_array_equal(a.result.scalar_flux, b.result.scalar_flux)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultStore(tmp)
+        repro.run_study(study, store=store)
+        resumed = repro.run_study(study, store=store)
+        print(f"resumed study:   {resumed.new_run_count} new runs, "
+              f"{resumed.cached_run_count} loaded from the store\n")
+
+    pivot = serial.pivot("order", "engine", "wall_seconds")
+    print(format_table(
+        ("order", *pivot.cols),
+        [(row, *[f"{pivot.at(row, col):.2f}s" for col in pivot.cols])
+         for row in pivot.rows],
+        title="wall seconds per (order, engine) grid point",
+    ))
+    print("\nSame grid from the command line:")
+    print("  unsnap study --nx 4 --ny 4 --nz 4 --nang 2 --groups 4 --inners 2 \\")
+    print("      --axis engine=vectorized,prefactorized --axis order=1,2 \\")
+    print("      --backend process --store runs/")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,6 +19,10 @@ Public API highlights
   and ``prefactorized`` built-ins).
 * :mod:`repro.solvers` -- the local dense-solver registry
   (:func:`~repro.solvers.register_solver`, ``ge`` and ``lapack`` built-ins).
+* :func:`repro.run_study` -- the batch execution surface: a declarative
+  :class:`repro.Study` (base spec + axis grids) executed through a pluggable
+  backend (``serial`` / ``thread`` / ``process``) with an optional resumable
+  :class:`repro.campaign.ResultStore` (see :mod:`repro.campaign`).
 * :class:`repro.core.TransportSolver` -- the underlying single-rank DGFEM
   sweep solver (prefer :func:`repro.run`).
 * :class:`repro.parallel.BlockJacobiDriver` -- the underlying multi-rank
@@ -31,17 +35,33 @@ Public API highlights
   paper's evaluation.
 """
 
+from .campaign import (
+    ResultStore,
+    Study,
+    StudyResult,
+    available_backends,
+    get_backend,
+    register_backend,
+    run_study,
+)
 from .config import BoundaryCondition, ProblemSpec
 from .core.solver import TransportResult, TransportSolver
 from .engines import available_engines, get_engine, register_engine
 from .runner import RunResult, run
 from .solvers import available_solvers, get_solver, register_solver
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "run",
     "RunResult",
+    "run_study",
+    "Study",
+    "StudyResult",
+    "ResultStore",
+    "register_backend",
+    "get_backend",
+    "available_backends",
     "ProblemSpec",
     "BoundaryCondition",
     "TransportSolver",

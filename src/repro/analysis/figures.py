@@ -1,19 +1,22 @@
 """Figure generators: the thread-scaling series of Figures 3 and 4 and the
 block-Jacobi convergence study of Section III-A.
 
-The thread-scaling series come from the node performance model
-(:mod:`repro.perfmodel`); the block-Jacobi convergence series is *measured*
-by running the multi-rank driver with increasing rank counts on the same
-problem and recording the iteration error histories.
+The paper-scale thread-scaling series come from the node performance model
+(:mod:`repro.perfmodel`); their *measured* counterpart
+(:func:`measured_thread_scaling_study`) executes the same shape of ensemble
+-- a thread-count x engine grid -- through :func:`repro.run_study` on a
+scaled-down problem, and :func:`measured_scaling_series` reshapes any study
+result into a :class:`ScalingSeries`.  The block-Jacobi convergence series
+is measured by running a rank-grid study on the same problem and recording
+the iteration error histories.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-
+from ..campaign import Study, StudyResult, run_study
 from ..config import ProblemSpec
-from ..runner import run
 from ..perfmodel.machine import MachineModel, skylake_8176_node
 from ..perfmodel.schemes import ThreadingScheme, paper_schemes
 from ..perfmodel.simulator import SweepPerformanceModel
@@ -23,6 +26,8 @@ __all__ = [
     "thread_scaling_series",
     "figure3_series",
     "figure4_series",
+    "measured_thread_scaling_study",
+    "measured_scaling_series",
     "block_jacobi_convergence_series",
     "PAPER_THREAD_COUNTS",
 ]
@@ -99,17 +104,70 @@ def figure4_series(
     )
 
 
+def measured_thread_scaling_study(
+    base_spec: ProblemSpec,
+    thread_counts: tuple[int, ...] = (1, 2, 4),
+    engines: tuple[str, ...] | None = None,
+    backend: str = "serial",
+    store=None,
+) -> StudyResult:
+    """*Measured* thread-scaling ensemble: a thread-count x engine grid.
+
+    The paper-scale Figures 3/4 series are model-predicted
+    (:func:`figure3_series` / :func:`figure4_series`); this runs the same
+    shape of ensemble for real through :func:`repro.run_study` --
+    octant-parallel sweeps at each thread count, one series per engine --
+    on whatever (scaled-down) problem the caller supplies.
+    """
+    axes: dict = {"num_threads": list(thread_counts)}
+    if engines is not None:
+        axes["engine"] = list(engines)
+    study = Study.grid(
+        base_spec.with_(octant_parallel=True), name="thread-scaling", **axes
+    )
+    return run_study(study, backend=backend, store=store)
+
+
+def measured_scaling_series(
+    result: StudyResult,
+    *,
+    x_axis: str = "num_threads",
+    series_axis: str | None = "engine",
+    value: str = "solve_wall_seconds",
+) -> ScalingSeries:
+    """Reshape a study result into a :class:`ScalingSeries`.
+
+    One series per ``series_axis`` value (or a single series named after the
+    study), x values sorted ascending -- the same shape
+    :func:`thread_scaling_series` produces from the model, so the reporting
+    helpers apply to measured ensembles unchanged.
+    """
+    grouped = result.series(x_axis, value, series_axis=series_axis)
+    thread_counts = sorted({x for points in grouped.values() for x, _ in points})
+    series = ScalingSeries(
+        thread_counts=list(thread_counts), order=result.study.base.order
+    )
+    for label, points in grouped.items():
+        by_x = {x: v for x, v in points}
+        missing = [x for x in thread_counts if x not in by_x]
+        if missing:
+            raise ValueError(f"series {label!r} has no value at {x_axis}={missing}")
+        series.series[label] = [by_x[x] for x in thread_counts]
+    return series
+
+
 def block_jacobi_convergence_series(
     rank_grids: tuple[tuple[int, int], ...] = ((1, 1), (2, 1), (2, 2), (4, 2)),
     base_spec: ProblemSpec | None = None,
+    backend: str = "serial",
 ) -> dict[str, list[float]]:
     """Measured block-Jacobi convergence histories vs the number of ranks.
 
     Section III-A.1 notes that the block-Jacobi global schedule converges more
     slowly as the number of Jacobi blocks (MPI ranks) grows.  This generator
-    runs the same problem on a sequence of rank grids and returns the inner
-    iteration error history of each, so the degradation can be inspected
-    directly.
+    executes the rank grids as one study (any registered backend) and returns
+    the inner iteration error history of each, so the degradation can be
+    inspected directly.
     """
     if base_spec is None:
         base_spec = ProblemSpec(
@@ -121,9 +179,13 @@ def block_jacobi_convergence_series(
             num_inners=12,
             num_outers=1,
         )
-    histories: dict[str, list[float]] = {}
-    for npex, npey in rank_grids:
-        spec = base_spec.with_(npex=npex, npey=npey)
-        result = run(spec)
-        histories[f"{npex}x{npey} ranks"] = list(result.history.inner_errors)
-    return histories
+    study = Study.cases(
+        base_spec,
+        [{"npex": npex, "npey": npey} for npex, npey in rank_grids],
+        name="block-jacobi-convergence",
+    )
+    result = run_study(study, backend=backend)
+    return {
+        f"{r.axes['npex']}x{r.axes['npey']} ranks": list(r.result.history.inner_errors)
+        for r in result
+    }

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..baseline.snap_fd import SnapDiamondDifferenceSolver
+from ..campaign import Study, run_study
 from ..config import ProblemSpec
 from ..fem.lagrange import matrix_footprint_bytes, nodes_per_element
 from ..runner import run
@@ -23,6 +24,7 @@ __all__ = [
     "Table1Row",
     "Table2Row",
     "table1_matrix_sizes",
+    "table2_study",
     "table2_solver_comparison",
     "fd_vs_fem_comparison",
 ]
@@ -77,12 +79,36 @@ class Table2Row:
         )
 
 
+def table2_study(
+    orders: tuple[int, ...] = (1, 2, 3, 4),
+    solvers: tuple[str, ...] = ("ge", "lapack"),
+    base_spec: ProblemSpec | None = None,
+) -> Study:
+    """The Table II ensemble as a declarative order x solver grid study."""
+    if base_spec is None:
+        base_spec = ProblemSpec(
+            nx=6, ny=6, nz=6,
+            angles_per_octant=2,
+            num_groups=4,
+            max_twist=0.001,
+            num_inners=2,
+            num_outers=1,
+        )
+    return Study.grid(base_spec, name="table2", order=orders, solver=solvers)
+
+
 def table2_solver_comparison(
     orders: tuple[int, ...] = (1, 2, 3, 4),
     solvers: tuple[str, ...] = ("ge", "lapack"),
     base_spec: ProblemSpec | None = None,
+    backend: str = "serial",
+    store=None,
 ) -> list[Table2Row]:
     """Table II: assemble/solve time and solve fraction per order and solver.
+
+    The (order, solver) grid is a :func:`table2_study` executed through
+    :func:`repro.run_study`, so the ensemble can run on any registered
+    backend and resume from a result store.
 
     Parameters
     ----------
@@ -94,31 +120,28 @@ def table2_solver_comparison(
     base_spec:
         The problem run for every (order, solver) pair; defaults to a
         scaled-down version of the paper's Table II configuration.
+    backend:
+        Study-execution backend (``"serial"`` keeps the timing columns
+        contention-free; ``"process"``/``"thread"`` shard the grid).
+    store:
+        Optional :class:`repro.campaign.ResultStore` (or directory path)
+        making the comparison resumable.
     """
-    if base_spec is None:
-        base_spec = ProblemSpec(
-            nx=6, ny=6, nz=6,
-            angles_per_octant=2,
-            num_groups=4,
-            max_twist=0.001,
-            num_inners=2,
-            num_outers=1,
+    result = run_study(
+        table2_study(orders=orders, solvers=solvers, base_spec=base_spec),
+        backend=backend,
+        store=store,
+    )
+    return [
+        Table2Row(
+            order=study_run.axes["order"],
+            solver=study_run.axes["solver"],
+            assemble_solve_seconds=study_run.result.timings.total_seconds,
+            solve_fraction=study_run.result.timings.solve_fraction,
+            systems_solved=study_run.result.timings.systems_solved,
         )
-    rows: list[Table2Row] = []
-    for order in orders:
-        for solver in solvers:
-            spec = base_spec.with_(order=order, solver=solver)
-            result = run(spec)
-            rows.append(
-                Table2Row(
-                    order=order,
-                    solver=solver,
-                    assemble_solve_seconds=result.timings.total_seconds,
-                    solve_fraction=result.timings.solve_fraction,
-                    systems_solved=result.timings.systems_solved,
-                )
-            )
-    return rows
+        for study_run in result
+    ]
 
 
 def fd_vs_fem_comparison(

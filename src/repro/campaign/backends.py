@@ -1,0 +1,186 @@
+"""Pluggable study-execution backends.
+
+A backend executes the resolved runs of a :class:`~repro.campaign.study.
+Study` and returns their :class:`~repro.runner.RunResult`\\ s in study order.
+Backends are registered by name on the generic :class:`repro.registry.
+Registry` (the third instantiation, after sweep engines and local solvers),
+so third-party execution strategies -- a cluster scheduler, an async queue --
+plug in with the same decorator pattern::
+
+    from repro.campaign import register_backend
+
+    @register_backend("my-queue", aliases=("queue",))
+    class MyQueueBackend:
+        \"\"\"One-line description shown by ``unsnap backends``.\"\"\"
+
+        def execute(self, points, *, jobs=None):
+            ...
+
+Built-in backends
+-----------------
+``serial``
+    One run after another in the calling process (alias: ``sequential``).
+``thread``
+    Runs dispatched to a ``ThreadPoolExecutor`` (alias: ``threads``) --
+    useful when the per-run work releases the GIL (LAPACK solves).
+``process``
+    Runs sharded across a ``ProcessPoolExecutor`` (aliases: ``processes``,
+    ``mp``): each worker re-imports :mod:`repro` and calls
+    :func:`repro.run` on a pickled spec payload, so results are bit-for-bit
+    identical to ``serial`` for the same specs.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Iterable, Protocol, Sequence, runtime_checkable
+
+from ..registry import Registry
+from ..runner import RunResult
+from .study import StudyPoint
+
+__all__ = [
+    "ExecutionBackend",
+    "register_backend",
+    "unregister_backend",
+    "get_backend",
+    "available_backends",
+    "backend_aliases",
+    "backend_listing",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+]
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Protocol every execution backend implements."""
+
+    def execute(
+        self, points: Sequence[StudyPoint], *, jobs: int | None = None
+    ) -> Iterable[RunResult]:
+        """Run every point and return their results *in the same order*.
+
+        The return value may be lazy (a generator): :func:`repro.run_study`
+        consumes it one result at a time and persists each to the result
+        store as it arrives, so completed runs survive a mid-study failure.
+        A plain list satisfies the contract too.  ``jobs`` caps the worker
+        count for concurrent backends (``None`` means the executor's
+        default); serial backends ignore it.
+        """
+        ...  # pragma: no cover
+
+
+_BACKENDS: Registry[ExecutionBackend] = Registry("backend")
+
+
+def register_backend(
+    name: str,
+    *,
+    description: str | None = None,
+    aliases: tuple[str, ...] = (),
+    overwrite: bool = False,
+):
+    """Class (or instance) decorator registering an execution backend."""
+
+    def decorate(obj):
+        backend = obj() if isinstance(obj, type) else obj
+        if not callable(getattr(backend, "execute", None)):
+            raise TypeError(
+                f"backend {name!r} must implement execute(points, *, jobs=None); "
+                f"got {type(backend)!r}"
+            )
+        backend.name = name.strip().lower()
+        backend.description = description or next(
+            iter((backend.__doc__ or "").strip().splitlines()), ""
+        )
+        _BACKENDS.add(backend.name, backend, aliases=aliases, overwrite=overwrite)
+        return obj
+
+    return decorate
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend (and its aliases) from the registry."""
+    _BACKENDS.remove(name)
+
+
+def available_backends() -> list[str]:
+    """Names of all registered backends (aliases excluded)."""
+    return _BACKENDS.available()
+
+
+def backend_aliases(name: str) -> list[str]:
+    """Aliases registered for the given backend name."""
+    return _BACKENDS.aliases_of(name)
+
+
+def backend_listing() -> list[tuple[str, str, str]]:
+    """``(name, aliases, description)`` rows for ``unsnap backends``."""
+    return _BACKENDS.listing()
+
+
+def get_backend(backend: ExecutionBackend | str) -> ExecutionBackend:
+    """Resolve a backend instance from a name, alias or instance."""
+    if not isinstance(backend, str):
+        if callable(getattr(backend, "execute", None)):
+            return backend
+        raise TypeError(f"not an execution backend: {backend!r}")
+    return _BACKENDS.resolve(backend)
+
+
+def _execute_point(payload: tuple) -> RunResult:
+    """Run one pickled ``(spec, run_options)`` payload.
+
+    Module-level so :class:`ProcessBackend` can ship it to workers by
+    reference; the import of :func:`repro.run` happens lazily to avoid a
+    circular import at package load.
+    """
+    from ..runner import run
+
+    spec, run_options = payload
+    return run(spec, **run_options)
+
+
+def _clamp_jobs(jobs: int | None, num_points: int) -> int | None:
+    """Sanitise a worker cap for the pool executors (which reject <= 0)."""
+    if jobs is None:
+        return None
+    return max(1, min(jobs, num_points))
+
+
+@register_backend("serial", aliases=("sequential",))
+class SerialBackend:
+    """One run after another in the calling process."""
+
+    def execute(
+        self, points: Sequence[StudyPoint], *, jobs: int | None = None
+    ) -> Iterable[RunResult]:
+        return (_execute_point((p.spec, p.run_options)) for p in points)
+
+
+@register_backend("thread", aliases=("threads",))
+class ThreadBackend:
+    """Runs dispatched to a thread pool (wins when the solver releases the GIL)."""
+
+    def execute(
+        self, points: Sequence[StudyPoint], *, jobs: int | None = None
+    ) -> Iterable[RunResult]:
+        if not points:
+            return
+        with ThreadPoolExecutor(max_workers=_clamp_jobs(jobs, len(points))) as pool:
+            yield from pool.map(_execute_point, [(p.spec, p.run_options) for p in points])
+
+
+@register_backend("process", aliases=("processes", "mp"))
+class ProcessBackend:
+    """Runs sharded across worker processes (bit-for-bit equal to serial)."""
+
+    def execute(
+        self, points: Sequence[StudyPoint], *, jobs: int | None = None
+    ) -> Iterable[RunResult]:
+        if not points:
+            return
+        with ProcessPoolExecutor(max_workers=_clamp_jobs(jobs, len(points))) as pool:
+            yield from pool.map(_execute_point, [(p.spec, p.run_options) for p in points])

@@ -1,0 +1,111 @@
+"""The study-execution facade: ``repro.run_study(study)``.
+
+Splits a study into cached and pending runs against an optional
+:class:`~repro.campaign.store.ResultStore`, streams the pending runs
+through the chosen execution backend (each fresh result is persisted as it
+completes, so an interrupted campaign resumes from the finished prefix),
+and returns a :class:`~repro.campaign.result.StudyResult` with every run
+in declaration order::
+
+    import repro
+    from repro.campaign import ResultStore
+
+    study = repro.Study.grid(
+        repro.ProblemSpec(nx=4, ny=4, nz=4),
+        engine=["vectorized", "prefactorized"],
+        order=[1, 2],
+    )
+    result = repro.run_study(study, backend="process", store=ResultStore("runs/"))
+    for record in result.records():
+        print(record["engine"], record["order"], record["wall_seconds"])
+
+Re-invoking the same study against the same store executes zero new runs
+(``result.new_run_count == 0``) and merges the stored results back in.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .backends import ExecutionBackend, get_backend
+from .result import StudyResult, StudyRun
+from .store import ResultStore
+from .study import Study
+
+__all__ = ["run_study"]
+
+#: Sentinel distinguishing "stream exhausted" from any real result.
+_NO_RESULT = object()
+
+
+def run_study(
+    study: Study,
+    *,
+    backend: ExecutionBackend | str = "serial",
+    store: ResultStore | str | Path | None = None,
+    jobs: int | None = None,
+) -> StudyResult:
+    """Execute every run of a study and return a :class:`StudyResult`.
+
+    Parameters
+    ----------
+    study:
+        The declarative study to execute.
+    backend:
+        Execution backend name, alias or instance (``"serial"``,
+        ``"thread"``, ``"process"``, or any
+        :func:`repro.campaign.register_backend`-ed name).
+    store:
+        Optional :class:`ResultStore` (or a directory path, wrapped into
+        one).  Completed runs found in the store are *not* re-executed;
+        fresh runs are persisted into it, making the study resumable.
+    jobs:
+        Worker cap for concurrent backends (``None``: executor default).
+    """
+    backend_obj = get_backend(backend)
+    if store is not None and not isinstance(store, ResultStore):
+        store = ResultStore(store)
+
+    points = study.runs()
+    cached: dict[int, object] = {}
+    pending = []
+    for point in points:
+        hit = store.get(point.spec, point.run_options) if store is not None else None
+        if hit is not None:
+            cached[point.index] = hit
+        else:
+            pending.append(point)
+
+    # Consume the backend's (possibly lazy) result stream one run at a time,
+    # persisting each as it arrives: if a later run fails or the study is
+    # interrupted, every completed run is already in the store and the
+    # re-invocation resumes from there.
+    by_index = dict(cached)
+    executed = 0
+    if pending:
+        stream = iter(backend_obj.execute(pending, jobs=jobs))
+        for point, result in zip(pending, stream):
+            if store is not None:
+                store.put(point.spec, result, point.run_options)
+            by_index[point.index] = result
+            executed += 1
+        surplus = next(stream, _NO_RESULT)
+        if executed != len(pending) or surplus is not _NO_RESULT:
+            returned = f"> {executed}" if surplus is not _NO_RESULT else str(executed)
+            raise RuntimeError(
+                f"backend {getattr(backend_obj, 'name', backend_obj)!r} returned "
+                f"{returned} results for {len(pending)} runs"
+            )
+
+    runs = tuple(
+        StudyRun(
+            index=point.index,
+            axes=point.axes,
+            spec=point.spec,
+            run_options=point.run_options,
+            result=by_index[point.index],
+            from_cache=point.index in cached,
+        )
+        for point in points
+    )
+    return StudyResult(study=study, runs=runs)

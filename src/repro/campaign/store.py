@@ -1,0 +1,132 @@
+"""Content-hashed, on-disk result store making studies resumable.
+
+Every completed run is written as one JSON file named by the SHA-256 of its
+canonical ``(spec, run_options)`` payload, so the key depends only on *what*
+was asked for -- never on execution order, backend or wall-clock.
+Re-invoking a study against a warm store loads the finished runs
+(:meth:`ResultStore.get`) and executes only the missing ones; a store can
+also be read back standalone (:meth:`ResultStore.results`) by analysis code
+long after the campaign that filled it.
+
+Stored payloads embed the flux arrays (``include_flux=True``), so a reloaded
+:class:`~repro.runner.RunResult` compares bit-for-bit with the freshly
+computed one -- JSON serialises doubles exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import uuid
+from pathlib import Path
+
+from ..config import ProblemSpec
+from ..runner import RunResult
+
+__all__ = ["ResultStore", "run_key"]
+
+#: Format marker written into every record for forward compatibility.
+_FORMAT = "unsnap-run-v1"
+
+
+def run_key(spec: ProblemSpec, run_options: dict | None = None) -> str:
+    """Content hash identifying one run: canonical spec + run options."""
+    payload = {
+        "spec": spec.to_dict(),
+        "run_options": dict(sorted((run_options or {}).items())),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class ResultStore:
+    """One-JSON-per-run result store rooted at a directory.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the records (created on first write).  Records are
+        self-describing (spec, run options, full result payload), so a store
+        directory is a portable artifact -- CI uploads one per PR.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def _load_record(self, path: Path) -> dict:
+        """Read one record file, rejecting foreign or future-format JSON."""
+        record = json.loads(path.read_text())
+        found = record.get("format") if isinstance(record, dict) else None
+        if found != _FORMAT:
+            raise ValueError(
+                f"{path} is not a result-store record "
+                f"(format={found!r}, expected {_FORMAT!r})"
+            )
+        return record
+
+    # ------------------------------------------------------------- access
+    def get(self, spec: ProblemSpec, run_options: dict | None = None) -> RunResult | None:
+        """Load the stored result of a run, or ``None`` if not yet computed."""
+        path = self.path_for(run_key(spec, run_options))
+        if not path.exists():
+            return None
+        return RunResult.from_dict(self._load_record(path)["result"])
+
+    def put(
+        self, spec: ProblemSpec, result: RunResult, run_options: dict | None = None
+    ) -> Path:
+        """Persist one run (atomic publish: unique temp file + rename).
+
+        The per-writer temp name keeps concurrent writers of the *same* run
+        (e.g. workers sharing a store directory) from interleaving bytes;
+        last ``os.replace`` wins with a complete record either way.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        key = run_key(spec, run_options)
+        record = {
+            "format": _FORMAT,
+            "key": key,
+            "spec": spec.to_dict(),
+            "run_options": dict(run_options or {}),
+            "result": result.to_dict(include_flux=True),
+        }
+        path = self.path_for(key)
+        tmp = path.with_name(f"{key}.{os.getpid()}-{uuid.uuid4().hex[:8]}.tmp")
+        try:
+            tmp.write_text(json.dumps(record) + "\n")
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return path
+
+    def __contains__(self, key_or_spec) -> bool:
+        if isinstance(key_or_spec, ProblemSpec):
+            key_or_spec = run_key(key_or_spec)
+        return self.path_for(key_or_spec).exists()
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def keys(self) -> list[str]:
+        """Sorted content keys of every stored run."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob("*.json"))
+
+    def results(self) -> list[tuple[ProblemSpec, dict, RunResult]]:
+        """Load every stored run as ``(spec, run_options, result)``."""
+        loaded = []
+        for key in self.keys():
+            record = self._load_record(self.path_for(key))
+            loaded.append(
+                (
+                    ProblemSpec.from_dict(record["spec"]),
+                    dict(record.get("run_options", {})),
+                    RunResult.from_dict(record["result"]),
+                )
+            )
+        return loaded

@@ -1,0 +1,174 @@
+"""Declarative multi-run studies.
+
+A :class:`Study` is a base :class:`~repro.config.ProblemSpec` plus a set of
+*points*: per-run override mappings applied with ``ProblemSpec.with_``.  The
+paper's evaluation is exactly this shape -- the spatial-order x scheme x
+thread-count grids behind Figures 3/4 and the order x solver grid behind
+Table II -- and a study captures the whole ensemble as one value that the
+execution backends (:mod:`repro.campaign.backends`) can run serially, on a
+thread pool, or sharded across processes.
+
+Axes name either :class:`~repro.config.ProblemSpec` fields (``engine``,
+``nx``, ``order``, ``solver``, ...) or one of the *run options* forwarded to
+:func:`repro.run` per run (currently ``num_threads``).  The three
+constructors cover the common shapes::
+
+    Study.grid(base, engine=["vectorized", "prefactorized"], nx=[4, 8, 16])
+    Study.zip(base, npex=[1, 2, 4], npey=[1, 2, 2])
+    Study.cases(base, [{"order": 1}, {"order": 3, "solver": "lapack"}])
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, fields
+
+from ..config import ProblemSpec
+
+__all__ = ["Study", "StudyPoint", "RUN_OPTION_KEYS"]
+
+#: Axis keys routed to :func:`repro.run` keyword arguments instead of
+#: ``ProblemSpec.with_`` (they affect execution, not the problem).
+RUN_OPTION_KEYS = ("num_threads",)
+
+
+def _spec_field_names() -> tuple[str, ...]:
+    return tuple(f.name for f in fields(ProblemSpec))
+
+
+def _validate_axis_keys(keys) -> None:
+    valid = set(_spec_field_names()) | set(RUN_OPTION_KEYS)
+    unknown = sorted(set(keys) - valid)
+    if unknown:
+        raise KeyError(
+            f"unknown study axis key(s) {unknown}; valid keys: "
+            f"{sorted(valid)}"
+        )
+
+
+def _as_values(axis: str, values) -> tuple:
+    """Normalise one axis' values to a non-empty tuple (scalar -> 1-tuple)."""
+    if isinstance(values, (str, bytes)) or not hasattr(values, "__iter__"):
+        values = (values,)
+    values = tuple(values)
+    if not values:
+        raise ValueError(f"study axis {axis!r} has no values")
+    return values
+
+
+@dataclass(frozen=True)
+class StudyPoint:
+    """One run of a study: its axis coordinates resolved onto a spec.
+
+    Attributes
+    ----------
+    index:
+        Position of the run in the study (stable across backends and
+        resumption, so results always report in declaration order).
+    axes:
+        The override mapping that produced this point (axis name -> value).
+    spec:
+        The fully-resolved problem specification.
+    run_options:
+        Extra keyword arguments for :func:`repro.run` (``num_threads``...).
+    """
+
+    index: int
+    axes: dict
+    spec: ProblemSpec
+    run_options: dict
+
+
+@dataclass(frozen=True)
+class Study:
+    """A declarative ensemble of runs over a base problem specification.
+
+    Build one with :meth:`grid`, :meth:`zip` or :meth:`cases` rather than
+    directly; execute it with :func:`repro.run_study`.
+    """
+
+    base: ProblemSpec
+    points: tuple[dict, ...]
+    name: str = "study"
+
+    def __post_init__(self) -> None:
+        for point in self.points:
+            _validate_axis_keys(point)
+
+    # ------------------------------------------------------------ builders
+    @classmethod
+    def grid(cls, base: ProblemSpec, *, name: str = "study", **axes) -> "Study":
+        """Cartesian product of the given axes (last axis varies fastest)."""
+        _validate_axis_keys(axes)
+        names = list(axes)
+        value_lists = [_as_values(axis, axes[axis]) for axis in names]
+        points = tuple(
+            dict(zip(names, combo)) for combo in itertools.product(*value_lists)
+        )
+        return cls(base=base, points=points, name=name)
+
+    @classmethod
+    def zip(cls, base: ProblemSpec, *, name: str = "study", **axes) -> "Study":
+        """Parallel axes of equal length (one run per position)."""
+        _validate_axis_keys(axes)
+        names = list(axes)
+        value_lists = [_as_values(axis, axes[axis]) for axis in names]
+        lengths = {len(v) for v in value_lists}
+        if len(lengths) > 1:
+            detail = ", ".join(f"{n}={len(v)}" for n, v in zip(names, value_lists))
+            raise ValueError(f"Study.zip axes must have equal lengths, got {detail}")
+        points = tuple(dict(zip(names, combo)) for combo in zip(*value_lists))
+        return cls(base=base, points=points, name=name)
+
+    @classmethod
+    def cases(cls, base: ProblemSpec, cases, *, name: str = "study") -> "Study":
+        """Explicit list of per-run override mappings."""
+        return cls(base=base, points=tuple(dict(c) for c in cases), name=name)
+
+    @classmethod
+    def from_axes(cls, base: ProblemSpec, axes: dict, *, name: str = "study") -> "Study":
+        """Grid study from an axes mapping; empty axes mean one base run.
+
+        The shared constructor behind deck-parsed (:func:`repro.input_deck.
+        loads_study`) and CLI-assembled (``unsnap study``) studies.
+        """
+        if not axes:
+            return cls.cases(base, [{}], name=name)
+        return cls.grid(base, name=name, **axes)
+
+    # ------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def axis_names(self) -> list[str]:
+        """Axis names in first-appearance order across all points."""
+        names: dict[str, None] = {}
+        for point in self.points:
+            for key in point:
+                names.setdefault(key)
+        return list(names)
+
+    def axis_values(self, axis: str) -> list:
+        """Distinct values of one axis in first-appearance order."""
+        values: dict = {}
+        for point in self.points:
+            if axis in point:
+                values.setdefault(point[axis])
+        return list(values)
+
+    def runs(self) -> list[StudyPoint]:
+        """Resolve every point onto a concrete spec + run options."""
+        resolved = []
+        for index, point in enumerate(self.points):
+            spec_fields = {k: v for k, v in point.items() if k not in RUN_OPTION_KEYS}
+            run_options = {k: v for k, v in point.items() if k in RUN_OPTION_KEYS}
+            resolved.append(
+                StudyPoint(
+                    index=index,
+                    axes=dict(point),
+                    spec=self.base.with_(**spec_fields),
+                    run_options=run_options,
+                )
+            )
+        return resolved

@@ -7,10 +7,18 @@ Sub-commands
     (single rank or block-Jacobi multi-rank, any registered sweep engine)
     through the :func:`repro.run` facade and print a solve summary -- or the
     full machine-readable ``RunResult`` with ``--json``.
+``study``
+    Execute a declarative multi-run study through :func:`repro.run_study`:
+    the grid comes from a deck's ``[study]`` axis section and/or repeated
+    ``--axis key=v1,v2`` options, the base problem from the deck or the
+    usual problem flags.  ``--backend`` picks the execution backend
+    (serial/thread/process), ``--store`` makes the study resumable.
 ``engines``
     List the registered sweep engines (with their aliases).
 ``solvers``
     List the registered local dense solvers (with their aliases).
+``backends``
+    List the registered study-execution backends (with their aliases).
 ``table1``
     Print Table I (local matrix size and footprint per element order).
 ``table2``
@@ -24,14 +32,17 @@ Sub-commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from .analysis.figures import PAPER_THREAD_COUNTS, figure3_series, figure4_series
 from .analysis.reporting import format_scaling_series, format_table
 from .analysis.tables import table1_matrix_sizes, table2_solver_comparison
+from .campaign import ResultStore, Study, backend_listing, get_backend, run_study
 from .config import ProblemSpec
 from .engines import engine_listing, get_engine
-from .input_deck import parse_input_deck
+from .input_deck import loads_study_parts, parse_axis_option, parse_input_deck
 from .runner import run
 from .solvers import get_solver, solver_listing
 
@@ -47,47 +58,44 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_cmd = sub.add_parser("run", help="solve a transport problem")
-    run_cmd.add_argument("--deck", type=str, default=None, help="path to a SNAP-style input deck")
-    # Problem flags default to None so that, with --deck, only flags the user
-    # actually passed override the deck values (see _RUN_FLAG_DEFAULTS).
-    run_cmd.add_argument("--nx", type=int, default=None)
-    run_cmd.add_argument("--ny", type=int, default=None)
-    run_cmd.add_argument("--nz", type=int, default=None)
-    run_cmd.add_argument("--order", type=int, default=None)
-    run_cmd.add_argument("--nang", type=int, default=None, help="angles per octant")
-    run_cmd.add_argument("--groups", type=int, default=None)
-    run_cmd.add_argument("--twist", type=float, default=None)
-    run_cmd.add_argument("--inners", type=int, default=None)
-    run_cmd.add_argument("--outers", type=int, default=None)
-    run_cmd.add_argument(
-        "--solver", type=str, default=None,
-        help="local solver name (see 'unsnap solvers'); default ge",
-    )
-    run_cmd.add_argument(
-        "--engine", type=str, default=None,
-        help="sweep engine name or alias: reference | vectorized | "
-        "prefactorized | ... (see 'unsnap engines'); default from the deck "
-        "or 'reference'",
-    )
-    run_cmd.add_argument(
-        "--threads", type=int, default=1,
-        help="worker threads: whole octants with --octant-parallel, "
-        "otherwise the reference engine's bucket loop",
-    )
-    run_cmd.add_argument(
-        "--octant-parallel", action="store_true", default=None,
-        help="sweep the 8 octants concurrently on the --threads pool "
-        "(deterministic reduction order; default from the deck or off)",
-    )
-    run_cmd.add_argument("--npex", type=int, default=None)
-    run_cmd.add_argument("--npey", type=int, default=None)
+    _add_problem_flags(run_cmd)
     run_cmd.add_argument(
         "--json", action="store_true",
         help="print the RunResult.to_dict() summary as JSON instead of a table",
     )
 
+    study_cmd = sub.add_parser(
+        "study", help="execute a declarative multi-run study (repro.run_study)"
+    )
+    _add_problem_flags(study_cmd)
+    study_cmd.add_argument(
+        "--axis", action="append", default=None, metavar="KEY=V1,V2,...",
+        help="add a study axis (deck key or spec field, e.g. engine=vectorized,"
+        "prefactorized); repeatable, overrides a deck [study] axis of the "
+        "same name",
+    )
+    study_cmd.add_argument(
+        "--backend", type=str, default="serial",
+        help="execution backend name or alias: serial | thread | process "
+        "(see 'unsnap backends')",
+    )
+    study_cmd.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker cap for concurrent backends (default: executor default)",
+    )
+    study_cmd.add_argument(
+        "--store", type=str, default=None, metavar="DIR",
+        help="result-store directory: completed runs are skipped on re-invocation "
+        "and fresh runs persisted (one JSON per run)",
+    )
+    study_cmd.add_argument(
+        "--json", action="store_true",
+        help="print the per-run records as JSON instead of a table",
+    )
+
     sub.add_parser("engines", help="list registered sweep engines")
     sub.add_parser("solvers", help="list registered local solvers")
+    sub.add_parser("backends", help="list registered study-execution backends")
 
     sub.add_parser("table1", help="print Table I (matrix sizes per order)")
 
@@ -104,6 +112,44 @@ def build_parser() -> argparse.ArgumentParser:
     balance.add_argument("--groups", type=int, default=2)
     balance.add_argument("--engine", type=str, default=None)
     return parser
+
+
+def _add_problem_flags(parser: argparse.ArgumentParser) -> None:
+    """Problem flags shared by ``run`` and ``study`` (base spec definition)."""
+    parser.add_argument("--deck", type=str, default=None, help="path to a SNAP-style input deck")
+    # Problem flags default to None so that, with --deck, only flags the user
+    # actually passed override the deck values (see _RUN_FLAG_DEFAULTS).
+    parser.add_argument("--nx", type=int, default=None)
+    parser.add_argument("--ny", type=int, default=None)
+    parser.add_argument("--nz", type=int, default=None)
+    parser.add_argument("--order", type=int, default=None)
+    parser.add_argument("--nang", type=int, default=None, help="angles per octant")
+    parser.add_argument("--groups", type=int, default=None)
+    parser.add_argument("--twist", type=float, default=None)
+    parser.add_argument("--inners", type=int, default=None)
+    parser.add_argument("--outers", type=int, default=None)
+    parser.add_argument(
+        "--solver", type=str, default=None,
+        help="local solver name (see 'unsnap solvers'); default ge",
+    )
+    parser.add_argument(
+        "--engine", type=str, default=None,
+        help="sweep engine name or alias: reference | vectorized | "
+        "prefactorized | ... (see 'unsnap engines'); default from the deck "
+        "or 'reference'",
+    )
+    parser.add_argument(
+        "--threads", type=int, default=1,
+        help="worker threads: whole octants with --octant-parallel, "
+        "otherwise the reference engine's bucket loop",
+    )
+    parser.add_argument(
+        "--octant-parallel", action="store_true", default=None,
+        help="sweep the 8 octants concurrently on the --threads pool "
+        "(deterministic reduction order; default from the deck or off)",
+    )
+    parser.add_argument("--npex", type=int, default=None)
+    parser.add_argument("--npey", type=int, default=None)
 
 
 #: ``run`` flag -> (ProblemSpec field, default used when no deck is given).
@@ -143,7 +189,14 @@ def _spec_from_args(args: argparse.Namespace) -> ProblemSpec:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    spec = _spec_from_args(args)
+    try:
+        spec = _spec_from_args(args)
+    except (KeyError, ValueError) as exc:
+        # KeyError: unknown deck key (the parser names it and lists the valid
+        # keys); ValueError: malformed value, or a [study] deck passed to
+        # `run` (which gets the pointer to `unsnap study`).
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 2
     try:
         # Resolve the names up front: argparse cannot use `choices=` here
         # because third-party engines/solvers register at runtime.
@@ -178,28 +231,94 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_engines(_args: argparse.Namespace) -> int:
-    rows = [(name, aliases or "-", desc) for name, aliases, desc in engine_listing()]
+def _study_from_args(args: argparse.Namespace) -> Study:
+    """Build the study: base from deck/flags, axes from deck [study] + --axis."""
+    axes: dict[str, list] = {}
+    name = "study"
+    if args.deck:
+        base, axes = loads_study_parts(Path(args.deck).read_text())
+        overrides = {
+            field: getattr(args, flag)
+            for flag, (field, _default) in _RUN_FLAG_DEFAULTS.items()
+            if getattr(args, flag) is not None
+        }
+        if overrides:
+            base = base.with_(**overrides)
+        name = Path(args.deck).stem
+    else:
+        base = _spec_from_args(args)
+    for option in args.axis or []:
+        field, values = parse_axis_option(option)
+        axes[field] = values
+    if args.threads != 1:
+        # A uniform thread count becomes a one-value axis so it shows up in
+        # the records; an explicit num_threads axis wins.
+        axes.setdefault("num_threads", [args.threads])
+    return Study.from_axes(base, axes, name=name)
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    try:
+        study = _study_from_args(args)
+        get_backend(args.backend)
+        # Validate every grid point up front (spec ranges via with_, engine
+        # and solver names via the registries) so a bad axis value is a
+        # clean error before any run -- or worker process -- starts.
+        for point in study.runs():
+            get_engine(point.spec.engine)
+            get_solver(point.spec.solver)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 2
+    store = ResultStore(args.store) if args.store else None
+    result = run_study(study, backend=args.backend, store=store, jobs=args.jobs)
+
+    if args.json:
+        print(json.dumps({"study": study.name, "records": result.records()}, indent=2))
+        return 0
+    axis_names = study.axis_names
+    extras = [col for col in ("engine", "solver") if col not in axis_names]
+    headers = (*axis_names, *extras, "wall s", "mean flux", "cached")
+    rows = [
+        (
+            *[record[axis] for axis in axis_names],
+            *[record[col] for col in extras],
+            round(record["wall_seconds"], 4),
+            f"{record['mean_flux']:.6f}",
+            "yes" if record["from_cache"] else "-",
+        )
+        for record in result.records()
+    ]
     print(
         format_table(
-            ("engine", "aliases", "description"),
+            headers,
             rows,
-            title="Registered sweep engines",
+            title=f"Study {study.name!r}: {len(result)} runs via {args.backend} backend "
+            f"({result.new_run_count} executed, {result.cached_run_count} cached)",
         )
     )
     return 0
+
+
+def _print_listing(listing: list[tuple[str, str, str]], noun: str, title: str) -> int:
+    """Shared body of the `engines`/`solvers`/`backends` listing commands."""
+    rows = [(name, aliases or "-", desc) for name, aliases, desc in listing]
+    print(format_table((noun, "aliases", "description"), rows, title=title))
+    return 0
+
+
+def _cmd_engines(_args: argparse.Namespace) -> int:
+    return _print_listing(engine_listing(), "engine", "Registered sweep engines")
 
 
 def _cmd_solvers(_args: argparse.Namespace) -> int:
-    rows = [(name, aliases or "-", desc) for name, aliases, desc in solver_listing()]
-    print(
-        format_table(
-            ("solver", "aliases", "description"),
-            rows,
-            title="Registered local solvers",
-        )
+    return _print_listing(solver_listing(), "solver", "Registered local solvers")
+
+
+def _cmd_backends(_args: argparse.Namespace) -> int:
+    return _print_listing(
+        backend_listing(), "backend", "Registered study-execution backends"
     )
-    return 0
 
 
 def _cmd_table1(_args: argparse.Namespace) -> int:
@@ -274,10 +393,14 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "study":
+        return _cmd_study(args)
     if args.command == "engines":
         return _cmd_engines(args)
     if args.command == "solvers":
         return _cmd_solvers(args)
+    if args.command == "backends":
+        return _cmd_backends(args)
     if args.command == "table1":
         return _cmd_table1(args)
     if args.command == "table2":

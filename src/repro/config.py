@@ -11,7 +11,7 @@ constructors (:func:`ProblemSpec.paper_figure3_4` and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 
 __all__ = ["ProblemSpec", "BoundaryCondition"]
 
@@ -157,6 +157,30 @@ class ProblemSpec:
     def with_(self, **changes) -> "ProblemSpec":
         """Return a copy with the given fields replaced."""
         return replace(self, **changes)
+
+    # -------------------------------------------------------------- dict I/O
+    def to_dict(self) -> dict:
+        """JSON-safe dictionary of every field (nested boundary included).
+
+        The campaign :class:`~repro.campaign.store.ResultStore` hashes this
+        canonical form to key runs on disk; :meth:`from_dict` inverts it.
+        """
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProblemSpec":
+        """Rebuild a spec from :meth:`to_dict` output (extra keys rejected)."""
+        values = dict(data)
+        boundary = values.get("boundary")
+        if isinstance(boundary, dict):
+            values["boundary"] = BoundaryCondition(**boundary)
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = sorted(set(values) - known)
+        if unknown:
+            raise KeyError(
+                f"unknown ProblemSpec fields {unknown}; valid fields: {sorted(known)}"
+            )
+        return cls(**values)
 
     # ------------------------------------------------------------ paper configs
     @classmethod

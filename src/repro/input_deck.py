@@ -24,15 +24,51 @@ Recognised keys (SNAP name -> ProblemSpec field)::
     octant_parallel     -> octant_parallel (0/1, also accepts true/false)
     npex, npey          -> npex, npey
     src_opt, mat_opt    -> accepted (only option 1 data is generated)
+
+An unknown or mistyped key raises an error naming the offending key and
+listing the valid keys for the section it appeared in.
+
+Study decks
+-----------
+A deck may additionally declare a ``[study]`` section turning it into a
+declarative multi-run campaign (:class:`repro.campaign.Study`): the keys
+before the section header (or under an explicit ``[problem]`` header) define
+the base problem, and each ``[study]`` line defines one axis as a list of
+values -- the study is the cartesian grid of all axes::
+
+    nx=4 ny=4 nz=4 ng=2
+    [study]
+    engine = vectorized, prefactorized
+    order  = 1, 2
+    nthreads = 1, 2        ! run option: repro.run(num_threads=...)
+
+Axis keys are the deck keys above (or, equivalently, the ProblemSpec field
+names they map to) plus ``nthreads``/``num_threads`` for the per-run thread
+count.  Parse study decks with :func:`parse_study_deck` /
+:func:`loads_study`; :func:`parse_input_deck` rejects them with a pointer,
+so a study deck is never silently collapsed to its base problem.
 """
 
 from __future__ import annotations
 
+from dataclasses import fields as dataclass_fields
 from pathlib import Path
 
+from .campaign.study import Study
 from .config import ProblemSpec
 
-__all__ = ["parse_input_deck", "loads", "spec_to_deck"]
+__all__ = [
+    "parse_input_deck",
+    "loads",
+    "spec_to_deck",
+    "parse_study_deck",
+    "loads_study",
+    "loads_study_parts",
+    "deck_has_study",
+    "parse_axis_option",
+    "valid_problem_keys",
+    "valid_study_keys",
+]
 
 _INT_KEYS = {
     "nx": "nx", "ny": "ny", "nz": "nz",
@@ -62,6 +98,32 @@ _BOOL_KEYS = {
 }
 _IGNORED_KEYS = {"src_opt", "mat_opt", "timedep", "fixup", "nthreads", "nnested"}
 
+#: Deck sections; keys before any header belong to ``problem``.
+_SECTIONS = ("problem", "study")
+
+
+def valid_problem_keys() -> list[str]:
+    """Every key accepted in the (default) problem section."""
+    return sorted(
+        set(_INT_KEYS) | set(_FLOAT_KEYS) | set(_STR_KEYS) | set(_BOOL_KEYS) | _IGNORED_KEYS
+    )
+
+
+def valid_study_keys() -> list[str]:
+    """Every axis key accepted in the ``[study]`` section (and ``--axis``)."""
+    deck_keys = set(_INT_KEYS) | set(_FLOAT_KEYS) | set(_STR_KEYS) | set(_BOOL_KEYS)
+    field_names = {
+        f.name for f in dataclass_fields(ProblemSpec) if f.type in ("int", "float", "str", "bool")
+    }
+    return sorted(deck_keys | field_names | {"nthreads", "num_threads"})
+
+
+def _unknown_key_error(key: str, section: str, valid: list[str]) -> KeyError:
+    return KeyError(
+        f"unknown input deck key {key!r} in [{section}] section; "
+        f"valid keys: {', '.join(valid)}"
+    )
+
 
 def _parse_bool(key: str, raw: str) -> bool:
     token = raw.strip().strip("'\"").lower()
@@ -72,12 +134,32 @@ def _parse_bool(key: str, raw: str) -> bool:
     raise ValueError(f"cannot parse boolean deck value {key}={raw!r}")
 
 
-def _tokenise(text: str) -> list[tuple[str, str]]:
-    pairs: list[tuple[str, str]] = []
+def _split_sections(text: str) -> dict[str, list[str]]:
+    """Strip comments/terminators and group the content lines per section."""
+    sections: dict[str, list[str]] = {name: [] for name in _SECTIONS}
+    current = "problem"
     for raw_line in text.splitlines():
         line = raw_line.split("!")[0].split("#")[0].strip()
         if not line or line in ("/", "&invar", "&end"):
             continue
+        if line.startswith("["):
+            if not line.endswith("]"):
+                raise ValueError(f"malformed section header {line!r} (expected [name])")
+            name = line[1:-1].strip().lower()
+            if name not in sections:
+                raise ValueError(
+                    f"unknown input deck section [{name}]; valid sections: "
+                    + ", ".join(f"[{s}]" for s in _SECTIONS)
+                )
+            current = name
+            continue
+        sections[current].append(line)
+    return sections
+
+
+def _tokenise(lines: list[str]) -> list[tuple[str, str]]:
+    pairs: list[tuple[str, str]] = []
+    for line in lines:
         # Allow several "key=value" groups on one line, comma separated.
         for chunk in line.replace(",", " ").split():
             if "=" not in chunk:
@@ -87,33 +169,155 @@ def _tokenise(text: str) -> list[tuple[str, str]]:
     return pairs
 
 
-def loads(text: str) -> ProblemSpec:
-    """Parse an input deck from a string into a :class:`ProblemSpec`."""
+#: The key tables with their value types; value parsing always goes through
+#: :func:`_type_parser`, so the problem section and the study axes cannot
+#: drift apart in how they convert the same key.
+_KEY_TABLES = (
+    (_INT_KEYS, "int"),
+    (_FLOAT_KEYS, "float"),
+    (_STR_KEYS, "str"),
+    (_BOOL_KEYS, "bool"),
+)
+
+
+def _type_parser(type_name: str, key: str):
+    """The value parser for one deck/spec value type (single source of truth)."""
+    return {
+        "int": lambda raw: int(float(raw)),
+        "float": float,
+        "str": lambda raw: raw.strip("'\""),
+        "bool": lambda raw: _parse_bool(key, raw),
+    }.get(type_name)
+
+
+def _problem_values(pairs: list[tuple[str, str]]) -> dict:
     values: dict = {}
     epsi_seen = False
-    for key, raw in _tokenise(text):
+    for key, raw in pairs:
         if key in _IGNORED_KEYS:
             continue
-        if key in _INT_KEYS:
-            values[_INT_KEYS[key]] = int(float(raw))
-        elif key in _FLOAT_KEYS:
-            values[_FLOAT_KEYS[key]] = float(raw)
-            if key == "epsi":
-                epsi_seen = True
-        elif key in _STR_KEYS:
-            values[_STR_KEYS[key]] = raw.strip("'\"")
-        elif key in _BOOL_KEYS:
-            values[_BOOL_KEYS[key]] = _parse_bool(key, raw)
+        for table, type_name in _KEY_TABLES:
+            if key in table:
+                values[table[key]] = _type_parser(type_name, key)(raw)
+                if key == "epsi":
+                    epsi_seen = True
+                break
         else:
-            raise KeyError(f"unknown input deck key {key!r}")
+            raise _unknown_key_error(key, "problem", valid_problem_keys())
     if epsi_seen:
         values.setdefault("outer_tolerance", values["inner_tolerance"])
-    return ProblemSpec(**values)
+    return values
+
+
+def loads(text: str) -> ProblemSpec:
+    """Parse an input deck from a string into a :class:`ProblemSpec`.
+
+    Decks declaring a ``[study]`` section describe a multi-run campaign, not
+    a single problem, and are rejected with a pointer to
+    :func:`loads_study` / ``unsnap study``.
+    """
+    sections = _split_sections(text)
+    if sections["study"]:
+        raise ValueError(
+            "this deck declares a [study] section (a multi-run campaign); "
+            "parse it with parse_study_deck()/loads_study() or run it with "
+            "`unsnap study --deck ...`"
+        )
+    return ProblemSpec(**_problem_values(_tokenise(sections["problem"])))
 
 
 def parse_input_deck(path: str | Path) -> ProblemSpec:
     """Parse an input deck file into a :class:`ProblemSpec`."""
     return loads(Path(path).read_text())
+
+
+def deck_has_study(text: str) -> bool:
+    """Whether the deck declares a (non-empty) ``[study]`` section."""
+    return bool(_split_sections(text)["study"])
+
+
+# ----------------------------------------------------------------- study axes
+def _axis_target(key: str):
+    """Resolve an axis key to ``(spec field or run option, value parser)``."""
+    for table, type_name in _KEY_TABLES:
+        if key in table:
+            return table[key], _type_parser(type_name, key)
+    if key in ("nthreads", "num_threads"):
+        return "num_threads", _type_parser("int", key)
+    # Spec field names are accepted directly (e.g. num_groups next to ng).
+    by_name = {f.name: f.type for f in dataclass_fields(ProblemSpec)}
+    if key in by_name:
+        parser = _type_parser(by_name[key], key)
+        if parser is not None:
+            return key, parser
+    raise _unknown_key_error(key, "study", valid_study_keys())
+
+
+def _parse_axis_line(line: str) -> tuple[str, list]:
+    """Parse one ``[study]`` axis line ``key = v1, v2 v3`` into typed values."""
+    if "=" not in line:
+        raise ValueError(
+            f"cannot parse study axis {line!r} (expected key = value, value, ...)"
+        )
+    key, rhs = line.split("=", 1)
+    key = key.strip().lower()
+    field, parser = _axis_target(key)
+    raws = rhs.replace(",", " ").split()
+    if not raws:
+        raise ValueError(f"study axis {key!r} has no values")
+    # Unlike the problem section, [study] lines hold ONE axis each (the
+    # values are the list); catch the several-groups-per-line habit early.
+    offender = next((raw for raw in raws if "=" in raw), None)
+    if offender is not None:
+        raise ValueError(
+            f"study axis {key!r} mixes a second assignment {offender!r} into its "
+            f"values; [study] sections take one axis per line (key = v1, v2, ...)"
+        )
+    return field, [parser(raw) for raw in raws]
+
+
+def parse_axis_option(option: str) -> tuple[str, list]:
+    """Parse a CLI ``--axis key=v1,v2`` option (same typing as the deck)."""
+    return _parse_axis_line(option)
+
+
+def _deck_axes(lines: list[str]) -> dict[str, list]:
+    axes: dict[str, list] = {}
+    for line in lines:
+        field, values = _parse_axis_line(line)
+        if field in axes:
+            raise ValueError(f"duplicate study axis {field!r} in [study] section")
+        axes[field] = values
+    return axes
+
+
+def loads_study_parts(text: str) -> tuple[ProblemSpec, dict[str, list]]:
+    """Parse a deck into its base spec and its ``[study]`` axes.
+
+    The axes dict maps :class:`ProblemSpec` field names (or ``num_threads``)
+    to value lists, in deck order; it is empty for a plain problem deck.
+    The CLI uses this form so command-line flags can override the base and
+    ``--axis`` options can extend the grid before the study is built.
+    """
+    sections = _split_sections(text)
+    base = ProblemSpec(**_problem_values(_tokenise(sections["problem"])))
+    return base, _deck_axes(sections["study"])
+
+
+def loads_study(text: str, name: str = "study") -> Study:
+    """Parse a deck with a ``[study]`` section into a grid :class:`Study`.
+
+    The problem keys define the base spec; every ``[study]`` axis line
+    contributes one grid axis.  A deck without a ``[study]`` section yields
+    a single-run study of the base problem.
+    """
+    base, axes = loads_study_parts(text)
+    return Study.from_axes(base, axes, name=name)
+
+
+def parse_study_deck(path: str | Path) -> Study:
+    """Parse a study deck file into a :class:`repro.campaign.Study`."""
+    return loads_study(Path(path).read_text(), name=Path(path).stem)
 
 
 def spec_to_deck(spec: ProblemSpec) -> str:

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import json
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -70,10 +70,15 @@ class RunResult:
     angular_flux:
         Full angular flux of the final sweep (single rank with
         ``store_angular_flux=True`` only).
+
+    Results loaded back from a flux-less export (:meth:`from_dict` on a
+    :meth:`to_dict(include_flux=False) <to_dict>` payload) carry ``None``
+    flux arrays; the summary falls back to the spec for the problem sizes
+    and to the exported value for :attr:`mean_flux`.
     """
 
-    scalar_flux: np.ndarray
-    cell_average_flux: np.ndarray
+    scalar_flux: np.ndarray | None
+    cell_average_flux: np.ndarray | None
     leakage: np.ndarray
     history: IterationHistory
     timings: AssemblyTimings
@@ -87,6 +92,9 @@ class RunResult:
     solver: str
     spec: ProblemSpec | None = None
     angular_flux: AngularFluxBank | None = None
+    #: Exported mean flux, kept by :meth:`from_dict` when the flux arrays
+    #: themselves were not embedded in the payload.
+    loaded_mean_flux: float | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------- derived
     @property
@@ -104,18 +112,31 @@ class RunResult:
 
     @property
     def mean_flux(self) -> float:
+        if self.scalar_flux is None:
+            if self.loaded_mean_flux is None:
+                raise ValueError("result carries neither flux arrays nor an exported mean")
+            return self.loaded_mean_flux
         return float(self.scalar_flux.mean())
+
+    def _problem_shape(self) -> tuple[int, int, int]:
+        """``(cells, groups, nodes)`` from the flux, or the spec for flux-less loads."""
+        if self.scalar_flux is not None:
+            return tuple(int(n) for n in self.scalar_flux.shape)
+        if self.spec is None:
+            raise ValueError("result carries neither flux arrays nor a spec")
+        return (self.spec.num_cells, self.spec.num_groups, self.spec.nodes_per_element)
 
     # ------------------------------------------------------------- export
     def summary(self) -> dict:
         """Compact dictionary used by reports and the CLI."""
+        cells, groups, nodes = self._problem_shape()
         return {
             "engine": self.engine,
             "solver": self.solver,
             "ranks": self.num_ranks,
-            "cells": int(self.scalar_flux.shape[0]),
-            "groups": int(self.scalar_flux.shape[1]),
-            "nodes_per_element": int(self.scalar_flux.shape[2]),
+            "cells": cells,
+            "groups": groups,
+            "nodes_per_element": nodes,
             "total_inners": self.history.total_inners,
             "outers": self.history.num_outers,
             "converged": self.history.converged,
@@ -146,7 +167,14 @@ class RunResult:
         data["outer_errors"] = [float(e) for e in self.history.outer_errors]
         data["inners_per_outer"] = [int(n) for n in self.history.inners_per_outer]
         data["leakage"] = [float(x) for x in self.leakage]
+        data["balance"] = {
+            key: [float(x) for x in getattr(self.balance, key)]
+            for key in ("emission", "absorption", "leakage", "scattering_in", "scattering_out")
+        }
+        data["spec"] = self.spec.to_dict() if self.spec is not None else None
         if include_flux:
+            if self.scalar_flux is None:
+                raise ValueError("include_flux=True but this result carries no flux arrays")
             data["scalar_flux"] = self.scalar_flux.tolist()
             data["cell_average_flux"] = self.cell_average_flux.tolist()
         return data
@@ -154,6 +182,60 @@ class RunResult:
     def to_json(self, indent: int | None = 2, include_flux: bool = False) -> str:
         """Serialise :meth:`to_dict` to a JSON string."""
         return json.dumps(self.to_dict(include_flux=include_flux), indent=indent)
+
+    # ------------------------------------------------------------- import
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        The numeric payload round-trips bit for bit (JSON serialises doubles
+        with the shortest exact representation), so a result exported with
+        ``include_flux=True``, stored and reloaded compares equal array for
+        array.  The angular flux bank is never exported, so it never
+        survives a round trip; flux-less payloads load with ``None`` flux
+        arrays (see the class docstring).
+        """
+        history = IterationHistory(
+            inner_errors=[float(e) for e in data.get("inner_errors", [])],
+            outer_errors=[float(e) for e in data.get("outer_errors", [])],
+            inners_per_outer=[int(n) for n in data.get("inners_per_outer", [])],
+            converged=bool(data.get("converged", False)),
+        )
+        timings = AssemblyTimings(
+            assembly_seconds=float(data["assembly_seconds"]),
+            solve_seconds=float(data["solve_seconds"]),
+            systems_solved=int(data["systems_solved"]),
+        )
+        balance_data = data["balance"]
+        balance = BalanceReport(
+            **{key: np.asarray(values, dtype=float) for key, values in balance_data.items()}
+        )
+        spec = ProblemSpec.from_dict(data["spec"]) if data.get("spec") else None
+        has_flux = "scalar_flux" in data
+        return cls(
+            scalar_flux=np.asarray(data["scalar_flux"], dtype=float) if has_flux else None,
+            cell_average_flux=(
+                np.asarray(data["cell_average_flux"], dtype=float) if has_flux else None
+            ),
+            leakage=np.asarray(data["leakage"], dtype=float),
+            history=history,
+            timings=timings,
+            balance=balance,
+            setup_seconds=float(data["setup_seconds"]),
+            solve_seconds=float(data["solve_wall_seconds"]),
+            num_ranks=int(data["ranks"]),
+            messages=int(data["halo_messages"]),
+            bytes_exchanged=int(data["halo_bytes"]),
+            engine=str(data["engine"]),
+            solver=str(data["solver"]),
+            spec=spec,
+            loaded_mean_flux=float(data["mean_flux"]) if "mean_flux" in data else None,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunResult":
+        """Rebuild a result from a :meth:`to_json` string."""
+        return cls.from_dict(json.loads(text))
 
 
 def run(

@@ -1,0 +1,220 @@
+"""Tests for [study] deck sections, the unknown-key UX and `unsnap study`."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.input_deck import (
+    deck_has_study,
+    loads,
+    loads_study,
+    loads_study_parts,
+    parse_axis_option,
+    parse_study_deck,
+    valid_problem_keys,
+    valid_study_keys,
+)
+
+STUDY_DECK = """
+! base problem
+nx=3 ny=3 nz=3
+nang=1 ng=2 iitm=2
+[study]
+engine = vectorized, prefactorized
+order  = 1, 2
+/
+"""
+
+
+class TestUnknownKeyUX:
+    def test_problem_section_error_names_key_and_lists_valid(self):
+        with pytest.raises(KeyError) as err:
+            loads("nx=3 warp=9\n/")
+        message = err.value.args[0]
+        assert "'warp'" in message and "[problem]" in message
+        for key in ("nx", "engine", "octant_parallel"):
+            assert key in message
+
+    def test_study_section_error_names_key_and_lists_valid(self):
+        with pytest.raises(KeyError) as err:
+            loads_study("nx=3\n[study]\nwarp = 1, 2\n/")
+        message = err.value.args[0]
+        assert "'warp'" in message and "[study]" in message and "nang" in message
+
+    def test_valid_key_listings(self):
+        assert "nang" in valid_problem_keys()
+        assert {"nang", "angles_per_octant", "num_threads"} <= set(valid_study_keys())
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ValueError, match=r"\[campaign\]"):
+            loads("nx=3\n[campaign]\nengine=vectorized\n/")
+
+    def test_malformed_section_header_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            loads("[study\nengine=vectorized\n/")
+
+
+class TestStudyDeckParsing:
+    def test_deck_has_study(self):
+        assert deck_has_study(STUDY_DECK)
+        assert not deck_has_study("nx=3\n/")
+
+    def test_loads_rejects_study_decks_with_pointer(self):
+        with pytest.raises(ValueError, match="unsnap study"):
+            loads(STUDY_DECK)
+
+    def test_loads_study_builds_grid(self):
+        study = loads_study(STUDY_DECK)
+        assert len(study) == 4
+        assert study.base.nx == 3 and study.base.num_groups == 2
+        assert study.axis_names == ["engine", "order"]
+        assert study.axis_values("engine") == ["vectorized", "prefactorized"]
+
+    def test_loads_study_parts(self):
+        base, axes = loads_study_parts(STUDY_DECK)
+        assert base.num_inners == 2
+        assert axes == {"engine": ["vectorized", "prefactorized"], "order": [1, 2]}
+
+    def test_plain_deck_is_single_run_study(self):
+        study = loads_study("nx=3 ny=3 nz=3\n/")
+        assert len(study) == 1 and study.points == ({},)
+
+    def test_nthreads_axis_maps_to_run_option(self):
+        study = loads_study("nx=3\n[study]\nnthreads = 1, 2\n/")
+        assert study.axis_names == ["num_threads"]
+        assert [p.run_options for p in study.runs()] == [
+            {"num_threads": 1}, {"num_threads": 2}]
+
+    def test_spec_field_names_accepted_as_axis_keys(self):
+        study = loads_study("nx=3\n[study]\nnum_groups = 1, 2\n/")
+        assert [p.spec.num_groups for p in study.runs()] == [1, 2]
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(ValueError, match="duplicate study axis"):
+            loads_study("nx=3\n[study]\norder=1,2\norder=3\n/")
+
+    def test_axis_without_values_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            loads_study("nx=3\n[study]\norder =\n/")
+
+    def test_two_axes_on_one_line_rejected_with_rule(self):
+        with pytest.raises(ValueError, match="one axis per line"):
+            loads_study("nx=3\n[study]\norder=1,2 engine=vectorized\n/")
+
+    def test_parse_study_deck_file(self, tmp_path):
+        deck = tmp_path / "grid.deck"
+        deck.write_text(STUDY_DECK)
+        study = parse_study_deck(deck)
+        assert study.name == "grid" and len(study) == 4
+
+    def test_parse_axis_option_typed(self):
+        assert parse_axis_option("nx=4,8") == ("nx", [4, 8])
+        assert parse_axis_option("engine=vectorized") == ("engine", ["vectorized"])
+        assert parse_axis_option("twist=0.0,0.001") == ("max_twist", [0.0, 0.001])
+        with pytest.raises(KeyError, match="warp"):
+            parse_axis_option("warp=1")
+
+
+CLI_BASE = ["study", "--nx", "2", "--ny", "2", "--nz", "2", "--nang", "1",
+            "--groups", "1", "--inners", "1"]
+
+
+class TestStudyCLI:
+    def test_axis_flags_build_grid(self, capsys):
+        assert main(CLI_BASE + ["--axis", "engine=vectorized,prefactorized"]) == 0
+        out = capsys.readouterr().out
+        assert "2 runs" in out and "vectorized" in out and "prefactorized" in out
+
+    def test_json_records(self, capsys):
+        assert main(CLI_BASE + ["--axis", "order=1,2", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["study"] == "study"
+        assert [r["order"] for r in data["records"]] == [1, 2]
+        assert all(r["from_cache"] is False for r in data["records"])
+
+    def test_store_resumes(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        args = CLI_BASE + ["--axis", "order=1,2", "--store", store, "--json"]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert all(r["from_cache"] is False for r in first["records"])
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert all(r["from_cache"] is True for r in second["records"])
+        for a, b in zip(first["records"], second["records"]):
+            assert a["mean_flux"] == b["mean_flux"]
+
+    def test_deck_axes_and_flag_override(self, tmp_path, capsys):
+        deck = tmp_path / "s.deck"
+        deck.write_text(STUDY_DECK)
+        assert main(["study", "--deck", str(deck), "--inners", "1", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["study"] == "s"
+        assert len(data["records"]) == 4
+        assert all(r["total_inners"] == 1 for r in data["records"])
+
+    def test_cli_axis_overrides_deck_axis(self, tmp_path, capsys):
+        deck = tmp_path / "s.deck"
+        deck.write_text(STUDY_DECK)
+        assert main(["study", "--deck", str(deck), "--inners", "1",
+                     "--axis", "order=1", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["records"]) == 2
+        assert {r["order"] for r in data["records"]} == {1}
+
+    def test_threads_flag_becomes_axis(self, capsys):
+        assert main(CLI_BASE + ["--threads", "2", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert [r["num_threads"] for r in data["records"]] == [2]
+
+    def test_unknown_axis_key_is_cli_error(self, capsys):
+        assert main(CLI_BASE + ["--axis", "warp=1"]) == 2
+        assert "warp" in capsys.readouterr().err
+
+    def test_bad_axis_value_is_cli_error_before_any_run(self, capsys):
+        # Unknown engine name on an axis: caught by the up-front validation.
+        assert main(CLI_BASE + ["--axis", "engine=typo"]) == 2
+        assert "typo" in capsys.readouterr().err
+        # Out-of-range spec value: rejected by ProblemSpec validation.
+        assert main(CLI_BASE + ["--axis", "order=0"]) == 2
+        assert "order" in capsys.readouterr().err
+        # Unknown solver name too.
+        assert main(CLI_BASE + ["--axis", "solver=nope"]) == 2
+        assert "nope" in capsys.readouterr().err
+
+    def test_unknown_backend_is_cli_error(self, capsys):
+        assert main(CLI_BASE + ["--backend", "warp-drive"]) == 2
+        assert "warp-drive" in capsys.readouterr().err
+
+    def test_run_on_study_deck_points_to_study(self, tmp_path, capsys):
+        deck = tmp_path / "s.deck"
+        deck.write_text(STUDY_DECK)
+        assert main(["run", "--deck", str(deck)]) == 2
+        assert "unsnap study" in capsys.readouterr().err
+
+    def test_run_on_deck_with_unknown_key_is_clean_error(self, tmp_path, capsys):
+        deck = tmp_path / "typo.deck"
+        deck.write_text("nnx=4 ny=2 nz=2\n/")
+        assert main(["run", "--deck", str(deck)]) == 2
+        err = capsys.readouterr().err
+        assert "unknown input deck key 'nnx'" in err and "[problem]" in err
+
+    def test_study_on_deck_with_unknown_key_is_clean_error(self, tmp_path, capsys):
+        deck = tmp_path / "typo.deck"
+        deck.write_text("nnx=4\n[study]\norder=1,2\n/")
+        assert main(["study", "--deck", str(deck)]) == 2
+        assert "unknown input deck key 'nnx'" in capsys.readouterr().err
+
+    def test_backends_subcommand(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "serial" in out and "process" in out and "mp" in out
+
+    @pytest.mark.slow
+    def test_process_backend_via_cli(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(CLI_BASE + ["--axis", "order=1,2", "--backend", "process",
+                                "--jobs", "2", "--store", store, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["records"]) == 2

@@ -1,0 +1,112 @@
+"""Tests for the run_study facade and the StudyResult tidy-record/pivot API."""
+
+import pytest
+
+import repro
+from repro.analysis.figures import (
+    block_jacobi_convergence_series,
+    measured_scaling_series,
+    measured_thread_scaling_study,
+)
+from repro.analysis.tables import table2_solver_comparison, table2_study
+from repro.campaign import Study, run_study
+from repro.config import ProblemSpec
+
+BASE = ProblemSpec(nx=3, ny=3, nz=3, angles_per_octant=1, num_groups=2, num_inners=2)
+
+
+@pytest.fixture(scope="module")
+def grid_result():
+    return run_study(Study.grid(BASE, engine=["vectorized", "prefactorized"], order=[1, 2]))
+
+
+class TestStudyResult:
+    def test_len_iter_getitem(self, grid_result):
+        assert len(grid_result) == 4
+        assert [r.index for r in grid_result] == [0, 1, 2, 3]
+        assert grid_result[2].axes == {"engine": "prefactorized", "order": 1}
+
+    def test_records_merge_axes_and_summary(self, grid_result):
+        records = grid_result.records()
+        assert len(records) == 4
+        for record in records:
+            assert {"engine", "order", "wall_seconds", "mean_flux", "from_cache"} <= set(record)
+        # The axis value wins over the summary key of the same name.
+        assert records[0]["engine"] == "vectorized"
+        assert records[0]["from_cache"] is False
+
+    def test_values(self, grid_result):
+        assert grid_result.values("order") == [1, 2, 1, 2]
+
+    def test_pivot(self, grid_result):
+        pivot = grid_result.pivot("order", "engine", "mean_flux")
+        assert pivot.rows == (1, 2)
+        assert pivot.cols == ("vectorized", "prefactorized")
+        # Engines agree bit for bit, so the pivot rows are constant.
+        assert pivot.at(1, "vectorized") == pivot.at(1, "prefactorized")
+        rows = pivot.as_rows()
+        assert rows[0][0] == 1 and len(rows[0]) == 3
+
+    def test_series_grouping(self, grid_result):
+        grouped = grid_result.series("order", "mean_flux", series_axis="engine")
+        assert set(grouped) == {"engine=vectorized", "engine=prefactorized"}
+        assert [x for x, _ in grouped["engine=vectorized"]] == [1, 2]
+
+    def test_series_without_axis_uses_study_name(self):
+        result = run_study(Study.grid(BASE, order=[1], name="solo"))
+        assert list(result.series("order", "mean_flux")) == ["solo"]
+
+
+class TestAnalysisConsumers:
+    def test_table2_study_shape(self):
+        study = table2_study(orders=(1, 2), solvers=("ge",))
+        assert len(study) == 2
+        assert study.axis_names == ["order", "solver"]
+
+    def test_table2_solver_comparison_via_study(self, tmp_path):
+        small = BASE
+        rows = table2_solver_comparison(
+            orders=(1, 2), solvers=("ge", "lapack"), base_spec=small,
+            store=tmp_path / "t2",
+        )
+        assert [(r.order, r.solver) for r in rows] == [
+            (1, "ge"), (1, "lapack"), (2, "ge"), (2, "lapack")]
+        assert all(r.assemble_solve_seconds > 0 for r in rows)
+        # Second invocation resumes from the store: identical table rows
+        # except the timings come from the stored runs (same values).
+        again = table2_solver_comparison(
+            orders=(1, 2), solvers=("ge", "lapack"), base_spec=small,
+            store=tmp_path / "t2",
+        )
+        assert [(r.order, r.solver, r.systems_solved) for r in rows] == [
+            (r.order, r.solver, r.systems_solved) for r in again]
+
+    def test_measured_thread_scaling_study(self):
+        result = measured_thread_scaling_study(
+            BASE, thread_counts=(1, 2), engines=("vectorized",))
+        assert len(result) == 2
+        assert all(r.spec.octant_parallel for r in result)
+        series = measured_scaling_series(result)
+        assert series.thread_counts == [1, 2]
+        assert list(series.series) == ["engine=vectorized"]
+        assert all(v > 0 for v in series.series["engine=vectorized"])
+
+    def test_measured_scaling_series_single_series(self):
+        result = measured_thread_scaling_study(BASE, thread_counts=(1,))
+        series = measured_scaling_series(result, series_axis=None)
+        assert list(series.series) == ["thread-scaling"]
+
+    def test_block_jacobi_convergence_series_via_study(self):
+        small = BASE.with_(nx=4, ny=4, nz=4, num_inners=3)
+        histories = block_jacobi_convergence_series(
+            rank_grids=((1, 1), (2, 1)), base_spec=small)
+        assert set(histories) == {"1x1 ranks", "2x1 ranks"}
+        assert all(len(errors) == 3 for errors in histories.values())
+
+
+class TestFacadeExports:
+    def test_package_level_api(self):
+        assert repro.run_study is run_study
+        assert repro.Study is Study
+        assert "process" in repro.available_backends()
+        assert repro.get_backend("serial").name == "serial"

@@ -1,0 +1,169 @@
+"""Tests for the content-hashed ResultStore and study resumability."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.campaign import ResultStore, Study, run_key, run_study
+from repro.config import ProblemSpec
+
+BASE = ProblemSpec(nx=3, ny=3, nz=3, angles_per_octant=1, num_groups=2, num_inners=2)
+
+
+class TestRunKey:
+    def test_stable_and_content_addressed(self):
+        assert run_key(BASE) == run_key(ProblemSpec(**BASE.to_dict()))
+        assert len(run_key(BASE)) == 64
+
+    def test_differs_across_specs_and_run_options(self):
+        assert run_key(BASE) != run_key(BASE.with_(nx=4))
+        assert run_key(BASE) != run_key(BASE, {"num_threads": 2})
+        assert run_key(BASE, {"num_threads": 2}) == run_key(BASE, {"num_threads": 2})
+
+    def test_independent_of_option_ordering(self):
+        # A single run option exists today; the canonicalisation must still
+        # hold once more are added, so exercise the dict-order independence.
+        a = run_key(BASE, dict([("num_threads", 2)]))
+        b = run_key(BASE, {"num_threads": 2})
+        assert a == b
+
+
+class TestResultStore:
+    def test_get_on_empty_store(self, tmp_path):
+        store = ResultStore(tmp_path / "runs")
+        assert store.get(BASE) is None
+        assert len(store) == 0 and store.keys() == []
+
+    def test_put_get_round_trip_bit_for_bit(self, tmp_path):
+        store = ResultStore(tmp_path / "runs")
+        result = repro.run(BASE)
+        path = store.put(BASE, result)
+        assert path.exists() and path.stem == run_key(BASE)
+        loaded = store.get(BASE)
+        np.testing.assert_array_equal(loaded.scalar_flux, result.scalar_flux)
+        np.testing.assert_array_equal(loaded.cell_average_flux, result.cell_average_flux)
+        assert loaded.spec == BASE
+        assert BASE in store and run_key(BASE) in store
+
+    def test_foreign_json_in_store_rejected_cleanly(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(BASE, repro.run(BASE))
+        (tmp_path / f"{run_key(BASE.with_(nx=4))}.json").write_text('{"not": "a record"}')
+        with pytest.raises(ValueError, match="not a result-store record"):
+            store.get(BASE.with_(nx=4))
+        with pytest.raises(ValueError, match="unsnap-run-v1"):
+            store.results()
+        # The valid record is still readable directly.
+        assert store.get(BASE) is not None
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(BASE, repro.run(BASE))
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert len(store) == 1
+
+    def test_records_are_self_describing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(BASE, repro.run(BASE), {"num_threads": 2})
+        record = json.loads(store.path_for(store.keys()[0]).read_text())
+        assert record["format"] == "unsnap-run-v1"
+        assert record["spec"]["nx"] == 3
+        assert record["run_options"] == {"num_threads": 2}
+        specs_and_results = store.results()
+        assert len(specs_and_results) == 1
+        spec, options, result = specs_and_results[0]
+        assert spec == BASE and options == {"num_threads": 2}
+        assert result.scalar_flux.shape == (27, 2, 8)
+
+
+class _ExplodingBackend:
+    """Fails on any non-empty batch: proves resumption executed nothing."""
+
+    def execute(self, points, *, jobs=None):
+        if points:
+            raise AssertionError(f"backend was asked to execute {len(points)} runs")
+        return []
+
+
+class TestResumability:
+    GRID = dict(engine=["vectorized", "prefactorized"], order=[1, 2])
+
+    def test_rerun_with_warm_store_executes_zero_new_runs(self, tmp_path):
+        store = ResultStore(tmp_path / "campaign")
+        study = Study.grid(BASE, **self.GRID)
+
+        first = run_study(study, store=store)
+        assert first.new_run_count == 4 and first.cached_run_count == 0
+        assert len(store) == 4
+
+        second = run_study(study, store=store, backend=_ExplodingBackend())
+        assert second.new_run_count == 0 and second.cached_run_count == 4
+        assert all(r.from_cache for r in second)
+        for a, b in zip(first, second):
+            assert a.axes == b.axes
+            np.testing.assert_array_equal(a.result.scalar_flux, b.result.scalar_flux)
+
+    def test_partial_store_runs_only_missing_points(self, tmp_path):
+        store = ResultStore(tmp_path / "campaign")
+        study = Study.grid(BASE, **self.GRID)
+        points = study.runs()
+        # Pre-fill half the grid out of order.
+        for point in (points[3], points[1]):
+            store.put(point.spec, repro.run(point.spec, **point.run_options),
+                      point.run_options)
+
+        result = run_study(study, store=store)
+        assert result.new_run_count == 2 and result.cached_run_count == 2
+        assert [r.from_cache for r in result] == [False, True, False, True]
+        assert len(store) == 4
+
+    def test_store_accepts_plain_path(self, tmp_path):
+        study = Study.grid(BASE, order=[1])
+        result = run_study(study, store=tmp_path / "as-path")
+        assert result.new_run_count == 1
+        assert len(ResultStore(tmp_path / "as-path")) == 1
+
+    def test_store_hit_respects_run_options(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_study(Study.grid(BASE, num_threads=[1]), store=store)
+        result = run_study(Study.grid(BASE, num_threads=[2]), store=store)
+        assert result.new_run_count == 1
+        assert len(store) == 2
+
+    def test_changed_spec_axis_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_study(Study.grid(BASE, order=[1]), store=store)
+        result = run_study(Study.grid(BASE, order=[2]), store=store)
+        assert result.new_run_count == 1 and len(store) == 2
+
+    def test_failed_run_keeps_completed_prefix_in_store(self, tmp_path):
+        # Results stream into the store per run, so a mid-study failure
+        # (here: an engine that resolves only at execution time) keeps every
+        # completed run and the re-invocation resumes from that prefix.
+        store = ResultStore(tmp_path / "interrupted")
+        broken = Study.cases(
+            BASE, [{"engine": "vectorized"}, {"engine": "not-an-engine"}])
+        with pytest.raises(KeyError, match="not-an-engine"):
+            run_study(broken, store=store)
+        assert len(store) == 1
+
+        fixed = Study.cases(
+            BASE, [{"engine": "vectorized"}, {"engine": "prefactorized"}])
+        result = run_study(fixed, store=store)
+        assert result.new_run_count == 1 and result.cached_run_count == 1
+        assert [r.from_cache for r in result] == [True, False]
+
+
+@pytest.mark.slow
+class TestProcessBackendWithStore:
+    def test_process_backend_populates_and_resumes(self, tmp_path):
+        store = ResultStore(tmp_path / "proc")
+        study = Study.grid(BASE, engine=["vectorized", "prefactorized"])
+        first = run_study(study, backend="process", store=store, jobs=2)
+        assert first.new_run_count == 2
+        second = run_study(study, backend="process", store=store, jobs=2)
+        assert second.new_run_count == 0
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a.result.scalar_flux, b.result.scalar_flux)

@@ -1,0 +1,93 @@
+"""Tests for the declarative Study (grid/zip/cases construction, validation)."""
+
+import pytest
+
+from repro.campaign import RUN_OPTION_KEYS, Study
+from repro.config import ProblemSpec
+
+BASE = ProblemSpec(nx=3, ny=3, nz=3, angles_per_octant=1, num_groups=2, num_inners=2)
+
+
+class TestGrid:
+    def test_cartesian_product_last_axis_fastest(self):
+        study = Study.grid(BASE, engine=["vectorized", "prefactorized"], order=[1, 2])
+        assert len(study) == 4
+        assert study.points[0] == {"engine": "vectorized", "order": 1}
+        assert study.points[1] == {"engine": "vectorized", "order": 2}
+        assert study.points[2] == {"engine": "prefactorized", "order": 1}
+
+    def test_scalar_axis_promoted_to_singleton(self):
+        study = Study.grid(BASE, engine="vectorized", order=[1, 2])
+        assert len(study) == 2
+        assert all(p["engine"] == "vectorized" for p in study.points)
+
+    def test_axis_names_and_values(self):
+        study = Study.grid(BASE, engine=["vectorized"], nx=[4, 8, 16])
+        assert study.axis_names == ["engine", "nx"]
+        assert study.axis_values("nx") == [4, 8, 16]
+
+    def test_specs_resolved_through_with_(self):
+        study = Study.grid(BASE, nx=[4, 8])
+        points = study.runs()
+        assert [p.spec.nx for p in points] == [4, 8]
+        assert all(p.spec.ny == 3 for p in points)
+        assert [p.index for p in points] == [0, 1]
+
+    def test_unknown_axis_rejected_with_valid_keys(self):
+        with pytest.raises(KeyError, match="warp_factor"):
+            Study.grid(BASE, warp_factor=[1, 2])
+        with pytest.raises(KeyError, match="valid keys"):
+            Study.grid(BASE, warp_factor=[1, 2])
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            Study.grid(BASE, order=[])
+
+    def test_run_option_axis_goes_to_run_options(self):
+        assert RUN_OPTION_KEYS == ("num_threads",)
+        study = Study.grid(BASE, num_threads=[1, 2], order=[1])
+        for point in study.runs():
+            assert point.run_options == {"num_threads": point.axes["num_threads"]}
+            assert point.spec.order == 1
+            assert not hasattr(point.spec, "num_threads")
+
+
+class TestZip:
+    def test_parallel_axes(self):
+        study = Study.zip(BASE, npex=[1, 2, 3], npey=[1, 1, 1])
+        assert len(study) == 3
+        assert study.points[1] == {"npex": 2, "npey": 1}
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(ValueError, match="equal lengths"):
+            Study.zip(BASE, npex=[1, 2], npey=[1, 1, 1])
+
+
+class TestCases:
+    def test_explicit_cases(self):
+        study = Study.cases(BASE, [{"order": 1}, {"order": 3, "solver": "lapack"}])
+        assert len(study) == 2
+        assert study.axis_names == ["order", "solver"]
+        specs = [p.spec for p in study.runs()]
+        assert specs[1].order == 3 and specs[1].solver == "lapack"
+        assert specs[0].solver == "ge"
+
+    def test_case_with_unknown_key_rejected(self):
+        with pytest.raises(KeyError, match="bogus"):
+            Study.cases(BASE, [{"bogus": 1}])
+
+    def test_empty_case_is_base_run(self):
+        study = Study.cases(BASE, [{}])
+        assert len(study) == 1
+        assert study.runs()[0].spec == BASE
+
+
+class TestFromAxes:
+    def test_axes_build_grid(self):
+        study = Study.from_axes(BASE, {"order": [1, 2], "engine": ["vectorized"]})
+        assert len(study) == 2 and study.axis_names == ["order", "engine"]
+
+    def test_empty_axes_is_single_base_run(self):
+        study = Study.from_axes(BASE, {}, name="solo")
+        assert len(study) == 1 and study.points == ({},)
+        assert study.name == "solo"

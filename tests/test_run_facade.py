@@ -132,6 +132,65 @@ class TestRunResultExport:
         assert np.asarray(data["scalar_flux"]).shape == (27, 2, 8)
         assert np.asarray(data["cell_average_flux"]).shape == (27, 2)
 
+    def test_to_dict_carries_balance_and_spec(self, result):
+        data = result.to_dict()
+        assert set(data["balance"]) == {
+            "emission", "absorption", "leakage", "scattering_in", "scattering_out"}
+        assert len(data["balance"]["emission"]) == 2
+        assert data["spec"]["nx"] == 3 and data["spec"]["boundary"]["kind"] == "vacuum"
+
+
+class TestRunResultRoundTrip:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run(SMALL)
+
+    @pytest.fixture(scope="class")
+    def parallel_result(self):
+        return run(SMALL.with_(npex=3, npey=1))
+
+    def test_round_trip_with_flux_is_bit_for_bit(self, result, parallel_result):
+        for res in (result, parallel_result):
+            loaded = RunResult.from_json(res.to_json(include_flux=True))
+            np.testing.assert_array_equal(loaded.scalar_flux, res.scalar_flux)
+            np.testing.assert_array_equal(loaded.cell_average_flux, res.cell_average_flux)
+            np.testing.assert_array_equal(loaded.leakage, res.leakage)
+            np.testing.assert_array_equal(loaded.balance.residual, res.balance.residual)
+            assert loaded.history.inner_errors == res.history.inner_errors
+            assert loaded.history.inners_per_outer == res.history.inners_per_outer
+            assert loaded.spec == res.spec
+            assert loaded.num_ranks == res.num_ranks
+            assert loaded.engine == res.engine and loaded.solver == res.solver
+            # The re-export closes the loop exactly.
+            assert loaded.to_dict(include_flux=True) == res.to_dict(include_flux=True)
+
+    def test_round_trip_without_flux(self, result):
+        loaded = RunResult.from_dict(json.loads(result.to_json()))
+        assert loaded.scalar_flux is None and loaded.cell_average_flux is None
+        # mean flux and problem sizes survive through the export/spec.
+        assert loaded.mean_flux == result.mean_flux
+        summary = loaded.summary()
+        assert summary["cells"] == 27 and summary["groups"] == 2
+        assert summary["nodes_per_element"] == 8
+        assert loaded.to_dict() == result.to_dict()
+
+    def test_flux_less_result_rejects_flux_export(self, result):
+        loaded = RunResult.from_json(result.to_json())
+        with pytest.raises(ValueError, match="include_flux"):
+            loaded.to_dict(include_flux=True)
+
+    def test_angular_flux_never_round_trips(self):
+        res = run(SMALL, store_angular_flux=True)
+        loaded = RunResult.from_json(res.to_json(include_flux=True))
+        assert res.angular_flux is not None and loaded.angular_flux is None
+
+    def test_from_dict_round_trips_converged_flag(self):
+        res = run(SMALL.with_(num_inners=50, num_outers=20,
+                              inner_tolerance=1e-6, outer_tolerance=1e-6))
+        loaded = RunResult.from_json(res.to_json())
+        assert res.history.converged is True
+        assert loaded.history.converged is True
+
 
 class TestTransportResultSummaryFix:
     def test_wall_seconds_includes_setup(self):
