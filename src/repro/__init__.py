@@ -33,6 +33,10 @@ Public API highlights
   thread-scaling figures (Figures 3 and 4).
 * :mod:`repro.analysis` -- generators for every table and figure of the
   paper's evaluation.
+* :mod:`repro.verify` -- the verification subsystem: manufactured-solution
+  convergence orders, the engine x solver x backend conformance matrix and
+  the golden regression store (``unsnap verify`` /
+  :func:`repro.verify.run_suite`).
 """
 
 from .campaign import (
@@ -49,6 +53,7 @@ from .core.solver import TransportResult, TransportSolver
 from .engines import available_engines, get_engine, register_engine
 from .runner import RunResult, run
 from .solvers import available_solvers, get_solver, register_solver
+from . import verify
 
 __version__ = "1.3.0"
 
@@ -72,5 +77,6 @@ __all__ = [
     "register_solver",
     "get_solver",
     "available_solvers",
+    "verify",
     "__version__",
 ]

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-__all__ = ["format_table", "format_scaling_series"]
+__all__ = ["format_table", "format_scaling_series", "format_verification_report"]
 
 
 def _format_cell(value) -> str:
@@ -44,6 +44,82 @@ def format_table(
     lines.append("-+-".join("-" * w for w in widths))
     lines.extend(fmt_row(row) for row in str_rows)
     return "\n".join(lines)
+
+
+def format_verification_report(report) -> str:
+    """Render a :class:`repro.verify.VerificationReport` as text tables.
+
+    One table per suite that ran: the MMS order estimates, the conformance
+    matrix summary (with any failed bit-for-bit checks called out row by
+    row), and the golden-store case statuses.
+    """
+    sections: list[str] = []
+
+    if report.mms:
+        rows = [
+            (
+                e.problem,
+                e.discretisation,
+                e.theoretical_order,
+                round(e.observed_order, 3),
+                round(e.fitted_order, 3),
+                e.tolerance,
+                "x".join(str(n) for n in e.resolutions),
+                "pass" if e.passed else "FAIL",
+            )
+            for e in report.mms
+        ]
+        sections.append(
+            format_table(
+                ("problem", "disc", "theory", "observed", "fitted", "tol", "meshes", "status"),
+                rows,
+                title="MMS convergence orders (observed must be within tol of theory)",
+            )
+        )
+
+    if report.conformance is not None:
+        conf = report.conformance
+        summary_rows = [
+            ("cases", len(conf.cases)),
+            ("engines", ", ".join(conf.engines)),
+            ("solvers", ", ".join(conf.solvers)),
+            ("backends", ", ".join(conf.backends)),
+            ("max pairwise deviation", conf.max_pairwise_deviation),
+            ("tolerance", conf.tolerance),
+            ("bitwise checks", len(conf.checks)),
+            ("status", "pass" if conf.passed else "FAIL"),
+        ]
+        sections.append(
+            format_table(("quantity", "value"), summary_rows, title="Conformance matrix")
+        )
+        if conf.failed_checks:
+            rows = [(c.kind, c.group, ", ".join(c.members)) for c in conf.failed_checks]
+            sections.append(
+                format_table(("kind", "group", "members"), rows, title="FAILED bitwise checks")
+            )
+
+    if report.golden is not None:
+        rows = [
+            (
+                r.name,
+                r.status,
+                r.detail or "-",
+                "-" if r.max_deviation is None else r.max_deviation,
+            )
+            for r in report.golden.results
+        ]
+        for stale in report.golden.stale_keys:
+            rows.append((stale[:16] + "...", "stale", "record matches no golden case", "-"))
+        sections.append(
+            format_table(
+                ("case", "status", "detail", "max deviation"),
+                rows,
+                title=f"Golden regression store ({report.golden.golden_dir})",
+            )
+        )
+
+    sections.append(f"verification {'PASSED' if report.passed else 'FAILED'}")
+    return "\n\n".join(sections)
 
 
 def format_scaling_series(

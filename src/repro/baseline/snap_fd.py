@@ -85,6 +85,11 @@ class SnapDiamondDifferenceSolver:
     incident_flux:
         Isotropic angular flux entering through every domain boundary face
         (0 reproduces SNAP's vacuum boundary).
+    angular_source:
+        Optional ``(A, nx, ny, nz, G)`` per-ordinate source density added on
+        top of the uniform fixed source -- the method-of-manufactured-
+        solutions hook mirroring :meth:`repro.core.sweep.SweepExecutor.sweep`,
+        used by :mod:`repro.verify.mms` for the FD convergence-order check.
     """
 
     def __init__(
@@ -105,6 +110,7 @@ class SnapDiamondDifferenceSolver:
         inner_tolerance: float = 0.0,
         negative_flux_fixup: bool = False,
         incident_flux: float = 0.0,
+        angular_source: np.ndarray | None = None,
     ):
         if min(nx, ny, nz) < 1:
             raise ValueError("grid must have at least one cell per axis")
@@ -123,6 +129,15 @@ class SnapDiamondDifferenceSolver:
         self.inner_tolerance = float(inner_tolerance)
         self.negative_flux_fixup = bool(negative_flux_fixup)
         self.incident_flux = float(incident_flux)
+        self.angular_source = None
+        if angular_source is not None:
+            angular_source = np.asarray(angular_source, dtype=float)
+            expected = (self.quadrature.num_angles, nx, ny, nz, self.num_groups)
+            if angular_source.shape != expected:
+                raise ValueError(
+                    f"angular_source must have shape {expected}, got {angular_source.shape}"
+                )
+            self.angular_source = angular_source
 
     # ------------------------------------------------------------------ solve
     def solve(self) -> DiamondDifferenceResult:
@@ -176,6 +191,11 @@ class SnapDiamondDifferenceSolver:
         for angle in range(self.quadrature.num_angles):
             mu, eta, xi = self.quadrature.directions[angle]
             weight = self.quadrature.weights[angle]
+            angle_source = (
+                total_source
+                if self.angular_source is None
+                else total_source + self.angular_source[angle]
+            )
             cx = 2.0 * abs(mu) / self.dx
             cy = 2.0 * abs(eta) / self.dy
             cz = 2.0 * abs(xi) / self.dz
@@ -195,7 +215,7 @@ class SnapDiamondDifferenceSolver:
                     psi_in_z = np.full(ng, self.incident_flux, dtype=float)
                     for k in z_range:
                         numer = (
-                            total_source[i, j, k]
+                            angle_source[i, j, k]
                             + cx * psi_in_x[j, k]
                             + cy * psi_in_y[k]
                             + cz * psi_in_z

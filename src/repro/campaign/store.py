@@ -58,8 +58,17 @@ class ResultStore:
         return self.root / f"{key}.json"
 
     def _load_record(self, path: Path) -> dict:
-        """Read one record file, rejecting foreign or future-format JSON."""
-        record = json.loads(path.read_text())
+        """Read one record file, rejecting corrupt, foreign or future-format JSON."""
+        try:
+            record = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            # A record is published atomically (temp file + rename), so a
+            # truncated or garbled file was damaged *after* the fact -- name
+            # it so the operator can delete or restore it.
+            raise ValueError(
+                f"{path} is not valid JSON ({exc}); the record is corrupt -- "
+                f"delete it to let the run be recomputed"
+            ) from None
         found = record.get("format") if isinstance(record, dict) else None
         if found != _FORMAT:
             raise ValueError(

@@ -27,6 +27,12 @@ Sub-commands
     Print the model-predicted thread-scaling series of Figures 3 and 4.
 ``balance``
     Solve and print the particle-balance diagnostics.
+``verify``
+    Run the verification subsystem (:mod:`repro.verify`): manufactured-
+    solution convergence orders, the cross-engine conformance matrix and
+    the golden regression store.  ``--suite`` selects a subset,
+    ``--update-golden`` re-blesses the goldens, ``--json`` emits the full
+    machine-readable report (the CI ``verify`` job archives it).
 """
 
 from __future__ import annotations
@@ -37,7 +43,11 @@ import sys
 from pathlib import Path
 
 from .analysis.figures import PAPER_THREAD_COUNTS, figure3_series, figure4_series
-from .analysis.reporting import format_scaling_series, format_table
+from .analysis.reporting import (
+    format_scaling_series,
+    format_table,
+    format_verification_report,
+)
 from .analysis.tables import table1_matrix_sizes, table2_solver_comparison
 from .campaign import ResultStore, Study, backend_listing, get_backend, run_study
 from .config import ProblemSpec
@@ -111,6 +121,33 @@ def build_parser() -> argparse.ArgumentParser:
     balance.add_argument("--n", type=int, default=4)
     balance.add_argument("--groups", type=int, default=2)
     balance.add_argument("--engine", type=str, default=None)
+
+    verify = sub.add_parser(
+        "verify",
+        help="run the verification suites (MMS orders, conformance matrix, goldens)",
+    )
+    verify.add_argument(
+        "--suite", action="append", choices=("mms", "conformance", "golden"),
+        default=None, metavar="NAME",
+        help="suite to run: mms | conformance | golden (repeatable; default: all)",
+    )
+    verify.add_argument(
+        "--update-golden", action="store_true",
+        help="re-bless the golden store from the current build before checking "
+        "(deterministic: an unchanged build rewrites byte-identical records)",
+    )
+    verify.add_argument(
+        "--golden-dir", type=str, default=None, metavar="DIR",
+        help="golden store directory (default: the repository's tests/golden/)",
+    )
+    verify.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker cap for the conformance matrix's concurrent backends",
+    )
+    verify.add_argument(
+        "--json", action="store_true",
+        help="print the full machine-readable report instead of tables",
+    )
     return parser
 
 
@@ -388,6 +425,33 @@ def _cmd_balance(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .verify import SUITES, run_suite
+
+    suites = tuple(args.suite) if args.suite else SUITES
+    # Usage errors are caught up front; anything run_suite raises after this
+    # is a real internal failure and deserves its traceback (damaged golden
+    # records are *not* among them -- they report as failing cases).
+    if args.update_golden and "golden" not in suites:
+        print(
+            "error: --update-golden requires the golden suite "
+            "(add --suite golden or drop --suite)",
+            file=sys.stderr,
+        )
+        return 2
+    report = run_suite(
+        suites,
+        update_golden=args.update_golden,
+        golden_dir=args.golden_dir,
+        jobs=args.jobs,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(format_verification_report(report))
+    return 0 if report.passed else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of the ``unsnap`` console script."""
     args = build_parser().parse_args(argv)
@@ -411,6 +475,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_fig(args, order=3)
     if args.command == "balance":
         return _cmd_balance(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

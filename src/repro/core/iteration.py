@@ -101,8 +101,14 @@ class IterationController:
         self,
         initial_flux: np.ndarray | None = None,
         boundary_values: BoundaryValues | None = None,
+        angular_source: np.ndarray | None = None,
     ) -> tuple[np.ndarray, SweepResult, IterationHistory, AssemblyTimings]:
         """Run the full outer/inner iteration.
+
+        ``angular_source`` is an optional ``(A, E, G, N)`` per-ordinate fixed
+        source forwarded to every sweep (the manufactured-solutions hook of
+        :mod:`repro.verify.mms`); the scattering sources built here stay
+        isotropic.
 
         Returns
         -------
@@ -135,7 +141,11 @@ class IterationController:
             inners_done = 0
             for _inner in range(self.num_inners):
                 total_source = build_total_source(outer_source, self.materials, scalar)
-                result = executor.sweep(total_source, boundary_values=boundary_values)
+                result = executor.sweep(
+                    total_source,
+                    boundary_values=boundary_values,
+                    angular_source=angular_source,
+                )
                 timings = timings.merge(result.timings)
                 last_sweep = result
                 inner_error = max_relative_difference(result.scalar_flux, scalar)

@@ -206,9 +206,30 @@ class TransportSolver:
         """Drop the executor's engine-memoised state (LU factors etc.)."""
         self.executor.invalidate_factor_cache()
 
+    def set_engine(self, engine) -> None:
+        """Switch the sweep engine on the reused executor (cache-safe).
+
+        Forwards to :meth:`SweepExecutor.set_engine`, which invalidates the
+        factor cache through the *outgoing* engine's hook.  ``self.spec``
+        keeps its original ``engine`` name -- the spec describes the problem
+        as built; reporting of the engine that actually ran is the
+        :func:`repro.run` facade's job.
+        """
+        self.executor.set_engine(engine)
+
     # -------------------------------------------------------------------- solve
-    def solve(self, initial_flux: np.ndarray | None = None) -> TransportResult:
-        """Run the inner/outer iteration and return the full result bundle."""
+    def solve(
+        self,
+        initial_flux: np.ndarray | None = None,
+        angular_source: np.ndarray | None = None,
+    ) -> TransportResult:
+        """Run the inner/outer iteration and return the full result bundle.
+
+        ``angular_source`` is an optional ``(A, E, G, N)`` per-ordinate fixed
+        source added to every sweep (see :meth:`SweepExecutor.sweep
+        <repro.core.sweep.SweepExecutor.sweep>`); the manufactured-solutions
+        suite drives convergence studies through it.
+        """
         controller = IterationController(
             executor=self.executor,
             materials=self.materials,
@@ -219,7 +240,9 @@ class TransportSolver:
             outer_tolerance=self.spec.outer_tolerance,
         )
         t0 = time.perf_counter()
-        scalar, last_sweep, history, timings = controller.run(initial_flux=initial_flux)
+        scalar, last_sweep, history, timings = controller.run(
+            initial_flux=initial_flux, angular_source=angular_source
+        )
         solve_seconds = time.perf_counter() - t0
 
         balance = particle_balance(

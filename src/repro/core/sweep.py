@@ -159,8 +159,8 @@ class SweepExecutor:
         self.quadrature = quadrature
         self.materials = materials.for_cells(mesh.num_cells)
         self.boundary = boundary if boundary is not None else BoundaryCondition()
-        self.solver = get_solver(solver) if isinstance(solver, str) else solver
-        self.engine = get_engine(engine)
+        self._solver = get_solver(solver) if isinstance(solver, str) else solver
+        self._engine = get_engine(engine)
         self.num_threads = max(1, int(num_threads))
         self.octant_parallel = bool(octant_parallel)
         self.store_angular_flux = bool(store_angular_flux)
@@ -182,6 +182,55 @@ class SweepExecutor:
         if halo_faces is not None and len(halo_faces):
             halo_faces = np.asarray(halo_faces, dtype=np.int64)
             self._halo_set = {(int(c), int(f)) for c, f in halo_faces[:, :2]}
+
+    # ------------------------------------------------- engine/solver switching
+    @property
+    def engine(self) -> SweepEngine:
+        """The sweep engine; assigning goes through :meth:`set_engine`."""
+        return self._engine
+
+    @engine.setter
+    def engine(self, value: SweepEngine | str) -> None:
+        self.set_engine(value)
+
+    @property
+    def solver(self) -> LocalSolver:
+        """The local solver; assigning goes through :meth:`set_solver`."""
+        return self._solver
+
+    @solver.setter
+    def solver(self, value: LocalSolver | str) -> None:
+        self.set_solver(value)
+
+    def set_engine(self, engine: SweepEngine | str) -> None:
+        """Switch the sweep engine on this (reused) executor.
+
+        Engine-memoised state in :attr:`factor_cache` belongs to the outgoing
+        engine, so switching invalidates the cache first -- with the *old*
+        engine still installed, so its ``invalidate_cache`` hook (not the new
+        engine's) is the one notified.  Re-assigning the same engine instance
+        is a no-op and keeps the cache warm.
+        """
+        new = get_engine(engine)
+        if new is self._engine:
+            return
+        self.invalidate_factor_cache()
+        self._engine = new
+
+    def set_solver(self, solver: LocalSolver | str) -> None:
+        """Switch the local solver on this (reused) executor.
+
+        Cached factorisations were produced by the outgoing solver's
+        ``factor_batched`` and are meaningless to another solver's
+        ``solve_factored`` (the packed formats differ), so switching
+        invalidates the factor cache.  Re-assigning the same solver is a
+        no-op.
+        """
+        new = get_solver(solver) if isinstance(solver, str) else solver
+        if new is self._solver:
+            return
+        self.invalidate_factor_cache()
+        self._solver = new
 
     # ----------------------------------------------------- factor-cache hooks
     @property
@@ -233,6 +282,7 @@ class SweepExecutor:
         self,
         total_source: np.ndarray,
         boundary_values: BoundaryValues | None = None,
+        angular_source: np.ndarray | None = None,
     ) -> SweepResult:
         """Perform one full sweep of all octants, angles and groups.
 
@@ -243,6 +293,14 @@ class SweepExecutor:
             (fixed + scattering).
         boundary_values:
             Lagged upwind traces for rank-boundary faces (block Jacobi).
+        angular_source:
+            Optional ``(A, E, G, N)`` per-ordinate source added on top of the
+            isotropic one.  Engines never see it as a separate argument: the
+            executor hands each angle the combined ``(E, G, N)`` density, so
+            every registered engine supports it unchanged.  This is the
+            method-of-manufactured-solutions hook used by
+            :mod:`repro.verify.mms` (a manufactured angular flux needs the
+            anisotropic ``Omega . grad psi`` term in its source).
         """
         mesh = self.mesh
         num_elements = mesh.num_cells
@@ -252,6 +310,14 @@ class SweepExecutor:
         total_source = np.asarray(total_source, dtype=float)
         if total_source.shape != expected:
             raise ValueError(f"total_source must have shape {expected}, got {total_source.shape}")
+        if angular_source is not None:
+            angular_source = np.asarray(angular_source, dtype=float)
+            expected_angular = (self.quadrature.num_angles, *expected)
+            if angular_source.shape != expected_angular:
+                raise ValueError(
+                    f"angular_source must have shape {expected_angular}, "
+                    f"got {angular_source.shape}"
+                )
 
         scalar = np.zeros(expected, dtype=float)
         leakage = np.zeros(num_groups, dtype=float)
@@ -280,6 +346,7 @@ class SweepExecutor:
                 self._octant_pool.submit(
                     self._sweep_octant,
                     octant_angles, total_source, boundary_values, incident, bank,
+                    angular_source,
                 )
                 for octant_angles in octants
             ]
@@ -295,7 +362,8 @@ class SweepExecutor:
             for octant_angles in octants:
                 for angle in octant_angles.tolist():
                     psi_angle = self._sweep_one_angle(
-                        angle, total_source, boundary_values, incident, timings
+                        angle, total_source, boundary_values, incident, timings,
+                        angular_source,
                     )
                     weight = self.quadrature.weights[angle]
                     scalar += weight * psi_angle
@@ -320,6 +388,7 @@ class SweepExecutor:
         boundary_values: BoundaryValues | None,
         incident: float,
         bank: AngularFluxBank | None,
+        angular_source: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray, dict, AssemblyTimings]:
         """Sweep one octant's angles and return its partial reductions.
 
@@ -334,7 +403,8 @@ class SweepExecutor:
         outgoing_halo: dict[tuple[int, int, int], np.ndarray] = {}
         for angle in octant_angles.tolist():
             psi_angle = self._sweep_one_angle(
-                angle, total_source, boundary_values, incident, timings
+                angle, total_source, boundary_values, incident, timings,
+                angular_source,
             )
             weight = self.quadrature.weights[angle]
             scalar += weight * psi_angle
@@ -352,9 +422,13 @@ class SweepExecutor:
         boundary_values: BoundaryValues | None,
         incident: float,
         timings: AssemblyTimings,
+        angular_source: np.ndarray | None = None,
     ) -> np.ndarray:
+        source = (
+            total_source if angular_source is None else total_source + angular_source[angle]
+        )
         return self.engine.sweep_angle(
-            self, angle, total_source, boundary_values, incident, timings
+            self, angle, source, boundary_values, incident, timings
         )
 
     # ------------------------------------------------------------ diagnostics

@@ -46,6 +46,11 @@ __all__ = ["PrefactorizedSweepEngine"]
 class PrefactorizedSweepEngine:
     """Cached per-bucket LU factors; sweeps only assemble RHS and back-substitute."""
 
+    #: Same stacked systems in the same order as ``vectorized``; exact flux
+    #: equality is asserted by the conformance matrix for solvers with
+    #: ``prefactorisation_exact`` (see :mod:`repro.verify.conformance`).
+    bitwise_family = "batched"
+
     def _factor_pair(self, executor):
         solver = executor.solver
         if getattr(solver, "supports_prefactorisation", False):
@@ -66,7 +71,9 @@ class PrefactorizedSweepEngine:
         for index, bucket in enumerate(asched.buckets):
             batch = bucket.shape[0]
             orient = orientation[bucket]  # (B, 6)
-            key = ("prefactorized", angle, index)
+            # Namespaced by the registered engine name so distinct engines
+            # sharing one executor can never read each other's entries.
+            key = (getattr(self, "name", "prefactorized"), angle, index)
             entry = cache.get(key)
             if entry is None:
                 # Factor-once path: assemble the invariant systems and

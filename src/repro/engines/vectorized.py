@@ -33,6 +33,13 @@ __all__ = ["VectorizedSweepEngine"]
 class VectorizedSweepEngine:
     """Batched per-bucket assembly and dense solve (stacked (B*G, N, N) systems)."""
 
+    #: Engines sharing a ``bitwise_family`` assemble and solve the same
+    #: stacked systems in the same order, so the conformance matrix
+    #: (:mod:`repro.verify.conformance`) asserts their fluxes equal *bit for
+    #: bit* whenever the solver's factored path is exact
+    #: (``LocalSolver.prefactorisation_exact``).
+    bitwise_family = "batched"
+
     def sweep_angle(self, executor, angle, total_source, boundary_values, incident, timings):
         mesh = executor.mesh
         direction = executor.quadrature.directions[angle]

@@ -25,7 +25,12 @@ import numpy as np
 from .lagrange import FACE_NORMAL_AXIS, FACE_NORMAL_SIGN, LagrangeHexBasis
 from .reference import ReferenceElement
 
-__all__ = ["ElementGeometry", "HexElementFactors", "corner_reference_coords"]
+__all__ = [
+    "ElementGeometry",
+    "HexElementFactors",
+    "corner_reference_coords",
+    "trilinear_shape",
+]
 
 #: Reference coordinates of the 8 hexahedron corners in lexicographic order
 #: (x fastest): corner v = i + 2j + 4k sits at (+-1, +-1, +-1).
@@ -57,6 +62,12 @@ def _trilinear_shape(points: np.ndarray) -> np.ndarray:
     x, y, z = points[:, 0:1], points[:, 1:2], points[:, 2:3]
     cx, cy, cz = _CORNER_COORDS[:, 0], _CORNER_COORDS[:, 1], _CORNER_COORDS[:, 2]
     return 0.125 * (1.0 + x * cx) * (1.0 + y * cy) * (1.0 + z * cz)
+
+
+#: Public alias: the geometric (corner) basis is also what external callers
+#: -- e.g. the MMS verification (:mod:`repro.verify.mms`) -- use to map
+#: reference points of a cell to physical coordinates.
+trilinear_shape = _trilinear_shape
 
 
 def _trilinear_shape_grad(points: np.ndarray) -> np.ndarray:

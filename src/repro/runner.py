@@ -248,6 +248,7 @@ def run(
     materials=None,
     fixed_source=None,
     quadrature=None,
+    angular_source=None,
 ) -> RunResult:
     """Solve a transport problem and return a unified :class:`RunResult`.
 
@@ -276,6 +277,12 @@ def run(
     materials, fixed_source, quadrature:
         Optional overrides of the SNAP option-1 defaults, in global cell
         ordering.
+    angular_source:
+        Optional ``(A, E, G, N)`` per-ordinate source added to every sweep
+        on top of the isotropic fixed + scattering source (single rank
+        only).  This is the method-of-manufactured-solutions hook used by
+        :mod:`repro.verify` -- see :meth:`SweepExecutor.sweep
+        <repro.core.sweep.SweepExecutor.sweep>`.
     """
     engine_obj = get_engine(engine if engine is not None else spec.engine)
     # Duck-typed instances passed straight through get_engine may not carry a
@@ -285,6 +292,8 @@ def run(
     if spec.npex * spec.npey > 1:
         if store_angular_flux:
             raise ValueError("store_angular_flux is not supported for multi-rank runs")
+        if angular_source is not None:
+            raise ValueError("angular_source is not supported for multi-rank runs")
         t0 = time.perf_counter()
         driver = BlockJacobiDriver(
             spec,
@@ -334,7 +343,7 @@ def run(
         octant_parallel=octant_parallel,
         store_angular_flux=store_angular_flux,
     )
-    result = solver.solve()
+    result = solver.solve(angular_source=angular_source)
     return RunResult(
         scalar_flux=result.scalar_flux,
         cell_average_flux=result.cell_average_flux,

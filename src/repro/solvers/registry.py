@@ -62,6 +62,15 @@ class LocalSolver:
         opaque factorisation token and ``solve_factored(token, rhs (B, N))``
         solves against it in ``O(N^2)`` per system.  Solvers that leave
         these ``None`` fall back to the hand-written batched LU.
+    prefactorisation_exact:
+        Whether the factor-once/solve-many pair reproduces
+        ``solve_batched`` *bit for bit* (same elimination order, same
+        rounding).  The conformance matrix (:mod:`repro.verify.conformance`)
+        asserts exact flux equality between the ``vectorized`` and
+        ``prefactorized`` engines for solvers that claim this; ``ge`` does
+        (the packed LU replays the one-shot elimination), ``lapack`` does
+        not (``numpy.linalg.solve`` and scipy's ``lu_factor``/``lu_solve``
+        round differently).
     """
 
     name: str
@@ -70,6 +79,7 @@ class LocalSolver:
     solve_batched: Callable[[np.ndarray, np.ndarray], np.ndarray]
     factor_batched: Callable[[np.ndarray], object] | None = None
     solve_factored: Callable[[object, np.ndarray], np.ndarray] | None = None
+    prefactorisation_exact: bool = False
 
     @property
     def supports_prefactorisation(self) -> bool:
@@ -89,6 +99,7 @@ _SOLVERS.add(
         solve_batched=batched_gaussian_solve,
         factor_batched=batched_gaussian_lu_factor,
         solve_factored=batched_gaussian_lu_solve,
+        prefactorisation_exact=True,
     ),
     aliases=("gaussian", "gauss", "handwritten"),
 )

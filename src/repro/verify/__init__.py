@@ -1,0 +1,84 @@
+"""Verification subsystem: the machine-checked contract behind every fast path.
+
+Three pillars, one suite (:func:`repro.verify.run_suite`, CLI ``unsnap
+verify``):
+
+* **Manufactured solutions** (:mod:`.mms`) -- analytic-source problems with
+  known solutions and :func:`~.mms.estimate_order`, which refines the mesh
+  through a :class:`repro.campaign.Study` and asserts the observed spatial
+  convergence order for both the DGFEM solver and the diamond-difference FD
+  baseline.
+* **Conformance matrix** (:mod:`.conformance`) -- one canonical problem run
+  across every registered engine x solver x backend x parallel-mode
+  combination (discovered via the registries), with a global deviation
+  tolerance and exact bit-for-bit classes (batched engine family under
+  exact solvers, thread determinism, backend invariance).
+* **Golden store** (:mod:`.golden`) -- blessed
+  :class:`~repro.runner.RunResult` snapshots in ``tests/golden/``, stored
+  through the content-hashed campaign :class:`~repro.campaign.ResultStore`
+  and compared bit for bit; ``unsnap verify --update-golden`` re-blesses
+  deterministically.
+
+The contract a **new engine** (or solver/backend) must satisfy is spelled
+out in ROADMAP.md; registering it is enough to be swept into the MMS and
+conformance suites on the next ``unsnap verify``.
+"""
+
+from .conformance import (
+    CONFORMANCE_TOLERANCE,
+    BitwiseCheck,
+    ConformanceCase,
+    ConformanceReport,
+    canonical_spec,
+    conformance_matrix,
+)
+from .golden import (
+    GoldenCase,
+    GoldenCaseResult,
+    GoldenReport,
+    bless_goldens,
+    check_goldens,
+    default_golden_cases,
+    default_golden_dir,
+    normalise_result,
+)
+from .mms import (
+    MMS_ORDER_TOLERANCE,
+    FdMMSProblem,
+    FemMMSProblem,
+    ManufacturedField,
+    OrderEstimate,
+    default_problems,
+    estimate_order,
+)
+from .suite import SUITES, VerificationReport, run_suite
+
+__all__ = [
+    "run_suite",
+    "SUITES",
+    "VerificationReport",
+    # mms
+    "estimate_order",
+    "OrderEstimate",
+    "ManufacturedField",
+    "FemMMSProblem",
+    "FdMMSProblem",
+    "default_problems",
+    "MMS_ORDER_TOLERANCE",
+    # conformance
+    "conformance_matrix",
+    "ConformanceReport",
+    "ConformanceCase",
+    "BitwiseCheck",
+    "canonical_spec",
+    "CONFORMANCE_TOLERANCE",
+    # golden
+    "GoldenCase",
+    "GoldenCaseResult",
+    "GoldenReport",
+    "default_golden_cases",
+    "default_golden_dir",
+    "normalise_result",
+    "bless_goldens",
+    "check_goldens",
+]

@@ -1,0 +1,306 @@
+"""Cross-engine / solver / backend / parallel-mode conformance matrix.
+
+One canonical problem is run across **every registered combination** --
+sweep engines x local solvers x octant-parallel modes x thread counts,
+executed once per registered campaign backend -- with the combinations
+discovered through the registries, never hard-coded.  A newly registered
+engine, solver or backend is therefore covered by ``unsnap verify --suite
+conformance`` the moment it registers.
+
+Two kinds of contract are checked:
+
+* **Tolerance**: the maximum pairwise deviation of the scalar flux over the
+  whole matrix must stay below a tight absolute tolerance (the paths differ
+  only by floating-point associativity).
+* **Bit-for-bit classes**, asserted *exactly* (equal SHA-256 of the flux
+  bytes):
+
+  - *backend invariance* -- every backend (serial, thread, process, ...)
+    returns identical bytes for the same run;
+  - *thread determinism* -- a run is identical whatever ``num_threads``
+    (octant-parallel included: its fixed reduction order is the contract);
+  - *engine families* -- engines sharing a ``bitwise_family`` attribute
+    (``vectorized`` / ``prefactorized``) are identical under any solver
+    whose factored path is exact (``LocalSolver.prefactorisation_exact``,
+    e.g. ``ge``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..campaign.runner import run_study
+from ..campaign.study import Study
+from ..config import ProblemSpec
+from ..engines.registry import available_engines, get_engine
+from ..solvers.registry import available_solvers, get_solver
+
+__all__ = [
+    "CONFORMANCE_TOLERANCE",
+    "canonical_spec",
+    "ConformanceCase",
+    "BitwiseCheck",
+    "ConformanceReport",
+    "conformance_matrix",
+]
+
+#: Absolute flux tolerance over the whole matrix (observed ~6e-16; any real
+#: divergence between execution paths is many orders of magnitude larger).
+CONFORMANCE_TOLERANCE = 1e-12
+
+
+def case_label(
+    engine: str, solver: str, octant_parallel: bool, num_threads: int, backend: str
+) -> str:
+    """The canonical display label of one matrix cell (single source of truth)."""
+    mode = "octant" if octant_parallel else "sweep"
+    return f"{engine}/{solver}/{mode}/t{num_threads}/{backend}"
+
+
+def canonical_spec() -> ProblemSpec:
+    """The canonical conformance problem: small but fully featured.
+
+    Multi-group with scattering, a twisted mesh, several angles per octant
+    (so octant-parallel reductions actually reduce) and two inners (so
+    factor caches are actually reused).
+    """
+    return ProblemSpec(
+        nx=3, ny=3, nz=3,
+        angles_per_octant=2,
+        num_groups=2,
+        max_twist=0.001,
+        num_inners=2,
+        num_outers=1,
+    )
+
+
+@dataclass(frozen=True)
+class ConformanceCase:
+    """One executed cell of the matrix."""
+
+    engine: str
+    solver: str
+    octant_parallel: bool
+    num_threads: int
+    backend: str
+    mean_flux: float
+    flux_digest: str
+
+    @property
+    def label(self) -> str:
+        return case_label(
+            self.engine, self.solver, self.octant_parallel, self.num_threads, self.backend
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "engine": self.engine,
+            "solver": self.solver,
+            "octant_parallel": self.octant_parallel,
+            "num_threads": self.num_threads,
+            "backend": self.backend,
+            "mean_flux": self.mean_flux,
+            "flux_digest": self.flux_digest,
+        }
+
+
+@dataclass(frozen=True)
+class BitwiseCheck:
+    """An exact-equality assertion over a group of cases."""
+
+    kind: str
+    group: str
+    members: tuple[str, ...]
+    passed: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "group": self.group,
+            "members": list(self.members),
+            "passed": self.passed,
+        }
+
+
+@dataclass(frozen=True)
+class ConformanceReport:
+    """Full outcome of one conformance-matrix run."""
+
+    spec: ProblemSpec
+    engines: tuple[str, ...]
+    solvers: tuple[str, ...]
+    backends: tuple[str, ...]
+    cases: tuple[ConformanceCase, ...]
+    max_pairwise_deviation: float
+    tolerance: float
+    checks: tuple[BitwiseCheck, ...]
+
+    @property
+    def passed(self) -> bool:
+        return self.max_pairwise_deviation <= self.tolerance and all(
+            check.passed for check in self.checks
+        )
+
+    @property
+    def failed_checks(self) -> list[BitwiseCheck]:
+        return [check for check in self.checks if not check.passed]
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "engines": list(self.engines),
+            "solvers": list(self.solvers),
+            "backends": list(self.backends),
+            "num_cases": len(self.cases),
+            "max_pairwise_deviation": self.max_pairwise_deviation,
+            "tolerance": self.tolerance,
+            "bitwise_checks": [check.to_dict() for check in self.checks],
+            "cases": [case.to_dict() for case in self.cases],
+            "passed": self.passed,
+        }
+
+
+def _digest(flux: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(flux).tobytes()).hexdigest()
+
+
+def conformance_matrix(
+    spec: ProblemSpec | None = None,
+    *,
+    engines=None,
+    solvers=None,
+    backends=None,
+    octant_modes=(False, True),
+    thread_counts=(1, 2),
+    tolerance: float = CONFORMANCE_TOLERANCE,
+    jobs: int | None = None,
+) -> ConformanceReport:
+    """Run the canonical spec across every registered combination.
+
+    ``engines``/``solvers``/``backends`` default to everything currently
+    registered; pass subsets to shrink the matrix (e.g. the fast test tier
+    runs the serial backend only).
+    """
+    base = canonical_spec() if spec is None else spec
+    engines = tuple(engines) if engines is not None else tuple(available_engines())
+    solvers = tuple(solvers) if solvers is not None else tuple(available_solvers())
+    if backends is None:
+        from ..campaign.backends import available_backends
+
+        backends = tuple(available_backends())
+    else:
+        backends = tuple(backends)
+
+    study = Study.grid(
+        base,
+        engine=list(engines),
+        solver=list(solvers),
+        octant_parallel=list(octant_modes),
+        num_threads=list(thread_counts),
+        name="conformance",
+    )
+
+    fluxes: dict[tuple, np.ndarray] = {}
+    cases: list[ConformanceCase] = []
+    for backend in backends:
+        result = run_study(study, backend=backend, jobs=jobs)
+        for study_run in result:
+            key = (
+                study_run.spec.engine,
+                study_run.spec.solver,
+                bool(study_run.spec.octant_parallel),
+                int(study_run.run_options.get("num_threads", 1)),
+                backend,
+            )
+            flux = study_run.result.scalar_flux
+            fluxes[key] = flux
+            cases.append(
+                ConformanceCase(
+                    *key[:4],
+                    backend=backend,
+                    mean_flux=float(flux.mean()),
+                    flux_digest=_digest(flux),
+                )
+            )
+
+    keys = list(fluxes)
+    max_dev = 0.0
+    for i, a in enumerate(keys):
+        for b in keys[i + 1:]:
+            max_dev = max(max_dev, float(np.max(np.abs(fluxes[a] - fluxes[b]))))
+
+    digests = {key: case.flux_digest for key, case in zip(keys, cases)}
+
+    checks: list[BitwiseCheck] = []
+
+    def add_check(kind: str, group: str, members: list[tuple]) -> None:
+        if len(members) < 2:
+            return
+        first = digests[members[0]]
+        checks.append(
+            BitwiseCheck(
+                kind=kind,
+                group=group,
+                members=tuple(case_label(*m) for m in members),
+                passed=all(digests[m] == first for m in members),
+            )
+        )
+
+    # Backend invariance: same run, every backend, identical bytes.
+    for engine in engines:
+        for solver in solvers:
+            for octant in octant_modes:
+                for threads in thread_counts:
+                    add_check(
+                        "backend-invariance",
+                        f"{engine}/{solver}/{'octant' if octant else 'sweep'}/t{threads}",
+                        [(engine, solver, octant, threads, b) for b in backends],
+                    )
+
+    # Thread determinism: identical bytes for any worker count.
+    for engine in engines:
+        for solver in solvers:
+            for octant in octant_modes:
+                for backend in backends:
+                    add_check(
+                        "thread-determinism",
+                        f"{engine}/{solver}/{'octant' if octant else 'sweep'}/{backend}",
+                        [(engine, solver, octant, t, backend) for t in thread_counts],
+                    )
+
+    # Engine families: engines advertising the same bitwise_family must agree
+    # exactly under solvers whose factored path is exact.
+    families: dict[str, list[str]] = {}
+    for engine in engines:
+        family = getattr(get_engine(engine), "bitwise_family", None)
+        if family is not None:
+            families.setdefault(family, []).append(engine)
+    for family, members in sorted(families.items()):
+        if len(members) < 2:
+            continue
+        for solver in solvers:
+            if not getattr(get_solver(solver), "prefactorisation_exact", False):
+                continue
+            for octant in octant_modes:
+                for threads in thread_counts:
+                    for backend in backends:
+                        add_check(
+                            "engine-family",
+                            f"{family}/{solver}/{'octant' if octant else 'sweep'}"
+                            f"/t{threads}/{backend}",
+                            [(e, solver, octant, threads, backend) for e in members],
+                        )
+
+    return ConformanceReport(
+        spec=base,
+        engines=engines,
+        solvers=solvers,
+        backends=backends,
+        cases=tuple(cases),
+        max_pairwise_deviation=max_dev,
+        tolerance=float(tolerance),
+        checks=tuple(checks),
+    )

@@ -1,0 +1,294 @@
+"""Golden regression store: blessed run results under ``tests/golden/``.
+
+A *golden* is a blessed :class:`~repro.runner.RunResult` snapshot of one
+canonical run, stored through the campaign
+:class:`~repro.campaign.store.ResultStore` (same content-hashed one-JSON-
+per-run format, same atomic publish), so the golden directory is an
+ordinary, portable result store that happens to live in the repository.
+
+Blessing normalises away the only non-deterministic payload -- wall-clock
+timings -- before writing, so re-blessing an unchanged build rewrites
+byte-identical files (``git status`` stays clean), while *any* numeric
+drift in the flux, leakage, balance or iteration history -- down to one ulp
+-- shows up as a mismatch in :func:`check_goldens` (and as a diff when
+re-blessed).
+
+``unsnap verify --suite golden`` runs the check; ``--update-golden``
+re-blesses after a reviewed, intentional numeric change.
+
+Bit-for-bit snapshots necessarily pin the *arithmetic of the blessing
+environment*: a different BLAS/LAPACK build or CPU kernel selection may
+legitimately flip low-order bits (the ``lapack`` solver path especially).
+On such a platform the goldens are expected to mismatch once -- re-bless
+them there and the store is pinned to that environment instead.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+import numpy as np
+
+from ..campaign.store import ResultStore, run_key
+from ..config import ProblemSpec
+from ..core.assembly import AssemblyTimings
+from ..runner import RunResult, run
+from .conformance import canonical_spec
+
+__all__ = [
+    "GoldenCase",
+    "GoldenCaseResult",
+    "GoldenReport",
+    "default_golden_cases",
+    "default_golden_dir",
+    "normalise_result",
+    "bless_goldens",
+    "check_goldens",
+]
+
+#: Environment override for the golden directory (CI, out-of-tree checkouts).
+GOLDEN_DIR_ENV = "UNSNAP_GOLDEN_DIR"
+
+
+def default_golden_dir() -> Path:
+    """The blessed store location: ``tests/golden/`` at the repository root."""
+    override = os.environ.get(GOLDEN_DIR_ENV)
+    if override:
+        return Path(override)
+    repo_root = Path(__file__).resolve().parents[3]
+    candidate = repo_root / "tests" / "golden"
+    if candidate.parent.is_dir():
+        return candidate
+    return Path("tests") / "golden"
+
+
+@dataclass(frozen=True)
+class GoldenCase:
+    """One blessed run: a name, a spec and its run options."""
+
+    name: str
+    spec: ProblemSpec
+    run_options: tuple[tuple[str, object], ...] = ()
+
+    @property
+    def options(self) -> dict:
+        return dict(self.run_options)
+
+    @property
+    def key(self) -> str:
+        return run_key(self.spec, self.options)
+
+
+def default_golden_cases() -> tuple[GoldenCase, ...]:
+    """The blessed matrix: one case per execution path worth pinning.
+
+    Every case shares the canonical conformance problem so a regression in
+    the shared numerics shows up everywhere, while the per-case axes pin
+    each engine, the LAPACK solver path, the octant-parallel reduction and
+    the block-Jacobi driver individually.
+    """
+    base = canonical_spec()
+    return (
+        GoldenCase("reference-ge", base.with_(engine="reference")),
+        GoldenCase("vectorized-ge", base.with_(engine="vectorized")),
+        GoldenCase(
+            "prefactorized-lapack", base.with_(engine="prefactorized", solver="lapack")
+        ),
+        GoldenCase(
+            "octant-parallel",
+            base.with_(engine="vectorized", octant_parallel=True),
+            (("num_threads", 2),),
+        ),
+        GoldenCase("block-jacobi-2x1", base.with_(npex=2)),
+    )
+
+
+def normalise_result(result: RunResult) -> RunResult:
+    """Zero the wall-clock fields so blessed payloads are deterministic.
+
+    Everything else in the export -- flux arrays, leakage, balance,
+    iteration history, ``systems_solved`` -- is a pure function of the spec,
+    so the serialised record is byte-stable across re-blessings.
+    """
+    return replace(
+        result,
+        setup_seconds=0.0,
+        solve_seconds=0.0,
+        timings=AssemblyTimings(
+            assembly_seconds=0.0,
+            solve_seconds=0.0,
+            systems_solved=result.timings.systems_solved,
+        ),
+    )
+
+
+#: Marker file identifying a directory as a curated golden store.  Pruning
+#: stale records is destructive, so it only happens in directories blessed
+#: from scratch or carrying the marker -- never in an arbitrary
+#: ``ResultStore`` someone pointed ``--golden-dir`` at by mistake.
+GOLDEN_MARKER = ".unsnap-golden"
+
+
+def bless_goldens(
+    cases: tuple[GoldenCase, ...] | None = None,
+    golden_dir: str | Path | None = None,
+) -> dict[str, Path]:
+    """Run every case and (re-)write its blessed record; prune stale records.
+
+    Returns the written path per case name.  Records whose content key no
+    longer matches any case (a changed canonical spec, a removed case) are
+    deleted so the directory always mirrors the current case list exactly --
+    but only in directories this function owns: ones that were empty when
+    first blessed, or that carry the :data:`GOLDEN_MARKER` file.  Pointing
+    ``--golden-dir`` at an ordinary campaign store therefore adds records
+    (and the stale-key check flags the foreign ones) instead of silently
+    destroying computed results.
+    """
+    cases = default_golden_cases() if cases is None else tuple(cases)
+    store = ResultStore(default_golden_dir() if golden_dir is None else golden_dir)
+    marker = store.root / GOLDEN_MARKER
+    owns_directory = marker.exists() or not store.keys()
+    written: dict[str, Path] = {}
+    for case in cases:
+        result = run(case.spec, **case.options)
+        written[case.name] = store.put(case.spec, normalise_result(result), case.options)
+    if owns_directory:
+        marker.touch()
+        expected = {case.key for case in cases}
+        for stale in set(store.keys()) - expected:
+            store.path_for(stale).unlink()
+    return written
+
+
+@dataclass(frozen=True)
+class GoldenCaseResult:
+    """Outcome of re-running one blessed case."""
+
+    name: str
+    status: str  # "match" | "mismatch" | "missing" | "corrupt"
+    detail: str = ""
+    max_deviation: float | None = None
+
+    @property
+    def passed(self) -> bool:
+        return self.status == "match"
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "detail": self.detail,
+            "max_deviation": self.max_deviation,
+            "passed": self.passed,
+        }
+
+
+@dataclass(frozen=True)
+class GoldenReport:
+    """Outcome of checking every blessed case against a fresh run."""
+
+    golden_dir: str
+    results: tuple[GoldenCaseResult, ...]
+    stale_keys: tuple[str, ...]
+
+    @property
+    def passed(self) -> bool:
+        return all(r.passed for r in self.results) and not self.stale_keys
+
+    def to_dict(self) -> dict:
+        return {
+            "golden_dir": self.golden_dir,
+            "cases": [r.to_dict() for r in self.results],
+            "stale_keys": list(self.stale_keys),
+            "passed": self.passed,
+        }
+
+
+#: Array fields compared bit for bit between the fresh and the blessed run.
+_ARRAY_FIELDS = ("scalar_flux", "cell_average_flux", "leakage")
+#: Per-group balance arrays, compared bit for bit as well.
+_BALANCE_FIELDS = ("emission", "absorption", "leakage", "scattering_in", "scattering_out")
+
+
+def _compare(fresh: RunResult, stored: RunResult) -> tuple[str, float | None]:
+    """Bit-for-bit comparison; returns ``(detail, max_deviation)``, empty=match."""
+    worst: float | None = None
+    mismatched: list[str] = []
+    pairs = [
+        (name, getattr(fresh, name), getattr(stored, name)) for name in _ARRAY_FIELDS
+    ] + [
+        (f"balance.{name}", getattr(fresh.balance, name), getattr(stored.balance, name))
+        for name in _BALANCE_FIELDS
+    ]
+    for field_name, a, b in pairs:
+        a, b = np.asarray(a), np.asarray(b)
+        if a.shape != b.shape:
+            return f"{field_name} shape {a.shape} != blessed {b.shape}", None
+        if not np.array_equal(a, b):
+            deviation = float(np.max(np.abs(a - b)))
+            worst = deviation if worst is None else max(worst, deviation)
+            mismatched.append(field_name)
+    if fresh.history.inner_errors != stored.history.inner_errors:
+        mismatched.append("history.inner_errors")
+    if fresh.history.outer_errors != stored.history.outer_errors:
+        mismatched.append("history.outer_errors")
+    if fresh.timings.systems_solved != stored.timings.systems_solved:
+        mismatched.append("timings.systems_solved")
+    if mismatched:
+        return "mismatch in " + ", ".join(mismatched), worst
+    return "", None
+
+
+def check_goldens(
+    cases: tuple[GoldenCase, ...] | None = None,
+    golden_dir: str | Path | None = None,
+) -> GoldenReport:
+    """Re-run every blessed case and compare against the stored record.
+
+    The comparison is *exact* (``np.array_equal`` on the flux, cell-average
+    and leakage arrays, list equality on the iteration history): a 1-ulp
+    perturbation anywhere fails the case.  Records in the store that belong
+    to no case are reported as ``stale_keys`` and fail the suite -- the
+    golden directory is curated, not append-only.
+    """
+    cases = default_golden_cases() if cases is None else tuple(cases)
+    root = Path(default_golden_dir() if golden_dir is None else golden_dir)
+    store = ResultStore(root)
+    results: list[GoldenCaseResult] = []
+    for case in cases:
+        try:
+            stored = store.get(case.spec, case.options)
+        except ValueError as exc:
+            # A damaged record is a failing case, not a crashed suite: the
+            # report (and its JSON export) still covers every other case.
+            results.append(
+                GoldenCaseResult(name=case.name, status="corrupt", detail=str(exc))
+            )
+            continue
+        if stored is None:
+            results.append(
+                GoldenCaseResult(
+                    name=case.name,
+                    status="missing",
+                    detail="no blessed record; run `unsnap verify --suite golden "
+                    "--update-golden` to bless",
+                )
+            )
+            continue
+        fresh = normalise_result(run(case.spec, **case.options))
+        detail, deviation = _compare(fresh, stored)
+        if detail:
+            results.append(
+                GoldenCaseResult(
+                    name=case.name,
+                    status="mismatch",
+                    detail=detail,
+                    max_deviation=deviation,
+                )
+            )
+        else:
+            results.append(GoldenCaseResult(name=case.name, status="match"))
+    stale = tuple(sorted(set(store.keys()) - {case.key for case in cases}))
+    return GoldenReport(golden_dir=str(root), results=tuple(results), stale_keys=stale)

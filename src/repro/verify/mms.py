@@ -1,0 +1,360 @@
+"""Method-of-manufactured-solutions convergence-order verification.
+
+A manufactured solution turns "the numbers look right" into a measurable
+contract: pick a smooth angular flux ``psi(x, Omega) = u(x)`` that vanishes
+on the domain boundary (so the vacuum boundary condition is exact), inject
+the per-ordinate source the transport equation demands of it,
+
+.. math::
+
+    q_a(x) = \\Omega_a \\cdot \\nabla u + \\sigma_t u
+    \\qquad (\\sigma_s = 0),
+
+and measure the L2 error of the computed scalar flux against the analytic
+``u`` on a sequence of refined meshes.  The error must shrink at the
+discretisation's theoretical order -- 2 for the diamond-difference FD
+baseline and ``p + 1`` for order-``p`` DG finite elements -- and
+:func:`estimate_order` asserts exactly that, refining the mesh through a
+:class:`repro.campaign.Study` so the refinement axis is ordinary campaign
+machinery.
+
+The per-ordinate source rides the ``angular_source`` hook threaded through
+:func:`repro.run` / :meth:`SweepExecutor.sweep
+<repro.core.sweep.SweepExecutor.sweep>` (FEM) and
+:class:`~repro.baseline.snap_fd.SnapDiamondDifferenceSolver` (FD), so every
+registered sweep engine and local solver runs MMS problems unchanged -- a
+new engine inherits the order check for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..angular.quadrature import snap_dummy_quadrature
+from ..baseline.snap_fd import SnapDiamondDifferenceSolver
+from ..campaign.study import Study
+from ..config import ProblemSpec
+from ..fem.element import HexElementFactors, trilinear_shape
+from ..fem.reference import ReferenceElement
+from ..materials.library import snap_option1_materials
+from ..mesh.builder import StructuredGridSpec, build_snap_mesh
+from ..runner import run
+
+__all__ = [
+    "ManufacturedField",
+    "FemMMSProblem",
+    "FdMMSProblem",
+    "OrderEstimate",
+    "estimate_order",
+    "default_problems",
+    "MMS_ORDER_TOLERANCE",
+]
+
+#: Acceptance band on ``|observed - theoretical|`` convergence order.
+MMS_ORDER_TOLERANCE = 0.2
+
+
+@dataclass(frozen=True)
+class ManufacturedField:
+    """The manufactured scalar field ``u(x) = prod_d sin(pi x_d / L_d)``.
+
+    Smooth everywhere and zero on the boundary of ``[0, lx] x [0, ly] x
+    [0, lz]``, so the vacuum boundary condition holds exactly and no
+    characteristic kinks (which would degrade the observed order) enter the
+    domain.
+    """
+
+    extents: tuple[float, float, float] = (1.0, 1.0, 1.0)
+
+    def value(self, xyz: np.ndarray) -> np.ndarray:
+        """``u`` at points of shape ``(..., 3)``."""
+        k = np.pi / np.asarray(self.extents)
+        return np.prod(np.sin(k * xyz), axis=-1)
+
+    def gradient(self, xyz: np.ndarray) -> np.ndarray:
+        """``grad u`` at points of shape ``(..., 3)`` (same shape out)."""
+        k = np.pi / np.asarray(self.extents)
+        s = np.sin(k * xyz)
+        c = np.cos(k * xyz)
+        grad = np.empty_like(np.asarray(xyz, dtype=float))
+        grad[..., 0] = k[0] * c[..., 0] * s[..., 1] * s[..., 2]
+        grad[..., 1] = k[1] * s[..., 0] * c[..., 1] * s[..., 2]
+        grad[..., 2] = k[2] * s[..., 0] * s[..., 1] * c[..., 2]
+        return grad
+
+    def angular_source(
+        self, xyz: np.ndarray, directions: np.ndarray, sigma_t: np.ndarray
+    ) -> np.ndarray:
+        """``q_a = Omega_a . grad u + sigma_t[g] u`` for every ordinate/group.
+
+        ``xyz`` has shape ``(..., 3)``; the result has shape
+        ``(A, ..., G)`` for ``A`` directions and ``G`` groups.
+        """
+        u = self.value(xyz)
+        grad = self.gradient(xyz)
+        streaming = np.einsum("ad,...d->a...", np.asarray(directions), grad)
+        sigma_t = np.asarray(sigma_t, dtype=float)
+        return streaming[..., None] + sigma_t * u[None, ..., None]
+
+
+def _pure_absorber_spec(spec: ProblemSpec) -> ProblemSpec:
+    """Restrict a spec to the exactly-solvable MMS configuration."""
+    return spec.with_(
+        scattering_ratio=0.0,
+        source_strength=0.0,
+        num_inners=1,
+        num_outers=1,
+        inner_tolerance=0.0,
+        outer_tolerance=0.0,
+    )
+
+
+@dataclass(frozen=True)
+class FemMMSProblem:
+    """Manufactured-solution problem for the DGFEM discretisation.
+
+    With ``sigma_s = 0`` the transport equation decouples per angle and the
+    single sweep of a 1-inner/1-outer solve *is* the exact discrete
+    solution, so the measured error is pure discretisation error.  The L2
+    norm is evaluated at the volume quadrature points (not the nodes, whose
+    error superconverges), so the theoretical order is the textbook
+    ``p + 1``.
+    """
+
+    order: int = 1
+    angles_per_octant: int = 1
+    engine: str = "vectorized"
+    solver: str = "ge"
+    field: ManufacturedField = ManufacturedField()
+
+    @property
+    def name(self) -> str:
+        return f"mms-fem-p{self.order}"
+
+    @property
+    def discretisation(self) -> str:
+        return "fem"
+
+    @property
+    def theoretical_order(self) -> float:
+        return float(self.order + 1)
+
+    @property
+    def resolutions(self) -> tuple[int, ...]:
+        # Coarser meshes suffice at higher order (the error floor arrives
+        # sooner and cubic elements are expensive).
+        return (4, 6, 8) if self.order == 1 else (2, 3, 4)
+
+    def base_spec(self) -> ProblemSpec:
+        return _pure_absorber_spec(
+            ProblemSpec(
+                nx=self.resolutions[0],
+                ny=self.resolutions[0],
+                nz=self.resolutions[0],
+                order=self.order,
+                angles_per_octant=self.angles_per_octant,
+                num_groups=1,
+                max_twist=0.0,
+                engine=self.engine,
+                solver=self.solver,
+            )
+        )
+
+    def refinement_study(self, resolutions: tuple[int, ...]) -> Study:
+        res = list(resolutions)
+        return Study.zip(self.base_spec(), nx=res, ny=res, nz=res, name=self.name)
+
+    def solve_error(self, spec: ProblemSpec) -> float:
+        """L2 error of the computed scalar flux on one mesh of the sequence."""
+        mesh = build_snap_mesh(
+            StructuredGridSpec(spec.nx, spec.ny, spec.nz, spec.lx, spec.ly, spec.lz),
+            max_twist=spec.max_twist,
+            twist_axis=spec.twist_axis,
+        )
+        ref = ReferenceElement(spec.order)
+        factors = HexElementFactors.build(mesh.cell_vertices(), ref)
+        verts = mesh.cell_vertices()  # (E, 8, 3)
+        quadrature = snap_dummy_quadrature(spec.angles_per_octant)
+        sigma_t = snap_option1_materials(spec.num_groups, spec.scattering_ratio).sigma_t
+
+        # Per-ordinate manufactured source at the element nodes, (A, E, G, N).
+        node_xyz = np.einsum("nv,evd->end", trilinear_shape(ref.basis.node_coords), verts)
+        source = self.field.angular_source(node_xyz, quadrature.directions, sigma_t)
+        angular_source = np.moveaxis(source, -1, 2)  # (A, E, N, G) -> (A, E, G, N)
+
+        result = run(spec, angular_source=angular_source)
+
+        # True L2 error at the volume quadrature points of every element.
+        quad_xyz = np.einsum("qv,evd->eqd", trilinear_shape(ref.volume_rule.points), verts)
+        exact = self.field.value(quad_xyz)  # (E, Q)
+        err2 = 0.0
+        for g in range(spec.num_groups):
+            computed = np.einsum("qn,en->eq", ref.phi_vol, result.scalar_flux[:, g, :])
+            err2 += float(np.einsum("eq,eq->", factors.vol_weights, (computed - exact) ** 2))
+        return float(np.sqrt(err2))
+
+
+@dataclass(frozen=True)
+class FdMMSProblem:
+    """Manufactured-solution problem for the diamond-difference FD baseline.
+
+    The cell-centred update is second-order accurate for smooth solutions;
+    the error is measured in the cell-centred discrete L2 norm against the
+    manufactured field at the cell centres.
+    """
+
+    angles_per_octant: int = 1
+    field: ManufacturedField = ManufacturedField()
+
+    @property
+    def name(self) -> str:
+        return "mms-fd"
+
+    @property
+    def discretisation(self) -> str:
+        return "fd"
+
+    @property
+    def theoretical_order(self) -> float:
+        return 2.0
+
+    @property
+    def resolutions(self) -> tuple[int, ...]:
+        return (8, 16, 32)
+
+    def base_spec(self) -> ProblemSpec:
+        return _pure_absorber_spec(
+            ProblemSpec(
+                nx=self.resolutions[0],
+                ny=self.resolutions[0],
+                nz=self.resolutions[0],
+                angles_per_octant=self.angles_per_octant,
+                num_groups=1,
+                max_twist=0.0,
+            )
+        )
+
+    def refinement_study(self, resolutions: tuple[int, ...]) -> Study:
+        res = list(resolutions)
+        return Study.zip(self.base_spec(), nx=res, ny=res, nz=res, name=self.name)
+
+    def solve_error(self, spec: ProblemSpec) -> float:
+        quadrature = snap_dummy_quadrature(spec.angles_per_octant)
+        xs = snap_option1_materials(spec.num_groups, spec.scattering_ratio)
+        dx, dy, dz = spec.lx / spec.nx, spec.ly / spec.ny, spec.lz / spec.nz
+        centres = np.stack(
+            np.meshgrid(
+                (np.arange(spec.nx) + 0.5) * dx,
+                (np.arange(spec.ny) + 0.5) * dy,
+                (np.arange(spec.nz) + 0.5) * dz,
+                indexing="ij",
+            ),
+            axis=-1,
+        )  # (nx, ny, nz, 3)
+        angular_source = self.field.angular_source(
+            centres, quadrature.directions, xs.sigma_t
+        )  # (A, nx, ny, nz, G)
+
+        fd = SnapDiamondDifferenceSolver(
+            spec.nx, spec.ny, spec.nz,
+            lx=spec.lx, ly=spec.ly, lz=spec.lz,
+            cross_sections=xs,
+            quadrature=quadrature,
+            source_strength=spec.source_strength,
+            num_inners=spec.num_inners,
+            num_outers=spec.num_outers,
+            angular_source=angular_source,
+        )
+        result = fd.solve()
+        exact = self.field.value(centres)  # (nx, ny, nz)
+        err2 = float(
+            np.sum((result.scalar_flux - exact[..., None]) ** 2) * dx * dy * dz
+        )
+        return float(np.sqrt(err2))
+
+
+@dataclass(frozen=True)
+class OrderEstimate:
+    """Outcome of one convergence-order study.
+
+    ``observed_order`` is the finest-pair estimate (the closest to the
+    asymptotic regime); ``fitted_order`` is the least-squares slope of
+    ``log(error)`` against ``log(h)`` over the whole sequence, reported for
+    context.
+    """
+
+    problem: str
+    discretisation: str
+    theoretical_order: float
+    resolutions: tuple[int, ...]
+    cell_sizes: tuple[float, ...]
+    errors: tuple[float, ...]
+    pairwise_orders: tuple[float, ...]
+    observed_order: float
+    fitted_order: float
+    tolerance: float = MMS_ORDER_TOLERANCE
+
+    @property
+    def passed(self) -> bool:
+        return abs(self.observed_order - self.theoretical_order) <= self.tolerance
+
+    def to_dict(self) -> dict:
+        return {
+            "problem": self.problem,
+            "discretisation": self.discretisation,
+            "theoretical_order": self.theoretical_order,
+            "resolutions": list(self.resolutions),
+            "cell_sizes": list(self.cell_sizes),
+            "errors": list(self.errors),
+            "pairwise_orders": list(self.pairwise_orders),
+            "observed_order": self.observed_order,
+            "fitted_order": self.fitted_order,
+            "tolerance": self.tolerance,
+            "passed": self.passed,
+        }
+
+
+def estimate_order(problem, resolutions=None, tolerance: float = MMS_ORDER_TOLERANCE):
+    """Run a mesh-refinement study and estimate the convergence order.
+
+    The refinement axis is built by the problem as a
+    :class:`repro.campaign.Study` (``Study.zip`` over ``nx``/``ny``/``nz``),
+    so the sequence of specs flows through the same machinery as any other
+    campaign; each point is solved by the problem's ``solve_error`` and the
+    observed order is the finest-pair slope of ``log(error)`` vs ``log(h)``.
+    """
+    resolutions = tuple(resolutions if resolutions is not None else problem.resolutions)
+    if len(resolutions) < 2:
+        raise ValueError("estimate_order needs at least two mesh resolutions")
+    if sorted(resolutions) != list(resolutions) or len(set(resolutions)) != len(resolutions):
+        raise ValueError(f"resolutions must be strictly increasing, got {resolutions}")
+
+    study = problem.refinement_study(resolutions)
+    points = study.runs()
+    errors = [problem.solve_error(point.spec) for point in points]
+    cell_sizes = [point.spec.lx / point.spec.nx for point in points]
+
+    pairwise = [
+        float(np.log(errors[i] / errors[i + 1]) / np.log(cell_sizes[i] / cell_sizes[i + 1]))
+        for i in range(len(errors) - 1)
+    ]
+    fitted = float(np.polyfit(np.log(cell_sizes), np.log(errors), 1)[0])
+    return OrderEstimate(
+        problem=problem.name,
+        discretisation=problem.discretisation,
+        theoretical_order=float(problem.theoretical_order),
+        resolutions=resolutions,
+        cell_sizes=tuple(float(h) for h in cell_sizes),
+        errors=tuple(float(e) for e in errors),
+        pairwise_orders=tuple(pairwise),
+        observed_order=pairwise[-1],
+        fitted_order=fitted,
+        tolerance=float(tolerance),
+    )
+
+
+def default_problems() -> tuple:
+    """The MMS problems run by ``unsnap verify --suite mms``."""
+    return (FemMMSProblem(order=1), FemMMSProblem(order=2), FdMMSProblem())

@@ -1,0 +1,124 @@
+"""The verification suite facade: ``repro.verify.run_suite()``.
+
+Bundles the three pillars -- manufactured-solution order checks
+(:mod:`.mms`), the cross-engine conformance matrix (:mod:`.conformance`)
+and the golden regression store (:mod:`.golden`) -- behind one call with a
+JSON-ready report, mirroring how :func:`repro.run` fronts the solvers and
+:func:`repro.run_study` fronts the campaign machinery.  The ``unsnap
+verify`` CLI and the CI ``verify`` job are thin wrappers over this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from .conformance import ConformanceReport, conformance_matrix
+from .golden import GoldenReport, bless_goldens, check_goldens
+from .mms import OrderEstimate, default_problems, estimate_order
+
+__all__ = ["SUITES", "VerificationReport", "run_suite"]
+
+#: The suite names accepted by :func:`run_suite` and ``unsnap verify --suite``.
+SUITES = ("mms", "conformance", "golden")
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Combined outcome of the requested verification suites.
+
+    A suite that was not requested is ``None`` and does not influence
+    :attr:`passed`.
+    """
+
+    mms: tuple[OrderEstimate, ...] | None = None
+    conformance: ConformanceReport | None = None
+    golden: GoldenReport | None = None
+    blessed: dict | None = None
+
+    @property
+    def passed(self) -> bool:
+        if self.mms is not None and not all(e.passed for e in self.mms):
+            return False
+        if self.conformance is not None and not self.conformance.passed:
+            return False
+        if self.golden is not None and not self.golden.passed:
+            return False
+        return True
+
+    def to_dict(self) -> dict:
+        data: dict = {"passed": self.passed}
+        if self.mms is not None:
+            data["mms"] = [estimate.to_dict() for estimate in self.mms]
+        if self.conformance is not None:
+            data["conformance"] = self.conformance.to_dict()
+        if self.golden is not None:
+            data["golden"] = self.golden.to_dict()
+        if self.blessed is not None:
+            data["blessed"] = {name: str(path) for name, path in self.blessed.items()}
+        return data
+
+
+def run_suite(
+    suites: tuple[str, ...] | list[str] = SUITES,
+    *,
+    update_golden: bool = False,
+    golden_dir: str | Path | None = None,
+    mms_problems=None,
+    conformance_spec=None,
+    jobs: int | None = None,
+) -> VerificationReport:
+    """Run the requested verification suites and return the combined report.
+
+    Parameters
+    ----------
+    suites:
+        Any subset of :data:`SUITES`; order is irrelevant.
+    update_golden:
+        Re-bless the golden store before checking it.  The check then runs
+        every case a second time against the records just written -- a
+        deliberate run-to-run determinism gate at exactly the moment a new
+        blessing is minted.  Requires the golden suite to be requested
+        (silently blessing nothing would be worse than an error).
+    golden_dir:
+        Golden store location; defaults to the repository's
+        ``tests/golden/`` (see :func:`.golden.default_golden_dir`).
+    mms_problems:
+        MMS problem instances; defaults to :func:`.mms.default_problems`.
+    conformance_spec:
+        Canonical conformance problem override.
+    jobs:
+        Worker cap forwarded to the conformance matrix's backends.
+    """
+    requested = {suite.lower() for suite in suites}
+    unknown = requested - set(SUITES)
+    if unknown:
+        raise ValueError(f"unknown verification suite(s) {sorted(unknown)}; valid: {SUITES}")
+    if update_golden and "golden" not in requested:
+        raise ValueError(
+            "update_golden=True but the golden suite was not requested; "
+            "add 'golden' to the suites (CLI: --suite golden --update-golden)"
+        )
+
+    mms_result = None
+    if "mms" in requested:
+        problems = default_problems() if mms_problems is None else tuple(mms_problems)
+        mms_result = tuple(estimate_order(problem) for problem in problems)
+
+    conformance_result = None
+    if "conformance" in requested:
+        conformance_result = conformance_matrix(conformance_spec, jobs=jobs)
+
+    golden_result = None
+    blessed = None
+    if "golden" in requested:
+        if update_golden:
+            blessed = bless_goldens(golden_dir=golden_dir)
+        golden_result = check_goldens(golden_dir=golden_dir)
+
+    return VerificationReport(
+        mms=mms_result,
+        conformance=conformance_result,
+        golden=golden_result,
+        blessed=blessed,
+    )

@@ -1,6 +1,7 @@
 """Tests for the content-hashed ResultStore and study resumability."""
 
 import json
+from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 import pytest
@@ -76,6 +77,99 @@ class TestResultStore:
         spec, options, result = specs_and_results[0]
         assert spec == BASE and options == {"num_threads": 2}
         assert result.scalar_flux.shape == (27, 2, 8)
+
+
+class TestDamagedRecords:
+    """A store directory is a long-lived artifact: damage must fail loudly."""
+
+    def test_corrupted_json_names_the_file_and_suggests_recovery(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put(BASE, repro.run(BASE))
+        path.write_text('{"format": "unsnap-run-v1", "result": {{{ garbage')
+        with pytest.raises(ValueError, match="not valid JSON") as excinfo:
+            store.get(BASE)
+        assert path.name in str(excinfo.value)
+        assert "delete it" in str(excinfo.value)
+
+    def test_truncated_record_is_reported_as_corrupt(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put(BASE, repro.run(BASE))
+        content = path.read_text()
+        path.write_text(content[: len(content) // 2])
+        with pytest.raises(ValueError, match="not valid JSON"):
+            store.get(BASE)
+        with pytest.raises(ValueError, match="corrupt"):
+            store.results()
+
+    def test_empty_file_is_reported_as_corrupt(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put(BASE, repro.run(BASE))
+        path.write_text("")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            store.get(BASE)
+
+    def test_wrong_format_marker_is_rejected_with_both_formats_named(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put(BASE, repro.run(BASE))
+        record = json.loads(path.read_text())
+        record["format"] = "unsnap-run-v999"
+        path.write_text(json.dumps(record))
+        with pytest.raises(ValueError, match="unsnap-run-v999") as excinfo:
+            store.get(BASE)
+        assert "unsnap-run-v1" in str(excinfo.value)
+
+    def test_non_dict_json_is_rejected_as_foreign(self, tmp_path):
+        store = ResultStore(tmp_path)
+        (tmp_path / f"{run_key(BASE)}.json").write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="not a result-store record"):
+            store.get(BASE)
+
+
+class TestConcurrentWriters:
+    """The atomic publish (unique temp + rename) must survive racing writers."""
+
+    def test_racing_writers_of_the_same_run_leave_one_complete_record(self, tmp_path):
+        store = ResultStore(tmp_path)
+        result = repro.run(BASE)
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            paths = list(pool.map(lambda _: store.put(BASE, result), range(16)))
+        assert len({p.name for p in paths}) == 1
+        assert len(store) == 1
+        assert list(tmp_path.glob("*.tmp")) == []
+        loaded = store.get(BASE)
+        np.testing.assert_array_equal(loaded.scalar_flux, result.scalar_flux)
+
+    def test_racing_writers_of_distinct_runs_all_publish(self, tmp_path):
+        store = ResultStore(tmp_path)
+        specs = [BASE.with_(nx=n) for n in (2, 3, 4, 5)]
+        results = {spec: repro.run(spec) for spec in specs}
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(lambda s: store.put(s, results[s]), specs * 4))
+        assert len(store) == len(specs)
+        assert list(tmp_path.glob("*.tmp")) == []
+        for spec in specs:
+            np.testing.assert_array_equal(
+                store.get(spec).scalar_flux, results[spec].scalar_flux
+            )
+
+    def test_concurrent_writers_and_readers_never_see_partial_records(self, tmp_path):
+        # Readers either miss (pre-publish) or read a complete record --
+        # never a half-written file, thanks to the rename publish.
+        store = ResultStore(tmp_path)
+        result = repro.run(BASE)
+        observations = []
+
+        def reader(_):
+            hit = store.get(BASE)
+            observations.append(hit is not None)
+            return hit
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            writes = [pool.submit(store.put, BASE, result) for _ in range(8)]
+            reads = [pool.submit(reader, i) for i in range(24)]
+            for future in writes + reads:
+                future.result()  # raises if any reader saw a partial record
+        assert len(store) == 1
 
 
 class _ExplodingBackend:

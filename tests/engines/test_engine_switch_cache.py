@@ -1,0 +1,144 @@
+"""Regression tests: factor-cache lifecycle when an engine or solver is
+switched on a *reused* SweepExecutor.
+
+The prefactorized engine memoises LU factors (and interior couplings) on
+``SweepExecutor.factor_cache``.  Those entries were produced by one
+(engine, solver) pair: rebinding either on a reused executor without
+invalidating the cache would silently replay stale factorisations -- the
+cross-solver case is the nastiest, because the ``ge`` and ``lapack`` packed
+formats are shape-compatible and would decode to *plausible but wrong*
+numbers.  ``set_engine``/``set_solver`` (and plain attribute assignment,
+which routes through them) invalidate the cache on any actual change.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.config import ProblemSpec
+from repro.core.solver import TransportSolver
+from repro.engines import get_engine, register_engine, unregister_engine
+
+SPEC = ProblemSpec(
+    nx=3, ny=3, nz=3, angles_per_octant=2, num_groups=2, max_twist=0.001,
+    num_inners=2, engine="prefactorized",
+)
+
+
+def _fresh_flux(spec: ProblemSpec) -> np.ndarray:
+    return repro.run(spec).scalar_flux
+
+
+class TestEngineSwitch:
+    def test_switching_engines_clears_the_cache_and_matches_fresh_runs(self):
+        ts = TransportSolver(SPEC)
+        first = ts.solve().scalar_flux
+        assert ts.executor.factor_cache  # prefactorized populated it
+        np.testing.assert_array_equal(first, _fresh_flux(SPEC))
+
+        ts.set_engine("vectorized")
+        assert not ts.executor.factor_cache
+        switched = ts.solve().scalar_flux
+        np.testing.assert_array_equal(switched, _fresh_flux(SPEC.with_(engine="vectorized")))
+
+    def test_switching_back_refactorises_instead_of_reusing_stale_entries(self):
+        ts = TransportSolver(SPEC)
+        epoch0 = ts.executor.factor_epoch
+        ts.solve()
+        ts.set_engine("reference")
+        ts.set_engine("prefactorized")
+        assert ts.executor.factor_epoch == epoch0 + 2
+        assert not ts.executor.factor_cache
+        np.testing.assert_array_equal(ts.solve().scalar_flux, _fresh_flux(SPEC))
+
+    def test_attribute_assignment_goes_through_the_same_invalidation(self):
+        ts = TransportSolver(SPEC)
+        ts.solve()
+        assert ts.executor.factor_cache
+        ts.executor.engine = "vectorized"  # property setter -> set_engine
+        assert not ts.executor.factor_cache
+        assert ts.executor.engine is get_engine("vectorized")
+
+    def test_reassigning_the_same_engine_keeps_the_cache_warm(self):
+        ts = TransportSolver(SPEC)
+        ts.solve()
+        cached = dict(ts.executor.factor_cache)
+        assert cached
+        ts.executor.set_engine("prefactorized")
+        ts.executor.engine = get_engine("prefactorized")
+        assert set(ts.executor.factor_cache) == set(cached)
+        assert all(ts.executor.factor_cache[k] is v for k, v in cached.items())
+
+    def test_outgoing_engine_hook_is_the_one_notified(self):
+        events = []
+
+        class _HookedEngine:
+            """Test double recording invalidation order."""
+
+            def sweep_angle(self, executor, angle, total_source, bv, incident, timings):
+                return get_engine("vectorized").sweep_angle(
+                    executor, angle, total_source, bv, incident, timings
+                )
+
+            def invalidate_cache(self, executor):
+                events.append("old-engine-hook")
+
+        register_engine("hooked-for-test")(_HookedEngine())
+        try:
+            ts = TransportSolver(SPEC.with_(engine="hooked-for-test"))
+            ts.solve()
+            ts.executor.set_engine("reference")
+            assert events == ["old-engine-hook"]
+        finally:
+            unregister_engine("hooked-for-test")
+
+
+class TestSolverSwitch:
+    def test_switching_solvers_invalidates_cached_factorisations(self):
+        # Without invalidation the second solve would back-substitute
+        # lapack's rhs through ge's cached factors (the packed formats are
+        # shape-compatible) and produce subtly different numbers than a
+        # fresh prefactorized+lapack run.
+        ts = TransportSolver(SPEC)
+        ts.solve()
+        assert ts.executor.factor_cache
+        ts.executor.set_solver("lapack")
+        assert not ts.executor.factor_cache
+        switched = ts.solve().scalar_flux
+        np.testing.assert_array_equal(switched, _fresh_flux(SPEC.with_(solver="lapack")))
+
+    def test_reassigning_the_same_solver_keeps_the_cache_warm(self):
+        ts = TransportSolver(SPEC)
+        ts.solve()
+        cached = dict(ts.executor.factor_cache)
+        ts.executor.solver = "ge"
+        assert set(ts.executor.factor_cache) == set(cached)
+        assert all(ts.executor.factor_cache[k] is v for k, v in cached.items())
+
+
+class TestCacheKeying:
+    def test_prefactorized_entries_are_namespaced_by_registered_name(self):
+        ts = TransportSolver(SPEC)
+        ts.solve()
+        assert ts.executor.factor_cache
+        assert all(key[0] == "prefactorized" for key in ts.executor.factor_cache)
+
+    def test_mid_run_material_update_still_invalidates(self):
+        # The pre-existing lifecycle must survive the switch machinery.
+        from repro.materials.library import snap_option1_library
+
+        ts = TransportSolver(SPEC)
+        ts.solve()
+        assert ts.executor.factor_cache
+        ts.update_materials(snap_option1_library(SPEC.num_groups, 0.3))
+        assert not ts.executor.factor_cache
+
+    def test_unknown_engine_name_is_rejected_without_touching_the_cache(self):
+        ts = TransportSolver(SPEC)
+        ts.solve()
+        cached = dict(ts.executor.factor_cache)
+        with pytest.raises(KeyError, match="unknown engine"):
+            ts.executor.set_engine("no-such-engine")
+        assert set(ts.executor.factor_cache) == set(cached)
+        assert all(ts.executor.factor_cache[k] is v for k, v in cached.items())
+        assert ts.executor.engine is get_engine("prefactorized")

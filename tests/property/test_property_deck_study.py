@@ -1,0 +1,223 @@
+"""Property-based tests (hypothesis): input-deck round-trips and Study axes."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.campaign.study import RUN_OPTION_KEYS, Study
+from repro.config import ProblemSpec
+from repro.input_deck import loads, parse_axis_option, spec_to_deck
+
+# ------------------------------------------------------------------ strategies
+#: Floats that survive a text round-trip losslessly (repr -> float is exact
+#: for finite doubles; NaN/inf are rejected by the spec anyway).
+finite_floats = st.floats(
+    min_value=0.01, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+tolerances = st.floats(min_value=0.0, max_value=0.1, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def problem_specs(draw):
+    """Arbitrary valid specs restricted to what a deck can express.
+
+    ``spec_to_deck`` writes one ``epsi`` key for both tolerances (SNAP's
+    convention), so the spec is built with equal inner/outer tolerances;
+    the boundary condition has no deck key and stays default.
+    """
+    nx = draw(st.integers(min_value=1, max_value=12))
+    ny = draw(st.integers(min_value=1, max_value=12))
+    tol = draw(tolerances)
+    return ProblemSpec(
+        nx=nx,
+        ny=ny,
+        nz=draw(st.integers(min_value=1, max_value=12)),
+        lx=draw(finite_floats),
+        ly=draw(finite_floats),
+        lz=draw(finite_floats),
+        max_twist=draw(st.floats(min_value=0.0, max_value=0.05, allow_nan=False)),
+        twist_axis=draw(st.sampled_from(("x", "y", "z"))),
+        order=draw(st.integers(min_value=1, max_value=4)),
+        angles_per_octant=draw(st.integers(min_value=1, max_value=12)),
+        num_groups=draw(st.integers(min_value=1, max_value=16)),
+        scattering_ratio=draw(
+            st.floats(min_value=0.0, max_value=0.99, allow_nan=False)
+        ),
+        source_strength=draw(finite_floats),
+        num_inners=draw(st.integers(min_value=1, max_value=20)),
+        num_outers=draw(st.integers(min_value=1, max_value=20)),
+        inner_tolerance=tol,
+        outer_tolerance=tol,
+        solver=draw(st.sampled_from(("ge", "lapack"))),
+        engine=draw(st.sampled_from(("reference", "vectorized", "prefactorized"))),
+        octant_parallel=draw(st.booleans()),
+        npex=draw(st.integers(min_value=1, max_value=nx)),
+        npey=draw(st.integers(min_value=1, max_value=ny)),
+    )
+
+
+# ------------------------------------------------------------- deck round-trip
+class TestDeckRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(spec=problem_specs())
+    def test_parse_dump_parse_is_the_identity(self, spec):
+        assert loads(spec_to_deck(spec)) == spec
+
+    @settings(max_examples=30, deadline=None)
+    @given(spec=problem_specs())
+    def test_dump_is_stable_under_one_round_trip(self, spec):
+        text = spec_to_deck(spec)
+        assert spec_to_deck(loads(text)) == text
+
+
+# ----------------------------------------------------------------- study axes
+#: Pool of (axis key, value strategy) with correct spec-field typing; sizes
+#: stay small so grids don't explode.
+AXIS_POOL = {
+    "nx": st.integers(min_value=1, max_value=6),
+    "order": st.integers(min_value=1, max_value=3),
+    "num_groups": st.integers(min_value=1, max_value=8),
+    "scattering_ratio": st.floats(min_value=0.0, max_value=0.9, allow_nan=False),
+    "engine": st.sampled_from(("reference", "vectorized", "prefactorized")),
+    "solver": st.sampled_from(("ge", "lapack")),
+    "octant_parallel": st.booleans(),
+    "num_threads": st.integers(min_value=1, max_value=4),
+}
+
+
+#: Upper bound on unique values drawable per axis (finite domains).
+AXIS_CARDINALITY = {"engine": 3, "solver": 2, "octant_parallel": 2}
+
+
+@st.composite
+def axis_mappings(draw, min_axes=1, max_axes=3, equal_lengths=False):
+    names = draw(
+        st.lists(
+            st.sampled_from(sorted(AXIS_POOL)),
+            min_size=min_axes,
+            max_size=max_axes,
+            unique=True,
+        )
+    )
+    cap = min(AXIS_CARDINALITY.get(name, 3) for name in names)
+    if equal_lengths:
+        length = draw(st.integers(min_value=1, max_value=cap))
+        sizes = {name: length for name in names}
+    else:
+        sizes = {
+            name: draw(
+                st.integers(min_value=1, max_value=min(3, AXIS_CARDINALITY.get(name, 3)))
+            )
+            for name in names
+        }
+    return {
+        name: draw(
+            st.lists(
+                AXIS_POOL[name], min_size=sizes[name], max_size=sizes[name], unique=True
+            )
+        )
+        for name in names
+    }
+
+
+BASE = ProblemSpec(nx=6, ny=6, nz=6)
+
+
+class TestStudyGrid:
+    @settings(max_examples=50, deadline=None)
+    @given(axes=axis_mappings())
+    def test_grid_is_the_full_cartesian_product_in_declaration_order(self, axes):
+        study = Study.grid(BASE, **axes)
+        assert len(study) == math.prod(len(v) for v in axes.values())
+        assert study.axis_names == list(axes)
+        # Last axis varies fastest: the first len(last) points differ only
+        # in the last axis.
+        last = list(axes)[-1]
+        head = study.points[: len(axes[last])]
+        assert [p[last] for p in head] == list(axes[last])
+        for other in list(axes)[:-1]:
+            assert len({p[other] for p in head}) == 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(axes=axis_mappings())
+    def test_every_point_resolves_with_correct_field_typing(self, axes):
+        for point in Study.grid(BASE, **axes).runs():
+            for key, value in point.axes.items():
+                if key in RUN_OPTION_KEYS:
+                    assert point.run_options[key] == value
+                    assert not hasattr(point.spec, key)
+                else:
+                    resolved = getattr(point.spec, key)
+                    assert resolved == value
+                    assert type(resolved) is type(value)
+            untouched = set(ProblemSpec.__dataclass_fields__) - set(point.axes)
+            for field_name in untouched:
+                assert getattr(point.spec, field_name) == getattr(BASE, field_name)
+
+    @settings(max_examples=40, deadline=None)
+    @given(axes=axis_mappings())
+    def test_axis_values_preserve_first_appearance_order(self, axes):
+        study = Study.grid(BASE, **axes)
+        for name, values in axes.items():
+            assert study.axis_values(name) == list(values)
+
+
+class TestStudyZip:
+    @settings(max_examples=50, deadline=None)
+    @given(axes=axis_mappings(min_axes=2, equal_lengths=True))
+    def test_zip_pairs_positionally(self, axes):
+        study = Study.zip(BASE, **axes)
+        lengths = {len(v) for v in axes.values()}
+        assert len(study) == lengths.pop()
+        for i, point in enumerate(study.points):
+            assert point == {name: values[i] for name, values in axes.items()}
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        axes=axis_mappings(min_axes=2, max_axes=2, equal_lengths=True),
+        extra=st.integers(min_value=1, max_value=3),
+    )
+    def test_zip_rejects_unequal_lengths(self, axes, extra):
+        names = list(axes)
+        axes[names[0]] = axes[names[0]] + [axes[names[0]][0]] * extra
+        with pytest.raises(ValueError, match="equal lengths"):
+            Study.zip(BASE, **axes)
+
+    @settings(max_examples=30, deadline=None)
+    @given(name=st.text(min_size=1, max_size=12).filter(lambda s: s.strip()))
+    def test_unknown_axis_keys_are_rejected_by_name(self, name):
+        if name in set(AXIS_POOL) | set(ProblemSpec.__dataclass_fields__):
+            return
+        with pytest.raises(KeyError):
+            Study.grid(BASE, **{name: [1]})
+
+
+class TestAxisOptionTyping:
+    @settings(max_examples=40, deadline=None)
+    @given(values=st.lists(st.integers(min_value=1, max_value=9), min_size=1, max_size=4))
+    def test_cli_axis_integers_parse_as_ints(self, values):
+        field, parsed = parse_axis_option("order=" + ",".join(str(v) for v in values))
+        assert field == "order"
+        assert parsed == values and all(type(v) is int for v in parsed)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=0.9, allow_nan=False).map(
+                lambda x: round(x, 6)
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_cli_axis_floats_parse_as_floats(self, values):
+        field, parsed = parse_axis_option(
+            "scattering_ratio=" + ",".join(repr(v) for v in values)
+        )
+        assert field == "scattering_ratio"
+        assert parsed == values and all(type(v) is float for v in parsed)
+
+    def test_deck_alias_and_field_name_agree(self):
+        assert parse_axis_option("ng=2,4") == parse_axis_option("num_groups=2,4")
+        assert parse_axis_option("nthreads=1,2") == parse_axis_option("num_threads=1,2")

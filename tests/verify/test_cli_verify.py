@@ -1,0 +1,63 @@
+"""CLI surface tests for ``unsnap verify``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestVerifyCommand:
+    def test_golden_suite_against_the_committed_store(self, capsys):
+        assert main(["verify", "--suite", "golden", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["passed"] is True
+        assert {case["status"] for case in report["golden"]["cases"]} == {"match"}
+        assert "mms" not in report and "conformance" not in report
+
+    def test_update_golden_blesses_into_a_fresh_directory(self, tmp_path, capsys):
+        golden_dir = tmp_path / "goldens"
+        code = main(
+            ["verify", "--suite", "golden", "--update-golden",
+             "--golden-dir", str(golden_dir), "--json"]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["passed"] is True
+        assert len(report["blessed"]) == len(list(golden_dir.glob("*.json"))) == 5
+
+    def test_failing_suite_exits_nonzero(self, tmp_path, capsys):
+        code = main(
+            ["verify", "--suite", "golden", "--golden-dir", str(tmp_path / "none"), "--json"]
+        )
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["passed"] is False
+        assert {case["status"] for case in report["golden"]["cases"]} == {"missing"}
+
+    def test_table_output_mentions_every_suite_section(self, capsys):
+        code = main(["verify", "--suite", "golden"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Golden regression store" in out
+        assert "verification PASSED" in out
+
+    def test_unknown_suite_is_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["verify", "--suite", "nope"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_update_golden_without_the_golden_suite_is_a_clean_error(self, capsys):
+        # Silently blessing nothing would leave the user believing the
+        # goldens were refreshed.
+        assert main(["verify", "--suite", "mms", "--update-golden"]) == 2
+        err = capsys.readouterr().err
+        assert "--update-golden" in err and "--suite golden" in err
+
+    def test_empty_mms_problem_list_renders_without_crashing(self):
+        from repro.analysis.reporting import format_verification_report
+        from repro.verify.suite import VerificationReport
+
+        report = VerificationReport(mms=())
+        out = format_verification_report(report)
+        assert "verification PASSED" in out

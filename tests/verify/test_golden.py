@@ -1,0 +1,180 @@
+"""Tests for the golden regression store."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.campaign.store import ResultStore
+from repro.config import ProblemSpec
+from repro.verify.golden import (
+    GoldenCase,
+    bless_goldens,
+    check_goldens,
+    default_golden_cases,
+    normalise_result,
+)
+
+#: One tiny case keeps the unit tests fast; the default matrix is exercised
+#: by the repo-golden test and `unsnap verify`.
+TINY_CASES = (
+    GoldenCase(
+        "tiny-vectorized",
+        ProblemSpec(
+            nx=3, ny=3, nz=3, angles_per_octant=1, num_groups=2, num_inners=2,
+            engine="vectorized",
+        ),
+    ),
+)
+
+
+def _perturb_one_flux_value_by_one_ulp(store_dir):
+    """Flip the first scalar-flux entry of the first record by a single ulp."""
+    path = sorted(store_dir.glob("*.json"))[0]
+    record = json.loads(path.read_text())
+    flux = record["result"]["scalar_flux"]
+    value = flux[0][0][0]
+    flux[0][0][0] = float(np.nextafter(value, np.inf))
+    assert flux[0][0][0] != value
+    path.write_text(json.dumps(record) + "\n")
+    return path
+
+
+class TestBlessAndCheck:
+    def test_blessed_store_checks_clean(self, tmp_path):
+        written = bless_goldens(TINY_CASES, tmp_path / "golden")
+        assert set(written) == {"tiny-vectorized"}
+        report = check_goldens(TINY_CASES, tmp_path / "golden")
+        assert report.passed
+        assert [r.status for r in report.results] == ["match"]
+
+    def test_missing_record_is_reported(self, tmp_path):
+        report = check_goldens(TINY_CASES, tmp_path / "empty")
+        assert not report.passed
+        assert report.results[0].status == "missing"
+        assert "--update-golden" in report.results[0].detail
+
+    def test_one_ulp_perturbation_is_detected(self, tmp_path):
+        # The negative control of the acceptance criteria: the golden suite
+        # must flag a single-ulp change in one flux value.
+        root = tmp_path / "golden"
+        bless_goldens(TINY_CASES, root)
+        _perturb_one_flux_value_by_one_ulp(root)
+        report = check_goldens(TINY_CASES, root)
+        assert not report.passed
+        (result,) = report.results
+        assert result.status == "mismatch"
+        assert "scalar_flux" in result.detail
+        assert result.max_deviation is not None and 0 < result.max_deviation < 1e-12
+
+    def test_balance_drift_is_detected_even_with_identical_flux(self, tmp_path):
+        # A regression in the particle-balance diagnostics must not hide
+        # behind an unchanged flux.
+        root = tmp_path / "golden"
+        bless_goldens(TINY_CASES, root)
+        path = sorted(root.glob("*.json"))[0]
+        record = json.loads(path.read_text())
+        record["result"]["balance"]["absorption"][0] *= 1.0 + 1e-9
+        path.write_text(json.dumps(record) + "\n")
+        report = check_goldens(TINY_CASES, root)
+        assert not report.passed
+        assert "balance.absorption" in report.results[0].detail
+
+    def test_reblessing_restores_a_perturbed_store(self, tmp_path):
+        root = tmp_path / "golden"
+        bless_goldens(TINY_CASES, root)
+        _perturb_one_flux_value_by_one_ulp(root)
+        assert not check_goldens(TINY_CASES, root).passed
+        bless_goldens(TINY_CASES, root)
+        assert check_goldens(TINY_CASES, root).passed
+
+    def test_blessing_is_byte_deterministic(self, tmp_path):
+        root = tmp_path / "golden"
+        first = bless_goldens(TINY_CASES, root)
+        bytes_before = {name: path.read_bytes() for name, path in first.items()}
+        second = bless_goldens(TINY_CASES, root)
+        assert first == second
+        for name, path in second.items():
+            assert path.read_bytes() == bytes_before[name]
+
+    def test_stale_records_fail_and_blessing_prunes_them(self, tmp_path):
+        root = tmp_path / "golden"
+        bless_goldens(TINY_CASES, root)
+        stale_case = GoldenCase("stale", TINY_CASES[0].spec.with_(nx=4))
+        bless_goldens((stale_case,) + TINY_CASES, root)
+        report = check_goldens(TINY_CASES, root)
+        assert not report.passed and len(report.stale_keys) == 1
+        bless_goldens(TINY_CASES, root)  # prunes the record of the dropped case
+        assert check_goldens(TINY_CASES, root).passed
+
+    def test_corrupt_record_fails_the_case_without_crashing_the_suite(self, tmp_path):
+        root = tmp_path / "golden"
+        bless_goldens(TINY_CASES, root)
+        path = sorted(root.glob("*.json"))[0]
+        path.write_text('{"broken')
+        report = check_goldens(TINY_CASES, root)
+        assert not report.passed
+        (result,) = report.results
+        assert result.status == "corrupt"
+        assert "not valid JSON" in result.detail
+
+    def test_blessing_never_prunes_a_foreign_result_store(self, tmp_path):
+        # Pointing --golden-dir at an ordinary campaign store must not
+        # destroy its records: without the marker, blessing only adds.
+        import repro
+
+        store = ResultStore(tmp_path / "campaign")
+        foreign_spec = TINY_CASES[0].spec.with_(nx=2)
+        store.put(foreign_spec, repro.run(foreign_spec))
+        bless_goldens(TINY_CASES, tmp_path / "campaign")
+        assert store.get(foreign_spec) is not None  # survived
+        report = check_goldens(TINY_CASES, tmp_path / "campaign")
+        assert not report.passed and len(report.stale_keys) == 1  # flagged, not deleted
+
+    def test_goldens_are_ordinary_result_store_records(self, tmp_path):
+        root = tmp_path / "golden"
+        bless_goldens(TINY_CASES, root)
+        (record,) = ResultStore(root).results()
+        spec, options, result = record
+        assert spec == TINY_CASES[0].spec
+        assert result.scalar_flux.shape == (27, 2, 8)
+        # Wall-clock noise is normalised away; the numeric payload is intact.
+        assert result.setup_seconds == 0.0 and result.timings.assembly_seconds == 0.0
+        assert result.timings.systems_solved > 0
+
+
+class TestNormalisation:
+    def test_normalise_zeroes_exactly_the_wallclock_fields(self):
+        import repro
+
+        result = repro.run(TINY_CASES[0].spec)
+        normalised = normalise_result(result)
+        assert normalised.setup_seconds == 0.0
+        assert normalised.solve_seconds == 0.0
+        assert normalised.timings.assembly_seconds == 0.0
+        assert normalised.timings.solve_seconds == 0.0
+        assert normalised.timings.systems_solved == result.timings.systems_solved
+        np.testing.assert_array_equal(normalised.scalar_flux, result.scalar_flux)
+        assert normalised.history.inner_errors == result.history.inner_errors
+
+
+class TestRepositoryGoldens:
+    def test_committed_goldens_match_the_current_build(self):
+        # The blessed records under tests/golden/ are the regression
+        # contract of this checkout; any numeric drift fails here first.
+        report = check_goldens()
+        assert report.passed, report.to_dict()
+
+    def test_default_cases_pin_every_execution_path(self):
+        names = {case.name for case in default_golden_cases()}
+        assert names == {
+            "reference-ge",
+            "vectorized-ge",
+            "prefactorized-lapack",
+            "octant-parallel",
+            "block-jacobi-2x1",
+        }
+        specs = {case.name: case.spec for case in default_golden_cases()}
+        assert specs["block-jacobi-2x1"].npex == 2
+        assert specs["octant-parallel"].octant_parallel
+        assert pytest.approx(0.001) == specs["reference-ge"].max_twist
