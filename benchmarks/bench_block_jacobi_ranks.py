@@ -1,96 +1,85 @@
 """Section III-A.1: parallel block Jacobi vs rank count.
 
 The paper's global schedule trades KBA pipeline idle time for a convergence
-rate that degrades with the number of Jacobi blocks (MPI ranks).  This
-benchmark runs the same problem on growing rank grids with the simulated MPI
-substrate, times the multi-rank solves, prints the measured convergence
-histories and the halo-exchange traffic, and checks the expected behaviours:
+rate that degrades with the number of Jacobi blocks (MPI ranks).  The timing
+body is now the registered ``block-jacobi-ranks`` benchmark case (per-grid
+multi-rank solves with telemetry-counted halo traffic); this wrapper runs it,
+prints the measured behaviours and checks the expected shapes:
 
-* all rank grids converge to the same solution;
 * the iteration error after a fixed number of inners grows with the rank
-  count; and
+  count,
+* the halo traffic grows with the rank count (and is zero on one rank), and
 * the KBA pipeline model predicts the idle time the block Jacobi schedule
   avoids.
 """
 
-import numpy as np
 import pytest
 
-from repro.analysis.reporting import format_scaling_series, format_table
-from repro.config import ProblemSpec
+from repro.analysis.reporting import format_table
+from repro.bench import BenchWorkload
+from repro.bench.registry import get_benchmark
+from repro.bench.suite import run_case
 from repro.parallel.kba import KBAPipelineModel
-from repro.runner import run
-
-SPEC = ProblemSpec(
-    nx=8, ny=4, nz=2, order=1, angles_per_octant=1, num_groups=2,
-    max_twist=0.001, num_inners=8, num_outers=1,
-)
-RANK_GRIDS = ((1, 1), (2, 1), (2, 2), (4, 2))
 
 
 @pytest.fixture(scope="module")
-def results():
-    return {
-        (px, py): run(SPEC.with_(npex=px, npey=py))
-        for px, py in RANK_GRIDS
-    }
+def case_report():
+    workload = BenchWorkload.from_env().with_(repeats=1, warmup=0)
+    return run_case(get_benchmark("block-jacobi-ranks"), workload)
 
 
-@pytest.mark.parametrize("npex,npey", RANK_GRIDS)
-def test_benchmark_block_jacobi_solve(benchmark, npex, npey):
-    spec = SPEC.with_(npex=npex, npey=npey)
-    result = benchmark.pedantic(run, args=(spec,), rounds=1, iterations=1)
-    assert result.num_ranks == npex * npey
-
-
-def test_print_convergence_histories(results):
-    iterations = list(range(1, SPEC.num_inners + 1))
-    series = {
-        f"{px}x{py} ranks": results[(px, py)].history.inner_errors for px, py in RANK_GRIDS
-    }
+def test_print_rank_comparison(case_report):
+    rows = [
+        (
+            sample.name,
+            round(sample.best, 3),
+            sample.metrics["halo_messages"],
+            sample.metrics["halo_bytes"],
+            f"{sample.metrics['final_inner_error']:.3e}",
+        )
+        for sample in case_report.samples
+    ]
     print()
     print(
-        format_scaling_series(
-            iterations, series,
-            title="Block-Jacobi convergence: max relative flux change per inner iteration",
-            unit="",
+        format_table(
+            ("rank grid", "solve s", "halo messages", "halo bytes", "final inner error"),
+            rows,
+            title="Block Jacobi vs rank count (measured, telemetry-counted halo)",
         )
     )
-    traffic = [
-        (f"{px}x{py}", results[(px, py)].messages, results[(px, py)].total_inners)
-        for px, py in RANK_GRIDS
-    ]
-    print(format_table(("rank grid", "halo messages", "inners"), traffic,
-                       title="Halo-exchange traffic"))
+    assert len(rows) >= 3
 
 
-def test_all_rank_grids_agree_with_single_rank(results):
-    reference = run(SPEC.with_(num_inners=40, inner_tolerance=1e-10))
-    for (px, py), result in results.items():
-        # After only 8 lagged inners the answers differ slightly, but all are
-        # within a few tenths of a per cent of the converged reference.
-        rel = np.abs(result.scalar_flux - reference.scalar_flux) / np.maximum(
-            reference.scalar_flux, 1e-12
-        )
-        assert rel.max() < 0.05, f"{px}x{py} deviates too far"
+def test_convergence_degrades_with_rank_count(case_report):
+    errors = [s.metrics["final_inner_error"] for s in case_report.samples]
+    assert errors[-1] > errors[0]
 
 
-def test_convergence_degrades_with_rank_count(results):
-    final_errors = [results[g].history.inner_errors[-1] for g in RANK_GRIDS]
-    assert final_errors[-1] > final_errors[0]
+def test_all_rank_grids_agree_with_single_rank(case_report):
+    """Every decomposition converges towards the same solution.
+
+    After a fixed number of lagged inners the iterates differ slightly, but
+    each rank grid's mean flux must sit within a few per cent of the 1x1
+    solve (the exact multi-rank-vs-single agreement at convergence is
+    asserted by ``tests/parallel/test_parallel.py``).
+    """
+    single = case_report.sample("1x1").metrics["mean_flux"]
+    for sample in case_report.samples:
+        assert sample.metrics["mean_flux"] == pytest.approx(single, rel=0.05), sample.name
 
 
-def test_halo_traffic_grows_with_rank_count(results):
-    messages = [results[g].messages for g in RANK_GRIDS]
+def test_halo_traffic_grows_with_rank_count(case_report):
+    messages = [s.metrics["halo_messages"] for s in case_report.samples]
     assert messages[0] == 0
     assert all(b >= a for a, b in zip(messages, messages[1:]))
 
 
-def test_kba_pipeline_idle_time_model():
+def test_kba_pipeline_idle_time_model(case_report):
     rows = []
-    for px, py in RANK_GRIDS:
-        model = KBAPipelineModel(npex=px, npey=py, num_planes=SPEC.nz * 4)
-        rows.append((f"{px}x{py}", round(model.parallel_efficiency(), 3),
+    for sample in case_report.samples:
+        px, py = (int(v) for v in sample.name.split("x"))
+        model = KBAPipelineModel(npex=px, npey=py, num_planes=8)
+        rows.append((sample.name, round(model.parallel_efficiency(), 3),
                      round(model.idle_fraction(), 3)))
     print()
     print(format_table(("rank grid", "KBA efficiency", "KBA idle fraction"), rows,

@@ -1,10 +1,11 @@
 """Section II-C trade-offs: finite difference (SNAP) vs finite element (UnSNAP).
 
 Not a numbered table in the paper, but Section II-C makes three quantitative
-claims that this benchmark reproduces and times:
+claims that this benchmark reproduces:
 
 * the FEM does far more work per cell/angle/group than the single
-  multiply-add diamond-difference relations;
+  multiply-add diamond-difference relations (timed by the registered
+  ``fd-vs-fem`` benchmark case);
 * the FEM angular flux costs ``(p+1)^3`` times the FD storage (8x for linear
   elements); and
 * both methods solve the same physics -- their cell-averaged fluxes agree.
@@ -14,34 +15,27 @@ import pytest
 
 from repro.analysis.reporting import format_table
 from repro.analysis.tables import fd_vs_fem_comparison
-from repro.baseline.snap_fd import SnapDiamondDifferenceSolver
+from repro.bench import BenchWorkload
+from repro.bench.registry import get_benchmark
+from repro.bench.suite import run_case
 from repro.config import ProblemSpec
-from repro.runner import run
-
-N = 5
-GROUPS = 2
-ANGLES = 2
 
 
-def test_benchmark_fd_sweep(benchmark):
-    solver = SnapDiamondDifferenceSolver(
-        N, N, N, num_groups=GROUPS, angles_per_octant=ANGLES, num_inners=2
-    )
-    result = benchmark.pedantic(solver.solve, rounds=1, iterations=1)
-    assert result.scalar_flux.shape == (N, N, N, GROUPS)
-
-
-def test_benchmark_fem_sweep(benchmark):
-    spec = ProblemSpec(
-        nx=N, ny=N, nz=N, order=1, angles_per_octant=ANGLES, num_groups=GROUPS,
-        max_twist=0.0, num_inners=2, num_outers=1,
-    )
-    result = benchmark.pedantic(run, args=(spec,), rounds=1, iterations=1)
-    assert result.scalar_flux.shape == (N**3, GROUPS, 8)
+def test_fd_vs_fem_case():
+    """The registered case times both discretisations on the same physics."""
+    workload = BenchWorkload.from_env().with_(repeats=1, warmup=0)
+    case = run_case(get_benchmark("fd-vs-fem"), workload)
+    fd, fem = case.sample("fd"), case.sample("fem")
+    assert fd.best > 0 and fem.best > 0
+    # Same physics: the mean cell-average fluxes land close together even
+    # after only two inners.
+    assert fem.metrics["mean_flux"] == pytest.approx(fd.metrics["mean_flux"], rel=0.1)
+    print(f"\nfd {fd.best:.3f} s vs fem {fem.best:.3f} s "
+          f"(work ratio {fem.metrics['work_ratio']:.1f}x)")
 
 
 def test_print_fd_vs_fem_tradeoffs():
-    report = fd_vs_fem_comparison(n=N, num_groups=GROUPS, angles_per_octant=ANGLES, num_inners=25)
+    report = fd_vs_fem_comparison(n=5, num_groups=2, angles_per_octant=2, num_inners=25)
     rows = [(k, v) for k, v in report.items()]
     print()
     print(format_table(("quantity", "value"), rows, title="Section II-C trade-offs (reproduced)"))

@@ -4,9 +4,8 @@ The figure's measurement (assemble/solve time vs OpenMP threads on a 56-core
 Skylake node for six loop-ordering/layout/threading schemes) cannot be
 repeated faithfully from CPython, so the series are produced by the node
 performance model with the paper's exact problem (16^3 cells, 36 angles per
-octant, 64 groups, twist 0.001, 5 inners) and machine (2x Xeon 8176).  The
-benchmark times the model evaluation and prints the reproduced series, and
-asserts the findings of Section IV-A.1:
+octant, 64 groups, twist 0.001, 5 inners) and machine (2x Xeon 8176), and the
+shape assertions of Section IV-A.1 are checked on the model output:
 
 * the ``angle/element/group`` data layout beats ``angle/group/element`` for
   linear elements,
@@ -14,48 +13,22 @@ asserts the findings of Section IV-A.1:
   cores, and
 * every scheme scales (time decreases) from 1 to 56 threads.
 
-A *measured* companion ensemble runs the same shape of grid for real:
-``measured_thread_scaling_study`` executes a thread-count x engine study
-through ``repro.run_study`` (octant-parallel sweeps) on a scaled-down linear
-problem and the result is consumed as a ``StudyResult`` -- shrink it further
-with the ``UNSNAP_BENCH_*`` environment variables.
+The *measured* companion ensemble is now the registered
+``thread-scaling-linear`` benchmark case (``unsnap bench --filter scaling``):
+a thread-count x engine study through ``repro.run_study`` with
+octant-parallel sweeps, shrinkable via the ``UNSNAP_BENCH_*`` knobs.
 """
-
-import os
 
 import pytest
 
-from repro.analysis.figures import (
-    PAPER_THREAD_COUNTS,
-    figure3_series,
-    measured_scaling_series,
-    measured_thread_scaling_study,
-)
-from repro.analysis.reporting import format_scaling_series
+from repro.analysis.figures import PAPER_THREAD_COUNTS, figure3_series
+from repro.analysis.reporting import format_bench_report, format_scaling_series
+from repro.bench import BenchWorkload, run_benchmarks
+from repro.bench.registry import get_benchmark
+from repro.bench.suite import run_case
 from repro.config import ProblemSpec
 from repro.perfmodel.schemes import paper_schemes
 from repro.perfmodel.simulator import SweepPerformanceModel
-
-#: Scaled-down measured thread-scaling workload (Figure 3 is 16^3/36/64).
-MEASURED = dict(
-    n=int(os.environ.get("UNSNAP_BENCH_N", "4")),
-    angles_per_octant=int(os.environ.get("UNSNAP_BENCH_NANG", "2")),
-    num_groups=int(os.environ.get("UNSNAP_BENCH_GROUPS", "2")),
-    thread_counts=(1, 2),
-    engines=("vectorized", "prefactorized"),
-)
-
-
-def measured_base_spec(order: int) -> ProblemSpec:
-    return ProblemSpec(
-        nx=MEASURED["n"], ny=MEASURED["n"], nz=MEASURED["n"],
-        order=order,
-        angles_per_octant=MEASURED["angles_per_octant"],
-        num_groups=MEASURED["num_groups"],
-        max_twist=0.001,
-        num_inners=2,
-        num_outers=1,
-    )
 
 
 @pytest.fixture(scope="module")
@@ -63,11 +36,11 @@ def fig3():
     return figure3_series()
 
 
-def test_benchmark_model_evaluation(benchmark):
+def test_model_evaluation():
     spec = ProblemSpec.paper_figure3_4(order=1)
     model = SweepPerformanceModel(spec)
     scheme = paper_schemes()[1]
-    point = benchmark(model.sweep_time, scheme, 56)
+    point = model.sweep_time(scheme, 56)
     assert point.seconds > 0
 
 
@@ -102,26 +75,24 @@ def test_figure3_shape_all_schemes_scale(fig3):
         assert values[0] > values[-1], f"{label} does not scale"
 
 
-def test_measured_thread_scaling_study_linear():
-    """Run the measured thread-count x engine ensemble and print its series."""
-    result = measured_thread_scaling_study(
-        measured_base_spec(order=1),
-        thread_counts=MEASURED["thread_counts"],
-        engines=MEASURED["engines"],
-    )
-    assert len(result) == len(MEASURED["thread_counts"]) * len(MEASURED["engines"])
-    series = measured_scaling_series(result)
+def test_measured_thread_scaling_case():
+    """The registered measured companion: every engine at every thread count."""
+    workload = BenchWorkload.from_env(smoke=True).with_(repeats=1, warmup=0)
+    case = run_case(get_benchmark("thread-scaling-linear"), workload)
+    # Same flux at every (engine, thread count) grid point: the ensemble
+    # only moves time.
+    fluxes = {f"{s.metrics['mean_flux']:.17e}" for s in case.samples}
+    assert len(fluxes) == 1
+    threads = {s.metrics["threads"] for s in case.samples}
+    assert threads == {1, 2}
+
+
+def test_print_scaling_report():
+    """Run the scaling-tagged cases through the suite runner and print them."""
+    workload = BenchWorkload.from_env(smoke=True).with_(repeats=1, warmup=0)
+    report = run_benchmarks(["scaling"], workload=workload)
     print()
-    print(
-        format_scaling_series(
-            series.thread_counts,
-            series.series,
-            title=f"Figure 3 companion (measured study): octant-parallel solve seconds, "
-            f"{MEASURED['n']}^3 linear elements",
-        )
-    )
-    assert series.thread_counts == sorted(MEASURED["thread_counts"])
-    assert set(series.series) == {f"engine={e}" for e in MEASURED["engines"]}
-    # Same flux at every (engine, thread count) grid point: the ensemble only
-    # moves time.
-    assert len({f"{v:.17e}" for v in result.values("mean_flux")}) == 1
+    print(format_bench_report(report))
+    assert {case.name for case in report.cases} >= {
+        "thread-scaling-linear", "thread-scaling-cubic", "block-jacobi-ranks"
+    }

@@ -11,34 +11,20 @@ findings of Section IV-A.2:
 * the ``angle/group/element`` layout is much less penalised than it is for
   linear elements (the 32 kB vs 64 B stride argument).
 
-Like the Figure 3 benchmark, a measured companion ensemble executes a cubic
-thread-count x engine study through ``repro.run_study`` and consumes the
-``StudyResult`` directly.
+The measured cubic companion is the registered ``thread-scaling-cubic``
+benchmark case (``unsnap bench --filter scaling``).
 """
-
-import os
 
 import pytest
 
-from repro.analysis.figures import (
-    figure3_series,
-    figure4_series,
-    measured_scaling_series,
-    measured_thread_scaling_study,
-)
+from repro.analysis.figures import figure3_series, figure4_series
 from repro.analysis.reporting import format_scaling_series
+from repro.bench import BenchWorkload
+from repro.bench.registry import get_benchmark
+from repro.bench.suite import run_case
 from repro.config import ProblemSpec
 from repro.perfmodel.schemes import paper_schemes
 from repro.perfmodel.simulator import SweepPerformanceModel
-
-#: Cubic measured workload: order 3 is the expensive axis, so the grid is
-#: tiny by default (2^3 cells) and shrinkable further via the env knobs.
-MEASURED_CUBIC = dict(
-    n=int(os.environ.get("UNSNAP_BENCH_CUBIC_N", "2")),
-    angles_per_octant=int(os.environ.get("UNSNAP_BENCH_NANG", "1")),
-    num_groups=int(os.environ.get("UNSNAP_BENCH_GROUPS", "2")),
-    thread_counts=(1, 2),
-)
 
 
 @pytest.fixture(scope="module")
@@ -51,11 +37,11 @@ def fig3():
     return figure3_series()
 
 
-def test_benchmark_model_evaluation_cubic(benchmark):
+def test_model_evaluation_cubic():
     spec = ProblemSpec.paper_figure3_4(order=3)
     model = SweepPerformanceModel(spec)
     scheme = paper_schemes()[1]
-    point = benchmark(model.sweep_time, scheme, 56)
+    point = model.sweep_time(scheme, 56)
     assert point.seconds > 0
 
 
@@ -100,34 +86,10 @@ def test_figure4_shape_all_schemes_scale(fig4):
         assert values[0] > values[-1], f"{label} does not scale"
 
 
-def test_measured_thread_scaling_study_cubic():
-    """Run the measured cubic ensemble through run_study and print its series."""
-    cfg = MEASURED_CUBIC
-    base = ProblemSpec(
-        nx=cfg["n"], ny=cfg["n"], nz=cfg["n"],
-        order=3,
-        angles_per_octant=cfg["angles_per_octant"],
-        num_groups=cfg["num_groups"],
-        max_twist=0.001,
-        num_inners=2,
-        num_outers=1,
-    )
-    result = measured_thread_scaling_study(
-        base, thread_counts=cfg["thread_counts"], engines=("prefactorized",)
-    )
-    assert len(result) == len(cfg["thread_counts"])
-    series = measured_scaling_series(result)
-    print()
-    print(
-        format_scaling_series(
-            series.thread_counts,
-            series.series,
-            title=f"Figure 4 companion (measured study): octant-parallel solve seconds, "
-            f"{cfg['n']}^3 cubic elements",
-        )
-    )
-    assert series.order == 3
-    assert series.thread_counts == sorted(cfg["thread_counts"])
-    # Octant parallelism is bit-for-bit deterministic, so every thread count
-    # reproduces the same mean flux.
-    assert len({f"{v:.17e}" for v in result.values("mean_flux")}) == 1
+def test_measured_cubic_scaling_case():
+    """The registered measured cubic companion stays tiny but runs for real."""
+    workload = BenchWorkload.from_env(smoke=True).with_(repeats=1, warmup=0)
+    case = run_case(get_benchmark("thread-scaling-cubic"), workload)
+    assert case.samples
+    fluxes = {f"{s.metrics['mean_flux']:.17e}" for s in case.samples}
+    assert len(fluxes) == 1

@@ -1,218 +1,81 @@
-"""Kernel-level ablation benchmarks.
+"""Kernel-level ablation benchmarks (thin wrappers over ``repro.bench``).
 
-These benchmarks isolate the two kernels Table II is built from -- the local
-assembly and the local dense solve -- plus the sweep-schedule construction
-and the roofline characterisation, so the cost model used by the Figure 3/4
-reproduction can be sanity-checked against measured Python kernels.
+The measurement bodies that used to live here are now *registered benchmark
+cases* (:mod:`repro.bench.cases`): ``engine-sweep`` times repeated transport
+sweeps per registered engine (the factor-cache reuse the ``prefactorized``
+engine wins on), ``assembly-kernel`` and ``solve-kernel`` isolate the two
+kernels Table II is built from, and ``matrix-setup`` the Table I
+precomputation.  Run the full suite with ``unsnap bench`` (or ``--smoke``);
+these pytest wrappers execute the same cases through the same runner so
+``pytest benchmarks/`` still collects, prints and sanity-checks them.
 
-The sweep *engine* is the newest benchmark axis: ``test_sweep_engine`` times
-a short run of repeated transport sweeps per registered engine on the same
-problem, so the per-element ``reference`` loop can be compared directly
-against the per-bucket ``vectorized`` batch path and the factor-caching
-``prefactorized`` engine (whose win is exactly the reuse across sweeps; see
-``repro.engines``).  ``test_print_engine_speedup`` prints the comparison and
-writes it to ``BENCH_engines.json`` so CI can archive the perf trajectory
-per commit; the workload is shrinkable through ``UNSNAP_BENCH_*``
-environment variables for smoke runs.
+The workload honours the ``UNSNAP_BENCH_*`` environment variables exactly as
+before; ``UNSNAP_BENCH_JSON`` keeps writing a machine-readable record, now in
+the ``unsnap-bench-v1`` schema.
 """
 
-import json
 import os
-import platform
-import time
 
-import numpy as np
 import pytest
 
-from repro.angular.quadrature import snap_dummy_quadrature
-from repro.core.assembly import ElementMatrices
-from repro.core.sweep import SweepExecutor
-from repro.fem.element import HexElementFactors
-from repro.fem.reference import ReferenceElement
-from repro.materials.library import snap_option1_library
-from repro.mesh.builder import StructuredGridSpec, build_snap_mesh
+from repro.bench import BenchWorkload, run_benchmarks
+from repro.bench.suite import run_case
+from repro.bench.registry import get_benchmark
+from repro.analysis.reporting import format_bench_report
 from repro.perfmodel.roofline import arithmetic_intensity
 from repro.perfmodel.workload import SweepWorkload
-from repro.solvers.registry import get_solver
-from repro.sweepsched.graph import classify_faces
-from repro.sweepsched.schedule import build_sweep_schedule
 
-ORDERS = (1, 2, 3)
-ENGINES = ("reference", "vectorized", "prefactorized")
-
-#: The engine-comparison workload: 8^3 twisted cells, 2 angles/octant (16
-#: angles), 8 groups, 3 sweeps -- each sweep is 8192 element solves (65536
-#: systems), and the repeated sweeps expose the prefactorized engine's
-#: factor reuse (inner iterations in a real solve).  The ``UNSNAP_BENCH_*``
-#: environment variables shrink the workload for CI smoke runs.
-ENGINE_BENCH = dict(
-    n=int(os.environ.get("UNSNAP_BENCH_N", "8")),
-    angles_per_octant=int(os.environ.get("UNSNAP_BENCH_NANG", "2")),
-    num_groups=int(os.environ.get("UNSNAP_BENCH_GROUPS", "8")),
-    order=1,
-    sweeps=int(os.environ.get("UNSNAP_BENCH_SWEEPS", "3")),
-)
-
-#: Where ``test_print_engine_speedup`` writes the machine-readable record.
-ENGINE_BENCH_JSON = os.environ.get("UNSNAP_BENCH_JSON", "BENCH_engines.json")
-
-_engine_seconds = {}
+#: Where the engine comparison is written when requested (legacy knob).
+ENGINE_BENCH_JSON = os.environ.get("UNSNAP_BENCH_JSON")
 
 
-def _timed_sweeps(executor, source):
-    """Run the workload's repeated sweeps; return (last result, seconds)."""
-    t0 = time.perf_counter()
-    for _ in range(ENGINE_BENCH["sweeps"]):
-        result = executor.sweep(source)
-    return result, time.perf_counter() - t0
+@pytest.fixture(scope="module")
+def workload() -> BenchWorkload:
+    """One measurement per case keeps ``pytest benchmarks/`` quick."""
+    return BenchWorkload.from_env().with_(repeats=1, warmup=0)
 
 
-def _engine_executor(engine, solver="ge"):
-    cfg = ENGINE_BENCH
-    mesh = build_snap_mesh(
-        StructuredGridSpec(cfg["n"], cfg["n"], cfg["n"]), max_twist=0.001
-    )
-    ref = ReferenceElement(cfg["order"])
-    factors = HexElementFactors.build(mesh.cell_vertices(), ref)
-    matrices = ElementMatrices.build(factors, ref)
-    quadrature = snap_dummy_quadrature(cfg["angles_per_octant"])
-    schedule = build_sweep_schedule(mesh, factors, quadrature)
-    materials = snap_option1_library(cfg["num_groups"]).for_cells(mesh.num_cells)
-    executor = SweepExecutor(
-        mesh=mesh,
-        factors=factors,
-        ref=ref,
-        matrices=matrices,
-        schedule=schedule,
-        quadrature=quadrature,
-        materials=materials,
-        solver=solver,
-        engine=engine,
-    )
-    source = np.ones((mesh.num_cells, cfg["num_groups"], ref.num_nodes))
-    return executor, source
+def test_engine_sweep_case(workload):
+    """Every registered engine is timed and does the same amount of work."""
+    case = run_case(get_benchmark("engine-sweep"), workload)
+    names = [sample.name for sample in case.samples]
+    for engine in ("reference", "vectorized", "prefactorized"):
+        assert engine in names
+    solved = {s.name: s.metrics["systems_solved"] for s in case.samples}
+    assert len(set(solved.values())) == 1, solved
+    # The factor cache is cold for the first sweep only.
+    pre = case.sample("prefactorized").metrics
+    assert pre["factor_cache_misses"] > 0
+    assert pre["factor_cache_hits"] == (workload.sweeps - 1) * pre["factor_cache_misses"]
 
 
-def _local_systems(order, num_groups, seed=0):
-    """Assemble a realistic batch of local systems for one element."""
-    rng = np.random.default_rng(seed)
-    mesh = build_snap_mesh(StructuredGridSpec(2, 2, 2), max_twist=0.001)
-    ref = ReferenceElement(order)
-    factors = HexElementFactors.build(mesh.cell_vertices(), ref)
-    matrices = ElementMatrices.build(factors, ref)
-    direction = np.array([0.5, 0.6, 0.62449979984])
-    cls = classify_faces(factors, direction)
-    sigma_t = 1.0 + 0.01 * np.arange(num_groups)
-    source = rng.uniform(0.5, 1.5, size=(num_groups, ref.num_nodes))
-    a, b = matrices.assemble_systems(0, direction, cls.orientation[0], sigma_t, source, {})
-    return matrices, cls, direction, sigma_t, source, a, b
+def test_assembly_and_solve_kernels(workload):
+    """The Table II kernels report positive timings for every order/solver."""
+    for name in ("assembly-kernel", "solve-kernel"):
+        case = run_case(get_benchmark(name), workload)
+        assert case.samples, name
+        assert all(s.best >= 0.0 for s in case.samples)
+    solve = run_case(get_benchmark("solve-kernel"), workload)
+    assert all(s.metrics["residual"] < 1e-8 for s in solve.samples)
 
 
-@pytest.mark.parametrize("order", ORDERS)
-def test_assembly_kernel(benchmark, order):
-    """Time the per-element, per-angle assembly of all group systems."""
-    matrices, cls, direction, sigma_t, source, _a, _b = _local_systems(order, num_groups=8)
-    result = benchmark(
-        matrices.assemble_systems, 0, direction, cls.orientation[0], sigma_t, source, {}
-    )
-    assert result[0].shape == (8, matrices.num_nodes, matrices.num_nodes)
-
-
-@pytest.mark.parametrize("order", ORDERS)
-@pytest.mark.parametrize("solver", ("ge", "lapack"))
-def test_solve_kernel(benchmark, order, solver):
-    """Time the batched local solve for each solver and order (Table II kernels)."""
-    _m, _c, _d, _s, _src, a, b = _local_systems(order, num_groups=8)
-    local = get_solver(solver)
-    x = benchmark(local.solve_batched, a, b)
-    assert np.allclose(np.einsum("gij,gj->gi", a, x), b, atol=1e-8)
-
-
-@pytest.mark.parametrize("order", ORDERS)
+@pytest.mark.parametrize("order", (1, 2, 3))
 def test_print_arithmetic_intensity(order):
-    """Print the modelled arithmetic intensity per order (paper: ~0.25 for linear)."""
-    workload = SweepWorkload(order=order, num_groups=64)
-    ai = arithmetic_intensity(workload)
+    """Print the modelled arithmetic intensity per order (paper: ~0.25 linear)."""
+    kernel = SweepWorkload(order=order, num_groups=64)
+    ai = arithmetic_intensity(kernel)
     print(f"\norder {order}: modelled arithmetic intensity = {ai:.2f} FLOP/byte "
-          f"({workload.total_flops():.0f} FLOPs, {workload.total_bytes():.0f} bytes per item)")
+          f"({kernel.total_flops():.0f} FLOPs, {kernel.total_bytes():.0f} bytes per item)")
     assert ai > 0
 
 
-@pytest.mark.parametrize("engine", ENGINES)
-def test_sweep_engine(benchmark, engine):
-    """Time repeated full sweeps (all octants, angles, groups) per engine."""
-    cfg = ENGINE_BENCH
-    executor, source = _engine_executor(engine)
-    result, wall = benchmark.pedantic(
-        _timed_sweeps, args=(executor, source), rounds=1, iterations=1
-    )
-    _engine_seconds[engine] = {
-        "kernel_seconds": result.timings.total_seconds,
-        "wall_seconds": wall,
+def test_print_kernel_report(workload):
+    """Run the kernel-tagged cases through the suite runner and print them."""
+    report = run_benchmarks(["kernel"], workload=workload)
+    print()
+    print(format_bench_report(report))
+    if ENGINE_BENCH_JSON:
+        print(f"wrote {report.save(ENGINE_BENCH_JSON)}")
+    assert {case.name for case in report.cases} >= {
+        "engine-sweep", "assembly-kernel", "solve-kernel", "matrix-setup"
     }
-    assert result.scalar_flux.shape == (
-        executor.mesh.num_cells, cfg["num_groups"], executor.num_nodes
-    )
-    angles = 8 * cfg["angles_per_octant"]
-    assert result.timings.systems_solved == executor.mesh.num_cells * angles * cfg["num_groups"]
-
-
-def test_print_engine_speedup():
-    """Print the engine comparison and write it to ``BENCH_engines.json``."""
-    cfg = ENGINE_BENCH
-    for engine in ENGINES:
-        if engine not in _engine_seconds:
-            executor, source = _engine_executor(engine)
-            result, wall = _timed_sweeps(executor, source)
-            _engine_seconds[engine] = {
-                "kernel_seconds": result.timings.total_seconds,
-                "wall_seconds": wall,
-            }
-    ref = _engine_seconds["reference"]["wall_seconds"]
-    print(f"\nsweep engine comparison ({cfg['n']}^3 cells, "
-          f"{8 * cfg['angles_per_octant']} angles, {cfg['num_groups']} groups, "
-          f"{cfg['sweeps']} sweeps):")
-    for engine in ENGINES:
-        wall = _engine_seconds[engine]["wall_seconds"]
-        print(f"  {engine:13s}: {wall:.3f} s  ({ref / wall:.1f}x vs reference)")
-    vec = _engine_seconds["vectorized"]["wall_seconds"]
-    pre = _engine_seconds["prefactorized"]["wall_seconds"]
-    print(f"  prefactorized vs vectorized: {vec / pre:.2f}x")
-
-    record = {
-        "benchmark": "sweep-engine comparison (bench_kernels.py)",
-        "workload": {
-            "cells": cfg["n"] ** 3,
-            "grid": f"{cfg['n']}^3",
-            "angles": 8 * cfg["angles_per_octant"],
-            "groups": cfg["num_groups"],
-            "order": cfg["order"],
-            "sweeps": cfg["sweeps"],
-        },
-        "engines": _engine_seconds,
-        "speedup_vs_reference": {
-            engine: ref / _engine_seconds[engine]["wall_seconds"] for engine in ENGINES
-        },
-        "prefactorized_vs_vectorized": vec / pre,
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-    }
-    with open(ENGINE_BENCH_JSON, "w") as fh:
-        json.dump(record, fh, indent=2)
-        fh.write("\n")
-    print(f"  wrote {ENGINE_BENCH_JSON}")
-    # No ordering assertion between engines: single-round wall-clock
-    # comparisons are noisy on shared CI boxes; the JSON is the signal.
-    assert all(entry["wall_seconds"] > 0 for entry in _engine_seconds.values())
-
-
-def test_schedule_construction(benchmark):
-    """Time the per-angle schedule construction for a 8^3 mesh, 4 angles/octant."""
-    mesh = build_snap_mesh(StructuredGridSpec(8, 8, 8), max_twist=0.001)
-    ref = ReferenceElement(1)
-    factors = HexElementFactors.build(mesh.cell_vertices(), ref)
-    quad = snap_dummy_quadrature(4)
-    schedule = benchmark.pedantic(build_sweep_schedule, args=(mesh, factors, quad),
-                                  rounds=1, iterations=1)
-    assert schedule.num_angles == 32
-    assert schedule.num_unique_schedules() <= 8

@@ -1,137 +1,62 @@
 """Study-execution backend comparison: serial vs thread vs process.
 
-Times the same order x engine grid (``repro.Study``) executed through every
-built-in campaign backend and writes the comparison to ``BENCH_study.json``
-so CI can archive the batch-execution trajectory next to the engine numbers.
-The workload is shrinkable through the ``UNSNAP_BENCH_*`` environment
-variables (the same knobs as ``bench_kernels.py``); ``UNSNAP_BENCH_JOBS``
-caps the worker pools.
+The measurement body is now the registered ``study-backends`` benchmark case
+(the same order x engine :class:`repro.Study` through every registered
+campaign backend); ``unsnap bench --filter study --json`` writes the
+machine-readable ``unsnap-bench-v1`` record CI archives (the successor of
+the old hand-rolled ``BENCH_study.json`` shape).
 
 Under CPython the ``process`` backend pays a fork/pickle tax per run, so on
-the tiny default grid it usually *loses* to ``serial`` -- the point of the
-record is to watch that crossover as workloads grow.  The benchmark also
-asserts the backends' contract: identical mean flux per grid point whatever
-the backend.
+tiny grids it usually *loses* to ``serial`` -- the point of the record is to
+watch that crossover as workloads grow.  The backend contract itself
+(identical flux per grid point whatever the backend) is asserted both here
+(via the case's ``mean_flux`` metrics) and bit-for-bit by the verify
+conformance suite.
 """
 
-import json
 import os
-import platform
-import time
 
-import numpy as np
 import pytest
 
-from repro.campaign import Study, run_study
-from repro.config import ProblemSpec
+from repro.bench import BenchWorkload
+from repro.bench.registry import get_benchmark
+from repro.bench.suite import run_benchmarks, run_case
 
-BACKENDS = ("serial", "thread", "process")
-
-STUDY_BENCH = dict(
-    n=int(os.environ.get("UNSNAP_BENCH_N", "4")),
-    angles_per_octant=int(os.environ.get("UNSNAP_BENCH_NANG", "2")),
-    num_groups=int(os.environ.get("UNSNAP_BENCH_GROUPS", "4")),
-    orders=(1, 2),
-    engines=("vectorized", "prefactorized"),
-    jobs=int(os.environ.get("UNSNAP_BENCH_JOBS", "4")),
-)
-
-#: Where ``test_print_backend_comparison`` writes the machine-readable record.
-STUDY_BENCH_JSON = os.environ.get("UNSNAP_BENCH_STUDY_JSON", "BENCH_study.json")
-
-_backend_runs = {}
+#: Legacy knob: write the backend comparison record here when set.
+STUDY_BENCH_JSON = os.environ.get("UNSNAP_BENCH_STUDY_JSON")
 
 
-def _bench_study() -> Study:
-    cfg = STUDY_BENCH
-    base = ProblemSpec(
-        nx=cfg["n"], ny=cfg["n"], nz=cfg["n"],
-        angles_per_octant=cfg["angles_per_octant"],
-        num_groups=cfg["num_groups"],
-        max_twist=0.001,
-        num_inners=2,
-        num_outers=1,
-    )
-    return Study.grid(
-        base, name="backend-bench", order=cfg["orders"], engine=cfg["engines"]
-    )
+@pytest.fixture(scope="module")
+def case_report():
+    workload = BenchWorkload.from_env().with_(repeats=1, warmup=0)
+    return run_case(get_benchmark("study-backends"), workload)
 
 
-def _timed_run(backend):
-    t0 = time.perf_counter()
-    result = run_study(_bench_study(), backend=backend, jobs=STUDY_BENCH["jobs"])
-    return result, time.perf_counter() - t0
+def test_every_backend_measured(case_report):
+    names = {sample.name for sample in case_report.samples}
+    assert names >= {"serial", "thread", "process"}
+    assert all(sample.best > 0 for sample in case_report.samples)
+    runs = {sample.metrics["runs"] for sample in case_report.samples}
+    assert len(runs) == 1
 
 
-@pytest.mark.parametrize("backend", BACKENDS)
-def test_study_backend(benchmark, backend):
-    """Time the full grid through one backend; record the wall clock."""
-    result, wall = benchmark.pedantic(_timed_run, args=(backend,), rounds=1, iterations=1)
-    _backend_runs[backend] = {"wall_seconds": wall, "result": result}
-    assert len(result) == len(_bench_study())
-    assert result.new_run_count == len(result)
+def test_backends_equivalent(case_report):
+    """Every backend produced the identical per-point mean flux."""
+    serial = case_report.sample("serial").metrics["mean_flux"]
+    for sample in case_report.samples:
+        assert sample.metrics["mean_flux"] == serial, sample.name
 
 
-def test_backends_equivalent():
-    """Every backend produces the identical flux per grid point."""
-    for backend in BACKENDS:
-        if backend not in _backend_runs:
-            result, wall = _timed_run(backend)
-            _backend_runs[backend] = {"wall_seconds": wall, "result": result}
-    reference = _backend_runs["serial"]["result"]
-    for backend in ("thread", "process"):
-        other = _backend_runs[backend]["result"]
-        for a, b in zip(reference, other):
-            assert a.axes == b.axes
-            np.testing.assert_array_equal(
-                a.result.scalar_flux, b.result.scalar_flux,
-                err_msg=f"{backend} flux differs from serial at {a.axes}",
-            )
-
-
-def test_print_backend_comparison():
-    """Print the backend comparison and write it to ``BENCH_study.json``."""
-    cfg = STUDY_BENCH
-    for backend in BACKENDS:
-        if backend not in _backend_runs:
-            result, wall = _timed_run(backend)
-            _backend_runs[backend] = {"wall_seconds": wall, "result": result}
-    serial = _backend_runs["serial"]["wall_seconds"]
-    runs = len(_bench_study())
-    print(f"\nstudy backend comparison ({runs} runs: orders {cfg['orders']} x "
-          f"engines {cfg['engines']}, {cfg['n']}^3 cells, "
-          f"{8 * cfg['angles_per_octant']} angles, {cfg['num_groups']} groups, "
-          f"jobs={cfg['jobs']}):")
-    for backend in BACKENDS:
-        wall = _backend_runs[backend]["wall_seconds"]
-        print(f"  {backend:8s}: {wall:.3f} s  ({serial / wall:.2f}x vs serial)")
-
-    record = {
-        "benchmark": "study-backend comparison (bench_study_backends.py)",
-        "workload": {
-            "runs": runs,
-            "grid": f"{cfg['n']}^3",
-            "orders": list(cfg["orders"]),
-            "engines": list(cfg["engines"]),
-            "angles": 8 * cfg["angles_per_octant"],
-            "groups": cfg["num_groups"],
-            "jobs": cfg["jobs"],
-        },
-        "backends": {
-            backend: {"wall_seconds": _backend_runs[backend]["wall_seconds"]}
-            for backend in BACKENDS
-        },
-        "speedup_vs_serial": {
-            backend: serial / _backend_runs[backend]["wall_seconds"] for backend in BACKENDS
-        },
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-    }
-    with open(STUDY_BENCH_JSON, "w") as fh:
-        json.dump(record, fh, indent=2)
-        fh.write("\n")
-    print(f"  wrote {STUDY_BENCH_JSON}")
-    # No ordering assertion between backends: wall-clock comparisons are noisy
-    # on shared CI boxes (and the fork tax dominates tiny grids); the JSON is
-    # the signal.
-    assert all(entry["wall_seconds"] > 0 for entry in _backend_runs.values())
+def test_print_backend_comparison(case_report):
+    serial = case_report.sample("serial").best
+    print("\nstudy backend comparison "
+          f"({case_report.sample('serial').metrics['runs']} runs/backend):")
+    for sample in case_report.samples:
+        print(f"  {sample.name:8s}: {sample.best:.3f} s  "
+              f"({serial / sample.best:.2f}x vs serial)")
+    if STUDY_BENCH_JSON:
+        workload = BenchWorkload.from_env().with_(repeats=1, warmup=0)
+        report = run_benchmarks(["study"], workload=workload)
+        print(f"  wrote {report.save(STUDY_BENCH_JSON)}")
+    # No ordering assertion between backends: wall-clock comparisons are
+    # noisy on shared CI boxes (and the fork tax dominates tiny grids).

@@ -1,19 +1,18 @@
 """Table I: size of the local matrix for different finite element orders.
 
-The table itself is analytic (``(p+1)^3`` and the FP64 footprint); the
-benchmark times the construction of the corresponding reference elements and
-local matrices, which is the setup cost the table implies, and prints the
-table rows exactly as the paper reports them.
+The analytic table rows stay asserted here against the paper's numbers; the
+setup-cost measurement the table implies (reference-element tabulation plus
+local-matrix precomputation) is the registered ``matrix-setup`` benchmark
+case run through the ``repro.bench`` suite runner.
 """
 
 import pytest
 
 from repro.analysis.reporting import format_table
 from repro.analysis.tables import table1_matrix_sizes
-from repro.fem.element import HexElementFactors
-from repro.fem.reference import ReferenceElement
-from repro.core.assembly import ElementMatrices
-from repro.mesh.builder import StructuredGridSpec, build_snap_mesh
+from repro.bench import BenchWorkload
+from repro.bench.registry import get_benchmark
+from repro.bench.suite import run_case
 
 PAPER_TABLE1 = {1: (8, 0.5), 2: (27, 5.7), 3: (64, 32.0), 4: (125, 122.1), 5: (216, 364.5)}
 
@@ -34,18 +33,12 @@ def test_print_table1():
         assert row.footprint_kb == pytest.approx(kb, abs=0.05)
 
 
-@pytest.mark.parametrize("order", [1, 2, 3, 4, 5])
-def test_reference_element_setup(benchmark, order):
-    """Time to tabulate the reference element of each order of Table I."""
-    ref = benchmark(ReferenceElement, order)
-    assert ref.num_nodes == PAPER_TABLE1[order][0]
-
-
-@pytest.mark.parametrize("order", [1, 2, 3])
-def test_local_matrix_precomputation(benchmark, order):
-    """Time to precompute the per-element matrices for a small mesh."""
-    mesh = build_snap_mesh(StructuredGridSpec(3, 3, 3), max_twist=0.001)
-    ref = ReferenceElement(order)
-    factors = HexElementFactors.build(mesh.cell_vertices(), ref)
-    matrices = benchmark(ElementMatrices.build, factors, ref)
-    assert matrices.mass.shape == (27, ref.num_nodes, ref.num_nodes)
+def test_matrix_setup_case():
+    """The registered setup-cost case covers every benchmarked order."""
+    workload = BenchWorkload.from_env().with_(repeats=1, warmup=0)
+    case = run_case(get_benchmark("matrix-setup"), workload)
+    by_order = {s.name: s.metrics["matrix_size"] for s in case.samples}
+    for name, matrix_size in by_order.items():
+        order = int(name.rsplit("-", 1)[1])
+        assert matrix_size == PAPER_TABLE1[order][0]
+    assert all(s.best > 0 for s in case.samples)

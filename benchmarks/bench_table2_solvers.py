@@ -3,98 +3,72 @@
 The paper runs 32^3 cells / 10 angles / 16 groups flat-MPI on a Skylake node
 and reports, per element order 1-4, the assemble/solve time and the fraction
 of it spent in the solve, for the hand-written Gaussian elimination and for
-MKL ``dgesv``.  Here the same ensemble is a declarative order x solver grid
-(:class:`repro.Study`) executed through ``repro.run_study`` on a scaled-down
-problem; the benchmark prints the reproduced table from the study's pivot
-helpers and checks the qualitative findings that survive the Python
-substitution:
+MKL ``dgesv``.  The order x solver grid is now the registered
+``table2-solvers`` benchmark case (a declarative :class:`repro.Study`
+through ``repro.run_study``); this wrapper runs it through the suite runner,
+prints the reproduced table and checks the qualitative findings that survive
+the Python substitution:
 
 * the cost grows steeply with element order, and
 * the fraction of time spent in the solve grows with element order (34% ->
-  ~74-87% in the paper).
+  ~74-87% in the paper, on the LAPACK path here).
 
 The GE-beats-MKL result for small matrices is a C/Fortran call-overhead
-effect and does not transfer to CPython (the interpreter overhead sits on the
-GE side here); EXPERIMENTS.md discusses this in detail.
+effect and does not transfer to CPython; EXPERIMENTS.md discusses this.
 """
 
 import pytest
 
 from repro.analysis.reporting import format_table
-from repro.campaign import Study, StudyResult, StudyRun, run_study
-
-ORDERS = (1, 2, 3)
-SOLVERS = ("ge", "lapack")
-
-_study_results = {}
+from repro.bench import BenchWorkload
+from repro.bench.registry import get_benchmark
+from repro.bench.suite import run_case
 
 
-def _run_cell(base_spec, order, solver):
-    """Execute one (order, solver) grid cell as a single-point study."""
-    study = Study.grid(base_spec, name="table2-cell", order=[order], solver=[solver])
-    return run_study(study, backend="serial")
+@pytest.fixture(scope="module")
+def case_report():
+    workload = BenchWorkload.from_env().with_(repeats=1, warmup=0)
+    return run_case(get_benchmark("table2-solvers"), workload)
 
 
-@pytest.mark.parametrize("order", ORDERS)
-@pytest.mark.parametrize("solver", SOLVERS)
-def test_assemble_solve_time(benchmark, table2_base_spec, order, solver):
-    """Benchmark one full solve per (order, solver) cell of Table II."""
-    result = benchmark.pedantic(
-        _run_cell, args=(table2_base_spec, order, solver), rounds=1, iterations=1
-    )
-    _study_results[(order, solver)] = result[0]
-    assert len(result) == 1 and result.new_run_count == 1
-    assert result[0].result.timings.total_seconds > 0
-
-
-def test_print_table2(table2_base_spec):
-    """Print the reproduced Table II from the merged study and check its shape."""
-    for order in ORDERS:
-        for solver in SOLVERS:
-            if (order, solver) not in _study_results:
-                _study_results[(order, solver)] = _run_cell(table2_base_spec, order, solver)[0]
-    # Merge the per-cell runs into one StudyResult covering the full grid, as
-    # a direct `run_study(Study.grid(base, order=ORDERS, solver=SOLVERS))`
-    # would produce, then consume it through the tidy-record/pivot API.
-    grid = Study.grid(table2_base_spec, name="table2", order=ORDERS, solver=SOLVERS)
-    by_axes = {(r.axes["order"], r.axes["solver"]): r.result for r in _study_results.values()}
-    merged = StudyResult(
-        study=grid,
-        runs=tuple(
-            StudyRun(
-                index=p.index, axes=p.axes, spec=p.spec, run_options=p.run_options,
-                result=by_axes[(p.axes["order"], p.axes["solver"])],
-            )
-            for p in grid.runs()
-        ),
-    )
-
-    seconds = merged.pivot("order", "solver", "assembly_seconds")
-    fractions = merged.pivot("order", "solver", "solve_fraction")
-    rows = []
-    for record in merged.records():
-        t = record["assembly_seconds"] + record["solve_seconds"]
-        rows.append(
-            (record["order"], record["solver"], round(t, 3),
-             f"{100 * record['solve_fraction']:.0f}%")
+def test_print_table2(case_report):
+    """Print the reproduced Table II rows from the registered case."""
+    rows = [
+        (
+            sample.name,
+            round(sample.best, 3),
+            f"{100 * sample.metrics['solve_fraction']:.0f}%",
+            sample.metrics["systems_solved"],
         )
+        for sample in case_report.samples
+    ]
     print()
     print(
         format_table(
-            ("order", "solver", "assemble/solve (s)", "% in solve"),
+            ("order x solver", "assemble/solve (s)", "% in solve", "systems"),
             rows,
             title="Table II (reproduced, scaled down): assemble/solve time per order and solver",
         )
     )
-    total = {
-        (record["order"], record["solver"]): record["assembly_seconds"] + record["solve_seconds"]
-        for record in merged.records()
-    }
-    # Paper shape 1: higher orders are much more expensive (orders of magnitude
-    # in the paper; at least a strong monotone increase here).
-    for solver in SOLVERS:
-        assert total[(3, solver)] > total[(1, solver)]
-    # Paper shape 2: the solve fraction grows with order for the LAPACK path
-    # (34% -> 74% in the paper; the same monotone trend must hold here).
-    assert fractions.at(3, "lapack") > fractions.at(1, "lapack")
-    assert seconds.rows == ORDERS and seconds.cols == SOLVERS
+    assert len(rows) >= 4
+
+
+def test_cost_grows_with_order(case_report):
+    """Paper shape 1: higher orders are much more expensive."""
+    orders = sorted(
+        {int(s.name.split("-")[0].removeprefix("order")) for s in case_report.samples}
+    )
+    for solver in ("ge", "lapack"):
+        low = case_report.sample(f"order{orders[0]}-{solver}").best
+        high = case_report.sample(f"order{orders[-1]}-{solver}").best
+        assert high > low
+
+
+def test_solve_fraction_grows_with_order(case_report):
+    """Paper shape 2: the solve fraction grows with order (LAPACK path)."""
+    orders = sorted(
+        {int(s.name.split("-")[0].removeprefix("order")) for s in case_report.samples}
+    )
+    low = case_report.sample(f"order{orders[0]}-lapack").metrics["solve_fraction"]
+    high = case_report.sample(f"order{orders[-1]}-lapack").metrics["solve_fraction"]
+    assert high > low

@@ -1,44 +1,9 @@
-"""Shared configuration for the benchmark harness.
+"""Shared configuration for the benchmark wrappers.
 
-Every benchmark prints the table or figure series it reproduces (the same
-rows/series the paper reports) in addition to the pytest-benchmark timing
-statistics, so running ``pytest benchmarks/ --benchmark-only -s`` regenerates
-the full evaluation of the paper on scaled-down problems.
+The measurement bodies live in the registered benchmark cases of
+:mod:`repro.bench.cases`; the ``bench_*.py`` files here are thin pytest
+wrappers that execute those cases (honouring the ``UNSNAP_BENCH_*``
+shrink knobs), print the tables/series the paper reports, and assert the
+qualitative shapes.  ``unsnap bench`` is the primary entry point; running
+``pytest benchmarks/ -s`` reproduces the same evaluation under pytest.
 """
-
-from __future__ import annotations
-
-import pytest
-
-from repro.config import ProblemSpec
-
-
-@pytest.fixture(scope="session")
-def table2_base_spec() -> ProblemSpec:
-    """Scaled-down version of the paper's Table II problem.
-
-    Paper: 32^3 cells, 10 angles/octant, 16 groups, 5 inners.  Here: 5^3
-    cells, 2 angles/octant, 4 groups, 2 inners -- the same sweep over element
-    orders and solvers, small enough to run in seconds under CPython.
-    """
-    return ProblemSpec(
-        nx=5, ny=5, nz=5,
-        angles_per_octant=2,
-        num_groups=4,
-        max_twist=0.001,
-        num_inners=2,
-        num_outers=1,
-    )
-
-
-@pytest.fixture(scope="session")
-def kernel_spec() -> ProblemSpec:
-    """Small single-sweep problem used for kernel-level benchmarks."""
-    return ProblemSpec(
-        nx=4, ny=4, nz=4,
-        angles_per_octant=2,
-        num_groups=4,
-        max_twist=0.001,
-        num_inners=1,
-        num_outers=1,
-    )

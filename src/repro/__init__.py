@@ -37,6 +37,13 @@ Public API highlights
   convergence orders, the engine x solver x backend conformance matrix and
   the golden regression store (``unsnap verify`` /
   :func:`repro.verify.run_suite`).
+* :mod:`repro.bench` -- the benchmark subsystem: registered benchmark cases
+  over a shrinkable workload, ``unsnap-bench-v1`` reports with a regression
+  gate, and the measured-vs-model roofline overlay (``unsnap bench`` /
+  :func:`repro.bench.run_benchmarks`).
+* :class:`repro.Telemetry` -- opt-in phase-level instrumentation threaded
+  through :func:`repro.run` (``run(spec, telemetry=True)`` →
+  ``result.telemetry``), zero overhead when off.
 """
 
 from .campaign import (
@@ -53,6 +60,8 @@ from .core.solver import TransportResult, TransportSolver
 from .engines import available_engines, get_engine, register_engine
 from .runner import RunResult, run
 from .solvers import available_solvers, get_solver, register_solver
+from .telemetry import Telemetry
+from . import bench
 from . import verify
 
 __version__ = "1.3.0"
@@ -77,6 +86,8 @@ __all__ = [
     "register_solver",
     "get_solver",
     "available_solvers",
+    "Telemetry",
+    "bench",
     "verify",
     "__version__",
 ]

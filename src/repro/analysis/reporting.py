@@ -9,7 +9,13 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-__all__ = ["format_table", "format_scaling_series", "format_verification_report"]
+__all__ = [
+    "format_table",
+    "format_scaling_series",
+    "format_verification_report",
+    "format_bench_report",
+    "format_bench_comparison",
+]
 
 
 def _format_cell(value) -> str:
@@ -136,3 +142,81 @@ def format_scaling_series(
             raise ValueError(f"series {label!r} length does not match thread counts")
         rows.append([label] + [f"{v:.2f}{unit}" for v in values])
     return format_table(headers, rows, title=title)
+
+
+def format_bench_report(report) -> str:
+    """Render a :class:`repro.bench.BenchReport` as one table per case."""
+    sections: list[str] = []
+    workload = report.workload
+    tier = "smoke" if workload.smoke else "full"
+    sections.append(
+        f"benchmark workload ({tier} tier): {workload.n}^3 cells, "
+        f"{8 * workload.angles_per_octant} angles, {workload.num_groups} groups, "
+        f"{workload.sweeps} sweeps, {workload.warmup} warmup + "
+        f"{workload.repeats} repeats"
+    )
+    for case in report.cases:
+        rows = [
+            (
+                sample.name,
+                sample.best,
+                sample.mean,
+                len(sample.seconds),
+                ", ".join(
+                    f"{key}={_format_cell(value)}"
+                    for key, value in sorted(sample.metrics.items())
+                    if isinstance(value, (int, float)) and not isinstance(value, bool)
+                ),
+            )
+            for sample in case.samples
+        ]
+        tags = ", ".join(case.tags) or "-"
+        sections.append(
+            format_table(
+                ("sample", "best s", "mean s", "n", "metrics"),
+                rows,
+                title=f"{case.name} [{tags}]",
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def format_bench_comparison(comparison) -> str:
+    """Render a :class:`repro.bench.BenchComparison` with per-sample verdicts."""
+    rows = [
+        (
+            entry.case,
+            entry.sample,
+            entry.baseline_seconds,
+            entry.current_seconds,
+            f"{entry.speedup:.2f}x",
+            entry.verdict.upper(),
+        )
+        for entry in comparison.entries
+    ]
+    lines = [
+        format_table(
+            ("case", "sample", "baseline s", "current s", "speedup", "verdict"),
+            rows,
+            title=f"Benchmark comparison (slowdown tolerance "
+            f"{100 * comparison.tolerance:.0f}%)",
+        )
+    ]
+    if comparison.missing:
+        lines.append(
+            "not measured this run: "
+            + ", ".join(f"{case}/{sample}" for case, sample in comparison.missing)
+        )
+    if comparison.new:
+        lines.append(
+            "new samples (no baseline): "
+            + ", ".join(f"{case}/{sample}" for case, sample in comparison.new)
+        )
+    if not comparison.workload_match:
+        lines.append(
+            "WARNING: the reports measured different workloads (problem sizes "
+            "differ) -- wall clocks are not comparable, verdicts are advisory "
+            "and never fail the regression gate"
+        )
+    lines.append(f"comparison verdict: {comparison.verdict.upper()}")
+    return "\n\n".join(lines)

@@ -1,0 +1,77 @@
+"""Measured-vs-modelled overlay: ``unsnap bench --against-model``.
+
+The perfmodel (:mod:`repro.perfmodel`) predicts the assemble/solve time of
+the sweep from a roofline-style node model -- that is how the paper-scale
+Figure 3/4 series are reproduced.  This module closes the loop the other
+way: it *measures* the same repeated-sweep workload per engine and overlays
+the measurement on the model's prediction for the identical problem, so the
+report carries an explicit model error instead of two disconnected numbers.
+
+Under CPython the measured times sit orders of magnitude above the modelled
+C/Fortran roofline -- the interesting quantity is the *ratio* (the
+interpreter/dispatch overhead factor) and how it shrinks as engines get
+closer to pure BLAS, which is exactly what the per-engine ``model_ratio``
+metric records.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..config import ProblemSpec
+from ..engines import available_engines
+from ..perfmodel.roofline import arithmetic_intensity, is_memory_bound
+from ..perfmodel.schemes import paper_schemes
+from ..perfmodel.simulator import SweepPerformanceModel
+from ..perfmodel.workload import SweepWorkload
+from .registry import register_benchmark
+from .workload import BenchWorkload
+
+__all__ = ["MODEL_CASE"]
+
+#: Registry name of the overlay case (tag ``model`` keeps it out of default
+#: suite runs; ``--against-model`` or an explicit filter pulls it in).
+MODEL_CASE = "sweep-vs-model"
+
+
+@register_benchmark(MODEL_CASE, tags=("model",), aliases=("against-model",))
+def bench_sweep_vs_model(workload: BenchWorkload) -> dict[str, dict]:
+    """Measured repeated sweeps per engine vs the roofline model prediction."""
+    from .cases import build_sweep_executor
+
+    spec = ProblemSpec(
+        nx=workload.n, ny=workload.n, nz=workload.n,
+        order=1,
+        angles_per_octant=workload.angles_per_octant,
+        num_groups=workload.num_groups,
+        max_twist=0.001,
+        num_inners=workload.sweeps,
+        num_outers=1,
+    )
+    model = SweepPerformanceModel(spec)
+    schemes = paper_schemes()
+    best = model.best_scheme(schemes, threads=1)
+    predicted = model.sweep_time(best, threads=1)
+    kernel = SweepWorkload(order=spec.order, num_groups=spec.num_groups)
+
+    samples: dict[str, dict] = {}
+    for engine in available_engines():
+        executor, source = build_sweep_executor(
+            workload.n, workload.angles_per_octant, workload.num_groups, engine=engine
+        )
+        t0 = time.perf_counter()
+        for _ in range(workload.sweeps):
+            executor.sweep(source)
+        measured = time.perf_counter() - t0
+        samples[engine] = {
+            "seconds": measured,
+            "model_seconds": predicted.seconds,
+            "model_scheme": best.label,
+            "model_bound": predicted.bound,
+            # The model error: how far above the roofline prediction the
+            # CPython measurement sits (>= 1; smaller is closer to the model).
+            "model_ratio": measured / predicted.seconds if predicted.seconds > 0 else 0.0,
+            "arithmetic_intensity": arithmetic_intensity(kernel),
+            "memory_bound": is_memory_bound(model.machine, kernel, threads=1),
+        }
+    return samples

@@ -1,0 +1,385 @@
+"""The ``unsnap-bench-v1`` report: one schema for every benchmark record.
+
+Replaces the eight hand-rolled JSON shapes of the old ``bench_*.py`` scripts
+with a single machine-readable format carrying machine info, the workload,
+git metadata and per-case samples with warmup/repeat statistics, plus the
+run-to-run comparison that turns two reports into a pass/warn/fail verdict
+-- the regression gate behind ``unsnap bench --compare``.
+
+Schema sketch::
+
+    {
+      "format": "unsnap-bench-v1",
+      "machine": {"python": ..., "numpy": ..., "platform": ..., "cpus": ...},
+      "git": {"commit": ..., "branch": ..., "dirty": ...} | null,
+      "workload": {... BenchWorkload ...},
+      "cases": [
+        {"name": ..., "tags": [...], "warmup": W, "repeats": R,
+         "samples": [
+           {"name": ..., "seconds": [per-repeat raw wall clocks],
+            "best": min, "mean": ..., "max": ..., "metrics": {...}}]}
+      ]
+    }
+
+Comparisons match samples by ``(case, sample)`` name, compare *best* (min
+over repeats -- the least-noise estimator) wall clocks and classify each
+matched pair against a slowdown tolerance; samples present on only one side
+are reported but never fail the gate (workloads legitimately evolve).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .workload import BenchWorkload
+
+__all__ = [
+    "FORMAT",
+    "SampleStats",
+    "CaseReport",
+    "BenchReport",
+    "SampleComparison",
+    "BenchComparison",
+    "compare_reports",
+    "machine_info",
+    "git_info",
+]
+
+#: Format marker written into (and required of) every report.
+FORMAT = "unsnap-bench-v1"
+
+#: Default slowdown tolerance of the regression gate: a sample is a
+#: regression when it got more than 25% slower than the baseline, a warning
+#: beyond half that.  Wall clocks on shared machines are noisy; the gate is
+#: a tripwire for real regressions, not a micro-benchmark judge.
+DEFAULT_TOLERANCE = 0.25
+
+
+@dataclass(frozen=True)
+class SampleStats:
+    """Statistics of one named sample over the measured repeats."""
+
+    name: str
+    seconds: tuple[float, ...]
+    metrics: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.seconds:
+            raise ValueError(f"sample {self.name!r} carries no measurements")
+
+    @property
+    def best(self) -> float:
+        return min(self.seconds)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.seconds) / len(self.seconds)
+
+    @property
+    def worst(self) -> float:
+        return max(self.seconds)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seconds": list(self.seconds),
+            "best": self.best,
+            "mean": self.mean,
+            "max": self.worst,
+            "metrics": dict(self.metrics),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SampleStats":
+        return cls(
+            name=str(data["name"]),
+            seconds=tuple(float(s) for s in data["seconds"]),
+            metrics=dict(data.get("metrics", {})),
+        )
+
+
+@dataclass(frozen=True)
+class CaseReport:
+    """All samples of one benchmark case."""
+
+    name: str
+    tags: tuple[str, ...]
+    samples: tuple[SampleStats, ...]
+    warmup: int = 0
+    repeats: int = 1
+
+    def sample(self, name: str) -> SampleStats:
+        for sample in self.samples:
+            if sample.name == name:
+                return sample
+        raise KeyError(f"case {self.name!r} has no sample {name!r}")
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "tags": list(self.tags),
+            "warmup": self.warmup,
+            "repeats": self.repeats,
+            "samples": [sample.to_dict() for sample in self.samples],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CaseReport":
+        return cls(
+            name=str(data["name"]),
+            tags=tuple(str(t) for t in data.get("tags", ())),
+            samples=tuple(SampleStats.from_dict(s) for s in data["samples"]),
+            warmup=int(data.get("warmup", 0)),
+            repeats=int(data.get("repeats", 1)),
+        )
+
+
+def machine_info() -> dict:
+    """Best-effort description of the measuring machine."""
+    import numpy as np
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpus": __import__("os").cpu_count(),
+    }
+
+
+def git_info(cwd: str | Path | None = None) -> dict | None:
+    """Current commit/branch/dirty flag, or ``None`` outside a checkout."""
+    def _git(*args: str) -> str:
+        return subprocess.run(
+            ["git", *args], cwd=cwd, capture_output=True, text=True, timeout=10,
+        ).stdout.strip()
+
+    try:
+        commit = _git("rev-parse", "HEAD")
+        if not commit:
+            return None
+        return {
+            "commit": commit,
+            "branch": _git("rev-parse", "--abbrev-ref", "HEAD"),
+            "dirty": bool(_git("status", "--porcelain")),
+        }
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+@dataclass(frozen=True)
+class BenchReport:
+    """One complete benchmark run in the ``unsnap-bench-v1`` schema."""
+
+    cases: tuple[CaseReport, ...]
+    workload: BenchWorkload = field(default_factory=BenchWorkload)
+    machine: dict = field(default_factory=dict)
+    git: dict | None = None
+
+    def case(self, name: str) -> CaseReport:
+        for case in self.cases:
+            if case.name == name:
+                return case
+        raise KeyError(f"report has no case {name!r}; cases: {[c.name for c in self.cases]}")
+
+    def sample_index(self) -> dict[tuple[str, str], SampleStats]:
+        """``(case, sample) -> stats`` over the whole report."""
+        return {
+            (case.name, sample.name): sample
+            for case in self.cases
+            for sample in case.samples
+        }
+
+    # ------------------------------------------------------------- export
+    def to_dict(self) -> dict:
+        return {
+            "format": FORMAT,
+            "machine": dict(self.machine),
+            "git": dict(self.git) if self.git is not None else None,
+            "workload": self.workload.to_dict(),
+            "cases": [case.to_dict() for case in self.cases],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BenchReport":
+        found = data.get("format") if isinstance(data, dict) else None
+        if found != FORMAT:
+            raise ValueError(
+                f"not an {FORMAT} report (format={found!r}); legacy or foreign "
+                f"benchmark JSON must be regenerated with 'unsnap bench --json'"
+            )
+        git = data.get("git")
+        return cls(
+            cases=tuple(CaseReport.from_dict(c) for c in data.get("cases", [])),
+            workload=BenchWorkload.from_dict(data["workload"]),
+            machine=dict(data.get("machine", {})),
+            git=dict(git) if git is not None else None,
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the report as pretty JSON (trailing newline, diff-friendly)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "BenchReport":
+        """Read a report back; a clean error for corrupt or foreign JSON."""
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path} is not valid JSON ({exc})") from None
+        try:
+            return cls.from_dict(data)
+        except ValueError as exc:
+            raise ValueError(f"{path}: {exc}") from None
+
+    def compare(self, baseline: "BenchReport", tolerance: float = DEFAULT_TOLERANCE):
+        """Compare *this* (current) report against a baseline report."""
+        return compare_reports(self, baseline, tolerance=tolerance)
+
+
+@dataclass(frozen=True)
+class SampleComparison:
+    """Verdict of one matched ``(case, sample)`` pair.
+
+    ``speedup`` is baseline-best over current-best: above 1 the sample got
+    faster, below 1 slower.  The verdict classifies the *slowdown*
+    ``1/speedup`` against the tolerance.
+    """
+
+    case: str
+    sample: str
+    baseline_seconds: float
+    current_seconds: float
+    verdict: str  # "pass" | "warn" | "fail"
+
+    @property
+    def speedup(self) -> float:
+        """Baseline over current; a 0.0-second side maps to inf/1.0 rather
+        than dividing by zero (sub-resolution timer deltas are legal)."""
+        if self.current_seconds == 0.0:
+            return 1.0 if self.baseline_seconds == 0.0 else float("inf")
+        return self.baseline_seconds / self.current_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "case": self.case,
+            "sample": self.sample,
+            "baseline_seconds": self.baseline_seconds,
+            "current_seconds": self.current_seconds,
+            "speedup": self.speedup,
+            "verdict": self.verdict,
+        }
+
+
+@dataclass(frozen=True)
+class BenchComparison:
+    """Outcome of comparing a current report against a baseline.
+
+    ``workload_match`` records whether the two reports measured the same
+    problem sizes; when they did not (e.g. a smoke run against a committed
+    full-tier baseline) the wall clocks are not comparable, so the verdicts
+    are advisory and :attr:`gate_passed` -- the ``--fail-on-regress``
+    predicate -- never fails on them.
+    """
+
+    entries: tuple[SampleComparison, ...]
+    missing: tuple[tuple[str, str], ...]  # in baseline, not measured now
+    new: tuple[tuple[str, str], ...]      # measured now, not in baseline
+    tolerance: float
+    workload_match: bool = True
+
+    @property
+    def verdict(self) -> str:
+        """Worst per-sample verdict: ``fail`` > ``warn`` > ``pass``."""
+        verdicts = {entry.verdict for entry in self.entries}
+        if "fail" in verdicts:
+            return "fail"
+        if "warn" in verdicts:
+            return "warn"
+        return "pass"
+
+    @property
+    def passed(self) -> bool:
+        return self.verdict != "fail"
+
+    @property
+    def gate_passed(self) -> bool:
+        """The regression gate: fails only on a *comparable* regression."""
+        return self.passed or not self.workload_match
+
+    @property
+    def regressions(self) -> tuple[SampleComparison, ...]:
+        return tuple(e for e in self.entries if e.verdict == "fail")
+
+    def to_dict(self) -> dict:
+        return {
+            "verdict": self.verdict,
+            "workload_match": self.workload_match,
+            "tolerance": self.tolerance,
+            "entries": [entry.to_dict() for entry in self.entries],
+            "missing": [list(pair) for pair in self.missing],
+            "new": [list(pair) for pair in self.new],
+        }
+
+
+def compare_reports(
+    current: BenchReport, baseline: BenchReport, tolerance: float = DEFAULT_TOLERANCE
+) -> BenchComparison:
+    """Classify every matched sample of ``current`` against ``baseline``.
+
+    A sample **fails** when its best wall clock slowed down by more than
+    ``tolerance`` (fractional, default 25%), **warns** beyond half the
+    tolerance, and **passes** otherwise -- including when it got faster.
+    Samples present on only one side are listed as ``missing``/``new``
+    without affecting the verdict.
+
+    When the reports carry different *problem sizes* (any size-relevant
+    :class:`~repro.bench.workload.BenchWorkload` field differs -- the
+    warmup/repeat policy does not change per-sample cost), the comparison is
+    flagged ``workload_match=False``: per-sample verdicts are still computed
+    for the printed table, but they compare different amounts of work, so
+    :attr:`BenchComparison.gate_passed` treats them as advisory.
+    """
+    if tolerance <= 0.0:
+        raise ValueError("tolerance must be positive")
+    size_fields = ("n", "angles_per_octant", "num_groups", "sweeps", "jobs")
+    workload_match = all(
+        getattr(current.workload, field) == getattr(baseline.workload, field)
+        for field in size_fields
+    )
+    current_samples = current.sample_index()
+    baseline_samples = baseline.sample_index()
+    entries = []
+    for key in sorted(current_samples.keys() & baseline_samples.keys()):
+        now = current_samples[key].best
+        base = baseline_samples[key].best
+        slowdown = now / base if base > 0 else 1.0
+        if slowdown > 1.0 + tolerance:
+            verdict = "fail"
+        elif slowdown > 1.0 + tolerance / 2.0:
+            verdict = "warn"
+        else:
+            verdict = "pass"
+        entries.append(
+            SampleComparison(
+                case=key[0], sample=key[1],
+                baseline_seconds=base, current_seconds=now,
+                verdict=verdict,
+            )
+        )
+    return BenchComparison(
+        entries=tuple(entries),
+        missing=tuple(sorted(baseline_samples.keys() - current_samples.keys())),
+        new=tuple(sorted(current_samples.keys() - baseline_samples.keys())),
+        tolerance=tolerance,
+        workload_match=workload_match,
+    )

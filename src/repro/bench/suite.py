@@ -1,0 +1,102 @@
+"""The benchmark suite runner: ``repro.bench.run_benchmarks()``.
+
+Mirrors :func:`repro.verify.run_suite`: one call that discovers the
+registered cases (optionally narrowed by name/alias/tag filters), applies
+the measurement policy (warmup invocations discarded, repeat statistics
+collected) and returns a :class:`~repro.bench.report.BenchReport` in the
+``unsnap-bench-v1`` schema.  ``unsnap bench`` and the CI benchmark job are
+thin wrappers over this.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .model import MODEL_CASE
+from .registry import BenchCase, select_benchmarks
+from .report import BenchReport, CaseReport, SampleStats, git_info, machine_info
+from .workload import BenchWorkload
+
+__all__ = ["run_benchmarks", "run_case"]
+
+
+def run_case(case: BenchCase, workload: BenchWorkload) -> CaseReport:
+    """Measure one case under the workload's warmup/repeat policy.
+
+    The closure is invoked ``workload.warmup + workload.repeats`` times; the
+    warmup invocations are discarded, the rest contribute one wall-clock
+    sample each.  Non-timing metrics are taken from the final invocation
+    (they describe the workload, not the noise).
+    """
+    for _ in range(workload.warmup):
+        case.run(workload)
+    seconds: dict[str, list[float]] = {}
+    metrics: dict[str, dict] = {}
+    order: list[str] = []
+    for _ in range(workload.repeats):
+        for name, sample in case.run(workload).items():
+            if name not in seconds:
+                seconds[name] = []
+                order.append(name)
+            seconds[name].append(float(sample["seconds"]))
+            metrics[name] = {k: v for k, v in sample.items() if k != "seconds"}
+    return CaseReport(
+        name=case.name,
+        tags=case.tags,
+        samples=tuple(
+            SampleStats(name=name, seconds=tuple(seconds[name]), metrics=metrics[name])
+            for name in order
+        ),
+        warmup=workload.warmup,
+        repeats=workload.repeats,
+    )
+
+
+def run_benchmarks(
+    filters=None,
+    *,
+    smoke: bool = False,
+    workload: BenchWorkload | None = None,
+    against_model: bool = False,
+    progress: Callable[[str], None] | None = None,
+) -> BenchReport:
+    """Run the selected benchmark cases and return the combined report.
+
+    Parameters
+    ----------
+    filters:
+        Case names, aliases or tags (``unsnap bench --filter``); ``None``
+        runs every registered case except the measured-vs-model overlay.
+    smoke:
+        Use the shrunken smoke-tier workload (CI's per-PR budget).
+    workload:
+        Explicit workload override; default is
+        :meth:`BenchWorkload.from_env(smoke=smoke)
+        <repro.bench.workload.BenchWorkload.from_env>`.
+    against_model:
+        Also run the ``sweep-vs-model`` overlay case
+        (:mod:`repro.bench.model`), which is excluded from unfiltered runs.
+    progress:
+        Optional callable receiving one line per started case (the CLI's
+        live feedback).
+    """
+    if workload is None:
+        workload = BenchWorkload.from_env(smoke=smoke)
+    cases = select_benchmarks(filters)
+    if not filters and not against_model:
+        # The model overlay duplicates the engine measurements; it runs only
+        # on request (--against-model) or through an explicit filter.
+        cases = [case for case in cases if "model" not in case.tags]
+    if against_model and all(case.name != MODEL_CASE for case in cases):
+        cases = [*cases, select_benchmarks([MODEL_CASE])[0]]
+    reports = []
+    for case in cases:
+        if progress is not None:
+            progress(f"bench {case.name} [{', '.join(case.tags)}]")
+        reports.append(run_case(case, workload))
+    return BenchReport(
+        cases=tuple(reports),
+        workload=workload,
+        machine=machine_info(),
+        git=git_info(),
+    )

@@ -24,10 +24,16 @@ from pathlib import Path
 from ..config import ProblemSpec
 from ..runner import RunResult
 
-__all__ = ["ResultStore", "run_key"]
+__all__ = ["ResultStore", "run_key", "GOLDEN_MARKER"]
 
 #: Format marker written into every record for forward compatibility.
 _FORMAT = "unsnap-run-v1"
+
+#: Marker file identifying a store directory as a blessed golden store
+#: (owned by :mod:`repro.verify.golden`).  Garbage collection refuses to
+#: touch directories carrying it -- goldens are regression baselines, not
+#: cache.
+GOLDEN_MARKER = ".unsnap-golden"
 
 
 def run_key(spec: ProblemSpec, run_options: dict | None = None) -> str:
@@ -56,6 +62,21 @@ class ResultStore:
 
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.json"
+
+    @staticmethod
+    def _atomic_write(path: Path, payload: str) -> None:
+        """Publish a record atomically: unique temp file + rename.
+
+        The per-writer temp name keeps concurrent writers of the *same*
+        record from interleaving bytes; last ``os.replace`` wins with a
+        complete record either way.
+        """
+        tmp = path.with_name(f"{path.stem}.{os.getpid()}-{uuid.uuid4().hex[:8]}.tmp")
+        try:
+            tmp.write_text(payload)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
 
     def _load_record(self, path: Path) -> dict:
         """Read one record file, rejecting corrupt, foreign or future-format JSON."""
@@ -88,12 +109,7 @@ class ResultStore:
     def put(
         self, spec: ProblemSpec, result: RunResult, run_options: dict | None = None
     ) -> Path:
-        """Persist one run (atomic publish: unique temp file + rename).
-
-        The per-writer temp name keeps concurrent writers of the *same* run
-        (e.g. workers sharing a store directory) from interleaving bytes;
-        last ``os.replace`` wins with a complete record either way.
-        """
+        """Persist one run (atomic publish, see :meth:`_atomic_write`)."""
         self.root.mkdir(parents=True, exist_ok=True)
         key = run_key(spec, run_options)
         record = {
@@ -104,12 +120,7 @@ class ResultStore:
             "result": result.to_dict(include_flux=True),
         }
         path = self.path_for(key)
-        tmp = path.with_name(f"{key}.{os.getpid()}-{uuid.uuid4().hex[:8]}.tmp")
-        try:
-            tmp.write_text(json.dumps(record) + "\n")
-            os.replace(tmp, path)
-        finally:
-            tmp.unlink(missing_ok=True)
+        self._atomic_write(path, json.dumps(record) + "\n")
         return path
 
     def __contains__(self, key_or_spec) -> bool:
@@ -139,3 +150,88 @@ class ResultStore:
                 )
             )
         return loaded
+
+    # ----------------------------------------------------- garbage collection
+    def gc(
+        self,
+        *,
+        keep_latest: int | None = None,
+        drop_flux: bool = False,
+        dry_run: bool = False,
+    ) -> dict:
+        """Compact the store: drop old records and/or their flux payloads.
+
+        Parameters
+        ----------
+        keep_latest:
+            Keep only the ``N`` most recently written records (file mtime,
+            newest first; key order breaks ties) and delete the rest.
+            ``None`` keeps everything.
+        drop_flux:
+            Rewrite the surviving records without the embedded flux arrays
+            -- they dominate the record size.  Compacted records still load
+            (``RunResult.from_dict`` supports flux-less payloads: summary
+            statistics, histories and balance survive), but no longer
+            satisfy a resumed study bit-for-bit, so compact archives, not
+            stores a campaign is still filling.
+        dry_run:
+            Only report what would happen; touch nothing.
+
+        Returns statistics: ``removed``/``compacted`` record counts and the
+        store's byte size before/after.
+
+        Raises
+        ------
+        ValueError
+            If the directory carries the :data:`GOLDEN_MARKER` file -- the
+            golden regression store is never garbage-collected (re-bless it
+            through ``unsnap verify --update-golden`` instead).
+        """
+        if (self.root / GOLDEN_MARKER).exists():
+            raise ValueError(
+                f"{self.root} is a golden regression store (it carries "
+                f"{GOLDEN_MARKER!r}); refusing to garbage-collect it -- "
+                f"manage goldens with 'unsnap verify --suite golden "
+                f"--update-golden'"
+            )
+        if keep_latest is not None and keep_latest < 0:
+            raise ValueError("keep_latest must be >= 0")
+        paths = [self.path_for(key) for key in self.keys()]
+        bytes_before = sum(p.stat().st_size for p in paths)
+
+        doomed: list[Path] = []
+        if keep_latest is not None and len(paths) > keep_latest:
+            by_age = sorted(paths, key=lambda p: (p.stat().st_mtime, p.stem), reverse=True)
+            doomed = by_age[keep_latest:]
+        doomed_set = set(doomed)
+        survivors = [p for p in paths if p not in doomed_set]
+
+        compacted = 0
+        bytes_after = 0
+        for path in survivors:
+            if not drop_flux:
+                bytes_after += path.stat().st_size
+                continue
+            record = self._load_record(path)
+            result = record.get("result", {})
+            if "scalar_flux" not in result and "cell_average_flux" not in result:
+                bytes_after += path.stat().st_size
+                continue
+            result.pop("scalar_flux", None)
+            result.pop("cell_average_flux", None)
+            payload = json.dumps(record) + "\n"
+            compacted += 1
+            bytes_after += len(payload.encode())
+            if not dry_run:
+                self._atomic_write(path, payload)
+        if not dry_run:
+            for path in doomed:
+                path.unlink(missing_ok=True)
+        return {
+            "records": len(paths),
+            "removed": len(doomed),
+            "compacted": compacted,
+            "bytes_before": bytes_before,
+            "bytes_after": bytes_after,
+            "dry_run": dry_run,
+        }

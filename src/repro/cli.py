@@ -33,6 +33,18 @@ Sub-commands
     the golden regression store.  ``--suite`` selects a subset,
     ``--update-golden`` re-blesses the goldens, ``--json`` emits the full
     machine-readable report (the CI ``verify`` job archives it).
+``bench``
+    Run the benchmark subsystem (:mod:`repro.bench`): registered benchmark
+    cases selected by ``--filter`` (name, alias or tag), shrunk to the CI
+    budget with ``--smoke``, written as an ``unsnap-bench-v1`` report with
+    ``--json PATH``, compared against a baseline report with ``--compare``
+    (``--fail-on-regress`` turns a confirmed slowdown into exit code 1) and
+    overlaid on the perfmodel roofline with ``--against-model``.
+``store``
+    Result-store maintenance: ``store gc DIR`` compacts a campaign
+    :class:`~repro.campaign.ResultStore` (``--keep-latest N`` drops old
+    records, ``--drop-flux`` strips the flux payloads); golden stores are
+    refused.
 """
 
 from __future__ import annotations
@@ -147,6 +159,66 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "--json", action="store_true",
         help="print the full machine-readable report instead of tables",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="run the registered benchmark suite (repro.bench)"
+    )
+    bench.add_argument(
+        "--filter", action="append", default=None, metavar="TAG_OR_NAME",
+        help="run only cases matching this name, alias or tag (repeatable; "
+        "see --list)",
+    )
+    bench.add_argument(
+        "--smoke", action="store_true",
+        help="shrink every case to the CI smoke budget (UNSNAP_BENCH_* "
+        "variables still override individual knobs)",
+    )
+    bench.add_argument(
+        "--json", type=str, default=None, metavar="PATH",
+        help="write the unsnap-bench-v1 report to PATH",
+    )
+    bench.add_argument(
+        "--compare", type=str, default=None, metavar="BASELINE",
+        help="compare this run against a baseline unsnap-bench-v1 report",
+    )
+    bench.add_argument(
+        "--fail-on-regress", action="store_true",
+        help="exit 1 when --compare finds a sample beyond the slowdown "
+        "tolerance (default: report only)",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=None, metavar="FRACTION",
+        help="slowdown tolerance for --compare (default 0.25 = 25%%)",
+    )
+    bench.add_argument(
+        "--against-model", action="store_true",
+        help="also run the sweep-vs-model overlay: measured sweep times "
+        "against the perfmodel roofline prediction, with the model error",
+    )
+    bench.add_argument(
+        "--list", action="store_true",
+        help="list the registered benchmark cases (with tags) and exit",
+    )
+
+    store = sub.add_parser("store", help="result-store maintenance")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    gc = store_sub.add_parser(
+        "gc", help="compact a campaign result store (never a golden store)"
+    )
+    gc.add_argument("dir", type=str, help="result-store directory")
+    gc.add_argument(
+        "--keep-latest", type=int, default=None, metavar="N",
+        help="keep only the N most recently written records",
+    )
+    gc.add_argument(
+        "--drop-flux", action="store_true",
+        help="rewrite surviving records without the embedded flux arrays "
+        "(records stay loadable, but no longer resume a study bit-for-bit)",
+    )
+    gc.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would happen without touching the store",
     )
     return parser
 
@@ -452,6 +524,80 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .analysis.reporting import format_bench_comparison, format_bench_report
+    from .bench import BenchReport, benchmark_listing, run_benchmarks
+    from .bench.report import DEFAULT_TOLERANCE
+
+    if args.list:
+        rows = benchmark_listing()
+        print(format_table(("case", "tags", "description"), rows,
+                           title="Registered benchmark cases"))
+        return 0
+    if args.tolerance is not None and args.tolerance <= 0.0:
+        print("error: --tolerance must be a positive fraction", file=sys.stderr)
+        return 2
+    baseline = None
+    if args.compare is not None:
+        # Load the baseline *before* spending minutes measuring.
+        try:
+            baseline = BenchReport.load(args.compare)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    try:
+        report = run_benchmarks(
+            args.filter,
+            smoke=args.smoke,
+            against_model=args.against_model,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print(format_bench_report(report))
+    if args.json:
+        path = report.save(args.json)
+        print(f"\nwrote {path}")
+    if baseline is not None:
+        tolerance = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+        comparison = report.compare(baseline, tolerance=tolerance)
+        print()
+        print(format_bench_comparison(comparison))
+        if args.fail_on_regress and not comparison.gate_passed:
+            return 1
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .campaign import ResultStore
+
+    assert args.store_command == "gc"
+    store = ResultStore(args.dir)
+    if not store.root.is_dir():
+        print(f"error: {store.root} is not a directory", file=sys.stderr)
+        return 2
+    try:
+        stats = store.gc(
+            keep_latest=args.keep_latest,
+            drop_flux=args.drop_flux,
+            dry_run=args.dry_run,
+        )
+    except ValueError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    rows = [
+        ("records", stats["records"]),
+        ("removed", stats["removed"]),
+        ("compacted", stats["compacted"]),
+        ("bytes before", stats["bytes_before"]),
+        ("bytes after", stats["bytes_after"]),
+    ]
+    title = "Result-store GC (dry run)" if args.dry_run else "Result-store GC"
+    print(format_table(("quantity", "value"), rows, title=f"{title}: {store.root}"))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of the ``unsnap`` console script."""
     args = build_parser().parse_args(argv)
@@ -477,6 +623,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_balance(args)
     if args.command == "verify":
         return _cmd_verify(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
+    if args.command == "store":
+        return _cmd_store(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..materials.cross_sections import MaterialLibrary
 from ..materials.source_terms import FixedSource
+from ..telemetry import active, phase
 from .assembly import AssemblyTimings
 from .convergence import max_relative_difference
 from .source import build_outer_source, build_total_source
@@ -132,15 +133,21 @@ class IterationController:
         history = IterationHistory()
         timings = AssemblyTimings()
         last_sweep: SweepResult | None = None
+        # The sweep itself records its own phase; the controller attributes
+        # the source builds and convergence tests around it.  With telemetry
+        # off, phase() hands back a shared no-op context.
+        tel = active(getattr(executor, "telemetry", None))
 
         for _outer in range(self.num_outers):
             outer_flux = scalar.copy()
-            outer_source = build_outer_source(
-                self.fixed_source, self.materials, outer_flux, executor.num_nodes
-            )
+            with phase(tel, "source"):
+                outer_source = build_outer_source(
+                    self.fixed_source, self.materials, outer_flux, executor.num_nodes
+                )
             inners_done = 0
             for _inner in range(self.num_inners):
-                total_source = build_total_source(outer_source, self.materials, scalar)
+                with phase(tel, "source"):
+                    total_source = build_total_source(outer_source, self.materials, scalar)
                 result = executor.sweep(
                     total_source,
                     boundary_values=boundary_values,
@@ -148,14 +155,16 @@ class IterationController:
                 )
                 timings = timings.merge(result.timings)
                 last_sweep = result
-                inner_error = max_relative_difference(result.scalar_flux, scalar)
+                with phase(tel, "convergence"):
+                    inner_error = max_relative_difference(result.scalar_flux, scalar)
                 history.inner_errors.append(inner_error)
                 scalar = result.scalar_flux
                 inners_done += 1
                 if self.inner_tolerance > 0.0 and inner_error <= self.inner_tolerance:
                     break
             history.inners_per_outer.append(inners_done)
-            outer_error = max_relative_difference(scalar, outer_flux)
+            with phase(tel, "convergence"):
+                outer_error = max_relative_difference(scalar, outer_flux)
             history.outer_errors.append(outer_error)
             if self.outer_tolerance > 0.0 and outer_error <= self.outer_tolerance:
                 history.converged = True

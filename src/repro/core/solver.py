@@ -126,6 +126,10 @@ class TransportSolver:
         Octant-parallel sweep override; defaults to ``spec.octant_parallel``.
     store_angular_flux:
         Keep the full angular flux of the final sweep.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` instrument handed to the
+        sweep executor (phases ``source``/``sweep``/``convergence`` plus the
+        sweep counters); ``None`` keeps every path uninstrumented.
     """
 
     def __init__(
@@ -139,9 +143,11 @@ class TransportSolver:
         num_threads: int = 1,
         octant_parallel: bool | None = None,
         store_angular_flux: bool = False,
+        telemetry=None,
     ):
         t0 = time.perf_counter()
         self.spec = spec
+        self.telemetry = telemetry
 
         self.mesh = mesh if mesh is not None else build_snap_mesh(
             StructuredGridSpec(spec.nx, spec.ny, spec.nz, spec.lx, spec.ly, spec.lz),
@@ -187,6 +193,7 @@ class TransportSolver:
                 spec.octant_parallel if octant_parallel is None else bool(octant_parallel)
             ),
             store_angular_flux=store_angular_flux,
+            telemetry=telemetry,
         )
         self.node_weights = node_integration_weights(self.factors, self.ref)
         self.setup_seconds = time.perf_counter() - t0

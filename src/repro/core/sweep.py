@@ -35,6 +35,8 @@ from ..materials.cross_sections import MaterialLibrary
 from ..mesh.hexmesh import UnstructuredHexMesh
 from ..solvers.registry import LocalSolver, get_solver
 from ..sweepsched.schedule import SweepSchedule
+from ..telemetry import Telemetry
+from ..telemetry import active as telemetry_active
 from .assembly import AssemblyTimings, ElementMatrices
 from .flux import AngularFluxBank
 
@@ -132,6 +134,12 @@ class SweepExecutor:
         identical whatever ``num_threads`` is.
     store_angular_flux:
         Keep the full ``(E, A, G, N)`` angular flux in the sweep result.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` instrument.  When set,
+        every sweep is recorded as a ``sweep`` phase with counters (local
+        solves, assemble/solve seconds, factor-cache hits/misses from caching
+        engines, octant-pool occupancy); when ``None`` (the default) the
+        sweep path performs no telemetry work at all.
     """
 
     def __init__(
@@ -150,6 +158,7 @@ class SweepExecutor:
         num_threads: int = 1,
         octant_parallel: bool = False,
         store_angular_flux: bool = False,
+        telemetry: Telemetry | None = None,
     ):
         self.mesh = mesh
         self.factors = factors
@@ -164,6 +173,9 @@ class SweepExecutor:
         self.num_threads = max(1, int(num_threads))
         self.octant_parallel = bool(octant_parallel)
         self.store_angular_flux = bool(store_angular_flux)
+        #: Optional phase/counter instrument; ``None`` keeps sweeps free of
+        #: any telemetry work (the zero-overhead contract).
+        self.telemetry = telemetry
 
         self.sigma_t = self.materials.sigma_t_per_cell()  # (E, G)
         self.num_groups = self.materials.num_groups
@@ -302,6 +314,30 @@ class SweepExecutor:
             :mod:`repro.verify.mms` (a manufactured angular flux needs the
             anisotropic ``Omega . grad psi`` term in its source).
         """
+        tel = telemetry_active(self.telemetry)
+        if tel is None:
+            # Telemetry off: the exact pre-instrumentation code path -- no
+            # timers, no context managers, no counter updates.
+            return self._sweep_impl(total_source, boundary_values, angular_source)
+        with tel.phase("sweep"):
+            result = self._sweep_impl(total_source, boundary_values, angular_source)
+        tel.incr("sweeps")
+        tel.incr("local_solves", result.timings.systems_solved)
+        tel.incr("sweep_assembly_seconds", result.timings.assembly_seconds)
+        tel.incr("sweep_solve_seconds", result.timings.solve_seconds)
+        if self.octant_parallel:
+            tel.gauge(
+                "octant_pool_workers",
+                min(len(self.quadrature.octant_order()), self.num_threads) or 1,
+            )
+        return result
+
+    def _sweep_impl(
+        self,
+        total_source: np.ndarray,
+        boundary_values: BoundaryValues | None = None,
+        angular_source: np.ndarray | None = None,
+    ) -> SweepResult:
         mesh = self.mesh
         num_elements = mesh.num_cells
         num_groups = self.num_groups

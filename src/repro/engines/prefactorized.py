@@ -32,6 +32,7 @@ import time
 import numpy as np
 
 from ..solvers.prefactor import batched_gaussian_lu_factor, batched_gaussian_lu_solve
+from ..telemetry import active
 from .batched import (
     assemble_bucket_matrices,
     assemble_bucket_rhs,
@@ -66,6 +67,7 @@ class PrefactorizedSweepEngine:
         num_nodes = executor.num_nodes
         factor, solve_factored = self._factor_pair(executor)
         cache = executor.factor_cache
+        tel = active(getattr(executor, "telemetry", None))
         psi_angle = np.zeros((mesh.num_cells, num_groups, num_nodes), dtype=float)
 
         for index, bucket in enumerate(asched.buckets):
@@ -75,6 +77,8 @@ class PrefactorizedSweepEngine:
             # sharing one executor can never read each other's entries.
             key = (getattr(self, "name", "prefactorized"), angle, index)
             entry = cache.get(key)
+            if tel is not None:
+                tel.incr("factor_cache_misses" if entry is None else "factor_cache_hits")
             if entry is None:
                 # Factor-once path: assemble the invariant systems and
                 # couplings, eliminate, and cache the packed factors.  The

@@ -33,6 +33,7 @@ from ..materials.source_terms import FixedSource, uniform_source
 from ..mesh.builder import StructuredGridSpec, build_snap_mesh
 from ..mesh.partition import KBADecomposition, partition_kba
 from ..sweepsched.schedule import build_sweep_schedule
+from ..telemetry import active, phase
 from .comm import SimCommWorld
 from .halo import HaloExchanger
 
@@ -105,6 +106,11 @@ class BlockJacobiDriver:
         otherwise the ``reference`` engine's bucket loop).
     octant_parallel:
         Octant-parallel sweep override; defaults to ``spec.octant_parallel``.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` instrument shared by all
+        rank executors (per-rank ``sweep`` phases accumulate onto the same
+        paths) and fed the halo-traffic counters; ``None`` keeps every path
+        uninstrumented.
     """
 
     def __init__(
@@ -116,8 +122,10 @@ class BlockJacobiDriver:
         engine=None,
         num_threads: int = 1,
         octant_parallel: bool | None = None,
+        telemetry=None,
     ):
         self.spec = spec
+        self.telemetry = telemetry
         self.global_mesh = build_snap_mesh(
             StructuredGridSpec(spec.nx, spec.ny, spec.nz, spec.lx, spec.ly, spec.lz),
             max_twist=spec.max_twist,
@@ -179,6 +187,7 @@ class BlockJacobiDriver:
                     spec.octant_parallel if octant_parallel is None else bool(octant_parallel)
                 ),
                 halo_faces=sub.halo_faces,
+                telemetry=telemetry,
             )
             self.factors.append(factors)
             self.rank_materials.append(rank_materials)
@@ -232,50 +241,63 @@ class BlockJacobiDriver:
         inners_per_outer: list[int] = []
         timings = AssemblyTimings()
         last_results = [None] * len(subs)
+        tel = active(self.telemetry)
+        halo_messages0 = self.world.message_count
+        halo_bytes0 = self.world.bytes_sent
 
         t0 = time.perf_counter()
         for _outer in range(spec.num_outers):
             outer_flux = [s.copy() for s in scalar]
-            outer_source = [
-                build_outer_source(
-                    self.rank_sources[r], self.rank_materials[r], outer_flux[r], num_nodes
-                )
-                for r in range(len(subs))
-            ]
+            with phase(tel, "source"):
+                outer_source = [
+                    build_outer_source(
+                        self.rank_sources[r], self.rank_materials[r], outer_flux[r], num_nodes
+                    )
+                    for r in range(len(subs))
+                ]
             inners_done = 0
             for _inner in range(spec.num_inners):
                 new_scalar = []
                 # --- concurrent subdomain sweeps (executed sequentially here)
                 for r, executor in enumerate(self.executors):
-                    total_source = build_total_source(
-                        outer_source[r], self.rank_materials[r], scalar[r]
-                    )
+                    with phase(tel, "source"):
+                        total_source = build_total_source(
+                            outer_source[r], self.rank_materials[r], scalar[r]
+                        )
                     result = executor.sweep(total_source, boundary_values=boundary_values[r])
                     timings = timings.merge(result.timings)
                     last_results[r] = result
                     new_scalar.append(result.scalar_flux)
                 # --- halo exchange (every iteration)
-                for r, exchanger in enumerate(self.exchangers):
-                    exchanger.post_outgoing(last_results[r].outgoing_halo)
-                for r, exchanger in enumerate(self.exchangers):
-                    boundary_values[r] = exchanger.collect_incoming(boundary_values[r])
+                with phase(tel, "halo"):
+                    for r, exchanger in enumerate(self.exchangers):
+                        exchanger.post_outgoing(last_results[r].outgoing_halo)
+                    for r, exchanger in enumerate(self.exchangers):
+                        boundary_values[r] = exchanger.collect_incoming(boundary_values[r])
                 # --- global convergence measure
-                error = max(
-                    max_relative_difference(new_scalar[r], scalar[r]) for r in range(len(subs))
-                )
+                with phase(tel, "convergence"):
+                    error = max(
+                        max_relative_difference(new_scalar[r], scalar[r])
+                        for r in range(len(subs))
+                    )
                 inner_errors.append(error)
                 scalar = new_scalar
                 inners_done += 1
                 if spec.inner_tolerance > 0.0 and error <= spec.inner_tolerance:
                     break
             inners_per_outer.append(inners_done)
-            outer_error = max(
-                max_relative_difference(scalar[r], outer_flux[r]) for r in range(len(subs))
-            )
+            with phase(tel, "convergence"):
+                outer_error = max(
+                    max_relative_difference(scalar[r], outer_flux[r]) for r in range(len(subs))
+                )
             outer_errors.append(outer_error)
             if spec.outer_tolerance > 0.0 and outer_error <= spec.outer_tolerance:
                 break
         wall_seconds = time.perf_counter() - t0
+        if tel is not None:
+            tel.incr("halo_messages", self.world.message_count - halo_messages0)
+            tel.incr("halo_bytes", self.world.bytes_sent - halo_bytes0)
+            tel.gauge("ranks", self.num_ranks)
 
         # ----------------------------------------------------- gather to global
         global_flux = np.zeros((self.global_mesh.num_cells, num_groups, num_nodes), dtype=float)

@@ -33,6 +33,7 @@ from .core.iteration import IterationHistory
 from .core.solver import TransportSolver
 from .engines.registry import get_engine
 from .parallel.block_jacobi import BlockJacobiDriver
+from .telemetry import Telemetry, active, phase
 
 __all__ = ["run", "RunResult"]
 
@@ -95,6 +96,10 @@ class RunResult:
     #: Exported mean flux, kept by :meth:`from_dict` when the flux arrays
     #: themselves were not embedded in the payload.
     loaded_mean_flux: float | None = field(default=None, repr=False)
+    #: Phase-level telemetry of the run (``run(spec, telemetry=...)``);
+    #: ``None`` for uninstrumented runs, so exports stay unchanged unless
+    #: telemetry was requested.
+    telemetry: Telemetry | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------- derived
     @property
@@ -128,9 +133,15 @@ class RunResult:
 
     # ------------------------------------------------------------- export
     def summary(self) -> dict:
-        """Compact dictionary used by reports and the CLI."""
+        """Compact dictionary used by reports and the CLI.
+
+        Instrumented runs additionally carry ``phase_seconds`` -- the flat
+        per-phase wall-clock breakdown of the telemetry (dotted nesting
+        paths) -- so reports can say where the time went; uninstrumented
+        runs omit the key entirely (goldens and store records stay stable).
+        """
         cells, groups, nodes = self._problem_shape()
-        return {
+        data = {
             "engine": self.engine,
             "solver": self.solver,
             "ranks": self.num_ranks,
@@ -152,6 +163,12 @@ class RunResult:
             "halo_messages": self.messages,
             "halo_bytes": self.bytes_exchanged,
         }
+        if self.telemetry is not None:
+            data["phase_seconds"] = {
+                path: self.telemetry.phase_seconds[path]
+                for path in sorted(self.telemetry.phase_seconds)
+            }
+        return data
 
     def to_dict(self, include_flux: bool = False) -> dict:
         """JSON-safe dictionary: the summary plus histories and leakage.
@@ -172,6 +189,8 @@ class RunResult:
             for key in ("emission", "absorption", "leakage", "scattering_in", "scattering_out")
         }
         data["spec"] = self.spec.to_dict() if self.spec is not None else None
+        if self.telemetry is not None:
+            data["telemetry"] = self.telemetry.to_dict()
         if include_flux:
             if self.scalar_flux is None:
                 raise ValueError("include_flux=True but this result carries no flux arrays")
@@ -230,6 +249,9 @@ class RunResult:
             solver=str(data["solver"]),
             spec=spec,
             loaded_mean_flux=float(data["mean_flux"]) if "mean_flux" in data else None,
+            telemetry=(
+                Telemetry.from_dict(data["telemetry"]) if "telemetry" in data else None
+            ),
         )
 
     @classmethod
@@ -249,6 +271,7 @@ def run(
     fixed_source=None,
     quadrature=None,
     angular_source=None,
+    telemetry: Telemetry | bool | None = None,
 ) -> RunResult:
     """Solve a transport problem and return a unified :class:`RunResult`.
 
@@ -283,7 +306,25 @@ def run(
         only).  This is the method-of-manufactured-solutions hook used by
         :mod:`repro.verify` -- see :meth:`SweepExecutor.sweep
         <repro.core.sweep.SweepExecutor.sweep>`.
+    telemetry:
+        Phase-level instrumentation (:mod:`repro.telemetry`).  Pass ``True``
+        to create a fresh :class:`~repro.telemetry.Telemetry`, or an existing
+        instance to accumulate across runs; the instrument comes back on
+        :attr:`RunResult.telemetry` with top-level ``setup``/``solve``
+        phases, the nested iteration/sweep breakdown
+        (``solve.source``/``solve.sweep``/``solve.convergence``, plus
+        ``solve.halo`` for multi-rank runs) and the sweep counters (local
+        solves, factor-cache hits/misses, halo traffic, octant-pool
+        occupancy).  The default ``None`` runs fully uninstrumented -- the
+        hot paths perform no telemetry work at all -- and a *disabled*
+        instrument is treated exactly like ``None``: nothing is recorded,
+        the result carries no telemetry and the exports stay key-stable.
     """
+    if telemetry is True:
+        telemetry = Telemetry()
+    elif telemetry is False:
+        telemetry = None
+    tel = active(telemetry)
     engine_obj = get_engine(engine if engine is not None else spec.engine)
     # Duck-typed instances passed straight through get_engine may not carry a
     # registry name; fall back to the class name for reporting.
@@ -295,17 +336,20 @@ def run(
         if angular_source is not None:
             raise ValueError("angular_source is not supported for multi-rank runs")
         t0 = time.perf_counter()
-        driver = BlockJacobiDriver(
-            spec,
-            materials=materials,
-            fixed_source=fixed_source,
-            quadrature=quadrature,
-            engine=engine_obj,
-            num_threads=num_threads,
-            octant_parallel=octant_parallel,
-        )
+        with phase(tel, "setup"):
+            driver = BlockJacobiDriver(
+                spec,
+                materials=materials,
+                fixed_source=fixed_source,
+                quadrature=quadrature,
+                engine=engine_obj,
+                num_threads=num_threads,
+                octant_parallel=octant_parallel,
+                telemetry=tel,
+            )
         setup_seconds = time.perf_counter() - t0
-        result = driver.solve()
+        with phase(tel, "solve"):
+            result = driver.solve()
         history = IterationHistory(
             inner_errors=result.inner_errors,
             outer_errors=result.outer_errors,
@@ -331,19 +375,23 @@ def run(
             engine=engine_name,
             solver=spec.solver,
             spec=spec,
+            telemetry=tel,
         )
 
-    solver = TransportSolver(
-        spec,
-        materials=materials,
-        fixed_source=fixed_source,
-        quadrature=quadrature,
-        engine=engine_obj,
-        num_threads=num_threads,
-        octant_parallel=octant_parallel,
-        store_angular_flux=store_angular_flux,
-    )
-    result = solver.solve(angular_source=angular_source)
+    with phase(tel, "setup"):
+        solver = TransportSolver(
+            spec,
+            materials=materials,
+            fixed_source=fixed_source,
+            quadrature=quadrature,
+            engine=engine_obj,
+            num_threads=num_threads,
+            octant_parallel=octant_parallel,
+            store_angular_flux=store_angular_flux,
+            telemetry=tel,
+        )
+    with phase(tel, "solve"):
+        result = solver.solve(angular_source=angular_source)
     return RunResult(
         scalar_flux=result.scalar_flux,
         cell_average_flux=result.cell_average_flux,
@@ -360,4 +408,5 @@ def run(
         solver=spec.solver,
         spec=spec,
         angular_flux=result.angular_flux,
+        telemetry=tel,
     )

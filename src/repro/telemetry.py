@@ -1,0 +1,226 @@
+"""Phase-level telemetry: wall-clock phases, counters and gauges.
+
+The paper's claim is about *performance*, so the execution paths need an
+instrument that can say where the time went -- not just the aggregate
+assemble/solve split of :class:`~repro.core.assembly.AssemblyTimings`.  A
+:class:`Telemetry` object is threaded through :func:`repro.run` ->
+:class:`~repro.core.solver.TransportSolver` /
+:class:`~repro.parallel.block_jacobi.BlockJacobiDriver` ->
+:class:`~repro.core.iteration.IterationController` ->
+:meth:`~repro.core.sweep.SweepExecutor.sweep` and records:
+
+* **phases** -- nested wall-clock sections (``setup``, ``solve``,
+  ``solve.source``, ``solve.sweep``, ``solve.halo``, ...), identified by the
+  dotted path of the enclosing phases, with per-phase call counts;
+* **counters** -- monotonically accumulated event counts (local solves,
+  factor-cache hits/misses, halo bytes);
+* **gauges** -- last-written point-in-time values (octant-pool occupancy).
+
+Telemetry is strictly opt-in: every instrumented call site keeps the object
+optional (``telemetry=None``) and guards with a single ``is None`` check (or
+a no-op context manager), so a run without telemetry executes the exact same
+arithmetic with no timer calls, no allocations and no locks on the hot path
+-- the zero-overhead contract asserted by ``tests/bench/test_telemetry.py``.
+Numerics are never affected either way: telemetry only ever *observes*.
+
+Phase nesting is tracked per thread, so octant-pool workers incrementing
+counters concurrently are safe (counter updates take a lock) while phase
+paths stay well-formed on the thread that opened them.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["Telemetry", "PhaseTimer", "NULL_PHASE", "active", "phase"]
+
+
+class _NullPhase:
+    """Shared no-op context manager returned by disabled telemetry."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+#: The singleton no-op phase returned by :func:`phase` for ``None``.
+NULL_PHASE = _NullPhase()
+
+
+def active(telemetry: "Telemetry | None") -> "Telemetry | None":
+    """Normalise an optional instrument for instrumented code: disabled
+    instances become ``None``, so call sites need only one ``is None`` test
+    (and must never use truthiness -- a fresh instrument is empty)."""
+    return telemetry if telemetry is not None and telemetry.enabled else None
+
+
+def phase(telemetry: "Telemetry | None", name: str):
+    """``telemetry.phase(name)``, or the shared no-op context for ``None``.
+
+    The standard guard for instrumented sections::
+
+        tel = active(self.telemetry)
+        with phase(tel, "source"):
+            ...
+    """
+    return NULL_PHASE if telemetry is None else telemetry.phase(name)
+
+
+class PhaseTimer:
+    """Times one phase of one :class:`Telemetry` (use via ``tel.phase``)."""
+
+    __slots__ = ("_telemetry", "_name", "_t0")
+
+    def __init__(self, telemetry: "Telemetry", name: str):
+        self._telemetry = telemetry
+        self._name = name
+
+    def __enter__(self) -> "PhaseTimer":
+        self._telemetry._push(self._name)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        seconds = time.perf_counter() - self._t0
+        self._telemetry._pop(seconds)
+        return False
+
+
+class Telemetry:
+    """Collects phase timings, counters and gauges of one run.
+
+    Parameters
+    ----------
+    enabled:
+        A disabled instance is a cheap universal no-op: ``phase`` returns the
+        shared null context and ``incr``/``gauge`` return immediately, so an
+        instrument can be handed around unconditionally and switched off in
+        one place.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = bool(enabled)
+        #: Dotted phase path -> accumulated wall seconds.
+        self.phase_seconds: dict[str, float] = {}
+        #: Dotted phase path -> number of times the phase was entered.
+        self.phase_calls: dict[str, int] = {}
+        #: Counter name -> accumulated value (ints stay ints).
+        self.counters: dict[str, float] = {}
+        #: Gauge name -> last written value.
+        self.gauges: dict[str, float] = {}
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -------------------------------------------------------------- phases
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def phase(self, name: str) -> "PhaseTimer | _NullPhase":
+        """Context manager timing a (possibly nested) phase.
+
+        Nested phases are recorded under the dotted path of their enclosing
+        phases on the *same thread* (``solve.sweep``), so the breakdown is a
+        tree flattened by path.
+        """
+        if not self.enabled:
+            return NULL_PHASE
+        return PhaseTimer(self, name)
+
+    def _push(self, name: str) -> None:
+        stack = self._stack()
+        stack.append(f"{stack[-1]}.{name}" if stack else name)
+
+    def _pop(self, seconds: float) -> None:
+        path = self._stack().pop()
+        with self._lock:
+            self.phase_seconds[path] = self.phase_seconds.get(path, 0.0) + seconds
+            self.phase_calls[path] = self.phase_calls.get(path, 0) + 1
+
+    # ---------------------------------------------------- counters / gauges
+    def incr(self, counter: str, value: float = 1) -> None:
+        """Accumulate ``value`` onto a named counter (thread-safe)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self.counters[counter] = self.counters.get(counter, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record a point-in-time value (last write wins)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self.gauges[name] = value
+
+    # ------------------------------------------------------------- export
+    def to_dict(self) -> dict:
+        """JSON-safe export: phases (seconds + calls), counters, gauges.
+
+        Keys are sorted so the export is deterministic; numeric values
+        round-trip bit for bit through JSON (doubles serialise exactly).
+        """
+        return {
+            "phases": {
+                path: {
+                    "seconds": self.phase_seconds[path],
+                    "calls": self.phase_calls.get(path, 0),
+                }
+                for path in sorted(self.phase_seconds)
+            },
+            "counters": {name: self.counters[name] for name in sorted(self.counters)},
+            "gauges": {name: self.gauges[name] for name in sorted(self.gauges)},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Telemetry":
+        """Rebuild a telemetry snapshot from :meth:`to_dict` output."""
+        tel = cls()
+        for path, entry in data.get("phases", {}).items():
+            tel.phase_seconds[path] = float(entry["seconds"])
+            tel.phase_calls[path] = int(entry.get("calls", 0))
+        for name, value in data.get("counters", {}).items():
+            tel.counters[name] = value
+        for name, value in data.get("gauges", {}).items():
+            tel.gauges[name] = value
+        return tel
+
+    def merge(self, other: "Telemetry") -> "Telemetry":
+        """Fold another snapshot into this one (phases/counters add, gauges
+        last-write-wins) and return ``self`` -- the multi-rank reduction."""
+        with self._lock:
+            for path, seconds in other.phase_seconds.items():
+                self.phase_seconds[path] = self.phase_seconds.get(path, 0.0) + seconds
+            for path, calls in other.phase_calls.items():
+                self.phase_calls[path] = self.phase_calls.get(path, 0) + calls
+            for name, value in other.counters.items():
+                self.counters[name] = self.counters.get(name, 0) + value
+            self.gauges.update(other.gauges)
+        return self
+
+    # ------------------------------------------------------------ reading
+    def total_seconds(self, prefix: str = "") -> float:
+        """Summed wall seconds of every *top-level* phase under ``prefix``."""
+        depth = prefix.count(".") + 1 if prefix else 0
+        total = 0.0
+        for path, seconds in self.phase_seconds.items():
+            if prefix and not path.startswith(f"{prefix}."):
+                continue
+            if path.count(".") == depth and (not prefix or path != prefix):
+                total += seconds
+        return total
+
+    @property
+    def empty(self) -> bool:
+        """True when nothing was recorded yet.
+
+        Deliberately *not* ``__bool__``: an instrument must stay truthy in
+        ``if tel`` guards even before its first record.
+        """
+        return not (self.phase_seconds or self.counters or self.gauges)

@@ -31,6 +31,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..campaign.store import GOLDEN_MARKER as _GOLDEN_MARKER
 from ..campaign.store import ResultStore, run_key
 from ..config import ProblemSpec
 from ..core.assembly import AssemblyTimings
@@ -124,11 +125,13 @@ def normalise_result(result: RunResult) -> RunResult:
     )
 
 
-#: Marker file identifying a directory as a curated golden store.  Pruning
-#: stale records is destructive, so it only happens in directories blessed
-#: from scratch or carrying the marker -- never in an arbitrary
-#: ``ResultStore`` someone pointed ``--golden-dir`` at by mistake.
-GOLDEN_MARKER = ".unsnap-golden"
+# Marker file identifying a directory as a curated golden store.  Pruning
+# stale records is destructive, so it only happens in directories blessed
+# from scratch or carrying the marker -- never in an arbitrary
+# ``ResultStore`` someone pointed ``--golden-dir`` at by mistake.  The
+# constant lives on the store (``unsnap store gc`` refuses marked
+# directories for the same reason); re-exported here for compatibility.
+GOLDEN_MARKER = _GOLDEN_MARKER
 
 
 def bless_goldens(

@@ -1,0 +1,140 @@
+"""Benchmark registry mechanics: registration, selection, workload policy."""
+
+import pytest
+
+from repro.bench import (
+    BenchWorkload,
+    available_benchmarks,
+    available_tags,
+    benchmark_listing,
+    get_benchmark,
+    register_benchmark,
+    select_benchmarks,
+)
+from repro.bench.registry import _benchmarks
+
+
+@pytest.fixture
+def scratch_case():
+    """Register a throwaway case and clean it up afterwards."""
+    name = "scratch-case"
+
+    @register_benchmark(name, tags=("scratch", "kernel"), aliases=("sc",))
+    def bench_scratch(workload):
+        """A throwaway case for registry tests."""
+        return {"only": {"seconds": 0.0, "n": workload.n}}
+
+    yield name
+    _benchmarks.remove(name)
+
+
+class TestRegistry:
+    def test_built_in_cases_registered(self):
+        names = available_benchmarks()
+        for expected in (
+            "engine-sweep", "assembly-kernel", "solve-kernel", "matrix-setup",
+            "fd-vs-fem", "thread-scaling-linear", "thread-scaling-cubic",
+            "block-jacobi-ranks", "table2-solvers", "study-backends",
+            "sweep-vs-model",
+        ):
+            assert expected in names
+
+    def test_register_and_lookup(self, scratch_case):
+        case = get_benchmark(scratch_case)
+        assert case.name == scratch_case
+        assert case.tags == ("scratch", "kernel")
+        assert case.description == "A throwaway case for registry tests."
+        assert get_benchmark("sc") is case
+        assert get_benchmark("SCRATCH-CASE") is case
+
+    def test_duplicate_name_rejected(self, scratch_case):
+        with pytest.raises(ValueError, match="already registered"):
+            register_benchmark(scratch_case)(lambda workload: {})
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_benchmark("no-such-case")
+
+    def test_listing_carries_tags_and_descriptions(self):
+        rows = {name: (tags, desc) for name, tags, desc in benchmark_listing()}
+        tags, desc = rows["engine-sweep"]
+        assert "kernel" in tags
+        assert desc
+
+    def test_tags_union(self, scratch_case):
+        assert "scratch" in available_tags()
+
+
+class TestSelection:
+    def test_no_filter_selects_everything(self):
+        assert [c.name for c in select_benchmarks(None)] == available_benchmarks()
+
+    def test_select_by_tag(self):
+        cases = select_benchmarks(["scaling"])
+        names = {c.name for c in cases}
+        assert names == {
+            "thread-scaling-linear", "thread-scaling-cubic", "block-jacobi-ranks"
+        }
+
+    def test_select_by_name_and_alias(self):
+        assert [c.name for c in select_benchmarks(["engine-sweep"])] == ["engine-sweep"]
+        assert [c.name for c in select_benchmarks(["engines"])] == ["engine-sweep"]
+
+    def test_filters_union_without_duplicates(self):
+        cases = select_benchmarks(["engine-sweep", "kernel"])
+        names = [c.name for c in cases]
+        assert names.count("engine-sweep") == 1
+        assert set(names) >= {"engine-sweep", "assembly-kernel", "solve-kernel"}
+
+    def test_unknown_filter_names_choices(self):
+        with pytest.raises(KeyError, match="tags:"):
+            select_benchmarks(["warp-drive"])
+
+
+class TestCaseContract:
+    def test_sample_shape_validated(self):
+        @register_benchmark("bad-shape-case")
+        def bench_bad(workload):
+            return {"sample": {"no_seconds": 1.0}}
+
+        try:
+            with pytest.raises(TypeError, match="'seconds'"):
+                get_benchmark("bad-shape-case").run(BenchWorkload())
+        finally:
+            _benchmarks.remove("bad-shape-case")
+
+    def test_empty_result_rejected(self):
+        @register_benchmark("empty-case")
+        def bench_empty(workload):
+            return {}
+
+        try:
+            with pytest.raises(TypeError, match="non-empty"):
+                get_benchmark("empty-case").run(BenchWorkload())
+        finally:
+            _benchmarks.remove("empty-case")
+
+
+class TestWorkload:
+    def test_env_overrides_apply(self):
+        env = {"UNSNAP_BENCH_N": "5", "UNSNAP_BENCH_GROUPS": "3",
+               "UNSNAP_BENCH_REPEATS": "7"}
+        workload = BenchWorkload.from_env(env=env)
+        assert (workload.n, workload.num_groups, workload.repeats) == (5, 3, 7)
+        assert workload.angles_per_octant == 2  # full-tier default
+
+    def test_smoke_tier_shrinks_but_env_wins(self):
+        workload = BenchWorkload.from_env(smoke=True, env={})
+        assert workload.smoke and workload.n == 3 and workload.repeats == 1
+        overridden = BenchWorkload.from_env(smoke=True, env={"UNSNAP_BENCH_N": "6"})
+        assert overridden.n == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BenchWorkload(n=0)
+        with pytest.raises(ValueError):
+            BenchWorkload(repeats=0)
+
+    def test_dict_round_trip(self):
+        workload = BenchWorkload(n=4, smoke=True)
+        assert BenchWorkload.from_dict(workload.to_dict()) == workload

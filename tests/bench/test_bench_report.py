@@ -1,0 +1,211 @@
+"""The unsnap-bench-v1 report: round-trips, statistics, the regression gate."""
+
+import json
+
+import pytest
+
+from repro.bench import BenchReport, BenchWorkload, compare_reports
+from repro.bench.registry import _benchmarks, register_benchmark
+from repro.bench.report import CaseReport, SampleStats
+from repro.bench.suite import run_benchmarks, run_case
+
+
+def make_report(seconds_by_sample: dict[str, float], case: str = "case-a") -> BenchReport:
+    """A minimal single-case report with one measurement per sample."""
+    return BenchReport(
+        cases=(
+            CaseReport(
+                name=case,
+                tags=("kernel",),
+                samples=tuple(
+                    SampleStats(name=name, seconds=(value,), metrics={"iterations": 1})
+                    for name, value in seconds_by_sample.items()
+                ),
+            ),
+        ),
+        workload=BenchWorkload(),
+        machine={"python": "test"},
+        git=None,
+    )
+
+
+class TestSampleStats:
+    def test_statistics(self):
+        stats = SampleStats(name="s", seconds=(3.0, 1.0, 2.0))
+        assert stats.best == 1.0
+        assert stats.mean == 2.0
+        assert stats.worst == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no measurements"):
+            SampleStats(name="s", seconds=())
+
+
+class TestReportRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        report = make_report({"fast": 0.1 + 0.2, "slow": 1.0})
+        path = report.save(tmp_path / "report.json")
+        loaded = BenchReport.load(path)
+        assert loaded.to_dict() == report.to_dict()
+        assert loaded.case("case-a").sample("fast").best == 0.1 + 0.2
+
+    def test_format_marker_enforced(self, tmp_path):
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps({"benchmark": "old-shape", "engines": {}}))
+        with pytest.raises(ValueError, match="unsnap-bench-v1"):
+            BenchReport.load(path)
+
+    def test_corrupt_json_named(self, tmp_path):
+        path = tmp_path / "corrupt.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            BenchReport.load(path)
+
+    def test_run_benchmarks_report_round_trips(self, tmp_path):
+        """A real measured report survives save -> load bit for bit."""
+
+        @register_benchmark("report-rt-case", tags=("scratch",))
+        def bench_rt(workload):
+            return {"only": {"seconds": 0.001, "n": workload.n}}
+
+        try:
+            report = run_benchmarks(["report-rt-case"],
+                                    workload=BenchWorkload(repeats=2, warmup=0))
+        finally:
+            _benchmarks.remove("report-rt-case")
+        path = report.save(tmp_path / "real.json")
+        assert BenchReport.load(path).to_dict() == report.to_dict()
+        case = report.case("report-rt-case")
+        assert len(case.sample("only").seconds) == 2
+
+
+class TestWarmupAndRepeats:
+    def test_warmup_discarded_repeats_kept(self):
+        calls = []
+
+        @register_benchmark("policy-case", tags=("scratch",))
+        def bench_policy(workload):
+            calls.append(len(calls))
+            return {"only": {"seconds": float(len(calls))}}
+
+        try:
+            case = run_case(
+                _benchmarks.resolve("policy-case"),
+                BenchWorkload(repeats=3, warmup=2),
+            )
+        finally:
+            _benchmarks.remove("policy-case")
+        assert len(calls) == 5
+        # Warmup invocations (seconds 1.0 and 2.0) never reach the stats.
+        assert case.sample("only").seconds == (3.0, 4.0, 5.0)
+        assert case.warmup == 2 and case.repeats == 3
+
+
+class TestCompare:
+    def test_self_compare_passes(self):
+        report = make_report({"a": 1.0, "b": 2.0})
+        comparison = report.compare(report)
+        assert comparison.verdict == "pass"
+        assert comparison.passed
+        assert all(entry.speedup == 1.0 for entry in comparison.entries)
+
+    def test_injected_slowdown_fails(self):
+        """The negative control: a slowed sample must trip the gate."""
+        baseline = make_report({"a": 1.0, "b": 2.0})
+        slowed = make_report({"a": 1.0, "b": 2.0 * 1.4})
+        comparison = compare_reports(slowed, baseline, tolerance=0.25)
+        assert comparison.verdict == "fail"
+        assert not comparison.passed
+        assert [(e.case, e.sample) for e in comparison.regressions] == [("case-a", "b")]
+
+    def test_warn_band_between_half_and_full_tolerance(self):
+        baseline = make_report({"a": 1.0})
+        warned = make_report({"a": 1.2})
+        comparison = compare_reports(warned, baseline, tolerance=0.25)
+        assert comparison.verdict == "warn"
+        assert comparison.passed  # warn never fails the gate
+
+    def test_speedup_passes(self):
+        baseline = make_report({"a": 2.0})
+        faster = make_report({"a": 0.5})
+        comparison = compare_reports(faster, baseline)
+        assert comparison.verdict == "pass"
+        assert comparison.entries[0].speedup == pytest.approx(4.0)
+
+    def test_missing_and_new_samples_reported_not_failed(self):
+        baseline = make_report({"a": 1.0, "gone": 1.0})
+        current = make_report({"a": 1.0, "fresh": 1.0})
+        comparison = compare_reports(current, baseline)
+        assert comparison.missing == (("case-a", "gone"),)
+        assert comparison.new == (("case-a", "fresh"),)
+        assert comparison.passed
+
+    def test_compare_uses_best_not_mean(self):
+        baseline = make_report({"a": 1.0})
+        noisy = BenchReport(
+            cases=(
+                CaseReport(
+                    name="case-a", tags=(),
+                    samples=(SampleStats(name="a", seconds=(5.0, 1.0)),),
+                ),
+            ),
+        )
+        assert compare_reports(noisy, baseline).verdict == "pass"
+
+    def test_bad_tolerance_rejected(self):
+        report = make_report({"a": 1.0})
+        with pytest.raises(ValueError, match="positive"):
+            compare_reports(report, report, tolerance=0.0)
+
+    def test_zero_second_samples_never_divide_by_zero(self):
+        """Sub-resolution timers may legally report 0.0 seconds."""
+        baseline = make_report({"a": 0.0, "b": 1.0})
+        current = make_report({"a": 0.0, "b": 0.0})
+        comparison = compare_reports(current, baseline)
+        by_sample = {e.sample: e for e in comparison.entries}
+        assert by_sample["a"].speedup == 1.0
+        assert by_sample["b"].speedup == float("inf")
+        assert comparison.passed
+        comparison.to_dict()  # must not raise either
+
+    def test_mismatched_workloads_are_advisory(self):
+        """Cross-tier compares (smoke vs full baseline) never gate."""
+        full = make_report({"a": 100.0})
+        smoke = BenchReport(
+            cases=full.cases,
+            workload=BenchWorkload.from_env(smoke=True, env={}),
+        )
+        # Identical seconds but different problem sizes: flagged, advisory.
+        comparison = compare_reports(smoke, full)
+        assert not comparison.workload_match
+        assert comparison.gate_passed
+        # Even an apparent 100x "regression" cannot fail the gate cross-tier.
+        slowed = BenchReport(
+            cases=make_report({"a": 10000.0}).cases,
+            workload=BenchWorkload.from_env(smoke=True, env={}),
+        )
+        comparison = compare_reports(slowed, full)
+        assert comparison.verdict == "fail" and comparison.gate_passed
+        assert comparison.to_dict()["workload_match"] is False
+
+    def test_matching_workloads_gate(self):
+        baseline = make_report({"a": 1.0})
+        slowed = make_report({"a": 2.0})
+        comparison = compare_reports(slowed, baseline)
+        assert comparison.workload_match
+        assert not comparison.gate_passed
+
+    def test_measurement_policy_does_not_break_workload_match(self):
+        """repeats/warmup differ per tier but don't change per-sample cost."""
+        baseline = make_report({"a": 1.0})
+        current = BenchReport(
+            cases=baseline.cases,
+            workload=BenchWorkload(repeats=5, warmup=3),
+        )
+        assert compare_reports(current, baseline).workload_match
+
+    def test_comparison_to_dict(self):
+        baseline = make_report({"a": 1.0})
+        data = compare_reports(make_report({"a": 1.5}), baseline).to_dict()
+        assert data["verdict"] == "fail"
+        assert data["entries"][0]["speedup"] == pytest.approx(1 / 1.5)

@@ -1,0 +1,123 @@
+"""ResultStore garbage collection: keep-latest, flux compaction, golden guard."""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.campaign import ResultStore, run_study, Study
+from repro.campaign.store import GOLDEN_MARKER
+from repro.config import ProblemSpec
+
+SPEC = ProblemSpec(nx=2, ny=2, nz=2, angles_per_octant=1, num_groups=1,
+                   num_inners=1, num_outers=1)
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    for i, n in enumerate((2, 3, 4)):
+        s = SPEC.with_(nx=n)
+        path = store.put(s, repro.run(s))
+        # Distinct mtimes so keep-latest ordering is deterministic.
+        stamp = time.time() - 100 + 10 * i
+        os.utime(path, (stamp, stamp))
+    return store
+
+
+class TestKeepLatest:
+    def test_keeps_the_newest_records(self, store):
+        newest = max(store.keys(), key=lambda k: store.path_for(k).stat().st_mtime)
+        stats = store.gc(keep_latest=1)
+        assert stats["removed"] == 2
+        assert store.keys() == [newest]
+
+    def test_keep_latest_larger_than_store_removes_nothing(self, store):
+        assert store.gc(keep_latest=10)["removed"] == 0
+        assert len(store) == 3
+
+    def test_negative_keep_latest_rejected(self, store):
+        with pytest.raises(ValueError, match=">= 0"):
+            store.gc(keep_latest=-1)
+
+
+class TestDropFlux:
+    def test_compacted_records_shrink_and_still_load(self, store):
+        stats = store.gc(drop_flux=True)
+        assert stats["compacted"] == 3
+        assert stats["bytes_after"] < stats["bytes_before"]
+        for spec, _options, result in store.results():
+            assert result.scalar_flux is None
+            assert result.spec == spec
+            assert result.mean_flux > 0  # exported summary value survives
+
+    def test_gc_is_idempotent(self, store):
+        store.gc(drop_flux=True)
+        again = store.gc(drop_flux=True)
+        assert again["compacted"] == 0
+        assert again["bytes_after"] == again["bytes_before"]
+
+    def test_compacted_record_stays_format_valid(self, store):
+        store.gc(drop_flux=True)
+        for key in store.keys():
+            record = json.loads(store.path_for(key).read_text())
+            assert record["format"] == "unsnap-run-v1"
+            assert "scalar_flux" not in record["result"]
+
+    def test_compaction_invalidates_resume_by_content(self, tmp_path):
+        """A compacted store still short-circuits a resumed study (the key is
+        content-based), returning the flux-less summaries."""
+        store = ResultStore(tmp_path / "campaign")
+        study = Study.grid(SPEC, nx=[2, 3])
+        run_study(study, store=store)
+        store.gc(drop_flux=True)
+        resumed = run_study(study, store=store)
+        assert resumed.new_run_count == 0
+        assert all(r.result.scalar_flux is None for r in resumed)
+
+
+class TestDryRunAndGuards:
+    def test_dry_run_reports_without_touching(self, store):
+        before = {k: store.path_for(k).read_bytes() for k in store.keys()}
+        stats = store.gc(keep_latest=1, drop_flux=True, dry_run=True)
+        assert stats["dry_run"] and stats["removed"] == 2 and stats["compacted"] == 1
+        assert {k: store.path_for(k).read_bytes() for k in store.keys()} == before
+
+    def test_refuses_golden_marker(self, store):
+        (store.root / GOLDEN_MARKER).touch()
+        with pytest.raises(ValueError, match="golden"):
+            store.gc(drop_flux=True)
+        assert len(store) == 3
+
+    def test_real_golden_store_is_protected(self):
+        """The repository's own golden store carries the marker."""
+        from repro.verify.golden import default_golden_dir
+
+        golden = default_golden_dir()
+        if not golden.is_dir():  # pragma: no cover - out-of-tree checkout
+            pytest.skip("no golden store in this checkout")
+        assert (golden / GOLDEN_MARKER).exists()
+        with pytest.raises(ValueError, match="golden"):
+            ResultStore(golden).gc(drop_flux=True)
+
+    def test_byte_accounting_matches_disk(self, store):
+        stats = store.gc(drop_flux=True)
+        on_disk = sum(store.path_for(k).stat().st_size for k in store.keys())
+        assert stats["bytes_after"] == on_disk
+
+
+class TestCompactedNumerics:
+    def test_summary_statistics_survive_compaction(self, store):
+        fresh = {
+            key: result for key, (_spec, _o, result) in
+            zip(store.keys(), store.results())
+        }
+        store.gc(drop_flux=True)
+        for key, (_spec, _options, result) in zip(store.keys(), store.results()):
+            original = fresh[key]
+            assert result.mean_flux == original.mean_flux
+            np.testing.assert_array_equal(result.leakage, original.leakage)
+            assert result.history.inner_errors == original.history.inner_errors

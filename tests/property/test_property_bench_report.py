@@ -1,0 +1,111 @@
+"""Property-based tests (hypothesis): unsnap-bench-v1 schema round-trips."""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench import BenchReport, BenchWorkload, compare_reports
+from repro.bench.report import CaseReport, SampleStats
+
+# ------------------------------------------------------------------ strategies
+#: Positive finite doubles; JSON serialises doubles exactly, so arbitrary
+#: magnitudes must survive the round trip bit for bit.
+seconds = st.floats(
+    min_value=1e-9, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+names = st.text(
+    alphabet=st.characters(categories=("Ll", "Nd"), include_characters="-_"),
+    min_size=1, max_size=20,
+)
+metric_values = st.one_of(
+    st.integers(min_value=-(2**31), max_value=2**31),
+    seconds,
+    st.booleans(),
+    names,
+)
+
+
+@st.composite
+def sample_stats(draw):
+    return SampleStats(
+        name=draw(names),
+        seconds=tuple(draw(st.lists(seconds, min_size=1, max_size=5))),
+        metrics=draw(st.dictionaries(names, metric_values, max_size=4)),
+    )
+
+
+@st.composite
+def case_reports(draw):
+    samples = draw(st.lists(sample_stats(), min_size=1, max_size=4,
+                            unique_by=lambda s: s.name))
+    return CaseReport(
+        name=draw(names),
+        tags=tuple(draw(st.lists(names, max_size=3))),
+        samples=tuple(samples),
+        warmup=draw(st.integers(min_value=0, max_value=3)),
+        repeats=draw(st.integers(min_value=1, max_value=5)),
+    )
+
+
+@st.composite
+def bench_workloads(draw):
+    return BenchWorkload(
+        n=draw(st.integers(min_value=1, max_value=32)),
+        angles_per_octant=draw(st.integers(min_value=1, max_value=8)),
+        num_groups=draw(st.integers(min_value=1, max_value=16)),
+        sweeps=draw(st.integers(min_value=1, max_value=5)),
+        jobs=draw(st.integers(min_value=1, max_value=8)),
+        repeats=draw(st.integers(min_value=1, max_value=5)),
+        warmup=draw(st.integers(min_value=0, max_value=3)),
+        smoke=draw(st.booleans()),
+    )
+
+
+@st.composite
+def bench_reports(draw):
+    cases = draw(st.lists(case_reports(), max_size=4, unique_by=lambda c: c.name))
+    return BenchReport(
+        cases=tuple(cases),
+        workload=draw(bench_workloads()),
+        machine=draw(st.dictionaries(names, st.one_of(names, st.integers()), max_size=4)),
+        git=draw(st.one_of(st.none(), st.fixed_dictionaries(
+            {"commit": names, "branch": names, "dirty": st.booleans()}
+        ))),
+    )
+
+
+# ----------------------------------------------------------------- properties
+@settings(max_examples=50, deadline=None)
+@given(report=bench_reports())
+def test_dict_round_trip_is_identity(report):
+    assert BenchReport.from_dict(report.to_dict()).to_dict() == report.to_dict()
+
+
+@settings(max_examples=50, deadline=None)
+@given(report=bench_reports())
+def test_json_round_trip_is_identity(report):
+    """Through actual JSON text: doubles and structure survive exactly."""
+    text = json.dumps(report.to_dict())
+    assert BenchReport.from_dict(json.loads(text)).to_dict() == report.to_dict()
+
+
+@settings(max_examples=50, deadline=None)
+@given(report=bench_reports(), tmp_suffix=st.integers(min_value=0, max_value=10**6))
+def test_save_load_round_trip(report, tmp_suffix, tmp_path_factory):
+    path = tmp_path_factory.mktemp("bench") / f"report-{tmp_suffix}.json"
+    report.save(path)
+    assert BenchReport.load(path).to_dict() == report.to_dict()
+
+
+@settings(max_examples=50, deadline=None)
+@given(report=bench_reports())
+def test_self_compare_always_passes(report):
+    comparison = compare_reports(report, report)
+    assert comparison.verdict == "pass"
+    assert not comparison.missing and not comparison.new
+
+
+@settings(max_examples=50, deadline=None)
+@given(workload=bench_workloads())
+def test_workload_round_trip(workload):
+    assert BenchWorkload.from_dict(workload.to_dict()) == workload

@@ -184,6 +184,21 @@ class TestRunResultRoundTrip:
         loaded = RunResult.from_json(res.to_json(include_flux=True))
         assert res.angular_flux is not None and loaded.angular_flux is None
 
+    def test_round_trip_with_telemetry_is_bit_for_bit(self):
+        for spec in (SMALL, SMALL.with_(npex=3, npey=1)):
+            res = run(spec, telemetry=True)
+            loaded = RunResult.from_json(res.to_json(include_flux=True))
+            assert loaded.telemetry is not None
+            assert loaded.telemetry.phase_seconds == res.telemetry.phase_seconds
+            assert loaded.telemetry.counters == res.telemetry.counters
+            assert loaded.summary()["phase_seconds"] == res.summary()["phase_seconds"]
+            assert loaded.to_dict(include_flux=True) == res.to_dict(include_flux=True)
+
+    def test_uninstrumented_round_trip_carries_no_telemetry(self, result):
+        loaded = RunResult.from_json(result.to_json())
+        assert loaded.telemetry is None
+        assert "telemetry" not in loaded.to_dict()
+
     def test_from_dict_round_trips_converged_flag(self):
         res = run(SMALL.with_(num_inners=50, num_outers=20,
                               inner_tolerance=1e-6, outer_tolerance=1e-6))
