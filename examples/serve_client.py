@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Service tour: the job-queue daemon, the HTTP gateway and request dedup.
+
+Starts an in-process service (daemon + gateway on a free port), drives it
+through :class:`repro.service.ServiceClient` the way a remote caller would:
+submits a deck, streams its telemetry progress, re-submits the identical
+deck (served from the store -- zero new solves), shows the structured 400
+a bad deck gets, and reads the cache-hit ratio off ``/stats``.
+
+Run with:  python examples/serve_client.py
+
+Against a standalone daemon, the same tour is:
+
+    unsnap serve --store runs/ --port 8080          # terminal 1
+    curl -d '{"deck": "nx=4 ny=4 nz=4 ng=2"}' localhost:8080/jobs
+    curl localhost:8080/jobs/1
+    curl localhost:8080/jobs/1/progress
+    curl localhost:8080/stats
+"""
+
+import tempfile
+import threading
+
+from repro.service import ServiceClient, ServiceDaemon, ServiceError, make_server
+
+DECK = "nx=4 ny=4 nz=4 ng=2 nang=2 iitm=2 oitm=1"
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        daemon = ServiceDaemon(store=tmp, backend="serial", workers=2)
+        daemon.start()
+        server = make_server(daemon, port=0)  # port=0: pick a free port
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        client = ServiceClient(port=server.port)
+        print(f"service on http://127.0.0.1:{server.port}  "
+              f"health={client.healthz()['status']}")
+
+        # Submit a deck and watch its telemetry stream until terminal.
+        job = client.submit(deck=DECK)
+        print(f"\njob {job['id']} submitted (state={job['state']})")
+        for snapshot in client.progress(job["id"], interval=0.1):
+            phases = (snapshot.get("telemetry") or {}).get("phases", {})
+            sweep = phases.get("solve.sweep", {}).get("seconds", 0.0)
+            print(f"  progress: state={snapshot['state']:8s} sweep={sweep:.3f}s")
+        first = client.job(job["id"])
+        print(f"done: mean_flux={first['result_summary']['mean_flux']:.6f} "
+              f"cache_hit={first['cache_hit']}")
+
+        # The identical submission costs zero new solves: same content key,
+        # served from the store.
+        twin = client.wait(client.submit(deck=DECK)["id"])
+        assert twin["result_summary"] == first["result_summary"]
+        print(f"\nidentical re-submission: cache_hit={twin['cache_hit']} "
+              f"(bit-identical summary)")
+
+        # Deck errors come back as structured JSON, not a message to parse.
+        try:
+            client.submit(deck="nx=4 bogus=1")
+        except ServiceError as exc:
+            print(f"\nbad deck -> HTTP {exc.status}: key={exc.payload['key']!r} "
+                  f"section={exc.payload['section']!r}")
+
+        stats = client.stats()
+        print(f"\n/stats: executed={stats['executed']} "
+              f"cache_hits={stats['cache_hits']} "
+              f"hit_ratio={stats['cache_hit_ratio']:.2f} "
+              f"store_records={stats['store']['records']}")
+
+        server.shutdown()
+        server.server_close()
+        daemon.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -44,6 +44,11 @@ Public API highlights
 * :class:`repro.Telemetry` -- opt-in phase-level instrumentation threaded
   through :func:`repro.run` (``run(spec, telemetry=True)`` →
   ``result.telemetry``), zero overhead when off.
+* :mod:`repro.service` -- transport-as-a-service: the job-queue daemon
+  (:class:`repro.service.ServiceDaemon`), the stdlib HTTP gateway
+  (``unsnap serve`` / :func:`repro.service.make_server`) and the client
+  (:class:`repro.service.ServiceClient`), with ResultStore-backed request
+  dedup and telemetry-streamed progress.
 """
 
 from .campaign import (
@@ -62,9 +67,10 @@ from .runner import RunResult, run
 from .solvers import available_solvers, get_solver, register_solver
 from .telemetry import Telemetry
 from . import bench
+from . import service
 from . import verify
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "run",
@@ -88,6 +94,7 @@ __all__ = [
     "available_solvers",
     "Telemetry",
     "bench",
+    "service",
     "verify",
     "__version__",
 ]

@@ -218,5 +218,11 @@ def format_bench_comparison(comparison) -> str:
             "differ) -- wall clocks are not comparable, verdicts are advisory "
             "and never fail the regression gate"
         )
+    if not getattr(comparison, "machine_match", True):
+        lines.append(
+            "WARNING: the reports carry different machine fingerprints "
+            "(hardware/runtime differ) -- expect wall-clock noise; this is "
+            "advisory and never fails the regression gate"
+        )
     lines.append(f"comparison verdict: {comparison.verdict.upper()}")
     return "\n\n".join(lines)

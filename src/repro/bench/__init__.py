@@ -48,6 +48,7 @@ from .report import (
     CaseReport,
     SampleStats,
     compare_reports,
+    machine_fingerprint,
 )
 from .suite import run_benchmarks, run_case
 from .workload import BenchWorkload
@@ -70,4 +71,5 @@ __all__ = [
     "SampleStats",
     "BenchComparison",
     "compare_reports",
+    "machine_fingerprint",
 ]

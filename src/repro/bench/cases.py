@@ -12,11 +12,14 @@ Tags group the suite the way the paper's evaluation splits:
 * ``kernel``  -- single-kernel ablations (assembly, local solve, engines);
 * ``scaling`` -- thread-count and rank-count ensembles;
 * ``study``   -- campaign-level grids through ``repro.run_study``;
+* ``service`` -- the service layer (store-backed request dedup);
 * ``model``   -- measured-vs-modelled overlays (run via ``--against-model``).
 """
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 import time
 
 import numpy as np
@@ -283,6 +286,59 @@ def bench_block_jacobi_ranks(workload: BenchWorkload) -> dict[str, dict]:
             ),
         }
     return samples
+
+
+# -------------------------------------------------------------------- service
+@register_benchmark("service-dedup", tags=("service",))
+def bench_service_dedup(workload: BenchWorkload) -> dict[str, dict]:
+    """N identical service submissions vs N cold solves: the dedup win.
+
+    The ``cold`` sample solves the same spec N times through plain
+    :func:`repro.run`; the ``service`` sample submits the identical job N
+    times to a :class:`~repro.service.ServiceDaemon` backed by a throwaway
+    store, so exactly one solve executes and the rest are served by
+    single-flight coalescing or the store.  The ``speedup`` metric is the
+    dedup headline (>= 10x even on the smoke tier: one solve amortised over
+    N requests).
+    """
+    from ..service import ServiceDaemon
+
+    n_jobs = 24 if workload.smoke else 32
+    spec = ProblemSpec(
+        nx=workload.n, ny=workload.n, nz=workload.n, order=1,
+        angles_per_octant=workload.angles_per_octant,
+        num_groups=min(2, workload.num_groups),
+        max_twist=0.001, num_inners=2, num_outers=1, engine="vectorized",
+    )
+    run(spec)  # warm the per-process setup caches out of both measurements
+    t0 = time.perf_counter()
+    for _ in range(n_jobs):
+        run(spec)
+    cold_seconds = time.perf_counter() - t0
+
+    root = tempfile.mkdtemp(prefix="unsnap-bench-dedup-")
+    try:
+        with ServiceDaemon(store=root, backend="serial", workers=2) as daemon:
+            t0 = time.perf_counter()
+            jobs = [daemon.submit(spec, keep_flux=False) for _ in range(n_jobs)]
+            for job in jobs:
+                daemon.wait(job.id, timeout=300.0)
+            service_seconds = time.perf_counter() - t0
+            stats = daemon.stats()
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "cold": {"seconds": cold_seconds, "runs": n_jobs},
+        "service": {
+            "seconds": service_seconds,
+            "runs": n_jobs,
+            "executed": stats["executed"],
+            "cache_hits": stats["cache_hits"],
+            "speedup": (
+                cold_seconds / service_seconds if service_seconds > 0 else float("inf")
+            ),
+        },
+    }
 
 
 # ---------------------------------------------------------------------- study

@@ -46,6 +46,7 @@ __all__ = [
     "BenchComparison",
     "compare_reports",
     "machine_info",
+    "machine_fingerprint",
     "git_info",
 ]
 
@@ -150,6 +151,27 @@ def machine_info() -> dict:
         "machine": platform.machine(),
         "cpus": __import__("os").cpu_count(),
     }
+
+
+#: Machine-info keys that identify *hardware and runtime*, not the run:
+#: two reports agreeing on these were (as far as the report can tell)
+#: measured on the same kind of machine.
+_FINGERPRINT_KEYS = ("platform", "machine", "cpus", "implementation", "python")
+
+
+def machine_fingerprint(machine: dict) -> str:
+    """A short stable identity string for a report's ``machine`` block.
+
+    Built from the hardware/runtime keys only (platform, machine, cpu
+    count, Python implementation and version), so re-running on the same
+    box reproduces it while a laptop-vs-CI comparison does not.  An empty
+    or key-less block fingerprints to ``""`` -- callers treat an unknown
+    side as matching (the advisory must not fire on missing data).
+    """
+    parts = [
+        f"{key}={machine[key]}" for key in _FINGERPRINT_KEYS if machine.get(key) is not None
+    ]
+    return "|".join(parts)
 
 
 def git_info(cwd: str | Path | None = None) -> dict | None:
@@ -289,6 +311,11 @@ class BenchComparison:
     full-tier baseline) the wall clocks are not comparable, so the verdicts
     are advisory and :attr:`gate_passed` -- the ``--fail-on-regress``
     predicate -- never fails on them.
+
+    ``machine_match`` records whether the two reports carry the same
+    :func:`machine_fingerprint` (unknown on either side counts as a match).
+    A mismatch is *purely advisory* -- it prints a warning but never fails
+    the gate: cross-machine compares are legitimate, just noisy.
     """
 
     entries: tuple[SampleComparison, ...]
@@ -296,6 +323,7 @@ class BenchComparison:
     new: tuple[tuple[str, str], ...]      # measured now, not in baseline
     tolerance: float
     workload_match: bool = True
+    machine_match: bool = True
 
     @property
     def verdict(self) -> str:
@@ -324,6 +352,7 @@ class BenchComparison:
         return {
             "verdict": self.verdict,
             "workload_match": self.workload_match,
+            "machine_match": self.machine_match,
             "tolerance": self.tolerance,
             "entries": [entry.to_dict() for entry in self.entries],
             "missing": [list(pair) for pair in self.missing],
@@ -348,6 +377,11 @@ def compare_reports(
     flagged ``workload_match=False``: per-sample verdicts are still computed
     for the printed table, but they compare different amounts of work, so
     :attr:`BenchComparison.gate_passed` treats them as advisory.
+
+    When the reports carry different *machine fingerprints*
+    (:func:`machine_fingerprint` over the hardware/runtime keys), the
+    comparison is flagged ``machine_match=False`` -- an advisory warning in
+    the printed output that never affects the gate.
     """
     if tolerance <= 0.0:
         raise ValueError("tolerance must be positive")
@@ -356,6 +390,9 @@ def compare_reports(
         getattr(current.workload, field) == getattr(baseline.workload, field)
         for field in size_fields
     )
+    current_fp = machine_fingerprint(current.machine)
+    baseline_fp = machine_fingerprint(baseline.machine)
+    machine_match = not current_fp or not baseline_fp or current_fp == baseline_fp
     current_samples = current.sample_index()
     baseline_samples = baseline.sample_index()
     entries = []
@@ -382,4 +419,5 @@ def compare_reports(
         new=tuple(sorted(current_samples.keys() - baseline_samples.keys())),
         tolerance=tolerance,
         workload_match=workload_match,
+        machine_match=machine_match,
     )

@@ -18,6 +18,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 import uuid
 from pathlib import Path
 
@@ -59,6 +60,12 @@ class ResultStore:
 
     def __init__(self, root: str | Path):
         self.root = Path(root)
+        #: In-process cache statistics: every :meth:`get` counts one hit or
+        #: one miss (:meth:`contains` only probes and never counts).  The
+        #: service daemon's ``/stats`` cache-hit ratio reads these.
+        self.hits = 0
+        self.misses = 0
+        self._stats_lock = threading.Lock()
 
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.json"
@@ -99,17 +106,56 @@ class ResultStore:
         return record
 
     # ------------------------------------------------------------- access
+    def _count(self, hit: bool) -> None:
+        with self._stats_lock:
+            if hit:
+                self.hits += 1
+            else:
+                self.misses += 1
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of :meth:`get` calls that found a record (0.0 when none)."""
+        with self._stats_lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
+
+    def contains(self, key_or_spec, run_options: dict | None = None) -> bool:
+        """Whether a record exists for a content key or ``(spec, options)``.
+
+        A pure probe: unlike :meth:`get` it neither loads the record nor
+        updates the :attr:`hits`/:attr:`misses` statistics, so callers can
+        test for the dedup fast path without skewing the hit ratio.
+        """
+        if isinstance(key_or_spec, ProblemSpec):
+            key_or_spec = run_key(key_or_spec, run_options)
+        return self.path_for(key_or_spec).exists()
+
     def get(self, spec: ProblemSpec, run_options: dict | None = None) -> RunResult | None:
         """Load the stored result of a run, or ``None`` if not yet computed."""
         path = self.path_for(run_key(spec, run_options))
         if not path.exists():
+            self._count(hit=False)
             return None
-        return RunResult.from_dict(self._load_record(path)["result"])
+        result = RunResult.from_dict(self._load_record(path)["result"])
+        self._count(hit=True)
+        return result
 
     def put(
-        self, spec: ProblemSpec, result: RunResult, run_options: dict | None = None
+        self,
+        spec: ProblemSpec,
+        result: RunResult,
+        run_options: dict | None = None,
+        *,
+        include_flux: bool = True,
     ) -> Path:
-        """Persist one run (atomic publish, see :meth:`_atomic_write`)."""
+        """Persist one run (atomic publish, see :meth:`_atomic_write`).
+
+        ``include_flux=False`` writes the record without the embedded flux
+        arrays (the per-job memory/disk opt-out of the service daemon): the
+        record still loads and still satisfies the dedup fast path, but only
+        with summary statistics -- the same trade as ``gc(drop_flux=True)``.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         key = run_key(spec, run_options)
         record = {
@@ -117,16 +163,14 @@ class ResultStore:
             "key": key,
             "spec": spec.to_dict(),
             "run_options": dict(run_options or {}),
-            "result": result.to_dict(include_flux=True),
+            "result": result.to_dict(include_flux=include_flux),
         }
         path = self.path_for(key)
         self._atomic_write(path, json.dumps(record) + "\n")
         return path
 
     def __contains__(self, key_or_spec) -> bool:
-        if isinstance(key_or_spec, ProblemSpec):
-            key_or_spec = run_key(key_or_spec)
-        return self.path_for(key_or_spec).exists()
+        return self.contains(key_or_spec)
 
     def __len__(self) -> int:
         return len(self.keys())

@@ -45,6 +45,14 @@ Sub-commands
     :class:`~repro.campaign.ResultStore` (``--keep-latest N`` drops old
     records, ``--drop-flux`` strips the flux payloads); golden stores are
     refused.
+``serve``
+    Run the transport service (:mod:`repro.service`): a job-queue daemon
+    plus HTTP gateway accepting deck/spec submissions on ``POST /jobs``,
+    deduplicating identical work through the attached ``--store`` and
+    streaming telemetry progress.  ``--backend`` picks the execution
+    backend, ``--jobs`` the worker count; ``--max-queue`` and
+    ``--max-body-bytes`` bound the intake (429 / 413).  Stops cleanly on
+    SIGINT (Ctrl-C).
 """
 
 from __future__ import annotations
@@ -199,6 +207,42 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--list", action="store_true",
         help="list the registered benchmark cases (with tags) and exit",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="run the job-queue daemon + HTTP gateway (repro.service)"
+    )
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="listen port (0 picks a free port; the chosen one is printed)",
+    )
+    serve.add_argument(
+        "--store", type=str, default=None, metavar="DIR",
+        help="result-store directory used as the request-dedup cache "
+        "(identical submissions are served from it without a new solve)",
+    )
+    serve.add_argument(
+        "--backend", type=str, default="serial",
+        help="execution backend name or alias: serial | thread | process "
+        "(see 'unsnap backends')",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="worker threads draining the job queue (default 2)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=64, metavar="N",
+        help="maximum queued jobs before submissions get 429 (default 64)",
+    )
+    serve.add_argument(
+        "--max-body-bytes", type=int, default=None, metavar="N",
+        help="maximum request body size before submissions get 413 "
+        "(default 1 MiB)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true",
+        help="log every request to stderr",
     )
 
     store = sub.add_parser("store", help="result-store maintenance")
@@ -569,6 +613,54 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import DEFAULT_MAX_BODY_BYTES, ServiceDaemon, make_server
+
+    try:
+        daemon = ServiceDaemon(
+            store=args.store,
+            backend=args.backend,
+            workers=args.jobs,
+            max_queue_depth=args.max_queue,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 2
+    try:
+        server = make_server(
+            daemon,
+            host=args.host,
+            port=args.port,
+            max_body_bytes=(
+                args.max_body_bytes
+                if args.max_body_bytes is not None
+                else DEFAULT_MAX_BODY_BYTES
+            ),
+            quiet=not args.verbose,
+        )
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port} ({exc})", file=sys.stderr)
+        return 2
+    daemon.start()
+    store_note = f", store={args.store}" if args.store else ""
+    # The CI smoke job (and any supervisor) waits for this line before
+    # submitting; keep it one flushed line with the bound host:port.
+    print(
+        f"unsnap service listening on http://{args.host}:{server.port} "
+        f"(backend={daemon.backend_name}, workers={daemon.workers}{store_note})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        daemon.shutdown()
+    print("unsnap service shut down cleanly", flush=True)
+    return 0
+
+
 def _cmd_store(args: argparse.Namespace) -> int:
     from .campaign import ResultStore
 
@@ -625,6 +717,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_verify(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "store":
         return _cmd_store(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -68,7 +68,28 @@ __all__ = [
     "parse_axis_option",
     "valid_problem_keys",
     "valid_study_keys",
+    "UnknownDeckKeyError",
 ]
+
+
+class UnknownDeckKeyError(KeyError):
+    """An input deck used a key its section does not accept.
+
+    Subclasses :class:`KeyError` so existing ``except KeyError`` consumers
+    (the CLI) keep working, but carries the offending :attr:`key`, the
+    :attr:`section` it appeared in and that section's :attr:`valid_keys` as
+    stable attributes -- the HTTP gateway maps them into a structured 400
+    body instead of parsing the message string.
+    """
+
+    def __init__(self, key: str, section: str, valid_keys: list[str]):
+        self.key = key
+        self.section = section
+        self.valid_keys = tuple(valid_keys)
+        super().__init__(
+            f"unknown input deck key {key!r} in [{section}] section; "
+            f"valid keys: {', '.join(valid_keys)}"
+        )
 
 _INT_KEYS = {
     "nx": "nx", "ny": "ny", "nz": "nz",
@@ -118,11 +139,8 @@ def valid_study_keys() -> list[str]:
     return sorted(deck_keys | field_names | {"nthreads", "num_threads"})
 
 
-def _unknown_key_error(key: str, section: str, valid: list[str]) -> KeyError:
-    return KeyError(
-        f"unknown input deck key {key!r} in [{section}] section; "
-        f"valid keys: {', '.join(valid)}"
-    )
+def _unknown_key_error(key: str, section: str, valid: list[str]) -> UnknownDeckKeyError:
+    return UnknownDeckKeyError(key, section, valid)
 
 
 def _parse_bool(key: str, raw: str) -> bool:

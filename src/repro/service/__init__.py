@@ -1,0 +1,61 @@
+"""Transport-as-a-service: the job-queue daemon and its HTTP gateway.
+
+The fifth registry-driven subsystem turns the campaign API into a *service*:
+:class:`ServiceDaemon` (a bounded in-process job queue draining onto a
+worker pool that executes through the campaign backend registry, with the
+content-hashed :class:`~repro.campaign.store.ResultStore` as a request-dedup
+cache and single-flight coalescing of identical in-flight submissions) plus
+a stdlib HTTP gateway (:func:`make_server` / ``unsnap serve``) and a small
+client (:class:`ServiceClient`).
+
+Quick tour::
+
+    from repro.service import ServiceDaemon, make_server, ServiceClient
+
+    daemon = ServiceDaemon(store="runs/", backend="serial", workers=2).start()
+    server = make_server(daemon, port=0)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+
+    client = ServiceClient(port=server.port)
+    job = client.submit(deck="nx=4 ny=4 nz=4 ng=2")
+    print(client.wait(job["id"])["result_summary"]["mean_flux"])
+
+Dedup semantics: a job is keyed by the SHA-256 of its canonical
+``(spec, run_options)`` payload -- the same key the store files records
+under -- so re-submitting identical work is served from the store (zero new
+solves), and identical jobs submitted *while one is already running* park
+behind it and share its result.
+"""
+
+from .client import ServiceClient, ServiceError
+from .daemon import JobCancelled, QueueFullError, ServiceDaemon
+from .http import DEFAULT_MAX_BODY_BYTES, ServiceHTTPServer, make_server
+from .job import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    JOB_STATES,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    Job,
+)
+
+__all__ = [
+    "ServiceDaemon",
+    "ServiceHTTPServer",
+    "make_server",
+    "ServiceClient",
+    "ServiceError",
+    "Job",
+    "JobCancelled",
+    "QueueFullError",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+    "DEFAULT_MAX_BODY_BYTES",
+]

@@ -1,0 +1,168 @@
+"""The service job model: one submitted run and its lifecycle.
+
+A :class:`Job` is what the daemon queues: a :class:`~repro.config.
+ProblemSpec` plus run options, identified by a monotonically increasing id
+*and* by the content hash of its canonical ``(spec, run_options)`` payload
+(:func:`repro.campaign.store.run_key` -- the same key the
+:class:`~repro.campaign.store.ResultStore` files records under, which is
+exactly what makes store-backed request dedup work).
+
+The state machine is deliberately small::
+
+    queued --> running --> done
+       |          |------> failed
+       |          '------> cancelled   (in-flight, best-effort)
+       '-----------------> cancelled   (pre-start, always honoured)
+
+plus the coalesced shortcut ``queued -> done`` taken when an identical
+in-flight job (same content key) finishes first and this one is served its
+result without ever starting.  :meth:`Job.transition` enforces the edges, so
+an illegal transition is a bug that fails loudly rather than a silently
+inconsistent status endpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+
+from ..config import ProblemSpec
+from ..telemetry import Telemetry
+
+__all__ = [
+    "Job",
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+    "TERMINAL_STATES",
+    "JOB_STATES",
+]
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: Every state a job can be in.
+JOB_STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+
+#: States a job never leaves.
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+#: The legal edges of the state machine (see the module docstring).
+_TRANSITIONS = {
+    QUEUED: frozenset({RUNNING, CANCELLED, DONE}),
+    RUNNING: frozenset({DONE, FAILED, CANCELLED}),
+    DONE: frozenset(),
+    FAILED: frozenset(),
+    CANCELLED: frozenset(),
+}
+
+
+@dataclass
+class Job:
+    """One submitted run and its current state.
+
+    Mutable on purpose -- the daemon advances :attr:`state` under its lock;
+    everything else is written exactly once.  :meth:`to_dict` /
+    :meth:`from_dict` round-trip through JSON (the gateway's wire format);
+    the live :attr:`telemetry` instrument is process-local and never
+    serialised -- the progress endpoint streams its snapshots instead.
+    """
+
+    id: int
+    key: str
+    spec: ProblemSpec
+    run_options: dict = field(default_factory=dict)
+    state: str = QUEUED
+    #: Keep the flux arrays in the store record (``False`` bounds memory and
+    #: disk for callers that only need the summary).
+    keep_flux: bool = True
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: ``"ExceptionType: message"`` for failed jobs.
+    error: str | None = None
+    #: Set by ``cancel()`` on a running job; execution hooks may observe it
+    #: and abort (best-effort -- the run may finish first and win the race).
+    cancel_requested: bool = False
+    #: The result was served from the store or an identical in-flight job
+    #: rather than a fresh solve.
+    cache_hit: bool = False
+    #: ``RunResult.summary()`` of the finished run (terminal ``done`` only).
+    result_summary: dict | None = None
+    #: Live instrument of the executing run (in-process backends only).
+    telemetry: Telemetry | None = field(default=None, repr=False, compare=False)
+
+    # ------------------------------------------------------- state machine
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def transition(self, new_state: str) -> None:
+        """Advance the state machine, rejecting illegal edges.
+
+        Raises ``ValueError`` naming both states when the edge does not
+        exist (e.g. ``done -> running``) -- terminal states are final.
+        """
+        if new_state not in _TRANSITIONS:
+            raise ValueError(f"unknown job state {new_state!r}; states: {JOB_STATES}")
+        if new_state not in _TRANSITIONS[self.state]:
+            raise ValueError(
+                f"job {self.id}: illegal transition {self.state!r} -> {new_state!r}"
+            )
+        self.state = new_state
+
+    # ------------------------------------------------------------- export
+    def to_dict(self) -> dict:
+        """JSON-safe view of the job (the ``GET /jobs/{id}`` body)."""
+        return {
+            "id": self.id,
+            "key": self.key,
+            "state": self.state,
+            "spec": self.spec.to_dict(),
+            "run_options": dict(self.run_options),
+            "keep_flux": self.keep_flux,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "cancel_requested": self.cancel_requested,
+            "cache_hit": self.cache_hit,
+            "result_summary": (
+                dict(self.result_summary) if self.result_summary is not None else None
+            ),
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Job":
+        """Rebuild a job from :meth:`to_dict` output (bit-exact round trip)."""
+        state = str(data["state"])
+        if state not in _TRANSITIONS:
+            raise ValueError(f"unknown job state {state!r}; states: {JOB_STATES}")
+        return cls(
+            id=int(data["id"]),
+            key=str(data["key"]),
+            spec=ProblemSpec.from_dict(data["spec"]),
+            run_options=dict(data.get("run_options", {})),
+            state=state,
+            keep_flux=bool(data.get("keep_flux", True)),
+            submitted_at=float(data["submitted_at"]),
+            started_at=data.get("started_at"),
+            finished_at=data.get("finished_at"),
+            error=data.get("error"),
+            cancel_requested=bool(data.get("cancel_requested", False)),
+            cache_hit=bool(data.get("cache_hit", False)),
+            result_summary=data.get("result_summary"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Job":
+        return cls.from_dict(json.loads(text))

@@ -178,6 +178,18 @@ class Telemetry:
             "gauges": {name: self.gauges[name] for name in sorted(self.gauges)},
         }
 
+    def snapshot(self) -> dict:
+        """Point-in-time :meth:`to_dict`, safe while a run is still mutating
+        the instrument.
+
+        :meth:`to_dict` reads the phase/counter dicts without the lock -- the
+        normal export happens after the run.  The service gateway's progress
+        stream instead samples a *live* instrument from another thread, so
+        this variant takes the counter lock for a consistent copy.
+        """
+        with self._lock:
+            return self.to_dict()
+
     @classmethod
     def from_dict(cls, data: dict) -> "Telemetry":
         """Rebuild a telemetry snapshot from :meth:`to_dict` output."""

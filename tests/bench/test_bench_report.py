@@ -4,7 +4,8 @@ import json
 
 import pytest
 
-from repro.bench import BenchReport, BenchWorkload, compare_reports
+from repro.bench import BenchReport, BenchWorkload, compare_reports, machine_fingerprint
+from repro.bench.report import machine_info
 from repro.bench.registry import _benchmarks, register_benchmark
 from repro.bench.report import CaseReport, SampleStats
 from repro.bench.suite import run_benchmarks, run_case
@@ -209,3 +210,58 @@ class TestCompare:
         data = compare_reports(make_report({"a": 1.5}), baseline).to_dict()
         assert data["verdict"] == "fail"
         assert data["entries"][0]["speedup"] == pytest.approx(1 / 1.5)
+
+
+class TestMachineFingerprint:
+    MACHINE = {
+        "python": "3.12.1", "implementation": "CPython", "numpy": "2.0.0",
+        "platform": "Linux-6.1-x86_64", "machine": "x86_64", "cpus": 16,
+    }
+
+    def with_machine(self, seconds, machine):
+        report = make_report(seconds)
+        return BenchReport(cases=report.cases, workload=report.workload, machine=machine)
+
+    def test_fingerprint_stable_and_hardware_keyed(self):
+        assert machine_fingerprint(self.MACHINE) == machine_fingerprint(dict(self.MACHINE))
+        other = dict(self.MACHINE, cpus=8)
+        assert machine_fingerprint(other) != machine_fingerprint(self.MACHINE)
+        # Run-specific keys (numpy build) do not change the identity.
+        rebuilt = dict(self.MACHINE, numpy="2.1.0")
+        assert machine_fingerprint(rebuilt) == machine_fingerprint(self.MACHINE)
+        assert machine_fingerprint({}) == ""
+
+    def test_live_machine_info_fingerprints(self):
+        assert machine_fingerprint(machine_info()) != ""
+
+    def test_differing_machines_warn_but_never_gate(self):
+        baseline = self.with_machine({"a": 1.0}, self.MACHINE)
+        same = self.with_machine({"a": 1.0}, dict(self.MACHINE))
+        other = self.with_machine({"a": 1.0}, dict(self.MACHINE, cpus=8))
+        assert compare_reports(same, baseline).machine_match
+        comparison = compare_reports(other, baseline)
+        assert not comparison.machine_match
+        # Advisory only: same seconds, gate and verdict unaffected.
+        assert comparison.verdict == "pass" and comparison.gate_passed
+        assert comparison.to_dict()["machine_match"] is False
+        # Even a regression across machines fails on the seconds, not the
+        # fingerprint -- and the fingerprint never rescues a real failure.
+        slowed = self.with_machine({"a": 2.0}, dict(self.MACHINE, cpus=8))
+        regression = compare_reports(slowed, baseline)
+        assert regression.verdict == "fail" and not regression.gate_passed
+
+    def test_unknown_machine_counts_as_match(self):
+        baseline = self.with_machine({"a": 1.0}, {})
+        current = self.with_machine({"a": 1.0}, self.MACHINE)
+        assert compare_reports(current, baseline).machine_match
+        assert compare_reports(baseline, current).machine_match
+
+    def test_formatted_warning_line(self):
+        from repro.analysis.reporting import format_bench_comparison
+
+        baseline = self.with_machine({"a": 1.0}, self.MACHINE)
+        other = self.with_machine({"a": 1.0}, dict(self.MACHINE, machine="arm64"))
+        text = format_bench_comparison(compare_reports(other, baseline))
+        assert "different machine fingerprints" in text
+        matched = format_bench_comparison(compare_reports(baseline, baseline))
+        assert "machine fingerprints" not in matched

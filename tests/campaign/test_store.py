@@ -250,6 +250,43 @@ class TestResumability:
         assert [r.from_cache for r in result] == [True, False]
 
 
+class TestCacheStatistics:
+    def test_get_counts_hits_and_misses(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get(BASE) is None
+        assert (store.hits, store.misses) == (0, 1)
+        store.put(BASE, repro.run(BASE))
+        assert store.get(BASE) is not None
+        assert store.get(BASE) is not None
+        assert (store.hits, store.misses) == (2, 1)
+        assert store.hit_ratio == pytest.approx(2 / 3)
+
+    def test_hit_ratio_zero_on_fresh_store(self, tmp_path):
+        assert ResultStore(tmp_path).hit_ratio == 0.0
+
+    def test_contains_probes_without_counting(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert not store.contains(BASE)
+        store.put(BASE, repro.run(BASE))
+        # By key, by spec, and via the `in` operator -- none of them count.
+        assert store.contains(run_key(BASE))
+        assert store.contains(BASE)
+        assert not store.contains(BASE, {"num_threads": 2})
+        assert BASE in store
+        assert (store.hits, store.misses) == (0, 0)
+        assert store.hit_ratio == 0.0
+
+    def test_put_without_flux_still_dedups(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(BASE, repro.run(BASE), include_flux=False)
+        assert store.contains(BASE)
+        loaded = store.get(BASE)
+        # The flux-less record loads with summary statistics intact -- the
+        # service daemon's keep_flux=False memory/disk opt-out.
+        assert loaded.scalar_flux is None
+        assert loaded.summary()["mean_flux"] > 0
+
+
 @pytest.mark.slow
 class TestProcessBackendWithStore:
     def test_process_backend_populates_and_resumes(self, tmp_path):

@@ -1,0 +1,82 @@
+"""Shared fixtures for the service-layer tests."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+import repro
+from repro.config import ProblemSpec
+from repro.service import JobCancelled, ServiceDaemon, make_server
+
+
+class BlockingExecutor:
+    """A fake executor that parks until released, returning a canned result.
+
+    ``started`` fires when a call begins; ``release`` lets calls finish.
+    Honours cooperative cancellation like a real instrumented run would.
+    The first ``fail_times`` calls raise instead of returning.
+    """
+
+    def __init__(self, result, fail_times: int = 0):
+        self.result = result
+        self.started = threading.Event()
+        self.release = threading.Event()
+        self.calls = 0
+        self.fail_times = fail_times
+        self._lock = threading.Lock()
+
+    def __call__(self, job):
+        with self._lock:
+            self.calls += 1
+            call = self.calls
+        self.started.set()
+        assert self.release.wait(timeout=10.0)
+        if job.cancel_requested:
+            raise JobCancelled()
+        if call <= self.fail_times:
+            raise RuntimeError("manufactured failure")
+        return self.result
+
+
+@pytest.fixture()
+def blocking_executor_cls():
+    """The :class:`BlockingExecutor` fake, shared across test modules."""
+    return BlockingExecutor
+
+
+@pytest.fixture(scope="session")
+def tiny_spec():
+    """The smallest spec worth solving: keeps real-execution tests fast."""
+    return ProblemSpec(
+        nx=2, ny=2, nz=2, order=1, angles_per_octant=1, num_groups=2,
+        max_twist=0.0, num_inners=1, num_outers=1, engine="vectorized",
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_result(tiny_spec):
+    """One real solve of ``tiny_spec``; fake executors return it as-is."""
+    return repro.run(tiny_spec)
+
+
+@pytest.fixture()
+def gateway(tmp_path):
+    """A running daemon + HTTP server; yields ``(server, daemon)``.
+
+    The daemon executes for real (serial backend, store-backed) so the
+    round-trip tests cover the full submit -> solve -> store -> serve path.
+    """
+    daemon = ServiceDaemon(store=tmp_path / "store", backend="serial", workers=2)
+    daemon.start()
+    server = make_server(daemon, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server, daemon
+    finally:
+        server.shutdown()
+        server.server_close()
+        daemon.shutdown()
+        thread.join(timeout=5)

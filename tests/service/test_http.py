@@ -1,0 +1,210 @@
+"""The HTTP gateway and client: the wire contract end to end."""
+
+import json
+import threading
+
+import pytest
+
+from repro.service import (
+    DONE,
+    ServiceClient,
+    ServiceDaemon,
+    ServiceError,
+    make_server,
+)
+
+DECK = "nx=2 ny=2 nz=2 ng=2 nang=1 iitm=1 oitm=1"
+
+
+@pytest.fixture()
+def client(gateway):
+    server, _daemon = gateway
+    return ServiceClient(port=server.port)
+
+
+class TestEndpoints:
+    def test_healthz(self, client):
+        assert client.healthz() == {"status": "ok"}
+
+    def test_submit_deck_roundtrip_and_dedup(self, client, gateway):
+        _server, daemon = gateway
+        first = client.wait(client.submit(deck=DECK)["id"], timeout=60.0)
+        second = client.wait(client.submit(deck=DECK)["id"], timeout=60.0)
+        assert first["state"] == DONE and not first["cache_hit"]
+        assert second["state"] == DONE and second["cache_hit"]
+        # The dedup acceptance criterion, over the wire: one stored record,
+        # two done jobs, bit-identical summaries.
+        assert second["result_summary"] == first["result_summary"]
+        assert len(daemon.store) == 1
+        stats = client.stats()
+        assert stats["executed"] == 1 and stats["cache_hits"] == 1
+        assert stats["store"]["records"] == 1
+
+    def test_submit_spec_json(self, client, tiny_spec):
+        job = client.submit(spec=tiny_spec.to_dict(), run_options={"num_threads": 1})
+        done = client.wait(job["id"], timeout=60.0)
+        assert done["state"] == DONE
+        assert done["result_summary"]["mean_flux"] > 0
+
+    def test_jobs_listing_and_location_header(self, client):
+        job = client.submit(deck=DECK)
+        listed = client.jobs()
+        assert [j["id"] for j in listed] == [job["id"]]
+        assert client.job(job["id"])["key"] == job["key"]
+
+    def test_progress_stream_ends_terminal(self, client):
+        job = client.submit(deck=DECK)
+        lines = list(client.progress(job["id"], interval=0.05, timeout=60.0))
+        assert lines, "progress stream yielded nothing"
+        last = lines[-1]
+        assert last["state"] == DONE
+        assert "result_summary" in last and last["error"] is None
+        # Telemetry snapshots ride along for in-process backends.
+        assert last["telemetry"] is not None
+
+    def test_delete_cancels(self, client):
+        job = client.submit(deck=DECK)
+        cancelled = client.cancel(job["id"])
+        assert cancelled["state"] in ("cancelled", "running", "done")
+        final = client.wait(job["id"], timeout=60.0)
+        assert final["state"] in ("cancelled", "done")
+
+
+class TestRequestErrors:
+    def test_unknown_deck_key_structured_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(deck="bogus=1")
+        err = excinfo.value
+        assert err.status == 400
+        assert err.payload["key"] == "bogus"
+        assert err.payload["section"] == "problem"
+        assert "nx" in err.payload["valid_keys"]
+        assert "unknown input deck key" in err.payload["error"]
+
+    def test_bad_deck_value_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(deck="nx=banana")
+        assert excinfo.value.status == 400
+
+    def test_bad_spec_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(spec={"nx": "not-a-grid"})
+        assert excinfo.value.status == 400
+        assert "invalid problem spec" in excinfo.value.payload["error"]
+
+    def test_deck_and_spec_both_or_neither_400(self, client, tiny_spec):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit()
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(deck=DECK, spec=tiny_spec.to_dict())
+        assert excinfo.value.status == 400
+
+    def test_bad_run_options_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(deck=DECK, run_options={"bogus": 1})
+        assert excinfo.value.status == 400
+        assert "unknown run option" in excinfo.value.payload["error"]
+
+    def test_unknown_job_404(self, client):
+        for probe in (client.job, client.cancel):
+            with pytest.raises(ServiceError) as excinfo:
+                probe(999)
+            assert excinfo.value.status == 404
+        with pytest.raises(ServiceError) as excinfo:
+            list(client.progress(999))
+        assert excinfo.value.status == 404
+
+    def test_unknown_path_404(self, client, gateway):
+        server, _daemon = gateway
+        import http.client
+
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10)
+        try:
+            conn.request("GET", "/nope")
+            assert conn.getresponse().status == 404
+        finally:
+            conn.close()
+
+    def test_non_json_body_400(self, gateway):
+        server, _daemon = gateway
+        import http.client
+
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10)
+        try:
+            conn.request(
+                "POST", "/jobs", body="not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            assert response.status == 400
+            assert "not valid JSON" in json.loads(response.read())["error"]
+        finally:
+            conn.close()
+
+
+class TestGuards:
+    def test_oversized_body_413(self, tmp_path):
+        daemon = ServiceDaemon(backend="serial", workers=1)
+        daemon.start()
+        server = make_server(daemon, port=0, max_body_bytes=256)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(port=server.port)
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit(deck="x" * 2048)
+            assert excinfo.value.status == 413
+            assert excinfo.value.payload["limit"] == 256
+            # A normal-sized request still goes through afterwards.
+            assert client.healthz() == {"status": "ok"}
+        finally:
+            server.shutdown()
+            server.server_close()
+            daemon.shutdown()
+
+    def test_queue_full_429(self, tiny_spec, tiny_result, blocking_executor_cls):
+        executor = blocking_executor_cls(tiny_result)
+        daemon = ServiceDaemon(workers=1, max_queue_depth=1, executor=executor)
+        daemon.start()
+        server = make_server(daemon, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(port=server.port)
+            client.submit(spec=tiny_spec.to_dict())
+            assert executor.started.wait(timeout=10.0)  # worker occupied
+            client.submit(spec=tiny_spec.with_(nx=3).to_dict())  # fills the queue
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit(spec=tiny_spec.with_(nx=4).to_dict())
+            assert excinfo.value.status == 429
+            assert excinfo.value.payload["depth"] == 1
+            assert excinfo.value.payload["limit"] == 1
+            executor.release.set()
+        finally:
+            executor.release.set()
+            server.shutdown()
+            server.server_close()
+            daemon.shutdown()
+
+
+class TestProcessBackend:
+    def test_end_to_end_with_process_backend(self, tiny_spec, tmp_path):
+        """The acceptance path: real solves through worker processes."""
+        daemon = ServiceDaemon(store=tmp_path, backend="process", workers=2)
+        daemon.start()
+        server = make_server(daemon, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(port=server.port)
+            first = client.wait(client.submit(spec=tiny_spec.to_dict())["id"], timeout=120.0)
+            second = client.wait(client.submit(spec=tiny_spec.to_dict())["id"], timeout=120.0)
+            assert first["state"] == DONE and second["state"] == DONE
+            assert second["cache_hit"]
+            assert second["result_summary"] == first["result_summary"]
+            assert len(daemon.store) == 1
+        finally:
+            server.shutdown()
+            server.server_close()
+            daemon.shutdown()

@@ -1,0 +1,98 @@
+"""The job state machine and its JSON round trip."""
+
+import pytest
+
+from repro.campaign.store import run_key
+from repro.service import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    JOB_STATES,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    Job,
+)
+from repro.telemetry import Telemetry
+
+
+def make_job(spec, **overrides) -> Job:
+    fields = dict(id=1, key=run_key(spec), spec=spec)
+    fields.update(overrides)
+    return Job(**fields)
+
+
+class TestStateMachine:
+    def test_initial_state(self, tiny_spec):
+        job = make_job(tiny_spec)
+        assert job.state == QUEUED
+        assert not job.terminal
+        assert job.result_summary is None and job.error is None
+
+    @pytest.mark.parametrize(
+        "path",
+        [
+            (RUNNING, DONE),
+            (RUNNING, FAILED),
+            (RUNNING, CANCELLED),
+            (CANCELLED,),      # pre-start cancel
+            (DONE,),           # coalesced shortcut: served by an identical twin
+        ],
+    )
+    def test_legal_paths(self, tiny_spec, path):
+        job = make_job(tiny_spec)
+        for state in path:
+            job.transition(state)
+        assert job.state == path[-1]
+        assert job.terminal == (path[-1] in TERMINAL_STATES)
+
+    @pytest.mark.parametrize("terminal", sorted(TERMINAL_STATES))
+    def test_terminal_states_are_final(self, tiny_spec, terminal):
+        job = make_job(tiny_spec, state=terminal)
+        for state in JOB_STATES:
+            with pytest.raises(ValueError, match="illegal transition"):
+                job.transition(state)
+
+    def test_queued_cannot_fail_directly(self, tiny_spec):
+        job = make_job(tiny_spec)
+        with pytest.raises(ValueError, match="illegal transition"):
+            job.transition(FAILED)
+
+    def test_unknown_state_rejected(self, tiny_spec):
+        job = make_job(tiny_spec)
+        with pytest.raises(ValueError, match="unknown job state"):
+            job.transition("paused")
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_bit_exact(self, tiny_spec):
+        job = make_job(
+            tiny_spec,
+            run_options={"num_threads": 2},
+            keep_flux=False,
+            telemetry=Telemetry(),
+        )
+        job.transition(RUNNING)
+        job.started_at = job.submitted_at + 0.5
+        job.transition(DONE)
+        job.finished_at = job.started_at + 1.0
+        job.result_summary = {"mean_flux": 1.25}
+        job.cache_hit = True
+
+        clone = Job.from_json(job.to_json())
+        assert clone.to_dict() == job.to_dict()
+        assert clone.spec == tiny_spec
+        assert clone.run_options == {"num_threads": 2}
+        assert clone.state == DONE and clone.cache_hit and not clone.keep_flux
+
+    def test_telemetry_never_serialised(self, tiny_spec):
+        job = make_job(tiny_spec, telemetry=Telemetry())
+        data = job.to_dict()
+        assert "telemetry" not in data
+        assert Job.from_dict(data).telemetry is None
+
+    def test_unknown_state_in_payload_rejected(self, tiny_spec):
+        data = make_job(tiny_spec).to_dict()
+        data["state"] = "paused"
+        with pytest.raises(ValueError, match="unknown job state"):
+            Job.from_dict(data)

@@ -1,0 +1,17 @@
+"""The service-dedup benchmark case: the >=10x headline, asserted."""
+
+from repro.bench import BenchWorkload, get_benchmark
+from repro.bench.suite import run_case
+
+
+def test_service_dedup_case_speedup_at_least_10x():
+    workload = BenchWorkload.from_env(smoke=True, env={})
+    case = run_case(get_benchmark("service-dedup"), workload)
+    service = case.sample("service")
+    cold = case.sample("cold")
+    assert service.metrics["executed"] == 1
+    assert service.metrics["cache_hits"] == service.metrics["runs"] - 1
+    # One solve amortised over N identical submissions: the dedup fast path
+    # must beat N cold solves by an order of magnitude even on smoke sizes.
+    assert service.metrics["speedup"] >= 10.0
+    assert cold.metrics["runs"] == service.metrics["runs"]

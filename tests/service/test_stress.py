@@ -1,0 +1,90 @@
+"""Concurrent-client stress: mixed duplicate/unique workload over the wire.
+
+The acceptance criterion: >= 8 threads hammering the gateway with a mix of
+duplicate and unique submissions; every job reaches a correct terminal
+state, none are lost, and the store holds exactly one record per distinct
+``(spec, run_options)`` key.  Runs against both in-process execution and
+the ``process`` backend (real worker processes).
+"""
+
+import threading
+
+import pytest
+
+from repro.campaign.store import run_key
+from repro.service import DONE, ServiceClient, ServiceDaemon, make_server
+
+N_THREADS = 8
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_concurrent_mixed_workload(backend, tiny_spec, tmp_path):
+    daemon = ServiceDaemon(
+        store=tmp_path, backend=backend, workers=4, max_queue_depth=256
+    )
+    daemon.start()
+    server = make_server(daemon, port=0)
+    server_thread = threading.Thread(target=server.serve_forever, daemon=True)
+    server_thread.start()
+
+    # Per client thread: two shared duplicates plus one thread-unique spec.
+    shared = [tiny_spec, tiny_spec.with_(nx=3)]
+    def specs_for(thread_index):
+        return shared + [tiny_spec.with_(num_inners=2 + thread_index)]
+
+    results: dict[int, list[dict]] = {}
+    errors: list[BaseException] = []
+
+    def client_thread(thread_index):
+        try:
+            client = ServiceClient(port=server.port, timeout=120.0)
+            submitted = [
+                client.submit(spec=spec.to_dict())
+                for spec in specs_for(thread_index)
+            ]
+            results[thread_index] = [
+                client.wait(job["id"], timeout=300.0) for job in submitted
+            ]
+        except BaseException as exc:  # surface failures in the main thread
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=client_thread, args=(i,)) for i in range(N_THREADS)
+    ]
+    try:
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=600.0)
+        assert not any(thread.is_alive() for thread in threads)
+        assert not errors, f"client threads failed: {errors!r}"
+
+        finished = [job for jobs in results.values() for job in jobs]
+        n_submitted = N_THREADS * 3
+        distinct_keys = {
+            run_key(spec) for i in range(N_THREADS) for spec in specs_for(i)
+        }
+
+        # No lost jobs: every submission came back, every one of them done.
+        assert len(finished) == n_submitted
+        assert all(job["state"] == DONE for job in finished)
+        stats = daemon.stats()
+        assert stats["submitted"] == n_submitted
+        assert stats["jobs"][DONE] == n_submitted
+
+        # Dedup exactness: one solve and one stored record per distinct key,
+        # everything else served as a cache hit.
+        assert len(daemon.store) == len(distinct_keys)
+        assert stats["executed"] == len(distinct_keys)
+        assert stats["cache_hits"] == n_submitted - len(distinct_keys)
+
+        # Duplicates are bit-identical: group summaries by content key.
+        by_key: dict[str, list[dict]] = {}
+        for job in finished:
+            by_key.setdefault(job["key"], []).append(job["result_summary"])
+        for key, summaries in by_key.items():
+            assert all(s == summaries[0] for s in summaries), key
+    finally:
+        server.shutdown()
+        server.server_close()
+        daemon.shutdown()

@@ -4,7 +4,7 @@ import pytest
 
 from repro.cli import build_parser, main
 from repro.config import BoundaryCondition, ProblemSpec
-from repro.input_deck import loads, parse_input_deck, spec_to_deck
+from repro.input_deck import UnknownDeckKeyError, loads, parse_input_deck, spec_to_deck
 
 
 class TestBoundaryCondition:
@@ -115,6 +115,25 @@ class TestInputDeck:
     def test_unknown_key_rejected(self):
         with pytest.raises(KeyError):
             loads("nx=2 bogus=3")
+
+    def test_unknown_key_error_is_structured(self):
+        # The gateway's structured 400 relies on these stable attributes;
+        # the error stays a KeyError so existing consumers keep working.
+        with pytest.raises(UnknownDeckKeyError) as excinfo:
+            loads("nx=2 bogus=3")
+        err = excinfo.value
+        assert isinstance(err, KeyError)
+        assert err.key == "bogus"
+        assert err.section == "problem"
+        assert "nx" in err.valid_keys and "bogus" not in err.valid_keys
+        assert "unknown input deck key 'bogus'" in err.args[0]
+
+    def test_cli_consumer_reports_unknown_deck_key(self, tmp_path, capsys):
+        deck = tmp_path / "bad.deck"
+        deck.write_text("nx=2 bogus=3\n/")
+        assert main(["run", "--deck", str(deck)]) == 2
+        err = capsys.readouterr().err
+        assert "unknown input deck key 'bogus'" in err
 
     def test_malformed_token_rejected(self):
         with pytest.raises(ValueError):
