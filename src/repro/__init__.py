@@ -55,6 +55,7 @@ from .campaign import (
     ResultStore,
     Study,
     StudyResult,
+    WorkItem,
     available_backends,
     get_backend,
     register_backend,
@@ -70,7 +71,7 @@ from . import bench
 from . import service
 from . import verify
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "run",
@@ -79,6 +80,7 @@ __all__ = [
     "Study",
     "StudyResult",
     "ResultStore",
+    "WorkItem",
     "register_backend",
     "get_backend",
     "available_backends",

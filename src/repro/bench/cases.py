@@ -385,6 +385,10 @@ def bench_study_backends(workload: BenchWorkload) -> dict[str, dict]:
     )
     samples = {}
     for backend in available_backends():
+        if backend == "distributed":
+            # Spawns worker subprocesses and polls a spool -- measured by the
+            # dedicated distributed-overhead case, not this in-process sweep.
+            continue
         t0 = time.perf_counter()
         result = run_study(study, backend=backend, jobs=workload.jobs)
         samples[backend] = {
@@ -394,3 +398,48 @@ def bench_study_backends(workload: BenchWorkload) -> dict[str, dict]:
             "mean_flux": [r.result.mean_flux for r in result],
         }
     return samples
+
+
+@register_benchmark(
+    "distributed-overhead", tags=("study", "distributed"), aliases=("spool",)
+)
+def bench_distributed_overhead(workload: BenchWorkload) -> dict[str, dict]:
+    """Spool-protocol cost: the same small study serial vs distributed.
+
+    The interesting numbers are the *deltas*: ``overhead_seconds`` (spool
+    publish/claim/poll plus worker spawn, amortised over the campaign) and
+    the mean per-point ``queue_wait_seconds`` the done markers report.
+    """
+    from ..campaign.distributed import DistributedBackend
+
+    n = min(workload.n, 4)
+    base = ProblemSpec(
+        nx=n, ny=n, nz=n,
+        angles_per_octant=workload.angles_per_octant,
+        num_groups=min(2, workload.num_groups),
+        max_twist=0.001, num_inners=2, num_outers=1,
+    )
+    study = Study.grid(
+        base, name="spool-bench",
+        order=[1] if workload.smoke else [1, 2],
+        engine=["vectorized", "prefactorized"],
+    )
+    t0 = time.perf_counter()
+    run_study(study, backend="serial")
+    serial_seconds = time.perf_counter() - t0
+
+    backend = DistributedBackend(workers=workload.jobs or 2)
+    t0 = time.perf_counter()
+    result = run_study(study, backend=backend)
+    distributed_seconds = time.perf_counter() - t0
+    waits = [r.meta.get("queue_wait_seconds", 0.0) for r in result if r.meta]
+    return {
+        "serial": {"seconds": serial_seconds, "runs": len(study.runs())},
+        "distributed": {
+            "seconds": distributed_seconds,
+            "runs": len(result),
+            "workers": workload.jobs or 2,
+            "overhead_seconds": distributed_seconds - serial_seconds,
+            "mean_queue_wait_seconds": (sum(waits) / len(waits)) if waits else 0.0,
+        },
+    }

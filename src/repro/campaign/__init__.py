@@ -8,9 +8,14 @@ first-class batch surface over :func:`repro.run` that executes them:
   :class:`~repro.config.ProblemSpec` plus axis grids applied through
   ``ProblemSpec.with_`` (``Study.grid`` / ``Study.zip`` / ``Study.cases``).
 * :mod:`~repro.campaign.backends` -- pluggable execution backends
-  (``serial`` / ``thread`` / ``process``) on the generic
+  (``serial`` / ``thread`` / ``process`` / ``distributed``) on the generic
   :class:`repro.registry.Registry`; ``process`` shards runs across a
-  ``ProcessPoolExecutor`` with bit-for-bit identical results to ``serial``.
+  ``ProcessPoolExecutor`` and ``distributed`` fans them out to spool
+  workers on any number of hosts (:mod:`~repro.campaign.distributed`),
+  both with bit-for-bit identical results to ``serial``.
+* :class:`~repro.campaign.workitem.WorkItem` -- the shared frozen unit of
+  campaign work (spec + run options + index + cost + ``run_key``) passed
+  between backends, the store, the spool and the service.
 * :class:`~repro.campaign.store.ResultStore` -- a content-hashed
   one-JSON-per-run store making studies resumable: re-running a completed
   study executes zero new runs.
@@ -28,13 +33,16 @@ from .backends import (
     backend_aliases,
     backend_listing,
     get_backend,
+    iter_backend_results,
     register_backend,
     unregister_backend,
 )
+from .distributed import DistributedBackend, SpoolDir, SpoolWorker, SshLauncher
 from .result import PivotTable, StudyResult, StudyRun
 from .runner import run_study
 from .store import ResultStore, run_key
 from .study import RUN_OPTION_KEYS, Study, StudyPoint
+from .workitem import WorkItem, as_work_items, estimate_cost
 
 __all__ = [
     "Study",
@@ -45,6 +53,9 @@ __all__ = [
     "ResultStore",
     "run_key",
     "run_study",
+    "WorkItem",
+    "as_work_items",
+    "estimate_cost",
     "ExecutionBackend",
     "register_backend",
     "unregister_backend",
@@ -52,8 +63,13 @@ __all__ = [
     "available_backends",
     "backend_aliases",
     "backend_listing",
+    "iter_backend_results",
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "DistributedBackend",
+    "SpoolDir",
+    "SpoolWorker",
+    "SshLauncher",
     "RUN_OPTION_KEYS",
 ]

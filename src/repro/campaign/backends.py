@@ -1,11 +1,11 @@
 """Pluggable study-execution backends.
 
 A backend executes the resolved runs of a :class:`~repro.campaign.study.
-Study` and returns their :class:`~repro.runner.RunResult`\\ s in study order.
-Backends are registered by name on the generic :class:`repro.registry.
-Registry` (the third instantiation, after sweep engines and local solvers),
-so third-party execution strategies -- a cluster scheduler, an async queue --
-plug in with the same decorator pattern::
+Study` and returns their :class:`~repro.runner.RunResult`\\ s.  Backends are
+registered by name on the generic :class:`repro.registry.Registry` (the
+third instantiation, after sweep engines and local solvers), so third-party
+execution strategies -- a cluster scheduler, an async queue -- plug in with
+the same decorator pattern::
 
     from repro.campaign import register_backend
 
@@ -13,8 +13,29 @@ plug in with the same decorator pattern::
     class MyQueueBackend:
         \"\"\"One-line description shown by ``unsnap backends``.\"\"\"
 
-        def execute(self, points, *, jobs=None):
+        def execute(self, items, *, jobs=None):
             ...
+
+Backend contract (v2)
+---------------------
+Work arrives as :class:`~repro.campaign.workitem.WorkItem`\\ s (the shared
+frozen payload carrying spec, run options, study index and cost estimate;
+:func:`~repro.campaign.workitem.as_work_items` also adapts
+:class:`~repro.campaign.study.StudyPoint`\\ s and -- deprecated, one release
+only -- legacy ``(spec, run_options)`` tuples).  A backend implements one or
+both of:
+
+``execute(items, *, jobs=None) -> Iterable[RunResult]``
+    The v1 contract: one result per item, *in input order* (may be lazy).
+``execute_iter(items, *, jobs=None) -> Iterator[tuple]``
+    The v2 streaming contract: yields ``(index, result)`` -- or
+    ``(index, result, meta)`` with a JSON-safe execution-metadata mapping
+    (``worker_id``, ``attempts``, ``queue_wait_seconds``...) -- **as runs
+    complete, in any order**.  :func:`repro.run_study` reorders and feeds
+    its ``on_result`` progress callback from this stream.
+
+A backend providing only ``execute`` is wrapped automatically
+(:func:`iter_backend_results`), so the v1 contract keeps working unchanged.
 
 Built-in backends
 -----------------
@@ -26,18 +47,23 @@ Built-in backends
 ``process``
     Runs sharded across a ``ProcessPoolExecutor`` (aliases: ``processes``,
     ``mp``): each worker re-imports :mod:`repro` and calls
-    :func:`repro.run` on a pickled spec payload, so results are bit-for-bit
+    :func:`repro.run` on a pickled payload, so results are bit-for-bit
     identical to ``serial`` for the same specs.
+``distributed``
+    Runs fanned out to worker *processes on any number of hosts* through a
+    file-based spool protocol (:mod:`repro.campaign.distributed`); results
+    merge through a shared :class:`~repro.campaign.store.ResultStore` and
+    stay bit-for-bit identical to ``serial``.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Iterable, Protocol, Sequence, runtime_checkable
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
+from typing import Iterable, Iterator, Protocol, Sequence, runtime_checkable
 
 from ..registry import Registry
 from ..runner import RunResult
-from .study import StudyPoint
+from .workitem import WorkItem, as_work_items
 
 __all__ = [
     "ExecutionBackend",
@@ -47,6 +73,7 @@ __all__ = [
     "available_backends",
     "backend_aliases",
     "backend_listing",
+    "iter_backend_results",
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
@@ -58,11 +85,13 @@ class ExecutionBackend(Protocol):
     """Protocol every execution backend implements."""
 
     def execute(
-        self, points: Sequence[StudyPoint], *, jobs: int | None = None
+        self, items: Sequence, *, jobs: int | None = None
     ) -> Iterable[RunResult]:
-        """Run every point and return their results *in the same order*.
+        """Run every item and return their results *in the same order*.
 
-        The return value may be lazy (a generator): :func:`repro.run_study`
+        ``items`` are :class:`~repro.campaign.workitem.WorkItem`\\ s (or any
+        shape :func:`~repro.campaign.workitem.as_work_items` adapts).  The
+        return value may be lazy (a generator): :func:`repro.run_study`
         consumes it one result at a time and persists each to the result
         store as it arrives, so completed runs survive a mid-study failure.
         A plain list satisfies the contract too.  ``jobs`` caps the worker
@@ -73,6 +102,9 @@ class ExecutionBackend(Protocol):
 
 
 _BACKENDS: Registry[ExecutionBackend] = Registry("backend")
+
+#: Sentinel distinguishing "stream exhausted" from any real result.
+_NO_RESULT = object()
 
 
 def register_backend(
@@ -88,7 +120,7 @@ def register_backend(
         backend = obj() if isinstance(obj, type) else obj
         if not callable(getattr(backend, "execute", None)):
             raise TypeError(
-                f"backend {name!r} must implement execute(points, *, jobs=None); "
+                f"backend {name!r} must implement execute(items, *, jobs=None); "
                 f"got {type(backend)!r}"
             )
         backend.name = name.strip().lower()
@@ -130,8 +162,45 @@ def get_backend(backend: ExecutionBackend | str) -> ExecutionBackend:
     return _BACKENDS.resolve(backend)
 
 
-def _execute_point(payload: tuple) -> RunResult:
-    """Run one pickled ``(spec, run_options)`` payload.
+def iter_backend_results(
+    backend: ExecutionBackend,
+    items: Sequence[WorkItem],
+    *,
+    jobs: int | None = None,
+) -> Iterator[tuple[int, RunResult, dict]]:
+    """Stream ``(index, result, meta)`` triples from any backend.
+
+    The v2 entry point :func:`repro.run_study` consumes: backends providing
+    ``execute_iter`` stream natively (out of completion order, with optional
+    per-run metadata); plain ``execute`` backends are wrapped automatically
+    -- their in-order results are zipped back onto the items, with the
+    result count enforced (a short or surplus stream raises
+    ``RuntimeError`` naming the backend).
+    """
+    items = as_work_items(items)
+    execute_iter = getattr(backend, "execute_iter", None)
+    if callable(execute_iter):
+        for event in execute_iter(items, jobs=jobs):
+            index, result, *rest = event
+            meta = dict(rest[0]) if rest and rest[0] is not None else {}
+            yield int(index), result, meta
+        return
+    stream = iter(backend.execute(items, jobs=jobs))
+    executed = 0
+    for item, result in zip(items, stream):
+        executed += 1
+        yield item.index, result, {}
+    surplus = next(stream, _NO_RESULT)
+    if executed != len(items) or surplus is not _NO_RESULT:
+        returned = f"> {executed}" if surplus is not _NO_RESULT else str(executed)
+        raise RuntimeError(
+            f"backend {getattr(backend, 'name', backend)!r} returned "
+            f"{returned} results for {len(items)} runs"
+        )
+
+
+def _execute_point(payload) -> RunResult:
+    """Run one pickled :class:`WorkItem` (or legacy tuple) payload.
 
     Module-level so :class:`ProcessBackend` can ship it to workers by
     reference; the import of :func:`repro.run` happens lazily to avoid a
@@ -139,15 +208,15 @@ def _execute_point(payload: tuple) -> RunResult:
     """
     from ..runner import run
 
-    spec, run_options = payload
-    return run(spec, **run_options)
+    item = WorkItem.coerce(payload)
+    return run(item.spec, **item.run_options)
 
 
-def _clamp_jobs(jobs: int | None, num_points: int) -> int | None:
+def _clamp_jobs(jobs: int | None, num_items: int) -> int | None:
     """Sanitise a worker cap for the pool executors (which reject <= 0)."""
     if jobs is None:
         return None
-    return max(1, min(jobs, num_points))
+    return max(1, min(jobs, num_items))
 
 
 @register_backend("serial", aliases=("sequential",))
@@ -155,32 +224,52 @@ class SerialBackend:
     """One run after another in the calling process."""
 
     def execute(
-        self, points: Sequence[StudyPoint], *, jobs: int | None = None
+        self, items: Sequence, *, jobs: int | None = None
     ) -> Iterable[RunResult]:
-        return (_execute_point((p.spec, p.run_options)) for p in points)
+        return (_execute_point(item) for item in as_work_items(items))
+
+
+class _PoolBackend:
+    """Shared body of the thread/process pool backends.
+
+    ``execute`` preserves input order (``Executor.map``); ``execute_iter``
+    streams ``(index, result)`` in completion order (``as_completed``) --
+    both over the same per-item :func:`_execute_point` payloads, so the two
+    paths are bit-for-bit identical.
+    """
+
+    _executor_cls: type
+
+    def execute(
+        self, items: Sequence, *, jobs: int | None = None
+    ) -> Iterable[RunResult]:
+        items = as_work_items(items)
+        if not items:
+            return
+        with self._executor_cls(max_workers=_clamp_jobs(jobs, len(items))) as pool:
+            yield from pool.map(_execute_point, items)
+
+    def execute_iter(
+        self, items: Sequence, *, jobs: int | None = None
+    ) -> Iterator[tuple[int, RunResult]]:
+        items = as_work_items(items)
+        if not items:
+            return
+        with self._executor_cls(max_workers=_clamp_jobs(jobs, len(items))) as pool:
+            futures = {pool.submit(_execute_point, item): item.index for item in items}
+            for future in as_completed(futures):
+                yield futures[future], future.result()
 
 
 @register_backend("thread", aliases=("threads",))
-class ThreadBackend:
+class ThreadBackend(_PoolBackend):
     """Runs dispatched to a thread pool (wins when the solver releases the GIL)."""
 
-    def execute(
-        self, points: Sequence[StudyPoint], *, jobs: int | None = None
-    ) -> Iterable[RunResult]:
-        if not points:
-            return
-        with ThreadPoolExecutor(max_workers=_clamp_jobs(jobs, len(points))) as pool:
-            yield from pool.map(_execute_point, [(p.spec, p.run_options) for p in points])
+    _executor_cls = ThreadPoolExecutor
 
 
 @register_backend("process", aliases=("processes", "mp"))
-class ProcessBackend:
+class ProcessBackend(_PoolBackend):
     """Runs sharded across worker processes (bit-for-bit equal to serial)."""
 
-    def execute(
-        self, points: Sequence[StudyPoint], *, jobs: int | None = None
-    ) -> Iterable[RunResult]:
-        if not points:
-            return
-        with ProcessPoolExecutor(max_workers=_clamp_jobs(jobs, len(points))) as pool:
-            yield from pool.map(_execute_point, [(p.spec, p.run_options) for p in points])
+    _executor_cls = ProcessPoolExecutor

@@ -1,0 +1,103 @@
+"""Remote worker launchers: thin process wrappers over ``unsnap worker``.
+
+A launcher is any object with ``start(spool_dir) -> list[Popen]`` and
+``stop()``.  The built-in :class:`SshLauncher` shells out to ``ssh`` --
+the spool directory must resolve to the *same shared filesystem path* on
+every host (NFS, sshfs...), because the spool protocol is nothing but
+files.  There is no remote deployment magic: the remote host needs
+``unsnap`` (or any equivalent command) on its PATH, exactly like running
+it by hand::
+
+    ssh node07 unsnap worker /shared/spool
+
+which is all the launcher does, once per host, with ``BatchMode`` so a
+missing key fails fast instead of prompting.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["SshLauncher"]
+
+
+class SshLauncher:
+    """Start one ``unsnap worker`` per host over ssh; stop drains them.
+
+    Parameters
+    ----------
+    hosts:
+        Hostnames (repeat a host for multiple workers on it).
+    remote_spool:
+        Spool path *as seen by the remote hosts*; defaults to the
+        coordinator-side path (correct whenever the share is mounted at
+        the same place everywhere).
+    ssh_command:
+        The ssh argv prefix; override to add ``-i``/``-J``/port options.
+    worker_command:
+        The remote worker argv prefix (before the spool path); override
+        e.g. to ``("python", "-m", "repro.cli", "worker")`` or to a
+        wrapper script that activates an environment first.
+    worker_args:
+        Extra arguments appended after the spool path (``--poll`` ...).
+    """
+
+    def __init__(
+        self,
+        hosts: Sequence[str],
+        *,
+        remote_spool: str | Path | None = None,
+        ssh_command: Sequence[str] = ("ssh", "-o", "BatchMode=yes"),
+        worker_command: Sequence[str] = ("unsnap", "worker"),
+        worker_args: Sequence[str] = (),
+    ):
+        self.hosts = list(hosts)
+        self.remote_spool = remote_spool
+        self.ssh_command = tuple(ssh_command)
+        self.worker_command = tuple(worker_command)
+        self.worker_args = tuple(worker_args)
+        self.procs: list[subprocess.Popen] = []
+
+    def command_for(self, host: str, spool_dir: str | Path) -> list[str]:
+        """The full local argv that starts one worker on ``host``."""
+        spool = str(self.remote_spool if self.remote_spool is not None else spool_dir)
+        return [
+            *self.ssh_command,
+            host,
+            *self.worker_command,
+            spool,
+            *self.worker_args,
+        ]
+
+    def start(self, spool_dir: str | Path) -> list[subprocess.Popen]:
+        """Launch every host's worker; returns the local ssh processes."""
+        self.procs = [
+            subprocess.Popen(
+                self.command_for(host, spool_dir),
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+            )
+            for host in self.hosts
+        ]
+        return self.procs
+
+    def stop(self, *, timeout: float = 10.0) -> None:
+        """Reap the ssh processes (workers exit via the spool STOP marker)."""
+        for proc in self.procs:
+            try:
+                proc.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=timeout)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+        self.procs = []
+
+    def __enter__(self) -> "SshLauncher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

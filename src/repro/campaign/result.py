@@ -11,7 +11,7 @@ axis) grid for the paper-style tables and scaling series.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..config import ProblemSpec
 from ..runner import RunResult
@@ -22,7 +22,14 @@ __all__ = ["StudyRun", "StudyResult", "PivotTable"]
 
 @dataclass(frozen=True)
 class StudyRun:
-    """One executed (or cache-loaded) run of a study."""
+    """One executed (or cache-loaded) run of a study.
+
+    :attr:`meta` is the backend's per-run execution metadata (v2 streaming
+    contract): the ``distributed`` backend reports ``worker_id``,
+    ``attempts`` and ``queue_wait_seconds`` per point, so a re-executed
+    straggler (dead worker, expired lease) is visible in the study records.
+    Empty for backends that report none.
+    """
 
     index: int
     axes: dict
@@ -30,10 +37,17 @@ class StudyRun:
     run_options: dict
     result: RunResult
     from_cache: bool = False
+    meta: dict = field(default_factory=dict)
 
     def record(self) -> dict:
-        """Axis values merged with the result summary (axes win on clashes)."""
+        """Axes + execution metadata merged with the result summary.
+
+        Axis values win over summary keys of the same name; metadata keys
+        (``worker_id``, ``attempts``...) are merged first so an axis named
+        like one still wins.
+        """
         row = self.result.summary()
+        row.update(self.meta)
         row.update(self.axes)
         row["from_cache"] = self.from_cache
         return row

@@ -15,7 +15,6 @@ computed one -- JSON serialises doubles exactly.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import threading
@@ -24,6 +23,7 @@ from pathlib import Path
 
 from ..config import ProblemSpec
 from ..runner import RunResult
+from .workitem import WorkItem, run_key
 
 __all__ = ["ResultStore", "run_key", "GOLDEN_MARKER"]
 
@@ -35,16 +35,6 @@ _FORMAT = "unsnap-run-v1"
 #: touch directories carrying it -- goldens are regression baselines, not
 #: cache.
 GOLDEN_MARKER = ".unsnap-golden"
-
-
-def run_key(spec: ProblemSpec, run_options: dict | None = None) -> str:
-    """Content hash identifying one run: canonical spec + run options."""
-    payload = {
-        "spec": spec.to_dict(),
-        "run_options": dict(sorted((run_options or {}).items())),
-    }
-    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 class ResultStore:
@@ -72,15 +62,23 @@ class ResultStore:
 
     @staticmethod
     def _atomic_write(path: Path, payload: str) -> None:
-        """Publish a record atomically: unique temp file + rename.
+        """Publish a record atomically: unique temp file + fsync + rename.
 
         The per-writer temp name keeps concurrent writers of the *same*
         record from interleaving bytes; last ``os.replace`` wins with a
-        complete record either way.
+        complete record either way.  The fsync before the rename matters on
+        the multi-host spool path: a reader on another machine (or after a
+        crash) must never observe the record name pointing at unflushed
+        bytes -- a record either exists complete or not at all, which is
+        what lets :meth:`_load_record` treat truncated JSON as damage
+        rather than an in-progress write.
         """
         tmp = path.with_name(f"{path.stem}.{os.getpid()}-{uuid.uuid4().hex[:8]}.tmp")
         try:
-            tmp.write_text(payload)
+            with open(tmp, "w") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
         finally:
             tmp.unlink(missing_ok=True)
@@ -120,20 +118,35 @@ class ResultStore:
             total = self.hits + self.misses
             return self.hits / total if total else 0.0
 
+    @staticmethod
+    def _spec_options(spec_or_item, run_options: dict | None) -> tuple[ProblemSpec, dict]:
+        """Unpack a ``(spec, options)`` pair or a :class:`WorkItem`."""
+        if isinstance(spec_or_item, WorkItem):
+            if run_options is not None:
+                raise TypeError("pass run_options on the WorkItem, not alongside it")
+            return spec_or_item.spec, dict(spec_or_item.run_options)
+        return spec_or_item, dict(run_options or {})
+
     def contains(self, key_or_spec, run_options: dict | None = None) -> bool:
-        """Whether a record exists for a content key or ``(spec, options)``.
+        """Whether a record exists for a key, ``(spec, options)`` or item.
 
         A pure probe: unlike :meth:`get` it neither loads the record nor
         updates the :attr:`hits`/:attr:`misses` statistics, so callers can
         test for the dedup fast path without skewing the hit ratio.
         """
-        if isinstance(key_or_spec, ProblemSpec):
-            key_or_spec = run_key(key_or_spec, run_options)
+        if isinstance(key_or_spec, (ProblemSpec, WorkItem)):
+            key_or_spec = run_key(*self._spec_options(key_or_spec, run_options))
         return self.path_for(key_or_spec).exists()
 
-    def get(self, spec: ProblemSpec, run_options: dict | None = None) -> RunResult | None:
-        """Load the stored result of a run, or ``None`` if not yet computed."""
-        path = self.path_for(run_key(spec, run_options))
+    def get(
+        self, spec: ProblemSpec | WorkItem, run_options: dict | None = None
+    ) -> RunResult | None:
+        """Load the stored result of a run, or ``None`` if not yet computed.
+
+        Accepts either a ``(spec, run_options)`` pair or one
+        :class:`~repro.campaign.workitem.WorkItem` carrying both.
+        """
+        path = self.path_for(run_key(*self._spec_options(spec, run_options)))
         if not path.exists():
             self._count(hit=False)
             return None
@@ -143,7 +156,7 @@ class ResultStore:
 
     def put(
         self,
-        spec: ProblemSpec,
+        spec: ProblemSpec | WorkItem,
         result: RunResult,
         run_options: dict | None = None,
         *,
@@ -151,11 +164,14 @@ class ResultStore:
     ) -> Path:
         """Persist one run (atomic publish, see :meth:`_atomic_write`).
 
-        ``include_flux=False`` writes the record without the embedded flux
-        arrays (the per-job memory/disk opt-out of the service daemon): the
-        record still loads and still satisfies the dedup fast path, but only
-        with summary statistics -- the same trade as ``gc(drop_flux=True)``.
+        The run is identified by a ``(spec, run_options)`` pair or one
+        :class:`~repro.campaign.workitem.WorkItem`.  ``include_flux=False``
+        writes the record without the embedded flux arrays (the per-job
+        memory/disk opt-out of the service daemon): the record still loads
+        and still satisfies the dedup fast path, but only with summary
+        statistics -- the same trade as ``gc(drop_flux=True)``.
         """
+        spec, run_options = self._spec_options(spec, run_options)
         self.root.mkdir(parents=True, exist_ok=True)
         key = run_key(spec, run_options)
         record = {
@@ -194,6 +210,77 @@ class ResultStore:
                 )
             )
         return loaded
+
+    # --------------------------------------------------------------- merging
+    def merge(self, other: "ResultStore | str | Path", *, overwrite: bool = False) -> dict:
+        """Fold another store's records into this one (the multi-host join).
+
+        The merge point of sharded campaigns: hosts (or spool workers) fill
+        *independent* store directories keyed by the same content hash, and
+        one ``merge`` per shard folds them into a single store a resumed
+        million-point study satisfies with **zero new runs**.  Record files
+        are copied byte-for-byte (after format validation) with the same
+        atomic temp-file + rename publish as :meth:`put`, so a reader racing
+        the merge never sees a partial record.
+
+        Parameters
+        ----------
+        other:
+            The source store (or its directory).  It is never modified.
+        overwrite:
+            Replace records this store already has.  The default ``False``
+            keeps the local record: both sides hold the *same* key only for
+            the same canonical ``(spec, run_options)``, and results are
+            deterministic, so which copy wins is immaterial -- skipping is
+            just cheaper.
+
+        Returns statistics: ``merged``/``skipped`` record counts and the
+        resulting ``records`` total.
+
+        Raises
+        ------
+        ValueError
+            If this store carries the :data:`GOLDEN_MARKER` (goldens are
+            re-blessed, never merged into), or a source record is corrupt
+            or foreign-format (nothing is copied blindly across hosts).
+        """
+        if (self.root / GOLDEN_MARKER).exists():
+            raise ValueError(
+                f"{self.root} is a golden regression store (it carries "
+                f"{GOLDEN_MARKER!r}); refusing to merge into it -- re-bless "
+                f"goldens with 'unsnap verify --suite golden --update-golden'"
+            )
+        if not isinstance(other, ResultStore):
+            other = ResultStore(other)
+        if other.root.resolve() == self.root.resolve():
+            raise ValueError(f"cannot merge {self.root} into itself")
+        merged = 0
+        skipped = 0
+        for key in other.keys():
+            if not overwrite and self.contains(key):
+                skipped += 1
+                continue
+            source = other.path_for(key)
+            text = source.read_text()
+            # Validate the exact bytes being published (never copy a corrupt
+            # or foreign record across hosts blindly).
+            try:
+                record = json.loads(text)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{source} is not valid JSON ({exc}); the record is corrupt -- "
+                    f"delete it to let the run be recomputed"
+                ) from None
+            found = record.get("format") if isinstance(record, dict) else None
+            if found != _FORMAT:
+                raise ValueError(
+                    f"{source} is not a result-store record "
+                    f"(format={found!r}, expected {_FORMAT!r})"
+                )
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._atomic_write(self.path_for(key), text)
+            merged += 1
+        return {"merged": merged, "skipped": skipped, "records": len(self)}
 
     # ----------------------------------------------------- garbage collection
     def gc(

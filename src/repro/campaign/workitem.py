@@ -1,0 +1,171 @@
+"""The unit of campaign work: one ``(spec, run options)`` payload.
+
+Campaign backends, the :class:`~repro.campaign.store.ResultStore` and the
+service :class:`~repro.service.job.Job` all used to pass loose
+``(spec, run_options)`` tuples around, each re-deriving the content key and
+the scheduling metadata on its own.  :class:`WorkItem` is the shared frozen
+value replacing them: the spec, the run options forwarded to
+:func:`repro.run`, the stable study index, a :attr:`cost` estimate the
+distributed scheduler dispatches largest-first, and the canonical
+:attr:`run_key` content hash -- the same key the store files records under,
+the service dedups on and the spool protocol names job files with.
+
+:func:`as_work_items` is the one-release compatibility adapter: backends
+accept ``WorkItem``\\ s, :class:`~repro.campaign.study.StudyPoint`\\ s *and*
+legacy ``(spec, run_options)`` tuples through it (the tuple shape is
+deprecated -- see the adapter docstring).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+from ..config import ProblemSpec
+
+__all__ = ["WorkItem", "as_work_items", "estimate_cost", "run_key"]
+
+
+def run_key(spec: ProblemSpec, run_options: dict | None = None) -> str:
+    """Content hash identifying one run: canonical spec + run options.
+
+    This is the single key of the whole stack: the
+    :class:`~repro.campaign.store.ResultStore` files records under it, the
+    service daemon dedups on it and the distributed spool names job files
+    with it.  It depends only on *what* is asked for -- never on execution
+    order, backend, host or wall-clock.
+    """
+    payload = {
+        "spec": spec.to_dict(),
+        "run_options": dict(sorted((run_options or {}).items())),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def estimate_cost(spec: ProblemSpec, run_options: dict | None = None) -> float:
+    """Relative execution-cost estimate of one run (arbitrary units).
+
+    Proportional to the dominant sweep work: local systems solved
+    (cells x angles x groups x inners x outers) times the per-system dense
+    solve cost (``nodes_per_element`` cubed), so cubic-element points tower
+    over linear ones -- exactly the stragglers the distributed scheduler
+    must dispatch first.
+    """
+    systems = spec.num_cells * spec.num_angles * spec.num_groups
+    sweeps = spec.num_inners * spec.num_outers
+    return float(systems * sweeps) * float(spec.nodes_per_element) ** 3
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One schedulable run: spec + run options + scheduling metadata.
+
+    Attributes
+    ----------
+    spec:
+        The fully-resolved problem specification.
+    run_options:
+        Extra keyword arguments for :func:`repro.run` (``num_threads``...).
+        Treat as immutable -- the dataclass is frozen and the mapping is
+        part of the content identity.
+    index:
+        Stable position of the run in its campaign (results are reassembled
+        in index order whatever completion order a backend yields).
+    cost:
+        Relative execution-cost estimate used by cost-aware schedulers
+        (largest first); defaults to :func:`estimate_cost` of the spec.
+    """
+
+    spec: ProblemSpec
+    run_options: dict = field(default_factory=dict)
+    index: int = 0
+    cost: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.cost is None:
+            object.__setattr__(self, "cost", estimate_cost(self.spec, self.run_options))
+
+    @property
+    def run_key(self) -> str:
+        """Canonical content hash of this item (see :func:`run_key`)."""
+        return run_key(self.spec, self.run_options)
+
+    def with_(self, **changes) -> "WorkItem":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    # ---------------------------------------------------------------- dict I/O
+    def to_dict(self) -> dict:
+        """JSON-safe payload (the spool job-file body)."""
+        return {
+            "spec": self.spec.to_dict(),
+            "run_options": dict(self.run_options),
+            "index": int(self.index),
+            "cost": float(self.cost),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkItem":
+        return cls(
+            spec=ProblemSpec.from_dict(data["spec"]),
+            run_options=dict(data.get("run_options", {})),
+            index=int(data.get("index", 0)),
+            cost=float(data["cost"]) if data.get("cost") is not None else None,
+        )
+
+    @classmethod
+    def coerce(cls, obj, index: int | None = None) -> "WorkItem":
+        """Adapt one payload of any accepted shape to a :class:`WorkItem`.
+
+        Accepts a ``WorkItem`` (returned as-is), anything with ``spec`` /
+        ``run_options`` attributes (a :class:`~repro.campaign.study.
+        StudyPoint`, whose ``index`` is kept), or a legacy
+        ``(spec, run_options)`` tuple.  ``index`` overrides only when the
+        payload carries none of its own.
+        """
+        if isinstance(obj, cls):
+            return obj
+        if hasattr(obj, "spec") and hasattr(obj, "run_options"):
+            return cls(
+                spec=obj.spec,
+                run_options=dict(obj.run_options),
+                index=int(getattr(obj, "index", index or 0)),
+            )
+        if isinstance(obj, tuple) and len(obj) == 2 and isinstance(obj[0], ProblemSpec):
+            spec, run_options = obj
+            return cls(spec=spec, run_options=dict(run_options or {}), index=index or 0)
+        raise TypeError(
+            f"cannot adapt {type(obj).__name__!r} to a WorkItem; pass a WorkItem, "
+            f"a StudyPoint or a (spec, run_options) tuple"
+        )
+
+
+def as_work_items(payloads: Iterable) -> list[WorkItem]:
+    """Normalise a backend's input sequence to :class:`WorkItem`\\ s.
+
+    .. deprecated:: PR-7
+        The loose ``(spec, run_options)`` tuple shape is accepted for one
+        release only so out-of-tree backends and callers keep working;
+        migrate to ``WorkItem`` (or pass ``StudyPoint``\\ s, which carry
+        their study index).  Tuples are assigned sequential indexes.
+
+    Raises ``ValueError`` on duplicate indexes -- results could not be
+    reassembled unambiguously.
+    """
+    items = [
+        WorkItem.coerce(payload, index=position)
+        for position, payload in enumerate(payloads)
+    ]
+    indexes = [item.index for item in items]
+    if len(set(indexes)) != len(indexes):
+        dupes = sorted({i for i in indexes if indexes.count(i) > 1})
+        raise ValueError(f"duplicate work-item indexes {dupes}")
+    return items
+
+
+def order_by_cost(items: Sequence[WorkItem]) -> list[WorkItem]:
+    """Items sorted for dispatch: largest cost first, index breaks ties."""
+    return sorted(items, key=lambda item: (-float(item.cost), item.index))

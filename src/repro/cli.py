@@ -12,7 +12,15 @@ Sub-commands
     the grid comes from a deck's ``[study]`` axis section and/or repeated
     ``--axis key=v1,v2`` options, the base problem from the deck or the
     usual problem flags.  ``--backend`` picks the execution backend
-    (serial/thread/process), ``--store`` makes the study resumable.
+    (serial/thread/process/distributed), ``--store`` makes the study
+    resumable; ``--spool``/``--lease`` configure the distributed backend's
+    shared spool directory and work-stealing lease.
+``worker``
+    Serve a distributed-campaign spool directory: claim jobs, execute
+    them, persist results in the spool's shared store and mark them done
+    -- until the coordinator's STOP marker (or ``--max-jobs`` /
+    ``--idle-exit``).  Start any number, on any host that mounts the
+    spool (see :mod:`repro.campaign.distributed`).
 ``engines``
     List the registered sweep engines (with their aliases).
 ``solvers``
@@ -43,8 +51,10 @@ Sub-commands
 ``store``
     Result-store maintenance: ``store gc DIR`` compacts a campaign
     :class:`~repro.campaign.ResultStore` (``--keep-latest N`` drops old
-    records, ``--drop-flux`` strips the flux payloads); golden stores are
-    refused.
+    records, ``--drop-flux`` strips the flux payloads); ``store merge
+    DEST SOURCE...`` folds independently-populated stores into one (the
+    sharded-campaign merge point -- a study re-run against the merged
+    store executes zero new runs).  Golden stores are refused by both.
 ``serve``
     Run the transport service (:mod:`repro.service`): a job-queue daemon
     plus HTTP gateway accepting deck/spec submissions on ``POST /jobs``,
@@ -106,8 +116,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     study_cmd.add_argument(
         "--backend", type=str, default="serial",
-        help="execution backend name or alias: serial | thread | process "
-        "(see 'unsnap backends')",
+        help="execution backend name or alias: serial | thread | process | "
+        "distributed (see 'unsnap backends')",
     )
     study_cmd.add_argument(
         "--jobs", type=int, default=None,
@@ -117,6 +127,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--store", type=str, default=None, metavar="DIR",
         help="result-store directory: completed runs are skipped on re-invocation "
         "and fresh runs persisted (one JSON per run)",
+    )
+    study_cmd.add_argument(
+        "--spool", type=str, default=None, metavar="DIR",
+        help="distributed backend only: shared spool directory (workers on any "
+        "host mounting it pick up the runs; default: a private temporary "
+        "spool with locally spawned workers)",
+    )
+    study_cmd.add_argument(
+        "--lease", type=float, default=None, metavar="SECONDS",
+        help="distributed backend only: work-stealing lease -- a claim whose "
+        "worker heartbeat stalls this long is re-queued (default 15)",
     )
     study_cmd.add_argument(
         "--json", action="store_true",
@@ -245,6 +266,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="log every request to stderr",
     )
 
+    worker = sub.add_parser(
+        "worker", help="serve a distributed-campaign spool directory"
+    )
+    worker.add_argument("spool", type=str, help="spool directory (shared filesystem)")
+    worker.add_argument(
+        "--id", type=str, default=None, metavar="WORKER_ID",
+        help="worker identity written into claims and heartbeats "
+        "(default: host-pid)",
+    )
+    worker.add_argument(
+        "--poll", type=float, default=0.2, metavar="SECONDS",
+        help="idle sleep between queue checks (default 0.2)",
+    )
+    worker.add_argument(
+        "--heartbeat", type=float, default=1.0, metavar="SECONDS",
+        help="heartbeat-file touch period; keep well under the campaign "
+        "lease (default 1.0)",
+    )
+    worker.add_argument(
+        "--max-jobs", type=int, default=None, metavar="N",
+        help="exit after executing N jobs (default: run until STOP)",
+    )
+    worker.add_argument(
+        "--idle-exit", type=float, default=None, metavar="SECONDS",
+        help="exit after this long with an empty queue (default: wait for STOP)",
+    )
+
     store = sub.add_parser("store", help="result-store maintenance")
     store_sub = store.add_subparsers(dest="store_command", required=True)
     gc = store_sub.add_parser(
@@ -263,6 +311,21 @@ def build_parser() -> argparse.ArgumentParser:
     gc.add_argument(
         "--dry-run", action="store_true",
         help="report what would happen without touching the store",
+    )
+    merge = store_sub.add_parser(
+        "merge",
+        help="fold one or more source stores into a destination store "
+        "(sharded-campaign merge; never a golden destination)",
+    )
+    merge.add_argument("dest", type=str, help="destination result-store directory")
+    merge.add_argument(
+        "sources", type=str, nargs="+", metavar="SOURCE",
+        help="source result-store directories to fold in",
+    )
+    merge.add_argument(
+        "--overwrite", action="store_true",
+        help="source records replace existing destination records of the "
+        "same run key (default: destination wins, duplicates are skipped)",
     )
     return parser
 
@@ -413,7 +476,7 @@ def _study_from_args(args: argparse.Namespace) -> Study:
 def _cmd_study(args: argparse.Namespace) -> int:
     try:
         study = _study_from_args(args)
-        get_backend(args.backend)
+        backend = get_backend(args.backend)
         # Validate every grid point up front (spec ranges via with_, engine
         # and solver names via the registries) so a bad axis value is a
         # clean error before any run -- or worker process -- starts.
@@ -423,8 +486,23 @@ def _cmd_study(args: argparse.Namespace) -> int:
     except (KeyError, ValueError) as exc:
         print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
         return 2
+    if args.spool is not None or args.lease is not None:
+        if getattr(backend, "name", None) != "distributed":
+            print(
+                "error: --spool/--lease require --backend distributed",
+                file=sys.stderr,
+            )
+            return 2
+        from .campaign import DistributedBackend
+
+        backend = DistributedBackend(spool_dir=args.spool, lease_seconds=args.lease)
+        # A shared spool's store IS the campaign store: default --store to it
+        # so a re-invocation resumes from cache (from_cache=True, zero new
+        # runs) exactly like the other backends do with an explicit --store.
+        if args.spool is not None and not args.store:
+            args.store = str(Path(args.spool) / "store")
     store = ResultStore(args.store) if args.store else None
-    result = run_study(study, backend=args.backend, store=store, jobs=args.jobs)
+    result = run_study(study, backend=backend, store=store, jobs=args.jobs)
 
     if args.json:
         print(json.dumps({"study": study.name, "records": result.records()}, indent=2))
@@ -661,10 +739,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_store(args: argparse.Namespace) -> int:
-    from .campaign import ResultStore
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .campaign.distributed import run_worker
 
-    assert args.store_command == "gc"
+    spool = Path(args.spool)
+    if not spool.is_dir():
+        print(f"error: {spool} is not a directory", file=sys.stderr)
+        return 2
+    executed = run_worker(
+        spool,
+        worker_id=args.id,
+        poll_seconds=args.poll,
+        heartbeat_seconds=args.heartbeat,
+        max_jobs=args.max_jobs,
+        idle_exit_seconds=args.idle_exit,
+    )
+    print(f"unsnap worker drained: {executed} jobs executed", flush=True)
+    return 0
+
+
+def _cmd_store_gc(args: argparse.Namespace) -> int:
     store = ResultStore(args.dir)
     if not store.root.is_dir():
         print(f"error: {store.root} is not a directory", file=sys.stderr)
@@ -688,6 +782,42 @@ def _cmd_store(args: argparse.Namespace) -> int:
     title = "Result-store GC (dry run)" if args.dry_run else "Result-store GC"
     print(format_table(("quantity", "value"), rows, title=f"{title}: {store.root}"))
     return 0
+
+
+def _cmd_store_merge(args: argparse.Namespace) -> int:
+    dest = ResultStore(args.dest)
+    merged = skipped = 0
+    for source in args.sources:
+        if not Path(source).is_dir():
+            print(f"error: {source} is not a directory", file=sys.stderr)
+            return 2
+        try:
+            stats = dest.merge(source, overwrite=args.overwrite)
+        except ValueError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        merged += stats["merged"]
+        skipped += stats["skipped"]
+    rows = [
+        ("sources", len(args.sources)),
+        ("merged", merged),
+        ("skipped", skipped),
+        ("records now", len(dest)),
+    ]
+    print(
+        format_table(
+            ("quantity", "value"), rows, title=f"Result-store merge: {dest.root}"
+        )
+    )
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    if args.store_command == "gc":
+        return _cmd_store_gc(args)
+    if args.store_command == "merge":
+        return _cmd_store_merge(args)
+    raise AssertionError(f"unhandled store command {args.store_command!r}")  # pragma: no cover
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -719,6 +849,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_bench(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     if args.command == "store":
         return _cmd_store(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

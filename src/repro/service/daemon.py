@@ -38,9 +38,10 @@ import time
 from collections import deque
 from typing import Callable
 
-from ..campaign.backends import get_backend
-from ..campaign.store import ResultStore, run_key
-from ..campaign.study import RUN_OPTION_KEYS, StudyPoint
+from ..campaign.backends import get_backend, iter_backend_results
+from ..campaign.store import ResultStore
+from ..campaign.study import RUN_OPTION_KEYS
+from ..campaign.workitem import WorkItem, run_key
 from ..engines import get_engine
 from ..runner import RunResult
 from ..solvers import get_solver
@@ -214,6 +215,8 @@ class ServiceDaemon:
         # clean submission error, not a failed job.
         get_engine(spec.engine)
         get_solver(spec.solver)
+        # The canonical WorkItem content key: the same key the result store
+        # files under and the distributed spool names job files with.
         key = run_key(spec, run_options)
         with self._cond:
             if self._stop:
@@ -333,15 +336,19 @@ class ServiceDaemon:
 
     # ---------------------------------------------------------- execution
     def _execute_via_backend(self, job: Job) -> RunResult:
-        """Default execution: one-point payload through the backend registry."""
+        """Default execution: one :class:`WorkItem` through the backend registry."""
         run_options = dict(job.run_options)
         if self.backend_name in _IN_PROCESS_BACKENDS:
             # Same-process execution: thread the live instrument through so
             # the progress stream has phases to show.  (A process backend's
             # instrument could not pickle back -- its jobs run bare.)
             run_options["telemetry"] = job.telemetry
-        point = StudyPoint(index=0, axes={}, spec=job.spec, run_options=run_options)
-        results = list(self.backend.execute([point], jobs=1))
+        item = WorkItem(spec=job.spec, run_options=run_options, index=0)
+        results = [
+            result for _index, result, _meta in iter_backend_results(
+                self.backend, [item], jobs=1
+            )
+        ]
         if len(results) != 1:
             raise RuntimeError(
                 f"backend {self.backend_name!r} returned {len(results)} results "

@@ -103,6 +103,15 @@ class Job:
     def terminal(self) -> bool:
         return self.state in TERMINAL_STATES
 
+    @property
+    def work_item(self):
+        """This job as the shared campaign :class:`~repro.campaign.workitem.
+        WorkItem` (same spec, options and content key the store and the
+        distributed spool use)."""
+        from ..campaign.workitem import WorkItem
+
+        return WorkItem(spec=self.spec, run_options=dict(self.run_options), index=self.id)
+
     def transition(self, new_state: str) -> None:
         """Advance the state machine, rejecting illegal edges.
 

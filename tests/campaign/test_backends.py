@@ -27,12 +27,14 @@ GRID = dict(engine=["vectorized", "prefactorized"], order=[1, 2])
 
 class TestRegistry:
     def test_builtins_registered(self):
-        assert available_backends() == ["process", "serial", "thread"]
+        assert available_backends() == ["distributed", "process", "serial", "thread"]
 
     def test_aliases(self):
         assert backend_aliases("process") == ["mp", "processes"]
+        assert backend_aliases("distributed") == ["cluster", "spool"]
         assert get_backend("mp") is get_backend("process")
         assert get_backend("sequential") is get_backend("serial")
+        assert get_backend("spool") is get_backend("distributed")
 
     def test_listing_has_descriptions(self):
         rows = {name: desc for name, _aliases, desc in backend_listing()}

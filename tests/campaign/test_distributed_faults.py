@@ -1,0 +1,223 @@
+"""Fault-injection tests for the distributed backend.
+
+Three failure modes from the spool protocol's threat model, each induced
+deterministically:
+
+* a worker killed mid-point (real ``unsnap worker`` subprocess, SIGKILL)
+  -- its stale claim is stolen after the lease and the point re-executes;
+* an expired lease on a ghost claim -- the coordinator's recovery pass
+  steals it and republishes with the attempt counter bumped;
+* a corrupt spool job file -- the worker quarantines it, the recovery pass
+  republishes the point from the coordinator's own copy.
+
+In every case the campaign completes correctly and the failure is visible
+in the study records (``attempts`` > 1, the surviving ``worker_id``).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import Study, WorkItem, run_study
+from repro.campaign.distributed import DistributedBackend, SpoolDir, SpoolWorker
+from repro.campaign.distributed.coordinator import worker_command
+from repro.config import ProblemSpec
+
+BASE = ProblemSpec(
+    nx=2, ny=2, nz=2, angles_per_octant=1, num_groups=1, num_inners=1,
+    engine="vectorized",
+)
+
+
+def drain_with_worker(spool, backend, study):
+    """Run the study with one in-process worker serving the spool."""
+    worker = SpoolWorker(spool, worker_id="survivor", poll_seconds=0.02,
+                         heartbeat_seconds=0.1)
+    thread = threading.Thread(target=worker.run, daemon=True)
+    thread.start()
+    try:
+        return run_study(study, backend=backend)
+    finally:
+        spool.request_stop()
+        thread.join(timeout=10)
+
+
+class TestLeaseExpiry:
+    def test_stale_ghost_claim_is_stolen_and_republished(self, tmp_path):
+        spool = SpoolDir(tmp_path / "spool")
+        item = WorkItem(spec=BASE, index=0)
+        spool.publish(item, max_attempts=3)
+        claim = spool.claim_next("ghost")
+        # The ghost never heartbeats; backdate its claim past any lease.
+        past = time.time() - 3600
+        os.utime(claim.path, (past, past))
+        assert spool.claim_age(claim) > 60
+
+        backend = DistributedBackend(spool_dir=spool.root, max_attempts=3)
+        attempts = {0: 1}
+        backend._recover(spool, {0: item}, attempts, lease=1.0, now=time.time())
+        assert spool.claims() == []
+        (job,) = spool.pending()
+        assert "-a02-" in job.name  # attempt counter bumped on republish
+        assert attempts[0] == 2
+
+    def test_fresh_heartbeat_protects_a_long_running_claim(self, tmp_path):
+        spool = SpoolDir(tmp_path / "spool")
+        item = WorkItem(spec=BASE, index=0)
+        spool.publish(item)
+        claim = spool.claim_next("busy-worker")
+        past = time.time() - 3600
+        os.utime(claim.path, (past, past))
+        spool.heartbeat("busy-worker")  # owner is alive, just slow
+        assert spool.claim_age(claim) < 60
+
+        backend = DistributedBackend(spool_dir=spool.root)
+        backend._recover(spool, {0: item}, {0: 1}, lease=60.0, now=time.time())
+        assert [c.worker_id for c in spool.claims()] == ["busy-worker"]
+        assert spool.pending() == []
+
+
+class TestCorruptJob:
+    def test_worker_quarantines_garbage_job_file(self, tmp_path):
+        spool = SpoolDir(tmp_path / "spool")
+        path = spool.publish(WorkItem(spec=BASE, index=0))
+        path.write_text("not json {")
+        worker = SpoolWorker(spool, worker_id="w")
+        claim = spool.claim_next("w")
+        assert worker.run_claim(claim) is False
+        assert spool.pending() == [] and spool.claims() == []
+        quarantined = list((spool.root / "quarantine").glob("*.json"))
+        assert len(quarantined) == 1
+        reason = quarantined[0].with_suffix(".reason").read_text()
+        assert "unreadable" in reason
+
+    def test_recovery_republishes_a_quarantined_point(self, tmp_path):
+        spool = SpoolDir(tmp_path / "spool")
+        item = WorkItem(spec=BASE, index=0)
+        path = spool.publish(item)
+        path.write_text("not json {")
+        claim = spool.claim_next("w")
+        SpoolWorker(spool, worker_id="w").run_claim(claim)  # quarantined
+
+        backend = DistributedBackend(spool_dir=spool.root)
+        attempts = {0: 1}
+        backend._recover(spool, {0: item}, attempts, lease=60.0, now=time.time())
+        (job,) = spool.pending()
+        assert "-a02-" in job.name
+
+    def test_campaign_survives_a_corrupted_job_end_to_end(self, tmp_path):
+        spool = SpoolDir(tmp_path / "spool")
+        study = Study.grid(BASE, order=[1])
+        # Corrupt the job file the moment it appears, once, from a thread.
+        def corrupt_first_job():
+            deadline = time.time() + 10
+            while time.time() < deadline:
+                pending = spool.pending()
+                if pending:
+                    pending[0].write_text("garbage")
+                    return
+                time.sleep(0.005)
+
+        saboteur = threading.Thread(target=corrupt_first_job, daemon=True)
+        saboteur.start()
+        backend = DistributedBackend(
+            spool_dir=spool.root, workers=0, poll_seconds=0.02, lease_seconds=5
+        )
+        result = drain_with_worker(spool, backend, study)
+        saboteur.join(timeout=10)
+        assert len(result) == 1
+        run = result[0]
+        assert run.meta["worker_id"] == "survivor"
+        # Either the saboteur won (attempts == 2 after quarantine+republish)
+        # or the worker claimed first (attempts == 1); both must complete.
+        assert run.meta["attempts"] in (1, 2)
+
+
+class TestExhaustedAttempts:
+    def test_failure_surfaces_after_max_attempts(self, tmp_path):
+        spool = SpoolDir(tmp_path / "spool")
+        bad = Study.grid(BASE.with_(engine="no-such-engine"), order=[1])
+        backend = DistributedBackend(
+            spool_dir=spool.root, workers=0, poll_seconds=0.02,
+            lease_seconds=30, max_attempts=1,
+        )
+        with pytest.raises(RuntimeError, match="failed after 1 attempts"):
+            drain_with_worker(spool, backend, bad)
+
+    def test_error_marker_names_worker_and_exception(self, tmp_path):
+        spool = SpoolDir(tmp_path / "spool")
+        item = WorkItem(spec=BASE.with_(engine="no-such-engine"), index=0)
+        spool.publish(item, max_attempts=1)
+        worker = SpoolWorker(spool, worker_id="w")
+        worker.run_claim(spool.claim_next("w"))
+        ((_key, meta),) = spool.done_markers().items()
+        assert meta["worker_id"] == "w"
+        assert "KeyError" in meta["error"]
+
+    def test_failed_attempt_below_max_is_republished(self, tmp_path):
+        spool = SpoolDir(tmp_path / "spool")
+        item = WorkItem(spec=BASE.with_(engine="no-such-engine"), index=0)
+        spool.publish(item, max_attempts=2)
+        worker = SpoolWorker(spool, worker_id="w")
+        worker.run_claim(spool.claim_next("w"))
+        assert spool.done_markers() == {}
+        (job,) = spool.pending()
+        assert "-a02-" in job.name
+
+
+class TestKilledWorker:
+    def test_sigkilled_worker_leaves_a_stealable_claim(self, tmp_path):
+        spool = SpoolDir(tmp_path / "spool")
+        # A point slow enough to be killed mid-execution.
+        slow = WorkItem(
+            spec=BASE.with_(nx=4, ny=4, nz=4, order=2, num_inners=5), index=0
+        )
+        spool.publish(slow, max_attempts=3)
+
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src, env.get("PYTHONPATH", "")) if p
+        )
+        proc = subprocess.Popen(
+            worker_command(spool.root, poll_seconds=0.02, heartbeat_seconds=0.1),
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.time() + 30
+            while time.time() < deadline and not spool.claims():
+                time.sleep(0.02)
+            claims = spool.claims()
+            assert claims, "worker never claimed the job"
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=10)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+        # The kill left the claim behind; once the heartbeat goes stale the
+        # claim is steal-able and the point re-executes on a survivor.
+        (claim,) = spool.claims()
+        time.sleep(0.3)
+        assert spool.claim_age(claim) > 0.2
+
+        backend = DistributedBackend(spool_dir=spool.root, max_attempts=3)
+        attempts = {0: 1}
+        backend._recover(spool, {0: slow}, attempts, lease=0.2, now=time.time())
+        assert spool.claims() == []
+        (job,) = spool.pending()
+        assert "-a02-" in job.name
+
+        # A survivor executes the republished attempt to completion.
+        payload = json.loads(job.read_text())
+        assert payload["attempts"] == 2
+        survivor = SpoolWorker(spool, worker_id="survivor")
+        assert survivor.run_claim(spool.claim_next("survivor")) is True
+        meta = spool.done_markers()[(0, slow.run_key[:16])]
+        assert meta["worker_id"] == "survivor" and meta["attempts"] == 2

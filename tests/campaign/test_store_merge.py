@@ -1,0 +1,106 @@
+"""Tests for ResultStore.merge: the sharded-campaign join point."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.campaign import ResultStore, Study, run_study
+from repro.campaign.store import GOLDEN_MARKER
+from repro.config import ProblemSpec
+
+BASE = ProblemSpec(
+    nx=2, ny=2, nz=2, angles_per_octant=1, num_groups=1, num_inners=1,
+    engine="vectorized",
+)
+STUDY = Study.grid(BASE, order=[1, 2])
+
+
+def _shard_stores(tmp_path):
+    """Two stores each holding one half of STUDY (independent shards)."""
+    points = STUDY.runs()
+    shard_a = ResultStore(tmp_path / "shard-a")
+    shard_b = ResultStore(tmp_path / "shard-b")
+    run_study(Study.cases(BASE, [points[0].axes]), store=shard_a)
+    run_study(Study.cases(BASE, [points[1].axes]), store=shard_b)
+    return shard_a, shard_b
+
+
+class TestMerge:
+    def test_merge_unions_disjoint_shards(self, tmp_path):
+        shard_a, shard_b = _shard_stores(tmp_path)
+        stats = shard_a.merge(shard_b)
+        assert stats == {"merged": 1, "skipped": 0, "records": 2}
+
+    def test_merged_store_resumes_with_zero_new_runs(self, tmp_path):
+        shard_a, shard_b = _shard_stores(tmp_path)
+        shard_a.merge(shard_b)
+        result = run_study(STUDY, store=shard_a)
+        assert result.new_run_count == 0 and result.cached_run_count == 2
+
+    def test_merge_copies_records_byte_for_byte(self, tmp_path):
+        shard_a, shard_b = _shard_stores(tmp_path)
+        (key,) = shard_b.keys()
+        shard_a.merge(shard_b)
+        assert shard_a.path_for(key).read_text() == shard_b.path_for(key).read_text()
+
+    def test_merged_result_bit_for_bit_equal_to_direct_run(self, tmp_path):
+        shard_a, shard_b = _shard_stores(tmp_path)
+        shard_a.merge(shard_b)
+        direct = run_study(STUDY)
+        merged = run_study(STUDY, store=shard_a)
+        for a, b in zip(direct, merged):
+            np.testing.assert_array_equal(a.result.scalar_flux, b.result.scalar_flux)
+
+    def test_duplicates_skipped_by_default(self, tmp_path):
+        shard_a, shard_b = _shard_stores(tmp_path)
+        shard_a.merge(shard_b)
+        stats = shard_a.merge(shard_b)
+        assert stats == {"merged": 0, "skipped": 1, "records": 2}
+
+    def test_overwrite_replaces_existing_records(self, tmp_path):
+        shard_a, shard_b = _shard_stores(tmp_path)
+        shard_a.merge(shard_b)
+        stats = shard_a.merge(shard_b, overwrite=True)
+        assert stats["merged"] == 1 and stats["skipped"] == 0
+
+    def test_source_store_never_modified(self, tmp_path):
+        shard_a, shard_b = _shard_stores(tmp_path)
+        before = {p.name: p.read_text() for p in shard_b.root.iterdir()}
+        shard_a.merge(shard_b)
+        after = {p.name: p.read_text() for p in shard_b.root.iterdir()}
+        assert before == after
+
+    def test_merge_accepts_plain_path(self, tmp_path):
+        shard_a, shard_b = _shard_stores(tmp_path)
+        stats = shard_a.merge(shard_b.root)
+        assert stats["merged"] == 1
+
+
+class TestMergeRefusals:
+    def test_golden_destination_refused(self, tmp_path):
+        dest = ResultStore(tmp_path / "golden")
+        dest.root.mkdir()
+        (dest.root / GOLDEN_MARKER).touch()
+        with pytest.raises(ValueError, match="refusing to merge"):
+            dest.merge(tmp_path / "anywhere")
+
+    def test_self_merge_refused(self, tmp_path):
+        store = ResultStore(tmp_path / "runs")
+        store.root.mkdir()
+        with pytest.raises(ValueError, match="into itself"):
+            store.merge(store.root)
+
+    def test_corrupt_source_record_refused(self, tmp_path):
+        shard_a, shard_b = _shard_stores(tmp_path)
+        (key,) = shard_b.keys()
+        shard_b.path_for(key).write_text('{"format": "unsnap-run-v1", "trunc')
+        with pytest.raises(ValueError, match="corrupt"):
+            shard_a.merge(shard_b)
+
+    def test_foreign_format_source_refused(self, tmp_path):
+        shard_a, shard_b = _shard_stores(tmp_path)
+        (key,) = shard_b.keys()
+        shard_b.path_for(key).write_text(json.dumps({"format": "other-v9"}))
+        with pytest.raises(ValueError, match="format='other-v9'"):
+            shard_a.merge(shard_b)

@@ -1,0 +1,87 @@
+"""Tests for the shared WorkItem payload and its compatibility adapter."""
+
+import pytest
+
+from repro.campaign import ResultStore, Study, WorkItem, as_work_items, run_key
+from repro.campaign.workitem import estimate_cost, order_by_cost
+from repro.config import ProblemSpec
+
+SPEC = ProblemSpec(nx=2, ny=2, nz=2, angles_per_octant=1, num_groups=1, num_inners=1)
+
+
+class TestRunKey:
+    def test_key_matches_free_function(self):
+        item = WorkItem(spec=SPEC, run_options={"num_threads": 2})
+        assert item.run_key == run_key(SPEC, {"num_threads": 2})
+
+    def test_key_ignores_option_order(self):
+        assert run_key(SPEC, {"a": 1, "b": 2}) == run_key(SPEC, {"b": 2, "a": 1})
+
+    def test_key_ignores_index_and_cost(self):
+        a = WorkItem(spec=SPEC, index=0, cost=1.0)
+        b = WorkItem(spec=SPEC, index=7, cost=99.0)
+        assert a.run_key == b.run_key
+
+    def test_store_files_under_the_same_key(self, tmp_path):
+        store = ResultStore(tmp_path)
+        item = WorkItem(spec=SPEC)
+        assert store.path_for(item.run_key).name == f"{run_key(SPEC)}.json"
+
+
+class TestCost:
+    def test_default_cost_is_estimate(self):
+        assert WorkItem(spec=SPEC).cost == estimate_cost(SPEC)
+
+    def test_cubic_points_dominate_linear(self):
+        linear = WorkItem(spec=SPEC.with_(order=1))
+        cubic = WorkItem(spec=SPEC.with_(order=3))
+        assert cubic.cost > linear.cost
+
+    def test_order_by_cost_puts_stragglers_first(self):
+        items = [
+            WorkItem(spec=SPEC.with_(order=1), index=0),
+            WorkItem(spec=SPEC.with_(order=3), index=1),
+            WorkItem(spec=SPEC.with_(order=2), index=2),
+        ]
+        assert [i.index for i in order_by_cost(items)] == [1, 2, 0]
+
+    def test_order_by_cost_breaks_ties_by_index(self):
+        items = [WorkItem(spec=SPEC, index=i) for i in (2, 0, 1)]
+        assert [i.index for i in order_by_cost(items)] == [0, 1, 2]
+
+
+class TestAdapters:
+    def test_round_trips_through_dict(self):
+        item = WorkItem(spec=SPEC, run_options={"num_threads": 2}, index=3)
+        clone = WorkItem.from_dict(item.to_dict())
+        assert clone == item and clone.run_key == item.run_key
+
+    def test_coerce_passes_work_items_through(self):
+        item = WorkItem(spec=SPEC)
+        assert WorkItem.coerce(item) is item
+
+    def test_coerce_adapts_study_points_keeping_index(self):
+        study = Study.grid(SPEC, order=[1, 2])
+        items = as_work_items(study.runs())
+        assert [i.index for i in items] == [0, 1]
+        assert items[1].spec.order == 2
+
+    def test_coerce_adapts_legacy_tuples_with_sequential_indexes(self):
+        # Deprecated shape, kept one release for out-of-tree callers.
+        items = as_work_items([(SPEC, {"num_threads": 1}), (SPEC.with_(order=2), None)])
+        assert [i.index for i in items] == [0, 1]
+        assert items[0].run_options == {"num_threads": 1}
+        assert items[1].run_options == {}
+
+    def test_coerce_rejects_garbage(self):
+        with pytest.raises(TypeError, match="WorkItem"):
+            WorkItem.coerce(42)
+
+    def test_duplicate_indexes_rejected(self):
+        with pytest.raises(ValueError, match=r"duplicate work-item indexes \[5\]"):
+            as_work_items([WorkItem(spec=SPEC, index=5), WorkItem(spec=SPEC, index=5)])
+
+    def test_with_replaces_fields(self):
+        item = WorkItem(spec=SPEC, index=1)
+        assert item.with_(index=9).index == 9
+        assert item.with_(index=9).spec == SPEC
