@@ -19,6 +19,10 @@ Public API highlights
   and ``prefactorized`` built-ins).
 * :mod:`repro.solvers` -- the local dense-solver registry
   (:func:`~repro.solvers.register_solver`, ``ge`` and ``lapack`` built-ins).
+* :mod:`repro.drivers` -- the outer-loop driver registry
+  (:func:`~repro.drivers.register_driver`; ``fixed_source``,
+  ``k_eigenvalue`` and ``time_dependent`` built-ins), selected via
+  ``ProblemSpec.driver`` / ``repro.run(spec, mode=...)``.
 * :func:`repro.run_study` -- the batch execution surface: a declarative
   :class:`repro.Study` (base spec + axis grids) executed through a pluggable
   backend (``serial`` / ``thread`` / ``process``) with an optional resumable
@@ -63,6 +67,7 @@ from .campaign import (
 )
 from .config import BoundaryCondition, ProblemSpec
 from .core.solver import TransportResult, TransportSolver
+from .drivers import available_drivers, get_driver, register_driver
 from .engines import available_engines, get_engine, register_engine
 from .runner import RunResult, run
 from .solvers import available_solvers, get_solver, register_solver
@@ -71,7 +76,7 @@ from . import bench
 from . import service
 from . import verify
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "run",
@@ -94,6 +99,9 @@ __all__ = [
     "register_solver",
     "get_solver",
     "available_solvers",
+    "register_driver",
+    "get_driver",
+    "available_drivers",
     "Telemetry",
     "bench",
     "service",

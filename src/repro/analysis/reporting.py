@@ -57,7 +57,8 @@ def format_verification_report(report) -> str:
 
     One table per suite that ran: the MMS order estimates, the conformance
     matrix summary (with any failed bit-for-bit checks called out row by
-    row), and the golden-store case statuses.
+    row), the golden-store case statuses, and the analytic driver
+    benchmarks.
     """
     sections: list[str] = []
 
@@ -121,6 +122,32 @@ def format_verification_report(report) -> str:
                 ("case", "status", "detail", "max deviation"),
                 rows,
                 title=f"Golden regression store ({report.golden.golden_dir})",
+            )
+        )
+
+    if getattr(report, "drivers", None) is not None:
+        k = report.drivers.k_infinity
+        decay = report.drivers.decay
+        rows = [
+            (
+                "k_eigenvalue vs analytic k-infinity",
+                f"{k.error:.3e} <= {k.tolerance:.0e}",
+                f"k={k.k_computed:.10f} in {k.power_iterations} iterations",
+                "pass" if k.passed else "FAIL",
+            ),
+            (
+                "time_dependent decay order in dt",
+                f"|{decay.observed_order:.3f} - {decay.theoretical_order:g}| "
+                f"<= {decay.tolerance}",
+                "dt = " + ", ".join(f"{dt:g}" for dt in decay.dts),
+                "pass" if decay.passed else "FAIL",
+            ),
+        ]
+        sections.append(
+            format_table(
+                ("benchmark", "criterion", "detail", "status"),
+                rows,
+                title="Driver benchmarks (analytic references)",
             )
         )
 

@@ -13,6 +13,8 @@ Tags group the suite the way the paper's evaluation splits:
 * ``scaling`` -- thread-count and rank-count ensembles;
 * ``study``   -- campaign-level grids through ``repro.run_study``;
 * ``service`` -- the service layer (store-backed request dedup);
+* ``drivers`` -- the outer-loop drivers (power-iteration throughput, time
+  stepping with cross-step factor-cache reuse);
 * ``model``   -- measured-vs-modelled overlays (run via ``--against-model``).
 """
 
@@ -28,7 +30,7 @@ from ..angular.quadrature import snap_dummy_quadrature
 from ..baseline.snap_fd import SnapDiamondDifferenceSolver
 from ..campaign import Study, run_study
 from ..campaign.backends import available_backends
-from ..config import ProblemSpec
+from ..config import BoundaryCondition, ProblemSpec
 from ..core.assembly import ElementMatrices
 from ..core.sweep import SweepExecutor
 from ..engines import available_engines
@@ -339,6 +341,74 @@ def bench_service_dedup(workload: BenchWorkload) -> dict[str, dict]:
             ),
         },
     }
+
+
+# -------------------------------------------------------------------- drivers
+@register_benchmark("driver-k-eigenvalue", tags=("drivers",), aliases=("keff",))
+def bench_driver_k_eigenvalue(workload: BenchWorkload) -> dict[str, dict]:
+    """Power-iteration throughput of the ``k_eigenvalue`` driver.
+
+    A reflected problem converged to ``k_tolerance``: the headline is
+    seconds per power iteration (each one a full within-group solve), with
+    the converged eigenpair alongside as a sanity anchor.
+    """
+    n = 2 if workload.smoke else min(workload.n, 3)
+    spec = ProblemSpec(
+        nx=n, ny=n, nz=n, order=1, angles_per_octant=1,
+        num_groups=min(4, workload.num_groups),
+        max_twist=0.0, num_inners=20, inner_tolerance=1e-10,
+        boundary=BoundaryCondition(kind="reflective"),
+        driver="k_eigenvalue", k_tolerance=1e-8, max_power_iters=50,
+    )
+    telemetry = Telemetry()
+    t0 = time.perf_counter()
+    result = run(spec, telemetry=telemetry)
+    seconds = time.perf_counter() - t0
+    iterations = int(telemetry.counters.get("power_iterations", 0))
+    return {
+        "power": {
+            "seconds": seconds,
+            "power_iterations": iterations,
+            "seconds_per_iteration": seconds / iterations if iterations else 0.0,
+            "k_effective": float(result.k_effective),
+            "dominance_ratio": float(result.dominance_ratio),
+        }
+    }
+
+
+@register_benchmark("driver-time-dependent", tags=("drivers",), aliases=("transient",))
+def bench_driver_time_dependent(workload: BenchWorkload) -> dict[str, dict]:
+    """Backward-Euler stepping cost per engine: the factor-cache-reuse win.
+
+    The time-absorption term is folded into ``sigma_t`` once, so the
+    ``prefactorized`` engine's LU factors are built on the first step and
+    every later step reuses them -- visible in the cache-hit counters and
+    the per-step seconds against the ``reference`` engine.
+    """
+    n = 2 if workload.smoke else min(workload.n, 3)
+    n_steps = 4 if workload.smoke else 8
+    base = ProblemSpec(
+        nx=n, ny=n, nz=n, order=1, angles_per_octant=1,
+        num_groups=min(4, workload.num_groups),
+        max_twist=0.0, num_inners=5,
+        boundary=BoundaryCondition(kind="reflective"),
+        driver="time_dependent", dt=0.1, n_steps=n_steps, initial_flux_value=1.0,
+    )
+    samples = {}
+    for engine in ("reference", "prefactorized"):
+        telemetry = Telemetry()
+        t0 = time.perf_counter()
+        run(base.with_(engine=engine), telemetry=telemetry)
+        seconds = time.perf_counter() - t0
+        steps = int(telemetry.counters.get("time_steps", 0))
+        samples[engine] = {
+            "seconds": seconds,
+            "time_steps": steps,
+            "seconds_per_step": seconds / steps if steps else 0.0,
+            "factor_cache_hits": int(telemetry.counters.get("factor_cache_hits", 0)),
+            "factor_cache_misses": int(telemetry.counters.get("factor_cache_misses", 0)),
+        }
+    return samples
 
 
 # ---------------------------------------------------------------------- study

@@ -21,8 +21,7 @@ Backend contract (v2)
 Work arrives as :class:`~repro.campaign.workitem.WorkItem`\\ s (the shared
 frozen payload carrying spec, run options, study index and cost estimate;
 :func:`~repro.campaign.workitem.as_work_items` also adapts
-:class:`~repro.campaign.study.StudyPoint`\\ s and -- deprecated, one release
-only -- legacy ``(spec, run_options)`` tuples).  A backend implements one or
+:class:`~repro.campaign.study.StudyPoint`\\ s).  A backend implements one or
 both of:
 
 ``execute(items, *, jobs=None) -> Iterable[RunResult]``
@@ -200,7 +199,7 @@ def iter_backend_results(
 
 
 def _execute_point(payload) -> RunResult:
-    """Run one pickled :class:`WorkItem` (or legacy tuple) payload.
+    """Run one pickled :class:`WorkItem` (or :class:`StudyPoint`) payload.
 
     Module-level so :class:`ProcessBackend` can ship it to workers by
     reference; the import of :func:`repro.run` happens lazily to avoid a

@@ -18,6 +18,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 import uuid
 from pathlib import Path
 
@@ -287,10 +288,17 @@ class ResultStore:
         self,
         *,
         keep_latest: int | None = None,
+        max_age_days: float | None = None,
+        max_bytes: int | None = None,
         drop_flux: bool = False,
         dry_run: bool = False,
     ) -> dict:
         """Compact the store: drop old records and/or their flux payloads.
+
+        The three retention policies compose (a record survives only if it
+        passes all of them): ``max_age_days`` drops stale records first,
+        ``keep_latest`` caps the count, then ``max_bytes`` drops the oldest
+        of what remains until the store fits the byte budget.
 
         Parameters
         ----------
@@ -298,6 +306,13 @@ class ResultStore:
             Keep only the ``N`` most recently written records (file mtime,
             newest first; key order breaks ties) and delete the rest.
             ``None`` keeps everything.
+        max_age_days:
+            Drop records whose file mtime is older than this many days.
+            ``None`` applies no age limit.
+        max_bytes:
+            Drop the oldest surviving records (same mtime order) until the
+            remaining files total at most this many bytes.  ``None`` applies
+            no size budget; ``0`` empties the store.
         drop_flux:
             Rewrite the surviving records without the embedded flux arrays
             -- they dominate the record size.  Compacted records still load
@@ -327,14 +342,34 @@ class ResultStore:
             )
         if keep_latest is not None and keep_latest < 0:
             raise ValueError("keep_latest must be >= 0")
+        if max_age_days is not None and max_age_days < 0:
+            raise ValueError("max_age_days must be >= 0")
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
         paths = [self.path_for(key) for key in self.keys()]
         bytes_before = sum(p.stat().st_size for p in paths)
 
-        doomed: list[Path] = []
-        if keep_latest is not None and len(paths) > keep_latest:
-            by_age = sorted(paths, key=lambda p: (p.stat().st_mtime, p.stem), reverse=True)
-            doomed = by_age[keep_latest:]
-        doomed_set = set(doomed)
+        # Newest first; key order breaks mtime ties so coarse filesystem
+        # timestamps cannot make the policy nondeterministic.
+        by_age = sorted(paths, key=lambda p: (p.stat().st_mtime, p.stem), reverse=True)
+        doomed_set: set[Path] = set()
+        if max_age_days is not None:
+            cutoff = time.time() - max_age_days * 86400.0
+            doomed_set.update(p for p in by_age if p.stat().st_mtime < cutoff)
+            by_age = [p for p in by_age if p not in doomed_set]
+        if keep_latest is not None and len(by_age) > keep_latest:
+            doomed_set.update(by_age[keep_latest:])
+            by_age = by_age[:keep_latest]
+        if max_bytes is not None:
+            # Keep the newest prefix that fits the budget; the first record
+            # that overflows it and everything older go.
+            total = 0
+            for index, path in enumerate(by_age):
+                total += path.stat().st_size
+                if total > max_bytes:
+                    doomed_set.update(by_age[index:])
+                    break
+        doomed = sorted(doomed_set)
         survivors = [p for p in paths if p not in doomed_set]
 
         compacted = 0

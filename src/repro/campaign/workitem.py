@@ -10,10 +10,11 @@ distributed scheduler dispatches largest-first, and the canonical
 :attr:`run_key` content hash -- the same key the store files records under,
 the service dedups on and the spool protocol names job files with.
 
-:func:`as_work_items` is the one-release compatibility adapter: backends
-accept ``WorkItem``\\ s, :class:`~repro.campaign.study.StudyPoint`\\ s *and*
-legacy ``(spec, run_options)`` tuples through it (the tuple shape is
-deprecated -- see the adapter docstring).
+:func:`as_work_items` normalises a backend's input sequence: backends accept
+``WorkItem``\\ s and :class:`~repro.campaign.study.StudyPoint`\\ s through it.
+(The legacy loose-tuple shape was accepted for one release after PR-7 and
+has since been removed -- passing a ``(spec, run_options)`` tuple now raises
+``TypeError`` naming the accepted shapes.)
 """
 
 from __future__ import annotations
@@ -120,11 +121,12 @@ class WorkItem:
     def coerce(cls, obj, index: int | None = None) -> "WorkItem":
         """Adapt one payload of any accepted shape to a :class:`WorkItem`.
 
-        Accepts a ``WorkItem`` (returned as-is), anything with ``spec`` /
+        Accepts a ``WorkItem`` (returned as-is) or anything with ``spec`` /
         ``run_options`` attributes (a :class:`~repro.campaign.study.
-        StudyPoint`, whose ``index`` is kept), or a legacy
-        ``(spec, run_options)`` tuple.  ``index`` overrides only when the
-        payload carries none of its own.
+        StudyPoint`, whose ``index`` is kept).  ``index`` overrides only
+        when the payload carries none of its own.  The legacy
+        ``(spec, run_options)`` tuple shape was removed after its one-release
+        deprecation window (PR-7): build a ``WorkItem`` instead.
         """
         if isinstance(obj, cls):
             return obj
@@ -134,23 +136,18 @@ class WorkItem:
                 run_options=dict(obj.run_options),
                 index=int(getattr(obj, "index", index or 0)),
             )
-        if isinstance(obj, tuple) and len(obj) == 2 and isinstance(obj[0], ProblemSpec):
-            spec, run_options = obj
-            return cls(spec=spec, run_options=dict(run_options or {}), index=index or 0)
         raise TypeError(
-            f"cannot adapt {type(obj).__name__!r} to a WorkItem; pass a WorkItem, "
-            f"a StudyPoint or a (spec, run_options) tuple"
+            f"cannot adapt {type(obj).__name__!r} to a WorkItem; pass a WorkItem "
+            f"or a StudyPoint (the legacy (spec, run_options) tuple shape was "
+            f"removed -- build a WorkItem(spec, run_options) instead)"
         )
 
 
 def as_work_items(payloads: Iterable) -> list[WorkItem]:
     """Normalise a backend's input sequence to :class:`WorkItem`\\ s.
 
-    .. deprecated:: PR-7
-        The loose ``(spec, run_options)`` tuple shape is accepted for one
-        release only so out-of-tree backends and callers keep working;
-        migrate to ``WorkItem`` (or pass ``StudyPoint``\\ s, which carry
-        their study index).  Tuples are assigned sequential indexes.
+    Accepts ``WorkItem``\\ s and ``StudyPoint``\\ s (which carry their study
+    index); payloads without an index of their own get sequential ones.
 
     Raises ``ValueError`` on duplicate indexes -- results could not be
     reassembled unambiguously.

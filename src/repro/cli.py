@@ -6,7 +6,9 @@ Sub-commands
     Solve a problem defined by an input deck or by command-line overrides
     (single rank or block-Jacobi multi-rank, any registered sweep engine)
     through the :func:`repro.run` facade and print a solve summary -- or the
-    full machine-readable ``RunResult`` with ``--json``.
+    full machine-readable ``RunResult`` with ``--json``.  ``--driver`` picks
+    the outer loop (``fixed_source`` / ``k_eigenvalue`` / ``time_dependent``,
+    see ``unsnap drivers``); ``--dt``/``--steps``/``--k-tol`` configure it.
 ``study``
     Execute a declarative multi-run study through :func:`repro.run_study`:
     the grid comes from a deck's ``[study]`` axis section and/or repeated
@@ -27,6 +29,8 @@ Sub-commands
     List the registered local dense solvers (with their aliases).
 ``backends``
     List the registered study-execution backends (with their aliases).
+``drivers``
+    List the registered outer-loop drivers (with their aliases).
 ``table1``
     Print Table I (local matrix size and footprint per element order).
 ``table2``
@@ -51,7 +55,9 @@ Sub-commands
 ``store``
     Result-store maintenance: ``store gc DIR`` compacts a campaign
     :class:`~repro.campaign.ResultStore` (``--keep-latest N`` drops old
-    records, ``--drop-flux`` strips the flux payloads); ``store merge
+    records, ``--max-age DAYS`` drops stale ones, ``--max-bytes N`` drops
+    the oldest until the store fits the byte budget, ``--drop-flux``
+    strips the flux payloads); ``store merge
     DEST SOURCE...`` folds independently-populated stores into one (the
     sharded-campaign merge point -- a study re-run against the merged
     store executes zero new runs).  Golden stores are refused by both.
@@ -81,6 +87,7 @@ from .analysis.reporting import (
 from .analysis.tables import table1_matrix_sizes, table2_solver_comparison
 from .campaign import ResultStore, Study, backend_listing, get_backend, run_study
 from .config import ProblemSpec
+from .drivers import get_driver
 from .engines import engine_listing, get_engine
 from .input_deck import loads_study_parts, parse_axis_option, parse_input_deck
 from .runner import run
@@ -147,6 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("engines", help="list registered sweep engines")
     sub.add_parser("solvers", help="list registered local solvers")
     sub.add_parser("backends", help="list registered study-execution backends")
+    sub.add_parser("drivers", help="list registered outer-loop drivers")
 
     sub.add_parser("table1", help="print Table I (matrix sizes per order)")
 
@@ -168,9 +176,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the verification suites (MMS orders, conformance matrix, goldens)",
     )
     verify.add_argument(
-        "--suite", action="append", choices=("mms", "conformance", "golden"),
+        "--suite", action="append", choices=("mms", "conformance", "golden", "drivers"),
         default=None, metavar="NAME",
-        help="suite to run: mms | conformance | golden (repeatable; default: all)",
+        help="suite to run: mms | conformance | golden | drivers "
+        "(repeatable; default: all)",
     )
     verify.add_argument(
         "--update-golden", action="store_true",
@@ -304,6 +313,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep only the N most recently written records",
     )
     gc.add_argument(
+        "--max-age", type=float, default=None, metavar="DAYS",
+        help="drop records not written for this many days",
+    )
+    gc.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="drop the oldest records until the store fits in N bytes",
+    )
+    gc.add_argument(
         "--drop-flux", action="store_true",
         help="rewrite surviving records without the embedded flux arrays "
         "(records stay loadable, but no longer resume a study bit-for-bit)",
@@ -366,6 +383,23 @@ def _add_problem_flags(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--npex", type=int, default=None)
     parser.add_argument("--npey", type=int, default=None)
+    parser.add_argument(
+        "--driver", type=str, default=None,
+        help="outer-loop driver: fixed_source | k_eigenvalue | time_dependent "
+        "(see 'unsnap drivers'); default from the deck or 'fixed_source'",
+    )
+    parser.add_argument(
+        "--dt", type=float, default=None,
+        help="time_dependent driver: backward-Euler step size",
+    )
+    parser.add_argument(
+        "--steps", type=int, default=None,
+        help="time_dependent driver: number of steps (t_end in the deck overrides)",
+    )
+    parser.add_argument(
+        "--k-tol", type=float, default=None,
+        help="k_eigenvalue driver: power-iteration convergence tolerance on k",
+    )
 
 
 #: ``run`` flag -> (ProblemSpec field, default used when no deck is given).
@@ -384,6 +418,10 @@ _RUN_FLAG_DEFAULTS = {
     "octant_parallel": ("octant_parallel", False),
     "npex": ("npex", 1),
     "npey": ("npey", 1),
+    "driver": ("driver", "fixed_source"),
+    "dt": ("dt", 0.1),
+    "steps": ("n_steps", 10),
+    "k_tol": ("k_tolerance", 1e-6),
 }
 
 
@@ -415,9 +453,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     try:
         # Resolve the names up front: argparse cannot use `choices=` here
-        # because third-party engines/solvers register at runtime.
+        # because third-party engines/solvers/drivers register at runtime.
         get_engine(spec.engine)
         get_solver(spec.solver)
+        get_driver(spec.driver)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -443,6 +482,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ("halo messages", summary["halo_messages"]),
         ("mean scalar flux", f"{summary['mean_flux']:.6f}"),
     ]
+    if "k_effective" in summary:
+        rows.extend([
+            ("k-effective", f"{summary['k_effective']:.8f}"),
+            ("power iterations", summary["power_iterations"]),
+            ("dominance ratio", f"{summary['dominance_ratio']:.4f}"),
+        ])
+    if "time_steps" in summary:
+        rows.extend([
+            ("time steps", summary["time_steps"]),
+            ("final time", summary["t_end"]),
+        ])
     print(format_table(("quantity", "value"), rows, title="UnSNAP solve summary"))
     return 0
 
@@ -483,6 +533,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
         for point in study.runs():
             get_engine(point.spec.engine)
             get_solver(point.spec.solver)
+            get_driver(point.spec.driver)
     except (KeyError, ValueError) as exc:
         print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
         return 2
@@ -550,6 +601,12 @@ def _cmd_backends(_args: argparse.Namespace) -> int:
     return _print_listing(
         backend_listing(), "backend", "Registered study-execution backends"
     )
+
+
+def _cmd_drivers(_args: argparse.Namespace) -> int:
+    from .drivers import driver_listing
+
+    return _print_listing(driver_listing(), "driver", "Registered outer-loop drivers")
 
 
 def _cmd_table1(_args: argparse.Namespace) -> int:
@@ -766,6 +823,8 @@ def _cmd_store_gc(args: argparse.Namespace) -> int:
     try:
         stats = store.gc(
             keep_latest=args.keep_latest,
+            max_age_days=args.max_age,
+            max_bytes=args.max_bytes,
             drop_flux=args.drop_flux,
             dry_run=args.dry_run,
         )
@@ -833,6 +892,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_solvers(args)
     if args.command == "backends":
         return _cmd_backends(args)
+    if args.command == "drivers":
+        return _cmd_drivers(args)
     if args.command == "table1":
         return _cmd_table1(args)
     if args.command == "table2":

@@ -11,9 +11,25 @@ constructors (:func:`ProblemSpec.paper_figure3_4` and
 
 from __future__ import annotations
 
+import math
 from dataclasses import asdict, dataclass, field, replace
 
 __all__ = ["ProblemSpec", "BoundaryCondition"]
+
+#: Fields added after the canonical-serialisation contract froze (PR 8's
+#: driver subsystem).  They are dropped from :meth:`ProblemSpec.to_dict`
+#: while equal to their default so older specs serialise byte-identically;
+#: :meth:`ProblemSpec.from_dict` fills absent fields with the same defaults.
+_ELIDED_DEFAULTS = (
+    ("driver", "fixed_source"),
+    ("k_tolerance", 1e-6),
+    ("max_power_iters", 50),
+    ("dt", 0.1),
+    ("n_steps", 10),
+    ("t_end", 0.0),
+    ("initial_flux_value", 0.0),
+    ("snapshot_every", 0),
+)
 
 
 @dataclass(frozen=True)
@@ -23,8 +39,11 @@ class BoundaryCondition:
     Attributes
     ----------
     kind:
-        ``"vacuum"`` (no incoming flux, SNAP's default) or ``"incident"``
-        (a prescribed isotropic incoming angular flux).
+        ``"vacuum"`` (no incoming flux, SNAP's default), ``"incident"``
+        (a prescribed isotropic incoming angular flux) or ``"reflective"``
+        (specular reflection on every boundary face; the incoming trace is
+        the previous sweep's outgoing trace of the mirrored ordinate, lagged
+        exactly like a block-Jacobi halo).
     incident_flux:
         The incoming angular flux value used when ``kind == "incident"``.
     """
@@ -33,10 +52,12 @@ class BoundaryCondition:
     incident_flux: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.kind not in ("vacuum", "incident"):
+        if self.kind not in ("vacuum", "incident", "reflective"):
             raise ValueError(f"unknown boundary condition kind {self.kind!r}")
-        if self.kind == "vacuum" and self.incident_flux != 0.0:
-            raise ValueError("vacuum boundaries cannot carry an incident flux")
+        if self.kind != "incident" and self.incident_flux != 0.0:
+            raise ValueError(
+                f"{self.kind} boundaries cannot carry an incident flux"
+            )
 
     def incoming_value(self) -> float:
         """The angular-flux value entering through a boundary inflow face."""
@@ -87,6 +108,26 @@ class ProblemSpec:
         Boundary condition on the domain boundary.
     npex, npey:
         KBA-style 2-D processor grid for the (simulated) MPI decomposition.
+    driver:
+        Outer-loop driver name (``"fixed_source"``, ``"k_eigenvalue"`` or
+        ``"time_dependent"``, or any name registered through
+        :func:`repro.drivers.register_driver`).  Resolved at execution time
+        like ``engine``.
+    k_tolerance, max_power_iters:
+        Power-iteration controls for the ``k_eigenvalue`` driver: iteration
+        stops when ``|k_m - k_{m-1}| <= k_tolerance`` or after
+        ``max_power_iters`` iterations, whichever comes first.
+    dt, n_steps, t_end:
+        Backward-Euler controls for the ``time_dependent`` driver.  When
+        ``t_end > 0`` it overrides ``n_steps`` as ``ceil(t_end / dt)``.
+    initial_flux_value:
+        Uniform initial scalar-flux value: the ``time_dependent`` driver's
+        initial condition, and the ``k_eigenvalue`` driver's initial guess
+        when non-zero.
+    snapshot_every:
+        Keep a scalar-flux snapshot every this many time steps (0 = none;
+        snapshots live on ``RunResult.flux_snapshots`` and are never
+        serialised).
     """
 
     nx: int = 8
@@ -112,6 +153,14 @@ class ProblemSpec:
     boundary: BoundaryCondition = field(default_factory=BoundaryCondition)
     npex: int = 1
     npey: int = 1
+    driver: str = "fixed_source"
+    k_tolerance: float = 1e-6
+    max_power_iters: int = 50
+    dt: float = 0.1
+    n_steps: int = 10
+    t_end: float = 0.0
+    initial_flux_value: float = 0.0
+    snapshot_every: int = 0
 
     def __post_init__(self) -> None:
         if min(self.nx, self.ny, self.nz) < 1:
@@ -130,6 +179,22 @@ class ProblemSpec:
             raise ValueError("processor grid dimensions must be >= 1")
         if self.npex > self.nx or self.npey > self.ny:
             raise ValueError("processor grid cannot exceed the cell grid")
+        if not self.driver:
+            raise ValueError("driver name must be non-empty")
+        if self.k_tolerance < 0.0:
+            raise ValueError("k_tolerance must be >= 0")
+        if self.max_power_iters < 1:
+            raise ValueError("max_power_iters must be >= 1")
+        if self.dt <= 0.0:
+            raise ValueError("dt must be > 0")
+        if self.n_steps < 1:
+            raise ValueError("n_steps must be >= 1")
+        if self.t_end < 0.0:
+            raise ValueError("t_end must be >= 0")
+        if self.initial_flux_value < 0.0:
+            raise ValueError("initial_flux_value must be >= 0")
+        if self.snapshot_every < 0:
+            raise ValueError("snapshot_every must be >= 0")
 
     # ------------------------------------------------------------- derived sizes
     @property
@@ -154,6 +219,13 @@ class ProblemSpec:
         """Memory footprint of the full angular flux (the dominant array)."""
         return self.num_unknowns * dtype_bytes
 
+    @property
+    def num_time_steps(self) -> int:
+        """Number of backward-Euler steps (``t_end`` overrides ``n_steps``)."""
+        if self.t_end > 0.0:
+            return max(1, int(math.ceil(self.t_end / self.dt - 1e-12)))
+        return self.n_steps
+
     def with_(self, **changes) -> "ProblemSpec":
         """Return a copy with the given fields replaced."""
         return replace(self, **changes)
@@ -164,8 +236,15 @@ class ProblemSpec:
 
         The campaign :class:`~repro.campaign.store.ResultStore` hashes this
         canonical form to key runs on disk; :meth:`from_dict` inverts it.
+        Driver-era fields are elided while they hold their defaults so that
+        pre-driver specs keep their exact canonical form (and therefore their
+        run keys, store filenames and golden files).
         """
-        return asdict(self)
+        data = asdict(self)
+        for name, default in _ELIDED_DEFAULTS:
+            if data[name] == default:
+                del data[name]
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "ProblemSpec":

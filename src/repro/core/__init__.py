@@ -19,6 +19,7 @@ from .assembly import ElementMatrices, AssemblyTimings
 from .flux import FluxMoments, AngularFluxBank, node_integration_weights
 from .source import build_outer_source, build_total_source, scattering_source
 from .sweep import SweepExecutor, SweepResult, BoundaryValues
+from .reflect import ReflectiveBoundary
 from .iteration import IterationController, IterationHistory
 from .solver import TransportSolver, TransportResult
 from .convergence import relative_change, max_relative_difference
@@ -36,6 +37,7 @@ __all__ = [
     "SweepExecutor",
     "SweepResult",
     "BoundaryValues",
+    "ReflectiveBoundary",
     "IterationController",
     "IterationHistory",
     "TransportSolver",

@@ -133,6 +133,13 @@ class IterationController:
         history = IterationHistory()
         timings = AssemblyTimings()
         last_sweep: SweepResult | None = None
+        # Reflective boundaries lag the mirrored boundary traces through the
+        # same BoundaryValues table the block-Jacobi halo swap uses; the
+        # table persists across sweeps (and, when the caller owns it, across
+        # driver iterations).
+        reflective = getattr(executor, "reflective", None)
+        if reflective is not None and boundary_values is None:
+            boundary_values = BoundaryValues()
         # The sweep itself records its own phase; the controller attributes
         # the source builds and convergence tests around it.  With telemetry
         # off, phase() hands back a shared no-op context.
@@ -155,6 +162,8 @@ class IterationController:
                 )
                 timings = timings.merge(result.timings)
                 last_sweep = result
+                if reflective is not None:
+                    reflective.update(boundary_values, result.outgoing_halo)
                 with phase(tel, "convergence"):
                     inner_error = max_relative_difference(result.scalar_flux, scalar)
                 history.inner_errors.append(inner_error)

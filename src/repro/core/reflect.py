@@ -1,0 +1,141 @@
+"""Specular reflective boundaries via lagged mirror traces.
+
+A reflective boundary returns every outgoing particle along the mirrored
+direction: the incoming angular flux of ordinate ``m`` on a face with normal
+axis ``a`` equals the outgoing flux of the ordinate whose direction has the
+``a`` component negated.  UnSNAP implements this without touching the sweep
+engines by reusing the block-Jacobi lagging machinery:
+
+* every domain-boundary face is registered as a *halo* face on the
+  :class:`~repro.core.sweep.SweepExecutor`, so each sweep collects the
+  outgoing ``(G, N)`` nodal traces into ``SweepResult.outgoing_halo`` (and
+  excludes those faces from the leakage tally -- a reflective boundary leaks
+  nothing);
+* after each sweep the traces are mirrored into a
+  :class:`~repro.core.sweep.BoundaryValues` ghost table that the *next*
+  sweep consumes as lagged upwind data, exactly like a rank halo swap.
+
+The ghost entry must be a nodal vector of the (virtual) mirror-image
+neighbour element.  Because the mirror element is the element itself
+reflected across the face plane, its nodal vector is the element's own
+``psi`` with the tensor-product node indices flipped along the face's normal
+axis; the neighbour-trace coupling matrices then reproduce the element's own
+outgoing face trace at the mirrored ordinate.  The mirrored ordinate is
+computed from the octant structure of the quadrature: flipping axis ``a``
+flips bit ``a`` of the octant index while the within-octant index is
+unchanged.
+
+Lagging converges the reflected flux together with the scattering source in
+the same outer fixed-point iteration, and keeps every determinism contract:
+the update is a dict rewrite keyed per ``(cell, face, angle)``, independent
+of thread count, engine and backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..angular.quadrature import AngularQuadrature
+from ..fem.lagrange import FACE_NORMAL_AXIS, LagrangeHexBasis
+from .sweep import BoundaryValues
+
+__all__ = ["ReflectiveBoundary", "mirror_angle_table", "mirror_node_permutations"]
+
+
+def mirror_angle_table(quadrature: AngularQuadrature) -> np.ndarray:
+    """``(3, A)`` table of mirrored ordinate indices per reflection axis.
+
+    ``table[axis, m]`` is the ordinate whose direction equals ordinate ``m``
+    with the ``axis`` component negated.  Relies on the SNAP octant layout
+    (identical base set replicated over the 8 sign octants, octant index bit
+    ``axis`` flipping that axis) and verifies the claim against the actual
+    direction vectors.
+    """
+    per_octant = quadrature.per_octant
+    octants = quadrature.octants
+    angles = np.arange(quadrature.num_angles)
+    within = angles - octants * per_octant
+    table = np.empty((3, quadrature.num_angles), dtype=np.int64)
+    for axis in range(3):
+        mirrored = (octants ^ (1 << axis)) * per_octant + within
+        expected = quadrature.directions.copy()
+        expected[:, axis] = -expected[:, axis]
+        if not np.allclose(quadrature.directions[mirrored], expected):
+            raise ValueError(
+                "quadrature set is not mirror-symmetric across axis "
+                f"{axis}; reflective boundaries need the SNAP octant layout"
+            )
+        table[axis] = mirrored
+    return table
+
+
+def mirror_node_permutations(basis: LagrangeHexBasis) -> np.ndarray:
+    """``(3, N)`` node permutations flipping the tensor index along one axis.
+
+    ``perm[axis, n]`` is the node whose tensor-product index equals node
+    ``n``'s with the ``axis`` component replaced by ``order - index``; a
+    nodal vector indexed through it is the element's mirror image across the
+    mid-plane orthogonal to ``axis``.
+    """
+    idx = basis.node_indices  # (N, 3), x fastest in the flat ordering
+    n1 = basis.nodes_per_direction
+    flat = idx[:, 0] + n1 * idx[:, 1] + n1 * n1 * idx[:, 2]
+    lookup = np.empty_like(flat)
+    lookup[flat] = np.arange(idx.shape[0])
+    perm = np.empty((3, idx.shape[0]), dtype=np.int64)
+    for axis in range(3):
+        mirrored = idx.copy()
+        mirrored[:, axis] = basis.order - mirrored[:, axis]
+        perm[axis] = lookup[mirrored[:, 0] + n1 * mirrored[:, 1] + n1 * n1 * mirrored[:, 2]]
+    return perm
+
+
+class ReflectiveBoundary:
+    """Mirrors outgoing boundary traces into lagged ghost values.
+
+    Parameters
+    ----------
+    quadrature:
+        The angular quadrature set (must be octant-structured).
+    basis:
+        The Lagrange basis of the elements.
+    """
+
+    def __init__(self, quadrature: AngularQuadrature, basis: LagrangeHexBasis):
+        self.mirror_angle = mirror_angle_table(quadrature)
+        self.node_perm = mirror_node_permutations(basis)
+        self.num_angles = quadrature.num_angles
+        self.num_nodes = basis.num_nodes
+
+    def update(
+        self, boundary_values: BoundaryValues, outgoing_halo: dict
+    ) -> BoundaryValues:
+        """Fold one sweep's outgoing halo traces into the ghost table.
+
+        Every outgoing ``(cell, face, angle)`` trace becomes the incoming
+        ghost of the mirrored angle on the same face; entries not touched by
+        this sweep keep their previous (lagged) value.
+        """
+        for (cell, face, angle), psi in outgoing_halo.items():
+            axis = FACE_NORMAL_AXIS[face]
+            mirrored = int(self.mirror_angle[axis, angle])
+            boundary_values.put(cell, face, mirrored, psi[:, self.node_perm[axis]])
+        return boundary_values
+
+    def seed_flat(
+        self, boundary_faces: np.ndarray, value: float, num_groups: int
+    ) -> BoundaryValues:
+        """Ghost table holding a uniform isotropic trace on every face.
+
+        Used to start time-dependent solves from an exactly-flat state: a
+        spatially-flat isotropic angular flux of ``value`` is a discrete
+        fixed point of the reflective sweep only if the very first sweep
+        already sees its own mirror image.  A single ``(G, N)`` array is
+        shared by all entries.
+        """
+        boundary_values = BoundaryValues()
+        trace = np.full((num_groups, self.num_nodes), float(value))
+        for cell, face in np.asarray(boundary_faces)[:, :2].tolist():
+            for angle in range(self.num_angles):
+                boundary_values.values[(int(cell), int(face), int(angle))] = trace
+        return boundary_values

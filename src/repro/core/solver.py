@@ -34,6 +34,7 @@ from .assembly import AssemblyTimings, ElementMatrices
 from .balance import BalanceReport, particle_balance
 from .flux import AngularFluxBank, node_integration_weights
 from .iteration import IterationController, IterationHistory
+from .reflect import ReflectiveBoundary
 from .sweep import SweepExecutor
 
 __all__ = ["TransportSolver", "TransportResult"]
@@ -177,6 +178,14 @@ class TransportSolver:
         self.schedule: SweepSchedule = build_sweep_schedule(
             self.mesh, self.factors, self.quadrature
         )
+        # Reflective boundaries reuse the halo machinery: every domain
+        # boundary face collects its outgoing traces, which the iteration
+        # controller mirrors back in as lagged ghosts (see core.reflect).
+        reflective = None
+        halo_faces = None
+        if spec.boundary.kind == "reflective":
+            reflective = ReflectiveBoundary(self.quadrature, self.ref.basis)
+            halo_faces = self.mesh.boundary_faces()
         self.executor = SweepExecutor(
             mesh=self.mesh,
             factors=self.factors,
@@ -188,6 +197,7 @@ class TransportSolver:
             boundary=spec.boundary,
             solver=spec.solver,
             engine=engine if engine is not None else spec.engine,
+            halo_faces=halo_faces,
             num_threads=num_threads,
             octant_parallel=(
                 spec.octant_parallel if octant_parallel is None else bool(octant_parallel)
@@ -195,6 +205,7 @@ class TransportSolver:
             store_angular_flux=store_angular_flux,
             telemetry=telemetry,
         )
+        self.executor.reflective = reflective
         self.node_weights = node_integration_weights(self.factors, self.ref)
         self.setup_seconds = time.perf_counter() - t0
 

@@ -195,6 +195,13 @@ class SweepExecutor:
             halo_faces = np.asarray(halo_faces, dtype=np.int64)
             self._halo_set = {(int(c), int(f)) for c, f in halo_faces[:, :2]}
 
+        #: Optional :class:`~repro.core.reflect.ReflectiveBoundary` helper.
+        #: When set (by :class:`~repro.core.solver.TransportSolver` for
+        #: ``boundary.kind == "reflective"``), the iteration controller
+        #: mirrors each sweep's outgoing halo traces back into the lagged
+        #: ghost table.
+        self.reflective = None
+
     # ------------------------------------------------- engine/solver switching
     @property
     def engine(self) -> SweepEngine:

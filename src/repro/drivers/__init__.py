@@ -1,0 +1,54 @@
+"""Outer-loop drivers: how sweeps compose into a solve.
+
+The paper's workload is a single steady fixed-source iteration; this package
+generalises the outer loop behind a registry so new solve *modes* plug into
+every existing surface (facade, deck, CLI, campaign axes, verification,
+benchmarks, telemetry) through registration alone:
+
+* ``fixed_source`` -- the steady inner/outer source iteration (default);
+* ``k_eigenvalue`` -- power iteration for the multiplication factor, with
+  per-iteration ``k`` history and a dominance-ratio estimate;
+* ``time_dependent`` -- backward-Euler stepping reusing the factor cache
+  across steps.
+
+Select a driver with ``ProblemSpec(driver=...)``, ``repro.run(spec,
+mode=...)``, the deck's ``[driver]`` section or ``unsnap run --driver``;
+register new ones with :func:`register_driver` (see :mod:`repro.drivers.
+base` for the callable contract).
+"""
+
+from .base import (
+    cell_average,
+    merge_history,
+    reject_angular_source,
+    require_single_rank,
+    resolve_driver_materials,
+)
+from .registry import (
+    DRIVERS,
+    available_drivers,
+    driver_listing,
+    get_driver,
+    register_driver,
+)
+
+# Importing the built-in driver modules registers them.
+from .fixed_source import fixed_source_driver
+from .k_eigenvalue import k_eigenvalue_driver
+from .time_dependent import time_dependent_driver
+
+__all__ = [
+    "DRIVERS",
+    "register_driver",
+    "get_driver",
+    "available_drivers",
+    "driver_listing",
+    "fixed_source_driver",
+    "k_eigenvalue_driver",
+    "time_dependent_driver",
+    "require_single_rank",
+    "reject_angular_source",
+    "resolve_driver_materials",
+    "merge_history",
+    "cell_average",
+]

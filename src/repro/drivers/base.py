@@ -1,0 +1,96 @@
+"""The driver contract and shared helpers.
+
+A *driver* is the outer loop of a solve: it decides what sequence of sweeps
+to run and what sources to feed them, and folds the outcome into a single
+:class:`~repro.runner.RunResult`.  The :func:`repro.run` facade normalises
+its inputs (telemetry instance, resolved engine object and reporting name)
+and hands everything to the driver resolved from ``mode`` /
+``spec.driver``.
+
+Driver signature
+----------------
+Every registered driver is a callable::
+
+    driver(spec, *,
+           engine_obj, engine_name,
+           num_threads, octant_parallel, store_angular_flux,
+           materials, fixed_source, quadrature, angular_source,
+           telemetry) -> RunResult
+
+with the same semantics as the corresponding :func:`repro.run` keyword
+arguments; ``engine_obj`` is the resolved engine instance, ``engine_name``
+its registry name for reporting, and ``telemetry`` is either an *enabled*
+:class:`~repro.telemetry.Telemetry` or ``None``.  Drivers own the
+``setup``/``solve`` phase envelope so reports from every driver nest the
+sweep breakdown (``solve.source``/``solve.sweep``/``solve.convergence``)
+identically; driver-specific bookkeeping goes into sibling leaf phases
+(``solve.power``, ``solve.step``) with matching counters
+(``power_iterations``, ``time_steps``).
+
+Determinism contract: a driver must produce bit-identical results for any
+``num_threads``, any backend and any engine family configuration the
+underlying sweeps guarantee it for -- which is automatic as long as all
+numerical work happens through :class:`~repro.core.iteration.
+IterationController` / :class:`~repro.core.sweep.SweepExecutor` and any
+driver-level reductions use fixed-order numpy operations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ProblemSpec
+from ..core.iteration import IterationHistory
+from ..materials.cross_sections import MaterialLibrary
+from ..materials.library import snap_driver_library
+
+__all__ = [
+    "require_single_rank",
+    "reject_angular_source",
+    "resolve_driver_materials",
+    "merge_history",
+    "cell_average",
+]
+
+
+def require_single_rank(spec: ProblemSpec, driver_name: str) -> None:
+    """Drivers that lag reflective/previous-step state run on one rank."""
+    if spec.npex * spec.npey > 1:
+        raise ValueError(
+            f"the {driver_name} driver supports single-rank runs only "
+            f"(got npex*npey = {spec.npex * spec.npey}); set npex=npey=1"
+        )
+
+
+def reject_angular_source(angular_source, driver_name: str) -> None:
+    """Drivers that own the per-ordinate source reject the MMS hook."""
+    if angular_source is not None:
+        raise ValueError(
+            f"the {driver_name} driver builds its own angular source; "
+            "the angular_source hook is only available with fixed_source"
+        )
+
+
+def resolve_driver_materials(spec: ProblemSpec, materials) -> MaterialLibrary:
+    """The caller's materials, or the option-1 library with driver data.
+
+    The default driver library carries the artificial fission data and group
+    speeds on top of the fixed-source option-1 cross sections, synthesised
+    purely from the spec -- so distributed workers rebuild identical data.
+    """
+    if materials is not None:
+        return materials
+    return snap_driver_library(spec.num_groups, spec.scattering_ratio)
+
+
+def merge_history(total: IterationHistory, part: IterationHistory) -> None:
+    """Append one driver iteration's inner/outer record to the running one."""
+    total.inner_errors.extend(part.inner_errors)
+    total.outer_errors.extend(part.outer_errors)
+    total.inners_per_outer.extend(part.inners_per_outer)
+    total.converged = part.converged
+
+
+def cell_average(nodal: np.ndarray, node_weights: np.ndarray, volumes: np.ndarray) -> np.ndarray:
+    """Collapse an ``(E, G, N)`` nodal field to ``(E, G)`` cell averages."""
+    return np.einsum("egn,en->eg", nodal, node_weights) / volumes[:, None]

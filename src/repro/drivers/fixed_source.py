@@ -1,0 +1,125 @@
+"""The steady fixed-source driver (the paper's workload; the default).
+
+This is the original :func:`repro.run` body extracted behind the driver
+contract: one inner/outer source iteration, dispatched to the single-rank
+:class:`~repro.core.solver.TransportSolver` or the multi-rank
+:class:`~repro.parallel.block_jacobi.BlockJacobiDriver` on
+``spec.npex * spec.npey``.  Every result it produced before the extraction
+is reproduced bit for bit -- the fixed-source goldens and the conformance
+matrix guard that contract.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..config import ProblemSpec
+from ..core.iteration import IterationHistory
+from ..core.solver import TransportSolver
+from ..parallel.block_jacobi import BlockJacobiDriver
+from ..telemetry import active, phase
+from .registry import register_driver
+
+__all__ = ["fixed_source_driver"]
+
+
+@register_driver("fixed_source", aliases=("steady", "source"))
+def fixed_source_driver(
+    spec: ProblemSpec,
+    *,
+    engine_obj,
+    engine_name: str,
+    num_threads: int = 1,
+    octant_parallel: bool | None = None,
+    store_angular_flux: bool = False,
+    materials=None,
+    fixed_source=None,
+    quadrature=None,
+    angular_source=None,
+    telemetry=None,
+):
+    """Steady inner/outer source iteration (single rank or block Jacobi)."""
+    from ..runner import RunResult
+
+    tel = active(telemetry)
+
+    if spec.npex * spec.npey > 1:
+        if store_angular_flux:
+            raise ValueError("store_angular_flux is not supported for multi-rank runs")
+        if angular_source is not None:
+            raise ValueError("angular_source is not supported for multi-rank runs")
+        t0 = time.perf_counter()
+        with phase(tel, "setup"):
+            driver = BlockJacobiDriver(
+                spec,
+                materials=materials,
+                fixed_source=fixed_source,
+                quadrature=quadrature,
+                engine=engine_obj,
+                num_threads=num_threads,
+                octant_parallel=octant_parallel,
+                telemetry=tel,
+            )
+        setup_seconds = time.perf_counter() - t0
+        with phase(tel, "solve"):
+            result = driver.solve()
+        history = IterationHistory(
+            inner_errors=result.inner_errors,
+            outer_errors=result.outer_errors,
+            inners_per_outer=result.inners_per_outer,
+            converged=bool(
+                spec.outer_tolerance > 0.0
+                and result.outer_errors
+                and result.outer_errors[-1] <= spec.outer_tolerance
+            ),
+        )
+        return RunResult(
+            scalar_flux=result.scalar_flux,
+            cell_average_flux=result.cell_average_flux,
+            leakage=result.leakage,
+            history=history,
+            timings=result.timings,
+            balance=result.balance,
+            setup_seconds=setup_seconds,
+            solve_seconds=result.wall_seconds,
+            num_ranks=result.num_ranks,
+            messages=result.messages,
+            bytes_exchanged=result.bytes_exchanged,
+            engine=engine_name,
+            solver=spec.solver,
+            spec=spec,
+            telemetry=tel,
+        )
+
+    with phase(tel, "setup"):
+        solver = TransportSolver(
+            spec,
+            materials=materials,
+            fixed_source=fixed_source,
+            quadrature=quadrature,
+            engine=engine_obj,
+            num_threads=num_threads,
+            octant_parallel=octant_parallel,
+            store_angular_flux=store_angular_flux,
+            telemetry=tel,
+        )
+    with phase(tel, "solve"):
+        result = solver.solve(angular_source=angular_source)
+    return RunResult(
+        scalar_flux=result.scalar_flux,
+        cell_average_flux=result.cell_average_flux,
+        leakage=result.leakage,
+        history=result.history,
+        timings=result.timings,
+        balance=result.balance,
+        setup_seconds=result.setup_seconds,
+        solve_seconds=result.solve_seconds,
+        num_ranks=1,
+        messages=0,
+        bytes_exchanged=0,
+        engine=engine_name,
+        solver=spec.solver,
+        spec=spec,
+        angular_flux=result.angular_flux,
+        telemetry=tel,
+    )

@@ -1,0 +1,70 @@
+"""The outer-loop driver registry.
+
+The sixth registry-driven subsystem (after engines, solvers, backends,
+benchmark cases and verification suites): an instance of the generic
+:class:`repro.registry.Registry` holding *drivers* -- the outer loops that
+orchestrate sweeps into a complete solve.  The built-ins are registered on
+import of :mod:`repro.drivers`:
+
+* ``fixed_source`` -- the steady inner/outer source iteration (the paper's
+  workload; the default).
+* ``k_eigenvalue`` -- power iteration for the multiplication factor.
+* ``time_dependent`` -- backward-Euler time stepping.
+
+A driver is a callable with the signature documented in
+:mod:`repro.drivers.base`; registering one makes it reachable from
+``ProblemSpec.driver``, ``repro.run(..., mode=...)``, the input deck's
+``[driver]`` section, ``unsnap run --driver`` and every campaign axis.
+"""
+
+from __future__ import annotations
+
+from ..registry import Registry
+
+__all__ = [
+    "DRIVERS",
+    "register_driver",
+    "get_driver",
+    "available_drivers",
+    "driver_listing",
+]
+
+
+def _describe(driver) -> str:
+    doc = getattr(driver, "__doc__", None) or ""
+    return doc.strip().splitlines()[0] if doc.strip() else ""
+
+
+DRIVERS = Registry("driver", describe=_describe)
+
+
+def register_driver(name: str, *, aliases: tuple[str, ...] = (), overwrite: bool = False):
+    """Class/function decorator registering an outer-loop driver.
+
+    The decorated object must be callable with the driver signature (see
+    :mod:`repro.drivers.base`).  Returns the object unchanged so modules can
+    register their public API in place.
+    """
+
+    def decorator(driver):
+        if not callable(driver):
+            raise TypeError(f"driver {name!r} must be callable")
+        DRIVERS.add(name, driver, aliases=aliases, overwrite=overwrite)
+        return driver
+
+    return decorator
+
+
+def get_driver(name: str):
+    """Resolve a driver by registry name or alias."""
+    return DRIVERS.resolve(name)
+
+
+def available_drivers() -> tuple[str, ...]:
+    """Canonical names of every registered driver."""
+    return DRIVERS.available()
+
+
+def driver_listing() -> dict[str, dict]:
+    """Name -> {description, aliases} mapping for CLI listings."""
+    return DRIVERS.listing()

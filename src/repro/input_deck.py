@@ -28,6 +28,21 @@ Recognised keys (SNAP name -> ProblemSpec field)::
 An unknown or mistyped key raises an error naming the offending key and
 listing the valid keys for the section it appeared in.
 
+Driver section
+--------------
+A ``[driver]`` section selects and configures the outer-loop driver
+(:mod:`repro.drivers`); fixed-source decks need none.  Keys (aliases in
+parentheses)::
+
+    driver (mode)          -> driver            # fixed_source | k_eigenvalue | time_dependent
+    k_tolerance (epsk)     -> k_tolerance       # power-iteration convergence
+    max_power_iters        -> max_power_iters
+    dt                     -> dt                # backward-Euler step size
+    n_steps (nsteps)       -> n_steps
+    t_end (tf)             -> t_end             # overrides n_steps when > 0
+    initial_flux_value     -> initial_flux_value
+    snapshot_every         -> snapshot_every
+
 Study decks
 -----------
 A deck may additionally declare a ``[study]`` section turning it into a
@@ -55,7 +70,7 @@ from dataclasses import fields as dataclass_fields
 from pathlib import Path
 
 from .campaign.study import Study
-from .config import ProblemSpec
+from .config import _ELIDED_DEFAULTS, ProblemSpec
 
 __all__ = [
     "parse_input_deck",
@@ -119,8 +134,29 @@ _BOOL_KEYS = {
 }
 _IGNORED_KEYS = {"src_opt", "mat_opt", "timedep", "fixup", "nthreads", "nnested"}
 
+#: ``[driver]`` section keys (deck name -> ProblemSpec field).  The spec
+#: field names themselves are accepted alongside the SNAP-flavoured aliases.
+_DRIVER_INT_KEYS = {
+    "n_steps": "n_steps",
+    "nsteps": "n_steps",
+    "max_power_iters": "max_power_iters",
+    "snapshot_every": "snapshot_every",
+}
+_DRIVER_FLOAT_KEYS = {
+    "dt": "dt",
+    "t_end": "t_end",
+    "tf": "t_end",
+    "k_tolerance": "k_tolerance",
+    "epsk": "k_tolerance",
+    "initial_flux_value": "initial_flux_value",
+}
+_DRIVER_STR_KEYS = {
+    "driver": "driver",
+    "mode": "driver",
+}
+
 #: Deck sections; keys before any header belong to ``problem``.
-_SECTIONS = ("problem", "study")
+_SECTIONS = ("problem", "driver", "study")
 
 
 def valid_problem_keys() -> list[str]:
@@ -130,9 +166,22 @@ def valid_problem_keys() -> list[str]:
     )
 
 
+def valid_driver_keys() -> list[str]:
+    """Every key accepted in the ``[driver]`` section."""
+    return sorted(set(_DRIVER_INT_KEYS) | set(_DRIVER_FLOAT_KEYS) | set(_DRIVER_STR_KEYS))
+
+
 def valid_study_keys() -> list[str]:
     """Every axis key accepted in the ``[study]`` section (and ``--axis``)."""
-    deck_keys = set(_INT_KEYS) | set(_FLOAT_KEYS) | set(_STR_KEYS) | set(_BOOL_KEYS)
+    deck_keys = (
+        set(_INT_KEYS)
+        | set(_FLOAT_KEYS)
+        | set(_STR_KEYS)
+        | set(_BOOL_KEYS)
+        | set(_DRIVER_INT_KEYS)
+        | set(_DRIVER_FLOAT_KEYS)
+        | set(_DRIVER_STR_KEYS)
+    )
     field_names = {
         f.name for f in dataclass_fields(ProblemSpec) if f.type in ("int", "float", "str", "bool")
     }
@@ -197,6 +246,13 @@ _KEY_TABLES = (
     (_BOOL_KEYS, "bool"),
 )
 
+#: ``[driver]`` section key tables, same shape as :data:`_KEY_TABLES`.
+_DRIVER_KEY_TABLES = (
+    (_DRIVER_INT_KEYS, "int"),
+    (_DRIVER_FLOAT_KEYS, "float"),
+    (_DRIVER_STR_KEYS, "str"),
+)
+
 
 def _type_parser(type_name: str, key: str):
     """The value parser for one deck/spec value type (single source of truth)."""
@@ -227,6 +283,18 @@ def _problem_values(pairs: list[tuple[str, str]]) -> dict:
     return values
 
 
+def _driver_values(pairs: list[tuple[str, str]]) -> dict:
+    values: dict = {}
+    for key, raw in pairs:
+        for table, type_name in _DRIVER_KEY_TABLES:
+            if key in table:
+                values[table[key]] = _type_parser(type_name, key)(raw)
+                break
+        else:
+            raise _unknown_key_error(key, "driver", valid_driver_keys())
+    return values
+
+
 def loads(text: str) -> ProblemSpec:
     """Parse an input deck from a string into a :class:`ProblemSpec`.
 
@@ -241,7 +309,9 @@ def loads(text: str) -> ProblemSpec:
             "parse it with parse_study_deck()/loads_study() or run it with "
             "`unsnap study --deck ...`"
         )
-    return ProblemSpec(**_problem_values(_tokenise(sections["problem"])))
+    values = _problem_values(_tokenise(sections["problem"]))
+    values.update(_driver_values(_tokenise(sections["driver"])))
+    return ProblemSpec(**values)
 
 
 def parse_input_deck(path: str | Path) -> ProblemSpec:
@@ -257,7 +327,7 @@ def deck_has_study(text: str) -> bool:
 # ----------------------------------------------------------------- study axes
 def _axis_target(key: str):
     """Resolve an axis key to ``(spec field or run option, value parser)``."""
-    for table, type_name in _KEY_TABLES:
+    for table, type_name in _KEY_TABLES + _DRIVER_KEY_TABLES:
         if key in table:
             return table[key], _type_parser(type_name, key)
     if key in ("nthreads", "num_threads"):
@@ -318,7 +388,9 @@ def loads_study_parts(text: str) -> tuple[ProblemSpec, dict[str, list]]:
     ``--axis`` options can extend the grid before the study is built.
     """
     sections = _split_sections(text)
-    base = ProblemSpec(**_problem_values(_tokenise(sections["problem"])))
+    values = _problem_values(_tokenise(sections["problem"]))
+    values.update(_driver_values(_tokenise(sections["driver"])))
+    base = ProblemSpec(**values)
     return base, _deck_axes(sections["study"])
 
 
@@ -351,6 +423,16 @@ def spec_to_deck(spec: ProblemSpec) -> str:
         f"solver={spec.solver} engine={spec.engine}",
         f"octant_parallel={int(spec.octant_parallel)}",
         f"npex={spec.npex} npey={spec.npey}",
-        "/",
     ]
+    # Driver fields ride in a [driver] section, elided at their defaults so
+    # fixed-source decks keep their pre-driver text byte for byte.
+    driver_lines = [
+        f"{name}={getattr(spec, name)}"
+        for name, default in _ELIDED_DEFAULTS
+        if getattr(spec, name) != default
+    ]
+    if driver_lines:
+        lines.append("[driver]")
+        lines.extend(driver_lines)
+    lines.append("/")
     return "\n".join(lines)

@@ -9,7 +9,14 @@ in the paper's experiments) plus the general containers the solver consumes.
 """
 
 from .cross_sections import CrossSections, MaterialLibrary
-from .library import snap_option1_materials, snap_option1_library, pure_absorber
+from .library import (
+    pure_absorber,
+    snap_driver_library,
+    snap_option1_library,
+    snap_option1_materials,
+    with_snap_fission_data,
+    with_snap_velocities,
+)
 from .source_terms import FixedSource, snap_option1_source, uniform_source
 
 __all__ = [
@@ -18,6 +25,9 @@ __all__ = [
     "snap_option1_materials",
     "snap_option1_library",
     "pure_absorber",
+    "with_snap_fission_data",
+    "with_snap_velocities",
+    "snap_driver_library",
     "FixedSource",
     "snap_option1_source",
     "uniform_source",

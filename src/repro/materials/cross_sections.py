@@ -10,7 +10,7 @@ stored.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -31,11 +31,24 @@ class CrossSections:
         ``g_to``.
     name:
         Human-readable material name.
+    nu_sigma_f:
+        Optional ``(G,)`` fission-production cross section ``nu * sigma_f``
+        (``None`` for non-fissile materials; required by the ``k_eigenvalue``
+        driver).
+    chi:
+        Optional ``(G,)`` fission emission spectrum, summing to 1.  Must be
+        given together with ``nu_sigma_f``.
+    velocity:
+        Optional ``(G,)`` group speeds (required by the ``time_dependent``
+        driver's ``1 / (v_g dt)`` time-absorption term).
     """
 
     sigma_t: np.ndarray
     sigma_s: np.ndarray
     name: str = "material"
+    nu_sigma_f: np.ndarray | None = None
+    chi: np.ndarray | None = None
+    velocity: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         st = np.atleast_1d(np.asarray(self.sigma_t, dtype=float))
@@ -50,6 +63,26 @@ class CrossSections:
             raise ValueError("scattering cross sections must be non-negative")
         object.__setattr__(self, "sigma_t", st)
         object.__setattr__(self, "sigma_s", ss)
+        if (self.nu_sigma_f is None) != (self.chi is None):
+            raise ValueError("nu_sigma_f and chi must be given together")
+        if self.nu_sigma_f is not None:
+            nf = np.atleast_1d(np.asarray(self.nu_sigma_f, dtype=float))
+            cx = np.atleast_1d(np.asarray(self.chi, dtype=float))
+            if nf.shape != st.shape or cx.shape != st.shape:
+                raise ValueError("nu_sigma_f and chi must have shape (G,)")
+            if np.any(nf < 0.0) or np.any(cx < 0.0):
+                raise ValueError("fission data must be non-negative")
+            if not np.isclose(cx.sum(), 1.0):
+                raise ValueError("chi must sum to 1")
+            object.__setattr__(self, "nu_sigma_f", nf)
+            object.__setattr__(self, "chi", cx)
+        if self.velocity is not None:
+            v = np.atleast_1d(np.asarray(self.velocity, dtype=float))
+            if v.shape != st.shape:
+                raise ValueError("velocity must have shape (G,)")
+            if np.any(v <= 0.0):
+                raise ValueError("group speeds must be positive")
+            object.__setattr__(self, "velocity", v)
 
     @property
     def num_groups(self) -> int:
@@ -85,6 +118,38 @@ class CrossSections:
             raise ValueError(f"source must have shape (G,) = ({self.num_groups},)")
         a = np.diag(self.sigma_t) - self.sigma_s.T
         return np.linalg.solve(a, q)
+
+    def k_infinity(self) -> float:
+        """Analytic infinite-medium multiplication factor.
+
+        In an infinite homogeneous medium the transport operator reduces to
+        ``(diag(sigma_t) - sigma_s^T) phi = (1/k) chi (nu_sigma_f . phi)``;
+        because the fission operator is rank one the eigenvalue is
+
+        ``k_inf = nu_sigma_f . (diag(sigma_t) - sigma_s^T)^{-1} chi``.
+
+        Used by the verification suite as the exact reference for the
+        ``k_eigenvalue`` driver on reflected problems.
+        """
+        if self.nu_sigma_f is None:
+            raise ValueError(f"material {self.name!r} carries no fission data")
+        a = np.diag(self.sigma_t) - self.sigma_s.T
+        return float(self.nu_sigma_f @ np.linalg.solve(a, self.chi))
+
+    def with_time_absorption(self, dt: float) -> "CrossSections":
+        """Cross sections with the backward-Euler term ``1/(v_g dt)`` added.
+
+        The implicit time discretisation turns each step into a steady
+        fixed-source solve against ``sigma_t + 1/(v_g dt)`` (scattering
+        unchanged); since the increment is step-size invariant the modified
+        material -- and any engine factor cache built on it -- is reused for
+        every step.
+        """
+        if self.velocity is None:
+            raise ValueError(f"material {self.name!r} carries no group speeds")
+        if dt <= 0.0:
+            raise ValueError("dt must be > 0")
+        return replace(self, sigma_t=self.sigma_t + 1.0 / (self.velocity * dt))
 
 
 @dataclass
@@ -148,3 +213,40 @@ class MaterialLibrary:
         """``(E, G, G)`` scattering matrix of every cell."""
         table = np.stack([m.sigma_s for m in self.materials], axis=0)
         return table[self.cell_material]
+
+    # ------------------------------------------------------ driver extensions
+    @property
+    def has_fission(self) -> bool:
+        return all(m.nu_sigma_f is not None for m in self.materials)
+
+    @property
+    def has_velocity(self) -> bool:
+        return all(m.velocity is not None for m in self.materials)
+
+    def nu_sigma_f_per_cell(self) -> np.ndarray:
+        """``(E, G)`` fission-production cross section of every cell."""
+        if not self.has_fission:
+            raise ValueError("not every material carries fission data")
+        table = np.stack([m.nu_sigma_f for m in self.materials], axis=0)
+        return table[self.cell_material]
+
+    def chi_per_cell(self) -> np.ndarray:
+        """``(E, G)`` fission spectrum of every cell."""
+        if not self.has_fission:
+            raise ValueError("not every material carries fission data")
+        table = np.stack([m.chi for m in self.materials], axis=0)
+        return table[self.cell_material]
+
+    def velocity_per_cell(self) -> np.ndarray:
+        """``(E, G)`` group speeds of every cell."""
+        if not self.has_velocity:
+            raise ValueError("not every material carries group speeds")
+        table = np.stack([m.velocity for m in self.materials], axis=0)
+        return table[self.cell_material]
+
+    def with_time_absorption(self, dt: float) -> "MaterialLibrary":
+        """Library whose every material absorbed the ``1/(v_g dt)`` term."""
+        return MaterialLibrary(
+            materials=[m.with_time_absorption(dt) for m in self.materials],
+            cell_material=self.cell_material,
+        )

@@ -16,9 +16,23 @@ from __future__ import annotations
 
 import numpy as np
 
+from dataclasses import replace
+
 from .cross_sections import CrossSections, MaterialLibrary
 
-__all__ = ["snap_option1_materials", "snap_option1_library", "pure_absorber"]
+__all__ = [
+    "snap_option1_materials",
+    "snap_option1_library",
+    "pure_absorber",
+    "with_snap_fission_data",
+    "with_snap_velocities",
+    "snap_driver_library",
+]
+
+#: Fraction of the total cross section assigned to fission production by the
+#: artificial fission recipe (kept well below the absorption share so the
+#: fixed-source drivers remain sub-critical).
+_FISSION_FRACTION = 0.3
 
 #: Fractions of the scattering cross section assigned to (in-group,
 #: down-scatter by 1, 2, 3 groups).  Truncated and renormalised at the last
@@ -75,3 +89,47 @@ def pure_absorber(num_groups: int, sigma_t: float = 1.0) -> CrossSections:
     st = np.full(num_groups, float(sigma_t))
     ss = np.zeros((num_groups, num_groups), dtype=float)
     return CrossSections(sigma_t=st, sigma_s=ss, name="pure-absorber")
+
+
+def with_snap_fission_data(
+    material: CrossSections, fission_fraction: float = _FISSION_FRACTION
+) -> CrossSections:
+    """Attach artificial fission data to a material, SNAP-style.
+
+    ``nu_sigma_f,g`` is a fixed fraction of the total cross section and the
+    emission spectrum ``chi`` is a renormalised geometric profile peaked at
+    the fastest group -- pure functions of the group count, so every worker
+    process of a distributed campaign synthesises bit-identical data from
+    the spec alone.
+    """
+    if not 0.0 < fission_fraction < 1.0:
+        raise ValueError("fission_fraction must be in (0, 1)")
+    nu_sigma_f = fission_fraction * material.sigma_t
+    raw_chi = 0.5 ** np.arange(material.num_groups, dtype=float)
+    chi = raw_chi / raw_chi.sum()
+    return replace(material, nu_sigma_f=nu_sigma_f, chi=chi)
+
+
+def with_snap_velocities(material: CrossSections) -> CrossSections:
+    """Attach artificial group speeds, decreasing with group index.
+
+    ``v_g = 1 / (1 + 0.1 g)`` -- faster (lower-index) groups move faster,
+    mirroring the physical energy ordering; again a pure function of the
+    group count for cross-process determinism.
+    """
+    groups = np.arange(material.num_groups, dtype=float)
+    return replace(material, velocity=1.0 / (1.0 + 0.1 * groups))
+
+
+def snap_driver_library(num_groups: int, scattering_ratio: float = 0.5) -> MaterialLibrary:
+    """Option-1 library carrying the artificial fission data and speeds.
+
+    The driver subsystem's default: the ``k_eigenvalue`` and
+    ``time_dependent`` drivers extend the fixed-source option-1 material
+    with the data their operators need, leaving ``sigma_t``/``sigma_s`` --
+    and therefore every fixed-source result -- untouched.
+    """
+    material = with_snap_velocities(
+        with_snap_fission_data(snap_option1_materials(num_groups, scattering_ratio))
+    )
+    return MaterialLibrary(materials=[material])

@@ -3,10 +3,12 @@
 Callers used to branch manually between :class:`~repro.core.solver.
 TransportSolver` (single rank) and :class:`~repro.parallel.block_jacobi.
 BlockJacobiDriver` (multi-rank), which return differently-shaped results.
-:func:`run` dispatches on ``spec.npex * spec.npey``, threads the sweep-engine
-and thread-count choices through, and returns one :class:`RunResult` whatever
-the execution path -- scalar flux, iteration history, assemble/solve timing
-split, particle balance, halo-traffic statistics and JSON-ready export.
+:func:`run` resolves the outer-loop *driver* (``mode`` / ``spec.driver``;
+see :mod:`repro.drivers`), threads the sweep-engine and thread-count choices
+through, and returns one :class:`RunResult` whatever the execution path --
+scalar flux, iteration history, assemble/solve timing split, particle
+balance, halo-traffic statistics, driver outputs (``k_effective``/
+``k_history``, ``times``/``step_mean_flux``) and JSON-ready export.
 
 This is the single entry point used by the ``unsnap`` CLI, the examples and
 the benchmark harness::
@@ -20,7 +22,6 @@ the benchmark harness::
 from __future__ import annotations
 
 import json
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -30,10 +31,8 @@ from .core.assembly import AssemblyTimings
 from .core.balance import BalanceReport
 from .core.flux import AngularFluxBank
 from .core.iteration import IterationHistory
-from .core.solver import TransportSolver
 from .engines.registry import get_engine
-from .parallel.block_jacobi import BlockJacobiDriver
-from .telemetry import Telemetry, active, phase
+from .telemetry import Telemetry, active
 
 __all__ = ["run", "RunResult"]
 
@@ -100,6 +99,21 @@ class RunResult:
     #: ``None`` for uninstrumented runs, so exports stay unchanged unless
     #: telemetry was requested.
     telemetry: Telemetry | None = field(default=None, repr=False)
+    #: ``k_eigenvalue`` driver outputs: the converged multiplication factor,
+    #: the per-power-iteration eigenvalue estimates and the dominance-ratio
+    #: estimate (``None`` when fewer than three iterations ran).  All
+    #: ``None`` for the other drivers, so their exports stay key-stable.
+    k_effective: float | None = None
+    k_history: list[float] | None = None
+    dominance_ratio: float | None = None
+    #: ``time_dependent`` driver outputs: the step end times and the
+    #: volume-weighted mean flux per group at each step.  ``None`` for the
+    #: other drivers.
+    times: list[float] | None = None
+    step_mean_flux: list[list[float]] | None = None
+    #: Opt-in scalar-flux snapshots (``spec.snapshot_every``); like the
+    #: angular flux bank they are never serialised.
+    flux_snapshots: list[np.ndarray] | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------- derived
     @property
@@ -168,6 +182,14 @@ class RunResult:
                 path: self.telemetry.phase_seconds[path]
                 for path in sorted(self.telemetry.phase_seconds)
             }
+        if self.k_effective is not None:
+            data["k_effective"] = self.k_effective
+            data["power_iterations"] = len(self.k_history or [])
+            if self.dominance_ratio is not None:
+                data["dominance_ratio"] = self.dominance_ratio
+        if self.times is not None:
+            data["time_steps"] = len(self.times)
+            data["t_end"] = self.times[-1] if self.times else 0.0
         return data
 
     def to_dict(self, include_flux: bool = False) -> dict:
@@ -191,6 +213,14 @@ class RunResult:
         data["spec"] = self.spec.to_dict() if self.spec is not None else None
         if self.telemetry is not None:
             data["telemetry"] = self.telemetry.to_dict()
+        if self.k_history is not None:
+            data["k_history"] = [float(k) for k in self.k_history]
+        if self.times is not None:
+            data["times"] = [float(t) for t in self.times]
+        if self.step_mean_flux is not None:
+            data["step_mean_flux"] = [
+                [float(x) for x in step] for step in self.step_mean_flux
+            ]
         if include_flux:
             if self.scalar_flux is None:
                 raise ValueError("include_flux=True but this result carries no flux arrays")
@@ -252,6 +282,19 @@ class RunResult:
             telemetry=(
                 Telemetry.from_dict(data["telemetry"]) if "telemetry" in data else None
             ),
+            k_effective=float(data["k_effective"]) if "k_effective" in data else None,
+            k_history=(
+                [float(k) for k in data["k_history"]] if "k_history" in data else None
+            ),
+            dominance_ratio=(
+                float(data["dominance_ratio"]) if "dominance_ratio" in data else None
+            ),
+            times=[float(t) for t in data["times"]] if "times" in data else None,
+            step_mean_flux=(
+                [[float(x) for x in step] for step in data["step_mean_flux"]]
+                if "step_mean_flux" in data
+                else None
+            ),
         )
 
     @classmethod
@@ -263,6 +306,7 @@ class RunResult:
 def run(
     spec: ProblemSpec,
     *,
+    mode: str | None = None,
     engine=None,
     num_threads: int = 1,
     octant_parallel: bool | None = None,
@@ -275,15 +319,23 @@ def run(
 ) -> RunResult:
     """Solve a transport problem and return a unified :class:`RunResult`.
 
-    Dispatches to the single-rank :class:`~repro.core.solver.TransportSolver`
-    when ``spec.npex * spec.npey == 1`` and to the multi-rank
-    :class:`~repro.parallel.block_jacobi.BlockJacobiDriver` otherwise.
+    Dispatches to the outer-loop *driver* named by ``mode`` (default
+    ``spec.driver``): the ``fixed_source`` driver runs the steady iteration
+    on the single-rank :class:`~repro.core.solver.TransportSolver` or the
+    multi-rank :class:`~repro.parallel.block_jacobi.BlockJacobiDriver`
+    depending on ``spec.npex * spec.npey``; ``k_eigenvalue`` and
+    ``time_dependent`` wrap the same sweep core in power iteration and
+    backward-Euler stepping (see :mod:`repro.drivers`).
 
     Parameters
     ----------
     spec:
-        The problem specification (including ``npex``/``npey``, the solver
-        and the default engine).
+        The problem specification (including ``npex``/``npey``, the solver,
+        the default engine and the default driver).
+    mode:
+        Driver override: a :func:`repro.drivers.register_driver`-ed name
+        (``"fixed_source"``, ``"k_eigenvalue"``, ``"time_dependent"`` or an
+        alias).  Defaults to ``spec.driver``.
     engine:
         Sweep-engine override: a registry name (``"reference"``,
         ``"vectorized"``, ``"prefactorized"``, or any
@@ -330,83 +382,20 @@ def run(
     # registry name; fall back to the class name for reporting.
     engine_name = getattr(engine_obj, "name", type(engine_obj).__name__.lower())
 
-    if spec.npex * spec.npey > 1:
-        if store_angular_flux:
-            raise ValueError("store_angular_flux is not supported for multi-rank runs")
-        if angular_source is not None:
-            raise ValueError("angular_source is not supported for multi-rank runs")
-        t0 = time.perf_counter()
-        with phase(tel, "setup"):
-            driver = BlockJacobiDriver(
-                spec,
-                materials=materials,
-                fixed_source=fixed_source,
-                quadrature=quadrature,
-                engine=engine_obj,
-                num_threads=num_threads,
-                octant_parallel=octant_parallel,
-                telemetry=tel,
-            )
-        setup_seconds = time.perf_counter() - t0
-        with phase(tel, "solve"):
-            result = driver.solve()
-        history = IterationHistory(
-            inner_errors=result.inner_errors,
-            outer_errors=result.outer_errors,
-            inners_per_outer=result.inners_per_outer,
-            converged=bool(
-                spec.outer_tolerance > 0.0
-                and result.outer_errors
-                and result.outer_errors[-1] <= spec.outer_tolerance
-            ),
-        )
-        return RunResult(
-            scalar_flux=result.scalar_flux,
-            cell_average_flux=result.cell_average_flux,
-            leakage=result.leakage,
-            history=history,
-            timings=result.timings,
-            balance=result.balance,
-            setup_seconds=setup_seconds,
-            solve_seconds=result.wall_seconds,
-            num_ranks=result.num_ranks,
-            messages=result.messages,
-            bytes_exchanged=result.bytes_exchanged,
-            engine=engine_name,
-            solver=spec.solver,
-            spec=spec,
-            telemetry=tel,
-        )
+    # Imported lazily: the driver modules import this module for RunResult.
+    from .drivers import get_driver
 
-    with phase(tel, "setup"):
-        solver = TransportSolver(
-            spec,
-            materials=materials,
-            fixed_source=fixed_source,
-            quadrature=quadrature,
-            engine=engine_obj,
-            num_threads=num_threads,
-            octant_parallel=octant_parallel,
-            store_angular_flux=store_angular_flux,
-            telemetry=tel,
-        )
-    with phase(tel, "solve"):
-        result = solver.solve(angular_source=angular_source)
-    return RunResult(
-        scalar_flux=result.scalar_flux,
-        cell_average_flux=result.cell_average_flux,
-        leakage=result.leakage,
-        history=result.history,
-        timings=result.timings,
-        balance=result.balance,
-        setup_seconds=result.setup_seconds,
-        solve_seconds=result.solve_seconds,
-        num_ranks=1,
-        messages=0,
-        bytes_exchanged=0,
-        engine=engine_name,
-        solver=spec.solver,
-        spec=spec,
-        angular_flux=result.angular_flux,
+    driver = get_driver(mode if mode is not None else spec.driver)
+    return driver(
+        spec,
+        engine_obj=engine_obj,
+        engine_name=engine_name,
+        num_threads=num_threads,
+        octant_parallel=octant_parallel,
+        store_angular_flux=store_angular_flux,
+        materials=materials,
+        fixed_source=fixed_source,
+        quadrature=quadrature,
+        angular_source=angular_source,
         telemetry=tel,
     )

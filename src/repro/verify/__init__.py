@@ -18,6 +18,11 @@ verify``):
   through the content-hashed campaign :class:`~repro.campaign.ResultStore`
   and compared bit for bit; ``unsnap verify --update-golden`` re-blesses
   deterministically.
+* **Driver benchmarks** (:mod:`.drivers`) -- closed-form checks of the
+  outer-loop drivers: the ``k_eigenvalue`` power iteration against the
+  analytic infinite-medium k-infinity (1e-8) and the ``time_dependent``
+  backward-Euler stepping against analytic exponential decay (observed
+  first order in ``dt``).
 
 The contract a **new engine** (or solver/backend) must satisfy is spelled
 out in ROADMAP.md; registering it is enough to be swept into the MMS and
@@ -41,6 +46,15 @@ from .golden import (
     default_golden_cases,
     default_golden_dir,
     normalise_result,
+)
+from .drivers import (
+    K_INFINITY_TOLERANCE,
+    DecayOrderCheck,
+    DriverReport,
+    KInfinityCheck,
+    decay_order_check,
+    k_infinity_check,
+    run_driver_checks,
 )
 from .mms import (
     MMS_ORDER_TOLERANCE,
@@ -72,6 +86,14 @@ __all__ = [
     "BitwiseCheck",
     "canonical_spec",
     "CONFORMANCE_TOLERANCE",
+    # drivers
+    "run_driver_checks",
+    "k_infinity_check",
+    "decay_order_check",
+    "DriverReport",
+    "KInfinityCheck",
+    "DecayOrderCheck",
+    "K_INFINITY_TOLERANCE",
     # golden
     "GoldenCase",
     "GoldenCaseResult",

@@ -33,7 +33,7 @@ import numpy as np
 
 from ..campaign.store import GOLDEN_MARKER as _GOLDEN_MARKER
 from ..campaign.store import ResultStore, run_key
-from ..config import ProblemSpec
+from ..config import BoundaryCondition, ProblemSpec
 from ..core.assembly import AssemblyTimings
 from ..runner import RunResult, run
 from .conformance import canonical_spec
@@ -85,12 +85,24 @@ class GoldenCase:
 def default_golden_cases() -> tuple[GoldenCase, ...]:
     """The blessed matrix: one case per execution path worth pinning.
 
-    Every case shares the canonical conformance problem so a regression in
-    the shared numerics shows up everywhere, while the per-case axes pin
-    each engine, the LAPACK solver path, the octant-parallel reduction and
-    the block-Jacobi driver individually.
+    Every fixed-source case shares the canonical conformance problem so a
+    regression in the shared numerics shows up everywhere, while the
+    per-case axes pin each engine, the LAPACK solver path, the
+    octant-parallel reduction and the block-Jacobi driver individually.
+    The two driver cases pin the ``k_eigenvalue`` and ``time_dependent``
+    outer loops (their flux *and* their k-history / step-history payloads)
+    on a small reflected problem.
     """
     base = canonical_spec()
+    reflected = ProblemSpec(
+        nx=2, ny=2, nz=2,
+        max_twist=0.0,
+        angles_per_octant=1,
+        num_groups=2,
+        num_inners=20,
+        inner_tolerance=1e-12,
+        boundary=BoundaryCondition(kind="reflective"),
+    )
     return (
         GoldenCase("reference-ge", base.with_(engine="reference")),
         GoldenCase("vectorized-ge", base.with_(engine="vectorized")),
@@ -103,6 +115,16 @@ def default_golden_cases() -> tuple[GoldenCase, ...]:
             (("num_threads", 2),),
         ),
         GoldenCase("block-jacobi-2x1", base.with_(npex=2)),
+        GoldenCase(
+            "driver-k-eigenvalue",
+            reflected.with_(driver="k_eigenvalue", k_tolerance=1e-8, max_power_iters=30),
+        ),
+        GoldenCase(
+            "driver-time-dependent",
+            reflected.with_(
+                driver="time_dependent", dt=0.25, n_steps=4, initial_flux_value=1.0
+            ),
+        ),
     )
 
 
@@ -239,6 +261,11 @@ def _compare(fresh: RunResult, stored: RunResult) -> tuple[str, float | None]:
         mismatched.append("history.outer_errors")
     if fresh.timings.systems_solved != stored.timings.systems_solved:
         mismatched.append("timings.systems_solved")
+    # Driver payloads: exact float(-list) equality, same bit-for-bit bar as
+    # the flux arrays (None on both sides for the fixed-source cases).
+    for field_name in ("k_effective", "k_history", "times", "step_mean_flux"):
+        if getattr(fresh, field_name) != getattr(stored, field_name):
+            mismatched.append(field_name)
     if mismatched:
         return "mismatch in " + ", ".join(mismatched), worst
     return "", None

@@ -1,9 +1,10 @@
 """The verification suite facade: ``repro.verify.run_suite()``.
 
-Bundles the three pillars -- manufactured-solution order checks
-(:mod:`.mms`), the cross-engine conformance matrix (:mod:`.conformance`)
-and the golden regression store (:mod:`.golden`) -- behind one call with a
-JSON-ready report, mirroring how :func:`repro.run` fronts the solvers and
+Bundles the four pillars -- manufactured-solution order checks
+(:mod:`.mms`), the cross-engine conformance matrix (:mod:`.conformance`),
+the golden regression store (:mod:`.golden`) and the analytic driver
+benchmarks (:mod:`.drivers`) -- behind one call with a JSON-ready report,
+mirroring how :func:`repro.run` fronts the solvers and
 :func:`repro.run_study` fronts the campaign machinery.  The ``unsnap
 verify`` CLI and the CI ``verify`` job are thin wrappers over this.
 """
@@ -14,13 +15,14 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from .conformance import ConformanceReport, conformance_matrix
+from .drivers import DriverReport, run_driver_checks
 from .golden import GoldenReport, bless_goldens, check_goldens
 from .mms import OrderEstimate, default_problems, estimate_order
 
 __all__ = ["SUITES", "VerificationReport", "run_suite"]
 
 #: The suite names accepted by :func:`run_suite` and ``unsnap verify --suite``.
-SUITES = ("mms", "conformance", "golden")
+SUITES = ("mms", "conformance", "golden", "drivers")
 
 
 @dataclass(frozen=True)
@@ -34,6 +36,7 @@ class VerificationReport:
     mms: tuple[OrderEstimate, ...] | None = None
     conformance: ConformanceReport | None = None
     golden: GoldenReport | None = None
+    drivers: DriverReport | None = None
     blessed: dict | None = None
 
     @property
@@ -43,6 +46,8 @@ class VerificationReport:
         if self.conformance is not None and not self.conformance.passed:
             return False
         if self.golden is not None and not self.golden.passed:
+            return False
+        if self.drivers is not None and not self.drivers.passed:
             return False
         return True
 
@@ -54,6 +59,8 @@ class VerificationReport:
             data["conformance"] = self.conformance.to_dict()
         if self.golden is not None:
             data["golden"] = self.golden.to_dict()
+        if self.drivers is not None:
+            data["drivers"] = self.drivers.to_dict()
         if self.blessed is not None:
             data["blessed"] = {name: str(path) for name, path in self.blessed.items()}
         return data
@@ -116,9 +123,14 @@ def run_suite(
             blessed = bless_goldens(golden_dir=golden_dir)
         golden_result = check_goldens(golden_dir=golden_dir)
 
+    drivers_result = None
+    if "drivers" in requested:
+        drivers_result = run_driver_checks()
+
     return VerificationReport(
         mms=mms_result,
         conformance=conformance_result,
         golden=golden_result,
+        drivers=drivers_result,
         blessed=blessed,
     )

@@ -136,3 +136,26 @@ class TestStoreGcCommand:
     def test_gc_missing_directory_is_a_clean_error(self, tmp_path, capsys):
         assert run_cli("store", "gc", str(tmp_path / "nope")) == 2
         assert "not a directory" in capsys.readouterr().err
+
+    def test_gc_max_age_flag(self, filled_store, capsys):
+        assert run_cli(
+            "store", "gc", str(filled_store.root), "--max-age", "0",
+        ) == 0
+        assert "removed" in capsys.readouterr().out
+        assert len(filled_store) == 0
+
+    def test_gc_max_bytes_flag_keeps_the_newest_fit(self, filled_store):
+        largest = max(
+            p.stat().st_size for p in filled_store.root.glob("*.json")
+        )
+        assert run_cli(
+            "store", "gc", str(filled_store.root), "--max-bytes", str(largest),
+        ) == 0
+        assert len(filled_store) == 1
+
+    def test_gc_negative_policy_values_are_clean_errors(self, filled_store, capsys):
+        assert run_cli(
+            "store", "gc", str(filled_store.root), "--max-age", "-1",
+        ) == 2
+        assert ">= 0" in capsys.readouterr().err
+        assert len(filled_store) == 2

@@ -140,9 +140,9 @@ class TestRunStudyV2:
         with pytest.raises(RuntimeError, match="0 results for 1 runs"):
             run_study(Study.grid(BASE, order=[1]), backend=SilentBackend())
 
-    def test_legacy_tuple_payloads_still_execute(self):
-        # One-release deprecation: a caller feeding raw (spec, options)
-        # tuples straight into a backend keeps working.
+    def test_legacy_tuple_payloads_rejected(self):
+        # The one-release tuple deprecation window (PR-7) is over: feeding
+        # raw (spec, options) tuples into a backend is a clean TypeError.
         serial = get_backend("serial")
-        results = list(serial.execute([(BASE, {}), (BASE.with_(order=2), {})]))
-        assert len(results) == 2
+        with pytest.raises(TypeError, match="WorkItem"):
+            list(serial.execute([(BASE, {}), (BASE.with_(order=2), {})]))

@@ -109,6 +109,84 @@ class TestDryRunAndGuards:
         assert stats["bytes_after"] == on_disk
 
 
+class TestAgePolicy:
+    def test_drops_records_older_than_the_cutoff(self, store):
+        """The fixture stamps mtimes 100/90/80 seconds ago: a ~95 s cutoff
+        keeps two."""
+        stats = store.gc(max_age_days=95 / 86400.0)
+        assert stats["removed"] == 1
+        assert len(store) == 2
+
+    def test_zero_age_empties_the_store(self, store):
+        assert store.gc(max_age_days=0.0)["removed"] == 3
+        assert len(store) == 0
+
+    def test_future_cutoff_removes_nothing(self, store):
+        assert store.gc(max_age_days=365.0)["removed"] == 0
+
+    def test_negative_age_rejected(self, store):
+        with pytest.raises(ValueError, match=">= 0"):
+            store.gc(max_age_days=-1.0)
+
+
+class TestByteBudget:
+    def test_keeps_the_newest_records_that_fit(self, store):
+        paths = sorted(
+            (store.path_for(k) for k in store.keys()),
+            key=lambda p: p.stat().st_mtime,
+            reverse=True,
+        )
+        budget = paths[0].stat().st_size + paths[1].stat().st_size
+        newest_two = {p.stem for p in paths[:2]}
+        stats = store.gc(max_bytes=budget)
+        assert stats["removed"] == 1
+        assert set(store.keys()) == newest_two
+        assert stats["bytes_after"] <= budget
+
+    def test_budget_larger_than_store_removes_nothing(self, store):
+        total = sum(store.path_for(k).stat().st_size for k in store.keys())
+        assert store.gc(max_bytes=total)["removed"] == 0
+
+    def test_zero_budget_empties_the_store(self, store):
+        assert store.gc(max_bytes=0)["removed"] == 3
+        assert len(store) == 0
+
+    def test_negative_budget_rejected(self, store):
+        with pytest.raises(ValueError, match=">= 0"):
+            store.gc(max_bytes=-1)
+
+
+class TestPolicyComposition:
+    def test_age_then_count_then_bytes(self, store):
+        """A ~95 s age cutoff drops the oldest; keep_latest=2 keeps both
+        survivors; a one-record byte budget then drops the older survivor."""
+        newest = max(store.keys(), key=lambda k: store.path_for(k).stat().st_mtime)
+        budget = store.path_for(newest).stat().st_size
+        stats = store.gc(max_age_days=95 / 86400.0, keep_latest=2, max_bytes=budget)
+        assert stats["removed"] == 2
+        assert store.keys() == [newest]
+
+    def test_policies_compose_with_drop_flux(self, store):
+        stats = store.gc(max_age_days=95 / 86400.0, drop_flux=True)
+        assert stats["removed"] == 1 and stats["compacted"] == 2
+        for _spec, _options, result in store.results():
+            assert result.scalar_flux is None
+
+    def test_dry_run_covers_the_new_policies(self, store):
+        before = {k: store.path_for(k).read_bytes() for k in store.keys()}
+        stats = store.gc(max_age_days=0.0, max_bytes=0, dry_run=True)
+        assert stats["dry_run"] and stats["removed"] == 3
+        assert {k: store.path_for(k).read_bytes() for k in store.keys()} == before
+
+    def test_golden_marker_still_refused(self, store):
+        (store.root / GOLDEN_MARKER).touch()
+        with pytest.raises(ValueError, match="golden"):
+            store.gc(max_age_days=0.0)
+        with pytest.raises(ValueError, match="golden"):
+            store.gc(max_bytes=0)
+        assert len(store) == 3
+
+
 class TestCompactedNumerics:
     def test_summary_statistics_survive_compaction(self, store):
         fresh = {

@@ -66,12 +66,13 @@ class TestAdapters:
         assert [i.index for i in items] == [0, 1]
         assert items[1].spec.order == 2
 
-    def test_coerce_adapts_legacy_tuples_with_sequential_indexes(self):
-        # Deprecated shape, kept one release for out-of-tree callers.
-        items = as_work_items([(SPEC, {"num_threads": 1}), (SPEC.with_(order=2), None)])
-        assert [i.index for i in items] == [0, 1]
-        assert items[0].run_options == {"num_threads": 1}
-        assert items[1].run_options == {}
+    def test_coerce_rejects_legacy_tuples(self):
+        # The (spec, run_options) tuple shape was deprecated in PR-7 for one
+        # release and is now gone; the error points at the replacement.
+        with pytest.raises(TypeError, match="legacy .* tuple shape was removed"):
+            WorkItem.coerce((SPEC, {"num_threads": 1}))
+        with pytest.raises(TypeError, match="WorkItem"):
+            as_work_items([(SPEC, {}), (SPEC.with_(order=2), None)])
 
     def test_coerce_rejects_garbage(self):
         with pytest.raises(TypeError, match="WorkItem"):

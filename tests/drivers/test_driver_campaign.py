@@ -1,0 +1,86 @@
+"""Drivers through the campaign layer: study axes, resumption, conformance."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.campaign import ResultStore, Study, run_study
+from repro.verify.conformance import conformance_matrix
+
+#: Tiny problems so the matrix stays fast-tier; loose driver tolerances --
+#: these tests probe plumbing and determinism, not 1e-8 physics.
+K_SPEC = repro.ProblemSpec(
+    nx=2, ny=2, nz=2, angles_per_octant=1, num_groups=2,
+    num_inners=4, num_outers=1,
+    driver="k_eigenvalue", k_tolerance=1e-4, max_power_iters=5,
+)
+TIME_SPEC = repro.ProblemSpec(
+    nx=2, ny=2, nz=2, angles_per_octant=1, num_groups=2,
+    num_inners=4, num_outers=1,
+    driver="time_dependent", dt=0.5, n_steps=2, initial_flux_value=1.0,
+)
+
+
+class TestDriverStudyAxes:
+    def test_dt_is_a_study_axis(self):
+        study = Study.grid(TIME_SPEC, dt=[0.5, 0.25])
+        result = run_study(study)
+        assert [r.spec.dt for r in result.runs] == [0.5, 0.25]
+        assert result.runs[0].result.times == [0.5, 1.0]
+        assert result.runs[1].result.times == [0.25, 0.5]
+
+    def test_k_tolerance_and_max_iters_are_study_axes(self):
+        study = Study.grid(K_SPEC, k_tolerance=[1e-2, 1e-4], max_power_iters=[3])
+        result = run_study(study)
+        assert {r.spec.k_tolerance for r in result.runs} == {1e-2, 1e-4}
+        assert all(r.result.k_effective is not None for r in result.runs)
+
+    def test_driver_itself_is_a_study_axis(self):
+        study = Study.grid(TIME_SPEC, driver=["fixed_source", "time_dependent"])
+        result = run_study(study)
+        fixed, transient = result.runs
+        assert fixed.result.times is None
+        assert transient.result.times == [0.5, 1.0]
+
+    def test_dt_study_resumes_with_zero_new_runs(self, tmp_path):
+        store = ResultStore(tmp_path / "runs")
+        study = Study.grid(TIME_SPEC, dt=[0.5, 0.25], name="dt-study")
+        first = run_study(study, store=store)
+        assert first.new_run_count == 2
+        resumed = run_study(study, store=store)
+        assert resumed.new_run_count == 0
+        assert all(r.from_cache for r in resumed.runs)
+        for fresh, cached in zip(first.runs, resumed.runs):
+            assert cached.result.step_mean_flux == fresh.result.step_mean_flux
+            np.testing.assert_array_equal(
+                cached.result.scalar_flux, fresh.result.scalar_flux
+            )
+
+    def test_process_backend_matches_serial_bit_for_bit(self):
+        study = Study.grid(K_SPEC, engine=["vectorized"])
+        serial = run_study(study, backend="serial")
+        threaded = run_study(study, backend="thread", jobs=2)
+        np.testing.assert_array_equal(
+            serial.runs[0].result.scalar_flux, threaded.runs[0].result.scalar_flux
+        )
+        assert serial.runs[0].result.k_history == threaded.runs[0].result.k_history
+
+
+@pytest.mark.parametrize("spec", [K_SPEC, TIME_SPEC], ids=["k", "time"])
+class TestDriverConformance:
+    """Both drivers run the same determinism contract as fixed_source."""
+
+    def test_thread_determinism_and_backend_invariance(self, spec):
+        report = conformance_matrix(
+            spec,
+            engines=("vectorized", "prefactorized"),
+            solvers=("ge",),
+            backends=("serial", "thread"),
+            thread_counts=(1, 2),
+            octant_modes=(False, True),
+        )
+        assert report.passed, [c.group for c in report.failed_checks]
+        kinds = {c.kind for c in report.checks}
+        assert "thread-determinism" in kinds
+        assert "backend-invariance" in kinds
+        assert all(c.passed for c in report.checks)

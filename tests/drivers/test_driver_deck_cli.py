@@ -1,0 +1,128 @@
+"""[driver] deck section, spec-serialisation elision and the driver CLI flags."""
+
+import json
+
+import pytest
+
+import repro
+from repro.cli import main
+from repro.config import ProblemSpec
+from repro.input_deck import UnknownDeckKeyError, loads, loads_study, spec_to_deck
+
+BASE = ProblemSpec(
+    nx=2, ny=2, nz=2,
+    max_twist=0.0,
+    angles_per_octant=1,
+    num_groups=2,
+    num_inners=5,
+)
+
+
+class TestDriverDeckSection:
+    def test_driver_section_round_trips(self):
+        spec = BASE.with_(driver="time_dependent", dt=0.125, n_steps=3,
+                               initial_flux_value=2.0, snapshot_every=1)
+        assert loads(spec_to_deck(spec)) == spec
+
+    def test_aliases_parse(self):
+        deck = """
+        nx=2 ny=2 nz=2 nang=1 ng=2
+        [driver]
+        driver=keff
+        epsk=1e-9
+        """
+        spec = loads(deck)
+        assert spec.driver == "keff"
+        assert spec.k_tolerance == 1e-9
+
+    def test_time_keys_parse(self):
+        deck = "nx=2 ny=2 nz=2\n[driver]\ndriver=time\ndt=0.5\nnsteps=4\ntf=2.0"
+        spec = loads(deck)
+        assert (spec.dt, spec.n_steps, spec.t_end) == (0.5, 4, 2.0)
+
+    def test_unknown_driver_key_names_the_section(self):
+        deck = "nx=2\n[driver]\ncourant=0.9"
+        with pytest.raises(UnknownDeckKeyError, match="driver"):
+            loads(deck)
+
+    def test_defaults_are_elided_from_emitted_decks(self):
+        """A fixed-source spec emits the exact pre-driver deck text: no
+        [driver] section, so stored decks and goldens stay byte-stable."""
+        text = spec_to_deck(BASE)
+        assert "[driver]" not in text
+        assert "dt=" not in text
+
+    def test_defaults_are_elided_from_to_dict(self):
+        data = BASE.to_dict()
+        for field in ("driver", "k_tolerance", "max_power_iters", "dt",
+                      "n_steps", "t_end", "initial_flux_value", "snapshot_every"):
+            assert field not in data
+        assert "dt" in BASE.with_(dt=0.5).to_dict()
+
+    def test_run_keys_unchanged_by_the_driver_fields_at_defaults(self):
+        """The content hash of a pre-driver spec must not move: stores and
+        goldens blessed before the driver subsystem still resume."""
+        from repro.campaign.store import run_key
+
+        assert run_key(BASE, {}) == run_key(ProblemSpec(**{
+            k: v for k, v in BASE.to_dict().items() if k != "boundary"
+        }, boundary=BASE.boundary), {})
+
+    def test_driver_axes_in_study_section(self):
+        deck = """
+        nx=2 ny=2 nz=2 nang=1 ng=2
+        [driver]
+        driver=time
+        [study]
+        dt=0.4,0.2
+        nsteps=2,4
+        """
+        study = loads_study(deck)
+        specs = [point.spec for point in study.runs()]
+        assert {s.dt for s in specs} == {0.4, 0.2}
+        assert {s.n_steps for s in specs} == {2, 4}
+        assert all(s.driver == "time" for s in specs)
+
+
+class TestDriverCLI:
+    def test_run_driver_flag_prints_k(self, capsys):
+        assert main([
+            "run", "--nx", "2", "--ny", "2", "--nz", "2", "--nang", "1",
+            "--groups", "2", "--inners", "10",
+            "--driver", "k_eigenvalue", "--k-tol", "1e-6",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "k-effective" in out
+        assert "power iterations" in out
+
+    def test_run_time_flags_print_steps(self, capsys):
+        assert main([
+            "run", "--nx", "2", "--ny", "2", "--nz", "2", "--nang", "1",
+            "--groups", "2", "--inners", "5",
+            "--driver", "time", "--dt", "0.5", "--steps", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "time steps" in out
+        assert "final time" in out
+
+    def test_run_json_carries_driver_payloads(self, capsys):
+        assert main([
+            "run", "--nx", "2", "--ny", "2", "--nz", "2", "--nang", "1",
+            "--groups", "2", "--inners", "5",
+            "--driver", "transient", "--dt", "0.5", "--steps", "2", "--json",
+        ]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["times"] == [0.5, 1.0]
+        assert len(data["step_mean_flux"]) == 2
+
+    def test_unknown_driver_fails_before_solving(self, capsys):
+        assert main([
+            "run", "--nx", "2", "--ny", "2", "--nz", "2", "--driver", "bogus",
+        ]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_drivers_listing_command(self, capsys):
+        assert main(["drivers"]) == 0
+        out = capsys.readouterr().out
+        for name in repro.available_drivers():
+            assert name in out

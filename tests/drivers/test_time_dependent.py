@@ -1,0 +1,127 @@
+"""time_dependent driver: discrete backward-Euler physics, guards, telemetry."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.config import BoundaryCondition
+from repro.materials import snap_driver_library, snap_option1_library
+from repro.telemetry import Telemetry
+
+#: Reflected pure absorber decaying from a flat unit flux: the discrete
+#: backward-Euler solution is exactly phi^n = phi^0 / (1 + v sigma dt)^n.
+DECAY = repro.ProblemSpec(
+    nx=2, ny=2, nz=2,
+    max_twist=0.0,
+    angles_per_octant=1,
+    num_groups=2,
+    scattering_ratio=0.0,
+    source_strength=0.0,
+    num_inners=30,
+    inner_tolerance=1e-13,
+    boundary=BoundaryCondition(kind="reflective"),
+    driver="time_dependent",
+    dt=0.25,
+    n_steps=4,
+    initial_flux_value=1.0,
+)
+
+
+@pytest.fixture(scope="module")
+def decay():
+    return repro.run(DECAY)
+
+
+class TestBackwardEulerPhysics:
+    def test_matches_the_exact_discrete_solution_per_group(self, decay):
+        material = snap_driver_library(2, 0.0).materials[0]
+        rate = material.velocity * material.sigma_t  # (G,)
+        for n, mean in enumerate(decay.step_mean_flux, start=1):
+            expected = 1.0 / (1.0 + rate * DECAY.dt) ** n
+            np.testing.assert_allclose(mean, expected, rtol=1e-9)
+
+    def test_times_are_the_step_end_points(self, decay):
+        assert decay.times == [0.25, 0.5, 0.75, 1.0]
+        assert decay.summary()["time_steps"] == 4
+        assert decay.summary()["t_end"] == 1.0
+
+    def test_final_flux_is_spatially_flat(self, decay):
+        flux = decay.scalar_flux  # (E, G, N)
+        for g in range(flux.shape[1]):
+            values = flux[:, g, :]
+            assert np.allclose(values, values.flat[0], rtol=1e-9)
+
+    def test_t_end_overrides_n_steps(self):
+        spec = DECAY.with_(t_end=0.5, n_steps=99)
+        assert spec.num_time_steps == 2
+        result = repro.run(spec)
+        assert result.times == [0.25, 0.5]
+
+    def test_snapshots_are_opt_in(self, decay):
+        assert decay.flux_snapshots is None
+        snapped = repro.run(DECAY.with_(n_steps=4, snapshot_every=2))
+        assert len(snapped.flux_snapshots) == 2
+        np.testing.assert_array_equal(snapped.flux_snapshots[-1], snapped.scalar_flux)
+
+    def test_engines_agree_bit_for_bit(self):
+        ref = repro.run(DECAY, engine="vectorized")
+        lu = repro.run(DECAY, engine="prefactorized")
+        np.testing.assert_array_equal(ref.scalar_flux, lu.scalar_flux)
+        assert ref.step_mean_flux == lu.step_mean_flux
+
+    def test_factor_cache_survives_every_step(self):
+        """The 1/(v dt) fold happens once, so the prefactorized engine never
+        refactorises after the first sweep of the first step."""
+        result = repro.run(DECAY, engine="prefactorized", telemetry=True)
+        counters = result.telemetry.counters
+        assert counters["factor_cache_misses"] > 0
+        assert counters["factor_cache_hits"] > counters["factor_cache_misses"]
+
+
+class TestGuards:
+    def test_multi_rank_rejected(self):
+        with pytest.raises(ValueError, match="single-rank"):
+            repro.run(DECAY.with_(npex=2))
+
+    def test_angular_source_hook_rejected(self):
+        shape = (DECAY.num_angles, DECAY.num_cells, 2, 8)
+        with pytest.raises(ValueError, match="angular source"):
+            repro.run(DECAY, angular_source=np.zeros(shape))
+
+    def test_missing_velocity_data_rejected(self):
+        speedless = snap_option1_library(2, 0.5)
+        with pytest.raises(ValueError, match="group speeds"):
+            repro.run(DECAY, materials=speedless.for_cells(8))
+
+
+class TestTelemetryAndExport:
+    def test_step_phase_and_counter_and_bit_identity(self):
+        plain = repro.run(DECAY)
+        instrumented = repro.run(DECAY, telemetry=Telemetry())
+        tel = instrumented.telemetry
+        assert tel.counters["time_steps"] == 4
+        assert "solve.step" in tel.phase_seconds
+        assert "solve.sweep" in tel.phase_seconds
+        np.testing.assert_array_equal(plain.scalar_flux, instrumented.scalar_flux)
+        assert plain.step_mean_flux == instrumented.step_mean_flux
+
+    def test_driver_payloads_round_trip_through_json(self, decay):
+        from repro.runner import RunResult
+
+        reloaded = RunResult.from_json(decay.to_json())
+        assert reloaded.times == decay.times
+        assert reloaded.step_mean_flux == decay.step_mean_flux
+        assert reloaded.k_effective is None
+
+    def test_k_payloads_round_trip_through_json(self):
+        from repro.runner import RunResult
+
+        keff = repro.run(DECAY.with_(
+            driver="k_eigenvalue", scattering_ratio=0.5,
+            num_inners=10, inner_tolerance=1e-8, k_tolerance=1e-6,
+        ))
+        reloaded = RunResult.from_json(keff.to_json())
+        assert reloaded.k_effective == keff.k_effective
+        assert reloaded.k_history == keff.k_history
+        assert reloaded.dominance_ratio == keff.dominance_ratio
+        assert reloaded.times is None

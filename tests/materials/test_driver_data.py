@@ -1,0 +1,102 @@
+"""Driver material data: fission, group speeds, k-infinity, time absorption."""
+
+import numpy as np
+import pytest
+
+from repro.materials import (
+    snap_driver_library,
+    snap_option1_library,
+    snap_option1_materials,
+    with_snap_fission_data,
+    with_snap_velocities,
+)
+
+
+class TestFissionData:
+    def test_nu_sigma_f_is_a_fraction_of_sigma_t(self):
+        material = with_snap_fission_data(snap_option1_materials(3))
+        ratio = material.nu_sigma_f / material.sigma_t
+        assert np.allclose(ratio, ratio[0])
+        assert 0.0 < ratio[0] < 1.0
+
+    def test_chi_is_a_normalised_fast_peaked_spectrum(self):
+        material = with_snap_fission_data(snap_option1_materials(4))
+        assert material.chi.sum() == pytest.approx(1.0)
+        assert all(a > b for a, b in zip(material.chi, material.chi[1:]))
+
+    def test_invalid_fission_fraction_rejected(self):
+        with pytest.raises(ValueError, match="fission_fraction"):
+            with_snap_fission_data(snap_option1_materials(2), fission_fraction=1.0)
+
+    def test_k_infinity_closed_form(self):
+        """For nu_sigma_f = f*sigma_t, k_inf = f * nsf.(A^-1 chi)/f reduces to
+        the scattering-ratio geometric sum: 0.6 for the default recipe."""
+        for num_groups in (1, 2, 5):
+            material = snap_driver_library(num_groups).materials[0]
+            assert material.k_infinity() == pytest.approx(0.6, abs=1e-12)
+
+    def test_k_infinity_requires_fission_data(self):
+        with pytest.raises(ValueError, match="no fission data"):
+            snap_option1_materials(2).k_infinity()
+
+    def test_per_cell_tables_require_fission_data(self):
+        library = snap_option1_library(2).for_cells(4)
+        assert not library.has_fission
+        with pytest.raises(ValueError, match="fission"):
+            library.nu_sigma_f_per_cell()
+
+
+class TestVelocities:
+    def test_speeds_decrease_with_group_index(self):
+        material = with_snap_velocities(snap_option1_materials(4))
+        assert all(a > b for a, b in zip(material.velocity, material.velocity[1:]))
+        assert material.velocity[0] == pytest.approx(1.0)
+
+    def test_per_cell_tables_require_velocity_data(self):
+        library = snap_option1_library(2).for_cells(4)
+        assert not library.has_velocity
+        with pytest.raises(ValueError, match="speed"):
+            library.velocity_per_cell()
+
+
+class TestTimeAbsorption:
+    def test_folds_one_over_v_dt_into_sigma_t(self):
+        material = snap_driver_library(3).materials[0]
+        dt = 0.25
+        modified = material.with_time_absorption(dt)
+        np.testing.assert_allclose(
+            modified.sigma_t, material.sigma_t + 1.0 / (material.velocity * dt)
+        )
+        np.testing.assert_array_equal(modified.sigma_s, material.sigma_s)
+
+    def test_requires_velocity_and_positive_dt(self):
+        with pytest.raises(ValueError, match="no group speeds"):
+            snap_option1_materials(2).with_time_absorption(0.1)
+        with pytest.raises(ValueError, match="dt"):
+            snap_driver_library(2).materials[0].with_time_absorption(0.0)
+
+    def test_library_level_fold_applies_to_every_material(self):
+        library = snap_driver_library(2).for_cells(4)
+        modified = library.with_time_absorption(0.5)
+        np.testing.assert_allclose(
+            modified.sigma_t_per_cell(),
+            library.sigma_t_per_cell() + 1.0 / (library.velocity_per_cell() * 0.5),
+        )
+
+
+class TestDriverLibrary:
+    def test_extends_option1_without_touching_fixed_source_data(self):
+        """sigma_t/sigma_s are untouched, so fixed-source results cannot move."""
+        plain = snap_option1_materials(3)
+        driver = snap_driver_library(3).materials[0]
+        np.testing.assert_array_equal(driver.sigma_t, plain.sigma_t)
+        np.testing.assert_array_equal(driver.sigma_s, plain.sigma_s)
+        assert driver.nu_sigma_f is not None and driver.velocity is not None
+
+    def test_synthesis_is_deterministic(self):
+        """Pure function of the spec: distributed workers rebuild identical data."""
+        a = snap_driver_library(4, 0.3).materials[0]
+        b = snap_driver_library(4, 0.3).materials[0]
+        np.testing.assert_array_equal(a.nu_sigma_f, b.nu_sigma_f)
+        np.testing.assert_array_equal(a.chi, b.chi)
+        np.testing.assert_array_equal(a.velocity, b.velocity)

@@ -18,9 +18,15 @@ class TestBoundaryCondition:
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            BoundaryCondition(kind="reflective")
+            BoundaryCondition(kind="mirror")
         with pytest.raises(ValueError):
             BoundaryCondition(kind="vacuum", incident_flux=1.0)
+        with pytest.raises(ValueError):
+            BoundaryCondition(kind="reflective", incident_flux=1.0)
+
+    def test_reflective(self):
+        bc = BoundaryCondition(kind="reflective")
+        assert bc.incoming_value() == 0.0
 
 
 class TestProblemSpec:

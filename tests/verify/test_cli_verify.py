@@ -22,9 +22,12 @@ class TestVerifyCommand:
              "--golden-dir", str(golden_dir), "--json"]
         )
         assert code == 0
+        from repro.verify.golden import default_golden_cases
+
         report = json.loads(capsys.readouterr().out)
         assert report["passed"] is True
-        assert len(report["blessed"]) == len(list(golden_dir.glob("*.json"))) == 5
+        expected = len(default_golden_cases())
+        assert len(report["blessed"]) == len(list(golden_dir.glob("*.json"))) == expected
 
     def test_failing_suite_exits_nonzero(self, tmp_path, capsys):
         code = main(

@@ -1,0 +1,115 @@
+"""Driver verification suite: analytic k-infinity and decay-order benchmarks."""
+
+import pytest
+
+from repro.analysis.reporting import format_verification_report
+from repro.verify.drivers import (
+    K_INFINITY_TOLERANCE,
+    DecayOrderCheck,
+    DriverReport,
+    KInfinityCheck,
+    decay_order_check,
+    k_infinity_check,
+    run_driver_checks,
+)
+from repro.verify.suite import SUITES, VerificationReport
+
+
+def _passing_k(**overrides):
+    fields = dict(k_computed=0.6, k_analytic=0.6, power_iterations=8,
+                  converged=True)
+    fields.update(overrides)
+    return KInfinityCheck(**fields)
+
+
+def _passing_decay(**overrides):
+    fields = dict(
+        t_end=0.8, dts=(0.4, 0.2), errors=(0.2, 0.1),
+        pairwise_orders=(1.0,), observed_order=1.0,
+    )
+    fields.update(overrides)
+    return DecayOrderCheck(**fields)
+
+
+class TestCheckLogic:
+    def test_k_check_passes_inside_the_band(self):
+        check = _passing_k(k_computed=0.6 + 0.5 * K_INFINITY_TOLERANCE)
+        assert check.passed
+        assert check.error == pytest.approx(0.5 * K_INFINITY_TOLERANCE)
+
+    def test_k_check_fails_outside_the_band_or_unconverged(self):
+        assert not _passing_k(k_computed=0.7).passed
+        assert not _passing_k(converged=False).passed
+
+    def test_decay_check_fails_off_order(self):
+        assert _passing_decay().passed
+        assert not _passing_decay(observed_order=1.9).passed
+
+    def test_report_requires_both_benchmarks_to_pass(self):
+        assert DriverReport(_passing_k(), _passing_decay()).passed
+        assert not DriverReport(_passing_k(converged=False), _passing_decay()).passed
+        assert not DriverReport(
+            _passing_k(), _passing_decay(observed_order=0.0)
+        ).passed
+
+    def test_to_dict_is_json_ready(self):
+        data = DriverReport(_passing_k(), _passing_decay()).to_dict()
+        assert data["passed"] is True
+        assert data["k_infinity"]["error"] == 0.0
+        assert data["decay"]["dts"] == [0.4, 0.2]
+
+    def test_decay_check_rejects_bad_dt_sequences(self):
+        with pytest.raises(ValueError, match="two step sizes"):
+            decay_order_check(dts=(0.4,))
+        with pytest.raises(ValueError, match="decreasing"):
+            decay_order_check(dts=(0.2, 0.4))
+        with pytest.raises(ValueError, match="decreasing"):
+            decay_order_check(dts=(0.4, 0.4))
+
+
+class TestSuiteIntegration:
+    def test_drivers_is_a_registered_suite(self):
+        assert "drivers" in SUITES
+
+    def test_verification_report_gates_on_driver_failures(self):
+        failing = DriverReport(_passing_k(converged=False), _passing_decay())
+        assert not VerificationReport(drivers=failing).passed
+        assert VerificationReport(
+            drivers=DriverReport(_passing_k(), _passing_decay())
+        ).passed
+        assert VerificationReport().passed  # drivers suite not requested
+
+    def test_report_to_dict_carries_the_driver_payload(self):
+        report = VerificationReport(
+            drivers=DriverReport(_passing_k(), _passing_decay())
+        )
+        assert report.to_dict()["drivers"]["k_infinity"]["passed"] is True
+
+    def test_formatter_renders_the_driver_table(self):
+        report = VerificationReport(
+            drivers=DriverReport(_passing_k(), _passing_decay(observed_order=3.0))
+        )
+        text = format_verification_report(report)
+        assert "Driver benchmarks" in text
+        assert "k_eigenvalue vs analytic k-infinity" in text
+        assert "decay order" in text and "FAIL" in text
+        assert "verification FAILED" in text
+
+
+class TestLiveBenchmarks:
+    def test_k_infinity_check_hits_the_analytic_eigenvalue(self):
+        check = k_infinity_check(num_groups=1)
+        assert check.passed
+        assert check.k_analytic == pytest.approx(0.6)
+        assert check.error <= K_INFINITY_TOLERANCE
+
+    def test_decay_order_check_shows_first_order(self):
+        check = decay_order_check(dts=(0.4, 0.2))
+        assert check.passed
+        assert check.errors[0] > check.errors[1]
+        assert check.observed_order == pytest.approx(1.0, abs=check.tolerance)
+
+    @pytest.mark.slow
+    def test_full_driver_suite_passes(self):
+        report = run_driver_checks()
+        assert report.passed, report.to_dict()

@@ -173,8 +173,12 @@ class TestRepositoryGoldens:
             "prefactorized-lapack",
             "octant-parallel",
             "block-jacobi-2x1",
+            "driver-k-eigenvalue",
+            "driver-time-dependent",
         }
         specs = {case.name: case.spec for case in default_golden_cases()}
         assert specs["block-jacobi-2x1"].npex == 2
         assert specs["octant-parallel"].octant_parallel
         assert pytest.approx(0.001) == specs["reference-ge"].max_twist
+        assert specs["driver-k-eigenvalue"].driver == "k_eigenvalue"
+        assert specs["driver-time-dependent"].driver == "time_dependent"
