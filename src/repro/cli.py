@@ -400,6 +400,12 @@ def _add_problem_flags(parser: argparse.ArgumentParser) -> None:
         "--k-tol", type=float, default=None,
         help="k_eigenvalue driver: power-iteration convergence tolerance on k",
     )
+    parser.add_argument(
+        "--cache-budget", type=int, default=None,
+        help="factor-cache byte budget for caching engines (prefactorized, "
+        "compiled): LRU entries past the budget are spilled and recomputed "
+        "on demand; 0 (default) keeps the cache unbounded",
+    )
 
 
 #: ``run`` flag -> (ProblemSpec field, default used when no deck is given).
@@ -422,6 +428,7 @@ _RUN_FLAG_DEFAULTS = {
     "dt": ("dt", 0.1),
     "steps": ("n_steps", 10),
     "k_tol": ("k_tolerance", 1e-6),
+    "cache_budget": ("factor_cache_budget_bytes", 0),
 }
 
 

@@ -29,6 +29,7 @@ _ELIDED_DEFAULTS = (
     ("t_end", 0.0),
     ("initial_flux_value", 0.0),
     ("snapshot_every", 0),
+    ("factor_cache_budget_bytes", 0),
 )
 
 
@@ -128,6 +129,12 @@ class ProblemSpec:
         Keep a scalar-flux snapshot every this many time steps (0 = none;
         snapshots live on ``RunResult.flux_snapshots`` and are never
         serialised).
+    factor_cache_budget_bytes:
+        Byte budget of the engine factor cache (0 = unbounded, the default).
+        Caching engines (``prefactorized``, ``compiled``) keep their packed
+        LU factors in LRU order and spill the oldest entries past the
+        budget, recomputing them transparently on the next miss -- results
+        are bit-for-bit identical to an unbudgeted run.
     """
 
     nx: int = 8
@@ -161,6 +168,7 @@ class ProblemSpec:
     t_end: float = 0.0
     initial_flux_value: float = 0.0
     snapshot_every: int = 0
+    factor_cache_budget_bytes: int = 0
 
     def __post_init__(self) -> None:
         if min(self.nx, self.ny, self.nz) < 1:
@@ -195,6 +203,8 @@ class ProblemSpec:
             raise ValueError("initial_flux_value must be >= 0")
         if self.snapshot_every < 0:
             raise ValueError("snapshot_every must be >= 0")
+        if self.factor_cache_budget_bytes < 0:
+            raise ValueError("factor_cache_budget_bytes must be >= 0 (0 = unbudgeted)")
 
     # ------------------------------------------------------------- derived sizes
     @property

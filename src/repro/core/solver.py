@@ -204,6 +204,7 @@ class TransportSolver:
             ),
             store_angular_flux=store_angular_flux,
             telemetry=telemetry,
+            factor_cache_budget_bytes=spec.factor_cache_budget_bytes,
         )
         self.executor.reflective = reflective
         self.node_weights = node_integration_weights(self.factors, self.ref)

@@ -38,6 +38,7 @@ from ..sweepsched.schedule import SweepSchedule
 from ..telemetry import Telemetry
 from ..telemetry import active as telemetry_active
 from .assembly import AssemblyTimings, ElementMatrices
+from .factor_cache import FactorCache
 from .flux import AngularFluxBank
 
 __all__ = ["BoundaryValues", "SweepResult", "SweepExecutor"]
@@ -137,9 +138,15 @@ class SweepExecutor:
     telemetry:
         Optional :class:`~repro.telemetry.Telemetry` instrument.  When set,
         every sweep is recorded as a ``sweep`` phase with counters (local
-        solves, assemble/solve seconds, factor-cache hits/misses from caching
-        engines, octant-pool occupancy); when ``None`` (the default) the
-        sweep path performs no telemetry work at all.
+        solves, assemble/solve seconds, factor-cache hits/misses/spills from
+        caching engines, octant-pool occupancy); when ``None`` (the default)
+        the sweep path performs no telemetry work at all.
+    factor_cache_budget_bytes:
+        Byte budget of the engine factor cache (:class:`~repro.core.
+        factor_cache.FactorCache`); 0 (the default) keeps it unbounded.
+        Budgeted caches spill least-recently-used entries and the owning
+        engine transparently recomputes them -- results are bit-for-bit
+        identical either way.
     """
 
     def __init__(
@@ -159,6 +166,7 @@ class SweepExecutor:
         octant_parallel: bool = False,
         store_angular_flux: bool = False,
         telemetry: Telemetry | None = None,
+        factor_cache_budget_bytes: int = 0,
     ):
         self.mesh = mesh
         self.factors = factors
@@ -184,7 +192,9 @@ class SweepExecutor:
         #: Engine-owned memoisation storage (e.g. the ``prefactorized``
         #: engine's LU factors), keyed by engine-namespaced tuples; see the
         #: factor-cache lifecycle notes in :mod:`repro.engines.base`.
-        self.factor_cache: dict = {}
+        #: Dict-shaped; an optional byte budget adds LRU spill semantics.
+        self.factor_cache = FactorCache(factor_cache_budget_bytes)
+        self.factor_cache.telemetry = telemetry
         self._factor_epoch = 0
         # Lazily-created octant worker pool, reused across sweeps (a solve
         # runs num_outers * num_inners of them).

@@ -19,6 +19,11 @@ Built-in engines
     the cached factors across all inner/outer iterations, re-assembling
     only the right-hand sides (aliases: ``lu``, ``prefactor``,
     ``factor-cache``; paper Section IV-B.1).
+``compiled``
+    Fused JIT bucket kernel (numba, or a cffi-built C kernel) over the
+    cached LU factors (aliases: ``jit``, ``native``).  A *soft* dependency:
+    registered only when a JIT provider is available, so the name never
+    appears broken -- see :mod:`repro.engines.compiled`.
 """
 
 from .base import SweepEngine
@@ -28,11 +33,15 @@ from .registry import (
     engine_descriptions,
     engine_listing,
     get_engine,
+    note_soft_dependency,
     register_engine,
     unregister_engine,
 )
 
-# Importing the engine modules registers the built-in engines.
+# Importing the engine modules registers the built-in engines.  The
+# compiled package self-guards: it registers only when a JIT provider is
+# importable and otherwise records the reason for get_engine's error.
+from . import compiled  # noqa: F401
 from .prefactorized import PrefactorizedSweepEngine
 from .reference import ReferenceSweepEngine
 from .vectorized import VectorizedSweepEngine
@@ -42,6 +51,7 @@ __all__ = [
     "register_engine",
     "unregister_engine",
     "get_engine",
+    "note_soft_dependency",
     "available_engines",
     "engine_aliases",
     "engine_descriptions",

@@ -11,7 +11,7 @@ work to its engine.
 Engines are stateless objects registered by name through
 :func:`repro.engines.register_engine`; the executor (and therefore
 :func:`repro.run`, the input deck and the ``unsnap`` CLI) selects one by name.
-Three engines ship with the package:
+Four engines ship with the package:
 
 * ``reference`` -- the per-element loop of the paper's Figure 2 pseudocode,
   optionally threaded over the independent elements of a wavefront bucket;
@@ -20,22 +20,33 @@ Three engines ship with the package:
   ``LocalSolver.solve_batched`` over ``(B*G, N, N)`` systems;
 * ``prefactorized`` -- like ``vectorized`` but LU-factorises every bucket
   batch once and reuses the factors across all inner/outer iterations
-  (paper Section IV-B.1).
+  (paper Section IV-B.1);
+* ``compiled`` -- the prefactorized strategy driven through a JIT-compiled
+  bucket kernel (numba or a cffi-built C translation).  It is a *soft*
+  tier: the engine registers only when a provider is available, and is
+  otherwise absent from the registry with an actionable
+  :func:`repro.engines.get_engine` error (see
+  :mod:`repro.engines.compiled`).
 
 Factor-cache lifecycle
 ----------------------
 Because engines are shared stateless instances, any per-problem state an
 engine wants to memoise (LU factors, cached couplings, ...) must live on the
-*executor*, in :attr:`SweepExecutor.factor_cache` -- a plain dict whose keys
-the engine namespaces with its own name.  The executor owns the lifecycle:
-:meth:`SweepExecutor.invalidate_factor_cache` clears the dict whenever the
+*executor*, in :attr:`SweepExecutor.factor_cache` -- a
+:class:`~repro.core.factor_cache.FactorCache` (dict-shaped, optionally
+memory-budgeted with LRU spill) whose keys the engine namespaces with its
+own name.  Engines must treat every ``cache[key]`` miss as recomputable:
+under a ``factor_cache_budget_bytes`` limit the cache silently evicts
+least-recently-used entries, and correctness may never depend on an entry
+surviving.  The executor owns the lifecycle:
+:meth:`SweepExecutor.invalidate_factor_cache` clears the cache whenever the
 cached inputs change (cross-section updates go through
 :meth:`SweepExecutor.update_materials`; mesh changes rebuild the executor),
 and both :class:`~repro.core.solver.TransportSolver` and
 :class:`~repro.parallel.block_jacobi.BlockJacobiDriver` expose matching
 ``update_materials`` hooks that thread the invalidation through.  An engine
 may additionally define ``invalidate_cache(executor)`` to be notified before
-the dict is cleared.
+the cache is cleared.
 """
 
 from __future__ import annotations

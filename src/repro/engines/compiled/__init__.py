@@ -1,0 +1,25 @@
+"""The ``compiled`` sweep-engine tier (soft dependency).
+
+Importing this package probes for a JIT provider (numba preferred, then
+cffi + C compiler; see :mod:`repro.engines.compiled.providers`) and
+registers :class:`CompiledSweepEngine` only when one is available --
+*absent, never broken*: without a provider the engine simply does not
+appear in ``available_engines()`` and ``get_engine("compiled")`` raises a
+``KeyError`` that names the missing dependency.
+"""
+
+from __future__ import annotations
+
+from ..registry import note_soft_dependency
+from .providers import select_provider, unavailable_reason
+
+__all__ = ["select_provider", "unavailable_reason"]
+
+if select_provider() is not None:
+    from .engine import CompiledSweepEngine  # noqa: F401  (registers the engine)
+
+    __all__.append("CompiledSweepEngine")
+else:
+    for _name in ("compiled", "jit", "native"):
+        note_soft_dependency(_name, unavailable_reason())
+    del _name

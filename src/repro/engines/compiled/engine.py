@@ -1,0 +1,181 @@
+"""The compiled sweep engine: one fused JIT kernel per (angle, bucket).
+
+Where ``prefactorized`` replaces the per-sweep elimination with cached LU
+factors but still pays numpy dispatch for the right-hand-side assembly and
+the batched substitutions, this engine drops the whole steady-state bucket
+loop into a single compiled kernel (:mod:`repro.engines.compiled.kernels`):
+assemble the volumetric source, subtract the packed interior upwind
+couplings reading ``psi`` of earlier buckets, and run the pivoted
+forward/backward substitutions -- all in one pass over preallocated
+contiguous arrays, no temporaries, no interpreter in the loop.
+
+The engine follows the executor's factor-cache lifecycle exactly like
+``prefactorized``: entries live in :attr:`SweepExecutor.factor_cache` under
+``(engine_name, angle, bucket_index)`` keys, are rebuilt on a miss (the
+one-time assembly + LU factorisation, against the executor's *current*
+cross sections) and are dropped by ``invalidate_factor_cache`` /
+``update_materials`` / ``set_engine``.  Under a factor-cache budget the
+evicted entries are transparently recomputed on the next sweep -- the
+kernel never sees a stale factor.
+
+The boundary path (incident flux or lagged block-Jacobi traces) reuses the
+numpy :func:`~repro.engines.batched.assemble_bucket_rhs` for the irregular
+per-face scans and calls the kernel in solve-only mode, so vacuum interior
+sweeps -- the hot path of every benchmark -- never leave compiled code.
+
+The compiled tier carries its own factorisation
+(:func:`~repro.solvers.prefactor.batched_gaussian_lu_factor`), matching the
+substitution loops baked into the kernel; the executor's local-solver
+choice selects the *other* engines' solve and does not change this one.
+``bitwise_family`` is the tier's own (``"compiled"``): the fused loop nest
+fixes its own summation order, which is not guaranteed to match the numpy
+einsum reductions bit for bit -- cross-engine agreement is asserted by the
+conformance matrix at tolerance instead.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ...solvers.prefactor import batched_gaussian_lu_factor
+from ...telemetry import active
+from ..batched import (
+    assemble_bucket_matrices,
+    assemble_bucket_rhs,
+    interior_upwind_couplings,
+)
+from ..registry import register_engine
+from .providers import as_contiguous_f64, as_contiguous_i64, select_provider
+
+__all__ = ["CompiledSweepEngine"]
+
+
+@register_engine("compiled", aliases=("jit", "native"))
+class CompiledSweepEngine:
+    """Fused JIT bucket kernel over cached packed LU factors (numba or cffi)."""
+
+    #: Own family: the fused kernel fixes its own reduction order, so
+    #: bit-equality with the numpy ``batched`` family is not guaranteed.
+    bitwise_family = "compiled"
+
+    def __init__(self):
+        provider = select_provider()
+        if provider is None:
+            raise RuntimeError(
+                "compiled sweep engine constructed without an available JIT provider"
+            )
+        self._provider = provider
+        self.provider_name = provider.name
+
+    def _build_entry(self, executor, direction, orient, bucket, timings):
+        """Assemble, factor and pack one (angle, bucket) cache entry."""
+        num_groups = executor.num_groups
+        num_nodes = executor.num_nodes
+        batch = bucket.shape[0]
+
+        t0 = time.perf_counter()
+        a = assemble_bucket_matrices(executor, direction, orient, bucket)
+        interior = interior_upwind_couplings(executor, direction, orient, bucket)
+        # Pack the per-face coupling dict into flat kernel arrays.  cpl_src
+        # holds *global* upwind element ids (psi of earlier buckets is
+        # final), cpl_pos the position within this bucket.
+        positions: list[np.ndarray] = []
+        sources: list[np.ndarray] = []
+        mats: list[np.ndarray] = []
+        for face in sorted(interior):
+            idx, neighbors, coupling = interior[face]
+            positions.append(np.asarray(idx, dtype=np.int64))
+            sources.append(np.asarray(neighbors, dtype=np.int64))
+            mats.append(coupling)
+        if positions:
+            cpl_pos = as_contiguous_i64(np.concatenate(positions))
+            cpl_src = as_contiguous_i64(np.concatenate(sources))
+            cpl_mat = as_contiguous_f64(np.concatenate(mats, axis=0))
+        else:
+            cpl_pos = np.empty(0, dtype=np.int64)
+            cpl_src = np.empty(0, dtype=np.int64)
+            cpl_mat = np.empty((0, num_nodes, num_nodes), dtype=np.float64)
+        t1 = time.perf_counter()
+        lu, piv = batched_gaussian_lu_factor(
+            a.reshape(batch * num_groups, num_nodes, num_nodes)
+        )
+        t2 = time.perf_counter()
+        timings.assembly_seconds += t1 - t0
+        timings.solve_seconds += t2 - t1
+        return {
+            "bucket": as_contiguous_i64(bucket),
+            "mass": as_contiguous_f64(executor.matrices.mass[bucket]),
+            "cpl_pos": cpl_pos,
+            "cpl_src": cpl_src,
+            "cpl_mat": cpl_mat,
+            "lu": as_contiguous_f64(lu),
+            "piv": as_contiguous_i64(piv),
+            "interior": interior,
+            "rhs": np.empty((batch, num_groups, num_nodes), dtype=np.float64),
+        }
+
+    def sweep_angle(self, executor, angle, total_source, boundary_values, incident, timings):
+        mesh = executor.mesh
+        direction = executor.quadrature.directions[angle]
+        asched = executor.schedule.for_angle(angle)
+        orientation = asched.classification.orientation  # (E, 6)
+        num_groups = executor.num_groups
+        num_nodes = executor.num_nodes
+        kernel = self._provider.kernel()
+        cache = executor.factor_cache
+        tel = active(getattr(executor, "telemetry", None))
+        sampler = None if tel is None else tel.bucket_sampler()
+
+        psi_angle = np.zeros((mesh.num_cells, num_groups, num_nodes), dtype=np.float64)
+        source = as_contiguous_f64(total_source)
+        have_lagged = boundary_values is not None and len(boundary_values) > 0
+        # Vacuum interior sweep: the kernel assembles and solves; boundary
+        # terms fall back to the shared numpy RHS assembly + solve-only.
+        fused = not have_lagged and incident == 0.0
+
+        for index, bucket in enumerate(asched.buckets):
+            batch = bucket.shape[0]
+            orient = orientation[bucket]  # (B, 6)
+            key = (getattr(self, "name", "compiled"), angle, index)
+            entry = cache.get(key)
+            if tel is not None:
+                tel.incr("factor_cache_misses" if entry is None else "factor_cache_hits")
+            if entry is None:
+                entry = cache[key] = self._build_entry(
+                    executor, direction, orient, bucket, timings
+                )
+
+            sample = sampler is not None and sampler.want()
+            t0 = time.perf_counter()
+            if fused:
+                t1 = t0
+                kernel(
+                    entry["bucket"], entry["mass"], source,
+                    entry["cpl_pos"], entry["cpl_src"], entry["cpl_mat"],
+                    entry["lu"], entry["piv"], entry["rhs"], 1, psi_angle,
+                )
+                t2 = time.perf_counter()
+            else:
+                rhs = assemble_bucket_rhs(
+                    executor, angle, direction, orient, bucket, psi_angle,
+                    total_source, boundary_values, incident,
+                    interior=entry["interior"],
+                )
+                t1 = time.perf_counter()
+                kernel(
+                    entry["bucket"], entry["mass"], source,
+                    entry["cpl_pos"], entry["cpl_src"], entry["cpl_mat"],
+                    entry["lu"], entry["piv"], as_contiguous_f64(rhs), 0, psi_angle,
+                )
+                t2 = time.perf_counter()
+            # The fused kernel does not separate assembly from solve; its
+            # whole time is booked as solve, keeping the one-time entry
+            # build (above) as the assembly share.
+            timings.assembly_seconds += t1 - t0
+            timings.solve_seconds += t2 - t1
+            timings.systems_solved += batch * num_groups
+            if sample:
+                sampler.record(t2 - t0, batch * num_groups)
+        return psi_angle

@@ -1,0 +1,101 @@
+"""The compiled tier's sweep kernel, in portable (njit-compatible) Python.
+
+This module is the *single source of truth* for the compiled engine's
+numerics: one fused per-bucket kernel that assembles the right-hand sides
+(volumetric source term minus packed interior upwind couplings) and runs the
+pivoted forward/backward substitutions against the cached packed LU factors,
+writing the bucket's angular flux straight into the full ``psi`` array.
+
+The providers (:mod:`repro.engines.compiled.providers`) turn this one
+function into machine code two different ways -- ``numba.njit`` compiles it
+directly, and the cffi provider carries a line-for-line C translation whose
+loop nest mirrors this function exactly (same loop order, same accumulation
+order, compiled with ``-ffp-contract=off`` so the arithmetic stays plain
+IEEE double operations in source order).  Keeping the Python version the
+reference lets the test-suite assert provider equivalence without a second
+independent implementation of the physics.
+
+Only explicit loops over preallocated contiguous arrays are used -- no numpy
+API beyond indexing -- so the same body type-specialises cleanly under numba
+and translates mechanically to C.
+
+Kernel contract
+---------------
+``sweep_bucket_kernel(bucket, mass, source, cpl_pos, cpl_src, cpl_mat, lu,
+piv, rhs, assemble, psi)`` with
+
+* ``bucket`` -- ``(B,)`` int64 global element ids of the wavefront bucket;
+* ``mass`` -- ``(B, N, N)`` mass matrices of the bucket elements;
+* ``source`` -- ``(E, G, N)`` full per-ordinate total source (indexed
+  through ``bucket``);
+* ``cpl_pos``/``cpl_src``/``cpl_mat`` -- ``(K,)`` bucket positions, ``(K,)``
+  global upwind element ids and ``(K, N, N)`` direction-weighted coupling
+  matrices, the packed concatenation of
+  :func:`repro.engines.batched.interior_upwind_couplings` over faces;
+* ``lu``/``piv`` -- ``(B*G, N, N)`` packed factors and ``(B*G, N)`` row
+  swaps from :func:`repro.solvers.prefactor.batched_gaussian_lu_factor`,
+  system ``b*G + g`` belonging to element ``b``, group ``g``;
+* ``rhs`` -- ``(B, G, N)`` scratch; holds the assembled right-hand sides
+  when ``assemble`` is nonzero, otherwise arrives pre-assembled (the
+  boundary path) and the kernel only substitutes.  Destroyed either way.
+* ``psi`` -- ``(E, G, N)`` full angular flux; upwind values are read from
+  earlier buckets and the bucket's solution is written back.
+"""
+
+from __future__ import annotations
+
+__all__ = ["sweep_bucket_kernel"]
+
+
+def sweep_bucket_kernel(
+    bucket, mass, source, cpl_pos, cpl_src, cpl_mat, lu, piv, rhs, assemble, psi
+):
+    """Fused assemble + factored-solve of one wavefront bucket (see module docs)."""
+    num_bucket = bucket.shape[0]
+    num_groups = rhs.shape[1]
+    num_nodes = rhs.shape[2]
+
+    if assemble != 0:
+        # Volumetric source: rhs[b, g, i] = sum_j source[e, g, j] * mass[b, i, j].
+        for b in range(num_bucket):
+            element = bucket[b]
+            for g in range(num_groups):
+                for i in range(num_nodes):
+                    acc = 0.0
+                    for j in range(num_nodes):
+                        acc += source[element, g, j] * mass[b, i, j]
+                    rhs[b, g, i] = acc
+        # Interior upwind couplings: psi of earlier buckets is final.
+        for k in range(cpl_pos.shape[0]):
+            b = cpl_pos[k]
+            upwind = cpl_src[k]
+            for g in range(num_groups):
+                for i in range(num_nodes):
+                    acc = 0.0
+                    for j in range(num_nodes):
+                        acc += psi[upwind, g, j] * cpl_mat[k, i, j]
+                    rhs[b, g, i] -= acc
+
+    # Pivoted forward/backward substitution against the packed LU, in place
+    # in rhs, then scatter into psi.  Mirrors batched_gaussian_lu_solve.
+    for b in range(num_bucket):
+        element = bucket[b]
+        for g in range(num_groups):
+            s = b * num_groups + g
+            for k in range(num_nodes):
+                p = piv[s, k]
+                if p != k:
+                    tmp = rhs[b, g, k]
+                    rhs[b, g, k] = rhs[b, g, p]
+                    rhs[b, g, p] = tmp
+            for k in range(num_nodes - 1):
+                bk = rhs[b, g, k]
+                for j in range(k + 1, num_nodes):
+                    rhs[b, g, j] -= lu[s, j, k] * bk
+            for k in range(num_nodes - 1, -1, -1):
+                acc = rhs[b, g, k]
+                for j in range(k + 1, num_nodes):
+                    acc -= lu[s, k, j] * rhs[b, g, j]
+                rhs[b, g, k] = acc / lu[s, k, k]
+            for i in range(num_nodes):
+                psi[element, g, i] = rhs[b, g, i]

@@ -68,9 +68,13 @@ class PrefactorizedSweepEngine:
         factor, solve_factored = self._factor_pair(executor)
         cache = executor.factor_cache
         tel = active(getattr(executor, "telemetry", None))
+        sampler = None if tel is None else tel.bucket_sampler()
         psi_angle = np.zeros((mesh.num_cells, num_groups, num_nodes), dtype=float)
 
         for index, bucket in enumerate(asched.buckets):
+            # The sampled bucket time reuses the steady-state t0/t2 stamps
+            # below, so sampling adds no timer calls to the bucket loop.
+            sample = sampler is not None and sampler.want()
             batch = bucket.shape[0]
             orient = orientation[bucket]  # (B, 6)
             # Namespaced by the registered engine name so distinct engines
@@ -107,4 +111,6 @@ class PrefactorizedSweepEngine:
             timings.assembly_seconds += t1 - t0
             timings.solve_seconds += t2 - t1
             timings.systems_solved += batch * num_groups
+            if sample:
+                sampler.record(t2 - t0, batch * num_groups)
         return psi_angle

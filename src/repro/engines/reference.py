@@ -17,6 +17,7 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 from ..mesh.hexmesh import BOUNDARY
+from ..telemetry import active
 from .registry import register_engine
 
 __all__ = ["ReferenceSweepEngine"]
@@ -73,16 +74,33 @@ class ReferenceSweepEngine:
             timings.solve_seconds += t2 - t1
             timings.systems_solved += executor.num_groups
 
+        tel = active(getattr(executor, "telemetry", None))
+        sampler = None if tel is None else tel.bucket_sampler()
+
         # element_threads is 1 under octant-parallel execution: the worker
         # threads are spent at the octant level, never nested.
         if executor.element_threads == 1:
             for bucket in asched.buckets:
+                sample = sampler is not None and sampler.want()
+                if sample:
+                    ts = time.perf_counter()
                 for element in bucket.tolist():
                     process_element(element)
+                if sample:
+                    sampler.record(
+                        time.perf_counter() - ts, bucket.shape[0] * executor.num_groups
+                    )
         else:
             with ThreadPoolExecutor(max_workers=executor.element_threads) as pool:
                 for bucket in asched.buckets:
+                    sample = sampler is not None and sampler.want()
+                    if sample:
+                        ts = time.perf_counter()
                     # Elements within a bucket are mutually independent; the
                     # bucket boundary is a synchronisation point.
                     list(pool.map(process_element, bucket.tolist()))
+                    if sample:
+                        sampler.record(
+                            time.perf_counter() - ts, bucket.shape[0] * executor.num_groups
+                        )
         return psi_angle

@@ -32,9 +32,24 @@ __all__ = [
     "engine_aliases",
     "engine_descriptions",
     "engine_listing",
+    "note_soft_dependency",
 ]
 
 _ENGINES: Registry[SweepEngine] = Registry("engine")
+
+#: name -> why an optional engine tier could not register (soft dependency).
+_SOFT_HINTS: dict[str, str] = {}
+
+
+def note_soft_dependency(name: str, reason: str | None) -> None:
+    """Record why an optional engine is unavailable.
+
+    Soft-dependency tiers (the ``compiled`` engine) register only when
+    their dependency is importable; this hook lets them leave a hint so
+    :func:`get_engine` can raise an actionable error instead of a bare
+    unknown-name ``KeyError``.
+    """
+    _SOFT_HINTS[name.strip().lower()] = reason or "optional dependency missing"
 
 
 def register_engine(
@@ -115,4 +130,12 @@ def get_engine(engine: SweepEngine | str) -> SweepEngine:
         if callable(getattr(engine, "sweep_angle", None)):
             return engine
         raise TypeError(f"not a sweep engine: {engine!r}")
-    return _ENGINES.resolve(engine)
+    try:
+        return _ENGINES.resolve(engine)
+    except KeyError:
+        hint = _SOFT_HINTS.get(engine.strip().lower())
+        if hint is not None:
+            raise KeyError(
+                f"engine {engine!r} is not available in this environment: {hint}"
+            ) from None
+        raise

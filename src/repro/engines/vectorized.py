@@ -23,6 +23,7 @@ import time
 
 import numpy as np
 
+from ..telemetry import active
 from .batched import assemble_bucket_matrices, assemble_bucket_rhs
 from .registry import register_engine
 
@@ -48,8 +49,13 @@ class VectorizedSweepEngine:
         num_groups = executor.num_groups
         num_nodes = executor.num_nodes
         psi_angle = np.zeros((mesh.num_cells, num_groups, num_nodes), dtype=float)
+        tel = active(getattr(executor, "telemetry", None))
+        sampler = None if tel is None else tel.bucket_sampler()
 
         for bucket in asched.buckets:
+            # The sampled bucket time reuses the t0/t2 stamps below -- the
+            # rate-0 path is byte-identical to the uninstrumented loop.
+            sample = sampler is not None and sampler.want()
             t0 = time.perf_counter()
             batch = bucket.shape[0]
             orient = orientation[bucket]  # (B, 6)
@@ -68,4 +74,6 @@ class VectorizedSweepEngine:
             timings.assembly_seconds += t1 - t0
             timings.solve_seconds += t2 - t1
             timings.systems_solved += batch * num_groups
+            if sample:
+                sampler.record(t2 - t0, batch * num_groups)
         return psi_angle

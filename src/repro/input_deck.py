@@ -115,6 +115,8 @@ _INT_KEYS = {
     "order": "order",
     "npex": "npex",
     "npey": "npey",
+    "cache_budget": "factor_cache_budget_bytes",
+    "factor_cache_budget_bytes": "factor_cache_budget_bytes",
 }
 _FLOAT_KEYS = {
     "lx": "lx", "ly": "ly", "lz": "lz",
@@ -424,12 +426,16 @@ def spec_to_deck(spec: ProblemSpec) -> str:
         f"octant_parallel={int(spec.octant_parallel)}",
         f"npex={spec.npex} npey={spec.npey}",
     ]
+    # The cache budget is a problem-section key (elided at its 0 default so
+    # pre-budget decks keep their exact text).
+    if spec.factor_cache_budget_bytes != 0:
+        lines.append(f"cache_budget={spec.factor_cache_budget_bytes}")
     # Driver fields ride in a [driver] section, elided at their defaults so
     # fixed-source decks keep their pre-driver text byte for byte.
     driver_lines = [
         f"{name}={getattr(spec, name)}"
         for name, default in _ELIDED_DEFAULTS
-        if getattr(spec, name) != default
+        if name != "factor_cache_budget_bytes" and getattr(spec, name) != default
     ]
     if driver_lines:
         lines.append("[driver]")

@@ -188,6 +188,7 @@ class BlockJacobiDriver:
                 ),
                 halo_faces=sub.halo_faces,
                 telemetry=telemetry,
+                factor_cache_budget_bytes=spec.factor_cache_budget_bytes,
             )
             self.factors.append(factors)
             self.rank_materials.append(rank_materials)

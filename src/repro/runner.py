@@ -316,6 +316,7 @@ def run(
     quadrature=None,
     angular_source=None,
     telemetry: Telemetry | bool | None = None,
+    factor_cache_budget_bytes: int | None = None,
 ) -> RunResult:
     """Solve a transport problem and return a unified :class:`RunResult`.
 
@@ -371,12 +372,22 @@ def run(
         hot paths perform no telemetry work at all -- and a *disabled*
         instrument is treated exactly like ``None``: nothing is recorded,
         the result carries no telemetry and the exports stay key-stable.
+    factor_cache_budget_bytes:
+        Override of ``spec.factor_cache_budget_bytes`` (the engine
+        factor-cache byte budget; 0 = unbounded).  Applied by rewriting the
+        spec, so drivers, multi-rank executors and store run keys all see
+        the effective value.
     """
     if telemetry is True:
         telemetry = Telemetry()
     elif telemetry is False:
         telemetry = None
     tel = active(telemetry)
+    if (
+        factor_cache_budget_bytes is not None
+        and int(factor_cache_budget_bytes) != spec.factor_cache_budget_bytes
+    ):
+        spec = spec.with_(factor_cache_budget_bytes=int(factor_cache_budget_bytes))
     engine_obj = get_engine(engine if engine is not None else spec.engine)
     # Duck-typed instances passed straight through get_engine may not carry a
     # registry name; fall back to the class name for reporting.

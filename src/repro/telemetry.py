@@ -33,7 +33,7 @@ from __future__ import annotations
 import threading
 import time
 
-__all__ = ["Telemetry", "PhaseTimer", "NULL_PHASE", "active", "phase"]
+__all__ = ["Telemetry", "PhaseTimer", "BucketSampler", "NULL_PHASE", "active", "phase"]
 
 
 class _NullPhase:
@@ -91,6 +91,52 @@ class PhaseTimer:
         return False
 
 
+class BucketSampler:
+    """Deterministic per-bucket sampler for fine-grained sweep telemetry.
+
+    Phase timers bracket whole sweeps; engines additionally offer *bucket
+    sampling* -- timing a deterministic subset of their per-(angle, bucket)
+    kernel invocations.  A Bresenham accumulator picks every ``1/rate``-th
+    bucket with no RNG, so two identical runs sample identical buckets and
+    the counters are reproducible.
+
+    Engines obtain a sampler via :meth:`Telemetry.bucket_sampler`, which
+    returns ``None`` when the instrument is disabled or the rate is zero --
+    the standard ``is None`` guard keeps the rate-0 path free of timer calls
+    and allocations (asserted by ``tests/bench/test_bucket_sampling.py``).
+    """
+
+    __slots__ = ("_telemetry", "rate", "_acc")
+
+    def __init__(self, telemetry: "Telemetry", rate: float):
+        self._telemetry = telemetry
+        self.rate = rate
+        self._acc = 0.0
+
+    def want(self) -> bool:
+        """True when the current bucket should be timed (advances the
+        accumulator; call exactly once per bucket)."""
+        self._acc += self.rate
+        if self._acc >= 1.0:
+            self._acc -= 1.0
+            return True
+        return False
+
+    def record(self, seconds: float, systems: int) -> None:
+        """Fold one sampled bucket's timing into the instrument's counters
+        (``bucket_samples`` / ``bucket_sample_seconds`` /
+        ``bucket_sample_systems``)."""
+        tel = self._telemetry
+        with tel._lock:
+            tel.counters["bucket_samples"] = tel.counters.get("bucket_samples", 0) + 1
+            tel.counters["bucket_sample_seconds"] = (
+                tel.counters.get("bucket_sample_seconds", 0) + seconds
+            )
+            tel.counters["bucket_sample_systems"] = (
+                tel.counters.get("bucket_sample_systems", 0) + systems
+            )
+
+
 class Telemetry:
     """Collects phase timings, counters and gauges of one run.
 
@@ -101,10 +147,18 @@ class Telemetry:
         shared null context and ``incr``/``gauge`` return immediately, so an
         instrument can be handed around unconditionally and switched off in
         one place.
+    bucket_sample_rate:
+        Fraction of per-(angle, bucket) kernel invocations the engines time
+        individually (0 disables bucket sampling entirely; 1 times every
+        bucket).  See :class:`BucketSampler`.
     """
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True, bucket_sample_rate: float = 0.0):
+        rate = float(bucket_sample_rate)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("bucket_sample_rate must be within [0, 1]")
         self.enabled = bool(enabled)
+        self.bucket_sample_rate = rate
         #: Dotted phase path -> accumulated wall seconds.
         self.phase_seconds: dict[str, float] = {}
         #: Dotted phase path -> number of times the phase was entered.
@@ -143,6 +197,23 @@ class Telemetry:
         with self._lock:
             self.phase_seconds[path] = self.phase_seconds.get(path, 0.0) + seconds
             self.phase_calls[path] = self.phase_calls.get(path, 0) + 1
+
+    # ------------------------------------------------------ bucket sampling
+    def bucket_sampler(self) -> "BucketSampler | None":
+        """A fresh :class:`BucketSampler`, or ``None`` when sampling is off.
+
+        Engines request one sampler per ``sweep_angle`` call::
+
+            sampler = None if tel is None else tel.bucket_sampler()
+            ...
+            sample = sampler is not None and sampler.want()
+
+        ``None`` (disabled instrument, or ``bucket_sample_rate`` 0) keeps the
+        bucket loop on the exact uninstrumented path.
+        """
+        if not self.enabled or self.bucket_sample_rate <= 0.0:
+            return None
+        return BucketSampler(self, self.bucket_sample_rate)
 
     # ---------------------------------------------------- counters / gauges
     def incr(self, counter: str, value: float = 1) -> None:

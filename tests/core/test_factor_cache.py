@@ -1,0 +1,122 @@
+"""Unit tests for the budgeted factor cache (:mod:`repro.core.factor_cache`).
+
+The cache is dict-shaped (engines index it like the plain dict it replaced)
+with an opt-in LRU byte budget: inserts account entry sizes, evictions run
+least-recently-used-first until the total fits, and -- crucially for the
+refusal-free contract -- an entry larger than the whole budget still serves
+the insert that produced it (it is evicted immediately after, so the *next*
+sweep recomputes; no code path ever errors out on a tight budget).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.factor_cache import FactorCache, entry_nbytes
+from repro.telemetry import Telemetry
+
+
+def _entry(kilobytes: int) -> np.ndarray:
+    return np.zeros(kilobytes * 128, dtype=np.float64)  # 1 KiB per 128 f64
+
+
+class TestEntryNbytes:
+    def test_counts_arrays_dicts_tuples_and_lists(self):
+        arr = np.zeros((4, 4))
+        assert entry_nbytes(arr) == arr.nbytes
+        assert entry_nbytes((arr, arr)) == 2 * arr.nbytes
+        assert entry_nbytes({"a": arr, "b": [arr, arr]}) == 3 * arr.nbytes
+
+    def test_non_array_leaves_cost_nothing(self):
+        assert entry_nbytes({"flag": True, "note": "x"}) == 0
+
+
+class TestDictShape:
+    """The executor's cache must keep behaving like the dict it replaced."""
+
+    def test_mapping_protocol(self):
+        cache = FactorCache()
+        assert not cache and len(cache) == 0
+        cache["a"] = _entry(1)
+        cache["b"] = _entry(1)
+        assert cache and len(cache) == 2
+        assert "a" in cache and "c" not in cache
+        assert set(cache) == {"a", "b"}
+        assert set(dict(cache)) == {"a", "b"}
+        assert cache.get("c") is None
+        with pytest.raises(KeyError):
+            cache["c"]
+        cache.pop("a")
+        assert "a" not in cache
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_unbudgeted_never_evicts(self):
+        cache = FactorCache(0)
+        for i in range(64):
+            cache[i] = _entry(64)
+        assert len(cache) == 64
+        assert cache.spill_count == 0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="budget"):
+            FactorCache(-1)
+
+
+class TestBudget:
+    def test_lru_eviction_order(self):
+        cache = FactorCache(3 * 1024)
+        cache["a"] = _entry(1)
+        cache["b"] = _entry(1)
+        cache["c"] = _entry(1)
+        cache.get("a")  # refresh a: b is now least recently used
+        cache["d"] = _entry(1)
+        assert "b" not in cache
+        assert set(cache) == {"a", "c", "d"}
+        assert cache.spill_count == 1
+
+    def test_total_bytes_tracks_contents(self):
+        cache = FactorCache(10 * 1024)
+        cache["a"] = _entry(2)
+        cache["b"] = _entry(3)
+        assert cache.total_bytes == 5 * 1024
+        cache.pop("a")
+        assert cache.total_bytes == 3 * 1024
+        cache.clear()
+        assert cache.total_bytes == 0
+
+    def test_oversized_entry_is_served_then_spilled(self):
+        # Refusal-free: the insert that built the entry keeps working; the
+        # entry just never survives into the cache.
+        cache = FactorCache(1024)
+        big = _entry(8)
+        cache["big"] = big
+        assert "big" not in cache
+        assert cache.total_bytes == 0
+        assert cache.spill_count == 1
+
+    def test_replacing_a_key_reaccounts_size(self):
+        cache = FactorCache(8 * 1024)
+        cache["a"] = _entry(2)
+        cache["a"] = _entry(4)
+        assert cache.total_bytes == 4 * 1024
+
+    def test_clear_is_invalidation_not_spill(self):
+        telemetry = Telemetry()
+        cache = FactorCache(8 * 1024)
+        cache.telemetry = telemetry
+        cache["a"] = _entry(1)
+        cache.clear()
+        assert telemetry.counters.get("factor_cache_spills", 0) == 0
+
+    def test_spill_telemetry(self):
+        telemetry = Telemetry()
+        cache = FactorCache(2 * 1024)
+        cache.telemetry = telemetry
+        cache["a"] = _entry(1)
+        cache["b"] = _entry(1)
+        cache["c"] = _entry(1)  # evicts a
+        assert telemetry.counters["factor_cache_spills"] == 1
+        assert telemetry.gauges["factor_cache_bytes"] == cache.total_bytes
+        assert cache.total_bytes <= 2 * 1024

@@ -1,0 +1,170 @@
+"""The compiled engine tier: providers, kernel equivalence, budget races.
+
+The portable Python kernel (:mod:`repro.engines.compiled.kernels`) is the
+single source of truth; the cffi provider's C translation must reproduce it
+*bit for bit* (same loop nests, ``-ffp-contract=off``), which is asserted
+here on randomised data.  The remaining tests cover the provider selection
+override and the interaction between a factor-cache budget (spills mid-run)
+and ``update_materials`` (invalidation mid-run) -- the two must compose
+without ever reusing a stale factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.config import ProblemSpec
+from repro.core.solver import TransportSolver
+from repro.engines import available_engines, get_engine
+from repro.engines.compiled import providers
+from repro.engines.compiled.kernels import sweep_bucket_kernel
+from repro.materials.library import snap_option1_library
+from repro.solvers.prefactor import batched_gaussian_lu_factor
+from repro.telemetry import Telemetry
+
+pytestmark = pytest.mark.skipif(
+    "compiled" not in available_engines(),
+    reason="no JIT provider (numba/cffi) available",
+)
+
+SMALL = ProblemSpec(nx=3, ny=3, nz=3, angles_per_octant=2, num_groups=2,
+                    num_inners=3, num_outers=2, engine="compiled")
+
+
+def _random_kernel_inputs(rng, num_cells=5, batch=3, groups=2, nodes=4, couplings=4):
+    """Well-conditioned random data exercising both kernel phases."""
+    bucket = np.asarray(rng.choice(num_cells, size=batch, replace=False), dtype=np.int64)
+    mass = rng.standard_normal((batch, nodes, nodes))
+    source = rng.standard_normal((num_cells, groups, nodes))
+    cpl_pos = np.asarray(rng.integers(0, batch, size=couplings), dtype=np.int64)
+    cpl_src = np.asarray(rng.integers(0, num_cells, size=couplings), dtype=np.int64)
+    cpl_mat = rng.standard_normal((couplings, nodes, nodes))
+    systems = rng.standard_normal((batch * groups, nodes, nodes))
+    systems += nodes * np.eye(nodes)  # diagonally dominant: safe pivots
+    lu, piv = batched_gaussian_lu_factor(systems)
+    rhs = np.zeros((batch, groups, nodes))
+    psi = rng.standard_normal((num_cells, groups, nodes))
+    return dict(
+        bucket=bucket,
+        mass=np.ascontiguousarray(mass),
+        source=np.ascontiguousarray(source),
+        cpl_pos=cpl_pos,
+        cpl_src=cpl_src,
+        cpl_mat=np.ascontiguousarray(cpl_mat),
+        lu=np.ascontiguousarray(lu),
+        piv=np.ascontiguousarray(piv),
+        rhs=rhs,
+        psi=np.ascontiguousarray(psi),
+    )
+
+
+class TestProviders:
+    def test_a_provider_is_selected(self):
+        provider = providers.select_provider()
+        assert provider is not None
+        assert provider.name in ("numba", "cffi", "python")
+        assert get_engine("compiled").provider_name == provider.name
+
+    def test_engine_aliases_resolve(self):
+        engine = get_engine("compiled")
+        assert get_engine("jit") is engine
+        assert get_engine("native") is engine
+
+    @pytest.mark.skipif(not providers._cffi_available(), reason="cffi/cc missing")
+    def test_cffi_kernel_matches_python_kernel_bit_for_bit(self):
+        """The C translation is line-for-line: identical IEEE arithmetic."""
+        c_kernel = providers._build_cffi_kernel()
+        rng = np.random.default_rng(42)
+        for assemble in (1, 0):
+            for trial in range(5):
+                data = _random_kernel_inputs(rng)
+                if assemble == 0:
+                    data["rhs"] = rng.standard_normal(data["rhs"].shape)
+                py = {k: np.copy(v) for k, v in data.items()}
+                sweep_bucket_kernel(
+                    py["bucket"], py["mass"], py["source"], py["cpl_pos"],
+                    py["cpl_src"], py["cpl_mat"], py["lu"], py["piv"],
+                    py["rhs"], assemble, py["psi"],
+                )
+                cc = {k: np.copy(v) for k, v in data.items()}
+                c_kernel(
+                    cc["bucket"], cc["mass"], cc["source"], cc["cpl_pos"],
+                    cc["cpl_src"], cc["cpl_mat"], cc["lu"], cc["piv"],
+                    cc["rhs"], assemble, cc["psi"],
+                )
+                np.testing.assert_array_equal(py["psi"], cc["psi"])
+                np.testing.assert_array_equal(py["rhs"], cc["rhs"])
+
+    def test_cffi_module_cache_is_reused(self):
+        if providers.select_provider().name != "cffi":
+            pytest.skip("resolved provider is not cffi")
+        # Loading twice must come from the on-disk cache: same module file.
+        first = providers._compile_cffi_module()
+        second = providers._compile_cffi_module()
+        assert first.__file__ == second.__file__
+
+
+class TestCompiledEngineBehaviour:
+    def test_flux_matches_prefactorized_to_tolerance(self):
+        compiled = repro.run(SMALL).scalar_flux
+        baseline = repro.run(SMALL.with_(engine="prefactorized")).scalar_flux
+        np.testing.assert_allclose(compiled, baseline, rtol=1e-12, atol=0)
+
+    def test_factor_cache_entries_are_engine_namespaced(self):
+        solver = TransportSolver(SMALL)
+        solver.solve()
+        keys = list(solver.executor.factor_cache)
+        assert keys and all(key[0] == "compiled" for key in keys)
+
+    def test_reflective_and_incident_boundaries(self):
+        from repro.config import BoundaryCondition
+
+        for boundary in (
+            BoundaryCondition(kind="reflective"),
+            BoundaryCondition(kind="incident", incident_flux=1.5),
+        ):
+            spec = SMALL.with_(boundary=boundary)
+            compiled = repro.run(spec).scalar_flux
+            baseline = repro.run(spec.with_(engine="prefactorized")).scalar_flux
+            np.testing.assert_allclose(compiled, baseline, rtol=1e-12, atol=0)
+
+
+class TestBudgetSpillVsInvalidation:
+    """Cache spills and mid-run invalidation must compose: an entry evicted
+    by the budget and rebuilt after ``update_materials`` must always factor
+    against the *current* cross sections."""
+
+    @pytest.mark.parametrize("engine", ("prefactorized", "compiled"))
+    def test_no_stale_factors_after_update_under_budget(self, engine):
+        spec = SMALL.with_(engine=engine)
+        telemetry = Telemetry()
+        solver = TransportSolver(spec, telemetry=telemetry)
+        solver.executor.factor_cache.budget_bytes = 60_000
+        solver.solve()
+        assert telemetry.counters.get("factor_cache_spills", 0) > 0
+
+        replacement = snap_option1_library(spec.num_groups, 0.3)
+        solver.update_materials(replacement)
+        assert len(solver.executor.factor_cache) == 0
+        resolved = solver.solve().scalar_flux
+
+        fresh = TransportSolver(spec, materials=replacement).solve().scalar_flux
+        np.testing.assert_array_equal(resolved, fresh)
+
+    @pytest.mark.parametrize("engine", ("prefactorized", "compiled"))
+    def test_update_between_every_sweep_under_budget(self, engine):
+        """Alternate materials every solve with a budget tight enough to
+        spill constantly; each solve must equal its fresh-solver twin."""
+        spec = SMALL.with_(engine=engine)
+        solver = TransportSolver(spec)
+        solver.executor.factor_cache.budget_bytes = 40_000
+        libraries = [
+            snap_option1_library(spec.num_groups, ratio) for ratio in (0.5, 0.2, 0.8)
+        ]
+        for library in libraries:
+            solver.update_materials(library)
+            got = solver.solve().scalar_flux
+            want = TransportSolver(spec, materials=library).solve().scalar_flux
+            np.testing.assert_array_equal(got, want)

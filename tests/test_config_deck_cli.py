@@ -213,3 +213,49 @@ class TestCLI:
         assert main(["balance", "--n", "2", "--groups", "1"]) == 0
         out = capsys.readouterr().out
         assert "Particle balance" in out and "total relative residual" in out
+
+
+class TestFactorCacheBudgetPlumbing:
+    """The factor-cache budget rides spec -> deck -> CLI without disturbing
+    the run_key/golden stability of budget-less configurations."""
+
+    def test_default_is_elided_everywhere(self):
+        spec = ProblemSpec(nx=2, ny=2, nz=2)
+        assert spec.factor_cache_budget_bytes == 0
+        assert "factor_cache_budget_bytes" not in spec.to_dict()
+        assert "cache_budget" not in spec_to_deck(spec)
+
+    def test_dict_round_trip(self):
+        spec = ProblemSpec(nx=2, ny=2, nz=2, factor_cache_budget_bytes=65536)
+        data = spec.to_dict()
+        assert data["factor_cache_budget_bytes"] == 65536
+        assert ProblemSpec.from_dict(data) == spec
+
+    def test_deck_key_and_round_trip(self):
+        spec = loads("nx=2 ny=2 nz=2 cache_budget=65536\n/")
+        assert spec.factor_cache_budget_bytes == 65536
+        assert loads(spec_to_deck(spec)) == spec
+        # The long-form spec field name is accepted too.
+        assert loads("nx=2 ny=2 nz=2 factor_cache_budget_bytes=4096\n/") == (
+            loads("nx=2 ny=2 nz=2 cache_budget=4096\n/")
+        )
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="factor_cache_budget_bytes"):
+            ProblemSpec(nx=2, ny=2, nz=2, factor_cache_budget_bytes=-1)
+
+    def test_cli_flag_runs_budgeted(self, capsys):
+        code = main(["run", "--nx", "2", "--ny", "2", "--nz", "2", "--nang", "1",
+                     "--groups", "1", "--inners", "2", "--engine", "prefactorized",
+                     "--cache-budget", "50000"])
+        assert code == 0
+        assert "mean scalar flux" in capsys.readouterr().out
+
+    def test_cli_flag_overrides_deck(self, tmp_path):
+        deck = tmp_path / "d.deck"
+        deck.write_text("nx=2 ny=2 nz=2 nang=1 ng=1 iitm=1 oitm=1 cache_budget=1024\n/")
+        parser = build_parser()
+        args = parser.parse_args(["run", "--deck", str(deck), "--cache-budget", "2048"])
+        assert args.cache_budget == 2048
+        # And the deck alone carries its value through parsing.
+        assert parse_input_deck(deck).factor_cache_budget_bytes == 1024
