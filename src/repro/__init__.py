@@ -73,6 +73,7 @@ from .runner import RunResult, run
 from .solvers import available_solvers, get_solver, register_solver
 from .telemetry import Telemetry
 from . import bench
+from . import obs
 from . import service
 from . import verify
 
@@ -104,6 +105,7 @@ __all__ = [
     "available_drivers",
     "Telemetry",
     "bench",
+    "obs",
     "service",
     "verify",
     "__version__",

@@ -51,6 +51,7 @@ from .report import (
     machine_fingerprint,
 )
 from .suite import run_benchmarks, run_case
+from .trend import build_trend, format_trend, load_trend_reports
 from .workload import BenchWorkload
 
 __all__ = [
@@ -72,4 +73,7 @@ __all__ = [
     "BenchComparison",
     "compare_reports",
     "machine_fingerprint",
+    "load_trend_reports",
+    "build_trend",
+    "format_trend",
 ]

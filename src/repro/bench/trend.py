@@ -1,0 +1,119 @@
+"""Benchmark trends: per-case best-seconds series over saved reports.
+
+``unsnap bench --trend DIR`` reads every ``unsnap-bench-v1`` report in a
+directory (the natural accumulation of a CI job archiving ``--json``
+output per commit) and lines the per-sample *best* wall clocks up as a
+time series -- the long-horizon complement of the two-report regression
+gate of ``--compare``.  Ordering is ``(mtime, name)``: reports carry no
+timestamp field, so the filesystem's write time is the series axis, with
+the file name as a deterministic tie-break.
+
+Machine identity is handled the same way as in comparisons: each report's
+:func:`~repro.bench.report.machine_fingerprint` is checked against the
+newest report's, and a mismatch is a *purely advisory* flag
+(``machine_match=False``) on the entry -- cross-machine histories are
+legitimate, just noisy, and must never turn into an error.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .report import BenchReport, machine_fingerprint
+
+__all__ = ["TREND_FORMAT", "load_trend_reports", "build_trend", "format_trend"]
+
+#: Format marker of the ``--trend --json`` output document.
+TREND_FORMAT = "unsnap-bench-trend-v1"
+
+
+def load_trend_reports(directory: str | Path) -> list[tuple[Path, BenchReport]]:
+    """Every loadable ``unsnap-bench-v1`` report in ``directory``.
+
+    Returns ``(path, report)`` pairs ordered oldest first by
+    ``(mtime, name)``.  Files that are not bench reports (foreign JSON, a
+    trend document written next to them) are skipped, never fatal -- a
+    results directory legitimately mixes artifacts.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ValueError(f"{directory} is not a directory")
+    candidates = sorted(
+        directory.glob("*.json"), key=lambda p: (p.stat().st_mtime, p.name)
+    )
+    reports = []
+    for path in candidates:
+        try:
+            reports.append((path, BenchReport.load(path)))
+        except (OSError, ValueError):
+            continue
+    return reports
+
+
+def build_trend(reports: list[tuple[Path, BenchReport]]) -> dict:
+    """The trend document: one best-seconds series per ``case/sample``.
+
+    ``entries`` describe the reports in series order (label, machine
+    fingerprint, the advisory ``machine_match`` against the newest
+    report); ``series`` maps ``"case/sample"`` to per-report best seconds
+    with ``None`` where a report did not measure that sample.
+    """
+    latest_fp = machine_fingerprint(reports[-1][1].machine) if reports else ""
+    entries = []
+    for path, report in reports:
+        fingerprint = machine_fingerprint(report.machine)
+        entries.append(
+            {
+                "label": path.stem,
+                "path": str(path),
+                "fingerprint": fingerprint,
+                # Unknown on either side counts as a match: the advisory
+                # must not fire on missing data.
+                "machine_match": (
+                    not fingerprint or not latest_fp or fingerprint == latest_fp
+                ),
+            }
+        )
+    keys = sorted({key for _path, report in reports for key in report.sample_index()})
+    series = {}
+    for case, sample in keys:
+        indexed = []
+        for _path, report in reports:
+            stats = report.sample_index().get((case, sample))
+            indexed.append(None if stats is None else stats.best)
+        series[f"{case}/{sample}"] = indexed
+    return {"format": TREND_FORMAT, "entries": entries, "series": series}
+
+
+def format_trend(trend: dict) -> str:
+    """Aligned text view of a :func:`build_trend` document."""
+    entries = trend.get("entries", [])
+    series = trend.get("series", {})
+    if not entries:
+        return "no unsnap-bench-v1 reports found"
+    headers = ["case/sample", *(entry["label"] for entry in entries)]
+    rows = []
+    for name in sorted(series):
+        cells = [
+            "-" if best is None else f"{best:.4f}" for best in series[name]
+        ]
+        rows.append([name, *cells])
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in rows)) if rows else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = [
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    mismatched = [e["label"] for e in entries if not e["machine_match"]]
+    if mismatched:
+        lines.append("")
+        lines.append(
+            "note: machine fingerprint differs from the newest report for "
+            + ", ".join(mismatched)
+            + " (advisory only; cross-machine trends are noisy)"
+        )
+    return "\n".join(lines)

@@ -41,6 +41,7 @@ import time
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
+from ...obs.trace import current_trace
 from ...runner import RunResult
 from ..backends import register_backend
 from ..workitem import WorkItem, as_work_items, order_by_cost
@@ -77,6 +78,24 @@ def worker_command(
         "--heartbeat",
         str(heartbeat_seconds),
     ]
+
+
+def _quarantine_note(spool: SpoolDir) -> str:
+    """Quarantine count and reason excerpts, for drain-error messages.
+
+    Quarantined payloads are usually *why* a campaign is wedged or slow
+    (each one costs a republish); surfacing them in the error beats
+    leaving them discoverable only by listing ``quarantine/``.
+    """
+    entries = spool.quarantined()
+    if not entries:
+        return ""
+    excerpts = "; ".join(
+        f"{entry['name']}: {entry['reason'][:80] or '(no reason recorded)'}"
+        for entry in entries[:3]
+    )
+    more = f" (+{len(entries) - 3} more)" if len(entries) > 3 else ""
+    return f" [{len(entries)} quarantined job(s): {excerpts}{more}]"
 
 
 def _env_float(name: str, fallback: float) -> float:
@@ -216,9 +235,18 @@ class DistributedBackend:
             if not outstanding:
                 return
 
+            # The ambient trace context (set by a traced daemon job or
+            # `unsnap study --trace`) rides every published payload, so the
+            # executing workers' spans join the caller's trace.  No ambient
+            # context -- the default -- publishes byte-identical payloads.
+            ambient = current_trace()
+            trace = None if ambient is None else ambient.to_dict()
+
             attempts = {index: 1 for index in outstanding}
             for item in order_by_cost(list(outstanding.values())):
-                spool.publish(item, attempts=1, max_attempts=self.max_attempts)
+                spool.publish(
+                    item, attempts=1, max_attempts=self.max_attempts, trace=trace
+                )
                 self._incr("distributed.points_dispatched")
 
             procs, launched = self._supply_workers(
@@ -237,6 +265,7 @@ class DistributedBackend:
                 procs=procs,
                 lease=lease,
                 poll=poll,
+                trace=trace,
             )
         finally:
             if procs or launched or temp_spool:
@@ -307,6 +336,7 @@ class DistributedBackend:
         procs: list[subprocess.Popen],
         lease: float,
         poll: float,
+        trace: dict | None = None,
     ) -> Iterator[tuple[int, RunResult, dict]]:
         """Poll the spool until every outstanding point completes (or fails)."""
         store = spool.store
@@ -324,6 +354,7 @@ class DistributedBackend:
                         f"distributed run {index} failed after "
                         f"{meta.get('attempts', '?')} attempts on worker "
                         f"{meta.get('worker_id', '?')}: {meta['error']}"
+                        f"{_quarantine_note(spool)}"
                     )
                 result = store.get(item)
                 if result is None:
@@ -331,7 +362,7 @@ class DistributedBackend:
                     # first, so this is damage -- retract the marker and
                     # re-execute the point.
                     spool.clear_done(index, item.run_key[:16])
-                    self._republish(spool, item, attempts)
+                    self._republish(spool, item, attempts, trace=trace)
                     continue
                 self._incr("distributed.queue_wait_seconds", meta.get("queue_wait_seconds", 0.0))
                 del outstanding[index]
@@ -345,12 +376,15 @@ class DistributedBackend:
             now = time.time()
             if now - last_recovery >= min(poll * 5, lease / 3):
                 last_recovery = now
-                self._recover(spool, outstanding, attempts, lease=lease, now=now)
+                self._recover(
+                    spool, outstanding, attempts, lease=lease, now=now, trace=trace
+                )
 
             if self.timeout_seconds is not None and now - started > self.timeout_seconds:
                 raise RuntimeError(
                     f"distributed campaign timed out after {self.timeout_seconds}s "
                     f"with {len(outstanding)} points outstanding"
+                    f"{_quarantine_note(spool)}"
                 )
             if (
                 procs
@@ -361,6 +395,7 @@ class DistributedBackend:
                 raise RuntimeError(
                     f"all {len(procs)} spawned spool workers exited "
                     f"(return codes {codes}) with {len(outstanding)} points outstanding"
+                    f"{_quarantine_note(spool)}"
                 )
             time.sleep(poll)
 
@@ -372,6 +407,7 @@ class DistributedBackend:
         *,
         lease: float,
         now: float,
+        trace: dict | None = None,
     ) -> None:
         """Steal stale claims and republish lost jobs (the healing pass)."""
         pending = spool.pending_indexes()
@@ -383,21 +419,31 @@ class DistributedBackend:
             if spool.claim_age(claim, now) > lease:
                 if spool.steal(claim):
                     self._incr("distributed.claims_stolen")
-                    self._republish(spool, outstanding[claim.index], attempts)
+                    self._republish(
+                        spool, outstanding[claim.index], attempts, trace=trace
+                    )
         done = spool.done_markers()
         for index, item in outstanding.items():
             settled = (index, item.run_key[:16]) in done
             if index not in pending and index not in claimed and not settled:
                 # Quarantined, crashed mid-rename, or swept away: requeue.
-                self._republish(spool, item, attempts)
+                self._republish(spool, item, attempts, trace=trace)
 
-    def _republish(self, spool: SpoolDir, item: WorkItem, attempts: dict[int, int]) -> None:
+    def _republish(
+        self,
+        spool: SpoolDir,
+        item: WorkItem,
+        attempts: dict[int, int],
+        *,
+        trace: dict | None = None,
+    ) -> None:
         attempts[item.index] += 1
         self._incr("distributed.points_recovered")
         spool.publish(
             item,
             attempts=min(attempts[item.index], self.max_attempts),
             max_attempts=self.max_attempts,
+            trace=trace,
         )
 
 

@@ -11,6 +11,7 @@ layout *is* the protocol -- there is no server, no socket, no lock file::
       done/         one marker per finished job (execution metadata)
       workers/      one heartbeat file per live worker
       quarantine/   job files whose payload failed to parse
+      trace/        per-participant unsnap-trace-v1 span files (opt-in)
       STOP          cooperative shutdown marker (drains idle workers)
 
 Three filesystem properties carry the whole design:
@@ -118,7 +119,7 @@ class SpoolClaim:
 class SpoolDir:
     """The work-queue directory (see the module docstring for the protocol)."""
 
-    SUBDIRS = ("store", "jobs", "claims", "done", "workers", "quarantine")
+    SUBDIRS = ("store", "jobs", "claims", "done", "workers", "quarantine", "trace")
 
     def __init__(self, root: str | Path):
         self.root = Path(root)
@@ -130,14 +131,35 @@ class SpoolDir:
         """The shared result store every worker writes into."""
         return ResultStore(self.root / "store")
 
+    @property
+    def trace_dir(self) -> Path:
+        """Where traced participants append their span JSONL files."""
+        return self.root / "trace"
+
+    def trace_path(self, name: str) -> Path:
+        """The span file a participant (worker, coordinator) writes."""
+        safe = re.sub(r"[^A-Za-z0-9_.-]+", "-", name)
+        return self.trace_dir / f"{safe}.jsonl"
+
     # ------------------------------------------------------------- publishing
-    def publish(self, item: WorkItem, *, attempts: int = 1, max_attempts: int = 3) -> Path:
+    def publish(
+        self,
+        item: WorkItem,
+        *,
+        attempts: int = 1,
+        max_attempts: int = 3,
+        trace: dict | None = None,
+    ) -> Path:
         """Queue one work item as a claimable job file and return its path.
 
         ``attempts`` is the execution attempt this publication represents
         (1 for fresh work; the coordinator republishes stolen or lost jobs
-        with the counter bumped).  The write is atomic -- temp file then
-        rename -- so a worker never claims a half-written job.
+        with the counter bumped).  ``trace`` optionally carries the
+        publisher's trace context (``{"trace_id": ..., "parent_id": ...}``)
+        for the executing worker to continue; absent by default, so
+        untraced payloads stay byte-identical to pre-tracing ones.  The
+        write is atomic -- temp file then rename -- so a worker never
+        claims a half-written job.
         """
         name = (
             f"{_job_priority(item.cost):016d}-{item.index:06d}"
@@ -151,6 +173,8 @@ class SpoolDir:
             "max_attempts": int(max_attempts),
             "enqueued_at": time.time(),
         }
+        if trace:
+            payload["trace"] = dict(trace)
         path = self.root / "jobs" / name
         tmp = path.with_name(f".{name}.{worker_identity()}.tmp")
         tmp.write_text(json.dumps(payload, sort_keys=True))
@@ -305,6 +329,75 @@ class SpoolDir:
         except OSError:
             pass
         return target
+
+    def quarantined(self) -> list[dict]:
+        """Every quarantined job with its ``.reason`` excerpt.
+
+        Sorted by name; a missing or unreadable reason sidecar reports an
+        empty string (the quarantined file itself is the fact that counts).
+        """
+        out = []
+        for path in sorted((self.root / "quarantine").glob("*.json")):
+            try:
+                reason = path.with_suffix(".reason").read_text().strip()
+            except OSError:
+                reason = ""
+            out.append({"name": path.name, "reason": reason})
+        return out
+
+    # ------------------------------------------------------------- observing
+    def status(self, lease_seconds: float = 15.0, now: float | None = None) -> dict:
+        """One JSON-safe snapshot of the whole spool, straight off the files.
+
+        The payload behind ``unsnap spool status`` and the gateway's spool
+        metrics: pending/claimed/done/error counts, per-claim owner and
+        age, per-worker heartbeat age and liveness (against
+        ``lease_seconds``), the quarantine with reasons, and the STOP flag.
+        Pure observation -- never writes, steals or republishes.
+        """
+        now = time.time() if now is None else now
+        claims = [
+            {
+                "index": claim.index,
+                "attempts": claim.attempts,
+                "worker_id": claim.worker_id,
+                "key16": claim.key16,
+                "age_seconds": self.claim_age(claim, now),
+            }
+            for claim in self.claims()
+        ]
+        done = errors = 0
+        for meta in self.done_markers().values():
+            if meta.get("error"):
+                errors += 1
+            else:
+                done += 1
+        workers = []
+        for path in sorted((self.root / "workers").iterdir()):
+            if path.suffix != ".json" or path.name.startswith("."):
+                continue
+            try:
+                age = max(0.0, now - path.stat().st_mtime)
+            except OSError:
+                continue
+            workers.append(
+                {
+                    "worker_id": path.stem,
+                    "age_seconds": age,
+                    "live": age <= lease_seconds,
+                }
+            )
+        return {
+            "root": str(self.root),
+            "lease_seconds": float(lease_seconds),
+            "pending": len(self.pending()),
+            "claims": claims,
+            "done": done,
+            "errors": errors,
+            "workers": workers,
+            "quarantined": self.quarantined(),
+            "stop_requested": self.stop_requested(),
+        }
 
     # -------------------------------------------------------------- liveness
     def heartbeat(self, worker_id: str, info: dict | None = None) -> Path:

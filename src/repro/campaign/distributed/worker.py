@@ -69,6 +69,12 @@ class SpoolWorker:
         releases the job for another attempt, or -- once ``max_attempts``
         is exhausted -- publishes an *error* done marker that the
         coordinator surfaces to the caller.
+
+        A payload carrying a ``trace`` field continues that trace: the
+        worker appends ``spool.wait`` / ``worker.execute`` /
+        ``worker.store`` spans (plus the solve's telemetry phases) to its
+        own ``trace/{worker_id}.jsonl`` file.  No ``trace`` field -- the
+        default -- keeps the execution on the exact pre-tracing path.
         """
         from ...runner import run
 
@@ -77,6 +83,7 @@ class SpoolWorker:
         except ValueError as exc:
             self.spool.quarantine(claim, str(exc))
             return False
+        exporter = self._trace_exporter(claim, payload)
         started = time.time()
         queue_wait = max(0.0, started - float(payload.get("enqueued_at", started)))
         meta = {
@@ -84,8 +91,23 @@ class SpoolWorker:
             "attempts": claim.attempts,
             "queue_wait_seconds": queue_wait,
         }
+        run_options = dict(item.run_options)
+        if exporter is not None:
+            exporter.emit(
+                "spool.wait", start=started - queue_wait, end=started,
+                attrs={"attempts": claim.attempts},
+            )
+            from ...telemetry import Telemetry
+
+            run_options["telemetry"] = Telemetry().attach_exporter(exporter)
         try:
-            result = run(item.spec, **item.run_options)
+            if exporter is None:
+                result = run(item.spec, **run_options)
+            else:
+                with exporter.span(
+                    "worker.execute", attrs={"attempts": claim.attempts}
+                ):
+                    result = run(item.spec, **run_options)
         except Exception as exc:  # noqa: BLE001 - any run failure is the job's
             self.failed += 1
             if claim.attempts >= int(payload.get("max_attempts", 1)):
@@ -96,17 +118,39 @@ class SpoolWorker:
                     item,
                     attempts=claim.attempts + 1,
                     max_attempts=int(payload.get("max_attempts", 1)),
+                    trace=payload.get("trace"),
                 )
                 self.spool.steal(claim)
+            if exporter is not None:
+                exporter.close()
             return False
         meta["execute_seconds"] = time.time() - started
         # Result first, marker second: a done marker *guarantees* the store
         # record exists.  Re-executions (stolen leases) rewrite identical
         # bytes under the same run_key, so the order is safe to repeat.
-        self.spool.store.put(item, result)
+        if exporter is None:
+            self.spool.store.put(item, result)
+        else:
+            with exporter.span("worker.store"):
+                self.spool.store.put(item, result)
+            exporter.close()
         self.spool.complete(claim, meta)
         self.executed += 1
         return True
+
+    def _trace_exporter(self, claim: SpoolClaim, payload: dict):
+        """A per-claim span exporter continuing the payload's trace, or
+        ``None`` for the untraced (default) path."""
+        from ...obs.trace import SpanExporter, TraceContext
+
+        context = TraceContext.from_dict(payload.get("trace"))
+        if context is None:
+            return None
+        return SpanExporter(
+            self.spool.trace_path(self.worker_id),
+            context=context,
+            attrs={"worker_id": self.worker_id, "index": claim.index},
+        )
 
     # ---------------------------------------------------------- the loop
     def run(self) -> int:

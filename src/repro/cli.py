@@ -67,8 +67,23 @@ Sub-commands
     deduplicating identical work through the attached ``--store`` and
     streaming telemetry progress.  ``--backend`` picks the execution
     backend, ``--jobs`` the worker count; ``--max-queue`` and
-    ``--max-body-bytes`` bound the intake (429 / 413).  Stops cleanly on
-    SIGINT (Ctrl-C).
+    ``--max-body-bytes`` bound the intake (429 / 413); ``--trace PATH``
+    attaches a span exporter so every job's queue wait and execution land
+    in an ``unsnap-trace-v1`` file (and ``GET /metrics`` / ``GET
+    /dashboard`` expose the live counters).  Stops cleanly on SIGINT
+    (Ctrl-C).
+``spool``
+    Spool-directory observability (:mod:`repro.campaign.distributed`):
+    ``spool status DIR`` prints pending/claimed/done counts, per-worker
+    heartbeat liveness and the quarantine with its ``.reason`` excerpts
+    -- ``--json`` for the raw dict, ``--html`` for a static dashboard
+    page.
+``trace``
+    Trace tooling (:mod:`repro.obs`): ``trace summary FILE_OR_DIR...``
+    joins ``unsnap-trace-v1`` span files and prints per-trace makespan,
+    queue-wait attribution, per-phase/per-worker breakdowns and the
+    critical path; ``trace tree`` renders the span forest.  ``--trace-id``
+    selects one trace, ``--json`` emits the machine-readable summaries.
 """
 
 from __future__ import annotations
@@ -145,6 +160,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--lease", type=float, default=None, metavar="SECONDS",
         help="distributed backend only: work-stealing lease -- a claim whose "
         "worker heartbeat stalls this long is re-queued (default 15)",
+    )
+    study_cmd.add_argument(
+        "--trace", type=str, default=None, metavar="PATH",
+        help="write an unsnap-trace-v1 span file: the study becomes one "
+        "trace, and (distributed backend) spool workers append their spans "
+        "to the spool's trace/ directory under the same trace id",
     )
     study_cmd.add_argument(
         "--json", action="store_true",
@@ -238,6 +259,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true",
         help="list the registered benchmark cases (with tags) and exit",
     )
+    bench.add_argument(
+        "--trend", type=str, default=None, metavar="DIR",
+        help="skip measuring: line up the per-case best seconds of every "
+        "unsnap-bench-v1 report in DIR as a time series (ordered by file "
+        "mtime; --json PATH writes the unsnap-bench-trend-v1 document)",
+    )
 
     serve = sub.add_parser(
         "serve", help="run the job-queue daemon + HTTP gateway (repro.service)"
@@ -269,6 +296,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-body-bytes", type=int, default=None, metavar="N",
         help="maximum request body size before submissions get 413 "
         "(default 1 MiB)",
+    )
+    serve.add_argument(
+        "--trace", type=str, default=None, metavar="PATH",
+        help="append unsnap-trace-v1 spans (queue wait, execution, "
+        "in-process telemetry phases) for every job to PATH; submissions "
+        "may join an existing trace via the X-Unsnap-Trace header",
     )
     serve.add_argument(
         "--verbose", action="store_true",
@@ -343,6 +376,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--overwrite", action="store_true",
         help="source records replace existing destination records of the "
         "same run key (default: destination wins, duplicates are skipped)",
+    )
+
+    spool = sub.add_parser("spool", help="spool-directory observability")
+    spool_sub = spool.add_subparsers(dest="spool_command", required=True)
+    spool_status = spool_sub.add_parser(
+        "status",
+        help="pending/claimed/done counts, worker heartbeats, quarantine reasons",
+    )
+    spool_status.add_argument("dir", type=str, help="spool directory")
+    spool_status.add_argument(
+        "--lease", type=float, default=15.0, metavar="SECONDS",
+        help="liveness horizon for worker heartbeats (default 15)",
+    )
+    spool_status.add_argument(
+        "--json", action="store_true", help="print the raw status dict as JSON"
+    )
+    spool_status.add_argument(
+        "--html", action="store_true",
+        help="print a static HTML dashboard page instead of text",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="summarize unsnap-trace-v1 span files (repro.obs)"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_summary = trace_sub.add_parser(
+        "summary",
+        help="per-trace makespan, queue wait, phase/worker breakdown, "
+        "critical path",
+    )
+    trace_tree = trace_sub.add_parser(
+        "tree", help="render the span forest of each trace"
+    )
+    for p in (trace_summary, trace_tree):
+        p.add_argument(
+            "paths", type=str, nargs="+", metavar="FILE_OR_DIR",
+            help="span JSONL files and/or directories of *.jsonl "
+            "(e.g. the spool's trace/ directory)",
+        )
+        p.add_argument(
+            "--trace-id", type=str, default=None, metavar="ID",
+            help="restrict to one trace id (default: every trace found)",
+        )
+    trace_summary.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable summaries instead of text",
     )
     return parser
 
@@ -560,7 +639,20 @@ def _cmd_study(args: argparse.Namespace) -> int:
         if args.spool is not None and not args.store:
             args.store = str(Path(args.spool) / "store")
     store = ResultStore(args.store) if args.store else None
-    result = run_study(study, backend=backend, store=store, jobs=args.jobs)
+    if args.trace:
+        from .obs.trace import SpanExporter, use_trace
+
+        # One study, one trace: a root "study" span in the local file, the
+        # ambient context handed to the backend (the distributed coordinator
+        # stamps it into every spool payload, so worker spans join it).
+        with SpanExporter(args.trace) as exporter:
+            with exporter.span("study", attrs={"study": study.name}) as span:
+                with use_trace(span.context()):
+                    result = run_study(
+                        study, backend=backend, store=store, jobs=args.jobs
+                    )
+    else:
+        result = run_study(study, backend=backend, store=store, jobs=args.jobs)
 
     if args.json:
         print(json.dumps({"study": study.name, "records": result.records()}, indent=2))
@@ -720,6 +812,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(format_table(("case", "tags", "description"), rows,
                            title="Registered benchmark cases"))
         return 0
+    if args.trend is not None:
+        from .bench.trend import build_trend, format_trend, load_trend_reports
+
+        try:
+            trend = build_trend(load_trend_reports(args.trend))
+        except ValueError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        print(format_trend(trend))
+        if args.json:
+            path = Path(args.json)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(trend, indent=2) + "\n")
+            print(f"\nwrote {path}")
+        return 0
     if args.tolerance is not None and args.tolerance <= 0.0:
         print("error: --tolerance must be a positive fraction", file=sys.stderr)
         return 2
@@ -758,12 +865,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import DEFAULT_MAX_BODY_BYTES, ServiceDaemon, make_server
 
+    exporter = None
+    if args.trace:
+        from .obs.trace import SpanExporter
+
+        exporter = SpanExporter(args.trace)
     try:
         daemon = ServiceDaemon(
             store=args.store,
             backend=args.backend,
             workers=args.jobs,
             max_queue_depth=args.max_queue,
+            trace_exporter=exporter,
         )
     except (KeyError, ValueError) as exc:
         print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
@@ -785,11 +898,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
     daemon.start()
     store_note = f", store={args.store}" if args.store else ""
+    trace_note = f", trace={args.trace}" if args.trace else ""
     # The CI smoke job (and any supervisor) waits for this line before
     # submitting; keep it one flushed line with the bound host:port.
     print(
         f"unsnap service listening on http://{args.host}:{server.port} "
-        f"(backend={daemon.backend_name}, workers={daemon.workers}{store_note})",
+        f"(backend={daemon.backend_name}, workers={daemon.workers}"
+        f"{store_note}{trace_note})",
         flush=True,
     )
     try:
@@ -799,6 +914,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.server_close()
         daemon.shutdown()
+        if exporter is not None:
+            exporter.close()
     print("unsnap service shut down cleanly", flush=True)
     return 0
 
@@ -886,6 +1003,56 @@ def _cmd_store(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled store command {args.store_command!r}")  # pragma: no cover
 
 
+def _cmd_spool_status(args: argparse.Namespace) -> int:
+    from .campaign.distributed.spool import SpoolDir
+    from .obs.dashboard import render_spool_status, render_spool_status_html
+
+    root = Path(args.dir)
+    if not root.is_dir():
+        print(f"error: {root} is not a directory", file=sys.stderr)
+        return 2
+    status = SpoolDir(root).status(lease_seconds=args.lease)
+    if args.json:
+        print(json.dumps(status, indent=2))
+    elif args.html:
+        print(render_spool_status_html(status))
+    else:
+        print(render_spool_status(status))
+    return 0
+
+
+def _cmd_spool(args: argparse.Namespace) -> int:
+    if args.spool_command == "status":
+        return _cmd_spool_status(args)
+    raise AssertionError(f"unhandled spool command {args.spool_command!r}")  # pragma: no cover
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs.trace import read_spans
+    from .obs.tracetool import format_summary, format_tree, summarize_all
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"error: no such file or directory: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    spans = read_spans(args.paths)
+    if args.trace_id is not None:
+        spans = [s for s in spans if s.get("trace_id") == args.trace_id]
+    if not spans:
+        selector = f" for trace {args.trace_id}" if args.trace_id else ""
+        print(f"no unsnap-trace-v1 spans found{selector}", file=sys.stderr)
+        return 1
+    if args.trace_command == "tree":
+        print(format_tree(spans))
+        return 0
+    summaries = summarize_all(spans)
+    if getattr(args, "json", False):
+        print(json.dumps({"traces": summaries}, indent=2))
+        return 0
+    print("\n\n".join(format_summary(summary) for summary in summaries))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of the ``unsnap`` console script."""
     args = build_parser().parse_args(argv)
@@ -921,6 +1088,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_worker(args)
     if args.command == "store":
         return _cmd_store(args)
+    if args.command == "spool":
+        return _cmd_spool(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

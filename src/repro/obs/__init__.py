@@ -1,0 +1,50 @@
+"""Observability: cross-process tracing, metrics export and dashboards.
+
+The seventh registry-adjacent subsystem.  Three layers, all opt-in and all
+dependency-free:
+
+* :mod:`repro.obs.trace` -- run-scoped ``trace_id``/``span_id`` context
+  riding the :class:`~repro.telemetry.Telemetry` phase hooks, written as
+  append-only ``unsnap-trace-v1`` JSONL span events and propagated across
+  the HTTP gateway (``X-Unsnap-Trace`` header) and the distributed spool
+  (``trace`` field of the ``unsnap-spool-job-v1`` payload), so one campaign
+  is one trace from :class:`~repro.service.client.ServiceClient` through
+  daemon queue wait, spool claim and per-worker sweep phases;
+* :mod:`repro.obs.metrics` -- a :class:`MetricsRegistry` snapshotting
+  daemon/spool/telemetry counters into Prometheus text exposition format
+  (the gateway's ``GET /metrics``);
+* :mod:`repro.obs.dashboard` / :mod:`repro.obs.tracetool` -- the
+  dependency-free HTML page behind ``GET /dashboard``, the ``unsnap spool
+  status`` renderers, and the ``unsnap trace summary|tree`` aggregation.
+
+The PR-5 telemetry contract extends unchanged to the exporter: every hook
+is ``is None``-guarded, an unattached run executes the exact
+pre-instrumentation path, and an attached exporter never changes a bit of
+the numerics (asserted by the engine contract's telemetry clause).
+"""
+
+from .metrics import Metric, MetricsRegistry, render_metrics
+from .trace import (
+    TRACE_FORMAT,
+    SpanExporter,
+    TraceContext,
+    current_trace,
+    new_span_id,
+    new_trace_id,
+    read_spans,
+    use_trace,
+)
+
+__all__ = [
+    "TRACE_FORMAT",
+    "TraceContext",
+    "SpanExporter",
+    "current_trace",
+    "use_trace",
+    "new_trace_id",
+    "new_span_id",
+    "read_spans",
+    "Metric",
+    "MetricsRegistry",
+    "render_metrics",
+]

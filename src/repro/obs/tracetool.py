@@ -1,0 +1,218 @@
+"""Trace aggregation: the engine behind ``unsnap trace summary|tree``.
+
+Joins the per-process ``unsnap-trace-v1`` JSONL files (the daemon's
+``--trace`` file plus every spool worker's ``trace/{worker_id}.jsonl``)
+into per-trace reports:
+
+* :func:`summarize` -- per-phase wall-clock totals, per-worker busy time,
+  queue-wait attribution (``service.queue`` + ``spool.wait`` spans) and
+  the critical path (the root-to-leaf chain that finished last);
+* :func:`format_tree` -- the span forest, indented by parentage, in start
+  order.
+
+Both tolerate the realities of multi-process capture: spans from files
+that were never flushed are simply absent, and a span whose parent is
+missing is reported as an *orphan* (the contiguity check the CI obs-smoke
+job asserts to be zero) while still appearing in the output as a root.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = [
+    "group_traces",
+    "summarize",
+    "summarize_all",
+    "format_summary",
+    "format_tree",
+]
+
+#: Span names that represent waiting for capacity rather than working.
+QUEUE_SPANS = frozenset({"service.queue", "spool.wait"})
+
+
+def group_traces(spans: Iterable[dict]) -> dict[str, list[dict]]:
+    """Bucket span events by ``trace_id`` (insertion-ordered)."""
+    traces: dict[str, list[dict]] = {}
+    for span in spans:
+        trace_id = str(span.get("trace_id", ""))
+        if trace_id:
+            traces.setdefault(trace_id, []).append(span)
+    return traces
+
+
+def _forest(spans: Sequence[dict]) -> tuple[list[dict], dict[str, list[dict]], int]:
+    """``(roots, children-by-span-id, orphan count)`` of one trace.
+
+    A span with ``parent_id=None`` is a root; a span whose parent id is
+    not among the spans is an *orphan* -- rendered as a root so it is
+    never silently dropped, but counted separately (a contiguous trace
+    has zero orphans).
+    """
+    by_id = {str(s.get("span_id")): s for s in spans}
+    roots: list[dict] = []
+    children: dict[str, list[dict]] = {}
+    orphans = 0
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent and str(parent) in by_id:
+            children.setdefault(str(parent), []).append(span)
+        else:
+            if parent:
+                orphans += 1
+            roots.append(span)
+    key = lambda s: (s.get("start", 0.0), s.get("span_id", ""))  # noqa: E731
+    roots.sort(key=key)
+    for siblings in children.values():
+        siblings.sort(key=key)
+    return roots, children, orphans
+
+
+def _critical_path(
+    roots: Sequence[dict], children: dict[str, list[dict]]
+) -> list[dict]:
+    """The chain of spans ending latest: from the last-finishing root,
+    repeatedly descend into the last-finishing child.  This is the path a
+    latency investigation walks first -- everything else overlapped it."""
+    if not roots:
+        return []
+    path = []
+    node = max(roots, key=lambda s: s.get("end", 0.0))
+    while node is not None:
+        path.append(node)
+        below = children.get(str(node.get("span_id")), [])
+        node = max(below, key=lambda s: s.get("end", 0.0)) if below else None
+    return path
+
+
+def summarize(trace_id: str, spans: Sequence[dict]) -> dict:
+    """Aggregate one trace's spans into the summary dict.
+
+    Keys: ``trace_id``, ``spans``, ``orphans``, ``makespan_seconds``
+    (first start to last end), ``queue_wait_seconds`` (sum over
+    ``service.queue``/``spool.wait`` spans), ``phases`` (name ->
+    seconds/calls), ``workers`` (worker_id -> execute spans/busy seconds)
+    and ``critical_path`` (name/seconds chain).
+    """
+    roots, children, orphans = _forest(spans)
+    phases: dict[str, dict] = {}
+    workers: dict[str, dict] = {}
+    queue_wait = 0.0
+    for span in spans:
+        name = str(span.get("name", "?"))
+        seconds = float(span.get("seconds", 0.0))
+        entry = phases.setdefault(name, {"seconds": 0.0, "calls": 0})
+        entry["seconds"] += seconds
+        entry["calls"] += 1
+        if name in QUEUE_SPANS:
+            queue_wait += seconds
+        attrs = span.get("attrs") or {}
+        worker = attrs.get("worker_id")
+        if worker is not None:
+            stat = workers.setdefault(
+                str(worker), {"spans": 0, "busy_seconds": 0.0}
+            )
+            stat["spans"] += 1
+            if name == "worker.execute":
+                stat["busy_seconds"] += seconds
+    starts = [float(s.get("start", 0.0)) for s in spans]
+    ends = [float(s.get("end", 0.0)) for s in spans]
+    return {
+        "trace_id": trace_id,
+        "spans": len(spans),
+        "orphans": orphans,
+        "makespan_seconds": (max(ends) - min(starts)) if spans else 0.0,
+        "queue_wait_seconds": queue_wait,
+        "phases": {name: phases[name] for name in sorted(phases)},
+        "workers": {wid: workers[wid] for wid in sorted(workers)},
+        "critical_path": [
+            {"name": str(s.get("name", "?")), "seconds": float(s.get("seconds", 0.0))}
+            for s in _critical_path(roots, children)
+        ],
+    }
+
+
+def summarize_all(spans: Iterable[dict]) -> list[dict]:
+    """One summary per trace, longest makespan first."""
+    summaries = [
+        summarize(trace_id, trace_spans)
+        for trace_id, trace_spans in group_traces(spans).items()
+    ]
+    summaries.sort(key=lambda s: -s["makespan_seconds"])
+    return summaries
+
+
+# ------------------------------------------------------------- rendering
+def _rows(pairs: Sequence[tuple[str, str]], indent: str = "  ") -> list[str]:
+    width = max((len(label) for label, _ in pairs), default=0)
+    return [f"{indent}{label.ljust(width)}  {value}" for label, value in pairs]
+
+
+def format_summary(summary: dict) -> str:
+    """Aligned-column text for one :func:`summarize` result."""
+    lines = [
+        f"trace {summary['trace_id']}: {summary['spans']} spans, "
+        f"{summary['orphans']} orphan(s), "
+        f"makespan {summary['makespan_seconds']:.3f}s, "
+        f"queue wait {summary['queue_wait_seconds']:.3f}s"
+    ]
+    if summary["phases"]:
+        lines.append("phases:")
+        lines.extend(
+            _rows(
+                [
+                    (name, f"{entry['seconds']:.4f}s x{entry['calls']}")
+                    for name, entry in summary["phases"].items()
+                ]
+            )
+        )
+    if summary["workers"]:
+        lines.append("workers:")
+        lines.extend(
+            _rows(
+                [
+                    (wid, f"busy {stat['busy_seconds']:.4f}s ({stat['spans']} spans)")
+                    for wid, stat in summary["workers"].items()
+                ]
+            )
+        )
+    if summary["critical_path"]:
+        lines.append("critical path:")
+        lines.extend(
+            _rows(
+                [
+                    (step["name"], f"{step['seconds']:.4f}s")
+                    for step in summary["critical_path"]
+                ]
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_tree(spans: Sequence[dict]) -> str:
+    """The span forest of every trace, indented by parentage."""
+    lines = []
+    for trace_id, trace_spans in group_traces(spans).items():
+        roots, children, orphans = _forest(trace_spans)
+        origin = min(
+            (float(s.get("start", 0.0)) for s in trace_spans), default=0.0
+        )
+        suffix = f", {orphans} orphan(s)" if orphans else ""
+        lines.append(f"trace {trace_id} ({len(trace_spans)} spans{suffix})")
+
+        def _render(span: dict, depth: int) -> None:
+            attrs = span.get("attrs") or {}
+            worker = attrs.get("worker_id")
+            note = f" [{worker}]" if worker is not None else ""
+            offset = float(span.get("start", 0.0)) - origin
+            lines.append(
+                f"{'  ' * depth}+{offset:.3f}s {span.get('name', '?')} "
+                f"{float(span.get('seconds', 0.0)):.4f}s{note}"
+            )
+            for child in children.get(str(span.get("span_id")), []):
+                _render(child, depth + 1)
+
+        for root in roots:
+            _render(root, 1)
+    return "\n".join(lines)

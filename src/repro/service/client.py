@@ -15,6 +15,8 @@ import json
 from http.client import HTTPConnection
 from typing import Iterator
 
+from ..obs.trace import TRACE_HEADER, TraceContext
+
 __all__ = ["ServiceClient", "ServiceError"]
 
 
@@ -40,11 +42,19 @@ class ServiceClient:
         self.timeout = timeout
 
     # ------------------------------------------------------------ plumbing
-    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        headers: dict | None = None,
+    ) -> dict:
         conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             body = None if payload is None else json.dumps(payload)
-            headers = {"Content-Type": "application/json"} if body is not None else {}
+            headers = dict(headers or {})
+            if body is not None:
+                headers["Content-Type"] = "application/json"
             conn.request(method, path, body=body, headers=headers)
             response = conn.getresponse()
             data = json.loads(response.read() or b"{}")
@@ -71,8 +81,15 @@ class ServiceClient:
         spec: dict | None = None,
         run_options: dict | None = None,
         keep_flux: bool = True,
+        trace: TraceContext | str | bool | None = None,
     ) -> dict:
-        """``POST /jobs``: submit a deck string or a ``ProblemSpec`` dict."""
+        """``POST /jobs``: submit a deck string or a ``ProblemSpec`` dict.
+
+        ``trace`` joins the submission to a trace via the
+        ``X-Unsnap-Trace`` header: pass a :class:`TraceContext`, a
+        ready-made header string, or ``True`` to start a fresh trace (the
+        generated context comes back in the job body's ``trace`` field).
+        """
         payload: dict = {"keep_flux": keep_flux}
         if deck is not None:
             payload["deck"] = deck
@@ -80,7 +97,14 @@ class ServiceClient:
             payload["spec"] = spec
         if run_options:
             payload["run_options"] = run_options
-        return self._request("POST", "/jobs", payload)
+        headers = {}
+        if trace is True:
+            trace = TraceContext.new()
+        if isinstance(trace, TraceContext):
+            headers[TRACE_HEADER] = trace.to_header()
+        elif isinstance(trace, str):
+            headers[TRACE_HEADER] = trace
+        return self._request("POST", "/jobs", payload, headers=headers)
 
     def job(self, job_id: int) -> dict:
         return self._request("GET", f"/jobs/{job_id}")

@@ -33,6 +33,7 @@
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import deque
@@ -43,6 +44,7 @@ from ..campaign.store import ResultStore
 from ..campaign.study import RUN_OPTION_KEYS
 from ..campaign.workitem import WorkItem, run_key
 from ..engines import get_engine
+from ..obs.trace import SpanExporter, TraceContext, use_trace
 from ..runner import RunResult
 from ..solvers import get_solver
 from ..telemetry import Telemetry
@@ -95,6 +97,12 @@ class ServiceDaemon:
         Override of the per-job execution callable ``f(job) -> RunResult``
         (tests use this to fake slow or cancellable runs); default executes
         through ``backend``.
+    trace_exporter:
+        Optional :class:`~repro.obs.trace.SpanExporter`: when attached
+        (``unsnap serve --trace PATH``), every job's queue wait and
+        execution become spans of its trace, and in-process telemetry
+        phases ride along as child spans.  ``None`` -- the default --
+        keeps every execution on the exact pre-tracing path.
     """
 
     def __init__(
@@ -106,6 +114,7 @@ class ServiceDaemon:
         max_queue_depth: int = 64,
         max_retained: int | None = None,
         executor: Callable[[Job], RunResult] | None = None,
+        trace_exporter: SpanExporter | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -122,6 +131,10 @@ class ServiceDaemon:
         self.max_queue_depth = max_queue_depth
         self.max_retained = max_retained
         self._execute = executor if executor is not None else self._execute_via_backend
+        self.trace_exporter = trace_exporter
+        #: Aggregate of every executed job's instrument (the ``/metrics``
+        #: ``unsnap_run_*`` series); merged under the daemon lock.
+        self.telemetry = Telemetry()
 
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
@@ -190,8 +203,15 @@ class ServiceDaemon:
         run_options: dict | None = None,
         *,
         keep_flux: bool = True,
+        trace: TraceContext | dict | None = None,
     ) -> Job:
         """Queue one run and return its :class:`Job` (state ``queued``).
+
+        ``trace`` carries the submitter's trace identity (the parsed
+        ``X-Unsnap-Trace`` header); when the daemon has a trace exporter
+        and none is given, the job starts a fresh trace of its own.  The
+        trace never enters ``run_options`` -- the content key of a traced
+        and an untraced submission is identical by construction.
 
         Raises
         ------
@@ -218,6 +238,12 @@ class ServiceDaemon:
         # The canonical WorkItem content key: the same key the result store
         # files under and the distributed spool names job files with.
         key = run_key(spec, run_options)
+        if trace is None and self.trace_exporter is not None:
+            trace = TraceContext.new()
+        if isinstance(trace, TraceContext):
+            trace = trace.to_dict()
+        elif trace is not None:
+            trace = dict(trace)
         with self._cond:
             if self._stop:
                 raise RuntimeError("service daemon is shut down")
@@ -229,6 +255,7 @@ class ServiceDaemon:
                 spec=spec,
                 run_options=run_options,
                 keep_flux=keep_flux,
+                trace=trace,
                 telemetry=Telemetry(),
             )
             self._next_id += 1
@@ -334,6 +361,40 @@ class ServiceDaemon:
                 }
             return stats
 
+    def metrics(self) -> str:
+        """The ``GET /metrics`` body: a Prometheus text-format snapshot.
+
+        Sources: the :meth:`stats` payload, the aggregate run telemetry of
+        executed jobs, and -- when the backend is spool-backed (or
+        ``UNSNAP_SPOOL_DIR`` is set) -- the live spool status.  A failing
+        source degrades to ``unsnap_metrics_source_errors_total`` instead
+        of failing the scrape.
+        """
+        from ..obs.metrics import (
+            MetricsRegistry,
+            service_metrics,
+            spool_metrics,
+            telemetry_metrics,
+        )
+
+        registry = MetricsRegistry()
+        registry.add_source(lambda: service_metrics(self.stats()))
+        registry.add_source(lambda: telemetry_metrics(self.telemetry))
+        spool_root = (
+            getattr(self.backend, "spool_dir", None)
+            or os.environ.get("UNSNAP_SPOOL_DIR", "").strip()
+            or None
+        )
+        if spool_root:
+
+            def spool_source():
+                from ..campaign.distributed.spool import SpoolDir
+
+                return spool_metrics(SpoolDir(spool_root).status())
+
+            registry.add_source(spool_source)
+        return registry.render()
+
     # ---------------------------------------------------------- execution
     def _execute_via_backend(self, job: Job) -> RunResult:
         """Default execution: one :class:`WorkItem` through the backend registry."""
@@ -355,6 +416,33 @@ class ServiceDaemon:
                 f"for 1 job"
             )
         return results[0]
+
+    def _traced_execute(self, job: Job) -> RunResult:
+        """Run the job, wrapped in its trace when it carries one.
+
+        The ambient trace context is set for the duration so backends the
+        execution contract cannot pass arguments through (the distributed
+        coordinator) can stamp their spool payloads; with an exporter
+        attached the execution itself becomes a ``service.execute`` span
+        and the job's live telemetry phases become its children.
+        """
+        context = TraceContext.from_dict(job.trace) if job.trace else None
+        if context is None:
+            return self._execute(job)
+        if self.trace_exporter is None:
+            # No local span file, but the identity still propagates: spool
+            # workers downstream trace into the spool's trace/ directory.
+            with use_trace(context):
+                return self._execute(job)
+        with self.trace_exporter.span(
+            "service.execute",
+            context=context,
+            attrs={"job_id": job.id, "backend": self.backend_name},
+        ) as span:
+            if job.telemetry is not None:
+                job.telemetry.attach_exporter(self.trace_exporter, span.context())
+            with use_trace(span.context()):
+                return self._execute(job)
 
     def _worker(self) -> None:
         while True:
@@ -380,6 +468,14 @@ class ServiceDaemon:
                 job.started_at = time.time()
 
             # Out of the lock: the dedup probe and the solve itself.
+            if job.trace and self.trace_exporter is not None:
+                self.trace_exporter.emit(
+                    "service.queue",
+                    start=job.submitted_at,
+                    end=time.time(),
+                    context=TraceContext.from_dict(job.trace),
+                    attrs={"job_id": job.id},
+                )
             cached = None
             if self.store is not None:
                 cached = self.store.get(job.spec, job.run_options)
@@ -392,7 +488,7 @@ class ServiceDaemon:
                 self._complete(job, CANCELLED)
                 continue
             try:
-                result = self._execute(job)
+                result = self._traced_execute(job)
             except JobCancelled:
                 self._complete(job, CANCELLED)
             except Exception as exc:  # job isolation boundary: a failed run
@@ -431,6 +527,10 @@ class ServiceDaemon:
                     self.store_hits += 1
                 if executed:
                     self.executed += 1
+                    if job.telemetry is not None:
+                        # Fold the finished run's instrument into the
+                        # daemon-lifetime aggregate behind /metrics.
+                        self.telemetry.merge(job.telemetry)
             self._finish_locked(job, state, error=error)
             self._inflight.pop(job.key, None)
             followers = self._followers.pop(job.key, [])

@@ -23,7 +23,17 @@ DELETE ``/jobs/{id}``               Cancel (queued: always; running: best
 GET    ``/healthz``                 Liveness probe.
 GET    ``/stats``                   Queue depth, worker count, per-state job
                                     counts, cache-hit ratio, store statistics.
+GET    ``/metrics``                 Prometheus text-format snapshot of the
+                                    daemon/telemetry/spool counters.
+GET    ``/dashboard``               Self-contained live HTML dashboard
+                                    (polls ``/stats``, streams progress).
 ====== ============================ ===========================================
+
+Submissions may carry an ``X-Unsnap-Trace: {trace_id}[-{span_id}]``
+header; the gateway parses it (400 on malformed values), records a
+``gateway.submit`` span when the daemon has a trace exporter, and hands
+the context to :meth:`~repro.service.daemon.ServiceDaemon.submit` so the
+whole execution joins the caller's trace.
 
 Deck validation failures reuse the named-key machinery of
 :mod:`repro.input_deck`: an :class:`~repro.input_deck.UnknownDeckKeyError`
@@ -40,6 +50,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..config import ProblemSpec
 from ..input_deck import UnknownDeckKeyError, loads as load_deck
+from ..obs.dashboard import DASHBOARD_HTML
+from ..obs.trace import TRACE_HEADER, TraceContext
 from .daemon import QueueFullError, ServiceDaemon
 from .job import Job
 
@@ -132,6 +144,22 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 self._send_json(200, {"status": "ok"})
             elif path == "/stats":
                 self._send_json(200, self.server.service.stats())
+            elif path == "/metrics":
+                body = self.server.service.metrics().encode()
+                self.send_response(200)
+                self.send_header(
+                    "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+                )
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+            elif path == "/dashboard":
+                body = DASHBOARD_HTML.encode()
+                self.send_response(200)
+                self.send_header("Content-Type", "text/html; charset=utf-8")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
             elif path == "/jobs":
                 jobs = self.server.service.jobs()
                 self._send_json(
@@ -148,8 +176,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 self._with_job(int(match.group(1)), lambda job: job.to_dict())
             else:
                 self._error(404, f"no such resource {path!r}")
-        except BrokenPipeError:
-            pass  # client went away mid-response; nothing to clean up
+        except ConnectionError:
+            pass  # client went away mid-response (reset or broken pipe)
         except Exception as exc:
             self._error(500, f"{type(exc).__name__}: {exc}")
 
@@ -167,13 +195,15 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         if self.path.split("?", 1)[0] != "/jobs":
             self._error(404, f"no such resource {self.path!r}")
             return
+        started = time.time()
         try:
+            trace = self._trace_context()
             payload = self._read_json_body()
         except _RequestError as exc:
             self._error(exc.status, exc.message, **exc.fields)
             return
         try:
-            job = self._submit(payload)
+            job = self._submit(payload, trace)
         except _RequestError as exc:
             self._error(exc.status, exc.message, **exc.fields)
             return
@@ -185,9 +215,28 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 limit=exc.limit,
             )
             return
+        exporter = self.server.service.trace_exporter
+        if exporter is not None and job.trace is not None:
+            exporter.emit(
+                "gateway.submit",
+                start=started,
+                end=time.time(),
+                context=TraceContext.from_dict(job.trace),
+                attrs={"job_id": job.id},
+            )
         self._send_json(201, job.to_dict(), headers={"Location": f"/jobs/{job.id}"})
 
     # ------------------------------------------------------------- helpers
+    def _trace_context(self) -> TraceContext | None:
+        """The parsed ``X-Unsnap-Trace`` header, if the request carries one."""
+        header = self.headers.get(TRACE_HEADER)
+        if header is None:
+            return None
+        try:
+            return TraceContext.parse(header)
+        except ValueError as exc:
+            raise _RequestError(400, str(exc)) from None
+
     def _with_job(self, job_id: int, view) -> None:
         try:
             job = self.server.service.get(job_id)
@@ -219,7 +268,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             raise _RequestError(400, "request body must be a JSON object")
         return payload
 
-    def _submit(self, payload: dict) -> Job:
+    def _submit(self, payload: dict, trace: TraceContext | None = None) -> Job:
         """Turn a ``POST /jobs`` payload into a queued job."""
         deck = payload.get("deck")
         spec_dict = payload.get("spec")
@@ -254,7 +303,10 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             raise _RequestError(400, "'run_options' must be a JSON object")
         try:
             return self.server.service.submit(
-                spec, run_options, keep_flux=bool(payload.get("keep_flux", True))
+                spec,
+                run_options,
+                keep_flux=bool(payload.get("keep_flux", True)),
+                trace=trace,
             )
         except (KeyError, ValueError) as exc:
             raise _RequestError(400, str(exc.args[0] if exc.args else exc)) from None

@@ -95,6 +95,11 @@ class Job:
     cache_hit: bool = False
     #: ``RunResult.summary()`` of the finished run (terminal ``done`` only).
     result_summary: dict | None = None
+    #: ``{"trace_id": ..., "parent_id": ...}`` when the submission carried a
+    #: trace context (``X-Unsnap-Trace``); rides the wire so clients can
+    #: correlate job ids with trace files.  ``None`` -- the default -- keeps
+    #: the payload byte-identical to the untraced format.
+    trace: dict | None = None
     #: Live instrument of the executing run (in-process backends only).
     telemetry: Telemetry | None = field(default=None, repr=False, compare=False)
 
@@ -129,7 +134,7 @@ class Job:
     # ------------------------------------------------------------- export
     def to_dict(self) -> dict:
         """JSON-safe view of the job (the ``GET /jobs/{id}`` body)."""
-        return {
+        data = {
             "id": self.id,
             "key": self.key,
             "state": self.state,
@@ -146,6 +151,11 @@ class Job:
                 dict(self.result_summary) if self.result_summary is not None else None
             ),
         }
+        # Only traced jobs carry the key at all: the untraced wire payload
+        # stays byte-identical to the pre-tracing format.
+        if self.trace is not None:
+            data["trace"] = dict(self.trace)
+        return data
 
     def to_json(self, indent: int | None = None) -> str:
         return json.dumps(self.to_dict(), indent=indent)
@@ -170,6 +180,7 @@ class Job:
             cancel_requested=bool(data.get("cancel_requested", False)),
             cache_hit=bool(data.get("cache_hit", False)),
             result_summary=data.get("result_summary"),
+            trace=data.get("trace"),
         )
 
     @classmethod

@@ -169,6 +169,29 @@ class Telemetry:
         self.gauges: dict[str, float] = {}
         self._lock = threading.Lock()
         self._local = threading.local()
+        #: Optional span exporter (see :class:`repro.obs.trace.SpanExporter`):
+        #: when attached, every phase enter/exit additionally emits one
+        #: ``unsnap-trace-v1`` span event.  ``None`` (the default) keeps the
+        #: hooks on the exact pre-tracing path -- one ``is None`` test, no
+        #: timer calls, no allocations -- mirroring the telemetry contract
+        #: one level up.
+        self.exporter = None
+        self.exporter_context = None
+
+    # -------------------------------------------------------------- tracing
+    def attach_exporter(self, exporter, context=None) -> "Telemetry":
+        """Attach a span exporter so phases export as trace spans.
+
+        ``context`` optionally pins the trace/parent identity the phase
+        spans belong to (e.g. the job's ``service.execute`` span); without
+        it the exporter's own default context applies.  Returns ``self``
+        for chaining.  Strictly additive: numerics are bit-identical with
+        or without an exporter (asserted by the engine contract's
+        telemetry clause).
+        """
+        self.exporter = exporter
+        self.exporter_context = context
+        return self
 
     # -------------------------------------------------------------- phases
     def _stack(self) -> list[str]:
@@ -191,12 +214,16 @@ class Telemetry:
     def _push(self, name: str) -> None:
         stack = self._stack()
         stack.append(f"{stack[-1]}.{name}" if stack else name)
+        if self.exporter is not None:
+            self.exporter.phase_started(stack[-1], self.exporter_context)
 
     def _pop(self, seconds: float) -> None:
         path = self._stack().pop()
         with self._lock:
             self.phase_seconds[path] = self.phase_seconds.get(path, 0.0) + seconds
             self.phase_calls[path] = self.phase_calls.get(path, 0) + 1
+        if self.exporter is not None:
+            self.exporter.phase_finished(path, seconds, self.exporter_context)
 
     # ------------------------------------------------------ bucket sampling
     def bucket_sampler(self) -> "BucketSampler | None":

@@ -1,0 +1,129 @@
+"""Bench trend series: loading, building and formatting (`--trend DIR`)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.bench.report import BenchReport, CaseReport, SampleStats
+from repro.bench.trend import (
+    TREND_FORMAT,
+    build_trend,
+    format_trend,
+    load_trend_reports,
+)
+
+MACHINE_A = {"platform": "linux", "machine": "x86_64", "cpus": 8,
+             "implementation": "cpython", "python": "3.11.0"}
+MACHINE_B = dict(MACHINE_A, machine="aarch64")
+
+
+def make_report(samples: dict[str, float], machine: dict | None = None) -> BenchReport:
+    """A one-case report with one single-measurement sample per name."""
+    case = CaseReport(
+        name="sweep",
+        tags=(),
+        samples=tuple(
+            SampleStats(name=name, seconds=(best,)) for name, best in samples.items()
+        ),
+    )
+    return BenchReport(cases=(case,), machine=dict(machine or MACHINE_A))
+
+
+def save(report: BenchReport, path, mtime: float) -> None:
+    report.save(path)
+    os.utime(path, (mtime, mtime))
+
+
+class TestLoading:
+    def test_ordered_by_mtime_then_name(self, tmp_path):
+        save(make_report({"solve": 3.0}), tmp_path / "zz.json", mtime=100.0)
+        save(make_report({"solve": 2.0}), tmp_path / "later.json", mtime=200.0)
+        # Same mtime as zz.json: the name breaks the tie deterministically.
+        save(make_report({"solve": 1.0}), tmp_path / "aa.json", mtime=100.0)
+        labels = [path.stem for path, _report in load_trend_reports(tmp_path)]
+        assert labels == ["aa", "zz", "later"]
+
+    def test_foreign_and_corrupt_json_skipped(self, tmp_path):
+        save(make_report({"solve": 1.0}), tmp_path / "real.json", mtime=100.0)
+        (tmp_path / "foreign.json").write_text('{"format": "something-else"}')
+        (tmp_path / "corrupt.json").write_text("{half a docu")
+        (tmp_path / "trend.json").write_text(json.dumps({"format": TREND_FORMAT}))
+        reports = load_trend_reports(tmp_path)
+        assert [path.name for path, _report in reports] == ["real.json"]
+
+    def test_non_directory_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="not a directory"):
+            load_trend_reports(tmp_path / "absent")
+
+
+class TestBuildTrend:
+    def test_series_align_with_none_gaps(self, tmp_path):
+        save(make_report({"solve": 3.0, "setup": 0.5}), tmp_path / "a.json", 100.0)
+        save(make_report({"solve": 2.5}), tmp_path / "b.json", 200.0)
+        trend = build_trend(load_trend_reports(tmp_path))
+        assert trend["format"] == TREND_FORMAT
+        assert [entry["label"] for entry in trend["entries"]] == ["a", "b"]
+        assert trend["series"]["sweep/solve"] == [3.0, 2.5]
+        # "setup" was only measured in the first report: None marks the gap.
+        assert trend["series"]["sweep/setup"] == [0.5, None]
+
+    def test_machine_match_advisory_against_newest(self, tmp_path):
+        save(make_report({"s": 1.0}, MACHINE_B), tmp_path / "old.json", 100.0)
+        save(make_report({"s": 1.0}, MACHINE_A), tmp_path / "new.json", 200.0)
+        entries = build_trend(load_trend_reports(tmp_path))["entries"]
+        assert [entry["machine_match"] for entry in entries] == [False, True]
+
+    def test_unknown_fingerprint_counts_as_match(self, tmp_path):
+        save(make_report({"s": 1.0}, machine={}), tmp_path / "old.json", 100.0)
+        save(make_report({"s": 1.0}, MACHINE_A), tmp_path / "new.json", 200.0)
+        entries = build_trend(load_trend_reports(tmp_path))["entries"]
+        assert all(entry["machine_match"] for entry in entries)
+
+    def test_empty(self):
+        trend = build_trend([])
+        assert trend == {"format": TREND_FORMAT, "entries": [], "series": {}}
+
+
+class TestFormatTrend:
+    def test_table_alignment_and_gaps(self, tmp_path):
+        save(make_report({"solve": 3.0, "setup": 0.5}), tmp_path / "a.json", 100.0)
+        save(make_report({"solve": 2.5}), tmp_path / "b.json", 200.0)
+        lines = format_trend(build_trend(load_trend_reports(tmp_path))).splitlines()
+        assert lines[0].split() == ["case/sample", "a", "b"]
+        assert set(lines[1]) <= {"-", " "}
+        assert lines[2].split() == ["sweep/setup", "0.5000", "-"]
+        assert lines[3].split() == ["sweep/solve", "3.0000", "2.5000"]
+
+    def test_mismatch_note_is_advisory(self, tmp_path):
+        save(make_report({"s": 1.0}, MACHINE_B), tmp_path / "old.json", 100.0)
+        save(make_report({"s": 1.0}, MACHINE_A), tmp_path / "new.json", 200.0)
+        text = format_trend(build_trend(load_trend_reports(tmp_path)))
+        assert "machine fingerprint differs" in text
+        assert "old" in text.splitlines()[-1]
+        assert "advisory only" in text
+
+    def test_empty_directory_message(self):
+        assert format_trend(build_trend([])) == "no unsnap-bench-v1 reports found"
+
+
+class TestCli:
+    def test_bench_trend_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        save(make_report({"solve": 3.0}), tmp_path / "a.json", 100.0)
+        save(make_report({"solve": 2.5}), tmp_path / "b.json", 200.0)
+        out_path = tmp_path / "out" / "trend.json"
+        assert main(["bench", "--trend", str(tmp_path), "--json", str(out_path)]) == 0
+        captured = capsys.readouterr().out
+        assert "sweep/solve" in captured and "2.5000" in captured
+        document = json.loads(out_path.read_text())
+        assert document["format"] == TREND_FORMAT
+        assert document["series"]["sweep/solve"] == [3.0, 2.5]
+
+    def test_bench_trend_missing_directory(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "--trend", str(tmp_path / "nope")]) != 0

@@ -197,3 +197,51 @@ class TestCoordinatorSubprocess:
         for a, b in zip(serial, result):
             np.testing.assert_array_equal(a.result.scalar_flux, b.result.scalar_flux)
         assert all(r.meta["worker_id"] not in ("store", None) for r in result)
+
+
+class TestQuarantineNote:
+    """Drain-failure messages point at quarantined jobs and their reasons."""
+
+    def _quarantine(self, spool, name, reason):
+        target = spool.root / "quarantine" / f"{name}.json"
+        target.write_text("{}")
+        if reason is not None:
+            target.with_suffix(".reason").write_text(reason + "\n")
+
+    def test_empty_spool_adds_nothing(self, spool):
+        from repro.campaign.distributed.coordinator import _quarantine_note
+
+        assert _quarantine_note(spool) == ""
+
+    def test_note_excerpts_reasons(self, spool):
+        from repro.campaign.distributed.coordinator import _quarantine_note
+
+        self._quarantine(spool, "j1", "ValueError: truncated payload")
+        self._quarantine(spool, "j2", None)
+        note = _quarantine_note(spool)
+        assert "2 quarantined job(s)" in note
+        assert "j1.json: ValueError: truncated payload" in note
+        assert "j2.json: (no reason recorded)" in note
+
+    def test_note_caps_at_three_excerpts(self, spool):
+        from repro.campaign.distributed.coordinator import _quarantine_note
+
+        for i in range(5):
+            self._quarantine(spool, f"j{i}", "boom")
+        note = _quarantine_note(spool)
+        assert "5 quarantined job(s)" in note
+        assert note.count("boom") == 3
+        assert "(+2 more)" in note
+
+    def test_timeout_error_carries_the_note(self, spool):
+        self._quarantine(spool, "stuck", "RuntimeError: engine exploded")
+        backend = DistributedBackend(
+            spool_dir=spool.root, workers=0, poll_seconds=0.02,
+            lease_seconds=30, timeout_seconds=0.1,
+        )
+        items = [WorkItem(spec=BASE, index=0)]
+        with pytest.raises(RuntimeError) as err:
+            list(backend.execute(items))  # no worker: the drain times out
+        message = str(err.value)
+        assert "timed out" in message
+        assert "stuck.json: RuntimeError: engine exploded" in message

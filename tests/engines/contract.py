@@ -135,7 +135,18 @@ class EngineContract:
 
     # -------------------------------------------------------- observability
     def check_telemetry_off_identity(self) -> None:
-        """Telemetry -- even full-rate bucket sampling -- changes no bits."""
+        """Telemetry -- even full-rate bucket sampling -- changes no bits.
+
+        Includes the tracing extension: a telemetry instrument with an
+        attached span exporter (every phase becomes a span event) must
+        also reproduce the bare flux bit for bit, and the span file must
+        actually carry the solve phases under one trace id.
+        """
+        import tempfile
+        from pathlib import Path
+
+        from repro.obs.trace import SpanExporter, read_spans
+
         bare = repro.run(self.spec).scalar_flux
         plain = Telemetry()
         sampled = Telemetry(bucket_sample_rate=1.0)
@@ -143,6 +154,24 @@ class EngineContract:
         assert np.array_equal(bare, repro.run(self.spec, telemetry=sampled).scalar_flux)
         assert sampled.counters.get("bucket_samples", 0) >= 0  # counters exist or not,
         # but numerics above already proved identity either way.
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "contract.jsonl"
+            with SpanExporter(path) as exporter:
+                traced = Telemetry().attach_exporter(exporter)
+                with exporter.span("contract"):
+                    flux = repro.run(self.spec, telemetry=traced).scalar_flux
+            assert np.array_equal(bare, flux), (
+                f"{self.engine}: attached span exporter changed the flux"
+            )
+            spans = read_spans(path)
+            names = {span["name"] for span in spans}
+            assert "solve" in names, (
+                f"{self.engine}: traced run exported no solve-phase span "
+                f"(got {sorted(names)})"
+            )
+            assert len({span["trace_id"] for span in spans}) == 1, (
+                f"{self.engine}: one traced run produced multiple trace ids"
+            )
 
     def check_budget_bounded(self, budget_bytes: int = 100_000) -> None:
         """A budgeted factor cache spills and recomputes, never refuses,

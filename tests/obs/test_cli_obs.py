@@ -1,0 +1,95 @@
+"""CLI surface of the observability tooling: spool status and trace."""
+
+import json
+
+import pytest
+
+from repro.campaign.distributed.spool import SpoolDir
+from repro.campaign.workitem import WorkItem
+from repro.cli import main
+from repro.config import ProblemSpec
+from repro.obs.trace import SpanExporter, TraceContext
+
+SPEC = ProblemSpec(
+    nx=2, ny=2, nz=2, order=1, angles_per_octant=1, num_groups=2,
+    max_twist=0.0, num_inners=1, num_outers=1, engine="vectorized",
+)
+
+
+@pytest.fixture()
+def populated_spool(tmp_path):
+    spool = SpoolDir(tmp_path / "spool")
+    spool.publish(WorkItem(spec=SPEC, index=0))
+    quarantine = spool.root / "quarantine"
+    (quarantine / "broken.json").write_text("{}")
+    (quarantine / "broken.reason").write_text("ValueError: truncated payload\n")
+    spool.heartbeat("w0")
+    return spool
+
+
+class TestSpoolStatus:
+    def test_text_view(self, populated_spool, capsys):
+        assert main(["spool", "status", str(populated_spool.root)]) == 0
+        out = capsys.readouterr().out
+        assert "pending      1" in out
+        assert "broken.json: ValueError: truncated payload" in out
+        assert "w0" in out
+
+    def test_json_view(self, populated_spool, capsys):
+        assert main(["spool", "status", str(populated_spool.root), "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["pending"] == 1
+        assert status["quarantined"] == [
+            {"name": "broken.json", "reason": "ValueError: truncated payload"}
+        ]
+
+    def test_html_view(self, populated_spool, capsys):
+        assert main(["spool", "status", str(populated_spool.root), "--html"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("<!doctype html>")
+        assert "broken.json" in out
+
+    def test_missing_directory_fails(self, tmp_path, capsys):
+        assert main(["spool", "status", str(tmp_path / "nope")]) != 0
+        assert "is not a directory" in capsys.readouterr().err
+
+
+@pytest.fixture()
+def trace_file(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    context = TraceContext.new()
+    with SpanExporter(path, context=context) as exporter:
+        with exporter.span("service.execute"):
+            with exporter.span("worker.execute", attrs={"worker_id": "w0"}):
+                pass
+    return path, context.trace_id
+
+
+class TestTrace:
+    def test_summary_text(self, trace_file, capsys):
+        path, trace_id = trace_file
+        assert main(["trace", "summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert trace_id in out and "critical path:" in out
+
+    def test_summary_json(self, trace_file, capsys):
+        path, trace_id = trace_file
+        assert main(["trace", "summary", str(path), "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert [t["trace_id"] for t in document["traces"]] == [trace_id]
+        assert document["traces"][0]["spans"] == 2
+
+    def test_tree(self, trace_file, capsys):
+        path, _trace_id = trace_file
+        assert main(["trace", "tree", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "service.execute" in out
+        assert "[w0]" in out
+
+    def test_trace_id_filter_mismatch_fails(self, trace_file, capsys):
+        path, _trace_id = trace_file
+        assert main(["trace", "summary", str(path), "--trace-id", "f" * 32]) != 0
+        assert "no unsnap-trace-v1 spans" in capsys.readouterr().err
+
+    def test_missing_path_fails(self, tmp_path, capsys):
+        assert main(["trace", "summary", str(tmp_path / "absent.jsonl")]) != 0

@@ -1,0 +1,81 @@
+"""Dashboard renderers: spool status text/HTML and the service page."""
+
+from repro.obs.dashboard import (
+    DASHBOARD_HTML,
+    render_spool_status,
+    render_spool_status_html,
+)
+
+STATUS = {
+    "root": "/spool",
+    "pending": 2,
+    "claims": [
+        {"index": 7, "attempts": 1, "worker_id": "w0", "age_seconds": 3.0},
+    ],
+    "done": 5,
+    "errors": 1,
+    "workers": [
+        {"worker_id": "w0", "age_seconds": 0.4, "live": True},
+        {"worker_id": "w1", "age_seconds": 120.0, "live": False},
+    ],
+    "quarantined": [
+        {"name": "badjob.json", "reason": "ValueError: truncated payload"},
+    ],
+    "stop_requested": True,
+}
+
+
+class TestTextStatus:
+    def test_counts_and_sections(self):
+        text = render_spool_status(STATUS)
+        assert "pending      2" in text
+        assert "quarantined  1" in text
+        assert "stop         requested" in text
+        assert "point      7 attempt 1 owner w0" in text
+        assert "w1 heartbeat 2.0m (stale)" in text
+        # Satellite: the quarantine .reason excerpt is in the status view.
+        assert "badjob.json: ValueError: truncated payload" in text
+
+    def test_long_reasons_truncated(self):
+        status = dict(STATUS)
+        status["quarantined"] = [{"name": "j", "reason": "x" * 500}]
+        line = [
+            row for row in render_spool_status(status).splitlines() if "j:" in row
+        ][0]
+        assert len(line) < 120 and line.endswith("...")
+
+    def test_empty_reason_placeholder(self):
+        status = dict(STATUS)
+        status["quarantined"] = [{"name": "j", "reason": "  "}]
+        assert "(no reason recorded)" in render_spool_status(status)
+
+    def test_empty_spool_has_no_sections(self):
+        text = render_spool_status({"root": "/s"})
+        assert "claims:" not in text and "quarantine:" not in text
+
+
+class TestHtmlStatus:
+    def test_escapes_and_includes_reasons(self):
+        status = dict(STATUS)
+        status["quarantined"] = [{"name": "<job>", "reason": "a & b"}]
+        html = render_spool_status_html(status)
+        assert "&lt;job&gt;" in html and "a &amp; b" in html
+        assert "<job>" not in html
+        assert "STOP requested" in html
+
+    def test_is_a_complete_document(self):
+        html = render_spool_status_html(STATUS)
+        assert html.startswith("<!doctype html>")
+        assert "</html>" in html
+
+
+class TestServiceDashboard:
+    def test_self_contained_polling_page(self):
+        assert DASHBOARD_HTML.startswith("<!doctype html>")
+        # Dependency-free: no external scripts, stylesheets or fonts.
+        assert "http://" not in DASHBOARD_HTML.replace("http://host", "")
+        assert "src=" not in DASHBOARD_HTML
+        # Polls the stats endpoint and streams the ndjson progress.
+        assert 'fetch("/stats")' in DASHBOARD_HTML
+        assert "/progress?interval=" in DASHBOARD_HTML
+        assert "getReader" in DASHBOARD_HTML

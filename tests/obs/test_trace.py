@@ -1,0 +1,196 @@
+"""The tracing core: contexts, carriers, the exporter and span files."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    TRACE_FORMAT,
+    SpanExporter,
+    TraceContext,
+    current_trace,
+    default_trace_path,
+    new_span_id,
+    new_trace_id,
+    read_spans,
+    use_trace,
+)
+
+
+class TestTraceContext:
+    def test_new_ids_are_well_formed(self):
+        assert len(new_trace_id()) == 32 and int(new_trace_id(), 16) >= 0
+        assert len(new_span_id()) == 16 and int(new_span_id(), 16) >= 0
+
+    def test_header_round_trip_with_span(self):
+        ctx = TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+        assert TraceContext.parse(ctx.to_header()) == ctx
+
+    def test_header_round_trip_bare(self):
+        ctx = TraceContext.new()
+        assert ctx.span_id == ""
+        assert TraceContext.parse(ctx.to_header()) == ctx
+
+    @pytest.mark.parametrize(
+        "header",
+        ["", "xyz", "ab" * 15, "ab" * 16 + "-short", "ab" * 16 + "-" + "zz" * 8],
+    )
+    def test_malformed_headers_raise(self, header):
+        with pytest.raises(ValueError, match="malformed trace header"):
+            TraceContext.parse(header)
+
+    def test_dict_round_trip(self):
+        ctx = TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+        bare = TraceContext.new()
+        assert bare.to_dict()["parent_id"] is None
+        assert TraceContext.from_dict(bare.to_dict()) == bare
+
+    def test_from_dict_rejects_unusable(self):
+        assert TraceContext.from_dict(None) is None
+        assert TraceContext.from_dict({}) is None
+        assert TraceContext.from_dict({"parent_id": "x"}) is None
+
+    def test_child_keeps_trace_id(self):
+        ctx = TraceContext.new()
+        child = ctx.child("cd" * 8)
+        assert child.trace_id == ctx.trace_id and child.span_id == "cd" * 8
+
+
+class TestAmbientTrace:
+    def test_default_is_none(self):
+        assert current_trace() is None
+
+    def test_use_trace_scopes_and_restores(self):
+        outer = TraceContext.new()
+        inner = TraceContext.new()
+        with use_trace(outer):
+            assert current_trace() is outer
+            with use_trace(inner):
+                assert current_trace() is inner
+            assert current_trace() is outer
+        assert current_trace() is None
+
+    def test_ambient_is_thread_local(self):
+        seen = {}
+        ctx = TraceContext.new()
+
+        def probe():
+            seen["other"] = current_trace()
+
+        with use_trace(ctx):
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+        assert seen["other"] is None
+
+
+class TestSpanExporter:
+    def test_span_events_are_schema_complete(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with SpanExporter(path) as exporter:
+            with exporter.span("outer", attrs={"k": 1}):
+                pass
+        (event,) = [json.loads(line) for line in path.read_text().splitlines()]
+        assert event["format"] == TRACE_FORMAT
+        assert len(event["trace_id"]) == 32 and len(event["span_id"]) == 16
+        assert event["parent_id"] is None
+        assert event["name"] == "outer" and event["attrs"] == {"k": 1}
+        assert event["end"] >= event["start"] and event["seconds"] >= 0.0
+
+    def test_same_thread_nesting(self, tmp_path):
+        with SpanExporter(tmp_path / "t.jsonl") as exporter:
+            with exporter.span("parent") as parent:
+                with exporter.span("child"):
+                    pass
+        spans = {s["name"]: s for s in read_spans(tmp_path / "t.jsonl")}
+        assert spans["child"]["parent_id"] == parent.span_id
+        assert spans["child"]["trace_id"] == spans["parent"]["trace_id"]
+
+    def test_foreign_thread_falls_back_to_context(self, tmp_path):
+        """Work on another thread misses the stack but lands under the
+        explicit context parent -- degraded nesting, never a lost span."""
+        context = TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+        with SpanExporter(tmp_path / "t.jsonl", context=context) as exporter:
+            with exporter.span("outer"):
+                thread = threading.Thread(
+                    target=lambda: exporter.emit("inner", start=0.0, end=1.0)
+                )
+                thread.start()
+                thread.join()
+        spans = {s["name"]: s for s in read_spans(tmp_path / "t.jsonl")}
+        assert spans["inner"]["parent_id"] == "cd" * 8
+        assert spans["inner"]["trace_id"] == "ab" * 16
+
+    def test_exception_writes_span_with_error_attr(self, tmp_path):
+        with SpanExporter(tmp_path / "t.jsonl") as exporter:
+            with pytest.raises(RuntimeError):
+                with exporter.span("doomed"):
+                    raise RuntimeError("boom")
+        (span,) = read_spans(tmp_path / "t.jsonl")
+        assert span["attrs"]["error"] == "RuntimeError"
+
+    def test_default_attrs_stamped_and_overridable(self, tmp_path):
+        with SpanExporter(tmp_path / "t.jsonl", attrs={"worker_id": "w0"}) as exp:
+            exp.emit("a", start=0.0, end=1.0)
+            exp.emit("b", start=0.0, end=1.0, attrs={"worker_id": "w1"})
+        spans = {s["name"]: s for s in read_spans(tmp_path / "t.jsonl")}
+        assert spans["a"]["attrs"]["worker_id"] == "w0"
+        assert spans["b"]["attrs"]["worker_id"] == "w1"
+
+    def test_write_after_close_is_dropped(self, tmp_path):
+        exporter = SpanExporter(tmp_path / "t.jsonl")
+        exporter.close()
+        exporter.emit("late", start=0.0, end=1.0)  # must not raise
+        assert read_spans(tmp_path / "t.jsonl") == []
+
+    def test_phase_hooks_mirror_telemetry(self, tmp_path):
+        """Telemetry phases ride the exporter: dotted paths, durations that
+        agree with the telemetry measurement to the bit."""
+        from repro.telemetry import Telemetry
+
+        with SpanExporter(tmp_path / "t.jsonl") as exporter:
+            telemetry = Telemetry().attach_exporter(exporter)
+            with telemetry.phase("solve"):
+                with telemetry.phase("sweep"):
+                    pass
+        spans = {s["name"]: s for s in read_spans(tmp_path / "t.jsonl")}
+        assert set(spans) == {"solve", "solve.sweep"}
+        assert spans["solve.sweep"]["parent_id"] == spans["solve"]["span_id"]
+        snapshot = telemetry.snapshot()["phases"]
+        assert spans["solve"]["seconds"] == snapshot["solve"]["seconds"]
+
+    def test_unmatched_phase_pop_is_dropped(self, tmp_path):
+        with SpanExporter(tmp_path / "t.jsonl") as exporter:
+            exporter.phase_finished("never.started", 1.0)
+        assert read_spans(tmp_path / "t.jsonl") == []
+
+
+class TestReadSpans:
+    def test_reads_directories_and_skips_foreign_lines(self, tmp_path):
+        with SpanExporter(tmp_path / "a.jsonl") as exporter:
+            exporter.emit("kept", start=0.0, end=1.0)
+        (tmp_path / "b.jsonl").write_text(
+            'not json\n{"format": "other-format"}\n{"half": \n'
+        )
+        spans = read_spans(tmp_path)
+        assert [s["name"] for s in spans] == ["kept"]
+
+    def test_missing_file_is_skipped(self, tmp_path):
+        assert read_spans(tmp_path / "absent.jsonl") == []
+
+    def test_sorted_by_start(self, tmp_path):
+        with SpanExporter(tmp_path / "t.jsonl") as exporter:
+            exporter.emit("late", start=5.0, end=6.0)
+            exporter.emit("early", start=1.0, end=2.0)
+        assert [s["name"] for s in read_spans(tmp_path / "t.jsonl")] == [
+            "early",
+            "late",
+        ]
+
+
+def test_default_trace_path_sanitizes(tmp_path):
+    path = default_trace_path(tmp_path, "host/worker:1")
+    assert path.parent == tmp_path
+    assert path.name == "host-worker-1.jsonl"

@@ -1,0 +1,134 @@
+"""Trace aggregation: summaries, orphan accounting, critical path, tree."""
+
+from repro.obs.trace import TRACE_FORMAT
+from repro.obs.tracetool import (
+    format_summary,
+    format_tree,
+    group_traces,
+    summarize,
+    summarize_all,
+)
+
+
+def span(
+    name,
+    span_id,
+    parent=None,
+    start=0.0,
+    seconds=1.0,
+    trace="t0" * 16,
+    **attrs,
+):
+    return {
+        "format": TRACE_FORMAT,
+        "trace_id": trace,
+        "span_id": span_id,
+        "parent_id": parent,
+        "name": name,
+        "start": start,
+        "end": start + seconds,
+        "seconds": seconds,
+        "attrs": attrs,
+    }
+
+
+TRACE_A = "a" * 32
+TRACE_B = "b" * 32
+
+
+class TestGrouping:
+    def test_buckets_by_trace_id(self):
+        spans = [
+            span("x", "1" * 16, trace=TRACE_A),
+            span("y", "2" * 16, trace=TRACE_B),
+            span("z", "3" * 16, trace=TRACE_A),
+        ]
+        traces = group_traces(spans)
+        assert set(traces) == {TRACE_A, TRACE_B}
+        assert [s["name"] for s in traces[TRACE_A]] == ["x", "z"]
+
+    def test_spans_without_trace_id_dropped(self):
+        assert group_traces([{"name": "stray"}]) == {}
+
+
+class TestSummarize:
+    def test_distributed_shape(self):
+        """A miniature campaign trace: submit, queue, two workers."""
+        spans = [
+            span("gateway.submit", "a" * 16, start=0.0, seconds=0.01),
+            span("service.queue", "b" * 16, start=0.0, seconds=0.5),
+            span("service.execute", "c" * 16, start=0.5, seconds=3.0),
+            span("spool.wait", "d" * 16, parent="c" * 16, start=0.6, seconds=0.2,
+                 worker_id="w0"),
+            span("worker.execute", "e" * 16, parent="c" * 16, start=0.8,
+                 seconds=2.0, worker_id="w0"),
+            span("solve.sweep", "f" * 16, parent="e" * 16, start=0.9,
+                 seconds=1.8, worker_id="w0"),
+            span("worker.execute", "g" * 16, parent="c" * 16, start=1.0,
+                 seconds=2.5, worker_id="w1"),
+        ]
+        summary = summarize("t", spans)
+        assert summary["spans"] == 7 and summary["orphans"] == 0
+        assert summary["makespan_seconds"] == 3.5
+        # Queue-wait attribution: service.queue + spool.wait.
+        assert abs(summary["queue_wait_seconds"] - 0.7) < 1e-12
+        assert summary["phases"]["worker.execute"] == {"seconds": 4.5, "calls": 2}
+        # Busy time counts worker.execute only; span counts count them all.
+        assert summary["workers"]["w0"] == {"spans": 3, "busy_seconds": 2.0}
+        assert summary["workers"]["w1"] == {"spans": 1, "busy_seconds": 2.5}
+        # Critical path: last-finishing root, then last-finishing children.
+        assert [step["name"] for step in summary["critical_path"]] == [
+            "service.execute",
+            "worker.execute",
+        ]
+
+    def test_orphan_counted_and_kept_as_root(self):
+        spans = [
+            span("root", "1" * 16),
+            span("lost", "2" * 16, parent="f" * 16, start=5.0),
+        ]
+        summary = summarize("t", spans)
+        assert summary["orphans"] == 1
+        # The orphan still participates (it ends latest -> critical path).
+        assert summary["critical_path"][0]["name"] == "lost"
+
+    def test_empty(self):
+        summary = summarize("t", [])
+        assert summary["spans"] == 0 and summary["makespan_seconds"] == 0.0
+        assert summary["critical_path"] == []
+
+    def test_summarize_all_orders_by_makespan(self):
+        spans = [
+            span("short", "1" * 16, trace=TRACE_A, seconds=1.0),
+            span("long", "2" * 16, trace=TRACE_B, seconds=9.0),
+        ]
+        assert [s["trace_id"] for s in summarize_all(spans)] == [TRACE_B, TRACE_A]
+
+
+class TestFormatting:
+    def test_summary_text(self):
+        spans = [
+            span("service.queue", "1" * 16, seconds=0.25),
+            span("solve", "2" * 16, parent="1" * 16, start=0.25, seconds=2.0,
+                 worker_id="w0"),
+        ]
+        text = format_summary(summarize("t" * 16, spans))
+        assert "queue wait 0.250s" in text
+        assert "phases:" in text and "solve" in text
+        assert "workers:" in text and "w0" in text
+        assert "critical path:" in text
+
+    def test_tree_indents_by_parentage(self):
+        spans = [
+            span("parent", "1" * 16, start=1.0, seconds=2.0),
+            span("child", "2" * 16, parent="1" * 16, start=1.5, seconds=1.0,
+                 worker_id="w3"),
+        ]
+        lines = format_tree(spans).splitlines()
+        assert lines[0].startswith("trace ")
+        assert lines[1] == "  +0.000s parent 2.0000s"
+        assert lines[2] == "    +0.500s child 1.0000s [w3]"
+
+    def test_tree_flags_orphans(self):
+        spans = [span("lost", "1" * 16, parent="f" * 16)]
+        assert "1 orphan(s)" in format_tree(spans)
